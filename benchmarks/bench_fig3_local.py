@@ -1,0 +1,57 @@
+"""Figure 3 — PACK local computation time of SSS/CSS/CMS vs block size.
+
+Shape claims asserted:
+
+* local computation time increases as the block size decreases,
+  independent of the mask density;
+* for cyclic distribution SSS is the best of the three;
+* for large blocks the compact schemes win, by more at higher density.
+
+Includes the scanning-method ablation (the paper's method 1 early-exit vs
+method 2 full-slice second scans).
+"""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+@pytest.mark.paper_artifact("Figure 3")
+@pytest.mark.parametrize("density", [0.1, 0.5, 0.9])
+def test_fig3_1d_shapes(benchmark, density):
+    sweep, data = benchmark(
+        fig3.series, (16384,), (16,), density, metric="local", block_points=5
+    )
+    for scheme, ys in data.items():
+        assert ys[0] >= ys[-1], f"{scheme}: local time must fall as W grows"
+    assert data["sss"][0] <= data["css"][0], "SSS wins at cyclic"
+    assert data["sss"][0] <= data["cms"][0], "SSS wins at cyclic"
+    if density >= 0.5:
+        assert data["cms"][-1] <= data["sss"][-1], "CMS wins at block, dense mask"
+
+
+@pytest.mark.paper_artifact("Figure 3")
+def test_fig3_2d_shapes(benchmark, reports):
+    sweep, data = benchmark(
+        fig3.series, (128, 128), (4, 4), 0.5, metric="local", block_points=5
+    )
+    for scheme, ys in data.items():
+        assert ys[0] >= ys[-1]
+    assert data["sss"][0] <= data["css"][0]
+    reports["fig3"] = fig3.run(fast=True, densities=(0.5,))
+
+
+@pytest.mark.paper_artifact("Figure 3 (ablation)")
+def test_fig3_scan_method_ablation(benchmark):
+    """Paper: early-exit slice scanning (method 1) was slightly better."""
+    from repro.experiments.common import run_pack
+
+    def both():
+        early = run_pack((16384,), (16,), 32, 0.3, "css", early_exit_scan=True)
+        full = run_pack((16384,), (16,), 32, 0.3, "css", early_exit_scan=False)
+        return early.local_ms, full.local_ms
+
+    early_ms, full_ms = benchmark(both)
+    assert early_ms <= full_ms
+    # "although the difference was not significantly large"
+    assert early_ms > 0.5 * full_ms

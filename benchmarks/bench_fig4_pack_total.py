@@ -1,0 +1,84 @@
+"""Figure 4 — total PACK execution time of the three schemes vs block size.
+
+Shape claims asserted:
+
+* the compact message scheme gives the best total of the three at
+  moderate-to-large block sizes;
+* total time falls as the block size grows;
+* the many-to-many schedule ablation: the linear permutation schedule is
+  no slower than the naive schedule.
+"""
+
+import pytest
+
+from repro.experiments import fig4, fig3
+
+
+@pytest.mark.paper_artifact("Figure 4")
+@pytest.mark.parametrize("density", [0.5, 0.9])
+def test_fig4_1d_total(benchmark, density, reports):
+    sweep, data = benchmark(
+        fig3.series, (16384,), (16,), density, metric="total", block_points=5
+    )
+    for scheme, ys in data.items():
+        assert ys[0] > ys[-1], f"{scheme}: total must fall as W grows"
+    # CMS the best scheme at large W (paper's headline).
+    assert data["cms"][-1] <= data["css"][-1] + 1e-12
+    assert data["cms"][-1] <= data["sss"][-1] + 1e-12
+    if "fig4" not in reports:
+        reports["fig4"] = fig4.run(fast=True, densities=(0.5,))
+
+
+@pytest.mark.paper_artifact("Figure 4")
+def test_fig4_2d_total(benchmark):
+    sweep, data = benchmark(
+        fig3.series, (128, 128), (4, 4), 0.9, metric="total", block_points=5
+    )
+    assert data["cms"][-1] <= data["css"][-1] + 1e-12
+    assert data["cms"][-1] <= data["sss"][-1] + 1e-12
+
+
+@pytest.mark.paper_artifact("Figure 4 (ablation)")
+def test_fig4_m2m_schedule_ablation(benchmark):
+    """Linear permutation with count detection skips empty steps: it wins
+    clearly when the communication pattern is sparse (block-distributed
+    input, where most data stays on-processor) and costs at most one
+    control-network detection when the pattern is dense."""
+    from repro.experiments.common import run_pack
+
+    def both():
+        # Sparse pattern: block distribution, most traffic self-addressed.
+        lin_sparse = run_pack((16384,), (16,), "block", 0.5, "cms",
+                              m2m_schedule="linear")
+        nai_sparse = run_pack((16384,), (16,), "block", 0.5, "cms",
+                              m2m_schedule="naive")
+        # Dense pattern: every pair communicates.
+        lin_dense = run_pack((16384,), (16,), 8, 0.5, "cms", m2m_schedule="linear")
+        nai_dense = run_pack((16384,), (16,), 8, 0.5, "cms", m2m_schedule="naive")
+        return lin_sparse, nai_sparse, lin_dense, nai_dense
+
+    lin_sparse, nai_sparse, lin_dense, nai_dense = benchmark(both)
+    assert lin_sparse.run.total_messages < nai_sparse.run.total_messages
+    assert lin_sparse.m2m_ms < nai_sparse.m2m_ms
+    # Dense: the detection overhead is bounded by one control operation.
+    overhead = lin_dense.m2m_ms - nai_dense.m2m_ms
+    assert overhead < 0.1, f"dense-pattern announce overhead too large: {overhead}"
+
+
+@pytest.mark.paper_artifact("Figure 4 (ablation)")
+def test_fig4_prs_algorithm_within_pack(benchmark):
+    """On a no-control-network machine, the paper heuristic ('auto') is
+    never slower than forcing the wrong algorithm at cyclic W=1."""
+    from repro.experiments.common import run_pack
+    from repro.machine import CM5
+
+    spec = CM5.without_control_network()
+
+    def run():
+        auto = run_pack((16384,), (16,), 1, 0.5, "css", spec=spec, prs="auto")
+        direct = run_pack((16384,), (16,), 1, 0.5, "css", spec=spec, prs="direct")
+        split = run_pack((16384,), (16,), 1, 0.5, "css", spec=spec, prs="split")
+        return auto.prs_ms, direct.prs_ms, split.prs_ms
+
+    auto_ms, direct_ms, split_ms = benchmark(run)
+    assert auto_ms <= min(direct_ms, split_ms) * 1.05

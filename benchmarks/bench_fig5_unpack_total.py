@@ -1,0 +1,80 @@
+"""Figure 5 — total UNPACK execution time of SSS/CSS vs block size.
+
+Shape claims asserted:
+
+* total time falls as the block size grows;
+* CSS beats SSS at large blocks and high density, SSS wins at cyclic;
+* UNPACK's two-phase redistribution makes it slower than the matching
+  PACK (Section 4.2).
+"""
+
+import pytest
+
+from repro.experiments import fig5, fig3
+from repro.experiments.common import run_pack, run_unpack
+
+
+@pytest.mark.paper_artifact("Figure 5")
+@pytest.mark.parametrize("density", [0.5, 0.9])
+def test_fig5_1d_total(benchmark, density, reports):
+    sweep, data = benchmark(
+        fig3.series,
+        (16384,),
+        (16,),
+        density,
+        metric="total",
+        schemes=("sss", "css"),
+        block_points=5,
+        unpack_mode=True,
+    )
+    for scheme, ys in data.items():
+        assert ys[0] > ys[-1]
+    assert data["sss"][0] <= data["css"][0], "SSS wins at cyclic"
+    assert data["css"][-1] <= data["sss"][-1], "CSS wins at block"
+    if "fig5" not in reports:
+        reports["fig5"] = fig5.run(fast=True, densities=(0.5,))
+
+
+@pytest.mark.paper_artifact("Figure 5")
+def test_fig5_2d_total(benchmark):
+    sweep, data = benchmark(
+        fig3.series,
+        (128, 128),
+        (4, 4),
+        0.9,
+        metric="total",
+        schemes=("sss", "css"),
+        block_points=5,
+        unpack_mode=True,
+    )
+    assert data["css"][-1] <= data["sss"][-1]
+
+
+@pytest.mark.paper_artifact("Figure 5")
+def test_fig5_unpack_slower_than_pack(benchmark):
+    def both():
+        p = run_pack((16384,), (16,), 8, 0.5, "css")
+        u = run_unpack((16384,), (16,), 8, 0.5, "css")
+        return p.total_ms, u.total_ms
+
+    pack_ms, unpack_ms = benchmark(both)
+    assert unpack_ms > pack_ms
+
+
+@pytest.mark.paper_artifact("Figure 5 (extension)")
+def test_fig5_compressed_requests_ablation(benchmark):
+    """Library extension: run-length-encoded rank requests (the CMS slice
+    property applied to UNPACK's request phase) cut wire volume for dense
+    masks on block-cyclic layouts, and degrade at cyclic — mirroring the
+    CMS/pair trade-off of Section 6.2."""
+
+    def run():
+        plain = run_unpack((16384,), (16,), 32, 0.9, "css")
+        comp = run_unpack((16384,), (16,), 32, 0.9, "css", compress_requests=True)
+        plain_cyc = run_unpack((16384,), (16,), 1, 0.9, "css")
+        comp_cyc = run_unpack((16384,), (16,), 1, 0.9, "css", compress_requests=True)
+        return plain, comp, plain_cyc, comp_cyc
+
+    plain, comp, plain_cyc, comp_cyc = benchmark(run)
+    assert comp.run.total_words < plain.run.total_words
+    assert comp_cyc.run.total_words >= plain_cyc.run.total_words

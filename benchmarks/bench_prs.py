@@ -1,0 +1,83 @@
+"""Prefix-reduction-sum study (Section 7 + [1, 6] comparison).
+
+Shape claims asserted:
+
+* the split algorithm beats the direct algorithm as P and M grow;
+* the direct algorithm wins for small P or vectors shorter than P
+  (the paper's selection heuristic);
+* PRS time within PACK falls as the block size grows, and grows faster
+  for 2-D arrays as W shrinks.
+"""
+
+import pytest
+
+from repro.experiments import prs
+from repro.machine import CM5
+
+NOCTRL = CM5.without_control_network()
+
+
+@pytest.mark.paper_artifact("PRS study")
+def test_prs_split_vs_direct_crossover(benchmark, reports):
+    def run():
+        return (
+            prs.prs_times(4, 16, spec=NOCTRL),
+            prs.prs_times(16, 4096, spec=NOCTRL),
+        )
+
+    small, large = benchmark(run)
+    assert small["direct"] < small["split"], "direct wins for small P and M"
+    assert large["split"] < large["direct"], "split wins for large P and M"
+    reports["prs"] = prs.run(fast=True)
+
+
+@pytest.mark.paper_artifact("PRS study")
+def test_prs_pipeline_regime(benchmark):
+    """The pipelined tree (reference [6]'s O(tau log P + mu M) algorithm)
+    wins between direct (latency-optimal, tiny vectors) and the transpose
+    split (bandwidth-optimal, huge vectors): large P with moderate M."""
+
+    def run():
+        return (
+            prs.prs_times(64, 1024, spec=NOCTRL),
+            prs.prs_times(64, 8, spec=NOCTRL),
+            prs.prs_times(16, 65536, spec=NOCTRL),
+        )
+
+    mid, tiny, huge = benchmark(run)
+    assert mid["pipeline"] < mid["split"], "pipeline beats split at large P"
+    assert tiny["direct"] < tiny["pipeline"], "direct wins for tiny vectors"
+    assert huge["split"] < huge["pipeline"], "split wins for huge vectors"
+
+
+@pytest.mark.paper_artifact("PRS study")
+def test_prs_control_network_short_vs_long(benchmark):
+    """The control network wins for short vectors but its element-serial
+    scan loses to the data-network algorithms for long ones — the reason
+    the paper's 2-D experiments used direct/split instead of the CM-5
+    global functions."""
+
+    def run():
+        return prs.prs_times(16, 64, spec=CM5), prs.prs_times(16, 65536, spec=CM5)
+
+    short, long_ = benchmark(run)
+    assert short["ctrl"] < short["direct"]
+    assert short["ctrl"] < short["split"]
+    assert long_["split"] < long_["ctrl"]
+
+
+@pytest.mark.paper_artifact("PRS study")
+def test_prs_within_pack_falls_with_block_size(benchmark):
+    """PRS time vs W, using the paper's 1-D/2-D size proportions (the 2-D
+    local array is 4x the 1-D one, as with N=65536 vs 512^2)."""
+
+    def run():
+        s1, t1 = prs.prs_in_pack_series((4096,), (16,), block_points=4)
+        s2, t2 = prs.prs_in_pack_series((128, 128), (4, 4), block_points=4)
+        return t1, t2
+
+    t1, t2 = benchmark(run)
+    assert t1[0] > t1[-1], "1-D PRS time falls as W grows"
+    assert t2[0] > t2[-1], "2-D PRS time falls as W grows"
+    # Absolute growth toward W=1 is larger for the 2-D configuration.
+    assert (t2[0] - t2[-1]) > (t1[0] - t1[-1])

@@ -1,0 +1,97 @@
+"""The ranking stage in isolation — the paper's core contribution.
+
+Conclusion claims asserted (paper Section 8):
+
+* "The performance of the ranking algorithm largely depends on the block
+  size of input arrays distributed in block-cyclic, especially the block
+  size of the lower dimension."
+* "The performance of the ranking algorithm may not be greatly affected
+  by the total number or by the distribution of the elements to be
+  packed" — density- and pattern-insensitivity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import ranking_program
+from repro.core.schemes import Scheme
+from repro.hpf import GridLayout
+from repro.machine import CM5, Machine
+from repro.workloads import lt_mask_2d, random_mask
+
+
+def ranking_elapsed(mask, grid, block, scheme=Scheme.CSS):
+    layout = GridLayout.create(mask.shape, grid, block)
+    blocks = layout.scatter(mask)
+
+    def prog(ctx, mb):
+        result = yield from ranking_program(ctx, mb, layout, scheme=scheme)
+        return result.size
+
+    res = Machine(layout.nprocs, CM5).run(prog, rank_args=[(b,) for b in blocks])
+    return res.elapsed
+
+
+@pytest.mark.paper_artifact("Ranking (Section 8 conclusions)")
+def test_ranking_block_size_dominates(benchmark, reports):
+    mask = random_mask((16384,), 0.5, seed=0)
+
+    def run():
+        return {w: ranking_elapsed(mask, (16,), w) for w in (1, 8, 64, 1024)}
+
+    times = benchmark(run)
+    assert times[1] > times[8] > times[64] >= times[1024]
+    assert times[1] > 5 * times[1024], "cyclic must be far costlier than block"
+    reports["ranking"] = "\n".join(
+        ["Ranking stage vs block size (N=16384, P=16, 50% mask):"]
+        + [f"  W={w:<5d} {t * 1e3:8.3f} ms" for w, t in sorted(times.items())]
+    )
+
+
+@pytest.mark.paper_artifact("Ranking (Section 8 conclusions)")
+def test_ranking_density_insensitive(benchmark):
+    def run():
+        return {
+            d: ranking_elapsed(random_mask((16384,), d, seed=1), (16,), 8)
+            for d in (0.1, 0.5, 0.9)
+        }
+
+    times = benchmark(run)
+    lo, hi = min(times.values()), max(times.values())
+    assert hi < 1.35 * lo, f"ranking should be density-insensitive: {times}"
+
+
+@pytest.mark.paper_artifact("Ranking (Section 8 conclusions)")
+def test_ranking_pattern_insensitive(benchmark):
+    """Random vs structured (LT) masks of similar density rank in similar
+    time — the working arrays depend on tiles, not mask content."""
+
+    def run():
+        lt = lt_mask_2d((128, 128))
+        rnd = random_mask((128, 128), float(lt.mean()), seed=2)
+        return (
+            ranking_elapsed(lt, (4, 4), (4, 4)),
+            ranking_elapsed(rnd, (4, 4), (4, 4)),
+        )
+
+    t_lt, t_rnd = benchmark(run)
+    assert t_lt == pytest.approx(t_rnd, rel=0.25)
+
+
+@pytest.mark.paper_artifact("Ranking (Section 8 conclusions)")
+def test_lower_dimension_block_matters_most(benchmark):
+    """'especially the block size of the lower dimension': shrinking W_0
+    costs more than shrinking W_1 by the same factor."""
+    mask = random_mask((128, 128), 0.5, seed=3)
+
+    def run():
+        base = ranking_elapsed(mask, (4, 4), (8, 8))
+        small_w0 = ranking_elapsed(mask, (4, 4), (8, 1))  # numpy order: (W1, W0)
+        small_w1 = ranking_elapsed(mask, (4, 4), (1, 8))
+        return base, small_w0, small_w1
+
+    base, small_w0, small_w1 = benchmark(run)
+    assert small_w0 > base and small_w1 > base
+    assert small_w0 > small_w1, (
+        "dimension-0 block size must dominate the ranking cost"
+    )

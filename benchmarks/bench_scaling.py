@@ -1,0 +1,42 @@
+"""The 256-processor weak-scaling study (Section 7).
+
+Shape claims asserted: with the local array size fixed and the processor
+count multiplied by 16, local computation stays flat while communication
+grows to dominate the total.
+"""
+
+import pytest
+
+from repro.experiments import scaling
+
+
+@pytest.mark.paper_artifact("Scaling study")
+def test_weak_scaling_16x(benchmark, reports):
+    rows = benchmark(scaling.weak_scaling_rows, 4096, 128, True)
+    # rows: [label, P, total, local, prs, m2m]
+    small_1d, big_1d, small_2d, big_2d = rows
+
+    # Local computation is (nearly) flat under weak scaling.
+    assert big_1d[3] == pytest.approx(small_1d[3], rel=0.3)
+    assert big_2d[3] == pytest.approx(small_2d[3], rel=0.3)
+
+    # Communication grows with P and dominates at 256 processors.
+    assert big_1d[5] > small_1d[5]
+    assert big_1d[4] + big_1d[5] > big_1d[3], "comm dominates at 256 procs (1-D)"
+    assert big_2d[4] + big_2d[5] > big_2d[3], "comm dominates at 256 procs (2-D)"
+
+    reports["scaling"] = scaling.run(fast=True)
+
+
+@pytest.mark.paper_artifact("Scaling study")
+def test_small_proc_counts_are_local_dominated(benchmark):
+    """Paper: 'for a fixed local array size, the total costs ... are
+    dominated by the cost for local computation in a small number of
+    processors' — here with a dense mask and 4 processors."""
+    from repro.experiments.common import run_pack
+
+    def run():
+        return run_pack((8192,), (4,), 16, 0.9, "sss")
+
+    res = benchmark(run)
+    assert res.local_ms > res.prs_ms + res.m2m_ms

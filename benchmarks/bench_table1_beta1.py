@@ -1,0 +1,44 @@
+"""Table I — beta1 crossover block sizes (CSS vs SSS local computation).
+
+Regenerates the published table's structure and asserts its shape claims:
+beta1 > 1 everywhere, beta1 falls with density, and sparse small 2-D
+masks push beta1 to infinity.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.mark.paper_artifact("Table I")
+def test_table1_beta1(benchmark, reports):
+    data = benchmark(table1.data, fast=True)
+
+    kinds_1d = [0.1, 0.3, 0.5, 0.7, 0.9, "half"]
+    for shape_kind, beta in data["1d"].items():
+        assert beta > 1, f"beta1 must exceed 1 (SSS wins at cyclic): {shape_kind}"
+    # Density monotonicity (10% vs 90%) per local size.
+    for shape in {sk[0] for sk in data["1d"]}:
+        assert data["1d"][(shape, 0.9)] <= data["1d"][(shape, 0.1)]
+    # 2-D small sparse case diverges, as in the paper.
+    assert math.isinf(data["2d"][((64, 64), 0.1)])
+
+    reports["table1"] = table1.run(fast=True)
+
+
+@pytest.mark.paper_artifact("Table I")
+def test_table1_beta1_grows_with_local_size_at_low_density(benchmark):
+    from repro.analysis.crossover import find_crossover
+    from repro.core.schemes import Scheme
+    from repro.machine import CM5
+
+    def betas():
+        return [
+            find_crossover((n,), (16,), 0.1, Scheme.SSS, Scheme.CSS, CM5)
+            for n in (16384, 65536)
+        ]
+
+    small, large = benchmark(betas)
+    assert large >= small, "paper: beta1 at 10% grows with the local size"

@@ -1,0 +1,44 @@
+"""Table II — cyclic-input redistribution pre-passes vs direct SSS.
+
+Shape claims asserted (paper Section 7, "Redistribution Scheme"):
+
+* 1-D: neither Red.1 nor Red.2 beats SSS, and Red.2 > Red.1 (two
+  detection phases vs one);
+* 2-D: Red.1 beats SSS at low density; Red.2 beats SSS at high density;
+* Red.2's time is nearly density-independent.
+"""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.mark.paper_artifact("Table II")
+def test_table2_1d(benchmark, reports):
+    rows = benchmark(table2.rows_for, (16384,), (16,), densities=(0.1, 0.5, 0.9))
+    for _d, sss, red1, red2 in rows:
+        assert sss < red1, "1-D: Red.1 must lose to SSS (detection dominated)"
+        assert red1 < red2, "1-D: Red.2 pays two detection phases"
+    reports["table2"] = table2.run(fast=True)
+
+
+@pytest.mark.paper_artifact("Table II")
+def test_table2_2d(benchmark):
+    rows = benchmark(table2.rows_for, (256, 256), (4, 4), densities=(0.1, 0.9))
+    (d_lo, sss_lo, red1_lo, red2_lo), (d_hi, sss_hi, red1_hi, red2_hi) = rows
+    assert red1_lo < sss_lo, "2-D: Red.1 must beat SSS at low density"
+    assert red2_hi < sss_hi, "2-D: Red.2 must beat SSS at high density"
+    # Red.2 density-insensitive; Red.1 strongly density-sensitive.
+    assert (red2_hi - red2_lo) < 0.25 * (red1_hi - red1_lo) + 1e-9 or (
+        red2_hi - red2_lo
+    ) < 0.2 * red2_lo
+
+
+@pytest.mark.paper_artifact("Table II")
+def test_table2_paper_magnitudes_1d(benchmark):
+    """Our simulated 1-D N=16384 column lands in the paper's millisecond
+    range (SSS ~9-16 ms, Red.1 ~140-147 ms)."""
+    rows = benchmark(table2.rows_for, (16384,), (16,), densities=(0.5,))
+    _d, sss, red1, _red2 = rows[0]
+    assert 2 < sss < 40
+    assert 70 < red1 < 300

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures on the
+simulated CM-5 and asserts its headline *shape* claims (who wins, which
+direction curves move).  pytest-benchmark measures the wall-clock cost of
+the regeneration itself; the scientific output is the simulated times,
+which the benchmarks print in paper-shaped rows under ``-s`` and always
+validate via assertions.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): which table/figure this regenerates"
+    )
+
+
+@pytest.fixture(scope="session")
+def reports():
+    """Session-scoped store of generated report strings (printed at end)."""
+    store: dict[str, str] = {}
+    yield store
+    if store:
+        print("\n" + "=" * 78)
+        print("Regenerated paper artifacts (simulated CM-5 times):")
+        for name in sorted(store):
+            print("\n" + store[name])

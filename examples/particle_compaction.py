@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Particle-in-cell stream compaction with parallel PACK.
+
+The motivating HPF workload for PACK: a particle simulation marks
+particles dead (absorbed, out of bounds) each timestep and compacts the
+live ones into a dense vector so subsequent pushes stay load balanced.
+In HPF this is exactly ``new = PACK(particles, alive)``.
+
+This example runs a toy 1-D particle population over several timesteps on
+the simulated 16-processor CM-5, compacting with each of the paper's
+schemes, and reports how the compaction cost tracks the survivor density
+— reproducing in miniature the paper's density findings.
+
+Run:  python examples/particle_compaction.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def step_population(positions: np.ndarray, rng) -> np.ndarray:
+    """Advance particles; those leaving [0, 1) are absorbed (die)."""
+    return positions + rng.normal(0.0, 0.08, positions.size)
+
+
+def main():
+    rng = np.random.default_rng(42)
+    n = 8192                 # particle slots (kept power-of-two for layouts)
+    grid = 16                # processors
+    block = 32               # CYCLIC(32) distribution of the particle array
+    positions = rng.random(n)
+
+    print(f"compacting a {n}-particle population on {grid} simulated processors")
+    print(f"{'step':>4} {'alive':>6} {'density':>8} "
+          f"{'sss ms':>8} {'css ms':>8} {'cms ms':>8} {'best':>5}")
+
+    for step in range(6):
+        positions = step_population(positions, rng)
+        alive = (positions >= 0.0) & (positions < 1.0)
+
+        times = {}
+        packed = None
+        for scheme in ("sss", "css", "cms"):
+            res = repro.pack(positions, alive, grid=grid, block=block,
+                             scheme=scheme)
+            times[scheme] = res.total_ms
+            packed = res.vector
+        best = min(times, key=times.get)
+        density = alive.mean()
+        print(f"{step:>4} {alive.sum():>6} {density:>8.1%} "
+              f"{times['sss']:>8.3f} {times['css']:>8.3f} "
+              f"{times['cms']:>8.3f} {best:>5}")
+
+        # Survivors get re-seeded into the fixed-size population: the
+        # compacted vector fills the front, fresh particles the back —
+        # an UNPACK with a "front slots" mask.
+        survivors = packed
+        refill = rng.random(n - survivors.size)
+        front = np.arange(n) < survivors.size
+        merged = repro.unpack(
+            survivors, front, np.concatenate([np.zeros(survivors.size), refill]),
+            grid=grid, block=block, scheme="css",
+        )
+        positions = merged.array
+
+    print("\nWith a dense survivor population the compact message scheme "
+          "wins;\nthe simple storage scheme only competes when few "
+          "particles survive —\nthe paper's Figure 4 finding.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Extracting the strictly lower triangle of a distributed matrix.
+
+The paper's structured 2-D workload ("LT"): mask true where the dimension-1
+index exceeds the dimension-0 index.  Packing a triangle out of a dense
+block-cyclic matrix is the HPF idiom for preparing compact factor storage
+(e.g. the multipliers of an LU factorization) — and it stresses PACK with
+a *spatially skewed* mask: processors near the diagonal own mixed slices,
+corner processors own all-true or all-false blocks.
+
+This example packs the triangle, checks it against numpy's ``tril``
+extraction, then compares block sizes — showing the paper's central result
+that the block-cyclic block size, not the mask, governs the ranking cost.
+
+Run:  python examples/triangular_extraction.py
+"""
+
+import numpy as np
+
+import repro
+from repro.workloads import lt_mask_2d
+
+
+def main():
+    n = 64
+    rng = np.random.default_rng(3)
+    matrix = rng.random((n, n))
+    mask = lt_mask_2d((n, n))
+
+    # Serial truth: strictly-lower-triangular elements in row-major order.
+    expected = matrix[np.tril_indices(n, k=-1)]
+
+    print(f"packing the strict lower triangle of a {n}x{n} matrix "
+          f"on a 4x4 simulated grid")
+    print(f"{'W':>4} {'total ms':>9} {'local ms':>9} {'prs ms':>8} "
+          f"{'m2m ms':>8} {'words':>7}")
+    for w in (1, 2, 4, 8, 16):
+        res = repro.pack(matrix, mask, grid=(4, 4), block=(w, w), scheme="cms")
+        assert np.array_equal(res.vector, expected)
+        print(f"{w:>4} {res.total_ms:>9.3f} {res.local_ms:>9.3f} "
+              f"{res.prs_ms:>8.3f} {res.m2m_ms:>8.3f} {res.total_words:>7}")
+
+    print("\nRanking cost falls monotonically with the block size even "
+          "though the\ntriangle mask is maximally skewed — the paper's "
+          "claim that the ranking\noverhead depends on the distribution, "
+          "not the mask.")
+
+    # Round-trip: scatter the triangle back into a zero matrix.
+    res = repro.pack(matrix, mask, grid=(4, 4), block=(4, 4), scheme="cms")
+    restored = repro.unpack(
+        res.vector, mask, np.zeros_like(matrix), grid=(4, 4), block=(4, 4),
+        scheme="css",
+    )
+    assert np.array_equal(np.tril(restored.array, k=-1), restored.array)
+    assert np.array_equal(restored.array[mask], matrix[mask])
+    print("lower-triangle round trip (PACK -> UNPACK): OK")
+
+
+if __name__ == "__main__":
+    main()

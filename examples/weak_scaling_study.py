@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Weak-scaling study: 16 -> 64 -> 256 simulated processors.
+
+Reproduces the paper's 256-processor experiment in miniature: hold the
+local array size fixed, grow the machine, and watch communication take
+over the total — then show how the PACK totals respond to the machine's
+tau/mu balance by re-running the largest configuration on the
+ethernet-cluster profile.
+
+Run:  python examples/weak_scaling_study.py
+"""
+
+import numpy as np
+
+import repro
+from repro.workloads import random_mask
+
+
+def run_at(procs: int, local: int, spec) -> repro.PackResult:
+    n = procs * local
+    rng = np.random.default_rng(1)
+    a = rng.random(n)
+    m = random_mask((n,), 0.5, seed=2)
+    return repro.pack(a, m, grid=procs, block=8, scheme="cms", spec=spec,
+                      validate=False)
+
+
+def main():
+    local = 2048
+    print(f"weak scaling, fixed local size {local}, CYCLIC(8), 50% mask, CMS")
+    print(f"{'P':>4} {'N':>8} {'total ms':>9} {'local ms':>9} "
+          f"{'prs ms':>8} {'m2m ms':>8} {'comm %':>7}")
+    for procs in (16, 64, 256):
+        res = run_at(procs, local, repro.CM5)
+        comm = res.prs_ms + res.m2m_ms
+        print(f"{procs:>4} {procs * local:>8} {res.total_ms:>9.3f} "
+              f"{res.local_ms:>9.3f} {res.prs_ms:>8.3f} {res.m2m_ms:>8.3f} "
+              f"{comm / res.total_ms:>7.1%}")
+
+    print("\nsame 256-processor run on a commodity cluster (7x start-up):")
+    res = run_at(256, local, repro.ETHERNET_CLUSTER)
+    comm = res.prs_ms + res.m2m_ms
+    print(f"{256:>4} {256 * local:>8} {res.total_ms:>9.3f} "
+          f"{res.local_ms:>9.3f} {res.prs_ms:>8.3f} {res.m2m_ms:>8.3f} "
+          f"{comm / res.total_ms:>7.1%}")
+    print("\nLocal computation stays flat under weak scaling while the "
+          "many-to-many\nexchange grows with P — the paper's 256-processor "
+          "observation; a higher\nstart-up machine only amplifies it.")
+
+
+if __name__ == "__main__":
+    main()

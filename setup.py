@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables
+setuptools' legacy editable-install path on minimal build environments.
+"""
+from setuptools import setup
+
+setup()

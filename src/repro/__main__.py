@@ -1,0 +1,161 @@
+"""Top-level command line: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — library version, machine profiles, available schemes and PRS
+  algorithms;
+* ``pack`` — run one parallel PACK on the simulated machine and print the
+  simulated phase times (a quick what-if tool);
+* ``unpack`` — the same for UNPACK;
+* ``experiments ...`` — delegate to :mod:`repro.experiments`.
+
+Examples::
+
+    python -m repro info
+    python -m repro pack --n 65536 --procs 16 --block 8 --density 0.5
+    python -m repro pack --shape 512x512 --grid 4x4 --block 4 --scheme sss
+    python -m repro experiments table1 --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _parse_dims(text: str) -> tuple[int, ...]:
+    return tuple(int(x) for x in text.lower().split("x"))
+
+
+def _build_spec(args):
+    from .machine import CM5, ETHERNET_CLUSTER, IDEAL
+
+    return {"cm5": CM5, "cluster": ETHERNET_CLUSTER, "ideal": IDEAL}[args.machine]
+
+
+def _workload(args):
+    from .workloads import make_mask
+
+    if args.shape:
+        shape = _parse_dims(args.shape)
+        grid = _parse_dims(args.grid) if args.grid else (4,) * len(shape)
+    else:
+        shape = (args.n,)
+        grid = (args.procs,)
+    rng = np.random.default_rng(args.seed)
+    array = rng.random(shape)
+    mask = make_mask(shape, args.mask if args.mask else args.density, seed=args.seed)
+    block = args.block if args.block else "block"
+    if block not in ("block", "cyclic"):
+        block = int(block)
+    return array, mask, grid, block
+
+
+def cmd_info(_args) -> int:
+    import repro
+    from .collectives import PRS_ALGORITHMS
+    from .core.schemes import Scheme
+    from .machine import CM5, ETHERNET_CLUSTER, IDEAL
+
+    print(f"repro {repro.__version__} — PACK/UNPACK on coarse-grained machines")
+    print(f"  schemes: {', '.join(s.value for s in Scheme)} (+ red.1/red.2 pre-passes)")
+    print(f"  PRS algorithms: {', '.join(PRS_ALGORITHMS)}")
+    print("  machine profiles:")
+    for spec in (CM5, ETHERNET_CLUSTER, IDEAL):
+        ctrl = "ctrl-net" if spec.has_control_network else "no ctrl-net"
+        print(
+            f"    {spec.name:18s} tau={spec.tau * 1e6:7.1f}us "
+            f"mu={spec.mu * 1e6:5.2f}us/word delta={spec.delta * 1e6:5.2f}us/op "
+            f"({ctrl})"
+        )
+    print("  experiments: python -m repro experiments all")
+    return 0
+
+
+def cmd_pack(args) -> int:
+    from .core.api import pack
+
+    array, mask, grid, block = _workload(args)
+    result = pack(
+        array, mask, grid=grid, block=block, scheme=args.scheme,
+        spec=_build_spec(args), redistribute=args.redistribute,
+        validate=not args.no_validate,
+    )
+    print(f"PACK {array.shape} on grid {grid}, block {block}, "
+          f"scheme {args.scheme}: Size = {result.size}")
+    print(f"  total {result.total_ms:9.3f} ms   local {result.local_ms:9.3f} ms")
+    print(f"  prs   {result.prs_ms:9.3f} ms   m2m   {result.m2m_ms:9.3f} ms")
+    if args.phases:
+        for name, t in sorted(result.times.items()):
+            print(f"    {name:<40s} {t:9.3f} ms")
+    return 0
+
+
+def cmd_unpack(args) -> int:
+    from .core.api import unpack
+
+    array, mask, grid, block = _workload(args)
+    size = int(mask.sum())
+    rng = np.random.default_rng(args.seed + 1)
+    result = unpack(
+        rng.random(size), mask, array, grid=grid, block=block,
+        scheme=args.scheme if args.scheme in ("sss", "css") else "css",
+        spec=_build_spec(args), validate=not args.no_validate,
+    )
+    print(f"UNPACK into {array.shape} on grid {grid}, block {block}: "
+          f"Size = {result.size}")
+    print(f"  total {result.total_ms:9.3f} ms   local {result.local_ms:9.3f} ms")
+    print(f"  prs   {result.prs_ms:9.3f} ms   m2m   {result.m2m_ms:9.3f} ms")
+    return 0
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--n", type=int, default=16384, help="1-D array size")
+    p.add_argument("--procs", type=int, default=16, help="1-D processor count")
+    p.add_argument("--shape", help="nD shape, e.g. 512x512 (overrides --n)")
+    p.add_argument("--grid", help="nD processor grid, e.g. 4x4")
+    p.add_argument("--block", help="block size (int) or 'block'/'cyclic'")
+    p.add_argument("--density", type=float, default=0.5, help="random mask density")
+    p.add_argument("--mask", help="mask kind: e.g. 30%%, half, lt")
+    p.add_argument("--scheme", default="cms", help="sss / css / cms")
+    p.add_argument("--machine", default="cm5", choices=("cm5", "cluster", "ideal"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-validate", action="store_true")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and machine information")
+
+    p_pack = sub.add_parser("pack", help="run one simulated PACK")
+    _add_workload_args(p_pack)
+    p_pack.add_argument("--redistribute", choices=("selected", "whole"))
+    p_pack.add_argument("--phases", action="store_true", help="print all phases")
+
+    p_unpack = sub.add_parser("unpack", help="run one simulated UNPACK")
+    _add_workload_args(p_unpack)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p_exp.add_argument("rest", nargs=argparse.REMAINDER)
+
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return cmd_info(args)
+    if args.command == "pack":
+        return cmd_pack(args)
+    if args.command == "unpack":
+        return cmd_unpack(args)
+    if args.command == "experiments":
+        from .experiments.__main__ import main as exp_main
+
+        return exp_main(args.rest)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Analysis: the Section 6.4 cost model in closed form, crossover (beta)
+computation, and paper-style report formatting.
+
+:mod:`repro.analysis.model` predicts, from a mask and a layout alone
+(no simulation), exactly the local-computation time the simulator will
+charge — used both for fast Table I generation and as a consistency oracle
+for the simulator's charges.
+"""
+
+from .calibration import fit_local_cost_model
+from .charts import ascii_chart
+from .crossover import beta1_table, beta2_table, find_crossover
+from .memory import MemoryFootprint, pack_memory_words, ranking_working_words
+from .model import WorkloadQuantities, predict_pack_local_seconds, workload_quantities
+from .predictor import PackPrediction, predict_pack_seconds, predict_prs_seconds
+from .reporting import format_series, format_table
+
+__all__ = [
+    "MemoryFootprint",
+    "PackPrediction",
+    "ascii_chart",
+    "fit_local_cost_model",
+    "pack_memory_words",
+    "ranking_working_words",
+    "WorkloadQuantities",
+    "beta1_table",
+    "beta2_table",
+    "find_crossover",
+    "format_series",
+    "format_table",
+    "predict_pack_local_seconds",
+    "predict_pack_seconds",
+    "predict_prs_seconds",
+    "workload_quantities",
+]

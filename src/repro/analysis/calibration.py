@@ -1,0 +1,120 @@
+"""Automated re-calibration of the local unit costs against Table I.
+
+`docs/cost_model.md` describes how the :class:`LocalCostModel` defaults
+were fixed against the published beta1 crossovers.  This module makes
+that procedure executable and repeatable: given a target table of beta1
+values, grid-search the unit-cost space and score each candidate by
+log2 distance between its computed crossovers and the targets (one power
+of two off = distance 1; infinities match infinities at distance 0 and
+anything finite at a capped penalty).
+
+This is deliberately a *coarse* fit — the point is that one global
+parameter triple reproduces the whole table's shape, not that each cell
+is matched (which would be overfitting a 30-year-old machine's cache
+behaviour).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.schemes import Scheme
+from ..machine.spec import CM5, LocalCostModel, MachineSpec
+from .crossover import find_crossover
+
+__all__ = ["CalibrationResult", "beta_distance", "fit_local_cost_model", "PAPER_TARGETS_1D"]
+
+#: Published Table I, 1-D: local size -> betas for 10/30/50/70/90% + HALF.
+PAPER_TARGETS_1D: dict[int, Sequence[float]] = {
+    1024: (64, 8, 8, 4, 4, 4),
+    8192: (2048, 8, 8, 4, 4, 4),
+}
+
+_KINDS = (0.1, 0.3, 0.5, 0.7, 0.9, "half")
+_INF_PENALTY = 3.0
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a grid search."""
+
+    local: LocalCostModel
+    score: float
+    table: dict[tuple, float]
+
+    def spec(self, base: MachineSpec = CM5) -> MachineSpec:
+        return base.with_(local=self.local)
+
+
+def beta_distance(computed: float, target: float) -> float:
+    """log2-space distance between two crossover block sizes."""
+    comp_inf = math.isinf(computed)
+    targ_inf = math.isinf(target)
+    if comp_inf and targ_inf:
+        return 0.0
+    if comp_inf or targ_inf:
+        return _INF_PENALTY
+    return abs(math.log2(max(computed, 1)) - math.log2(max(target, 1)))
+
+
+def score_model(
+    local: LocalCostModel,
+    targets: Mapping[int, Sequence[float]],
+    procs: int = 16,
+    base: MachineSpec = CM5,
+) -> tuple[float, dict]:
+    """Mean log2 distance of a candidate's beta1 table to the targets."""
+    spec = base.with_(local=local)
+    total = 0.0
+    n = 0
+    table: dict[tuple, float] = {}
+    for local_size, betas in targets.items():
+        shape = (local_size * procs,)
+        for kind, target in zip(_KINDS, betas):
+            got = find_crossover(shape, (procs,), kind, Scheme.SSS, Scheme.CSS, spec)
+            table[(shape, kind)] = got
+            total += beta_distance(got, float(target))
+            n += 1
+    return total / max(n, 1), table
+
+
+def fit_local_cost_model(
+    targets: Mapping[int, Sequence[float]] | None = None,
+    rand_grid: Sequence[float] = (1.0, 1.5, 2.0, 3.0),
+    slice_grid: Sequence[float] = (3.0, 5.0, 8.0),
+    seg_grid: Sequence[float] = (3.0,),
+    base: MachineSpec = CM5,
+) -> CalibrationResult:
+    """Coarse grid search over (rand, slice_overhead, seg).
+
+    ``seq`` and ``vec`` stay at 1.0 — only ratios matter, and those two
+    anchor the scale.  Returns the best-scoring model; ties break toward
+    the shipped defaults.
+    """
+    if targets is None:
+        targets = PAPER_TARGETS_1D
+    default = LocalCostModel()
+    best: CalibrationResult | None = None
+    for rand in rand_grid:
+        for slice_overhead in slice_grid:
+            for seg in seg_grid:
+                cand = LocalCostModel(
+                    seq=1.0, rand=rand, vec=1.0, seg=seg,
+                    slice_overhead=slice_overhead,
+                )
+                score, table = score_model(cand, targets, base=base)
+                is_default = (
+                    rand == default.rand
+                    and slice_overhead == default.slice_overhead
+                    and seg == default.seg
+                )
+                if (
+                    best is None
+                    or score < best.score - 1e-12
+                    or (abs(score - best.score) <= 1e-12 and is_default)
+                ):
+                    best = CalibrationResult(local=cand, score=score, table=table)
+    assert best is not None
+    return best

@@ -1,0 +1,100 @@
+"""Terminal line charts for the figure experiments.
+
+The paper's artifacts are *figures*; the experiment drivers print their
+data as tables and, through this module, render them as ASCII charts so
+the curve shapes (who is flattest, where curves cross, how steeply
+everything falls with the block size) are visible at a glance in any
+terminal — no plotting dependencies.
+
+Charts place one glyph per series per column; the x axis is the category
+sequence (block sizes), the y axis linear or log10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    logy: bool = True,
+    y_label: str = "ms",
+    title: str | None = None,
+) -> str:
+    """Render named series over categorical x values as an ASCII chart.
+
+    ``series`` values are in seconds and displayed in milliseconds.
+    ``None`` points are skipped.  With ``logy`` the y axis is log10 —
+    right for the paper's curves, which span decades across block sizes.
+    """
+    names = list(series)
+    values = [
+        v * 1e3
+        for vs in series.values()
+        for v in vs
+        if v is not None and v > 0
+    ]
+    if not values or not xs:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    if logy:
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+    else:
+        lo_t, hi_t = lo, hi
+    if hi_t - lo_t < 1e-12:
+        hi_t = lo_t + 1.0
+
+    def row_of(v_ms: float) -> int:
+        t = math.log10(v_ms) if logy else v_ms
+        frac = (t - lo_t) / (hi_t - lo_t)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    ncols = len(xs)
+    col_w = max(1, width // max(ncols, 1))
+    grid_w = col_w * ncols
+    grid = [[" "] * grid_w for _ in range(height)]
+    for si, name in enumerate(names):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for ci, v in enumerate(series[name]):
+            if v is None or v <= 0:
+                continue
+            r = row_of(v * 1e3)
+            c = ci * col_w + col_w // 2
+            cell = grid[height - 1 - r][c]
+            grid[height - 1 - r][c] = "!" if cell not in (" ", glyph) else glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{hi:.3g}" if not logy else f"{10 ** hi_t:.3g}"
+    bot = f"{lo:.3g}"
+    axis_w = max(len(top), len(bot), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top
+        elif i == height - 1:
+            label = bot
+        elif i == height // 2:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_w}} |" + "".join(row))
+    lines.append(" " * axis_w + " +" + "-" * grid_w)
+    x_cells = []
+    for x in xs:
+        s = str(x)
+        x_cells.append(s[: col_w - 1].center(col_w) if col_w > 1 else s[:1])
+    lines.append(" " * axis_w + "  " + "".join(x_cells))
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * axis_w + "  " + legend + ("   (log y)" if logy else ""))
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Per-processor memory footprint of the PACK pipeline (Section 6.1).
+
+The storage schemes are named for what they *store*: the simple storage
+scheme keeps ``d + 3`` bookkeeping items per selected element; the compact
+schemes keep only the counter array ``PS_c`` (one word per slice).  The
+paper argues this verbally; this module makes the footprint computable, so
+a runtime on a memory-tight node can pick a scheme by space as well as
+time.
+
+All quantities are in words.  The ranking working arrays are common to
+every scheme: ``2d`` arrays ``PS_i``/``RS_i`` with
+``|PS_i| = (prod_{k>i} L_k) * T_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.schemes import Scheme
+from ..hpf.grid import GridLayout
+
+__all__ = ["MemoryFootprint", "ranking_working_words", "pack_memory_words"]
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Per-processor words used by one PACK, beyond the input blocks."""
+
+    working: int  # the PS_i / RS_i ranking arrays (all schemes)
+    bookkeeping: int  # scheme storage: records (SSS) or PS_c (CSS/CMS)
+    send_buffers: int  # outgoing message words
+    recv_buffers: int  # incoming message words + result block
+
+    @property
+    def total(self) -> int:
+        return self.working + self.bookkeeping + self.send_buffers + self.recv_buffers
+
+
+def ranking_working_words(layout: GridLayout) -> int:
+    """Words in the 2d ranking working arrays (PS_i and RS_i, all dims)."""
+    d = layout.d
+    total = 0
+    for i in range(d):
+        size = layout.dims[i].t
+        for k in range(i + 1, d):
+            size *= layout.dims[k].l
+        total += 2 * size  # PS_i and RS_i
+    return total
+
+
+def pack_memory_words(
+    layout: GridLayout,
+    scheme: Scheme | str,
+    e_i: int,
+    e_a: int,
+    gs_i: int = 0,
+    gr_i: int = 0,
+) -> MemoryFootprint:
+    """Footprint for a processor holding ``e_i`` selected elements that
+    will receive ``e_a`` (use :func:`repro.analysis.model.workload_quantities`
+    for exact per-rank values)."""
+    scheme = Scheme.parse(scheme)
+    d = layout.d
+    w0 = layout.dims[0].w
+    c = layout.local_size // w0
+
+    working = ranking_working_words(layout)
+    if scheme.stores_records:
+        bookkeeping = (d + 3) * e_i
+    else:
+        bookkeeping = c  # PS_c counter array
+
+    if scheme.uses_segments:
+        send = e_i + 2 * gs_i
+        recv = e_a + 2 * gr_i + e_a  # message + result block
+    else:
+        send = 2 * e_i
+        recv = 2 * e_a + e_a
+    return MemoryFootprint(
+        working=working, bookkeeping=bookkeeping,
+        send_buffers=send, recv_buffers=recv,
+    )

@@ -1,0 +1,167 @@
+"""Closed-form Section 6.4 model: predict local-computation time without
+running the simulator.
+
+Given the global mask and the layout, :func:`workload_quantities` computes
+the exact per-processor quantities of the paper's model (``L``, ``C``,
+``E_i``, ``E_a``, ``Gs_i``, ``Gr_i``, second-scan lengths), and
+:func:`predict_pack_local_seconds` combines them with the
+:class:`~repro.machine.spec.LocalCostModel` unit costs into the same
+charges the SPMD programs make — so prediction and simulation agree to the
+floating-point digit (a property the test suite asserts).  This gives the
+experiments a fast path for coarse sweeps (Table I scans hundreds of
+configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costs import StepCosts
+from ..core.ranking import slice_scan_lengths
+from ..core.schemes import Scheme
+from ..hpf.grid import GridLayout
+from ..hpf.vector import VectorLayout
+from ..machine.spec import MachineSpec
+from ..serial.reference import mask_ranks
+
+__all__ = ["WorkloadQuantities", "workload_quantities", "predict_pack_local_seconds"]
+
+
+@dataclass
+class WorkloadQuantities:
+    """Per-rank workload quantities (arrays indexed by rank)."""
+
+    L: int
+    C: int
+    e_i: np.ndarray
+    e_a: np.ndarray
+    gs: np.ndarray
+    gr: np.ndarray
+    scan2_early: np.ndarray
+    scan2_full: np.ndarray
+    size: int
+
+    def max_e(self) -> int:
+        return int(self.e_i.max()) if self.e_i.size else 0
+
+
+def workload_quantities(
+    mask: np.ndarray, layout: GridLayout, result_block: int | None = None
+) -> WorkloadQuantities:
+    """Exact Section 6.4 quantities for every rank, computed host-side."""
+    mask = np.asarray(mask, dtype=bool)
+    P = layout.nprocs
+    size = int(mask.sum())
+    vec = (
+        VectorLayout.block(size, P)
+        if result_block is None
+        else VectorLayout.cyclic(size, P, w=result_block)
+    )
+    ranks_global = mask_ranks(mask)
+    mask_blocks = layout.scatter(mask)
+    rank_blocks = layout.scatter(ranks_global)
+    w0 = layout.dims[0].w
+
+    L = layout.local_size
+    C = L // w0
+    e_i = np.zeros(P, dtype=np.int64)
+    gs = np.zeros(P, dtype=np.int64)
+    gr = np.zeros(P, dtype=np.int64)
+    e_a = np.array([vec.local_size(r) for r in range(P)], dtype=np.int64)
+    scan2_early = np.zeros(P, dtype=np.int64)
+    scan2_full = np.zeros(P, dtype=np.int64)
+
+    for r in range(P):
+        mb = mask_blocks[r]
+        flat = mb.ravel()
+        positions = np.flatnonzero(flat)
+        e_i[r] = positions.size
+        view = mb.reshape(mb.shape[:-1] + (layout.dims[0].t, w0))
+        scan2_early[r] = int(slice_scan_lengths(view, True).sum())
+        scan2_full[r] = int(slice_scan_lengths(view, False).sum())
+        if positions.size:
+            elem_ranks = rank_blocks[r].ravel()[positions]
+            dests = vec.owners(elem_ranks)
+            slice_ids = positions // w0
+            brk = np.ones(positions.size, dtype=bool)
+            if positions.size > 1:
+                brk[1:] = (np.diff(slice_ids) != 0) | (np.diff(dests) != 0)
+            seg_starts = np.flatnonzero(brk)
+            gs[r] = seg_starts.size
+            seg_dest = dests[seg_starts]
+            np.add.at(gr, seg_dest, 1)
+    return WorkloadQuantities(
+        L=L,
+        C=C,
+        e_i=e_i,
+        e_a=e_a,
+        gs=gs,
+        gr=gr,
+        scan2_early=scan2_early,
+        scan2_full=scan2_full,
+        size=size,
+    )
+
+
+def _ranking_vec_elements(layout: GridLayout) -> tuple[int, int]:
+    """(intermediate-step elements, final-collapse elements) — the vector
+    slots touched by the shared ranking substeps, identical on all ranks."""
+    d = layout.d
+    # |PS_i| = (prod_{k>i} L_k) * T_i
+    ps_size = []
+    for i in range(d):
+        s = layout.dims[i].t
+        for k in range(i + 1, d):
+            s *= layout.dims[k].l
+        ps_size.append(s)
+    intermediate = 0
+    for i in range(d):
+        if i < d - 1:
+            intermediate += ps_size[i] + ps_size[i + 1]
+        else:
+            intermediate += ps_size[i]
+    collapse = sum(ps_size[i] for i in range(d - 1)) + ps_size[0]
+    return intermediate, collapse
+
+
+def predict_pack_local_seconds(
+    mask: np.ndarray,
+    layout: GridLayout,
+    scheme: Scheme,
+    spec: MachineSpec,
+    early_exit_scan: bool = True,
+    result_block: int | None = None,
+    per_rank: bool = False,
+):
+    """Predicted PACK local-computation time (the paper's measurement:
+    everything except PRS and the many-to-many exchange).
+
+    Replicates the simulator's charges exactly; returns the max over ranks
+    in seconds (or the full per-rank vector with ``per_rank=True``).
+    """
+    scheme = Scheme.parse(scheme)
+    q = workload_quantities(mask, layout, result_block)
+    costs = StepCosts(local=spec.local, scheme=scheme, d=layout.d)
+    intermediate, collapse = _ranking_vec_elements(layout)
+
+    P = layout.nprocs
+    out = np.zeros(P)
+    for r in range(P):
+        ops = 0.0
+        ops += costs.initial_scan(q.L, int(q.e_i[r]))
+        ops += costs.counter_copy(q.C)
+        ops += costs.intermediate_local(intermediate)
+        ops += costs.final_collapse(collapse)
+        gs_all = int(q.gs[r])
+        ops += costs.final_rank_elements(q.C, int(q.e_i[r]), gs_all)
+        if not scheme.stores_records:
+            scan2 = int(q.scan2_early[r] if early_exit_scan else q.scan2_full[r])
+            ops += costs.second_scan(q.C, scan2)
+        gs = gs_all if scheme.uses_segments else 0
+        gr = int(q.gr[r]) if scheme.uses_segments else 0
+        ops += costs.compose(int(q.e_i[r]), gs)
+        ops += costs.decompose(int(q.e_a[r]), gr)
+        out[r] = spec.work_time(ops)
+    return out if per_rank else float(out.max())

@@ -1,0 +1,278 @@
+"""Software collectives over point-to-point messages.
+
+Every function here is a generator used as ``result = yield from
+collective(ctx, ...)`` inside an SPMD program.  All ranks named in
+``group`` must call the same collective with compatible arguments; the
+caller is responsible for SPMD discipline (that is what makes per-channel
+FIFO matching sufficient — no operation ids are needed).
+
+Group semantics
+---------------
+``group`` is a sorted tuple of machine ranks (default: all ranks).  Ranks
+communicate by *member index* within the group, so the same code serves the
+full machine and any sub-communicator (e.g. one row of a processor grid).
+Disjoint groups may run collectives concurrently without interference
+because messages never cross group boundaries.
+
+Tags
+----
+Each collective family uses its own tag block, with the round number added,
+so that a program may pipeline different collectives back to back on the
+same channels.  Two *concurrent* collectives of the same family on the same
+group are not supported (and never occur in this library).
+
+Cost shapes (P = group size, M = vector words)
+----------------------------------------------
+=============  =====================================
+bcast          tau*ceil(log P) + mu*M*ceil(log P)   (binomial tree)
+reduce         same as bcast, reversed
+allreduce      2x reduce/bcast (or recursive doubling when P is 2^k)
+gather         tau*(P-1) + mu*M*(P-1)  at the root  (flat; paper model)
+allgather      ring: tau*(P-1) + mu*M*(P-1)
+alltoall       linear permutation: tau*(P-1) + mu*(total outgoing)
+=============  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from ..machine.context import Context, payload_words
+
+__all__ = ["bcast", "reduce", "allreduce", "gather", "allgather", "alltoall"]
+
+_TAG_BCAST = 1000
+_TAG_REDUCE = 1100
+_TAG_GATHER = 1200
+_TAG_ALLGATHER = 1300
+_TAG_ALLTOALL = 1400
+_TAG_ALLREDUCE = 1500
+
+
+def _member_index(ctx: Context, group: Sequence[int]) -> int:
+    try:
+        return list(group).index(ctx.rank)
+    except ValueError:
+        raise ValueError(f"rank {ctx.rank} not in collective group {tuple(group)}") from None
+
+
+def _resolve_group(ctx: Context, group: Sequence[int] | None) -> tuple[int, ...]:
+    if group is None:
+        return tuple(range(ctx.size))
+    g = tuple(group)
+    if list(g) != sorted(set(g)):
+        raise ValueError(f"group must be sorted and duplicate-free: {g}")
+    return g
+
+
+def _add(a: Any, b: Any):
+    """Default reduction operator (numpy-aware elementwise sum)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return a + b
+    return a + b
+
+
+def bcast(
+    ctx: Context,
+    value: Any,
+    root: int = 0,
+    group: Sequence[int] | None = None,
+    words: int | None = None,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree broadcast of ``value`` from group member index ``root``.
+
+    ``root`` is a *member index* within the group, not a machine rank.
+    Returns the broadcast value on every member.
+    """
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    me = _member_index(ctx, g)
+    # Rotate so the root is member 0 in the tree.
+    v = (me - root) % P
+    have = v == 0
+    payload = value if have else None
+    w = words
+    # Rounds with doubling reach: member v receives from v - 2^k at round k.
+    k = 0
+    while (1 << k) < P:
+        k += 1
+    nrounds = k
+    for r in range(nrounds):
+        dist = 1 << r
+        if have:
+            partner_v = v + dist
+            if v < dist and partner_v < P:
+                dest = g[(partner_v + root) % P]
+                if w is None:
+                    w = payload_words(payload)
+                ctx.send(dest, payload, words=w, tag=_TAG_BCAST + r)
+        elif dist <= v < 2 * dist:
+            src = g[((v - dist) + root) % P]
+            msg = yield ctx.recv(source=src, tag=_TAG_BCAST + r)
+            payload = msg.payload
+            w = msg.words
+            have = True
+    return payload
+
+
+def reduce(
+    ctx: Context,
+    value: Any,
+    root: int = 0,
+    op: Callable[[Any, Any], Any] = _add,
+    group: Sequence[int] | None = None,
+    words: int | None = None,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree reduction to group member index ``root``.
+
+    Returns the reduced value at the root and ``None`` elsewhere.  ``op``
+    must be associative; evaluation order is deterministic.
+    """
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    me = _member_index(ctx, g)
+    v = (me - root) % P
+    acc = value
+    w = words if words is not None else payload_words(value)
+    nrounds = 0
+    while (1 << nrounds) < P:
+        nrounds += 1
+    # Fold in reverse order of broadcast: at round r (from high to low),
+    # members with v in [dist, 2*dist) send their accumulator to v - dist.
+    for r in range(nrounds - 1, -1, -1):
+        dist = 1 << r
+        if dist <= v < 2 * dist:
+            dest = g[((v - dist) + root) % P]
+            ctx.send(dest, acc, words=w, tag=_TAG_REDUCE + r)
+            return None
+        if v < dist and v + dist < P:
+            src = g[((v + dist) + root) % P]
+            msg = yield ctx.recv(source=src, tag=_TAG_REDUCE + r)
+            ctx.work(w)  # combine cost: one op per word
+            acc = op(acc, msg.payload)
+    return acc if v == 0 else None
+
+
+def allreduce(
+    ctx: Context,
+    value: Any,
+    op: Callable[[Any, Any], Any] = _add,
+    group: Sequence[int] | None = None,
+    words: int | None = None,
+) -> Generator[Any, Any, Any]:
+    """All-reduce: every member gets the reduction.
+
+    Uses recursive doubling when the group size is a power of two
+    (``tau log P + mu M log P``, one shot); otherwise reduce + bcast.
+    """
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    me = _member_index(ctx, g)
+    w = words if words is not None else payload_words(value)
+    if P & (P - 1) == 0:
+        acc = value
+        r = 0
+        dist = 1
+        while dist < P:
+            partner = g[me ^ dist]
+            ctx.send(partner, acc, words=w, tag=_TAG_ALLREDUCE + r)
+            msg = yield ctx.recv(source=partner, tag=_TAG_ALLREDUCE + r)
+            ctx.work(w)
+            acc = op(acc, msg.payload)
+            dist <<= 1
+            r += 1
+        return acc
+    acc = yield from reduce(ctx, value, root=0, op=op, group=g, words=w)
+    out = yield from bcast(ctx, acc, root=0, group=g, words=w)
+    return out
+
+
+def gather(
+    ctx: Context,
+    value: Any,
+    root: int = 0,
+    group: Sequence[int] | None = None,
+    words: int | None = None,
+) -> Generator[Any, Any, list | None]:
+    """Flat gather: every member sends directly to the root.
+
+    Under the two-level model a flat gather costs the root
+    ``(P-1) * tau + mu * total`` which is also what a tree costs in
+    received volume; flat keeps arrival order deterministic and simple.
+    Returns the list of member values (in member order) at the root,
+    ``None`` elsewhere.
+    """
+    g = _resolve_group(ctx, group)
+    me = _member_index(ctx, g)
+    w = words if words is not None else payload_words(value)
+    if me != root:
+        ctx.send(g[root], value, words=w, tag=_TAG_GATHER)
+        return None
+    out: list[Any] = [None] * len(g)
+    out[root] = value
+    for i, r in enumerate(g):
+        if i == root:
+            continue
+        msg = yield ctx.recv(source=r, tag=_TAG_GATHER)
+        out[i] = msg.payload
+    return out
+
+
+def allgather(
+    ctx: Context,
+    value: Any,
+    group: Sequence[int] | None = None,
+    words: int | None = None,
+) -> Generator[Any, Any, list]:
+    """Ring all-gather; returns the list of member values in member order.
+
+    ``(P-1)`` rounds, each forwarding one member's block: total cost
+    ``(P-1)*tau + mu*(P-1)*M`` per member — the bandwidth-optimal shape.
+    """
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    me = _member_index(ctx, g)
+    w = words if words is not None else payload_words(value)
+    out: list[Any] = [None] * P
+    out[me] = value
+    block = value
+    block_owner = me
+    for r in range(P - 1):
+        right = g[(me + 1) % P]
+        left = g[(me - 1) % P]
+        ctx.send(right, (block_owner, block), words=w, tag=_TAG_ALLGATHER + r)
+        msg = yield ctx.recv(source=left, tag=_TAG_ALLGATHER + r)
+        block_owner, block = msg.payload
+        out[block_owner] = block
+    return out
+
+
+def alltoall(
+    ctx: Context,
+    blocks: Sequence[Any],
+    group: Sequence[int] | None = None,
+    words: Sequence[int] | None = None,
+) -> Generator[Any, Any, list]:
+    """Personalized all-to-all with the linear permutation schedule.
+
+    ``blocks[i]`` goes to group member ``i``; returns the list of blocks
+    received, indexed by source member.  The self block is delivered
+    locally for free (paper convention).
+    """
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    me = _member_index(ctx, g)
+    if len(blocks) != P:
+        raise ValueError(f"need {P} blocks, got {len(blocks)}")
+    out: list[Any] = [None] * P
+    out[me] = blocks[me]
+    for k in range(1, P):
+        dv = (me + k) % P
+        sv = (me - k) % P
+        w = words[dv] if words is not None else payload_words(blocks[dv])
+        ctx.send(g[dv], blocks[dv], words=w, tag=_TAG_ALLTOALL + k)
+        msg = yield ctx.recv(source=g[sv], tag=_TAG_ALLTOALL + k)
+        out[sv] = msg.payload
+    return out

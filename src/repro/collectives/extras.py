@@ -1,0 +1,223 @@
+"""Additional collectives: scatter, reduce-scatter, scan, all-to-all-v.
+
+These complete the communication library to the standard MPI surface the
+HPF-era runtimes assumed.  Like :mod:`repro.collectives.basics`, every
+function is a generator used with ``yield from`` and accepts a ``group``
+sub-communicator; costs emerge from point-to-point messages.
+
+Cost shapes (P = group size, M = per-member words):
+
+===============  ====================================================
+scatter          binomial tree: tau log P + mu * (remaining payload)
+reduce_scatter   recursive halving (2^k members): tau log P + mu M
+scan / exscan    recursive doubling: (tau + mu M) log P
+alltoallv        linear permutation: (P-1) tau + mu * total outgoing
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from ..machine.context import Context, payload_words
+from .basics import _member_index, _resolve_group, _add
+
+__all__ = ["scatter", "reduce_scatter", "scan", "exscan", "alltoallv"]
+
+_TAG_SCATTER = 1600
+_TAG_RSCAT = 1700
+_TAG_SCAN = 1800
+_TAG_ATAV = 1900
+
+
+def scatter(
+    ctx: Context,
+    blocks: Sequence[Any] | None,
+    root: int = 0,
+    group: Sequence[int] | None = None,
+    words: Sequence[int] | None = None,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree scatter: member ``i`` receives ``blocks[i]``.
+
+    ``blocks`` is required at the root (member index ``root``) and ignored
+    elsewhere.  The tree forwards each subtree's blocks together, so the
+    root sends ``O(total)`` words in ``log P`` messages rather than
+    ``P-1`` separate start-ups.
+    """
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    me = _member_index(ctx, g)
+    v = (me - root) % P
+    if v == 0:
+        if blocks is None or len(blocks) != P:
+            raise ValueError(f"root needs {P} blocks, got {blocks and len(blocks)}")
+        # bundle[j] = block for virtual member j.
+        bundle = {j: blocks[(j + root) % P] for j in range(P)}
+    else:
+        bundle = None
+
+    nrounds = 0
+    while (1 << nrounds) < P:
+        nrounds += 1
+    # Reverse binomial broadcast: at round r (high to low), the holder of
+    # a bundle covering [v, v + 2^(r+1)) sends the upper half onward.
+    for r in range(nrounds - 1, -1, -1):
+        dist = 1 << r
+        if bundle is not None and v % (2 * dist) == 0 and v + dist < P:
+            upper = {j: b for j, b in bundle.items() if j >= v + dist}
+            bundle = {j: b for j, b in bundle.items() if j < v + dist}
+            w = (
+                sum(payload_words(b) for b in upper.values())
+                if words is None
+                else sum(words[(j + root) % P] for j in upper)
+            )
+            ctx.send(g[(v + dist + root) % P], upper, words=w, tag=_TAG_SCATTER + r)
+        elif bundle is None and dist <= v and v % dist == 0 and v % (2 * dist) == dist:
+            src = g[((v - dist) + root) % P]
+            msg = yield ctx.recv(source=src, tag=_TAG_SCATTER + r)
+            bundle = msg.payload
+    assert bundle is not None and v in bundle
+    return bundle[v]
+
+
+def reduce_scatter(
+    ctx: Context,
+    vec: np.ndarray,
+    group: Sequence[int] | None = None,
+    op: Callable = _add,
+) -> Generator[Any, Any, np.ndarray]:
+    """Recursive-halving reduce-scatter for power-of-two groups.
+
+    Each member contributes a length-M vector; member ``i`` ends with the
+    element-wise reduction of chunk ``i`` (M/P slots, padded chunks for
+    non-dividing M).  Cost ``tau log P + mu M (1 - 1/P)``.
+    """
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    if P & (P - 1):
+        raise ValueError(f"reduce_scatter needs a power-of-two group, got {P}")
+    me = _member_index(ctx, g)
+    v = np.asarray(vec)
+    M = v.shape[0]
+    bounds = np.linspace(0, M, P + 1).astype(int)
+
+    lo, hi = 0, P
+    work = v
+    off = 0  # global element offset of `work`'s first element
+    r = 0
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if me < mid:
+            # Keep lower half, send upper half to partner in upper group.
+            partner = g[me + (mid - lo)]
+            cut = bounds[mid] - off
+            ctx.send(partner, work[cut:], words=int(work[cut:].size), tag=_TAG_RSCAT + r)
+            msg = yield ctx.recv(source=partner, tag=_TAG_RSCAT + r)
+            work = op(work[:cut], msg.payload)
+            ctx.work(int(np.asarray(work).size))
+            hi = mid
+        else:
+            partner = g[me - (mid - lo)]
+            cut = bounds[mid] - off
+            ctx.send(partner, work[:cut], words=int(work[:cut].size), tag=_TAG_RSCAT + r)
+            msg = yield ctx.recv(source=partner, tag=_TAG_RSCAT + r)
+            work = op(work[cut:], msg.payload)
+            ctx.work(int(np.asarray(work).size))
+            lo = mid
+            off = int(bounds[mid])
+        r += 1
+    return np.asarray(work)
+
+
+def scan(
+    ctx: Context,
+    value: Any,
+    op: Callable = _add,
+    group: Sequence[int] | None = None,
+    words: int | None = None,
+) -> Generator[Any, Any, Any]:
+    """Inclusive scan over group members (recursive doubling, any P)."""
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    me = _member_index(ctx, g)
+    w = words if words is not None else payload_words(value)
+    acc = value
+    dist = 1
+    r = 0
+    while dist < P:
+        if me + dist < P:
+            ctx.send(g[me + dist], acc, words=w, tag=_TAG_SCAN + r)
+        if me - dist >= 0:
+            msg = yield ctx.recv(source=g[me - dist], tag=_TAG_SCAN + r)
+            ctx.work(w)
+            acc = op(msg.payload, acc)
+        dist <<= 1
+        r += 1
+    return acc
+
+
+def exscan(
+    ctx: Context,
+    value: Any,
+    op: Callable = _add,
+    group: Sequence[int] | None = None,
+    words: int | None = None,
+    identity: Any = None,
+) -> Generator[Any, Any, Any]:
+    """Exclusive scan: member 0 gets ``identity`` (or None)."""
+    g = _resolve_group(ctx, group)
+    me = _member_index(ctx, g)
+    # Shift the inclusive scan: send my inclusive value right by one.
+    inclusive = yield from scan(ctx, value, op=op, group=g, words=words)
+    w = words if words is not None else payload_words(value)
+    if me + 1 < len(g):
+        ctx.send(g[me + 1], inclusive, words=w, tag=_TAG_SCAN + 99)
+    if me == 0:
+        return identity
+    msg = yield ctx.recv(source=g[me - 1], tag=_TAG_SCAN + 99)
+    return msg.payload
+
+
+def alltoallv(
+    ctx: Context,
+    blocks: Sequence[Any],
+    group: Sequence[int] | None = None,
+    words: Sequence[int] | None = None,
+) -> Generator[Any, Any, list]:
+    """Variable-size personalized all-to-all (linear permutation).
+
+    Unlike :func:`repro.collectives.basics.alltoall`, block sizes may
+    differ per destination; ``None`` blocks are skipped entirely (no
+    message, no start-up) and come back as ``None``.
+    """
+    g = _resolve_group(ctx, group)
+    P = len(g)
+    me = _member_index(ctx, g)
+    if len(blocks) != P:
+        raise ValueError(f"need {P} blocks, got {len(blocks)}")
+    out: list[Any] = [None] * P
+    out[me] = blocks[me]
+    # Announce sizes (single word per partner) so empties can be skipped.
+    have = {}
+    for k in range(1, P):
+        dv = (me + k) % P
+        sv = (me - k) % P
+        w = 0 if blocks[dv] is None else (
+            words[dv] if words is not None else payload_words(blocks[dv])
+        )
+        ctx.send(g[dv], w if blocks[dv] is not None else 0, words=1, tag=_TAG_ATAV + k)
+        msg = yield ctx.recv(source=g[sv], tag=_TAG_ATAV + k)
+        have[sv] = msg.payload
+    for k in range(1, P):
+        dv = (me + k) % P
+        if blocks[dv] is not None:
+            w = words[dv] if words is not None else payload_words(blocks[dv])
+            ctx.send(g[dv], blocks[dv], words=w, tag=_TAG_ATAV + 200 + k)
+    for k in range(1, P):
+        sv = (me - k) % P
+        if have[sv]:
+            msg = yield ctx.recv(source=g[sv], tag=_TAG_ATAV + 200 + k)
+            out[sv] = msg.payload
+    return out

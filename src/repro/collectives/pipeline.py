@@ -1,0 +1,213 @@
+"""Pipelined binary-tree prefix-reduction-sum — the O(tau log P + mu M)
+algorithm of the paper's reference [6].
+
+The transpose-based split algorithm (:func:`repro.collectives.prefix.prs_split`)
+costs ``O(tau P + mu M)``; the bound the paper quotes for the split
+algorithm, ``O(tau log P + mu M)``, is achieved by *pipelining*: split the
+vector into ``B`` chunks of ``g`` words and stream them through a binary
+scan tree, so the tree's depth is paid once (``2 log P`` stages) while
+every rank handles only O(1) messages per chunk.  Elapsed time is the
+pipeline bound
+
+    (2 log P + B) * c * (tau + mu g)   ~   O(tau log P + mu M)
+
+at the optimal chunk size ``g* ~ sqrt(M tau / (mu log P))``.
+
+Tree layout
+-----------
+The P-1 internal nodes of the segment tree over ``[0, P)`` are mapped to
+ranks by the binary-indexed-tree rule: rank ``m > 0`` hosts the node whose
+segment is ``[m - lb, m + lb)`` with ``lb = lowbit(m)``; its children are
+the nodes/leaves at ``m -/+ lb/2`` (or the leaves ``m-1``/``m`` when
+``lb == 1``), and its parent is whichever of ``m -/+ lb`` has lowest set
+bit ``2*lb``.  Every rank therefore plays at most two roles — its own leaf
+plus one internal node — so per chunk it sends at most two up-sweep and
+two down-sweep messages: the O(1)-per-stage property the pipeline needs.
+
+Per chunk: the up-sweep accumulates segment sums toward the root
+(``node(P/2)``); the down-sweep pushes ``(prefix-before-segment, total)``
+pairs back down, each node giving its left child its own prefix and its
+right child the prefix plus the left subtree's sum.  Leaves end with their
+exclusive prefix and the global total — exactly the PRS contract.
+
+Requires a power-of-two group size (the tree rule above depends on it);
+:func:`repro.collectives.prefix.choose_prs_algorithm` only auto-selects it
+when that holds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from ..machine.context import Context
+
+__all__ = ["prs_pipeline", "optimal_chunk_words"]
+
+_TAG_UP = 2300
+_TAG_DOWN = 2400
+
+
+def _lowbit(m: int) -> int:
+    return m & (-m)
+
+
+def optimal_chunk_words(spec, P: int, M: int) -> int:
+    """Pipeline chunk size minimizing ``(2 log P + M/g) * (tau + mu g)``."""
+    if M <= 1:
+        return 1
+    logp = max(1, math.ceil(math.log2(max(P, 2))))
+    if spec.mu <= 0:
+        return M
+    g = math.sqrt(M * spec.tau / (spec.mu * 2 * logp)) if spec.tau > 0 else 1.0
+    return int(min(M, max(1, round(g))))
+
+
+def _parent(m: int, P: int) -> int | None:
+    """Parent node of internal node ``m``, or None for the root.
+
+    The root is the node covering ``[0, P)``, hosted at ``P // 2``.
+    Otherwise exactly one of ``m - lb`` / ``m + lb`` has lowest set bit
+    ``2 * lb`` and lies inside the machine — that is the parent.
+    """
+    lb = _lowbit(m)
+    if m == P // 2 and lb == P // 2:
+        return None
+    for cand in (m - lb, m + lb):
+        if 0 < cand < P and _lowbit(cand) == 2 * lb:
+            return cand
+    raise AssertionError(f"no parent found for node {m} in P={P}")
+
+
+def prs_pipeline(
+    ctx: Context,
+    vec: Any,
+    group: Sequence[int] | None = None,
+    chunk_words: int | None = None,
+) -> Generator[Any, Any, "PRSResult"]:
+    """Pipelined tree PRS over a power-of-two group.
+
+    Returns the same :class:`~repro.collectives.prefix.PRSResult` contract
+    as the other algorithms: this member's exclusive prefix plus the
+    global reduction vector.
+    """
+    from .prefix import PRSResult  # local import to avoid a cycle
+
+    g = tuple(group) if group is not None else tuple(range(ctx.size))
+    P = len(g)
+    if P & (P - 1):
+        raise ValueError(f"pipelined PRS needs a power-of-two group, got {P}")
+    me = g.index(ctx.rank) if ctx.rank in g else -1
+    if me < 0:
+        raise ValueError(f"rank {ctx.rank} not in PRS group {g}")
+
+    v = np.ascontiguousarray(vec).ravel().astype(np.int64, copy=False)
+    M = v.size
+    if P == 1:
+        return PRSResult(
+            prefix=np.zeros(M, dtype=np.int64), reduction=v.copy(),
+            algorithm="pipeline",
+        )
+    if M == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return PRSResult(prefix=empty, reduction=empty.copy(), algorithm="pipeline")
+
+    cw = chunk_words or optimal_chunk_words(ctx.spec, P, M)
+    bounds = list(range(0, M, cw)) + [M]
+    nchunks = len(bounds) - 1
+
+    # Static role of this member: the internal node it hosts (if any).
+    node = me if me > 0 else None
+    lb = _lowbit(me) if node else 0
+    parent = _parent(me, P) if node else None
+    root = P // 2
+
+    prefix = np.empty(M, dtype=np.int64)
+    reduction = np.empty(M, dtype=np.int64)
+
+    # The two sweeps run as separate streaming loops so chunks pipeline:
+    # a leaf pushes *all* its chunks up without waiting for any result,
+    # and every tree level works on chunk c while the level above handles
+    # chunk c-1.  (A single fused loop would stall each rank on its own
+    # chunk's full tree round trip, serializing the pipeline.)
+
+    # ------------------------------------------------------------ up-sweep
+    # The leaf stream runs one chunk AHEAD of the node duties: a rank's
+    # node role consumes its sibling's output, and the sibling consumes
+    # this rank's leaf stream — processing both roles for the same chunk
+    # in one iteration would make every chunk pay that cycle's full round
+    # trip.  With the one-chunk stagger each rank's iteration period is
+    # just its own send cost, and the pipeline streams.
+    left_sums: list[np.ndarray] = []
+    seg_sums: list[np.ndarray] = []
+    for c in range(nchunks + 1):
+        if c < nchunks and me % 2 == 0:
+            lo, hi = bounds[c], bounds[c + 1]
+            # Leaf duty: an even member sends its chunk to node me+1; an
+            # odd member's leaf is its own node's right leaf (local).
+            ctx.send(g[me + 1], v[lo:hi], words=hi - lo, tag=_TAG_UP + 0)
+        if c == 0 or not node:
+            continue
+        cc = c - 1  # the lagged chunk the node role works on
+        lo, hi = bounds[cc], bounds[cc + 1]
+        n = hi - lo
+        # Internal-node duty: gather children bottom-up, forward to parent.
+        if lb == 1:
+            msg = yield ctx.recv(source=g[me - 1], tag=_TAG_UP + 0)
+            left_sum = np.asarray(msg.payload)
+            ctx.work(n)
+            seg_sum = left_sum + v[lo:hi]
+        else:
+            half = lb // 2
+            msg_l = yield ctx.recv(source=g[me - half], tag=_TAG_UP + 1)
+            msg_r = yield ctx.recv(source=g[me + half], tag=_TAG_UP + 1)
+            left_sum = np.asarray(msg_l.payload)
+            ctx.work(n)
+            seg_sum = left_sum + np.asarray(msg_r.payload)
+        left_sums.append(left_sum)
+        seg_sums.append(seg_sum)
+        if parent is not None:
+            ctx.send(g[parent], seg_sum, words=n, tag=_TAG_UP + 1)
+
+    # ---------------------------------------------------------- down-sweep
+    # Node duties stream first; the leaf's own result receives feed
+    # nothing downstream, so they drain in a separate pass afterwards —
+    # otherwise each node iteration would stall on the three-message
+    # leaf-turnaround round trip, halving the pipeline rate.
+    if node:
+        for c in range(nchunks):
+            lo, hi = bounds[c], bounds[c + 1]
+            n = hi - lo
+            left_sum = left_sums[c]
+            if parent is None:  # root
+                pre = np.zeros(n, dtype=np.int64)
+                total = seg_sums[c]
+            else:
+                msg = yield ctx.recv(source=g[parent], tag=_TAG_DOWN + 1)
+                pre, total = msg.payload
+            if lb == 1:
+                # Children are leaves me-1 (left) and me (right, local).
+                ctx.send(g[me - 1], (pre, total), words=2 * n, tag=_TAG_DOWN + 0)
+                ctx.work(n)
+                prefix[lo:hi] = pre + left_sum
+                reduction[lo:hi] = total
+            else:
+                half = lb // 2
+                ctx.send(g[me - half], (pre, total), words=2 * n, tag=_TAG_DOWN + 1)
+                ctx.work(n)
+                right_pre = pre + left_sum
+                ctx.send(
+                    g[me + half], (right_pre, total), words=2 * n, tag=_TAG_DOWN + 1
+                )
+    if me % 2 == 0:
+        # Leaf receives its prefixes from node me+1.
+        for c in range(nchunks):
+            lo, hi = bounds[c], bounds[c + 1]
+            msg = yield ctx.recv(source=g[me + 1], tag=_TAG_DOWN + 0)
+            pre, total = msg.payload
+            prefix[lo:hi] = pre
+            reduction[lo:hi] = total
+
+    return PRSResult(prefix=prefix, reduction=reduction, algorithm="pipeline")

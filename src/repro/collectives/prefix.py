@@ -1,0 +1,335 @@
+"""Vector prefix-reduction-sum (PRS) — Section 5.1 of the paper.
+
+Every group member ``i`` holds a local vector ``V_i[0:M-1]``.  PRS computes
+*simultaneously*:
+
+* the element-wise **exclusive prefix sum** over members:
+  ``F_i[j] = sum_{k<i} V_k[j]`` (member 0 gets all zeros), and
+* the element-wise **reduction sum**, delivered to every member:
+  ``R[j] = sum_k V_k[j]``.
+
+Combining the two saves start-up cost because both traverse the same data.
+Three algorithms are provided:
+
+``direct``
+    simultaneous scan + reduction by recursive doubling, exchanging the
+    *full* vector each round: ``ceil(log P)`` rounds for the scan plus a
+    broadcast of the total from the last member.  Cost
+    ``O(tau log P + mu M log P)`` — the paper quotes ``O(tau + mu M log
+    P)``; the extra ``log P`` start-ups are negligible exactly where the
+    direct algorithm is used (small P).
+
+``split``
+    the vector is *split* into P chunks which are transposed across the
+    group (all-to-all), scanned locally per column, and transposed back;
+    the totals ride the return transpose and a ring all-gather completes
+    the reduction.  Per-member volume is ``O(M)`` independent of P:
+    cost ``O(tau P + mu M)``.
+
+    Deviation note: the paper's split algorithm [1, 6] achieves
+    ``O(tau log P + mu M)`` on a hypercube by pipelining; under the
+    two-level (virtual crossbar) model of Section 2 the transpose variant
+    implemented here has the same ``mu M`` data term and differs only in
+    start-ups (``P`` vs ``log P``).  Every experimental claim the paper
+    makes about split vs direct (split wins as P and M grow) is preserved,
+    as ``mu M log P`` dominates ``tau P`` for the vector sizes involved.
+
+``ctrl``
+    the CM-5 control network performs scans and reductions in hardware; per
+    footnote 2 of the paper each primitive is ``O(M)`` with no per-node
+    start-up.  Modeled as two combining collectives (one scan, one
+    reduction) of ``M`` words each.
+
+Selection heuristic (Section 7): on the CM-5, one-dimensional arrays used
+the global (control network) functions; for two-dimensional arrays the
+direct algorithm was used when ``P <= 4`` or ``M < P``, otherwise split.
+:func:`choose_prs_algorithm` encodes exactly that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from ..machine.context import Context
+from ..machine.ops import CollectiveOp
+from .basics import allgather, bcast
+
+__all__ = [
+    "PRSResult",
+    "PRS_ALGORITHMS",
+    "prs_direct",
+    "prs_split",
+    "prs_ctrl",
+    "choose_prs_algorithm",
+    "estimate_prs_seconds",
+    "prefix_reduction_sum",
+]
+
+PRS_ALGORITHMS = ("direct", "split", "pipeline", "ctrl", "auto")
+
+_TAG_DIRECT = 2000
+_TAG_SPLIT_FWD = 2100
+_TAG_SPLIT_BWD = 2200
+
+
+@dataclass
+class PRSResult:
+    """Outcome of one prefix-reduction-sum.
+
+    Attributes
+    ----------
+    prefix:
+        this member's exclusive prefix vector ``F_i`` (int64, length M).
+    reduction:
+        the global reduction vector ``R`` (identical on all members).
+    algorithm:
+        which algorithm actually ran (after ``auto`` resolution).
+    """
+
+    prefix: np.ndarray
+    reduction: np.ndarray
+    algorithm: str
+
+
+def _as_vector(vec: Any) -> np.ndarray:
+    v = np.ascontiguousarray(vec)
+    if v.ndim != 1:
+        v = v.ravel()
+    return v.astype(np.int64, copy=False)
+
+
+def _member_index(ctx: Context, group: Sequence[int]) -> int:
+    g = list(group)
+    try:
+        return g.index(ctx.rank)
+    except ValueError:
+        raise ValueError(f"rank {ctx.rank} not in PRS group {tuple(group)}") from None
+
+
+def prs_direct(
+    ctx: Context, vec: Any, group: Sequence[int] | None = None
+) -> Generator[Any, Any, PRSResult]:
+    """Direct algorithm: recursive-doubling scan over full vectors.
+
+    Hillis–Steele inclusive scan across members (works for any group
+    size), then exclusive prefix by subtracting the local vector, then a
+    binomial broadcast of the total from the last member.
+    """
+    g = tuple(group) if group is not None else tuple(range(ctx.size))
+    P = len(g)
+    me = _member_index(ctx, g)
+    v = _as_vector(vec)
+    M = v.size
+    inclusive = v.copy()
+    dist = 1
+    r = 0
+    while dist < P:
+        if me + dist < P:
+            ctx.send(g[me + dist], inclusive.copy(), words=M, tag=_TAG_DIRECT + r)
+        if me - dist >= 0:
+            msg = yield ctx.recv(source=g[me - dist], tag=_TAG_DIRECT + r)
+            ctx.work(M)  # element-wise add
+            inclusive = inclusive + msg.payload
+        dist <<= 1
+        r += 1
+    prefix = inclusive - v
+    ctx.work(M)
+    # Reduction: the last member holds the total; broadcast it.
+    total = inclusive if me == P - 1 else None
+    reduction = yield from bcast(ctx, total, root=P - 1, group=g, words=M)
+    return PRSResult(prefix=prefix, reduction=np.asarray(reduction), algorithm="direct")
+
+
+def prs_split(
+    ctx: Context, vec: Any, group: Sequence[int] | None = None
+) -> Generator[Any, Any, PRSResult]:
+    """Split algorithm: transpose, scan columns locally, transpose back.
+
+    Phase 1: member ``i`` splits ``V_i`` into P chunks and sends chunk
+    ``p`` to member ``p`` (linear permutation).  Phase 2: member ``p``
+    stacks the received rows into a ``P x chunk`` matrix and computes the
+    per-column exclusive prefix for *every* source member, plus the column
+    totals.  Phase 3: the prefixes are transposed back and the totals
+    all-gathered.  Per-member data volume is ``O(M)``.
+    """
+    g = tuple(group) if group is not None else tuple(range(ctx.size))
+    P = len(g)
+    me = _member_index(ctx, g)
+    v = _as_vector(vec)
+    M = v.size
+
+    if P == 1:
+        return PRSResult(
+            prefix=np.zeros(M, dtype=np.int64), reduction=v.copy(), algorithm="split"
+        )
+
+    # Chunk boundaries (chunk p may be empty when M < P).
+    bounds = np.linspace(0, M, P + 1).astype(np.int64)
+    my_rows: list[np.ndarray | None] = [None] * P
+    my_rows[me] = v[bounds[me] : bounds[me + 1]]
+    # Phase 1: forward transpose (linear permutation).
+    for k in range(1, P):
+        dv = (me + k) % P
+        sv = (me - k) % P
+        chunk = v[bounds[dv] : bounds[dv + 1]]
+        ctx.send(g[dv], chunk, words=int(chunk.size), tag=_TAG_SPLIT_FWD + k)
+        msg = yield ctx.recv(source=g[sv], tag=_TAG_SPLIT_FWD + k)
+        my_rows[sv] = msg.payload
+
+    # Phase 2: local column scan over all P source rows of my chunk.
+    chunk_len = int(bounds[me + 1] - bounds[me])
+    matrix = np.vstack([np.asarray(r).reshape(1, chunk_len) for r in my_rows])
+    ctx.work(P * chunk_len)  # one pass to scan
+    csum = np.cumsum(matrix, axis=0)
+    prefixes = np.vstack([np.zeros((1, chunk_len), dtype=np.int64), csum[:-1]])
+    totals = csum[-1] if P > 0 else np.zeros(chunk_len, dtype=np.int64)
+
+    # Phase 3: backward transpose of per-source prefixes.
+    prefix = np.empty(M, dtype=np.int64)
+    prefix[bounds[me] : bounds[me + 1]] = prefixes[me]
+    for k in range(1, P):
+        dv = (me + k) % P
+        sv = (me - k) % P
+        ctx.send(g[dv], prefixes[dv], words=chunk_len, tag=_TAG_SPLIT_BWD + k)
+        msg = yield ctx.recv(source=g[sv], tag=_TAG_SPLIT_BWD + k)
+        prefix[bounds[sv] : bounds[sv + 1]] = msg.payload
+
+    # All-gather the chunk totals to assemble the reduction vector.
+    gathered = yield from allgather(ctx, totals, group=g, words=max(chunk_len, 1))
+    reduction = np.concatenate([np.asarray(t).ravel() for t in gathered])
+    return PRSResult(prefix=prefix, reduction=reduction, algorithm="split")
+
+
+def prs_ctrl(
+    ctx: Context, vec: Any, group: Sequence[int] | None = None, key: int = 0
+) -> Generator[Any, Any, PRSResult]:
+    """Control-network PRS: hardware combining scan + reduction, O(M) each.
+
+    Requires ``ctx.spec.has_control_network``.  The engine synchronizes the
+    group, computes both results in one combining step, and charges two
+    control-network operations of M words (one scan, one reduction),
+    matching footnote 2 of the paper.
+    """
+    g = tuple(group) if group is not None else tuple(range(ctx.size))
+    v = _as_vector(vec)
+    M = v.size
+    spec = ctx.spec
+    if not spec.has_control_network:
+        raise ValueError(f"machine {spec.name!r} has no control network; use direct/split")
+
+    def _combine(payloads: dict) -> tuple[dict, int]:
+        order = sorted(payloads)
+        stack = np.vstack([payloads[r].reshape(1, -1) for r in order])
+        csum = np.cumsum(stack, axis=0)
+        reduction = csum[-1]
+        results = {}
+        for i, r in enumerate(order):
+            pre = csum[i - 1] if i > 0 else np.zeros_like(reduction)
+            results[r] = (pre, reduction)
+        return results, 2 * M  # scan + reduce, M words each
+
+    pre, red = yield CollectiveOp(
+        group=g, kind="prs", payload=v, key=key, combine=_combine
+    )
+    return PRSResult(prefix=np.asarray(pre), reduction=np.asarray(red), algorithm="ctrl")
+
+
+def estimate_prs_seconds(spec, algorithm: str, P: int, M: int) -> float:
+    """Closed-form cost estimate of one PRS, used by the ``auto`` policy.
+
+    direct: ~2 ceil(log P) full-vector exchanges (scan + total broadcast);
+    split:  two transposes plus a ring all-gather of the totals;
+    ctrl:   two hardware combining operations of M words.
+    """
+    import math
+
+    logp = max(1, math.ceil(math.log2(max(P, 2))))
+    if algorithm == "direct":
+        return 2 * logp * spec.message_time(M)
+    if algorithm == "split":
+        return 2 * ((P - 1) * spec.tau + spec.mu * M) + (
+            (P - 1) * spec.tau + spec.mu * M
+        )
+    if algorithm == "pipeline":
+        if P & (P - 1) or P < 2:
+            return float("inf")
+        # (pipeline depth + chunks) * per-stage cost; a rank's worst case
+        # per chunk is 4 messages carrying ~6 chunk-lengths of data.
+        best = float("inf")
+        g = 1
+        while g <= max(M, 1):
+            chunks = max(1, -(-M // g))
+            stage = 4 * spec.tau + 6 * spec.mu * min(g, max(M, 1))
+            best = min(best, (2 * logp + chunks) * stage)
+            g *= 2
+        return best
+    if algorithm == "ctrl":
+        if not spec.has_control_network:
+            return float("inf")
+        return spec.ctrl_time(2 * M)
+    raise ValueError(f"unknown PRS algorithm {algorithm!r}")
+
+
+def choose_prs_algorithm(
+    ctx: Context, group_size: int, vector_len: int, requested: str = "auto"
+) -> str:
+    """Resolve ``auto`` to a concrete PRS algorithm.
+
+    Software selection follows the paper's Section 7 policy: the direct
+    algorithm when the group is small (``P <= 4``) or the vector is
+    shorter than the group (``M < P``), else the split algorithm.  The
+    control network, when present, is used when its closed-form estimate
+    beats the software pick — the CM-5's combining hardware processes
+    scans element-serially, so for long vectors the data-network
+    algorithms win (this is why the paper's 2-D experiments used
+    direct/split rather than the global functions).
+    """
+    if requested != "auto":
+        if requested not in PRS_ALGORITHMS:
+            raise ValueError(f"unknown PRS algorithm {requested!r}")
+        return requested
+    if group_size <= 4 or vector_len < group_size:
+        software = "direct"
+    else:
+        software = "split"
+        # The pipelined tree realizes the [6] O(tau log P + mu M) bound;
+        # it overtakes the transpose split once P start-ups dominate.
+        if group_size & (group_size - 1) == 0 and estimate_prs_seconds(
+            ctx.spec, "pipeline", group_size, vector_len
+        ) < estimate_prs_seconds(ctx.spec, "split", group_size, vector_len):
+            software = "pipeline"
+    if ctx.spec.has_control_network:
+        ctrl_est = estimate_prs_seconds(ctx.spec, "ctrl", group_size, vector_len)
+        soft_est = estimate_prs_seconds(ctx.spec, software, group_size, vector_len)
+        if ctrl_est <= soft_est:
+            return "ctrl"
+    return software
+
+
+def prefix_reduction_sum(
+    ctx: Context,
+    vec: Any,
+    group: Sequence[int] | None = None,
+    algorithm: str = "auto",
+    key: int = 0,
+) -> Generator[Any, Any, PRSResult]:
+    """Run PRS with the requested (or auto-selected) algorithm."""
+    g = tuple(group) if group is not None else tuple(range(ctx.size))
+    v = _as_vector(vec)
+    algo = choose_prs_algorithm(ctx, len(g), v.size, algorithm)
+    if algo == "direct":
+        result = yield from prs_direct(ctx, v, g)
+    elif algo == "split":
+        result = yield from prs_split(ctx, v, g)
+    elif algo == "pipeline":
+        from .pipeline import prs_pipeline
+
+        result = yield from prs_pipeline(ctx, v, g)
+    elif algo == "ctrl":
+        result = yield from prs_ctrl(ctx, v, g, key=key)
+    else:  # pragma: no cover - choose() already validated
+        raise ValueError(f"unknown PRS algorithm {algo!r}")
+    return result

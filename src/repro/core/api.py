@@ -1,0 +1,416 @@
+"""Host-level convenience API.
+
+These functions hide the SPMD machinery: they build the machine and
+layout, scatter the global arrays, run the program on every rank, gather
+the result, and (optionally) validate it against the serial numpy oracle.
+They return rich result objects carrying the simulated per-phase times
+that the benchmarks and experiments consume.
+
+For writing custom SPMD programs against the library, use the lower-level
+generators in :mod:`repro.core.pack` / :mod:`repro.core.unpack` /
+:mod:`repro.core.ranking` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..hpf.grid import GridLayout
+from ..machine.engine import Machine
+from ..machine.spec import CM5, MachineSpec
+from ..machine.stats import RunResult
+from ..serial.reference import mask_ranks, pack_reference, unpack_reference
+from .pack import pack_program, result_vector_layout
+from .ranking import ranking_program
+from .redistribution import pack_red1_program, pack_red2_program
+from .schemes import PackConfig, Scheme
+from .unpack import input_vector_layout, unpack_program
+
+__all__ = [
+    "PackResult",
+    "UnpackResult",
+    "RankingResult",
+    "pack",
+    "unpack",
+    "ranking",
+    "aggregate_time",
+]
+
+#: Phase-name fragments counted as communication rather than local work.
+_COMM_FRAGMENTS = (".prs.", ".comm", ".red.comm", ".red.array", ".red.mask")
+
+
+def aggregate_time(run: RunResult, kind: str = "total") -> float:
+    """Paper-style time aggregates over a run, in seconds.
+
+    ``kind``:
+
+    * ``"total"`` — max final clock (the measured wall time);
+    * ``"local"`` — max over ranks of local-computation phase time: every
+      phase except the prefix-reduction-sum and the many-to-many /
+      redistribution communication (matches the paper's "local
+      computation" measurement, which explicitly excludes PRS);
+    * ``"prs"`` — the prefix-reduction-sum phases;
+    * ``"m2m"`` — the many-to-many personalized communication phases.
+    """
+    if kind == "total":
+        return run.elapsed
+
+    def is_comm(name: str) -> bool:
+        return any(f in name for f in _COMM_FRAGMENTS)
+
+    def is_prs(name: str) -> bool:
+        return ".prs." in name
+
+    def is_m2m(name: str) -> bool:
+        return name.endswith(".comm") or ".comm." in name or ".red.comm" in name
+
+    best = 0.0
+    for s in run.stats:
+        total = 0.0
+        for name, t in s.phase_times.items():
+            if kind == "local" and not is_comm(name):
+                total += t
+            elif kind == "prs" and is_prs(name):
+                total += t
+            elif kind == "m2m" and is_m2m(name):
+                total += t
+        best = max(best, total)
+    return best
+
+
+@dataclass
+class _TimedResult:
+    """Shared timing accessors for result objects."""
+
+    run: RunResult = field(repr=False)
+
+    @property
+    def total_ms(self) -> float:
+        return aggregate_time(self.run, "total") * 1e3
+
+    @property
+    def local_ms(self) -> float:
+        return aggregate_time(self.run, "local") * 1e3
+
+    @property
+    def prs_ms(self) -> float:
+        return aggregate_time(self.run, "prs") * 1e3
+
+    @property
+    def m2m_ms(self) -> float:
+        return aggregate_time(self.run, "m2m") * 1e3
+
+    @property
+    def times(self) -> dict[str, float]:
+        """Per-phase wall times in milliseconds."""
+        return {k: v * 1e3 for k, v in self.run.phase_breakdown().items()}
+
+
+@dataclass
+class PackResult(_TimedResult):
+    """Outcome of a host-level :func:`pack` call."""
+
+    vector: np.ndarray = field(default=None)
+    size: int = 0
+    scheme: Scheme = Scheme.CMS
+    layout: GridLayout = field(default=None, repr=False)
+    total_words: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"PackResult(size={self.size}, scheme={self.scheme.value}, "
+            f"total={self.total_ms:.3f} ms, local={self.local_ms:.3f} ms)"
+        )
+
+
+@dataclass
+class UnpackResult(_TimedResult):
+    """Outcome of a host-level :func:`unpack` call."""
+
+    array: np.ndarray = field(default=None)
+    size: int = 0
+    scheme: Scheme = Scheme.CSS
+    layout: GridLayout = field(default=None, repr=False)
+
+    def __str__(self) -> str:
+        return (
+            f"UnpackResult(size={self.size}, scheme={self.scheme.value}, "
+            f"total={self.total_ms:.3f} ms, local={self.local_ms:.3f} ms)"
+        )
+
+
+@dataclass
+class RankingResult(_TimedResult):
+    """Outcome of a host-level :func:`ranking` call.
+
+    ``ranks`` holds the global rank of every mask-true element and -1
+    elsewhere (the shape of the mask).
+    """
+
+    ranks: np.ndarray = field(default=None)
+    size: int = 0
+    layout: GridLayout = field(default=None, repr=False)
+
+
+def _make_config(
+    scheme, prs, m2m_schedule, result_block, early_exit_scan,
+    compress_requests=False,
+) -> PackConfig:
+    return PackConfig(
+        scheme=Scheme.parse(scheme),
+        prs=prs,
+        m2m_schedule=m2m_schedule,
+        result_block=result_block,
+        early_exit_scan=early_exit_scan,
+        compress_requests=compress_requests,
+    )
+
+
+def pack(
+    array: np.ndarray,
+    mask: np.ndarray,
+    grid: Sequence[int] | int,
+    block=None,
+    scheme="cms",
+    spec: MachineSpec = CM5,
+    prs: str = "auto",
+    m2m_schedule: str = "linear",
+    result_block: int | None = None,
+    early_exit_scan: bool = True,
+    redistribute: str | None = None,
+    vector: np.ndarray | None = None,
+    pad: bool = False,
+    validate: bool = True,
+) -> PackResult:
+    """Parallel PACK of a global numpy array under a simulated machine.
+
+    Parameters
+    ----------
+    array, mask:
+        conformable global numpy arrays; the mask is interpreted as bool.
+    vector:
+        Fortran 90's optional ``VECTOR`` argument: when given, the result
+        has ``vector.size`` elements (>= the number of trues) and the
+        positions past the packed data take ``vector``'s values.
+    pad:
+        lift the paper's divisibility assumption: extents not divisible by
+        ``P*W`` are padded with mask-false elements (which PACK never
+        selects, so the result is unchanged).  See
+        :mod:`repro.core.padding`.
+    grid:
+        processor grid in numpy axis order (an int for 1-D arrays).
+    block:
+        per-dimension block sizes (numpy order), an int/str applied to all
+        dimensions, or ``None`` for BLOCK.
+    scheme:
+        ``"sss"`` / ``"css"`` / ``"cms"``.
+    redistribute:
+        ``None`` (direct pack), ``"selected"`` (Red.1 pre-pass) or
+        ``"whole"`` (Red.2 pre-pass) — Section 6.3.
+    validate:
+        check the result against the serial oracle (always do this in
+        tests; turn off in benchmarks measuring simulated time only).
+
+    Returns a :class:`PackResult` whose ``vector`` matches Fortran 90
+    ``PACK(array, mask)`` semantics exactly.
+    """
+    array = np.asarray(array)
+    mask = np.asarray(mask, dtype=bool)
+    if isinstance(grid, int):
+        grid = (grid,)
+    original_array, original_mask = array, mask
+    if pad:
+        from .padding import pad_array, pad_mask, padded_shape
+
+        new_shape, block = padded_shape(array.shape, grid, block)
+        array = pad_array(array, new_shape)
+        mask = pad_mask(mask, new_shape)
+    layout = GridLayout.create(array.shape, grid, block)
+    config = _make_config(scheme, prs, m2m_schedule, result_block, early_exit_scan)
+
+    array_blocks = layout.scatter(array)
+    mask_blocks = layout.scatter(mask)
+    machine = Machine(layout.nprocs, spec)
+
+    n_result = None
+    pad_blocks = [None] * layout.nprocs
+    if vector is not None:
+        vector = np.asarray(vector)
+        if vector.ndim != 1:
+            raise ValueError(
+                f"PACK's VECTOR must be rank 1, got rank {vector.ndim}"
+            )
+        n_result = int(vector.size)
+        pad_layout = result_vector_layout(n_result, layout.nprocs, config)
+        pad_blocks = pad_layout.scatter(vector)
+
+    if redistribute is None:
+        program = pack_program
+    elif redistribute == "selected":
+        program = pack_red1_program
+    elif redistribute == "whole":
+        program = pack_red2_program
+    else:
+        raise ValueError(
+            f"redistribute must be None, 'selected' or 'whole', got {redistribute!r}"
+        )
+
+    run = machine.run(
+        program,
+        rank_args=[
+            (array_blocks[r], mask_blocks[r], layout, config,
+             pad_blocks[r], n_result)
+            for r in range(layout.nprocs)
+        ],
+    )
+    size = run.results[0].size
+    vec_layout = result_vector_layout(
+        n_result if n_result is not None else size, layout.nprocs, config
+    )
+    vector = vec_layout.gather(
+        [run.results[r].vector_block for r in range(layout.nprocs)],
+        dtype=array.dtype,
+    )
+    if validate:
+        expected = pack_reference(original_array, original_mask, vector)
+        if vector.shape != expected.shape or not np.array_equal(vector, expected):
+            raise AssertionError(
+                f"parallel PACK mismatch vs serial oracle "
+                f"(scheme={config.scheme.value}, layout={layout.describe()})"
+            )
+    return PackResult(
+        run=run,
+        vector=vector,
+        size=size,
+        scheme=config.scheme,
+        layout=layout,
+        total_words=run.total_words,
+    )
+
+
+def unpack(
+    vector: np.ndarray,
+    mask: np.ndarray,
+    field_array: np.ndarray,
+    grid: Sequence[int] | int,
+    block=None,
+    scheme="css",
+    spec: MachineSpec = CM5,
+    prs: str = "auto",
+    m2m_schedule: str = "linear",
+    result_block: int | None = None,
+    early_exit_scan: bool = True,
+    compress_requests: bool = False,
+    pad: bool = False,
+    validate: bool = True,
+) -> UnpackResult:
+    """Parallel UNPACK: scatter ``vector`` into the trues of ``mask``, with
+    ``field_array`` filling the falses.  See :func:`pack` for parameters;
+    ``scheme`` must be ``"sss"`` or ``"css"``.  ``field_array`` may be a
+    scalar (Fortran 90 allows a scalar FIELD).  ``compress_requests``
+    run-length-encodes the rank requests (CSS only; a library extension —
+    see :class:`repro.core.schemes.PackConfig`)."""
+    vector = np.asarray(vector)
+    mask = np.asarray(mask, dtype=bool)
+    field_array = np.asarray(field_array)
+    if field_array.ndim == 0:
+        field_array = np.full(mask.shape, field_array[()])
+    if isinstance(grid, int):
+        grid = (grid,)
+    original_shape = mask.shape
+    original_mask, original_field = mask, field_array
+    if pad:
+        from .padding import pad_array, pad_mask, padded_shape
+
+        new_shape, block = padded_shape(mask.shape, grid, block)
+        mask = pad_mask(mask, new_shape)
+        field_array = pad_array(field_array, new_shape)
+    layout = GridLayout.create(mask.shape, grid, block)
+    config = _make_config(
+        scheme, prs, m2m_schedule, result_block, early_exit_scan,
+        compress_requests=compress_requests,
+    )
+
+    vec_layout = input_vector_layout(int(vector.size), layout.nprocs, config)
+    vector_blocks = vec_layout.scatter(vector)
+    mask_blocks = layout.scatter(mask)
+    field_blocks = layout.scatter(field_array)
+    machine = Machine(layout.nprocs, spec)
+
+    run = machine.run(
+        unpack_program,
+        rank_args=[
+            (
+                vector_blocks[r],
+                mask_blocks[r],
+                field_blocks[r],
+                layout,
+                int(vector.size),
+                config,
+            )
+            for r in range(layout.nprocs)
+        ],
+    )
+    array = layout.gather([run.results[r].array_block for r in range(layout.nprocs)])
+    if pad:
+        from .padding import crop
+
+        array = crop(array, original_shape)
+    if validate:
+        expected = unpack_reference(vector, original_mask, original_field)
+        if not np.array_equal(array, expected):
+            raise AssertionError(
+                f"parallel UNPACK mismatch vs serial oracle "
+                f"(scheme={config.scheme.value}, layout={layout.describe()})"
+            )
+    return UnpackResult(
+        run=run,
+        array=array,
+        size=run.results[0].size,
+        scheme=config.scheme,
+        layout=layout,
+    )
+
+
+def ranking(
+    mask: np.ndarray,
+    grid: Sequence[int] | int,
+    block=None,
+    spec: MachineSpec = CM5,
+    prs: str = "auto",
+    scheme="css",
+    validate: bool = True,
+) -> RankingResult:
+    """Run only the ranking stage and return the global rank array."""
+    mask = np.asarray(mask, dtype=bool)
+    if isinstance(grid, int):
+        grid = (grid,)
+    layout = GridLayout.create(mask.shape, grid, block)
+    mask_blocks = layout.scatter(mask)
+    machine = Machine(layout.nprocs, spec)
+    config_scheme = Scheme.parse(scheme)
+
+    def program(ctx, block_mask):
+        result = yield from ranking_program(
+            ctx, block_mask, layout, scheme=config_scheme, prs=prs
+        )
+        ranks_local = result.element_ranks(layout.local_shape)
+        ranks_local = np.where(block_mask, ranks_local, -1)
+        return (ranks_local, result.size)
+
+    run = machine.run(
+        program, rank_args=[(mask_blocks[r],) for r in range(layout.nprocs)]
+    )
+    ranks = layout.gather([run.results[r][0] for r in range(layout.nprocs)])
+    size = run.results[0][1]
+    if validate:
+        expected = mask_ranks(mask)
+        if not np.array_equal(ranks, expected):
+            raise AssertionError("parallel ranking mismatch vs serial oracle")
+        if size != int(np.count_nonzero(mask)):
+            raise AssertionError(f"Size {size} != oracle {np.count_nonzero(mask)}")
+    return RankingResult(run=run, ranks=ranks, size=size, layout=layout)

@@ -1,0 +1,170 @@
+"""Message composition and decomposition for the redistribution stage.
+
+PACK's redistribution is a WRITE: the datum must travel with its global
+address (rank) in the result vector.  Two encodings exist:
+
+* **pair encoding** (SSS and CSS, Section 6.2): the message is the list of
+  ``(global rank, datum)`` pairs — ``2 * E`` words.
+* **segment encoding** (CMS): the selected elements of one slice have
+  consecutive ranks, so a maximal same-slice same-destination run ships as
+  ``(base-rank, count, datum, ..., datum)`` — ``E + 2 * Gs`` words total.
+
+Messages are composed per destination (coalesced — one message per
+destination per exchange, the paper's "all messages with the same
+destinations may be coalesced").  Decomposition is the mirror image on the
+receiver, mapping ranks to local indices of the result vector's block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..hpf.vector import VectorLayout
+from .storage import SelectedElements
+
+__all__ = [
+    "PairMessage",
+    "SegmentMessage",
+    "compose_pair_messages",
+    "compose_segment_messages",
+    "decompose_pair_message",
+    "decompose_segment_message",
+]
+
+
+@dataclass(frozen=True)
+class PairMessage:
+    """Pair-encoded message: parallel (ranks, values) arrays."""
+
+    ranks: np.ndarray
+    values: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.ranks.size)
+
+    @property
+    def words(self) -> int:
+        return 2 * self.count
+
+
+@dataclass(frozen=True)
+class SegmentMessage:
+    """Segment-encoded message: (base ranks, per-segment counts, value stream)."""
+
+    bases: np.ndarray
+    counts: np.ndarray
+    values: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def segments(self) -> int:
+        return int(self.bases.size)
+
+    @property
+    def words(self) -> int:
+        return self.count + 2 * self.segments
+
+
+def _group_slices(keys: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    """Split ``arange(len(keys))`` into runs of equal key.
+
+    ``keys`` must be *grouped* (equal values contiguous), which holds for
+    destination vectors derived from ascending ranks under a block vector
+    layout; for non-block layouts the callers sort first.
+    """
+    if keys.size == 0:
+        return []
+    boundaries = np.flatnonzero(np.diff(keys)) + 1
+    chunks = np.split(np.arange(keys.size), boundaries)
+    return [(int(keys[c[0]]), c) for c in chunks]
+
+
+def _ensure_grouped(sel_order: np.ndarray, dests: np.ndarray) -> np.ndarray:
+    """Stable-sort element order by destination if not already grouped."""
+    if dests.size <= 1:
+        return sel_order
+    # Grouped iff every destination change is to a never-seen value; for a
+    # monotone destination vector that is automatic.  Cheap test: monotone.
+    if np.all(np.diff(dests) >= 0):
+        return sel_order
+    order = np.argsort(dests, kind="stable")
+    return sel_order[order]
+
+
+def compose_pair_messages(sel: SelectedElements) -> dict[int, PairMessage]:
+    """One pair-encoded message per destination."""
+    idx = _ensure_grouped(np.arange(sel.count), sel.dests)
+    dests = sel.dests[idx]
+    out: dict[int, PairMessage] = {}
+    for dest, rows in _group_slices(dests):
+        rows = idx[rows]
+        out[dest] = PairMessage(ranks=sel.ranks[rows], values=sel.values[rows])
+    return out
+
+
+def compose_segment_messages(sel: SelectedElements) -> dict[int, SegmentMessage]:
+    """One segment-encoded message per destination.
+
+    Segments are maximal same-slice same-destination runs (consecutive
+    ranks within, by the slice property).
+    """
+    n = sel.count
+    if n == 0:
+        return {}
+    brk = sel.segment_breaks()
+    seg_starts = np.flatnonzero(brk)
+    seg_ends = np.append(seg_starts[1:], n)
+    seg_dest = sel.dests[seg_starts]
+    seg_base = sel.ranks[seg_starts]
+    seg_count = seg_ends - seg_starts
+
+    out: dict[int, SegmentMessage] = {}
+    # Group segments by destination (stable, preserving rank order).
+    order = (
+        np.arange(seg_dest.size)
+        if np.all(np.diff(seg_dest) >= 0)
+        else np.argsort(seg_dest, kind="stable")
+    )
+    sd = seg_dest[order]
+    for dest, seg_rows in _group_slices(sd):
+        rows = order[seg_rows]
+        values = np.concatenate(
+            [sel.values[seg_starts[s] : seg_ends[s]] for s in rows]
+        )
+        out[dest] = SegmentMessage(
+            bases=seg_base[rows], counts=seg_count[rows], values=values
+        )
+    return out
+
+
+def decompose_pair_message(
+    msg: PairMessage, vec: VectorLayout
+) -> tuple[np.ndarray, np.ndarray]:
+    """Receiver side: (local positions in the vector block, values)."""
+    if msg.count == 0:
+        return np.empty(0, dtype=np.int64), msg.values
+    return vec.locals_(msg.ranks), msg.values
+
+
+def decompose_segment_message(
+    msg: SegmentMessage, vec: VectorLayout
+) -> tuple[np.ndarray, np.ndarray]:
+    """Receiver side: expand segments into (local positions, values)."""
+    if msg.count == 0:
+        return np.empty(0, dtype=np.int64), msg.values
+    ranks = np.concatenate(
+        [base + np.arange(cnt, dtype=np.int64) for base, cnt in zip(msg.bases, msg.counts)]
+    )
+    return vec.locals_(ranks), msg.values
+
+
+def message_words(msg: Any) -> int:
+    """Wire size of either message kind."""
+    return int(msg.words)

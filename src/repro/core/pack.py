@@ -1,0 +1,222 @@
+"""The parallel PACK program (Sections 4.1, 6.1, 6.2).
+
+Stage 1 ranks the selected elements (:mod:`repro.core.ranking`); stage 2
+redistributes them to the block-distributed result vector with one
+many-to-many personalized communication.  The configured scheme decides
+what bookkeeping the ranking scan stores, whether a second local scan is
+needed, and how messages are encoded — all of which show up as different
+simulated-time charges and message volumes.
+
+Phases charged (visible in ``RunResult.phase_breakdown()``):
+
+=============================  ==========================================
+``pack.ranking.initial``       local scan, in-slice ranks, PS_0/RS_0
+``pack.ranking.prs.dim<i>``    prefix-reduction-sum along grid dim i
+``pack.ranking.intermediate.dim<i>``  segmented local prefix sums
+``pack.ranking.final``         base-rank collapse to PS_f
+``pack.sendl``                 per-scheme rank/destination derivation
+``pack.rescan``                CSS/CMS second scan of non-empty slices
+``pack.compose``               message buffer construction
+``pack.comm``                  many-to-many personalized communication
+``pack.decompose``             receiver-side placement into V's block
+=============================  ==========================================
+
+The paper's "local computation" measurement corresponds to every phase
+except ``pack.ranking.prs.*`` and ``pack.comm``; see
+:func:`repro.core.api.local_computation_time`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from ..hpf.grid import GridLayout
+from ..hpf.vector import VectorLayout
+from ..machine.context import Context
+from ..machine.m2m import exchange
+from .costs import StepCosts
+from .messages import (
+    compose_pair_messages,
+    compose_segment_messages,
+    decompose_pair_message,
+    decompose_segment_message,
+)
+from .ranking import LocalRanking, ranking_program, slice_scan_lengths, slice_view
+from .schemes import PackConfig, Scheme
+from .storage import extract_selected
+
+__all__ = ["PackLocal", "pack_program", "result_vector_layout"]
+
+
+@dataclass
+class PackLocal:
+    """Per-rank outcome of the PACK program.
+
+    Attributes
+    ----------
+    vector_block:
+        this rank's block of the result vector.
+    size:
+        global result size (identical on every rank).
+    e_i / e_a:
+        selected elements sent from / received by this rank.
+    gs / gr:
+        message segments composed / decomposed (CMS; 0 otherwise).
+    words_out:
+        data words this rank contributed to the redistribution exchange.
+    """
+
+    vector_block: np.ndarray
+    size: int
+    e_i: int
+    e_a: int
+    gs: int
+    gr: int
+    words_out: int
+
+
+def result_vector_layout(size: int, nprocs: int, config: PackConfig) -> VectorLayout:
+    """Layout of the result vector: BLOCK unless ``config.result_block``
+    forces a block-cyclic block size (Section 6.2 sensitivity knob)."""
+    if config.result_block is None:
+        return VectorLayout.block(size, nprocs)
+    return VectorLayout.cyclic(size, nprocs, w=config.result_block)
+
+
+def pack_program(
+    ctx: Context,
+    local_array: np.ndarray,
+    local_mask: np.ndarray,
+    grid: GridLayout,
+    config: PackConfig,
+    pad_block: np.ndarray | None = None,
+    n_result: int | None = None,
+    ranking_result: LocalRanking | None = None,
+    phase_prefix: str = "pack",
+) -> Generator[Any, Any, PackLocal]:
+    """SPMD PACK on one rank.  All ranks call together with aligned blocks.
+
+    ``ranking_result`` may be supplied by a caller that already ranked the
+    mask (the redistribution pre-passes do); otherwise the ranking stage
+    runs here.
+
+    ``pad_block`` / ``n_result`` implement Fortran 90's optional ``VECTOR``
+    argument: the result vector has ``n_result`` elements (>= Size) and
+    positions past the packed data take the pad vector's values.
+    ``pad_block`` is this rank's block of the pad vector under the result
+    layout for ``n_result`` elements.
+    """
+    local_array = np.asarray(local_array)
+    local_mask = np.asarray(local_mask, dtype=bool)
+    if local_array.shape != grid.local_shape:
+        raise ValueError(
+            f"rank {ctx.rank}: array block shape {local_array.shape} != "
+            f"{grid.local_shape}"
+        )
+    scheme = config.scheme
+    costs = StepCosts(local=ctx.spec.local, scheme=scheme, d=grid.d)
+
+    # ------------------------------------------------------ stage 1: ranking
+    if ranking_result is None:
+        ranking_result = yield from ranking_program(
+            ctx,
+            local_mask,
+            grid,
+            scheme=scheme,
+            prs=config.prs,
+            phase_prefix=f"{phase_prefix}.ranking",
+        )
+    size = ranking_result.size
+    if n_result is not None and n_result < size:
+        raise ValueError(
+            f"PACK's VECTOR has {n_result} elements but the mask selects {size}"
+        )
+    vec = result_vector_layout(n_result if n_result is not None else size,
+                               ctx.size, config)
+
+    # -------------------------------------- stage 2a: ranks and destinations
+    ctx.phase(f"{phase_prefix}.sendl")
+    sel = extract_selected(local_array, local_mask, ranking_result, grid, vec)
+    e_i = sel.count
+    gs = sel.segment_count if scheme.uses_segments else 0
+    ctx.work(
+        costs.final_rank_elements(
+            C=ranking_result.c, E_i=e_i, Gs_i=sel.segment_count
+        )
+    )
+
+    # ------------------------------------------- stage 2b: second scan (CSS/CMS)
+    if not scheme.stores_records:
+        ctx.phase(f"{phase_prefix}.rescan")
+        view = slice_view(local_mask, grid)
+        scan2 = int(slice_scan_lengths(view, config.early_exit_scan).sum())
+        ctx.work(costs.second_scan(ranking_result.c, scan2))
+
+    # -------------------------------------------- stage 2c: message composition
+    ctx.phase(f"{phase_prefix}.compose")
+    if scheme.uses_segments:
+        outgoing = compose_segment_messages(sel)
+    else:
+        outgoing = compose_pair_messages(sel)
+    words = {dest: msg.words for dest, msg in outgoing.items()}
+    ctx.work(costs.compose(e_i, gs))
+
+    # --------------------------------- stage 2d: many-to-many communication
+    ctx.phase(f"{phase_prefix}.comm")
+    received = yield from exchange(
+        ctx,
+        outgoing,
+        words=words,
+        schedule=config.m2m_schedule,
+        self_copy_charge=config.charge_self_copy,
+    )
+
+    # ----------------------------------------- stage 2e: placement into V
+    ctx.phase(f"{phase_prefix}.decompose")
+    block = np.empty(vec.local_size(ctx.rank), dtype=local_array.dtype)
+    e_a = 0
+    gr = 0
+    for source in sorted(received):
+        msg = received[source]
+        if scheme.uses_segments:
+            pos, vals = decompose_segment_message(msg, vec)
+            gr += msg.segments
+        else:
+            pos, vals = decompose_pair_message(msg, vec)
+        block[pos] = vals
+        e_a += int(vals.size)
+    ctx.work(costs.decompose(e_a, gr))
+
+    if pad_block is None:
+        expected = block.size
+    else:
+        # Fortran 90 VECTOR argument: local positions past the packed data
+        # take the pad vector's values (a streaming local copy).
+        my_globals = vec.globals_(ctx.rank)
+        tail = my_globals >= size
+        pad_block = np.asarray(pad_block)
+        if pad_block.shape != block.shape:
+            raise ValueError(
+                f"rank {ctx.rank}: pad block shape {pad_block.shape} != "
+                f"{block.shape}"
+            )
+        block[tail] = pad_block[tail]
+        ctx.work(int(tail.sum()))
+        expected = int((~tail).sum())
+    if e_a != expected:
+        raise AssertionError(
+            f"rank {ctx.rank}: received {e_a} elements, expected {expected}"
+        )
+
+    return PackLocal(
+        vector_block=block,
+        size=size,
+        e_i=e_i,
+        e_a=e_a,
+        gs=gs,
+        gr=gr,
+        words_out=sum(words.values()),
+    )

@@ -1,0 +1,107 @@
+"""Arbitrary array shapes via mask-false padding.
+
+The paper (Section 3) assumes ``P_i * W_i | N_i`` on every dimension,
+which keeps every processor's local block identical — the property the
+ranking working arrays rely on.  Real arrays rarely oblige.  The clean
+generalization follows from PACK's own semantics: *padding an array with
+mask-false elements changes nothing* — padded positions are never
+selected, so ranks, Size and the result vector are identical.  Likewise
+for UNPACK, padded positions simply take (discarded) field values.
+
+This module rounds each extent up to the next multiple of ``P_i * W_i``,
+pads the array (with zeros of the right dtype) and the mask (with
+``False``), runs the standard algorithms, and crops UNPACK results back.
+The padding is pure host-side preparation: the simulated machine works on
+the padded shape, so the reported times include the (small) cost of
+scanning the padding — exactly what a real runtime using this trick would
+pay.
+
+Enabled through the host API with ``pad=True``::
+
+    repro.pack(a, m, grid=16, block=8, pad=True)   # any N
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["padded_shape", "pad_array", "pad_mask", "crop", "resolve_padding"]
+
+
+def padded_shape(shape, grid, block) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """(padded shape, resolved per-axis block sizes) for numpy-order specs.
+
+    Each extent is rounded up to the least multiple of ``P_j * W_j``.
+    String/Dist block specs resolve against the *padded* extent for
+    ``block`` (so "block" means one block per processor after padding)
+    and against a best-effort extent for "cyclic" (W = 1 regardless).
+    """
+    shape = tuple(int(n) for n in shape)
+    grid = tuple(int(p) for p in grid)
+    if len(shape) != len(grid):
+        raise ValueError(f"shape {shape} and grid {grid} have different ranks")
+    d = len(shape)
+    if block is None:
+        block = "block"
+    if isinstance(block, (int, str)) or not isinstance(block, (list, tuple)):
+        block = [block] * d
+    from ..hpf.dist import Dist
+
+    out_shape = []
+    out_block = []
+    for n, p, b in zip(shape, grid, block):
+        if isinstance(b, bool):
+            raise ValueError(f"bad block spec {b!r}")
+        if isinstance(b, int):
+            w = b
+        elif isinstance(b, Dist):
+            if b.kind == "cyclic":
+                w = 1
+            elif b.kind == "block_cyclic":
+                w = int(b.w)
+            else:  # BLOCK: one block per processor over the padded extent
+                w = -(-n // p)
+        elif isinstance(b, str) and b.lower() == "cyclic":
+            w = 1
+        elif b is None or (isinstance(b, str) and b.lower() == "block"):
+            w = -(-n // p)
+        else:
+            raise ValueError(f"bad block spec {b!r}")
+        unit = p * w
+        padded = -(-n // unit) * unit
+        out_shape.append(padded)
+        out_block.append(w)
+    return tuple(out_shape), tuple(out_block)
+
+
+def pad_array(array: np.ndarray, padded: tuple[int, ...]) -> np.ndarray:
+    """Zero-pad ``array`` up to ``padded`` (no-op when shapes match)."""
+    array = np.asarray(array)
+    if array.shape == tuple(padded):
+        return array
+    pad = [(0, p - n) for n, p in zip(array.shape, padded)]
+    return np.pad(array, pad, mode="constant")
+
+
+def pad_mask(mask: np.ndarray, padded: tuple[int, ...]) -> np.ndarray:
+    """False-pad ``mask`` up to ``padded`` — padding is never selected."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape == tuple(padded):
+        return mask
+    pad = [(0, p - n) for n, p in zip(mask.shape, padded)]
+    return np.pad(mask, pad, mode="constant", constant_values=False)
+
+
+def crop(array: np.ndarray, original: tuple[int, ...]) -> np.ndarray:
+    """Crop a padded result back to the original shape."""
+    array = np.asarray(array)
+    if array.shape == tuple(original):
+        return array
+    slices = tuple(slice(0, n) for n in original)
+    return array[slices].copy()
+
+
+def resolve_padding(shape, grid, block):
+    """Convenience: (needs_padding, padded_shape, resolved_block)."""
+    padded, blocks = padded_shape(shape, grid, block)
+    return padded != tuple(shape), padded, blocks

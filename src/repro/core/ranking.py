@@ -1,0 +1,238 @@
+"""The parallel ranking algorithm (Section 5 of the paper).
+
+Given a mask array ``M`` distributed block-cyclic over a processor grid,
+compute the global rank of every mask-true element — its position in the
+packed result vector — **without moving any array data**.  Three steps:
+
+1. **Initial step (local scan)** — walk the local mask slice by slice (a
+   slice is ``W_0`` consecutive dimension-0 elements), assign each
+   selected element its in-slice rank, and record the per-slice counts in
+   the dimension-0 working arrays ``PS_0``/``RS_0``.
+
+2. **Intermediate steps** — for each dimension ``i`` from 0 to ``d-1``
+   (Figure 2): a vector prefix-reduction-sum along the grid's dimension-i
+   processors turns per-tile counts into cross-processor base ranks
+   (``PS_i``) and totals (``RS_i``); a segmented local prefix sum extends
+   the rank validity from one tile to a whole dimension-(i+1) block; the
+   per-tile totals of dimension ``i+1`` initialize ``PS_{i+1}``/``RS_{i+1}``.
+   After step ``i`` the ranks in ``PS_i`` are valid within sub-arrays of
+   shape ``[1 x .. x 1 x W_{i+1} x N_i x .. x N_0]``.
+
+3. **Final step** — collapse the ``d`` base-rank arrays downward
+   (``PS_i += expand(PS_{i+1})``), producing the final base-rank array
+   ``PS_f`` indexed by (higher local coordinates, dimension-0 tile); the
+   rank of a selected element is its in-slice rank plus the ``PS_f`` entry
+   of its slice.  The grand total ``Size`` falls out of step ``d-1``.
+
+The per-rank numpy implementation is fully vectorized; simulated time is
+charged per the Figure 2 complexity lines via
+:class:`~repro.core.costs.StepCosts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from ..collectives.prefix import prefix_reduction_sum
+from ..hpf.grid import GridLayout
+from ..machine.context import Context
+from .costs import StepCosts
+from .schemes import Scheme
+
+__all__ = ["LocalRanking", "ranking_program", "slice_view", "slice_scan_lengths"]
+
+
+def slice_view(local_mask: np.ndarray, grid: GridLayout) -> np.ndarray:
+    """View the local mask with dimension 0 split into (tile, within-block):
+    shape ``(L_{d-1}, ..., L_1, T_0, W_0)``."""
+    dim0 = grid.dims[0]
+    return local_mask.reshape(local_mask.shape[:-1] + (dim0.t, dim0.w))
+
+
+def slice_scan_lengths(view: np.ndarray, early_exit: bool) -> np.ndarray:
+    """Elements touched when re-scanning each slice for its selected values.
+
+    ``view`` is the slice view (bool); the result has the slice shape
+    (``view.shape[:-1]``).  With early exit (the paper's scanning method 1)
+    a non-empty slice is scanned up to its last true element; method 2
+    always scans the whole slice.  Empty slices are never scanned (both
+    methods check the counter array first).
+    """
+    w0 = view.shape[-1]
+    any_true = view.any(axis=-1)
+    if not early_exit:
+        return np.where(any_true, w0, 0).astype(np.int64)
+    # Last true position + 1, vectorized: index of last true via reversed argmax.
+    rev_argmax = np.argmax(view[..., ::-1], axis=-1)
+    last_pos = w0 - 1 - rev_argmax
+    return np.where(any_true, last_pos + 1, 0).astype(np.int64)
+
+
+@dataclass
+class LocalRanking:
+    """Per-rank outcome of the ranking stage.
+
+    Attributes
+    ----------
+    ps_f:
+        final base-rank array ``PS_f`` of shape
+        ``(L_{d-1}, ..., L_1, T_0)``: the global rank of the *first*
+        selected element of each slice, valid for slices that contain any.
+    slice_counts:
+        the counter array ``PS_c`` (same shape): selected elements per
+        slice.
+    initial:
+        in-slice exclusive ranks, shaped like the slice view
+        ``(..., T_0, W_0)`` (meaningful where the mask is true).
+    size:
+        the global ``Size`` (identical on every rank).
+    e_i:
+        number of selected elements on this rank (``sum(slice_counts)``).
+    """
+
+    ps_f: np.ndarray
+    slice_counts: np.ndarray
+    initial: np.ndarray
+    size: int
+    e_i: int
+
+    @property
+    def c(self) -> int:
+        """Number of local slices (the paper's ``C``)."""
+        return int(self.slice_counts.size)
+
+    def element_ranks(self, local_shape: tuple[int, ...]) -> np.ndarray:
+        """Global rank of every local element (garbage where mask false).
+
+        Shape is the local block shape; combine with the mask to extract
+        the selected elements' ranks.
+        """
+        full = self.initial + self.ps_f[..., None]
+        return full.reshape(local_shape)
+
+    def slice_base_ranks(self) -> np.ndarray:
+        """Alias for ``ps_f`` under its paper meaning."""
+        return self.ps_f
+
+
+def ranking_program(
+    ctx: Context,
+    local_mask: np.ndarray,
+    grid: GridLayout,
+    scheme: Scheme = Scheme.CSS,
+    prs: str = "auto",
+    phase_prefix: str = "ranking",
+) -> Generator[Any, Any, LocalRanking]:
+    """SPMD generator computing the ranking stage on one rank.
+
+    ``local_mask`` is this rank's local block of the mask array (bool,
+    shape ``grid.local_shape``).  All ranks must call this together.  The
+    ``scheme`` only affects cost charging (SSS stores bookkeeping during
+    the scan; CSS/CMS copy the counter array); the numeric results are
+    identical.
+
+    Returns a :class:`LocalRanking`.
+    """
+    local_mask = np.asarray(local_mask, dtype=bool)
+    if local_mask.shape != grid.local_shape:
+        raise ValueError(
+            f"rank {ctx.rank}: mask block shape {local_mask.shape} != "
+            f"{grid.local_shape}"
+        )
+    d = grid.d
+    costs = StepCosts(local=ctx.spec.local, scheme=scheme, d=d)
+    coords = grid.coords_of_rank(ctx.rank)
+    L = int(np.prod(grid.local_shape))
+
+    # ----------------------------------------------- 1. initial local scan
+    ctx.phase(f"{phase_prefix}.initial")
+    view = slice_view(local_mask, grid)
+    inclusive = np.cumsum(view, axis=-1, dtype=np.int64)
+    initial = inclusive - view  # exclusive in-slice ranks
+    counts = inclusive[..., -1]  # selected per slice: PS_0 = RS_0
+    e_i = int(counts.sum())
+    ctx.work(costs.initial_scan(L, e_i))
+
+    slice_counts = counts.copy()
+    ctx.work(costs.counter_copy(slice_counts.size))
+
+    # Dimension-0 working arrays: collapse the W_0 axis -> (..., T_0).
+    ps = counts.astype(np.int64)
+    base_ranks: list[np.ndarray] = []
+    size = -1
+
+    # ------------------------------------------- 2. intermediate steps 0..d-1
+    for i in range(d):
+        ctx.phase(f"{phase_prefix}.prs.dim{i}")
+        dim = grid.dims[i]
+        group = grid.group_along(i, coords)
+        if len(group) > 1:
+            result = yield from prefix_reduction_sum(
+                ctx, ps.ravel(), group=group, algorithm=prs
+            )
+            prefix = result.prefix.reshape(ps.shape)
+            reduction = result.reduction.reshape(ps.shape)
+        else:
+            prefix = np.zeros_like(ps)
+            reduction = ps
+        ps = prefix
+        rs = reduction.astype(np.int64, copy=True)
+
+        ctx.phase(f"{phase_prefix}.intermediate.dim{i}")
+        if i < d - 1:
+            dim_next = grid.dims[i + 1]
+            t_next, w_next = dim_next.t, dim_next.w
+            head = rs.shape[:-2]  # (L_{d-1}, ..., L_{i+2})
+            t_i = rs.shape[-1]
+            seg_view = rs.reshape(head + (t_next, w_next, t_i))
+            # Substep 2.1: raw totals at the last (row, tile) of each
+            # dimension-(i+1) tile, before the scan.
+            rs_next_raw = seg_view[..., :, -1, -1].copy()
+            # Substep 2.3: segmented exclusive prefix sum, one segment per
+            # dimension-(i+1) tile, running over (within-tile row, dim-i
+            # tile) in row-major order.
+            flat = seg_view.reshape(head + (t_next, w_next * t_i))
+            inc = np.cumsum(flat, axis=-1)
+            exc = inc - flat
+            # Substep 2.4: fold the scanned totals into the base ranks.
+            ps = ps + exc.reshape(ps.shape)
+            # Substep 3.1: per-tile totals initialize the next dimension's
+            # working arrays (PS_{i+1} = RS_{i+1} = tile totals).
+            tile_totals = rs_next_raw + exc[..., :, -1]
+            ctx.work(costs.intermediate_local(rs.size + tile_totals.size))
+            base_ranks.append(ps)
+            ps = tile_totals
+        else:
+            # Step d-1: one segment; Size falls out.
+            rs_flat = rs.ravel()
+            size_raw = int(rs_flat[-1])
+            inc = np.cumsum(rs_flat)
+            exc = inc - rs_flat
+            ps = ps + exc.reshape(ps.shape)
+            size = size_raw + int(exc[-1])
+            ctx.work(costs.intermediate_local(rs.size))
+            base_ranks.append(ps)
+
+    # --------------------------------------------------- 3. final collapse
+    ctx.phase(f"{phase_prefix}.final")
+    collapse_elems = 0
+    for i in range(d - 2, -1, -1):
+        w_next = grid.dims[i + 1].w
+        expanded = np.repeat(base_ranks[i + 1], w_next, axis=-1)
+        base_ranks[i] = base_ranks[i] + expanded[..., None]
+        collapse_elems += base_ranks[i].size
+    ps_f = base_ranks[0]
+    # The final step is Theta(C + alpha) even for rank-1 arrays (one pass
+    # over PS_f), so the PS_f pass is charged unconditionally.
+    ctx.work(costs.final_collapse(collapse_elems + ps_f.size))
+
+    return LocalRanking(
+        ps_f=ps_f,
+        slice_counts=slice_counts,
+        initial=initial,
+        size=size,
+        e_i=e_i,
+    )

@@ -1,0 +1,111 @@
+"""Selected-element bookkeeping — what the storage schemes store or derive.
+
+The *simple storage scheme* materializes, during the initial ranking scan,
+one record per selected element (local index per dimension, tile number,
+in-slice rank, destination).  The *compact* schemes store nothing and
+re-derive everything from the counter array ``PS_c`` and the final
+base-rank array ``PS_f``.
+
+Either way, the redistribution stage needs the same three vectors per rank
+— flat local positions, global ranks, destination processors, all in local
+element order (ascending global order, hence ascending rank).  This module
+produces them; the *cost* difference between the schemes is charged by
+:class:`~repro.core.costs.StepCosts`, and the *data* difference (records
+vs rescan) shows up in which charge functions the pack/unpack programs
+invoke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hpf.grid import GridLayout
+from ..hpf.vector import VectorLayout
+from .ranking import LocalRanking
+
+__all__ = ["SelectedElements", "extract_selected"]
+
+
+@dataclass
+class SelectedElements:
+    """The selected (mask-true) elements of one rank, in ascending-rank order.
+
+    Attributes
+    ----------
+    positions:
+        flat local indices (C order over the local block).
+    values:
+        the selected array elements.
+    ranks:
+        global ranks (ascending — local storage order is ascending global
+        order, and rank is monotone in global index).
+    dests:
+        destination rank of each element under the result vector's layout.
+    slice_ids:
+        local slice number of each element (``positions // W_0`` —
+        dimension-0 slices are contiguous in the C-order flat local
+        index).  Consecutive elements sharing a slice have *consecutive*
+        ranks, the property the compact message scheme exploits.
+    """
+
+    positions: np.ndarray
+    values: np.ndarray
+    ranks: np.ndarray
+    dests: np.ndarray
+    slice_ids: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.positions.size)
+
+    def segment_breaks(self) -> np.ndarray:
+        """Boolean vector marking the first element of each message segment.
+
+        A segment is a maximal run of elements in one slice bound for one
+        destination; within it, ranks are consecutive by the slice
+        property, so ``(base-rank, count)`` describes all of them.
+        """
+        n = self.count
+        brk = np.ones(n, dtype=bool)
+        if n > 1:
+            brk[1:] = (np.diff(self.slice_ids) != 0) | (np.diff(self.dests) != 0)
+        return brk
+
+    @property
+    def segment_count(self) -> int:
+        """``Gs_i``: total message segments this rank would compose."""
+        return int(self.segment_breaks().sum())
+
+
+def extract_selected(
+    local_array: np.ndarray,
+    local_mask: np.ndarray,
+    ranking: LocalRanking,
+    grid: GridLayout,
+    vec: VectorLayout,
+) -> SelectedElements:
+    """Produce the per-rank selected-element vectors (see module docstring).
+
+    This is the *data* computation shared by every scheme; the schemes
+    differ in the time charged for obtaining it.
+    """
+    local_array = np.asarray(local_array)
+    local_mask = np.asarray(local_mask, dtype=bool)
+    flat_mask = local_mask.ravel()
+    positions = np.flatnonzero(flat_mask)
+    values = local_array.ravel()[positions]
+    ranks = ranking.element_ranks(grid.local_shape).ravel()[positions]
+    dests = vec.owners(ranks) if ranks.size else np.empty(0, dtype=np.int64)
+    w0 = grid.dims[0].w
+    slice_ids = positions // w0
+    if ranks.size > 1 and not np.all(np.diff(ranks) > 0):
+        raise AssertionError("internal error: local ranks not strictly increasing")
+    return SelectedElements(
+        positions=positions,
+        values=values,
+        ranks=ranks.astype(np.int64, copy=False),
+        dests=np.asarray(dests, dtype=np.int64),
+        slice_ids=slice_ids.astype(np.int64, copy=False),
+    )

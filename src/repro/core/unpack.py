@@ -1,0 +1,230 @@
+"""The parallel UNPACK program (Sections 4.2, 6.1).
+
+UNPACK scatters a distributed input vector ``V`` into the mask-true
+positions of a result array conformable with / aligned to the mask; where
+the mask is false the result takes the field array ``F`` (a purely local
+copy).
+
+The ranking stage is identical to PACK's.  The redistribution stage is a
+READ, so *two-phase* communication is required (no data owner knows who
+needs its elements): each processor first sends each vector owner the list
+of ranks it needs (phase A), then owners send the values back (phase B).
+Consequently UNPACK's communication volume is roughly **twice** PACK's —
+the paper's Section 4.2 observation, reproduced by the Figure 5 benchmark.
+
+Schemes: SSS stores per-element bookkeeping during the ranking scan; CSS
+re-derives positions by a second scan (Section 7 measures exactly these
+two for UNPACK; the compact *message* scheme does not apply because
+requests must carry explicit ranks either way).
+
+Phases charged: ``unpack.ranking.*``, ``unpack.requests``,
+``unpack.comm.request``, ``unpack.serve``, ``unpack.comm.reply``,
+``unpack.place``, ``unpack.merge``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from ..hpf.grid import GridLayout
+from ..hpf.vector import VectorLayout
+from ..machine.context import Context
+from ..machine.m2m import exchange
+from .costs import StepCosts
+from .ranking import ranking_program, slice_scan_lengths, slice_view
+from .schemes import PackConfig, Scheme
+from .storage import extract_selected
+
+__all__ = ["UnpackLocal", "unpack_program", "input_vector_layout"]
+
+_TAG_REPLY = 950
+
+
+@dataclass
+class UnpackLocal:
+    """Per-rank outcome of the UNPACK program."""
+
+    array_block: np.ndarray
+    size: int
+    e_i: int  # masked positions filled on this rank
+    served: int  # vector elements this rank supplied to others (self incl.)
+
+
+def input_vector_layout(n_vector: int, nprocs: int, config: PackConfig) -> VectorLayout:
+    """Layout of UNPACK's input vector (BLOCK in all paper experiments)."""
+    if config.result_block is None:
+        return VectorLayout.block(n_vector, nprocs)
+    return VectorLayout.cyclic(n_vector, nprocs, w=config.result_block)
+
+
+def unpack_program(
+    ctx: Context,
+    vector_block: np.ndarray,
+    local_mask: np.ndarray,
+    local_field: np.ndarray,
+    grid: GridLayout,
+    n_vector: int,
+    config: PackConfig,
+    phase_prefix: str = "unpack",
+) -> Generator[Any, Any, UnpackLocal]:
+    """SPMD UNPACK on one rank.
+
+    ``vector_block`` is this rank's block of the input vector (distributed
+    per :func:`input_vector_layout` for global length ``n_vector``);
+    ``local_mask`` / ``local_field`` are aligned blocks of the mask and
+    field arrays.
+    """
+    vector_block = np.asarray(vector_block)
+    local_mask = np.asarray(local_mask, dtype=bool)
+    local_field = np.asarray(local_field)
+    if local_mask.shape != grid.local_shape or local_field.shape != grid.local_shape:
+        raise ValueError(f"rank {ctx.rank}: mask/field block shape mismatch")
+    scheme = config.scheme
+    if scheme is Scheme.CMS:
+        raise ValueError(
+            "UNPACK supports SSS and CSS only (requests carry explicit ranks; "
+            "the compact message scheme has no analogue — paper Section 7)"
+        )
+    costs = StepCosts(local=ctx.spec.local, scheme=scheme, d=grid.d)
+    L = int(np.prod(grid.local_shape))
+
+    # ------------------------------------------------------ stage 1: ranking
+    ranking_result = yield from ranking_program(
+        ctx,
+        local_mask,
+        grid,
+        scheme=scheme,
+        prs=config.prs,
+        phase_prefix=f"{phase_prefix}.ranking",
+    )
+    size = ranking_result.size
+    if n_vector < size:
+        raise ValueError(
+            f"UNPACK vector of {n_vector} elements cannot fill {size} mask trues"
+        )
+    vec = input_vector_layout(n_vector, ctx.size, config)
+
+    # --------------------------------------- stage 2A: compose rank requests
+    ctx.phase(f"{phase_prefix}.requests")
+    # Field values act as the placeholder "array"; only positions/ranks used.
+    sel = extract_selected(local_field, local_mask, ranking_result, grid, vec)
+    e_i = sel.count
+    if not scheme.stores_records:
+        view = slice_view(local_mask, grid)
+        scan2 = int(slice_scan_lengths(view, config.early_exit_scan).sum())
+        ctx.work(costs.second_scan(ranking_result.c, scan2))
+    ctx.work(costs.unpack_requests(e_i, sel.segment_count))
+
+    # Group ranks by owner (contiguous runs: ranks ascending, block layout).
+    requests: dict[int, np.ndarray] = {}
+    request_counts: dict[int, int] = {}
+    request_order: list[int] = []
+    compress = config.compress_requests and not scheme.stores_records
+    if e_i:
+        dests = sel.dests
+        boundaries = np.flatnonzero(np.diff(dests)) + 1
+        brk_all = sel.segment_breaks()
+        for chunk in np.split(np.arange(e_i), boundaries):
+            dest = int(dests[chunk[0]])
+            ranks_chunk = sel.ranks[chunk]
+            request_counts[dest] = int(ranks_chunk.size)
+            if compress:
+                # Run-length encode: segments of consecutive ranks (the
+                # slice property), shipped as (bases, lengths).
+                brk = brk_all[chunk].copy()
+                brk[0] = True
+                starts = np.flatnonzero(brk)
+                ends = np.append(starts[1:], ranks_chunk.size)
+                requests[dest] = (ranks_chunk[starts], (ends - starts))
+            else:
+                requests[dest] = ranks_chunk
+            request_order.append(dest)
+
+    ctx.phase(f"{phase_prefix}.comm.request")
+    if compress:
+        words = {d: 2 * int(r[0].size) for d, r in requests.items()}
+    else:
+        words = {d: int(r.size) for d, r in requests.items()}
+    incoming = yield from exchange(
+        ctx,
+        requests,
+        words=words,
+        schedule=config.m2m_schedule,
+        self_copy_charge=config.charge_self_copy,
+    )
+
+    # ------------------------------------------------- stage 2B: serve reads
+    ctx.phase(f"{phase_prefix}.serve")
+    replies: dict[int, np.ndarray] = {}
+    served = 0
+    for source in sorted(incoming):
+        req = incoming[source]
+        if compress:
+            bases, lengths = req
+            if len(bases):
+                ranks_req = np.concatenate(
+                    [b + np.arange(n, dtype=np.int64) for b, n in zip(bases, lengths)]
+                )
+            else:
+                ranks_req = np.empty(0, dtype=np.int64)
+        else:
+            ranks_req = np.asarray(req)
+        local_idx = vec.locals_(ranks_req) if ranks_req.size else np.empty(0, np.int64)
+        replies[source] = vector_block[local_idx]
+        served += int(ranks_req.size)
+    ctx.work(costs.unpack_serve(served))
+
+    # ------------------------------------------------ stage 2B': send replies
+    ctx.phase(f"{phase_prefix}.comm.reply")
+    P = ctx.size
+    got_values: dict[int, np.ndarray] = {}
+    if ctx.rank in replies:
+        ctx.local_copy(int(replies[ctx.rank].size), charge=config.charge_self_copy)
+        got_values[ctx.rank] = replies[ctx.rank]
+    for k in range(1, P):
+        dest = (ctx.rank + k) % P
+        src = (ctx.rank - k) % P
+        if dest in replies:
+            ctx.send(dest, replies[dest], words=int(replies[dest].size), tag=_TAG_REPLY)
+        if src in requests:
+            msg = yield ctx.recv(source=src, tag=_TAG_REPLY)
+            got_values[src] = np.asarray(msg.payload)
+
+    # -------------------------------------------------- stage 2C: placement
+    ctx.phase(f"{phase_prefix}.place")
+    out_dtype = (
+        np.result_type(vector_block.dtype, local_field.dtype)
+        if vector_block.size
+        else local_field.dtype
+    )
+    out_flat = np.empty(L, dtype=out_dtype)
+    for dest in request_order:
+        vals = got_values[dest]
+        if vals.size != request_counts[dest]:
+            raise AssertionError(
+                f"rank {ctx.rank}: reply size mismatch from {dest}"
+            )
+    if e_i:
+        all_values = (
+            np.concatenate([got_values[d] for d in request_order])
+            if request_order
+            else np.empty(0, dtype=vector_block.dtype)
+        )
+        out_flat[sel.positions] = all_values
+    ctx.work(costs.unpack_place(e_i))
+
+    # ------------------------------------------------ stage 2D: field merge
+    ctx.phase(f"{phase_prefix}.merge")
+    flat_mask = local_mask.ravel()
+    out_flat[~flat_mask] = local_field.ravel()[~flat_mask]
+    ctx.work(costs.field_merge(L))
+
+    return UnpackLocal(
+        array_block=out_flat.reshape(grid.local_shape),
+        size=size,
+        e_i=e_i,
+        served=served,
+    )

@@ -1,0 +1,43 @@
+"""Experiment drivers regenerating every table and figure of Section 7.
+
+Each module exposes ``run(fast=True) -> str`` returning a paper-shaped
+text report (and a structured dict for programmatic use).  ``fast=True``
+shrinks the array sizes 16-fold (same processor counts, same block-size
+sweep shape) so the whole suite runs in seconds; ``fast=False`` uses the
+paper's exact sizes.
+
+Command line::
+
+    python -m repro.experiments table1          # Table I (beta1 crossovers)
+    python -m repro.experiments table2          # Table II (redistribution)
+    python -m repro.experiments fig3 fig4 fig5  # the scheme-comparison figures
+    python -m repro.experiments prs scaling     # PRS study + 256-proc scaling
+    python -m repro.experiments all --full      # everything at paper size
+"""
+
+from . import fig3, fig4, fig5, prs, scaling, sensitivity, table1, table2, topology
+
+ALL = {
+    "table1": table1,
+    "table2": table2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "prs": prs,
+    "scaling": scaling,
+    "sensitivity": sensitivity,
+    "topology": topology,
+}
+
+__all__ = [
+    "ALL",
+    "fig3",
+    "fig4",
+    "fig5",
+    "prs",
+    "scaling",
+    "sensitivity",
+    "table1",
+    "table2",
+    "topology",
+]

@@ -1,0 +1,120 @@
+"""Shared machinery for the experiment drivers."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.api import PackResult, UnpackResult, pack, unpack
+from ..machine.spec import CM5, MachineSpec
+from ..workloads.masks import make_mask
+
+__all__ = [
+    "SPEC",
+    "mask_for",
+    "array_for",
+    "run_pack",
+    "run_unpack",
+    "mask_label",
+    "scale_shape",
+]
+
+#: All experiments run on the CM-5 profile unless they say otherwise.
+SPEC = CM5
+
+
+@lru_cache(maxsize=64)
+def _cached_mask(shape: tuple, kind, seed: int) -> np.ndarray:
+    m = make_mask(shape, kind, seed=seed)
+    m.setflags(write=False)
+    return m
+
+
+@lru_cache(maxsize=32)
+def _cached_array(shape: tuple) -> np.ndarray:
+    rng = np.random.default_rng(12345)
+    a = rng.random(shape)
+    a.setflags(write=False)
+    return a
+
+
+def mask_for(shape, kind, seed: int = 0) -> np.ndarray:
+    """Deterministic cached mask for an experiment point."""
+    return _cached_mask(tuple(shape), kind, seed)
+
+
+def array_for(shape) -> np.ndarray:
+    """Deterministic cached input array (values are irrelevant to timing)."""
+    return _cached_array(tuple(shape))
+
+
+def mask_label(kind) -> str:
+    if isinstance(kind, float):
+        return f"{int(round(kind * 100))}%"
+    return str(kind).upper()
+
+
+def scale_shape(shape, fast: bool) -> tuple[int, ...]:
+    """Shrink the paper's array sizes 16x for fast runs (1-D: /16 on the
+    extent; 2-D: /4 per edge), keeping every divisibility property."""
+    if not fast:
+        return tuple(shape)
+    if len(shape) == 1:
+        return (max(shape[0] // 16, 256),)
+    factor = int(round(16 ** (1 / len(shape))))
+    return tuple(max(n // factor, 32) for n in shape)
+
+
+def run_pack(
+    shape,
+    grid,
+    block,
+    mask_kind,
+    scheme,
+    spec: MachineSpec = SPEC,
+    redistribute: str | None = None,
+    validate: bool = False,
+    **kw,
+) -> PackResult:
+    a = array_for(shape)
+    m = mask_for(shape, mask_kind)
+    return pack(
+        a,
+        m,
+        grid=grid,
+        block=block,
+        scheme=scheme,
+        spec=spec,
+        redistribute=redistribute,
+        validate=validate,
+        **kw,
+    )
+
+
+def run_unpack(
+    shape,
+    grid,
+    block,
+    mask_kind,
+    scheme,
+    spec: MachineSpec = SPEC,
+    validate: bool = False,
+    **kw,
+) -> UnpackResult:
+    m = mask_for(shape, mask_kind)
+    size = int(m.sum())
+    rng = np.random.default_rng(999)
+    v = rng.random(size)
+    f = array_for(shape)
+    return unpack(
+        v,
+        m,
+        f,
+        grid=grid,
+        block=block,
+        scheme=scheme,
+        spec=spec,
+        validate=validate,
+        **kw,
+    )

@@ -1,0 +1,111 @@
+"""Figure 3 — local computation time of SSS / CSS / CMS in PACK vs block
+size.
+
+The paper plots, for the 1-D N=65536 (P=16) and 2-D 512x512 (4x4) arrays,
+the local-computation time of the three schemes as a function of the block
+size, for each mask density.  Expected shapes (Section 7):
+
+* local computation grows as the block size shrinks (tile counts grow),
+  for every density;
+* the simple storage scheme is flattest in W and wins at cyclic (W = 1);
+* the compact schemes win for large W, by a growing margin as density
+  rises.
+"""
+
+from __future__ import annotations
+
+from ..analysis.charts import ascii_chart
+from ..analysis.reporting import format_series
+from ..workloads.grids import block_size_sweep
+from .common import SPEC, mask_label, run_pack, scale_shape
+
+__all__ = ["run", "series"]
+
+SCHEMES = ("sss", "css", "cms")
+
+
+def series(
+    shape,
+    grid,
+    mask_kind,
+    spec=SPEC,
+    metric: str = "local",
+    schemes=SCHEMES,
+    block_points: int | None = None,
+    unpack_mode: bool = False,
+    **pack_kw,
+):
+    """(block sizes, {scheme: [seconds]}) for one panel of Figures 3-5."""
+    from .common import run_unpack  # local import to avoid cycles in docs
+
+    sweep = [
+        w
+        for w in block_size_sweep(shape[-1], grid[-1], block_points)
+        if all(n % (p * w) == 0 for n, p in zip(shape, grid))
+    ]
+    out: dict[str, list[float]] = {s: [] for s in schemes}
+    for w in sweep:
+        block = tuple([w] * len(shape))
+        for s in schemes:
+            if unpack_mode:
+                res = run_unpack(shape, grid, block, mask_kind, s, spec=spec, **pack_kw)
+            else:
+                res = run_pack(shape, grid, block, mask_kind, s, spec=spec, **pack_kw)
+            if metric == "local":
+                out[s].append(res.local_ms / 1e3)
+            elif metric == "total":
+                out[s].append(res.total_ms / 1e3)
+            elif metric == "prs":
+                out[s].append(res.prs_ms / 1e3)
+            elif metric == "m2m":
+                out[s].append(res.m2m_ms / 1e3)
+            else:
+                raise ValueError(f"unknown metric {metric!r}")
+    return sweep, out
+
+
+def run(fast: bool = True, spec=SPEC, densities=(0.1, 0.5, 0.9)) -> str:
+    parts = ["Figure 3 — PACK local computation time vs block size", ""]
+    shape_1d = scale_shape((65536,), fast)
+    shape_2d = scale_shape((512, 512), fast)
+    block_points = 6 if fast else None
+
+    for mk in list(densities) + ["half"]:
+        sweep, data = series(
+            shape_1d, (16,), mk, spec=spec, metric="local", block_points=block_points
+        )
+        parts.append(
+            format_series(
+                f"1-D N={shape_1d[0]}, P=16, mask={mask_label(mk)}",
+                "W",
+                sweep,
+                data,
+            )
+        )
+        parts.append("")
+        parts.append(ascii_chart(sweep, data))
+        parts.append("")
+    for mk in list(densities) + ["lt"]:
+        sweep, data = series(
+            shape_2d, (4, 4), mk, spec=spec, metric="local", block_points=block_points
+        )
+        parts.append(
+            format_series(
+                f"2-D N={shape_2d[0]}x{shape_2d[1]}, P=4x4, mask={mask_label(mk)}",
+                "W",
+                sweep,
+                data,
+            )
+        )
+        parts.append("")
+        parts.append(ascii_chart(sweep, data))
+        parts.append("")
+    parts.append(
+        "Shape checks: every curve falls as W grows; SSS flattest and best at "
+        "W=1; CSS/CMS best at large W, more so at high density."
+    )
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=False))

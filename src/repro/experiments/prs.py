@@ -1,0 +1,118 @@
+"""Prefix-reduction-sum study (Section 7, "Vector Prefix-Reduction-Sum").
+
+Paper findings to reproduce:
+
+* PRS time depends only on the vector length, so it falls as the block
+  size grows (fewer tiles -> shorter PS/RS vectors);
+* it grows faster for 2-D than 1-D arrays as W shrinks (two PRS rounds,
+  and the dimension-0 vector is ``L_1 * T_0`` long);
+* the split algorithm beats the direct algorithm as P and M grow
+  (the [1, 6] comparison), while direct wins for small P or tiny vectors
+  (the paper's selection heuristic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.reporting import format_series, format_table
+from ..collectives.pipeline import prs_pipeline
+from ..collectives.prefix import prs_ctrl, prs_direct, prs_split
+from ..machine.engine import Machine
+from ..workloads.grids import block_size_sweep
+from .common import SPEC, run_pack, scale_shape
+
+__all__ = ["run", "prs_times", "prs_in_pack_series"]
+
+
+def prs_times(P: int, M: int, spec=SPEC, seed: int = 0) -> dict[str, float]:
+    """Simulated seconds for one PRS of length M on P processors, per
+    algorithm (ctrl skipped if the machine lacks a control network)."""
+    rng = np.random.default_rng(seed)
+    vecs = [rng.integers(0, 100, size=M).astype(np.int64) for _ in range(P)]
+    out = {}
+    algos = {"direct": prs_direct, "split": prs_split}
+    if P & (P - 1) == 0 and P > 1:
+        algos["pipeline"] = prs_pipeline
+    if spec.has_control_network:
+        algos["ctrl"] = prs_ctrl
+
+    for name, fn in algos.items():
+        def prog(ctx, _fn=fn):
+            result = yield from _fn(ctx, vecs[ctx.rank])
+            return result.reduction.sum()
+
+        res = Machine(P, spec).run(prog)
+        out[name] = res.elapsed
+    return out
+
+
+def prs_in_pack_series(shape, grid, spec=SPEC, block_points=None):
+    """PRS time inside a real PACK, as a function of the block size."""
+    sweep = [
+        w
+        for w in block_size_sweep(shape[-1], grid[-1], block_points)
+        if all(n % (p * w) == 0 for n, p in zip(shape, grid))
+    ]
+    times = []
+    for w in sweep:
+        res = run_pack(shape, grid, tuple([w] * len(shape)), 0.5, "css", spec=spec)
+        times.append(res.prs_ms / 1e3)
+    return sweep, times
+
+
+def run(fast: bool = True, spec=SPEC) -> str:
+    parts = ["Prefix-reduction-sum study", ""]
+
+    # Algorithm comparison across P and M (software algorithms; the CM-5
+    # control network is shown for reference where applicable).
+    soft_spec = spec.without_control_network()
+    procs = (4, 16, 64) if fast else (4, 16, 64, 256)
+    sizes = (16, 256, 4096) if fast else (16, 256, 4096, 65536)
+    rows = []
+    for P in procs:
+        for M in sizes:
+            t = prs_times(P, M, spec=soft_spec)
+            winner = min(t, key=t.get)
+            rows.append([
+                P, M, t["direct"] * 1e3, t["split"] * 1e3,
+                t.get("pipeline", float("nan")) * 1e3 if "pipeline" in t else None,
+                winner,
+            ])
+    parts.append(
+        format_table(
+            ["P", "M", "direct (ms)", "split (ms)", "pipeline (ms)", "winner"],
+            rows,
+            title="Software PRS algorithms (no control network); pipeline = "
+            "the [6] O(tau log P + mu M) tree",
+        )
+    )
+    parts.append("")
+
+    # PRS share inside PACK vs block size, 1-D and 2-D.
+    shape_1d = scale_shape((65536,), fast)
+    shape_2d = scale_shape((512, 512), fast)
+    bp = 6 if fast else None
+    s1, t1 = prs_in_pack_series(shape_1d, (16,), spec=spec, block_points=bp)
+    s2, t2 = prs_in_pack_series(shape_2d, (4, 4), spec=spec, block_points=bp)
+    parts.append(
+        format_series(
+            f"PRS time within PACK, 1-D N={shape_1d[0]} P=16", "W", s1, {"prs": t1}
+        )
+    )
+    parts.append("")
+    parts.append(
+        format_series(
+            f"PRS time within PACK, 2-D N={shape_2d[0]}^2 P=4x4", "W", s2, {"prs": t2}
+        )
+    )
+    parts.append("")
+    parts.append(
+        "Shape checks: split wins for large P*M, direct for small; PRS time "
+        "falls as W grows, faster for 2-D."
+    )
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=False))

@@ -1,0 +1,64 @@
+"""The 256-processor scaling study (Section 7).
+
+"Other experiments were performed on the CM-5 by using 256 processors
+(16x16 for a two-dimensional array) ... we increased the size of the input
+arrays 16 times as we increased the number of processors 16 times.  Hence
+the local array size was fixed, but the number of processors was
+increased 16 times."  — classic weak scaling.
+
+Expected shape: with fixed local size, local computation stays flat while
+communication (PRS + many-to-many) grows, so at large P the total is
+communication-dominated — the paper's stated observation.
+"""
+
+from __future__ import annotations
+
+from ..analysis.reporting import format_table
+from .common import SPEC, run_pack, scale_shape
+
+__all__ = ["run", "weak_scaling_rows"]
+
+
+def weak_scaling_rows(base_1d: int, base_2d: int, fast: bool, spec=SPEC):
+    """[(label, P, total, local, prs, m2m)] for the 16x weak-scaling step."""
+    rows = []
+    cases = [
+        (f"1-D N={base_1d}", (base_1d,), (16,)),
+        (f"1-D N={base_1d * 16}", (base_1d * 16,), (256,)),
+        (f"2-D {base_2d}^2", (base_2d, base_2d), (4, 4)),
+        (f"2-D {base_2d * 4}^2", (base_2d * 4, base_2d * 4), (16, 16)),
+    ]
+    for label, shape, grid in cases:
+        res = run_pack(shape, grid, 4, 0.5, "cms", spec=spec)
+        rows.append(
+            [
+                label,
+                "x".join(map(str, grid)),
+                res.total_ms,
+                res.local_ms,
+                res.prs_ms,
+                res.m2m_ms,
+            ]
+        )
+    return rows
+
+
+def run(fast: bool = True, spec=SPEC) -> str:
+    base_1d = scale_shape((65536,), fast)[0]
+    base_2d = scale_shape((512, 512), fast)[0]
+    rows = weak_scaling_rows(base_1d, base_2d, fast, spec)
+    report = format_table(
+        ["Case", "P", "total (ms)", "local (ms)", "prs (ms)", "m2m (ms)"],
+        rows,
+        title="Weak scaling: 16x processors, 16x elements (fixed local size)",
+    )
+    return (
+        "Scaling study (CMS pack, W = 4, 50% mask)\n\n"
+        + report
+        + "\n\nShape checks: local time ~flat; communication share grows with "
+        "P, dominating the 256-processor totals."
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=False))

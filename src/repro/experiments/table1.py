@@ -1,0 +1,107 @@
+"""Table I — beta1 crossover block sizes (CSS beats SSS above beta1).
+
+The paper reports, for each local size and mask density, the block size
+above which the compact storage scheme's local computation beats the
+simple storage scheme's.  We compute the same crossovers from the
+Section 6.4 model (which charges exactly what the simulator charges — the
+test suite asserts their equality) over the paper's power-of-two block
+sweep, and print the published values alongside.
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import beta1_table, beta2_table
+from ..analysis.reporting import format_table, fmt_value
+from ..workloads.grids import PAPER_DENSITIES
+from .common import SPEC, mask_label
+
+__all__ = ["run", "PAPER_TABLE1_1D", "PAPER_TABLE1_2D"]
+
+#: Published Table I values: local size -> [10%, 30%, 50%, 70%, 90%, LT].
+PAPER_TABLE1_1D = {
+    1024: [64, 8, 8, 4, 4, 4],
+    2048: [128, 16, 8, 4, 4, 4],
+    4096: [512, 16, 8, 4, 4, 4],
+    8192: [2048, 8, 8, 4, 4, 4],
+}
+PAPER_TABLE1_2D = {
+    16: [float("inf"), 4, 4, 2, 2, 2],
+    32: [float("inf"), 8, 2, 2, 2, 2],
+    64: [32, 8, 2, 2, 2, 2],
+    128: [16, 4, 4, 2, 2, 2],
+}
+
+_KINDS_1D = list(PAPER_DENSITIES) + ["half"]
+_KINDS_2D = list(PAPER_DENSITIES) + ["lt"]
+
+
+def run(fast: bool = True, spec=SPEC) -> str:
+    """Regenerate Table I; ``fast`` trims the 1-D sizes to the two ends."""
+    shapes_1d = [(16384,), (131072,)] if fast else [
+        (16384,), (32768,), (65536,), (131072,)
+    ]
+    shapes_2d = [(64, 64), (512, 512)] if fast else [
+        (64, 64), (128, 128), (256, 256), (512, 512)
+    ]
+
+    t1d = beta1_table(shapes_1d, (16,), _KINDS_1D, spec=spec)
+    t2d = beta1_table(shapes_2d, (4, 4), _KINDS_2D, spec=spec)
+    b2_1d = beta2_table(shapes_1d, (16,), _KINDS_1D, spec=spec)
+
+    headers = ["Local size"] + [mask_label(k) for k in _KINDS_1D] + ["(paper)"]
+    rows_1d = []
+    for shape in shapes_1d:
+        local = shape[0] // 16
+        row = [local] + [t1d[(shape, k)] for k in _KINDS_1D]
+        paper = PAPER_TABLE1_1D.get(local)
+        row.append("/".join(fmt_value(float(v)) for v in paper) if paper else "-")
+        rows_1d.append(row)
+
+    rows_2d = []
+    for shape in shapes_2d:
+        local = shape[0] // 4
+        row = [local] + [t2d[(shape, k)] for k in _KINDS_2D]
+        paper = PAPER_TABLE1_2D.get(local)
+        row.append("/".join(fmt_value(float(v)) for v in paper) if paper else "-")
+        rows_2d.append(row)
+
+    rows_b2 = []
+    for shape in shapes_1d:
+        rows_b2.append([shape[0] // 16] + [b2_1d[(shape, k)] for k in _KINDS_1D] + ["-"])
+
+    parts = [
+        "Table I — beta1: block size above which CSS beats SSS (local computation)",
+        "",
+        format_table(headers, rows_1d, title="1-D arrays, P = 16"),
+        "",
+        format_table(
+            ["Local/dim"] + [mask_label(k) for k in _KINDS_2D] + ["(paper)"],
+            rows_2d,
+            title="2-D arrays, P = 4 x 4 (equal block size per dimension)",
+        ),
+        "",
+        format_table(
+            headers[:-1] + ["(paper)"],
+            rows_b2,
+            title="beta2: block size above which CMS beats CSS (not tabulated in paper)",
+        ),
+        "",
+        "Shape checks: beta1 > 1 everywhere (SSS best for cyclic);",
+        "beta1 falls as density rises; beta1 at 10% grows with local size.",
+    ]
+    return "\n".join(parts)
+
+
+def data(fast: bool = True, spec=SPEC) -> dict:
+    """Structured beta1 values for programmatic consumers / benchmarks."""
+    shapes_1d = [(16384,), (131072,)] if fast else [
+        (16384,), (32768,), (65536,), (131072,)
+    ]
+    return {
+        "1d": beta1_table(shapes_1d, (16,), _KINDS_1D, spec=spec),
+        "2d": beta1_table([(64, 64)], (4, 4), _KINDS_2D, spec=spec),
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=False))

@@ -1,0 +1,91 @@
+"""Table II — the Section 6.3 redistribution pre-passes vs direct SSS for
+a cyclically distributed input.
+
+The paper's timing convention: the pre-pass time is *added to* the total
+time of a compact-message-scheme pack on the block distribution, and
+compared against the best direct scheme for cyclic input (SSS).
+
+Published shape (1-D: N = 16384, 65536 on 16 procs; 2-D: 256^2, 512^2 on
+4x4):
+
+* 1-D: neither Red.1 nor Red.2 beats SSS (communication detection
+  dominates the redistribution cost);
+* 2-D: Red.1 beats SSS at low densities, Red.2 at high densities, and
+  Red.2's time is almost density-independent.
+"""
+
+from __future__ import annotations
+
+from ..analysis.reporting import format_table
+from ..workloads.grids import PAPER_DENSITIES
+from .common import SPEC, mask_label, run_pack, scale_shape
+
+__all__ = ["run", "rows_for", "PAPER_TABLE2_1D_16384"]
+
+#: Published Table II, 1-D N=16384 column (msec): density -> (SSS, Red.1, Red.2).
+PAPER_TABLE2_1D_16384 = {
+    0.1: (8.83, 139.70, 382.13),
+    0.3: (10.89, 141.80, 382.51),
+    0.5: (12.40, 143.29, 382.67),
+    0.7: (14.09, 144.86, 382.94),
+    0.9: (15.66, 146.63, 383.25),
+}
+
+
+def rows_for(shape, grid, spec=SPEC, densities=PAPER_DENSITIES):
+    """[(density, sss_ms, red1_ms, red2_ms)] for a cyclic input array."""
+    rows = []
+    for dens in densities:
+        sss = run_pack(shape, grid, "cyclic", dens, "sss", spec=spec)
+        red1 = run_pack(shape, grid, "cyclic", dens, "cms", spec=spec,
+                        redistribute="selected")
+        red2 = run_pack(shape, grid, "cyclic", dens, "cms", spec=spec,
+                        redistribute="whole")
+        rows.append((dens, sss.total_ms, red1.total_ms, red2.total_ms))
+    return rows
+
+
+def run(fast: bool = True, spec=SPEC) -> str:
+    shapes_1d = [scale_shape((16384,), fast)] + ([] if fast else [(65536,)])
+    shapes_2d = [scale_shape((256, 256), fast)] + ([] if fast else [(512, 512)])
+
+    parts = [
+        "Table II — redistribution schemes vs SSS for cyclic input "
+        "(total PACK time, msec; Red.x = pre-pass + CMS on block)",
+        "",
+    ]
+    for shape in shapes_1d:
+        rows = [
+            [mask_label(d), sss, r1, r2]
+            for d, sss, r1, r2 in rows_for(shape, (16,), spec)
+        ]
+        parts.append(
+            format_table(
+                ["Density", "SSS (ms)", "Red.1 (ms)", "Red.2 (ms)"],
+                rows,
+                title=f"1-D N={shape[0]}, P=16, cyclic input",
+            )
+        )
+        parts.append("")
+    for shape in shapes_2d:
+        rows = [
+            [mask_label(d), sss, r1, r2]
+            for d, sss, r1, r2 in rows_for(shape, (4, 4), spec)
+        ]
+        parts.append(
+            format_table(
+                ["Density", "SSS (ms)", "Red.1 (ms)", "Red.2 (ms)"],
+                rows,
+                title=f"2-D N={shape[0]}x{shape[1]}, P=4x4, cyclic input",
+            )
+        )
+        parts.append("")
+    parts.append(
+        "Shape checks: 1-D — both pre-passes lose to SSS; 2-D — Red.1 wins "
+        "at low density, Red.2 at high density; Red.2 nearly density-flat."
+    )
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=False))

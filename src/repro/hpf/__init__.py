@@ -1,0 +1,46 @@
+"""HPF-style data distribution substrate.
+
+Implements the data layout machinery of Section 3 of the paper: arrays of
+arbitrary rank distributed **block-cyclic** along every dimension over a
+logical processor grid, with the paper's row-major ordering convention
+(dimension 0 varies fastest; paper dimension *i* is numpy axis ``d-1-i``).
+
+Main entry points:
+
+* :class:`~repro.hpf.dist.Dist` descriptors — ``BLOCK``, ``CYCLIC``,
+  ``BlockCyclic(W)``;
+* :class:`~repro.hpf.dimlayout.DimLayout` — one dimension's index algebra;
+* :class:`~repro.hpf.grid.GridLayout` — the d-dimensional layout plus the
+  processor-grid rank mapping;
+* :class:`~repro.hpf.array.DistributedArray` — host-side container pairing
+  a layout with per-rank local blocks (scatter/gather for oracle checks);
+* :class:`~repro.hpf.vector.VectorLayout` — the distribution of PACK's
+  result vector / UNPACK's input vector;
+* :mod:`repro.hpf.redistribute` — communication detection and whole-array
+  redistribution between two layouts (used by the Section 6.3 pre-passes).
+"""
+
+from .align import check_aligned, check_conformable
+from .array import DistributedArray
+from .dimlayout import DimLayout
+from .dist import BLOCK, CYCLIC, BlockCyclic, Dist, resolve_dist
+from .grid import GridLayout
+from .redistribute import detect_recvs, detect_sends, redistribute
+from .vector import VectorLayout
+
+__all__ = [
+    "BLOCK",
+    "BlockCyclic",
+    "CYCLIC",
+    "DimLayout",
+    "Dist",
+    "DistributedArray",
+    "GridLayout",
+    "VectorLayout",
+    "check_aligned",
+    "check_conformable",
+    "detect_recvs",
+    "detect_sends",
+    "redistribute",
+    "resolve_dist",
+]

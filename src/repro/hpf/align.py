@@ -1,0 +1,48 @@
+"""Conformance and alignment checks.
+
+The paper assumes the mask array ``M`` is *conformable with and aligned to*
+the input array ``A`` (PACK), and that the field array ``F`` and result
+array ``A`` are conformable with and aligned to ``M`` (UNPACK).  In HPF
+terms: same shape, and distributed identically so corresponding elements
+are co-resident.  These helpers enforce that contract early with precise
+error messages instead of letting shape bugs surface as wrong answers deep
+inside the ranking stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .grid import GridLayout
+
+__all__ = ["check_conformable", "check_aligned"]
+
+
+def check_conformable(a: np.ndarray, b: np.ndarray, what: str = "arrays") -> None:
+    """Raise unless the two arrays have identical shape."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"{what} not conformable: {a.shape} vs {b.shape}")
+
+
+def check_aligned(layout_a: GridLayout, layout_b: GridLayout, what: str = "arrays") -> None:
+    """Raise unless the two layouts place every element identically."""
+    if layout_a.d != layout_b.d:
+        raise ValueError(f"{what} not aligned: ranks differ ({layout_a.d} vs {layout_b.d})")
+    for i, (da, db) in enumerate(zip(layout_a.dims, layout_b.dims)):
+        if (da.n, da.p, da.w) != (db.n, db.p, db.w):
+            raise ValueError(
+                f"{what} not aligned on paper dimension {i}: "
+                f"{da.describe()} vs {db.describe()}"
+            )
+
+
+def check_local_block(layout: GridLayout, block: np.ndarray, rank: int) -> None:
+    """Raise unless ``block`` has the layout's local shape."""
+    block = np.asarray(block)
+    if block.shape != layout.local_shape:
+        raise ValueError(
+            f"rank {rank}: local block shape {block.shape} != layout local "
+            f"shape {layout.local_shape}"
+        )

@@ -1,0 +1,74 @@
+"""Host-side container for a distributed array.
+
+The simulator hosts every rank in one process, so a "distributed array" is
+simply a layout plus the list of per-rank local blocks.  Programs receive
+only their own local block (the engine passes it via ``rank_args``); this
+container exists for setup, for gathering results, and for oracle checks in
+tests.  It never appears inside SPMD programs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .align import check_local_block
+from .grid import GridLayout
+
+__all__ = ["DistributedArray"]
+
+
+class DistributedArray:
+    """A global array paired with its block-cyclic layout.
+
+    Construct with :meth:`from_global` (scatters a numpy array) or
+    :meth:`from_locals` (adopts per-rank blocks).  ``to_global()``
+    reassembles the full array.
+    """
+
+    def __init__(self, layout: GridLayout, locals_: list[np.ndarray]):
+        if len(locals_) != layout.nprocs:
+            raise ValueError(
+                f"layout has {layout.nprocs} ranks but {len(locals_)} blocks given"
+            )
+        for rank, block in enumerate(locals_):
+            check_local_block(layout, block, rank)
+        self.layout = layout
+        self._locals = [np.asarray(b) for b in locals_]
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def from_global(cls, global_array: np.ndarray, layout: GridLayout) -> "DistributedArray":
+        return cls(layout, layout.scatter(np.asarray(global_array)))
+
+    @classmethod
+    def from_locals(
+        cls, locals_: Sequence[np.ndarray], layout: GridLayout
+    ) -> "DistributedArray":
+        return cls(layout, list(locals_))
+
+    # -------------------------------------------------------------- access
+    def local(self, rank: int) -> np.ndarray:
+        """This rank's local block (a live reference, not a copy)."""
+        return self._locals[rank]
+
+    def locals_list(self) -> list[np.ndarray]:
+        return list(self._locals)
+
+    def to_global(self) -> np.ndarray:
+        return self.layout.gather(self._locals)
+
+    @property
+    def dtype(self):
+        return self._locals[0].dtype
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.layout.shape
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedArray(shape={self.shape}, grid={self.layout.grid}, "
+            f"dtype={self.dtype})"
+        )

@@ -1,0 +1,139 @@
+"""Index algebra for one block-cyclically distributed dimension.
+
+With extent ``N``, processor count ``P`` and block size ``W`` (Section 3 of
+the paper, which assumes ``P*W | N``):
+
+* a **block** is ``W`` consecutive global indices;
+* a **tile** is ``P`` consecutive blocks (``S = P*W`` indices), one block
+  per processor — so each processor owns exactly one block of every tile;
+* ``T = N / S`` tiles exist, each processor holds ``L = N / P = T*W`` local
+  elements, stored tile-major: local index ``l = t*W + w`` holds global
+  index ``g = t*S + p*W + w``.
+
+All maps are provided in scalar and vectorized (numpy) form; the vectorized
+forms are what the library uses on hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DimLayout"]
+
+
+@dataclass(frozen=True)
+class DimLayout:
+    """Block-cyclic layout of one dimension: extent ``n`` over ``p`` procs
+    with block size ``w``.
+
+    Enforces the paper's simplifying assumption ``P*W | N`` (Section 3),
+    which makes every processor's local extent identical.
+    """
+
+    n: int
+    p: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.p < 1 or self.w < 1:
+            raise ValueError(f"need positive N, P, W; got {self.n}, {self.p}, {self.w}")
+        if self.n % (self.p * self.w) != 0:
+            raise ValueError(
+                f"paper assumption violated: P*W must divide N "
+                f"(N={self.n}, P={self.p}, W={self.w}, P*W={self.p * self.w})"
+            )
+
+    # ------------------------------------------------------------ derived
+    @property
+    def s(self) -> int:
+        """Tile size ``S = P*W``."""
+        return self.p * self.w
+
+    @property
+    def t(self) -> int:
+        """Number of tiles ``T = N / (P*W)``."""
+        return self.n // self.s
+
+    @property
+    def l(self) -> int:
+        """Local extent per processor ``L = N / P = T*W``."""
+        return self.n // self.p
+
+    @property
+    def is_block(self) -> bool:
+        return self.w == self.l
+
+    @property
+    def is_cyclic(self) -> bool:
+        return self.w == 1
+
+    # ------------------------------------------------------- scalar maps
+    def owner(self, g: int) -> int:
+        """Processor coordinate owning global index ``g``."""
+        self._check_global(g)
+        return (g // self.w) % self.p
+
+    def tile(self, g: int) -> int:
+        """Tile number of global index ``g``."""
+        self._check_global(g)
+        return g // self.s
+
+    def local(self, g: int) -> int:
+        """Local index of ``g`` on its owner."""
+        self._check_global(g)
+        return (g // self.s) * self.w + g % self.w
+
+    def global_(self, p: int, l: int) -> int:
+        """Global index of local index ``l`` on processor coordinate ``p``."""
+        if not (0 <= p < self.p):
+            raise ValueError(f"processor coordinate {p} out of range [0, {self.p})")
+        if not (0 <= l < self.l):
+            raise ValueError(f"local index {l} out of range [0, {self.l})")
+        t, w = divmod(l, self.w)
+        return t * self.s + p * self.w + w
+
+    def _check_global(self, g: int) -> None:
+        if not (0 <= g < self.n):
+            raise ValueError(f"global index {g} out of range [0, {self.n})")
+
+    # --------------------------------------------------- vectorized maps
+    def owners(self, g: np.ndarray) -> np.ndarray:
+        g = np.asarray(g)
+        return (g // self.w) % self.p
+
+    def tiles(self, g: np.ndarray) -> np.ndarray:
+        return np.asarray(g) // self.s
+
+    def locals_(self, g: np.ndarray) -> np.ndarray:
+        g = np.asarray(g)
+        return (g // self.s) * self.w + g % self.w
+
+    def globals_(self, p: int, l: np.ndarray | None = None) -> np.ndarray:
+        """Global indices of local indices ``l`` (default: all of them) on
+        processor coordinate ``p``, in local order.
+
+        The result is strictly increasing: local storage order equals
+        global order restricted to one processor.
+        """
+        if l is None:
+            l = np.arange(self.l, dtype=np.int64)
+        else:
+            l = np.asarray(l, dtype=np.int64)
+        t, w = np.divmod(l, self.w)
+        return t * self.s + p * self.w + w
+
+    def local_tiles(self, l: np.ndarray) -> np.ndarray:
+        """Tile number of each local index (same on every processor)."""
+        return np.asarray(l) // self.w
+
+    # ---------------------------------------------------------- reporting
+    def describe(self) -> str:
+        if self.is_block:
+            fmt = "BLOCK"
+        elif self.is_cyclic:
+            fmt = "CYCLIC"
+        else:
+            fmt = f"CYCLIC({self.w})"
+        return f"{fmt}: N={self.n} P={self.p} W={self.w} L={self.l} T={self.t} S={self.s}"

@@ -1,0 +1,93 @@
+"""Distribution descriptors: BLOCK, CYCLIC and BLOCK-CYCLIC(W).
+
+HPF's ``DISTRIBUTE`` directive offers three per-dimension formats, all of
+which are special cases of block-cyclic with block size ``W``:
+
+* ``CYCLIC``       — ``W = 1``: element ``g`` lives on processor ``g mod P``;
+* ``BLOCK``        — ``W = N / P``: one contiguous block per processor;
+* ``CYCLIC(W)``    — general block-cyclic: blocks of ``W`` dealt round-robin.
+
+A :class:`Dist` is a symbolic descriptor; :func:`resolve_dist` turns it into
+a concrete block size once the extent ``N`` and processor count ``P`` are
+known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Dist", "BLOCK", "CYCLIC", "BlockCyclic", "resolve_dist"]
+
+
+@dataclass(frozen=True)
+class Dist:
+    """Symbolic distribution format for one array dimension.
+
+    ``kind`` is ``"block"``, ``"cyclic"`` or ``"block_cyclic"``; ``w`` is
+    the block size for the ``block_cyclic`` kind (ignored otherwise).
+    """
+
+    kind: str
+    w: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("block", "cyclic", "block_cyclic"):
+            raise ValueError(f"unknown distribution kind {self.kind!r}")
+        if self.kind == "block_cyclic":
+            if self.w is None or self.w < 1:
+                raise ValueError(f"block_cyclic needs a block size >= 1, got {self.w}")
+        elif self.w is not None:
+            raise ValueError(f"{self.kind} takes no block size")
+
+    def block_size(self, n: int, p: int) -> int:
+        """Concrete block size for extent ``n`` over ``p`` processors."""
+        if n < 1 or p < 1:
+            raise ValueError(f"need positive extent and processor count, got {n}, {p}")
+        if self.kind == "cyclic":
+            return 1
+        if self.kind == "block":
+            if n % p != 0:
+                raise ValueError(
+                    f"BLOCK distribution needs P | N (paper assumption); got N={n}, P={p}"
+                )
+            return n // p
+        return int(self.w)  # block_cyclic
+
+    def __repr__(self) -> str:
+        if self.kind == "block_cyclic":
+            return f"CYCLIC({self.w})"
+        return self.kind.upper()
+
+
+#: One contiguous block per processor (lowest ranking overhead, Section 6.3).
+BLOCK = Dist("block")
+
+#: Round-robin single elements (highest ranking overhead).
+CYCLIC = Dist("cyclic")
+
+
+def BlockCyclic(w: int) -> Dist:
+    """Block-cyclic distribution with block size ``w`` (HPF ``CYCLIC(w)``)."""
+    return Dist("block_cyclic", w=int(w))
+
+
+def resolve_dist(dist, n: int, p: int) -> int:
+    """Accept a :class:`Dist`, an int block size, or a kind string; return W.
+
+    This is the permissive front door used by the top-level API:
+    ``resolve_dist(4, 64, 4) == 4``, ``resolve_dist("block", 64, 4) == 16``,
+    ``resolve_dist(CYCLIC, 64, 4) == 1``.
+    """
+    if isinstance(dist, Dist):
+        return dist.block_size(n, p)
+    if isinstance(dist, str):
+        key = dist.lower()
+        if key == "block":
+            return BLOCK.block_size(n, p)
+        if key == "cyclic":
+            return CYCLIC.block_size(n, p)
+        raise ValueError(f"unknown distribution string {dist!r}")
+    w = int(dist)
+    if w < 1:
+        raise ValueError(f"block size must be >= 1, got {w}")
+    return w

@@ -1,0 +1,244 @@
+"""d-dimensional block-cyclic layout over a logical processor grid.
+
+Conventions (Section 3 of the paper):
+
+* the array shape is written ``(N_{d-1}, ..., N_1, N_0)`` and row-major
+  ordering is used, so **paper dimension 0 varies fastest** — it is the
+  *last* numpy axis.  Paper dimension ``i`` is numpy axis ``d-1-i``
+  (:meth:`GridLayout.axis`).
+* the processor grid is ``(P_{d-1}, ..., P_0)``; a processor has grid
+  coordinates ``(p_{d-1}, ..., p_0)``.  Machine ranks enumerate the grid
+  with dimension 0 fastest: ``rank = sum_i p_i * prod_{k<i} P_k``.
+
+A :class:`GridLayout` owns one :class:`~repro.hpf.dimlayout.DimLayout` per
+dimension plus the rank mapping, and provides scatter/gather between a
+global numpy array and per-rank local blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from .dimlayout import DimLayout
+from .dist import resolve_dist
+
+__all__ = ["GridLayout"]
+
+
+@dataclass(frozen=True)
+class GridLayout:
+    """Layout of a rank-d array; ``dims[i]`` is paper dimension ``i``.
+
+    Note the *constructor order*: ``dims`` is indexed by paper dimension
+    (0 = fastest varying), while the classmethod :meth:`create` accepts
+    shape/grid/block tuples in the familiar numpy order (slowest first)
+    and flips them.
+    """
+
+    dims: tuple[DimLayout, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("need at least one dimension")
+
+    # ------------------------------------------------------------- factory
+    @classmethod
+    def create(
+        cls,
+        shape: Sequence[int],
+        grid: Sequence[int],
+        block: Sequence | int | str | None = None,
+    ) -> "GridLayout":
+        """Build a layout from numpy-order tuples.
+
+        Parameters
+        ----------
+        shape:
+            array shape ``(N_{d-1}, ..., N_0)`` (numpy order).
+        grid:
+            processor grid ``(P_{d-1}, ..., P_0)`` (numpy order).
+        block:
+            per-dimension block sizes (numpy order), or one value applied
+            to every dimension.  Each entry may be an int, a
+            :class:`~repro.hpf.dist.Dist`, ``"block"`` or ``"cyclic"``.
+            Default: ``"block"``.
+        """
+        shape = tuple(int(n) for n in shape)
+        grid = tuple(int(p) for p in grid)
+        if len(shape) != len(grid):
+            raise ValueError(f"shape {shape} and grid {grid} have different ranks")
+        d = len(shape)
+        if block is None:
+            block = "block"
+        if isinstance(block, (int, str)) or not isinstance(block, (list, tuple)):
+            block = [block] * d
+        if len(block) != d:
+            raise ValueError(f"block spec {block} has wrong rank for shape {shape}")
+        dims = []
+        # numpy axis j is paper dimension d-1-j.
+        for i in range(d):  # paper dimension i
+            j = d - 1 - i
+            w = resolve_dist(block[j], shape[j], grid[j])
+            dims.append(DimLayout(n=shape[j], p=grid[j], w=w))
+        return cls(dims=tuple(dims))
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def d(self) -> int:
+        """Array rank."""
+        return len(self.dims)
+
+    def axis(self, i: int) -> int:
+        """Numpy axis corresponding to paper dimension ``i``."""
+        return self.d - 1 - i
+
+    @cached_property
+    def shape(self) -> tuple[int, ...]:
+        """Global shape in numpy order."""
+        return tuple(self.dims[self.d - 1 - j].n for j in range(self.d))
+
+    @cached_property
+    def grid(self) -> tuple[int, ...]:
+        """Processor grid in numpy order."""
+        return tuple(self.dims[self.d - 1 - j].p for j in range(self.d))
+
+    @cached_property
+    def local_shape(self) -> tuple[int, ...]:
+        """Per-rank local block shape in numpy order (same on every rank)."""
+        return tuple(self.dims[self.d - 1 - j].l for j in range(self.d))
+
+    @property
+    def nprocs(self) -> int:
+        out = 1
+        for dim in self.dims:
+            out *= dim.p
+        return out
+
+    @property
+    def n(self) -> int:
+        """Global element count N."""
+        out = 1
+        for dim in self.dims:
+            out *= dim.n
+        return out
+
+    @property
+    def local_size(self) -> int:
+        """Per-rank element count L = N / P."""
+        return self.n // self.nprocs
+
+    # --------------------------------------------------------- rank mapping
+    def coords_of_rank(self, rank: int) -> tuple[int, ...]:
+        """Grid coordinates ``(p_{d-1}, ..., p_0)`` — *paper* order tuple
+        indexed so that ``coords[i]`` is the coordinate on paper dim i."""
+        if not (0 <= rank < self.nprocs):
+            raise ValueError(f"rank {rank} out of range [0, {self.nprocs})")
+        coords = []
+        r = rank
+        for dim in self.dims:  # dimension 0 fastest
+            coords.append(r % dim.p)
+            r //= dim.p
+        return tuple(coords)
+
+    def rank_of_coords(self, coords: Sequence[int]) -> int:
+        """Inverse of :meth:`coords_of_rank` (``coords[i]`` = paper dim i)."""
+        if len(coords) != self.d:
+            raise ValueError(f"coords {coords} has wrong rank {len(coords)} != {self.d}")
+        rank = 0
+        stride = 1
+        for i, dim in enumerate(self.dims):
+            c = coords[i]
+            if not (0 <= c < dim.p):
+                raise ValueError(f"coordinate {c} out of range on paper dim {i}")
+            rank += c * stride
+            stride *= dim.p
+        return rank
+
+    def group_along(self, i: int, coords: Sequence[int]) -> tuple[int, ...]:
+        """Ranks of the processors varying only paper dimension ``i``.
+
+        Returned sorted ascending, which coincides with increasing ``p_i``
+        because lower dimensions have smaller rank strides.
+        """
+        if not (0 <= i < self.d):
+            raise ValueError(f"paper dimension {i} out of range")
+        base = list(coords)
+        ranks = []
+        for pi in range(self.dims[i].p):
+            base[i] = pi
+            ranks.append(self.rank_of_coords(base))
+        return tuple(sorted(ranks))
+
+    # ------------------------------------------------------ scatter/gather
+    def local_global_indices(self, rank: int) -> list[np.ndarray]:
+        """Per-numpy-axis sorted global indices owned by ``rank``.
+
+        ``np.ix_`` of these index vectors selects exactly the rank's local
+        block, in local storage order.
+        """
+        coords = self.coords_of_rank(rank)
+        out = []
+        for j in range(self.d):  # numpy axis order
+            i = self.d - 1 - j
+            out.append(self.dims[i].globals_(coords[i]))
+        return out
+
+    def scatter(self, global_array: np.ndarray) -> list[np.ndarray]:
+        """Split a global array into per-rank local blocks (copies)."""
+        global_array = np.asarray(global_array)
+        if global_array.shape != self.shape:
+            raise ValueError(
+                f"array shape {global_array.shape} does not match layout {self.shape}"
+            )
+        locals_ = []
+        for rank in range(self.nprocs):
+            idx = self.local_global_indices(rank)
+            locals_.append(global_array[np.ix_(*idx)].copy())
+        return locals_
+
+    def gather(self, locals_: Sequence[np.ndarray], dtype=None) -> np.ndarray:
+        """Reassemble a global array from per-rank local blocks."""
+        if len(locals_) != self.nprocs:
+            raise ValueError(f"need {self.nprocs} local blocks, got {len(locals_)}")
+        if dtype is None:
+            dtype = np.asarray(locals_[0]).dtype
+        out = np.empty(self.shape, dtype=dtype)
+        for rank, block in enumerate(locals_):
+            block = np.asarray(block)
+            if block.shape != self.local_shape:
+                raise ValueError(
+                    f"rank {rank} block shape {block.shape} != {self.local_shape}"
+                )
+            idx = self.local_global_indices(rank)
+            out[np.ix_(*idx)] = block
+        return out
+
+    # -------------------------------------------------- global rank helpers
+    def global_flat_index(self, rank: int) -> np.ndarray:
+        """Row-major global flat index of every local element of ``rank``,
+        shaped like the local block.
+
+        Used by oracle tests and by the redistribution pre-passes (the
+        paper combines the d per-dimension indices into one global index to
+        halve index traffic — Section 6.3).
+        """
+        idx = self.local_global_indices(rank)
+        flat = np.zeros(self.local_shape, dtype=np.int64)
+        stride = 1
+        # accumulate strides from the last numpy axis (paper dim 0) upward
+        for j in range(self.d - 1, -1, -1):
+            reshape = [1] * self.d
+            reshape[j] = len(idx[j])
+            flat = flat + idx[j].astype(np.int64).reshape(reshape) * stride
+            stride *= self.shape[j]
+        return flat
+
+    def describe(self) -> str:
+        lines = [f"GridLayout d={self.d} shape={self.shape} grid={self.grid}"]
+        for i in range(self.d - 1, -1, -1):
+            lines.append(f"  dim {i}: {self.dims[i].describe()}")
+        return "\n".join(lines)

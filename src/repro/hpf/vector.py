@@ -1,0 +1,122 @@
+"""Layout of rank-1 vectors (PACK's result, UNPACK's input).
+
+The result vector's size is only known at run time (it equals the number of
+mask trues), so its layout cannot assume the paper's ``P*W | N``
+divisibility.  This module implements general block-cyclic indexing for
+vectors of arbitrary size, with ragged local extents.
+
+The paper fixes the result/input vector to a **block** distribution in all
+experiments; :meth:`VectorLayout.block` builds that (block size
+``ceil(Size / P)``), and general ``CYCLIC(W)`` is supported for the
+Section 6.2 sensitivity discussion (the compact message scheme degrades as
+the result vector's block size shrinks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VectorLayout"]
+
+
+@dataclass(frozen=True)
+class VectorLayout:
+    """Block-cyclic layout of a vector of ``n`` elements over ``p`` ranks
+    with block size ``w`` — no divisibility assumptions.
+
+    Element ``g`` lives on rank ``(g // w) % p`` at local index
+    ``(g // (p*w)) * w + g % w``.  Local extents may differ by up to ``w``
+    between ranks (and trailing ranks may be empty).
+    """
+
+    n: int
+    p: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0 or self.p < 1 or self.w < 1:
+            raise ValueError(f"bad vector layout: n={self.n}, p={self.p}, w={self.w}")
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def block(cls, n: int, p: int) -> "VectorLayout":
+        """Block distribution: rank ``r`` owns ``[r*B, (r+1)*B)`` with
+        ``B = ceil(n/p)`` (empty for trailing ranks when ``n < p*B``)."""
+        b = max(1, -(-n // p)) if n > 0 else 1
+        return cls(n=n, p=p, w=b)
+
+    @classmethod
+    def cyclic(cls, n: int, p: int, w: int = 1) -> "VectorLayout":
+        return cls(n=n, p=p, w=w)
+
+    # -------------------------------------------------------------- algebra
+    @property
+    def s(self) -> int:
+        """Tile size ``P*W``."""
+        return self.p * self.w
+
+    def owner(self, g: int) -> int:
+        self._check(g)
+        return (g // self.w) % self.p
+
+    def local(self, g: int) -> int:
+        self._check(g)
+        return (g // self.s) * self.w + g % self.w
+
+    def owners(self, g: np.ndarray) -> np.ndarray:
+        return (np.asarray(g) // self.w) % self.p
+
+    def locals_(self, g: np.ndarray) -> np.ndarray:
+        g = np.asarray(g)
+        return (g // self.s) * self.w + g % self.w
+
+    def local_size(self, rank: int) -> int:
+        """Number of vector elements stored on ``rank``."""
+        if not (0 <= rank < self.p):
+            raise ValueError(f"rank {rank} out of range [0, {self.p})")
+        full, rem = divmod(self.n, self.s)
+        extra = min(max(rem - rank * self.w, 0), self.w)
+        return full * self.w + extra
+
+    def globals_(self, rank: int) -> np.ndarray:
+        """Global indices owned by ``rank``, in local storage order."""
+        size = self.local_size(rank)
+        l = np.arange(size, dtype=np.int64)
+        t, w = np.divmod(l, self.w)
+        return t * self.s + rank * self.w + w
+
+    def _check(self, g: int) -> None:
+        if not (0 <= g < self.n):
+            raise ValueError(f"vector index {g} out of range [0, {self.n})")
+
+    # --------------------------------------------------------- host helpers
+    def scatter(self, vector: np.ndarray) -> list[np.ndarray]:
+        vector = np.asarray(vector)
+        if vector.shape != (self.n,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.n},)")
+        return [vector[self.globals_(r)].copy() for r in range(self.p)]
+
+    def gather(self, locals_: list[np.ndarray], dtype=None) -> np.ndarray:
+        if len(locals_) != self.p:
+            raise ValueError(f"need {self.p} blocks, got {len(locals_)}")
+        if dtype is None:
+            non_empty = [np.asarray(b) for b in locals_ if np.asarray(b).size]
+            dtype = non_empty[0].dtype if non_empty else np.float64
+        out = np.empty(self.n, dtype=dtype)
+        for r, block in enumerate(locals_):
+            block = np.asarray(block)
+            expected = self.local_size(r)
+            if block.shape != (expected,):
+                raise ValueError(f"rank {r} block shape {block.shape} != ({expected},)")
+            out[self.globals_(r)] = block
+        return out
+
+    @property
+    def is_block(self) -> bool:
+        return self.w * self.p >= self.n
+
+    def describe(self) -> str:
+        fmt = "BLOCK" if self.is_block else (f"CYCLIC({self.w})" if self.w > 1 else "CYCLIC")
+        return f"vector {fmt}: n={self.n} p={self.p} w={self.w}"

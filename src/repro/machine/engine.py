@@ -1,0 +1,361 @@
+"""The SPMD execution engine.
+
+:class:`Machine` runs one generator per rank, cooperatively scheduling them
+until all complete.  Scheduling is round-robin over runnable ranks; a rank
+leaves the runnable set only when it yields a blocking op (:class:`Recv`
+with no matching message, or :class:`CollectiveOp` waiting for its group)
+and re-enters it when the op can complete.  Sends are eager and buffered, so
+they never block — matching the paper's model where a message simply costs
+``tau + mu * m`` and contention is ignored.
+
+Determinism
+-----------
+Given the same programs and arguments, a run is bit-for-bit reproducible:
+ranks are resumed in rank order, message matching uses global sequence
+numbers to break ties, and no real time or randomness enters the engine.
+
+Clock semantics
+---------------
+Each rank has a local clock (see :mod:`repro.machine.stats`).  A receive
+completes at ``max(receiver clock, message arrival time)``; the gap, if any,
+is idle time.  A collective synchronizes all member clocks to the group
+maximum before charging its cost.  The run's elapsed time is the maximum
+final clock, and per-phase times are maxima of per-rank phase totals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from .context import Context
+from .errors import CollectiveMismatchError, DeadlockError, ProgramError
+from .mailbox import Mailbox
+from .ops import CollectiveOp, Message, Recv
+from .spec import CM5, MachineSpec
+from .stats import ProcStats, RunResult
+
+__all__ = ["Machine"]
+
+
+class _Proc:
+    """Book-keeping for one rank's generator."""
+
+    __slots__ = ("rank", "gen", "waiting", "send_value", "finished", "result")
+
+    def __init__(self, rank: int, gen):
+        self.rank = rank
+        self.gen = gen
+        self.waiting: Recv | CollectiveOp | None = None
+        self.send_value: Any = None
+        self.finished = False
+        self.result: Any = None
+
+
+class _PendingCollective:
+    """A collective op waiting for its full group to arrive."""
+
+    __slots__ = ("op", "payloads", "arrived")
+
+    def __init__(self, op: CollectiveOp):
+        self.op = op
+        self.payloads: dict[int, Any] = {}
+        self.arrived: set[int] = set()
+
+    def join(self, rank: int, op: CollectiveOp) -> None:
+        if op.kind != self.op.kind:
+            raise CollectiveMismatchError(
+                f"rank {rank} joined kind {op.kind!r}, group started {self.op.kind!r}"
+            )
+        if op.group != self.op.group:
+            raise CollectiveMismatchError(
+                f"rank {rank} joined group {op.group}, expected {self.op.group}"
+            )
+        self.payloads[rank] = op.payload
+        self.arrived.add(rank)
+
+    @property
+    def complete(self) -> bool:
+        return self.arrived == set(self.op.group)
+
+
+class Machine:
+    """A simulated coarse-grained distributed-memory parallel machine.
+
+    Parameters
+    ----------
+    nprocs:
+        number of processors.
+    spec:
+        cost parameters; defaults to the CM-5 profile.
+
+    A machine object is reusable: each :meth:`run` starts from fresh clocks
+    and mailboxes.
+    """
+
+    def __init__(self, nprocs: int, spec: MachineSpec = CM5, tracer=None):
+        if nprocs < 1:
+            raise ValueError(f"need at least one processor, got {nprocs}")
+        self.nprocs = nprocs
+        self.spec = spec
+        self.tracer = tracer
+        # Run-scoped state, created in run():
+        self._mailboxes: list[Mailbox] = []
+        self._procs: list[_Proc] = []
+        self._stats: list[ProcStats] = []
+        self._runnable: deque[int] = deque()
+        self._runnable_set: set[int] = set()
+        self._pending_collectives: dict[tuple, _PendingCollective] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------ API
+    def run(
+        self,
+        program: Callable,
+        *args: Any,
+        rank_args: Sequence[tuple] | None = None,
+    ) -> RunResult:
+        """Execute ``program`` on every rank and return results and stats.
+
+        Parameters
+        ----------
+        program:
+            generator function called as ``program(ctx, *args)`` (or
+            ``program(ctx, *rank_args[rank])`` when ``rank_args`` is given).
+            A plain function (non-generator) is also accepted for purely
+            local programs.
+        args:
+            arguments shared by all ranks.
+        rank_args:
+            optional per-rank argument tuples, overriding ``args``.
+        """
+        if rank_args is not None and len(rank_args) != self.nprocs:
+            raise ValueError(
+                f"rank_args has {len(rank_args)} entries for {self.nprocs} ranks"
+            )
+
+        self._mailboxes = [Mailbox(r) for r in range(self.nprocs)]
+        self._stats = [ProcStats(r) for r in range(self.nprocs)]
+        self._pending_collectives = {}
+        self._seq = 0
+        self._procs = []
+        self._runnable = deque()
+        self._runnable_set = set()
+        # rx_port contention: per-destination sorted busy intervals.
+        self._port_busy: list[list[tuple[float, float]]] = [
+            [] for _ in range(self.nprocs)
+        ]
+
+        for r in range(self.nprocs):
+            ctx = Context(r, self.nprocs, self.spec, self._stats[r], self)
+            call_args = rank_args[r] if rank_args is not None else args
+            gen_or_value = program(ctx, *call_args)
+            proc = _Proc(r, None)
+            if hasattr(gen_or_value, "send") and hasattr(gen_or_value, "throw"):
+                proc.gen = gen_or_value
+                self._procs.append(proc)
+                self._make_runnable(r)
+            else:
+                # Plain function: already ran to completion during the call.
+                proc.finished = True
+                proc.result = gen_or_value
+                self._procs.append(proc)
+
+        self._loop()
+
+        return RunResult(results=[p.result for p in self._procs], stats=self._stats)
+
+    # --------------------------------------------------------------- engine
+    def _make_runnable(self, rank: int) -> None:
+        if rank not in self._runnable_set and not self._procs[rank].finished:
+            self._runnable.append(rank)
+            self._runnable_set.add(rank)
+
+    def _loop(self) -> None:
+        while True:
+            if self._runnable:
+                rank = self._runnable.popleft()
+                self._runnable_set.discard(rank)
+                self._step(rank)
+                continue
+            # Nobody runnable: either all done, or deadlock.
+            live = [p for p in self._procs if not p.finished]
+            if not live:
+                return
+            # A blocked receive may still be satisfiable if a matching
+            # message arrived while the rank was out of the queue (cannot
+            # happen with current wake logic, but guard anyway).
+            woke = False
+            for p in live:
+                if isinstance(p.waiting, Recv) and self._mailboxes[p.rank].would_match(p.waiting):
+                    self._make_runnable(p.rank)
+                    woke = True
+            if woke:
+                continue
+            blocked = {
+                p.rank: (p.waiting.describe() if p.waiting is not None else "nothing")
+                for p in live
+            }
+            raise DeadlockError(blocked)
+
+    def _step(self, rank: int) -> None:
+        """Advance one rank until it blocks or finishes."""
+        proc = self._procs[rank]
+        while True:
+            try:
+                op = proc.gen.send(proc.send_value)
+            except StopIteration as stop:
+                proc.finished = True
+                proc.result = stop.value
+                return
+            except Exception as exc:
+                raise ProgramError(rank, f"program raised {type(exc).__name__}: {exc}") from exc
+            proc.send_value = None
+
+            if isinstance(op, Recv):
+                msg = self._mailboxes[rank].match(op)
+                if msg is None:
+                    proc.waiting = op
+                    return
+                self._complete_recv(rank, msg)
+                proc.send_value = msg
+                continue
+
+            if isinstance(op, CollectiveOp):
+                finished = self._join_collective(rank, op)
+                if not finished:
+                    proc.waiting = op
+                    return
+                # This rank was the last to arrive.  _fire_collective set
+                # proc.send_value and re-queued every member (including this
+                # rank), so yield the timeslice and let the scheduler resume
+                # it with the collective's result.
+                return
+
+            raise ProgramError(rank, f"yielded unsupported op {op!r}")
+
+    # ------------------------------------------------------------- messages
+    def _deliver(
+        self, source: int, dest: int, tag: int, payload: Any, words: int, send_clock: float
+    ) -> None:
+        """Called by Context.send: enqueue the message and wake the receiver."""
+        self._seq += 1
+        arrival = send_clock  # sender already paid tau + mu*m
+        if self.spec.rx_port and source != dest and words > 0:
+            # Node contention: the message occupies the destination's
+            # serial receive port for mu*words.  The transfer may start as
+            # early as send_clock - transfer (overlapping the sender's own
+            # charge), in the earliest gap of the port's busy schedule —
+            # interval gap-filling keeps arrivals causal even though the
+            # engine delivers messages in simulation order, which need not
+            # be simulated-time order.
+            transfer = self.spec.mu * words
+            arrival = self._reserve_port(dest, send_clock - transfer, transfer)
+        msg = Message(
+            source=source,
+            dest=dest,
+            tag=tag,
+            payload=payload,
+            words=words,
+            send_time=send_clock,
+            arrival_time=arrival,
+            seq=self._seq,
+        )
+        if self.tracer is not None:
+            self.tracer.record(
+                self._stats[source].clock, source, "send",
+                dest=dest, tag=tag, words=words,
+            )
+        self._mailboxes[dest].deposit(msg)
+        waiting = self._procs[dest].waiting
+        if isinstance(waiting, Recv) and waiting.matches(msg):
+            self._procs[dest].waiting = None
+            # The engine loop will re-run the Recv; put the op back by
+            # resuming through the normal path: deliver directly.
+            taken = self._mailboxes[dest].match(waiting)
+            assert taken is not None
+            self._complete_recv(dest, taken)
+            self._procs[dest].send_value = taken
+            self._make_runnable(dest)
+
+    def _reserve_port(self, dest: int, ready: float, transfer: float) -> float:
+        """Book ``transfer`` seconds on dest's receive port, no earlier
+        than ``ready``; returns the transfer's end time (the arrival)."""
+        import bisect
+
+        intervals = self._port_busy[dest]
+        start = ready
+        idx = 0
+        for i, (b0, b1) in enumerate(intervals):
+            if b1 <= start:
+                idx = i + 1
+                continue
+            if b0 >= start + transfer:
+                idx = i
+                break  # the gap before interval i fits
+            # overlaps: push past this interval
+            start = b1
+            idx = i + 1
+        intervals.insert(idx, (start, start + transfer))
+        return start + transfer
+
+    def _complete_recv(self, rank: int, msg: Message) -> None:
+        st = self._stats[rank]
+        st.advance_to(msg.arrival_time)
+        st.recvs += 1
+        st.words_received += msg.words
+        if self.tracer is not None:
+            self.tracer.record(
+                st.clock, rank, "recv",
+                source=msg.source, tag=msg.tag, words=msg.words,
+            )
+
+    # ---------------------------------------------------------- collectives
+    def _join_collective(self, rank: int, op: CollectiveOp) -> bool:
+        if rank not in op.group:
+            raise CollectiveMismatchError(f"rank {rank} not in its own group {op.group}")
+        key = (op.group, op.kind, op.key)
+        pending = self._pending_collectives.get(key)
+        if pending is None:
+            pending = _PendingCollective(op)
+            self._pending_collectives[key] = pending
+        pending.join(rank, op)
+        if not pending.complete:
+            return False
+        del self._pending_collectives[key]
+        self._fire_collective(pending)
+        return True
+
+    def _fire_collective(self, pending: _PendingCollective) -> None:
+        op = pending.op
+        members = op.group
+        sync = max(self._stats[r].clock for r in members)
+        if op.combine is not None:
+            results, words = op.combine(pending.payloads)
+        else:
+            results, words = ({r: None for r in members}, 0)
+        if op.cost_seconds is not None:
+            cost = op.cost_seconds
+        elif self.spec.has_control_network:
+            cost = self.spec.ctrl_time(words)
+        else:
+            raise CollectiveMismatchError(
+                f"collective {op.kind!r} needs a control network or explicit cost "
+                f"on machine {self.spec.name!r}"
+            )
+        for r in members:
+            st = self._stats[r]
+            st.advance_to(sync)
+            st.advance(cost)
+            st.ctrl_ops += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    st.clock, r, "collective", op=op.kind, group_size=len(members)
+                )
+            proc = self._procs[r]
+            proc.waiting = None
+            proc.send_value = results.get(r)
+            self._make_runnable(r)
+
+    def __repr__(self) -> str:
+        return f"Machine(nprocs={self.nprocs}, spec={self.spec.name!r})"

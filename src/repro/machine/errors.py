@@ -1,0 +1,67 @@
+"""Exception hierarchy for the coarse-grained machine simulator.
+
+The simulator is deterministic, so every error below is reproducible: the
+same program on the same :class:`~repro.machine.spec.MachineSpec` either
+always raises or never does.  Errors carry enough rank-level state to debug
+SPMD programs (which rank was blocked on what, which message could not be
+matched, and so on).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MachineError",
+    "DeadlockError",
+    "ProgramError",
+    "CollectiveMismatchError",
+    "MessageError",
+    "PhaseError",
+]
+
+
+class MachineError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeadlockError(MachineError):
+    """Every live rank is blocked on a receive that can never be satisfied.
+
+    Raised by the engine when no rank is runnable, at least one rank is
+    blocked, and no queued or in-flight message can match any pending
+    receive.  The message lists each blocked rank and the (source, tag)
+    pattern it is waiting for.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        lines = ", ".join(f"rank {r}: waiting on {w}" for r, w in sorted(blocked.items()))
+        super().__init__(f"deadlock: all live ranks blocked ({lines})")
+
+
+class ProgramError(MachineError):
+    """An SPMD program raised, or yielded something the engine cannot run.
+
+    The original exception (if any) is attached as ``__cause__`` and the
+    offending rank is recorded in :attr:`rank`.
+    """
+
+    def __init__(self, rank: int, detail: str):
+        self.rank = rank
+        super().__init__(f"rank {rank}: {detail}")
+
+
+class CollectiveMismatchError(MachineError):
+    """Members of a synchronizing collective disagreed about the operation.
+
+    Every participant of a :class:`~repro.machine.ops.CollectiveOp` must name
+    the same group and the same kind; anything else is an SPMD bug in the
+    caller, not a recoverable condition.
+    """
+
+
+class MessageError(MachineError):
+    """A send or receive was malformed (negative size, bad rank, ...)."""
+
+
+class PhaseError(MachineError):
+    """Phase bookkeeping was used inconsistently (e.g. empty phase name)."""

@@ -1,0 +1,63 @@
+"""Per-rank mailboxes with deterministic matching.
+
+Sends in the simulator are eager and buffered: the sender deposits the
+message into the receiver's mailbox immediately (stamped with its arrival
+time) and continues.  A receive scans the mailbox for matching messages and
+takes the one with the smallest ``(arrival_time, seq)``.  Because sequence
+numbers are issued globally in simulation order, matching is fully
+deterministic, and per ``(source, tag)`` channel delivery is FIFO — the
+ordering contract every algorithm in this library is written against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .ops import Message, Recv
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """Unordered message store for one receiving rank."""
+
+    __slots__ = ("rank", "_messages")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._messages: list[Message] = []
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def deposit(self, msg: Message) -> None:
+        if msg.dest != self.rank:
+            raise ValueError(f"message for {msg.dest} deposited at rank {self.rank}")
+        self._messages.append(msg)
+
+    def match(self, pattern: Recv) -> Message | None:
+        """Remove and return the best matching message, or None.
+
+        "Best" is the smallest ``(arrival_time, seq)`` pair, which keeps
+        simulation time causal and tie-breaks deterministically.
+        """
+        best_idx = -1
+        best_key: tuple[float, int] | None = None
+        for i, msg in enumerate(self._messages):
+            if pattern.matches(msg):
+                key = (msg.arrival_time, msg.seq)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_idx = i
+        if best_idx < 0:
+            return None
+        return self._messages.pop(best_idx)
+
+    def would_match(self, pattern: Recv) -> bool:
+        return any(pattern.matches(m) for m in self._messages)
+
+    def peek_all(self) -> Iterable[Message]:
+        return tuple(self._messages)
+
+    def __repr__(self) -> str:
+        return f"Mailbox(rank={self.rank}, pending={len(self._messages)})"

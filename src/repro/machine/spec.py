@@ -1,0 +1,224 @@
+"""Machine cost parameters: the two-level model of Bae & Ranka, Section 2.
+
+A coarse-grained distributed-memory machine is described by three constants:
+
+``tau``
+    message start-up cost in seconds.  Charged once per point-to-point
+    message, on the sender.
+``mu``
+    per-word transfer time in seconds (the paper writes the transfer *rate*
+    as ``1/mu``).  A message of ``m`` words costs ``tau + mu * m`` end to
+    end; the model assumes no link contention and distance-independence, so
+    the network behaves as a virtual crossbar.
+``delta``
+    cost of one unit of local computation in seconds.  All local-work
+    charges in the library are expressed as operation counts multiplied by
+    ``delta``.
+
+The defaults below are calibrated to the 32 MHz SPARC nodes and data-network
+characteristics of the Thinking Machines CM-5 on which the paper's
+experiments ran: ~86 microseconds message start-up under CMMD, an effective
+point-to-point bandwidth near 8 MB/s (0.5 microseconds per 4-byte word), and
+roughly 10 million local scalar array operations per second once loop
+overheads are included.  Absolute times produced by the simulator are *CM-5
+scale*, which is what makes the reproduced tables land in the same
+millisecond range as the paper's.
+
+Machines with a hardware control network (the CM-5's scan/reduce network)
+additionally expose ``ctrl_word`` (per-word cost of a control-network scan)
+and ``ctrl_latency`` (fixed cost per control-network operation); see
+footnote 2 of the paper: with a control network each of prefix-sum and
+reduction-sum is O(M).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace, field
+
+__all__ = ["MachineSpec", "LocalCostModel", "CM5", "ETHERNET_CLUSTER", "IDEAL"]
+
+
+@dataclass(frozen=True)
+class LocalCostModel:
+    """Unit costs (in multiples of ``delta``) for classes of local work.
+
+    The paper's Section 6.4 models local computation as a weighted sum of
+    workload quantities (``L``, ``C``, ``E_i``, ``E_a``, ``Gs_i``,
+    ``Gr_i``).  The weights depend on how the underlying operations touch
+    memory; a sequential scan of a flat array is far cheaper per element on
+    a cached RISC node than pointer-chasing through per-element bookkeeping
+    records.  We therefore distinguish:
+
+    ``seq``
+        cost per element touched by a sequential, streaming scan
+        (mask tests, slice scans, field-array copies).
+    ``rand``
+        cost per scattered memory operation (writing or reading one item of
+        per-element bookkeeping, indexing a send buffer through an
+        indirection, computing a destination processor for one element).
+    ``vec``
+        cost per element of a dense vector arithmetic step (the local
+        prefix-sum and base-rank array manipulation of the intermediate and
+        final ranking steps).
+    ``seg``
+        cost per message segment composed or decomposed in the compact
+        message scheme (header handling).
+    ``slice_overhead``
+        fixed cost per *slice* visited by the compact schemes' second scan
+        and send-vector construction (loop set-up, counter check, segment
+        boundary bookkeeping).  This term is what makes the simple storage
+        scheme win for cyclic distributions (slice size 1 means one
+        overhead per element), exactly the paper's Table I observation.
+
+    The defaults were calibrated once against the published Table I
+    crossovers (see ``repro.analysis.crossover``) and are used unchanged by
+    every experiment.
+    """
+
+    seq: float = 1.0
+    rand: float = 1.5
+    vec: float = 1.0
+    seg: float = 3.0
+    slice_overhead: float = 5.0
+
+    def scaled(self, factor: float) -> "LocalCostModel":
+        """Return a copy with every unit cost multiplied by ``factor``."""
+        return LocalCostModel(
+            seq=self.seq * factor,
+            rand=self.rand * factor,
+            vec=self.vec * factor,
+            seg=self.seg * factor,
+            slice_overhead=self.slice_overhead * factor,
+        )
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Immutable description of a coarse-grained parallel machine.
+
+    Parameters
+    ----------
+    tau:
+        message start-up time, seconds.
+    mu:
+        per-word transfer time, seconds/word.  The library counts message
+        sizes in 4-byte words, matching the paper's element granularity.
+    delta:
+        time per unit of local computation, seconds.
+    has_control_network:
+        whether the machine offers a combining control network (the CM-5
+        does).  When true, prefix-reduction-sum may run in ``ctrl_latency +
+        ctrl_word * M`` time with no per-processor start-up.
+    ctrl_word:
+        per-word cost of a control-network scan, seconds/word.
+    ctrl_latency:
+        fixed latency of one control-network operation, seconds.
+    local:
+        the :class:`LocalCostModel` unit costs.
+    name:
+        human-readable machine name used in reports.
+    topology:
+        optional interconnect topology (see :mod:`repro.machine.topology`).
+        ``None`` means the paper's virtual crossbar: distance-independent
+        messages.  With a topology set, each message additionally pays
+        ``tau_hop`` per routing hop (the wormhole per-hop set-up cost).
+    tau_hop:
+        per-hop cost, seconds.  Only meaningful with a topology.
+    rx_port:
+        model *node contention*: each processor owns one serial receive
+        port, so concurrent messages to the same destination queue for
+        ``mu * words`` apiece.  Off by default (the paper's Section 2
+        assumes no node contention) — turning it on shows why the linear
+        permutation schedule of [9] exists: schedules that hot-spot a
+        receiver serialize on its port.  Uncontended messages cost exactly
+        what they cost with the flag off.
+    """
+
+    tau: float = 86e-6
+    mu: float = 0.5e-6
+    delta: float = 0.1e-6
+    has_control_network: bool = True
+    ctrl_word: float = 2.0e-6
+    ctrl_latency: float = 30e-6
+    local: LocalCostModel = field(default_factory=LocalCostModel)
+    name: str = "cm5"
+    topology: object = None
+    tau_hop: float = 0.0
+    rx_port: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tau < 0 or self.mu < 0 or self.delta < 0:
+            raise ValueError("machine cost constants must be non-negative")
+        if self.ctrl_word < 0 or self.ctrl_latency < 0:
+            raise ValueError("control network costs must be non-negative")
+        if self.tau_hop < 0:
+            raise ValueError("tau_hop must be non-negative")
+
+    # ---------------------------------------------------------------- costs
+    def message_time(self, words: int, hops: int = 0) -> float:
+        """End-to-end time of one message of ``words`` 4-byte words
+        travelling ``hops`` network hops (0 under the crossbar model)."""
+        if words < 0:
+            raise ValueError(f"negative message size: {words}")
+        return self.tau + self.tau_hop * hops + self.mu * words
+
+    def hops_between(self, src: int, dst: int) -> int:
+        """Routing distance under the configured topology (0 without one)."""
+        if self.topology is None:
+            return 0
+        return self.topology.hops(src, dst)
+
+    def work_time(self, ops: float) -> float:
+        """Time of ``ops`` units of local computation."""
+        if ops < 0:
+            raise ValueError(f"negative op count: {ops}")
+        return self.delta * ops
+
+    def ctrl_time(self, words: int) -> float:
+        """Time of one control-network scan/reduce over ``words`` words."""
+        if not self.has_control_network:
+            raise ValueError(f"{self.name} has no control network")
+        return self.ctrl_latency + self.ctrl_word * words
+
+    # ------------------------------------------------------------- variants
+    def with_(self, **kw) -> "MachineSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+    def without_control_network(self) -> "MachineSpec":
+        return self.with_(has_control_network=False)
+
+    def with_topology(self, topology, tau_hop: float = 5e-6) -> "MachineSpec":
+        """Attach an interconnect topology and a per-hop wormhole cost.
+
+        The default ``tau_hop`` of 5 us is a wormhole-era per-hop set-up
+        cost, small relative to the 86 us start-up — the regime in which
+        the paper claims mesh/hypercube portability.
+        """
+        return self.with_(topology=topology, tau_hop=tau_hop)
+
+
+#: The CM-5 configuration used throughout the paper's Section 7.
+CM5 = MachineSpec()
+
+#: A commodity-cluster profile: much higher start-up relative to bandwidth.
+#: Useful for sensitivity studies — the paper's scheme rankings depend on
+#: the tau/mu ratio and this profile stresses the start-up-bound regime.
+ETHERNET_CLUSTER = MachineSpec(
+    tau=600e-6,
+    mu=0.4e-6,
+    delta=0.02e-6,
+    has_control_network=False,
+    name="ethernet-cluster",
+)
+
+#: A zero-latency machine; isolates pure data-volume effects in ablations.
+IDEAL = MachineSpec(
+    tau=0.0,
+    mu=0.1e-6,
+    delta=0.05e-6,
+    has_control_network=True,
+    ctrl_word=0.1e-6,
+    ctrl_latency=0.0,
+    name="ideal",
+)

@@ -1,0 +1,169 @@
+"""Interconnect topologies beyond the virtual crossbar.
+
+Section 2 of the paper adopts the two-level model — a message costs
+``tau + mu*m`` regardless of distance — and argues the algorithms "can be
+efficiently implemented on meshes and hypercubes with wormhole routing",
+where the per-message time becomes ``tau + h*tau_hop + mu*m`` with ``h``
+the routing distance and ``tau_hop`` the (small) per-hop wormhole set-up
+cost, still contention-free.
+
+This module supplies those topologies so the claim can be *tested*: attach
+one to a :class:`~repro.machine.spec.MachineSpec` (``spec.with_topology``)
+and every point-to-point send pays its hop count.  The architecture-
+independence ablation (``bench_topology.py``) shows PACK totals moving by
+only a few percent between the crossbar, a 2-D mesh and a hypercube at
+CM-5-like ``tau_hop/tau`` ratios — the paper's portability argument.
+
+Topologies are frozen (hashable) and validate rank bounds; routing
+distances follow the standard minimal routes:
+
+* crossbar — 1 hop between distinct processors;
+* ring — minimal of clockwise/counterclockwise distance;
+* 2-D mesh — Manhattan distance under dimension-ordered (XY) routing
+  (torus wraparound optional);
+* hypercube — Hamming distance under e-cube routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Topology", "Crossbar", "Ring", "Mesh2D", "Hypercube", "make_topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base: a named graph over ``nprocs`` processors with a hop metric."""
+
+    nprocs: int
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError(f"need at least one processor, got {self.nprocs}")
+
+    def hops(self, src: int, dst: int) -> int:
+        raise NotImplementedError
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.nprocs and 0 <= dst < self.nprocs):
+            raise ValueError(
+                f"ranks ({src}, {dst}) out of range for {self.nprocs} processors"
+            )
+
+    @property
+    def diameter(self) -> int:
+        """Maximum hop count between any pair."""
+        return max(
+            self.hops(0, d) for d in range(self.nprocs)
+        ) if self.nprocs > 1 else 0
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered distinct pairs."""
+        if self.nprocs < 2:
+            return 0.0
+        total = sum(
+            self.hops(s, d)
+            for s in range(self.nprocs)
+            for d in range(self.nprocs)
+            if s != d
+        )
+        return total / (self.nprocs * (self.nprocs - 1))
+
+
+@dataclass(frozen=True)
+class Crossbar(Topology):
+    """The paper's virtual crossbar: one hop between distinct processors."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else 1
+
+
+@dataclass(frozen=True)
+class Ring(Topology):
+    """Bidirectional ring; minimal routing."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        d = abs(src - dst)
+        return min(d, self.nprocs - d)
+
+
+@dataclass(frozen=True)
+class Mesh2D(Topology):
+    """``rows x cols`` mesh with dimension-ordered routing.
+
+    Ranks are laid out row-major.  With ``torus=True`` each dimension
+    wraps around (a 2-D torus).
+    """
+
+    rows: int = 0
+    cols: int = 0
+    torus: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows * self.cols != self.nprocs:
+            raise ValueError(
+                f"mesh {self.rows}x{self.cols} does not tile {self.nprocs} processors"
+            )
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        return divmod(rank, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        (r1, c1), (r2, c2) = self.coords(src), self.coords(dst)
+        dr = abs(r1 - r2)
+        dc = abs(c1 - c2)
+        if self.torus:
+            dr = min(dr, self.rows - dr)
+            dc = min(dc, self.cols - dc)
+        return dr + dc
+
+
+@dataclass(frozen=True)
+class Hypercube(Topology):
+    """Boolean hypercube; e-cube routing distance = Hamming distance."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nprocs & (self.nprocs - 1):
+            raise ValueError(f"hypercube needs a power-of-two size, got {self.nprocs}")
+
+    @property
+    def dimension(self) -> int:
+        return self.nprocs.bit_length() - 1
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return (src ^ dst).bit_count()
+
+
+def make_topology(kind: str, nprocs: int, **kw) -> Topology:
+    """Front door: ``"crossbar"``, ``"ring"``, ``"mesh"`` (square by
+    default, or pass ``rows``/``cols``), ``"torus"``, ``"hypercube"``."""
+    k = kind.lower()
+    if k == "crossbar":
+        return Crossbar(nprocs)
+    if k == "ring":
+        return Ring(nprocs)
+    if k in ("mesh", "torus"):
+        rows = kw.get("rows")
+        cols = kw.get("cols")
+        if rows is None and cols is None:
+            side = int(round(nprocs**0.5))
+            if side * side != nprocs:
+                raise ValueError(
+                    f"cannot build a square mesh of {nprocs} processors; "
+                    f"pass rows=/cols="
+                )
+            rows = cols = side
+        elif rows is None:
+            rows = nprocs // cols
+        elif cols is None:
+            cols = nprocs // rows
+        return Mesh2D(nprocs, rows=rows, cols=cols, torus=(k == "torus"))
+    if k == "hypercube":
+        return Hypercube(nprocs)
+    raise ValueError(f"unknown topology {kind!r}")

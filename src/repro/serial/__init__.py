@@ -1,0 +1,15 @@
+"""Serial reference implementations (the correctness oracle).
+
+Every parallel result in this library is checked against the functions in
+:mod:`repro.serial.reference`, which implement the Fortran 90 semantics of
+``PACK`` / ``UNPACK`` directly with numpy.
+"""
+
+from .reference import (
+    mask_ranks,
+    pack_reference,
+    pack_size,
+    unpack_reference,
+)
+
+__all__ = ["mask_ranks", "pack_reference", "pack_size", "unpack_reference"]

@@ -1,0 +1,101 @@
+"""Numpy reference semantics for PACK / UNPACK and mask ranking.
+
+The paper (Section 3) adopts *row-major* element order: the array has shape
+``(N_{d-1}, ..., N_1, N_0)`` and element ``A(i_{d-1}, ..., i_0)`` has rank
+``sum_i i_i * prod_{k<i} N_k``, i.e. dimension 0 varies fastest.  Flattening
+a numpy array of that shape in C order produces exactly this ordering, so
+dimension *i* of the paper is numpy axis ``d-1-i`` throughout the library.
+
+(Reference Fortran 90 PACK uses column-major order; the paper normalizes to
+row-major and so do we — the algorithms are order-agnostic up to relabeling
+of dimensions.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_reference", "unpack_reference", "mask_ranks", "pack_size"]
+
+
+def _check_conformable(a: np.ndarray, m: np.ndarray, name: str = "mask") -> None:
+    if a.shape != m.shape:
+        raise ValueError(f"{name} shape {m.shape} not conformable with array shape {a.shape}")
+
+
+def pack_size(mask: np.ndarray) -> int:
+    """Number of true elements — the size of PACK's result vector."""
+    return int(np.count_nonzero(mask))
+
+
+def pack_reference(
+    array: np.ndarray, mask: np.ndarray, vector: np.ndarray | None = None
+) -> np.ndarray:
+    """Serial PACK: gather ``array`` elements where ``mask`` is true.
+
+    Elements appear in the result in row-major array-element order.  With
+    the optional third argument (Fortran 90's ``VECTOR``), the result has
+    ``vector``'s size — which must be at least the number of trues — and
+    positions past the packed elements take ``vector``'s values.
+    """
+    array = np.asarray(array)
+    mask = np.asarray(mask, dtype=bool)
+    _check_conformable(array, mask)
+    # C-order boolean indexing yields exactly row-major element order.
+    packed = array[mask].copy()
+    if vector is None:
+        return packed
+    vector = np.asarray(vector)
+    if vector.ndim != 1:
+        raise ValueError(f"PACK's VECTOR must be rank 1, got rank {vector.ndim}")
+    if vector.size < packed.size:
+        raise ValueError(
+            f"PACK's VECTOR has {vector.size} elements but the mask selects "
+            f"{packed.size}"
+        )
+    out = vector.copy()
+    out[: packed.size] = packed
+    return out
+
+
+def unpack_reference(
+    vector: np.ndarray, mask: np.ndarray, field: np.ndarray
+) -> np.ndarray:
+    """Serial UNPACK: scatter ``vector`` into mask-true positions of a copy
+    of ``field``.
+
+    ``vector`` must hold at least as many elements as ``mask`` has trues
+    (the Fortran 90 requirement ``N' >= Size``); surplus elements are
+    ignored.  ``field`` may be a scalar (Fortran 90 allows a scalar
+    FIELD), in which case it fills every mask-false position.
+    """
+    vector = np.asarray(vector)
+    mask = np.asarray(mask, dtype=bool)
+    field = np.asarray(field)
+    if field.ndim == 0:
+        field = np.full(mask.shape, field[()])
+    _check_conformable(field, mask, name="mask")
+    size = pack_size(mask)
+    if vector.ndim != 1:
+        raise ValueError(f"UNPACK input vector must be rank 1, got rank {vector.ndim}")
+    if vector.size < size:
+        raise ValueError(
+            f"UNPACK vector has {vector.size} elements but mask selects {size}"
+        )
+    out = field.copy()
+    out[mask] = vector[:size]
+    return out
+
+
+def mask_ranks(mask: np.ndarray) -> np.ndarray:
+    """Global rank of every mask-true element, -1 elsewhere.
+
+    The rank of a true element is the number of true elements strictly
+    before it in row-major order — i.e. its index in PACK's result vector.
+    Shape matches ``mask``; dtype is int64.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    flat = mask.ravel()
+    ranks = np.cumsum(flat, dtype=np.int64) - 1
+    out = np.where(flat, ranks, -1)
+    return out.reshape(mask.shape)

@@ -1,0 +1,32 @@
+"""Workload generators reproducing the paper's Section 7 experiment inputs.
+
+* :mod:`repro.workloads.masks` — the six mask families: random Bernoulli at
+  densities 10/30/50/70/90%, the structured 1-D half mask, and the
+  structured 2-D lower-triangle ("LT") mask;
+* :mod:`repro.workloads.grids` — the array sizes, processor counts and
+  block-size sweeps of the paper's experiments.
+"""
+
+from .grids import (
+    PAPER_1D_SIZES,
+    PAPER_2D_SIZES,
+    PAPER_DENSITIES,
+    block_size_sweep,
+    paper_configs_1d,
+    paper_configs_2d,
+)
+from .masks import clustered_mask, half_mask_1d, lt_mask_2d, make_mask, random_mask
+
+__all__ = [
+    "PAPER_1D_SIZES",
+    "PAPER_2D_SIZES",
+    "PAPER_DENSITIES",
+    "block_size_sweep",
+    "clustered_mask",
+    "half_mask_1d",
+    "lt_mask_2d",
+    "make_mask",
+    "paper_configs_1d",
+    "paper_configs_2d",
+    "random_mask",
+]

@@ -1,0 +1,126 @@
+"""Experiment configurations of the paper's Section 7.
+
+"Experiments were conducted for six one-dimensional arrays (N = 4096,
+8192, 16384, 32768, 65536, 131072) and four two-dimensional arrays (N x N
+= 64x64, 128x128, 256x256, 512x512).  On the CM-5, 16 processors for
+one-dimensional arrays and 4x4 processors for two-dimensional arrays were
+used. ... Various block sizes were used ... but the block size for
+dimension 0 was fixed to be the same as that for dimension 1 in the
+two-dimensional arrays."
+
+The scaling study used 256 processors (16x16) with the local array size
+held at that of N = 65536 / 512x512 on 16 processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "PAPER_1D_SIZES",
+    "PAPER_2D_SIZES",
+    "PAPER_DENSITIES",
+    "ExperimentConfig",
+    "block_size_sweep",
+    "paper_configs_1d",
+    "paper_configs_2d",
+]
+
+#: One-dimensional global sizes (16 processors).
+PAPER_1D_SIZES = (4096, 8192, 16384, 32768, 65536, 131072)
+
+#: Two-dimensional edge lengths (4 x 4 processors).
+PAPER_2D_SIZES = (64, 128, 256, 512)
+
+#: Random mask densities (plus the structured "half"/"LT" masks).
+PAPER_DENSITIES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+#: Processor counts of the paper's two machine configurations.
+PAPER_1D_PROCS = 16
+PAPER_2D_GRID = (4, 4)
+PAPER_SCALED_1D_PROCS = 256
+PAPER_SCALED_2D_GRID = (16, 16)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One (shape, grid, block, mask) experiment point."""
+
+    shape: tuple[int, ...]
+    grid: tuple[int, ...]
+    block: tuple[int, ...]
+    mask_kind: object  # density float or "half" / "lt"
+
+    @property
+    def local_size(self) -> int:
+        out = 1
+        for n, p in zip(self.shape, self.grid):
+            out *= n // p
+        return out
+
+    def label(self) -> str:
+        shape = "x".join(str(n) for n in self.shape)
+        block = "x".join(str(w) for w in self.block)
+        return f"N={shape} P={'x'.join(map(str, self.grid))} W={block} mask={self.mask_kind}"
+
+
+def block_size_sweep(n: int, p: int, max_points: int | None = None) -> tuple[int, ...]:
+    """Power-of-two block sizes from cyclic (1) to block (N/P).
+
+    These are the x-axes of Figures 3-5.  ``max_points`` trims the sweep
+    (keeping both endpoints) for fast benchmark runs.
+    """
+    l = n // p
+    sizes = []
+    w = 1
+    while w <= l:
+        if l % w == 0:
+            sizes.append(w)
+        w *= 2
+    if sizes[-1] != l:
+        sizes.append(l)
+    if max_points is not None and len(sizes) > max_points:
+        # Keep endpoints, subsample the middle.
+        step = (len(sizes) - 1) / (max_points - 1)
+        keep = sorted({round(i * step) for i in range(max_points)})
+        sizes = [sizes[i] for i in keep]
+    return tuple(sizes)
+
+
+def paper_configs_1d(
+    sizes=PAPER_1D_SIZES,
+    procs: int = PAPER_1D_PROCS,
+    densities=PAPER_DENSITIES,
+    include_structured: bool = True,
+    block_points: int | None = None,
+) -> Iterator[ExperimentConfig]:
+    """All 1-D experiment points of Section 7 (optionally subsampled)."""
+    masks = list(densities) + (["half"] if include_structured else [])
+    for n in sizes:
+        for w in block_size_sweep(n, procs, block_points):
+            for mk in masks:
+                yield ExperimentConfig(
+                    shape=(n,), grid=(procs,), block=(w,), mask_kind=mk
+                )
+
+
+def paper_configs_2d(
+    sizes=PAPER_2D_SIZES,
+    grid=PAPER_2D_GRID,
+    densities=PAPER_DENSITIES,
+    include_structured: bool = True,
+    block_points: int | None = None,
+) -> Iterator[ExperimentConfig]:
+    """All 2-D experiment points (block size equal on both dimensions)."""
+    masks = list(densities) + (["lt"] if include_structured else [])
+    for n in sizes:
+        # Equal block size on both dimensions (paper's constraint); the
+        # sweep is bounded by the smaller local extent.
+        for w in block_size_sweep(n, grid[0], block_points):
+            if w > n // grid[1]:
+                continue
+            for mk in masks:
+                yield ExperimentConfig(
+                    shape=(n, n), grid=tuple(grid), block=(w, w), mask_kind=mk
+                )

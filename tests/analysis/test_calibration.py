@@ -1,0 +1,63 @@
+"""Calibration machinery: the shipped defaults must survive a re-fit."""
+
+import math
+
+import pytest
+
+from repro.analysis.calibration import (
+    PAPER_TARGETS_1D,
+    beta_distance,
+    fit_local_cost_model,
+    score_model,
+)
+from repro.machine import LocalCostModel
+
+
+class TestBetaDistance:
+    def test_exact_match(self):
+        assert beta_distance(8, 8) == 0.0
+
+    def test_one_power_of_two(self):
+        assert beta_distance(16, 8) == pytest.approx(1.0)
+        assert beta_distance(4, 8) == pytest.approx(1.0)
+
+    def test_infinities(self):
+        inf = float("inf")
+        assert beta_distance(inf, inf) == 0.0
+        assert beta_distance(inf, 64) > 0
+        assert beta_distance(64, inf) > 0
+
+
+class TestScoring:
+    def test_default_model_scores_reasonably(self):
+        score, table = score_model(LocalCostModel(), PAPER_TARGETS_1D)
+        # Within ~2 powers of two of the published cells on average.
+        assert score < 2.0
+        assert len(table) == 12
+
+    def test_degenerate_model_scores_worse(self):
+        # rand == seq removes the whole SSS/CSS trade-off.
+        flat = LocalCostModel(seq=1.0, rand=1.0, vec=1.0, seg=1.0, slice_overhead=1.0)
+        flat_score, _ = score_model(flat, PAPER_TARGETS_1D)
+        default_score, _ = score_model(LocalCostModel(), PAPER_TARGETS_1D)
+        assert default_score < flat_score
+
+
+class TestFit:
+    def test_fit_recovers_defaults_neighbourhood(self):
+        result = fit_local_cost_model(
+            rand_grid=(1.0, 1.5, 3.0), slice_grid=(1.0, 5.0), seg_grid=(3.0,)
+        )
+        # The shipped defaults (rand=1.5, slice_overhead=5) must win the
+        # grid that contains them.
+        assert result.local.rand == 1.5
+        assert result.local.slice_overhead == 5.0
+        assert result.score < 2.0
+
+    def test_fit_result_usable_as_spec(self):
+        result = fit_local_cost_model(
+            rand_grid=(1.5,), slice_grid=(5.0,), seg_grid=(3.0,)
+        )
+        spec = result.spec()
+        assert spec.local.rand == 1.5
+        assert spec.tau > 0

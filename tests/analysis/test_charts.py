@@ -1,0 +1,54 @@
+"""ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.charts import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            [1, 2, 4], {"a": [0.001, 0.002, 0.004], "b": [0.004, 0.002, 0.001]}
+        )
+        assert "o=a" in out and "x=b" in out
+        assert "(log y)" in out
+        assert "o" in out and "x" in out
+
+    def test_title(self):
+        out = ascii_chart([1], {"s": [0.001]}, title="My Figure")
+        assert out.startswith("My Figure")
+
+    def test_collision_glyph(self):
+        out = ascii_chart([1], {"a": [0.001], "b": [0.001]})
+        assert "!" in out
+
+    def test_none_points_skipped(self):
+        out = ascii_chart([1, 2], {"a": [None, 0.002]})
+        assert "o" in out
+
+    def test_empty_data(self):
+        assert ascii_chart([], {}) == "(no data)"
+        assert ascii_chart([1], {"a": [None]}) == "(no data)"
+
+    def test_linear_axis(self):
+        out = ascii_chart([1, 2], {"a": [0.001, 0.010]}, logy=False)
+        assert "(log y)" not in out
+
+    def test_monotone_series_rows_monotone(self):
+        # A strictly rising series must occupy non-decreasing rows left to
+        # right (visual sanity of the renderer).
+        vals = [0.001 * (2**i) for i in range(6)]
+        out = ascii_chart(list(range(6)), {"a": vals}, width=60, height=10)
+        rows = {}
+        lines = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        for r, line in enumerate(lines):
+            for c, ch in enumerate(line):
+                if ch == "o":
+                    rows[c] = r
+        cols = sorted(rows)
+        heights = [rows[c] for c in cols]
+        assert heights == sorted(heights, reverse=True)
+
+    def test_flat_series(self):
+        out = ascii_chart([1, 2], {"a": [0.005, 0.005]})
+        assert "o" in out

@@ -1,0 +1,72 @@
+"""Crossover (beta) computation and report formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis.crossover import beta1_table, beta2_table, find_crossover
+from repro.analysis.reporting import fmt_ms, fmt_value, format_series, format_table
+from repro.core.schemes import Scheme
+from repro.machine import CM5
+
+
+class TestFindCrossover:
+    def test_beta1_exceeds_one_always(self):
+        # Paper: "Both beta1 and beta2 are always greater than 1" — SSS
+        # is unbeatable for cyclic distributions.
+        for kind in (0.3, 0.9, "half"):
+            b = find_crossover((16384,), (16,), kind, Scheme.SSS, Scheme.CSS, CM5)
+            assert b > 1
+
+    def test_beta1_decreases_with_density(self):
+        b_low = find_crossover((16384,), (16,), 0.1, Scheme.SSS, Scheme.CSS, CM5)
+        b_high = find_crossover((16384,), (16,), 0.9, Scheme.SSS, Scheme.CSS, CM5)
+        assert b_high <= b_low
+
+    def test_beta1_sparse_2d_small_is_infinite(self):
+        # Paper Table I: 2-D local size 16, 10% density -> infinity.
+        b = find_crossover((64, 64), (4, 4), 0.1, Scheme.SSS, Scheme.CSS, CM5)
+        assert math.isinf(b)
+
+    def test_beta2_exceeds_one(self):
+        for kind in (0.3, 0.9):
+            b = find_crossover((16384,), (16,), kind, Scheme.CSS, Scheme.CMS, CM5)
+            assert b > 1
+
+
+class TestTables:
+    def test_beta1_table_keys(self):
+        t = beta1_table([(16384,)], (16,), [0.5, "half"])
+        assert set(t) == {((16384,), 0.5), ((16384,), "half")}
+
+    def test_beta2_table_runs(self):
+        t = beta2_table([(16384,)], (16,), [0.5])
+        assert ((16384,), 0.5) in t
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, None]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in out and "-" in out
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_fmt_value_inf_and_ints(self):
+        assert fmt_value(float("inf")) == "inf"
+        assert fmt_value(4.0) == "4"
+        assert fmt_value(4.25) == "4.25"
+        assert fmt_value(None) == "-"
+
+    def test_fmt_ms(self):
+        assert fmt_ms(0.01234) == "12.34"
+
+    def test_format_series(self):
+        out = format_series(
+            "t", "W", [1, 2], {"sss": [0.001, 0.002], "css": [0.003, None]}
+        )
+        assert "sss (ms)" in out
+        assert "1.00" in out and "3.00" in out

@@ -1,0 +1,78 @@
+"""Section 6.1 memory-footprint model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.memory import (
+    MemoryFootprint,
+    pack_memory_words,
+    ranking_working_words,
+)
+from repro.analysis.model import workload_quantities
+from repro.core.schemes import Scheme
+from repro.hpf import GridLayout
+
+
+class TestWorkingArrays:
+    def test_1d(self):
+        layout = GridLayout.create((64,), (4,), block=2)  # T_0 = 8
+        assert ranking_working_words(layout) == 2 * 8
+
+    def test_2d(self):
+        layout = GridLayout.create((16, 16), (2, 2), block=(2, 2))
+        # |PS_0| = L_1 * T_0 = 8 * 4 = 32; |PS_1| = T_1 = 4.
+        assert ranking_working_words(layout) == 2 * (32 + 4)
+
+    def test_cyclic_needs_more_than_block(self):
+        cyc = GridLayout.create((1024,), (4,), block=1)
+        blk = GridLayout.create((1024,), (4,), block=256)
+        assert ranking_working_words(cyc) > ranking_working_words(blk)
+
+
+class TestSchemeStorage:
+    def test_sss_scales_with_selected(self):
+        layout = GridLayout.create((1024,), (4,), block=16)
+        sparse = pack_memory_words(layout, Scheme.SSS, e_i=10, e_a=10)
+        dense = pack_memory_words(layout, Scheme.SSS, e_i=200, e_a=200)
+        assert dense.bookkeeping == 20 * sparse.bookkeeping
+
+    def test_css_storage_is_density_independent(self):
+        layout = GridLayout.create((1024,), (4,), block=16)
+        sparse = pack_memory_words(layout, Scheme.CSS, e_i=10, e_a=10)
+        dense = pack_memory_words(layout, Scheme.CSS, e_i=200, e_a=200)
+        assert sparse.bookkeeping == dense.bookkeeping == 16  # C = L/W
+
+    def test_crossover_matches_paper_intuition(self):
+        # Compact storage is the memory winner once (d+3) E_i > C —
+        # i.e., for dense masks / large blocks.
+        layout = GridLayout.create((1024,), (4,), block=64)  # C = 4
+        sss = pack_memory_words(layout, Scheme.SSS, e_i=128, e_a=128)
+        css = pack_memory_words(layout, Scheme.CSS, e_i=128, e_a=128)
+        assert css.bookkeeping < sss.bookkeeping
+
+    def test_cms_message_buffers_smaller_when_segments_few(self):
+        layout = GridLayout.create((1024,), (4,), block=64)
+        css = pack_memory_words(layout, Scheme.CSS, e_i=100, e_a=100)
+        cms = pack_memory_words(layout, Scheme.CMS, e_i=100, e_a=100, gs_i=5, gr_i=5)
+        assert cms.send_buffers < css.send_buffers
+
+    def test_total_is_sum(self):
+        layout = GridLayout.create((64,), (4,), block=4)
+        f = pack_memory_words(layout, "cms", e_i=8, e_a=8, gs_i=2, gr_i=2)
+        assert f.total == f.working + f.bookkeeping + f.send_buffers + f.recv_buffers
+
+
+class TestWithMeasuredQuantities:
+    def test_integrates_with_workload_quantities(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random(256) < 0.5
+        layout = GridLayout.create((256,), (4,), block=8)
+        q = workload_quantities(mask, layout)
+        for r in range(4):
+            f = pack_memory_words(
+                layout, "cms",
+                e_i=int(q.e_i[r]), e_a=int(q.e_a[r]),
+                gs_i=int(q.gs[r]), gr_i=int(q.gr[r]),
+            )
+            assert f.total > 0
+            assert f.send_buffers == int(q.e_i[r]) + 2 * int(q.gs[r])

@@ -1,0 +1,101 @@
+"""The closed-form model must charge exactly what the simulator charges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.model import predict_pack_local_seconds, workload_quantities
+from repro.core.api import aggregate_time, pack
+from repro.core.schemes import Scheme
+from repro.hpf import GridLayout, VectorLayout
+from repro.machine import MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestWorkloadQuantities:
+    def test_conservation(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random(256) < 0.4
+        layout = GridLayout.create((256,), (4,), block=4)
+        q = workload_quantities(mask, layout)
+        assert q.e_i.sum() == mask.sum() == q.size
+        assert q.e_a.sum() == q.size
+        assert q.gs.sum() == q.gr.sum()
+
+    def test_segments_bounded_by_elements(self):
+        rng = np.random.default_rng(1)
+        mask = rng.random((16, 16)) < 0.6
+        layout = GridLayout.create((16, 16), (2, 2), block=(2, 2))
+        q = workload_quantities(mask, layout)
+        assert np.all(q.gs <= q.e_i)
+
+    def test_scan2_bounds(self):
+        rng = np.random.default_rng(2)
+        mask = rng.random(128) < 0.5
+        layout = GridLayout.create((128,), (4,), block=8)
+        q = workload_quantities(mask, layout)
+        assert np.all(q.scan2_early <= q.scan2_full)
+        assert np.all(q.scan2_full <= q.L)
+
+    def test_c_and_l(self):
+        layout = GridLayout.create((8, 16), (2, 2), block=(2, 4))
+        q = workload_quantities(np.ones((8, 16), bool), layout)
+        assert q.L == 32
+        assert q.C == 8  # L / W_0
+
+
+class TestModelMatchesSimulator:
+    @pytest.mark.parametrize("scheme", ["sss", "css", "cms"])
+    @pytest.mark.parametrize("block", [1, 4, 16])
+    def test_1d_exact_agreement(self, scheme, block):
+        rng = np.random.default_rng(3)
+        a = rng.random(128)
+        m = rng.random(128) < 0.5
+        layout = GridLayout.create((128,), (4,), block=block)
+        predicted = predict_pack_local_seconds(m, layout, scheme, SPEC)
+        res = pack(a, m, grid=4, block=block, scheme=scheme, spec=SPEC)
+        simulated = aggregate_time(res.run, "local")
+        assert simulated == pytest.approx(predicted, rel=1e-9)
+
+    @pytest.mark.parametrize("scheme", ["sss", "css", "cms"])
+    def test_2d_exact_agreement(self, scheme):
+        rng = np.random.default_rng(4)
+        a = rng.random((16, 16))
+        m = rng.random((16, 16)) < 0.3
+        layout = GridLayout.create((16, 16), (2, 2), block=(2, 2))
+        predicted = predict_pack_local_seconds(m, layout, scheme, SPEC)
+        res = pack(a, m, grid=(2, 2), block=(2, 2), scheme=scheme, spec=SPEC)
+        simulated = aggregate_time(res.run, "local")
+        assert simulated == pytest.approx(predicted, rel=1e-9)
+
+    def test_full_scan_variant_agrees(self):
+        rng = np.random.default_rng(5)
+        a = rng.random(128)
+        m = rng.random(128) < 0.5
+        layout = GridLayout.create((128,), (4,), block=8)
+        predicted = predict_pack_local_seconds(
+            m, layout, Scheme.CSS, SPEC, early_exit_scan=False
+        )
+        res = pack(a, m, grid=4, block=8, scheme="css", spec=SPEC,
+                   early_exit_scan=False)
+        assert aggregate_time(res.run, "local") == pytest.approx(predicted, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    w=st.integers(1, 8),
+    density=st.floats(0, 1),
+    scheme=st.sampled_from(["sss", "css", "cms"]),
+    seed=st.integers(0, 99),
+)
+def test_property_model_simulator_agreement(w, density, scheme, seed):
+    rng = np.random.default_rng(seed)
+    n = 4 * w * 4
+    a = rng.random(n)
+    m = rng.random(n) < density
+    layout = GridLayout.create((n,), (4,), block=w)
+    predicted = predict_pack_local_seconds(m, layout, scheme, SPEC)
+    res = pack(a, m, grid=4, block=w, scheme=scheme, spec=SPEC)
+    assert aggregate_time(res.run, "local") == pytest.approx(predicted, rel=1e-9)

@@ -1,0 +1,98 @@
+"""Total-time predictor: estimates must track the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.predictor import (
+    predict_m2m_seconds,
+    predict_pack_seconds,
+    predict_prs_seconds,
+)
+from repro.core.api import pack
+from repro.hpf import GridLayout
+from repro.machine import CM5, MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+def simulate(a, m, grid, block, scheme, spec=SPEC, **kw):
+    return pack(a, m, grid=grid, block=block, scheme=scheme, spec=spec, **kw)
+
+
+class TestPRSPrediction:
+    @pytest.mark.parametrize("block", [1, 8, 64])
+    @pytest.mark.parametrize("prs", ["ctrl", "direct", "split"])
+    def test_within_factor_of_simulation_1d(self, block, prs):
+        rng = np.random.default_rng(0)
+        a = rng.random(4096)
+        m = rng.random(4096) < 0.5
+        layout = GridLayout.create((4096,), (16,), block=block)
+        predicted = predict_prs_seconds(layout, SPEC, prs=prs)
+        res = simulate(a, m, 16, block, "css", prs=prs)
+        simulated = res.prs_ms / 1e3
+        assert predicted == pytest.approx(simulated, rel=1.0), (
+            f"prs={prs} W={block}: predicted {predicted}, simulated {simulated}"
+        )
+
+    def test_single_proc_dim_contributes_nothing(self):
+        from repro.collectives.prefix import estimate_prs_seconds
+
+        layout = GridLayout.create((64, 64), (1, 4), block="cyclic")
+        # Dimension 1 has one processor: only dimension 0's PRS counts,
+        # over a vector of T_0 * L_1 entries.
+        p = predict_prs_seconds(layout, SPEC, prs="ctrl")
+        m = layout.dims[0].t * layout.dims[1].l
+        assert p == pytest.approx(estimate_prs_seconds(SPEC, "ctrl", 4, m))
+
+
+class TestM2MPrediction:
+    @pytest.mark.parametrize("scheme", ["css", "cms"])
+    @pytest.mark.parametrize("block", [2, 32])
+    def test_within_factor_of_simulation(self, scheme, block):
+        rng = np.random.default_rng(1)
+        a = rng.random(4096)
+        m = rng.random(4096) < 0.5
+        layout = GridLayout.create((4096,), (16,), block=block)
+        predicted = predict_m2m_seconds(m, layout, scheme, SPEC)
+        res = simulate(a, m, 16, block, scheme)
+        simulated = res.m2m_ms / 1e3
+        assert 0.3 * simulated < predicted < 3.0 * simulated
+
+
+class TestTotalPrediction:
+    @pytest.mark.parametrize("scheme", ["sss", "css", "cms"])
+    def test_total_tracks_simulation(self, scheme):
+        rng = np.random.default_rng(2)
+        a = rng.random(4096)
+        m = rng.random(4096) < 0.7
+        layout = GridLayout.create((4096,), (16,), block=16)
+        pred = predict_pack_seconds(m, layout, scheme, SPEC)
+        res = simulate(a, m, 16, 16, scheme)
+        assert pred.total == pytest.approx(res.total_ms / 1e3, rel=0.6)
+        # Local part is exact by construction.
+        assert pred.local == pytest.approx(res.local_ms / 1e3, rel=1e-9)
+
+    def test_predictor_ranks_schemes_like_simulator(self):
+        """The predictor must agree with the simulator on the best scheme —
+        the property a compiler runtime would rely on."""
+        rng = np.random.default_rng(3)
+        a = rng.random(8192)
+        m = rng.random(8192) < 0.9
+        layout = GridLayout.create((8192,), (16,), block=64)
+        pred_best = min(
+            ("sss", "css", "cms"),
+            key=lambda s: predict_pack_seconds(m, layout, s, CM5).total,
+        )
+        sim_best = min(
+            ("sss", "css", "cms"),
+            key=lambda s: simulate(a, m, 16, 64, s, spec=CM5).total_ms,
+        )
+        assert pred_best == sim_best
+
+    def test_prediction_decomposition_nonnegative(self):
+        m = np.zeros(256, dtype=bool)
+        layout = GridLayout.create((256,), (4,), block=8)
+        pred = predict_pack_seconds(m, layout, "cms", SPEC)
+        assert pred.local > 0  # scans still happen
+        assert pred.prs >= 0 and pred.m2m >= 0
+        assert pred.total == pred.local + pred.prs + pred.m2m

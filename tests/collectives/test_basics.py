@@ -1,0 +1,179 @@
+"""Software collectives: correctness against numpy, plus cost shapes."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import allgather, allreduce, alltoall, bcast, gather, reduce
+from repro.machine import Machine, MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+def run(nprocs, prog, *args):
+    return Machine(nprocs, SPEC).run(prog, *args)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4, 5, 8, 13, 16])
+    def test_all_ranks_get_value(self, P):
+        def prog(ctx):
+            value = "payload" if ctx.rank == 0 else None
+            out = yield from bcast(ctx, value, root=0)
+            return out
+
+        res = run(P, prog)
+        assert res.results == ["payload"] * P
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        def prog(ctx):
+            value = ctx.rank if ctx.rank == root else None
+            out = yield from bcast(ctx, value, root=root)
+            return out
+
+        res = run(4, prog)
+        assert res.results == [root] * 4
+
+    def test_subgroup_bcast(self):
+        def prog(ctx):
+            group = (1, 3, 5)
+            if ctx.rank not in group:
+                return "untouched"
+            value = "hi" if ctx.rank == 1 else None
+            out = yield from bcast(ctx, value, root=0, group=group)
+            return out
+
+        res = run(6, prog)
+        assert res.results == ["untouched", "hi", "untouched", "hi", "untouched", "hi"]
+
+    def test_log_rounds_cost(self):
+        # With P = 8 the deepest path sees 3 message legs.
+        def prog(ctx):
+            out = yield from bcast(ctx, np.zeros(100) if ctx.rank == 0 else None, words=100)
+            return out
+
+        res = run(8, prog)
+        leg = SPEC.message_time(100)
+        assert res.elapsed == pytest.approx(3 * leg, rel=0.01)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4, 7, 8, 16])
+    def test_vector_sum(self, P):
+        def prog(ctx):
+            v = np.full(5, ctx.rank + 1, dtype=np.int64)
+            out = yield from reduce(ctx, v, root=0)
+            return None if out is None else out.tolist()
+
+        res = run(P, prog)
+        expected = [sum(range(1, P + 1))] * 5
+        assert res.results[0] == expected
+        assert all(r is None for r in res.results[1:])
+
+    def test_custom_op(self):
+        def prog(ctx):
+            out = yield from reduce(ctx, ctx.rank + 1, op=lambda a, b: a * b, words=1)
+            return out
+
+        res = run(4, prog)
+        assert res.results[0] == 24
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("P", [1, 2, 4, 8, 3, 5, 6])
+    def test_everyone_gets_total(self, P):
+        def prog(ctx):
+            v = np.arange(4, dtype=np.int64) + ctx.rank
+            out = yield from allreduce(ctx, v)
+            return out.tolist()
+
+        res = run(P, prog)
+        base = np.arange(4) * P + sum(range(P))
+        for r in res.results:
+            assert r == base.tolist()
+
+
+class TestGather:
+    def test_member_order(self):
+        def prog(ctx):
+            out = yield from gather(ctx, ctx.rank * 10, root=0, words=1)
+            return out
+
+        res = run(5, prog)
+        assert res.results[0] == [0, 10, 20, 30, 40]
+
+    def test_subgroup_gather_at_nonzero_root(self):
+        def prog(ctx):
+            group = (0, 2, 4)
+            if ctx.rank not in group:
+                return None
+            out = yield from gather(ctx, ctx.rank, root=1, group=group, words=1)
+            return out
+
+        res = run(5, prog)
+        assert res.results[2] == [0, 2, 4]
+        assert res.results[0] is None and res.results[4] is None
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4, 8])
+    def test_everyone_gets_all(self, P):
+        def prog(ctx):
+            out = yield from allgather(ctx, np.array([ctx.rank]), words=1)
+            return [int(b[0]) for b in out]
+
+        res = run(P, prog)
+        for r in res.results:
+            assert r == list(range(P))
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("P", [1, 2, 4, 5, 8])
+    def test_transpose(self, P):
+        def prog(ctx):
+            blocks = [f"{ctx.rank}->{d}" for d in range(P)]
+            out = yield from alltoall(ctx, blocks, words=[1] * P)
+            return out
+
+        res = run(P, prog)
+        for d, received in enumerate(res.results):
+            assert received == [f"{s}->{d}" for s in range(P)]
+
+    def test_block_count_checked(self):
+        def prog(ctx):
+            out = yield from alltoall(ctx, ["too", "few"])
+            return out
+
+        with pytest.raises(Exception):
+            run(4, prog)
+
+    def test_linear_permutation_cost(self):
+        # Every rank sends P-1 remote messages of w words: (P-1)(tau + mu w).
+        P, w = 8, 50
+
+        def prog(ctx):
+            blocks = [np.zeros(w)] * P
+            out = yield from alltoall(ctx, blocks, words=[w] * P)
+            return len(out)
+
+        res = run(P, prog)
+        expected = (P - 1) * SPEC.message_time(w)
+        assert res.elapsed == pytest.approx(expected, rel=0.01)
+
+
+class TestGroupValidation:
+    def test_unsorted_group_rejected(self):
+        def prog(ctx):
+            out = yield from bcast(ctx, 1, group=(2, 0, 1))
+            return out
+
+        with pytest.raises(Exception):
+            run(3, prog)
+
+    def test_rank_outside_group_rejected(self):
+        def prog(ctx):
+            out = yield from bcast(ctx, 1, group=(0, 1))
+            return out
+
+        with pytest.raises(Exception):
+            run(3, prog)

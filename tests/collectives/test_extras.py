@@ -1,0 +1,179 @@
+"""scatter / reduce-scatter / scan / exscan / alltoallv."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import alltoallv, exscan, reduce_scatter, scan, scatter
+from repro.machine import Machine, MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestScatter:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4, 5, 8, 16])
+    def test_each_member_gets_its_block(self, P):
+        def prog(ctx):
+            blocks = [f"block-{i}" for i in range(P)] if ctx.rank == 0 else None
+            out = yield from scatter(ctx, blocks, root=0)
+            return out
+
+        res = Machine(P, SPEC).run(prog)
+        assert res.results == [f"block-{i}" for i in range(P)]
+
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_nonzero_root(self, root):
+        P = 4
+
+        def prog(ctx):
+            blocks = [i * 10 for i in range(P)] if ctx.rank == root else None
+            out = yield from scatter(ctx, blocks, root=root, words=[1] * P)
+            return out
+
+        res = Machine(P, SPEC).run(prog)
+        assert res.results == [0, 10, 20, 30]
+
+    def test_root_needs_blocks(self):
+        def prog(ctx):
+            out = yield from scatter(ctx, None, root=0)
+            return out
+
+        with pytest.raises(Exception):
+            Machine(2, SPEC).run(prog)
+
+    def test_tree_beats_flat_in_startups(self):
+        # The root sends log P messages, not P-1.
+        P = 16
+
+        def prog(ctx):
+            blocks = [np.zeros(4)] * P if ctx.rank == 0 else None
+            out = yield from scatter(ctx, blocks, root=0)
+            return out
+
+        res = Machine(P, SPEC).run(prog)
+        assert res.stats[0].sends == 4  # log2(16)
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    @pytest.mark.parametrize("M", [8, 9, 16, 3])
+    def test_matches_numpy(self, P, M):
+        rng = np.random.default_rng(P * 10 + M)
+        vecs = [rng.integers(0, 50, M).astype(np.int64) for _ in range(P)]
+        total = np.sum(vecs, axis=0)
+        bounds = np.linspace(0, M, P + 1).astype(int)
+
+        def prog(ctx):
+            out = yield from reduce_scatter(ctx, vecs[ctx.rank])
+            return out
+
+        res = Machine(P, SPEC).run(prog)
+        for i in range(P):
+            np.testing.assert_array_equal(
+                res.results[i], total[bounds[i] : bounds[i + 1]]
+            )
+
+    def test_non_power_of_two_rejected(self):
+        def prog(ctx):
+            out = yield from reduce_scatter(ctx, np.zeros(6))
+            return out
+
+        with pytest.raises(Exception):
+            Machine(3, SPEC).run(prog)
+
+
+class TestScanExscan:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+    def test_inclusive_scan(self, P):
+        def prog(ctx):
+            out = yield from scan(ctx, ctx.rank + 1, words=1)
+            return out
+
+        res = Machine(P, SPEC).run(prog)
+        assert res.results == [sum(range(1, i + 2)) for i in range(P)]
+
+    @pytest.mark.parametrize("P", [1, 2, 4, 7])
+    def test_exclusive_scan(self, P):
+        def prog(ctx):
+            out = yield from exscan(ctx, ctx.rank + 1, words=1, identity=0)
+            return out
+
+        res = Machine(P, SPEC).run(prog)
+        assert res.results == [sum(range(1, i + 1)) for i in range(P)]
+
+    def test_vector_scan(self):
+        def prog(ctx):
+            v = np.full(3, ctx.rank, dtype=np.int64)
+            out = yield from scan(ctx, v)
+            return out.tolist()
+
+        res = Machine(4, SPEC).run(prog)
+        assert res.results[3] == [0 + 1 + 2 + 3] * 3
+
+    def test_noncommutative_op_ordering(self):
+        # Scan with string concatenation checks operand order strictly.
+        def prog(ctx):
+            out = yield from scan(ctx, str(ctx.rank), op=lambda a, b: a + b, words=1)
+            return out
+
+        res = Machine(4, SPEC).run(prog)
+        assert res.results == ["0", "01", "012", "0123"]
+
+
+class TestAlltoallv:
+    def test_variable_sizes(self):
+        P = 4
+
+        def prog(ctx):
+            blocks = [np.arange(ctx.rank + d) for d in range(P)]
+            out = yield from alltoallv(ctx, blocks)
+            return [b.size for b in out]
+
+        res = Machine(P, SPEC).run(prog)
+        for d in range(P):
+            assert res.results[d] == [s + d for s in range(P)]
+
+    def test_none_blocks_skipped(self):
+        P = 4
+
+        def prog(ctx):
+            blocks = [None] * P
+            if ctx.rank == 0:
+                blocks[2] = "only"
+            out = yield from alltoallv(ctx, blocks)
+            return out
+
+        res = Machine(P, SPEC).run(prog)
+        assert res.results[2][0] == "only"
+        assert res.results[1] == [None, None, None, None]
+        # Only one data message crossed the network (plus size announces).
+        data_msgs = sum(s.sends for s in res.stats) - P * (P - 1)
+        assert data_msgs == 1
+
+    def test_block_count_validated(self):
+        def prog(ctx):
+            out = yield from alltoallv(ctx, ["x"])
+            return out
+
+        with pytest.raises(Exception):
+            Machine(3, SPEC).run(prog)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    logp=st.integers(1, 3),
+    m=st.integers(1, 20),
+    seed=st.integers(0, 99),
+)
+def test_property_reduce_scatter_conserves_sum(logp, m, seed):
+    P = 2**logp
+    rng = np.random.default_rng(seed)
+    vecs = [rng.integers(0, 9, m).astype(np.int64) for _ in range(P)]
+
+    def prog(ctx):
+        out = yield from reduce_scatter(ctx, vecs[ctx.rank])
+        return int(np.sum(out))
+
+    res = Machine(P, SPEC).run(prog)
+    assert sum(res.results) == int(np.sum(vecs))

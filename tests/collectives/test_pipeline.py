@@ -1,0 +1,175 @@
+"""Pipelined binary-tree PRS — correctness, tree structure, cost regimes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.pipeline import _lowbit, _parent, optimal_chunk_words, prs_pipeline
+from repro.collectives import prs_direct, prs_split
+from repro.machine import Machine, MachineSpec
+
+SPEC = MachineSpec(tau=86e-6, mu=0.5e-6, delta=0.1e-6, has_control_network=False)
+
+
+def oracle(vectors):
+    stack = np.vstack(vectors)
+    csum = np.cumsum(stack, axis=0)
+    reduction = csum[-1]
+    prefixes = np.vstack([np.zeros_like(reduction)[None, :], csum[:-1]])
+    return prefixes, reduction
+
+
+def run_pipeline(P, M, seed=0, chunk_words=None, group=None, spec=SPEC):
+    rng = np.random.default_rng(seed)
+    count = P if group is None else len(group)
+    vecs = [rng.integers(0, 50, M).astype(np.int64) for _ in range(count)]
+
+    def prog(ctx):
+        if group is not None and ctx.rank not in group:
+            return None
+        idx = ctx.rank if group is None else list(group).index(ctx.rank)
+        r = yield from prs_pipeline(ctx, vecs[idx], group=group, chunk_words=chunk_words)
+        return r
+
+    nprocs = P if group is None else max(group) + 1
+    res = Machine(nprocs, spec).run(prog)
+    return vecs, res
+
+
+class TestTreeStructure:
+    def test_lowbit(self):
+        assert _lowbit(1) == 1
+        assert _lowbit(6) == 2
+        assert _lowbit(8) == 8
+
+    def test_parent_chain_reaches_root(self):
+        P = 16
+        for m in range(1, P):
+            seen = set()
+            node = m
+            while True:
+                assert node not in seen, "cycle in parent chain"
+                seen.add(node)
+                p = _parent(node, P)
+                if p is None:
+                    assert node == P // 2
+                    break
+                assert _lowbit(p) == 2 * _lowbit(node)
+                node = p
+
+    def test_every_nonzero_rank_hosts_one_node(self):
+        # The binary-indexed-tree bijection: P-1 internal nodes <-> ranks 1..P-1.
+        P = 32
+        children = set()
+        for m in range(1, P):
+            lb = _lowbit(m)
+            if lb > 1:
+                children.add(m - lb // 2)
+                children.add(m + lb // 2)
+        # Internal children named above are distinct nodes in 1..P-1.
+        assert children <= set(range(1, P))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("P", [2, 4, 8, 16, 32])
+    @pytest.mark.parametrize("M", [1, 2, 7, 64])
+    def test_matches_oracle(self, P, M):
+        vecs, res = run_pipeline(P, M, seed=P * 131 + M)
+        prefixes, reduction = oracle(vecs)
+        for i, r in enumerate(res.results):
+            np.testing.assert_array_equal(r.prefix, prefixes[i])
+            np.testing.assert_array_equal(r.reduction, reduction)
+            assert r.algorithm == "pipeline"
+
+    @pytest.mark.parametrize("chunk_words", [1, 3, 16, 1000])
+    def test_any_chunk_size(self, chunk_words):
+        vecs, res = run_pipeline(8, 50, chunk_words=chunk_words)
+        prefixes, reduction = oracle(vecs)
+        for i, r in enumerate(res.results):
+            np.testing.assert_array_equal(r.prefix, prefixes[i])
+
+    def test_subgroup(self):
+        group = (1, 3, 5, 7)
+        vecs, res = run_pipeline(4, 12, group=group)
+        prefixes, reduction = oracle(vecs)
+        for i, rank in enumerate(group):
+            np.testing.assert_array_equal(res.results[rank].prefix, prefixes[i])
+            np.testing.assert_array_equal(res.results[rank].reduction, reduction)
+
+    def test_single_member(self):
+        vecs, res = run_pipeline(1, 9)
+        np.testing.assert_array_equal(res.results[0].prefix, np.zeros(9, np.int64))
+        np.testing.assert_array_equal(res.results[0].reduction, vecs[0])
+
+    def test_empty_vector(self):
+        vecs, res = run_pipeline(4, 0)
+        assert res.results[0].prefix.size == 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(Exception):
+            run_pipeline(6, 8)
+
+
+class TestCostRegimes:
+    def _elapsed(self, fn, P, M):
+        rng = np.random.default_rng(0)
+        vecs = [rng.integers(0, 50, M).astype(np.int64) for _ in range(P)]
+
+        def prog(ctx):
+            r = yield from fn(ctx, vecs[ctx.rank])
+            return None
+
+        return Machine(P, SPEC).run(prog).elapsed
+
+    def test_beats_split_at_large_p_moderate_m(self):
+        # The O(tau log P + mu M) regime: start-ups dominate split's tau*P.
+        P, M = 64, 1024
+        assert self._elapsed(prs_pipeline, P, M) < self._elapsed(prs_split, P, M)
+
+    def test_split_wins_at_huge_vectors(self):
+        # Pipeline moves ~6 chunk-lengths per element vs split's ~3.
+        P, M = 16, 65536
+        assert self._elapsed(prs_split, P, M) < self._elapsed(prs_pipeline, P, M)
+
+    def test_direct_wins_at_tiny_vectors(self):
+        P, M = 64, 8
+        assert self._elapsed(prs_direct, P, M) < self._elapsed(prs_pipeline, P, M)
+
+    def test_pipelining_beats_single_chunk(self):
+        # Streaming in chunks must beat sending the whole vector through
+        # the tree at once (otherwise the pipeline adds nothing).
+        P, M = 32, 8192
+        one = run_pipeline(P, M, chunk_words=M)[1].elapsed
+        auto = run_pipeline(P, M)[1].elapsed
+        assert auto < one
+
+
+class TestChunkSelection:
+    def test_optimal_chunk_bounds(self):
+        assert optimal_chunk_words(SPEC, 16, 1) == 1
+        g = optimal_chunk_words(SPEC, 16, 4096)
+        assert 1 <= g <= 4096
+
+    def test_larger_tau_larger_chunks(self):
+        small = optimal_chunk_words(SPEC, 16, 65536)
+        big = optimal_chunk_words(SPEC.with_(tau=10 * SPEC.tau), 16, 65536)
+        assert big > small
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    logp=st.integers(1, 4),
+    m=st.integers(0, 40),
+    chunk=st.integers(1, 17),
+    seed=st.integers(0, 99),
+)
+def test_property_pipeline_matches_oracle(logp, m, chunk, seed):
+    P = 2**logp
+    vecs, res = run_pipeline(P, m, seed=seed, chunk_words=chunk)
+    if m == 0:
+        return
+    prefixes, reduction = oracle(vecs)
+    for i, r in enumerate(res.results):
+        np.testing.assert_array_equal(r.prefix, prefixes[i])
+        np.testing.assert_array_equal(r.reduction, reduction)

@@ -1,0 +1,200 @@
+"""Prefix-reduction-sum: all three algorithms against the numpy oracle."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    PRSResult,
+    choose_prs_algorithm,
+    prefix_reduction_sum,
+    prs_ctrl,
+    prs_direct,
+    prs_split,
+)
+from repro.machine import Machine, MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+NOCTRL = SPEC.with_(has_control_network=False)
+
+
+def oracle(vectors):
+    """(per-member exclusive prefix, reduction) for a list of vectors."""
+    stack = np.vstack(vectors)
+    csum = np.cumsum(stack, axis=0)
+    reduction = csum[-1]
+    prefixes = np.vstack([np.zeros_like(reduction)[None, :], csum[:-1]])
+    return prefixes, reduction
+
+
+def make_vectors(P, M, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 50, size=M).astype(np.int64) for _ in range(P)]
+
+
+def run_prs(algorithm_fn, P, M, spec=SPEC, seed=0, group=None):
+    vectors = make_vectors(P if group is None else len(group), M, seed)
+
+    def prog(ctx):
+        if group is not None and ctx.rank not in group:
+            return None
+        idx = ctx.rank if group is None else list(group).index(ctx.rank)
+        result = yield from algorithm_fn(ctx, vectors[idx], group)
+        return result
+
+    nprocs = P if group is None else max(group) + 1
+    res = Machine(nprocs, spec).run(prog)
+    return vectors, res
+
+
+@pytest.mark.parametrize("algo_fn", [prs_direct, prs_split])
+@pytest.mark.parametrize("P,M", [(1, 8), (2, 8), (3, 7), (4, 16), (5, 3), (8, 64), (16, 10)])
+class TestSoftwarePRS:
+    def test_matches_oracle(self, algo_fn, P, M):
+        vectors, res = run_prs(algo_fn, P, M, spec=NOCTRL)
+        prefixes, reduction = oracle(vectors)
+        for i, r in enumerate(res.results):
+            assert isinstance(r, PRSResult)
+            np.testing.assert_array_equal(r.prefix, prefixes[i])
+            np.testing.assert_array_equal(r.reduction, reduction)
+
+
+class TestCtrlPRS:
+    @pytest.mark.parametrize("P,M", [(1, 4), (2, 8), (4, 16), (7, 5)])
+    def test_matches_oracle(self, P, M):
+        vectors, res = run_prs(prs_ctrl, P, M)
+        prefixes, reduction = oracle(vectors)
+        for i, r in enumerate(res.results):
+            np.testing.assert_array_equal(r.prefix, prefixes[i])
+            np.testing.assert_array_equal(r.reduction, reduction)
+
+    def test_requires_control_network(self):
+        with pytest.raises(Exception):
+            run_prs(prs_ctrl, 2, 4, spec=NOCTRL)
+
+    def test_cost_linear_in_m(self):
+        _, res_small = run_prs(prs_ctrl, 4, 10)
+        _, res_big = run_prs(prs_ctrl, 4, 1000)
+        t_small, t_big = res_small.elapsed, res_big.elapsed
+        # cost = latency + ctrl_word * 2M: slope check.
+        slope = (t_big - t_small) / (2 * (1000 - 10))
+        assert slope == pytest.approx(SPEC.ctrl_word, rel=0.01)
+
+
+class TestSubgroupPRS:
+    def test_prs_on_grid_row(self):
+        group = (2, 3, 4)
+        vectors, res = run_prs(prs_direct, 5, 6, spec=NOCTRL, group=group)
+        prefixes, reduction = oracle(vectors)
+        for i, rank in enumerate(group):
+            r = res.results[rank]
+            np.testing.assert_array_equal(r.prefix, prefixes[i])
+            np.testing.assert_array_equal(r.reduction, reduction)
+
+    def test_concurrent_disjoint_groups(self):
+        # Two halves run PRS simultaneously without cross-talk.
+        rng = np.random.default_rng(1)
+        vecs = [rng.integers(0, 9, size=5).astype(np.int64) for _ in range(6)]
+
+        def prog(ctx):
+            group = (0, 1, 2) if ctx.rank < 3 else (3, 4, 5)
+            result = yield from prs_direct(ctx, vecs[ctx.rank], group)
+            return result
+
+        res = Machine(6, NOCTRL).run(prog)
+        for group in [(0, 1, 2), (3, 4, 5)]:
+            prefixes, reduction = oracle([vecs[r] for r in group])
+            for i, rank in enumerate(group):
+                np.testing.assert_array_equal(res.results[rank].prefix, prefixes[i])
+                np.testing.assert_array_equal(res.results[rank].reduction, reduction)
+
+
+class TestCostShapes:
+    def test_direct_scales_with_log_p_times_m(self):
+        M = 256
+        _, res4 = run_prs(prs_direct, 4, M, spec=NOCTRL)
+        _, res16 = run_prs(prs_direct, 16, M, spec=NOCTRL)
+        # Volume term doubles when log P doubles (2 -> 4).
+        assert res16.elapsed > 1.5 * res4.elapsed
+
+    def test_split_beats_direct_for_large_p_and_m(self):
+        # The paper's headline claim for the split algorithm.
+        P, M = 16, 4096
+        _, res_d = run_prs(prs_direct, P, M, spec=NOCTRL)
+        _, res_s = run_prs(prs_split, P, M, spec=NOCTRL)
+        assert res_s.elapsed < res_d.elapsed
+
+    def test_direct_beats_split_for_tiny_vectors(self):
+        P, M = 16, 4
+        _, res_d = run_prs(prs_direct, P, M, spec=NOCTRL)
+        _, res_s = run_prs(prs_split, P, M, spec=NOCTRL)
+        assert res_d.elapsed < res_s.elapsed
+
+
+class TestAutoSelection:
+    def test_ctrl_preferred_for_short_vectors(self):
+        def prog(ctx):
+            return choose_prs_algorithm(ctx, 16, 50, "auto")
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results == ["ctrl", "ctrl"]
+
+    def test_software_preferred_for_long_vectors(self):
+        # The CM-5 control network processes scans element-serially, so a
+        # long vector goes to the data-network algorithms (the reason the
+        # paper's 2-D experiments used direct/split).
+        def prog(ctx):
+            return choose_prs_algorithm(ctx, 16, 100_000, "auto")
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[0] in ("direct", "split")
+
+    def test_paper_heuristic_without_ctrl(self):
+        def prog(ctx):
+            return (
+                choose_prs_algorithm(ctx, 4, 1000, "auto"),
+                choose_prs_algorithm(ctx, 16, 8, "auto"),
+                choose_prs_algorithm(ctx, 16, 1000, "auto"),
+            )
+
+        res = Machine(1, NOCTRL).run(prog)
+        assert res.results[0] == ("direct", "direct", "split")
+
+    def test_explicit_request_honoured(self):
+        def prog(ctx):
+            result = yield from prefix_reduction_sum(
+                ctx, np.ones(8, dtype=np.int64), algorithm="direct"
+            )
+            return result.algorithm
+
+        res = Machine(4, SPEC).run(prog)
+        assert res.results == ["direct"] * 4
+
+    def test_unknown_algorithm_rejected(self):
+        def prog(ctx):
+            result = yield from prefix_reduction_sum(
+                ctx, np.ones(4, dtype=np.int64), algorithm="bogus"
+            )
+            return result
+
+        with pytest.raises(Exception):
+            Machine(2, SPEC).run(prog)
+
+
+class TestPRSProperties:
+    def test_prefix_plus_vec_consistency(self):
+        # F_{i+1} - F_i == V_i elementwise; F_0 == 0; R == F_{P-1} + V_{P-1}.
+        P, M = 8, 32
+        vectors, res = run_prs(prs_split, P, M, spec=NOCTRL, seed=7)
+        prefs = [r.prefix for r in res.results]
+        np.testing.assert_array_equal(prefs[0], np.zeros(M, dtype=np.int64))
+        for i in range(P - 1):
+            np.testing.assert_array_equal(prefs[i + 1] - prefs[i], vectors[i])
+        np.testing.assert_array_equal(
+            res.results[0].reduction, prefs[-1] + vectors[-1]
+        )
+
+    def test_empty_vector(self):
+        vectors, res = run_prs(prs_direct, 4, 0, spec=NOCTRL)
+        for r in res.results:
+            assert r.prefix.size == 0
+            assert r.reduction.size == 0

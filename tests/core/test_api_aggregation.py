@@ -1,0 +1,77 @@
+"""aggregate_time and result-object accessors."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.api import aggregate_time
+from repro.machine import MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+@pytest.fixture(scope="module")
+def pack_result():
+    rng = np.random.default_rng(0)
+    a = rng.random(512)
+    m = rng.random(512) < 0.5
+    return repro.pack(a, m, grid=4, block=8, scheme="cms", spec=SPEC)
+
+
+class TestAggregateTime:
+    def test_total_is_elapsed(self, pack_result):
+        assert aggregate_time(pack_result.run, "total") == pack_result.run.elapsed
+
+    def test_components_do_not_exceed_total(self, pack_result):
+        run = pack_result.run
+        local = aggregate_time(run, "local")
+        prs = aggregate_time(run, "prs")
+        m2m = aggregate_time(run, "m2m")
+        total = aggregate_time(run, "total")
+        assert local <= total and prs <= total and m2m <= total
+        # The three are disjoint classifications of phase time, so their
+        # per-rank sums bound the per-rank clocks; maxima may interleave
+        # but the sum of maxima bounds total from above.
+        assert total <= local + prs + m2m + 1e-12
+
+    def test_local_excludes_prs_and_comm(self, pack_result):
+        run = pack_result.run
+        # Phase-level check: local = sum of non-communication phases for
+        # the busiest rank.
+        for s in run.stats:
+            comm = sum(
+                t for name, t in s.phase_times.items()
+                if ".prs." in name or ".comm" in name
+            )
+            everything = sum(s.phase_times.values())
+            assert everything == pytest.approx(s.clock)
+            assert comm <= s.clock
+
+    def test_ms_accessors_consistent(self, pack_result):
+        assert pack_result.total_ms == pytest.approx(
+            aggregate_time(pack_result.run, "total") * 1e3
+        )
+        assert pack_result.local_ms == pytest.approx(
+            aggregate_time(pack_result.run, "local") * 1e3
+        )
+
+    def test_times_dict_in_ms(self, pack_result):
+        times = pack_result.times
+        assert sum(times.values()) >= pack_result.total_ms * 0.99
+        assert all(v >= 0 for v in times.values())
+
+    def test_str_representations(self, pack_result):
+        s = str(pack_result)
+        assert "PackResult" in s and "cms" in s
+
+
+class TestPhaseAdditivity:
+    def test_phase_times_sum_to_clock(self):
+        """Property: every rank's phase times partition its clock."""
+        rng = np.random.default_rng(1)
+        a = rng.random(256)
+        m = rng.random(256) < 0.3
+        for scheme in ("sss", "css", "cms"):
+            res = repro.pack(a, m, grid=4, block=2, scheme=scheme, spec=SPEC)
+            for s in res.run.stats:
+                assert sum(s.phase_times.values()) == pytest.approx(s.clock)

@@ -1,0 +1,96 @@
+"""Unit tests for the Section 6.4 charge formulas (StepCosts)."""
+
+import pytest
+
+from repro.core.costs import StepCosts
+from repro.core.schemes import Scheme
+from repro.machine import LocalCostModel
+
+LOCAL = LocalCostModel(seq=1.0, rand=2.0, vec=1.5, seg=3.0, slice_overhead=5.0)
+
+
+def costs(scheme, d=1):
+    return StepCosts(local=LOCAL, scheme=Scheme.parse(scheme), d=d)
+
+
+class TestInitialScan:
+    def test_all_schemes_pay_streaming_scan(self):
+        for s in ("sss", "css", "cms"):
+            assert costs(s).initial_scan(L=100, E_i=0) == pytest.approx(100.0)
+
+    def test_sss_stores_d_plus_3_items(self):
+        # d=1: 4 items per element at rand cost.
+        assert costs("sss", d=1).initial_scan(100, 10) == pytest.approx(
+            100 + 2.0 * 4 * 10
+        )
+        # d=3: 6 items — "as the rank increases, memory access increases".
+        assert costs("sss", d=3).initial_scan(100, 10) == pytest.approx(
+            100 + 2.0 * 6 * 10
+        )
+
+    def test_compact_schemes_store_nothing_at_scan(self):
+        assert costs("css").initial_scan(100, 50) == pytest.approx(100.0)
+
+
+class TestCounterCopy:
+    def test_only_compact_schemes_copy(self):
+        assert costs("sss").counter_copy(64) == 0.0
+        assert costs("css").counter_copy(64) == pytest.approx(64.0)
+        assert costs("cms").counter_copy(64) == pytest.approx(64.0)
+
+
+class TestFinalStep:
+    def test_sss_rereads_records(self):
+        assert costs("sss").final_rank_elements(C=10, E_i=20, Gs_i=5) == (
+            pytest.approx(2.0 * 2 * 20)
+        )
+
+    def test_compact_walks_slices(self):
+        assert costs("css").final_rank_elements(C=10, E_i=20, Gs_i=5) == (
+            pytest.approx(5.0 * 10 + 2.0 * 5)
+        )
+
+
+class TestSecondScan:
+    def test_sss_has_none(self):
+        assert costs("sss").second_scan(C=10, scan2=100) == 0.0
+
+    def test_compact_pays_overhead_plus_touched(self):
+        assert costs("css").second_scan(C=10, scan2=100) == pytest.approx(
+            5.0 * 10 + 100
+        )
+
+
+class TestMessaging:
+    def test_pair_compose_decompose(self):
+        assert costs("css").compose(E_i=30, Gs_i=0) == pytest.approx(2.0 * 60)
+        assert costs("css").decompose(E_a=30, Gr_i=0) == pytest.approx(2.0 * 60)
+
+    def test_segment_compose_decompose(self):
+        assert costs("cms").compose(E_i=30, Gs_i=4) == pytest.approx(30 + 3.0 * 4)
+        assert costs("cms").decompose(E_a=30, Gr_i=4) == pytest.approx(30 + 3.0 * 4)
+
+    def test_message_words(self):
+        assert costs("css").message_words(10, 3) == 20
+        assert costs("cms").message_words(10, 3) == 16
+
+    def test_paper_comparison_cms_vs_css_words(self):
+        # Section 6.4.2: CMS message smaller iff Gs < E/2.
+        c = costs("cms")
+        assert c.message_words(10, 4) < costs("css").message_words(10, 4)
+        assert c.message_words(10, 6) > costs("css").message_words(10, 6)
+
+
+class TestUnpackCharges:
+    def test_request_costs_differ_by_scheme(self):
+        sss = costs("sss").unpack_requests(E_i=20, Gs_i=5)
+        css = costs("css").unpack_requests(E_i=20, Gs_i=5)
+        assert sss == pytest.approx(2.0 * 20)
+        assert css == pytest.approx(20 + 2.0 * 5)
+
+    def test_serve_and_place_are_scattered(self):
+        assert costs("css").unpack_serve(10) == pytest.approx(2.0 * 10)
+        assert costs("css").unpack_place(10) == pytest.approx(2.0 * 10)
+
+    def test_field_merge_streams(self):
+        assert costs("css").field_merge(100) == pytest.approx(100.0)

@@ -1,0 +1,85 @@
+"""The COUNT intrinsic (reduction-only sibling of PACK)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import count
+from repro.machine import MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+NOCTRL = SPEC.with_(has_control_network=False)
+
+
+class TestCount:
+    @pytest.mark.parametrize("density", [0.0, 0.3, 1.0])
+    def test_1d(self, density):
+        rng = np.random.default_rng(0)
+        m = rng.random(64) < density
+        assert count(m, grid=4, block=2, spec=SPEC) == int(m.sum())
+
+    def test_2d(self):
+        rng = np.random.default_rng(1)
+        m = rng.random((8, 16)) < 0.5
+        assert count(m, grid=(2, 4), block="cyclic", spec=SPEC) == int(m.sum())
+
+    def test_single_processor(self):
+        m = np.array([True, False, True])
+        assert count(m, grid=1, block=3, spec=SPEC) == 2
+
+    @pytest.mark.parametrize("spec", [SPEC, NOCTRL])
+    def test_with_and_without_control_network(self, spec):
+        rng = np.random.default_rng(2)
+        m = rng.random(64) < 0.7
+        assert count(m, grid=8, block=4, spec=spec) == int(m.sum())
+
+    def test_distribution_insensitive_cost(self):
+        """Unlike ranking, COUNT's cost does not depend on the block size
+        (no per-tile arrays) — the reason it is so much cheaper."""
+        from repro.core import count_program
+        from repro.hpf import GridLayout
+        from repro.machine import Machine
+
+        rng = np.random.default_rng(3)
+        m = rng.random(1024) < 0.5
+
+        def run(block):
+            layout = GridLayout.create((1024,), (4,), block=block)
+            blocks = layout.scatter(m)
+            res = Machine(4, SPEC).run(
+                count_program, rank_args=[(b, layout) for b in blocks]
+            )
+            return res.elapsed
+
+        assert run(1) == pytest.approx(run(256))
+
+    def test_count_cheaper_than_ranking(self):
+        import repro
+
+        rng = np.random.default_rng(4)
+        m = rng.random(1024) < 0.5
+        r = repro.ranking(m, grid=4, block=2, spec=SPEC)
+        from repro.core import count_program
+        from repro.hpf import GridLayout
+        from repro.machine import Machine
+
+        layout = GridLayout.create((1024,), (4,), block=2)
+        res = Machine(4, SPEC).run(
+            count_program, rank_args=[(b, layout) for b in layout.scatter(m)]
+        )
+        assert res.elapsed < r.run.elapsed
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=st.integers(1, 6),
+    w=st.integers(1, 4),
+    density=st.floats(0, 1),
+    seed=st.integers(0, 99),
+)
+def test_property_count_matches_numpy(p, w, density, seed):
+    n = p * w * 3
+    rng = np.random.default_rng(seed)
+    m = rng.random(n) < density
+    assert count(m, grid=p, block=w, spec=SPEC) == int(m.sum())

@@ -1,0 +1,187 @@
+"""Unit tests for message composition/decomposition and selected-element
+bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import (
+    PairMessage,
+    SegmentMessage,
+    compose_pair_messages,
+    compose_segment_messages,
+    decompose_pair_message,
+    decompose_segment_message,
+)
+from repro.core.ranking import ranking_program
+from repro.core.schemes import PackConfig, Scheme
+from repro.core.storage import SelectedElements, extract_selected
+from repro.hpf import GridLayout, VectorLayout
+from repro.machine import Machine, MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+def make_selected(ranks, values=None, dests=None, slice_ids=None):
+    ranks = np.asarray(ranks, dtype=np.int64)
+    n = ranks.size
+    return SelectedElements(
+        positions=np.arange(n, dtype=np.int64),
+        values=np.asarray(values if values is not None else ranks * 1.0),
+        ranks=ranks,
+        dests=np.asarray(dests if dests is not None else np.zeros(n), dtype=np.int64),
+        slice_ids=np.asarray(
+            slice_ids if slice_ids is not None else np.zeros(n), dtype=np.int64
+        ),
+    )
+
+
+class TestSegmentBreaks:
+    def test_single_slice_single_dest_is_one_segment(self):
+        sel = make_selected([5, 6, 7], dests=[1, 1, 1], slice_ids=[0, 0, 0])
+        assert sel.segment_count == 1
+
+    def test_slice_change_breaks(self):
+        sel = make_selected([5, 6, 9], dests=[1, 1, 1], slice_ids=[0, 0, 1])
+        assert sel.segment_count == 2
+
+    def test_dest_change_breaks_within_slice(self):
+        # A slice's run can straddle a result-vector block boundary.
+        sel = make_selected([5, 6, 7], dests=[1, 1, 2], slice_ids=[0, 0, 0])
+        assert sel.segment_count == 2
+
+    def test_empty(self):
+        sel = make_selected([])
+        assert sel.segment_count == 0
+
+
+class TestPairMessages:
+    def test_grouped_by_dest(self):
+        sel = make_selected([1, 2, 3, 4], dests=[0, 0, 2, 2])
+        msgs = compose_pair_messages(sel)
+        assert set(msgs) == {0, 2}
+        np.testing.assert_array_equal(msgs[0].ranks, [1, 2])
+        np.testing.assert_array_equal(msgs[2].ranks, [3, 4])
+        assert msgs[0].words == 4
+
+    def test_nonmonotone_dests_handled(self):
+        # Cyclic result vectors interleave destinations.
+        sel = make_selected([0, 1, 2, 3], dests=[0, 1, 0, 1])
+        msgs = compose_pair_messages(sel)
+        np.testing.assert_array_equal(msgs[0].ranks, [0, 2])
+        np.testing.assert_array_equal(msgs[1].ranks, [1, 3])
+
+    def test_decompose_maps_to_locals(self):
+        vec = VectorLayout.block(n=10, p=2)  # blocks of 5
+        msg = PairMessage(ranks=np.array([5, 7, 9]), values=np.array([1.0, 2.0, 3.0]))
+        pos, vals = decompose_pair_message(msg, vec)
+        np.testing.assert_array_equal(pos, [0, 2, 4])
+        np.testing.assert_array_equal(vals, [1.0, 2.0, 3.0])
+
+
+class TestSegmentMessages:
+    def test_consecutive_ranks_compress(self):
+        sel = make_selected([5, 6, 7], dests=[1, 1, 1], slice_ids=[0, 0, 0])
+        msgs = compose_segment_messages(sel)
+        msg = msgs[1]
+        np.testing.assert_array_equal(msg.bases, [5])
+        np.testing.assert_array_equal(msg.counts, [3])
+        assert msg.words == 5  # 3 values + 2 header
+
+    def test_pair_vs_segment_word_counts(self):
+        sel = make_selected(
+            [5, 6, 10, 11], dests=[0, 0, 0, 0], slice_ids=[0, 0, 1, 1]
+        )
+        pair_words = sum(m.words for m in compose_pair_messages(sel).values())
+        seg_words = sum(m.words for m in compose_segment_messages(sel).values())
+        assert pair_words == 8
+        assert seg_words == 8  # 4 values + 2 segments * 2 header
+
+    def test_decompose_expands(self):
+        vec = VectorLayout.block(n=12, p=2)  # blocks of 6
+        msg = SegmentMessage(
+            bases=np.array([6, 10]),
+            counts=np.array([2, 2]),
+            values=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        pos, vals = decompose_segment_message(msg, vec)
+        np.testing.assert_array_equal(pos, [0, 1, 4, 5])
+        np.testing.assert_array_equal(vals, [1.0, 2.0, 3.0, 4.0])
+
+    def test_empty_message(self):
+        vec = VectorLayout.block(n=4, p=2)
+        msg = SegmentMessage(
+            bases=np.empty(0, dtype=np.int64),
+            counts=np.empty(0, dtype=np.int64),
+            values=np.empty(0),
+        )
+        pos, vals = decompose_segment_message(msg, vec)
+        assert pos.size == 0 and vals.size == 0
+
+
+class TestExtractSelected:
+    def _run_extract(self, mask, grid, block):
+        mask = np.asarray(mask, dtype=bool)
+        layout = GridLayout.create(mask.shape, grid, block)
+        blocks = layout.scatter(mask)
+        arr_blocks = layout.scatter(np.arange(mask.size, dtype=float).reshape(mask.shape))
+
+        def prog(ctx, mb, ab):
+            r = yield from ranking_program(ctx, mb, layout, scheme=Scheme.CSS, prs="ctrl")
+            vec = VectorLayout.block(r.size, ctx.size)
+            return extract_selected(ab, mb, r, layout, vec)
+
+        run = Machine(layout.nprocs, SPEC).run(
+            prog, rank_args=list(zip(blocks, arr_blocks))
+        )
+        return run.results
+
+    def test_ranks_ascending_per_rank(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random((8, 8)) < 0.6
+        for sel in self._run_extract(mask, (2, 2), (2, 2)):
+            if sel.count > 1:
+                assert np.all(np.diff(sel.ranks) > 0)
+
+    def test_values_are_global_flat_indices(self):
+        # Array = arange, so each selected value IS its global flat index,
+        # and sorting all (rank, value) pairs must reproduce the oracle.
+        rng = np.random.default_rng(1)
+        mask = rng.random((8, 8)) < 0.5
+        pairs = []
+        for sel in self._run_extract(mask, (2, 2), (1, 1)):
+            pairs.extend(zip(sel.ranks.tolist(), sel.values.tolist()))
+        pairs.sort()
+        expected = np.flatnonzero(mask.ravel())
+        np.testing.assert_array_equal([v for _, v in pairs], expected)
+
+    def test_slice_property_consecutive_ranks(self):
+        # Within one slice, selected ranks are consecutive — the CMS
+        # invariant (Section 6.2).
+        rng = np.random.default_rng(2)
+        mask = rng.random(64) < 0.7
+        for sel in self._run_extract(mask, (4,), 4):
+            for s in np.unique(sel.slice_ids):
+                r = sel.ranks[sel.slice_ids == s]
+                assert np.all(np.diff(r) == 1)
+
+
+class TestPackConfig:
+    def test_scheme_parsing(self):
+        assert PackConfig(scheme="sss").scheme is Scheme.SSS
+        assert PackConfig(scheme=Scheme.CMS).scheme is Scheme.CMS
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            PackConfig(scheme="nope")
+        with pytest.raises(ValueError):
+            PackConfig(prs="bogus")
+        with pytest.raises(ValueError):
+            PackConfig(m2m_schedule="ring")
+        with pytest.raises(ValueError):
+            PackConfig(result_block=0)
+
+    def test_scheme_predicates(self):
+        assert Scheme.SSS.stores_records
+        assert not Scheme.CSS.stores_records
+        assert Scheme.CMS.uses_segments
+        assert not Scheme.CSS.uses_segments

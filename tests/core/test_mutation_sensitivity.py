@@ -1,0 +1,132 @@
+"""Mutation sensitivity: the oracle checks must catch broken substeps.
+
+A reproduction's test suite is only as good as its ability to notice a
+wrong algorithm.  These tests *break* individual steps of the ranking
+pipeline (the subtle ones a porter is most likely to get wrong) and
+assert the oracle validation fails loudly — guarding against the suite
+silently weakening under refactors.
+"""
+
+import numpy as np
+import pytest
+
+import sys
+
+import repro
+from repro.core.ranking import ranking_program as original_ranking_program
+from repro.machine import MachineSpec
+
+# `repro.core.pack` the *module* is shadowed by the `pack` function on the
+# package, so fetch module objects for monkeypatching via sys.modules.
+PACK_MOD = sys.modules["repro.core.pack"]
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+RNG = np.random.default_rng(0)
+A = RNG.random(256)
+M = RNG.random(256) < 0.5
+A2 = RNG.random((16, 16))
+M2 = RNG.random((16, 16)) < 0.5
+
+
+def expect_detection(**kw):
+    # Detection may surface as the oracle-mismatch AssertionError or as an
+    # internal invariant tripping mid-run (wrapped in ProgramError); what
+    # must never happen is a silent return.
+    with pytest.raises(Exception):
+        repro.pack(A, M, grid=4, block=4, spec=SPEC, **kw)
+
+
+class TestRankingMutations:
+    def test_inclusive_instead_of_exclusive_in_slice(self, monkeypatch):
+        """Using inclusive in-slice ranks (off-by-one a porter could make)
+        must be caught by validation."""
+        def broken(ctx, local_mask, grid, **kw):
+            result = yield from original_ranking_program(ctx, local_mask, grid, **kw)
+            result.initial = result.initial + np.asarray(local_mask, dtype=np.int64).reshape(
+                result.initial.shape
+            )
+            return result
+
+        monkeypatch.setattr(PACK_MOD, "ranking_program", broken)
+        expect_detection()
+
+    def test_dropped_final_collapse(self, monkeypatch):
+        """Skipping the PS_i += PS_{i+1} collapse (only visible for d >= 2)
+        must be caught."""
+        def broken(ctx, local_mask, grid, **kw):
+            result = yield from original_ranking_program(ctx, local_mask, grid, **kw)
+            if grid.d >= 2:
+                # Undo the dimension-1 contribution crudely.
+                result.ps_f = result.ps_f - result.ps_f.min()
+            return result
+
+        monkeypatch.setattr(PACK_MOD, "ranking_program", broken)
+        with pytest.raises(Exception):
+            repro.pack(A2, M2, grid=(2, 2), block=(2, 2), spec=SPEC)
+
+    def test_wrong_size_detected(self, monkeypatch):
+        def broken(ctx, local_mask, grid, **kw):
+            result = yield from original_ranking_program(ctx, local_mask, grid, **kw)
+            result.size += 1
+            return result
+
+        monkeypatch.setattr(PACK_MOD, "ranking_program", broken)
+        with pytest.raises(Exception):
+            repro.pack(A, M, grid=4, block=4, spec=SPEC)
+
+
+class TestMessageMutations:
+    def test_segment_base_off_by_one(self, monkeypatch):
+        from repro.core import messages as messages_mod
+
+        original = messages_mod.compose_segment_messages
+
+        def broken(sel):
+            out = original(sel)
+            return {
+                d: type(m)(bases=m.bases + 1, counts=m.counts, values=m.values)
+                for d, m in out.items()
+            }
+
+        monkeypatch.setattr(PACK_MOD, "compose_segment_messages", broken)
+        # Shifted bases scatter into wrong result slots -> oracle mismatch
+        # (or an out-of-range placement error).
+        with pytest.raises(Exception):
+            repro.pack(A, M, grid=4, block=4, scheme="cms", spec=SPEC)
+
+    def test_pair_rank_corruption(self, monkeypatch):
+        from repro.core import messages as messages_mod
+
+        original = messages_mod.compose_pair_messages
+
+        def broken(sel):
+            out = original(sel)
+            corrupted = {}
+            for d, m in out.items():
+                ranks = m.ranks.copy()
+                if ranks.size >= 2:
+                    ranks[0], ranks[1] = ranks[1], ranks[0]
+                corrupted[d] = type(m)(ranks=ranks, values=m.values)
+            return corrupted
+
+        monkeypatch.setattr(PACK_MOD, "compose_pair_messages", broken)
+        with pytest.raises(Exception):
+            repro.pack(A, M, grid=4, block=4, scheme="css", spec=SPEC)
+
+
+class TestLayoutMutations:
+    def test_wrong_owner_map_detected(self, monkeypatch):
+        """A wrong owner function misroutes the scatter; gather/validate
+        must notice."""
+        from repro.hpf.dimlayout import DimLayout
+
+        original = DimLayout.globals_
+
+        def broken(self, p, l=None):
+            out = original(self, p, l)
+            return out[::-1].copy() if out.size > 1 else out
+
+        monkeypatch.setattr(DimLayout, "globals_", broken)
+        with pytest.raises(Exception):
+            repro.pack(A, M, grid=4, block=4, spec=SPEC)

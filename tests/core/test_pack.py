@@ -1,0 +1,260 @@
+"""PACK correctness and behaviour across schemes / distributions / masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import pack
+from repro.machine import MachineSpec
+from repro.serial import pack_reference
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+SCHEMES = ["sss", "css", "cms"]
+
+
+def do_pack(array, mask, grid, block, scheme, **kw):
+    # validate=True re-checks against the serial oracle internally.
+    return pack(array, mask, grid=grid, block=block, scheme=scheme, spec=SPEC, **kw)
+
+
+class TestSchemesAgree:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("block", [1, 2, 4, 16])
+    def test_1d(self, scheme, block):
+        rng = np.random.default_rng(0)
+        a = rng.random(64)
+        m = rng.random(64) < 0.5
+        res = do_pack(a, m, grid=4, block=block, scheme=scheme)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("block", [(1, 1), (2, 2), (4, 8)])
+    def test_2d(self, scheme, block):
+        rng = np.random.default_rng(1)
+        a = rng.random((16, 16))
+        m = rng.random((16, 16)) < 0.3
+        res = do_pack(a, m, grid=(2, 2), block=block, scheme=scheme)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_3d(self, scheme):
+        rng = np.random.default_rng(2)
+        a = rng.random((4, 8, 8))
+        m = rng.random((4, 8, 8)) < 0.5
+        res = do_pack(a, m, grid=(2, 2, 2), block="cyclic", scheme=scheme)
+        assert res.size == int(m.sum())
+
+
+class TestMaskEdgeCases:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_empty_mask(self, scheme):
+        a = np.arange(32.0)
+        m = np.zeros(32, dtype=bool)
+        res = do_pack(a, m, grid=4, block=2, scheme=scheme)
+        assert res.size == 0
+        assert res.vector.size == 0
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_full_mask(self, scheme):
+        a = np.arange(32.0)
+        m = np.ones(32, dtype=bool)
+        res = do_pack(a, m, grid=4, block=2, scheme=scheme)
+        np.testing.assert_array_equal(res.vector, a)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_single_true(self, scheme):
+        a = np.arange(32.0)
+        m = np.zeros(32, dtype=bool)
+        m[17] = True
+        res = do_pack(a, m, grid=4, block=2, scheme=scheme)
+        np.testing.assert_array_equal(res.vector, [17.0])
+
+    def test_paper_half_mask_1d(self):
+        # The paper's structured 1-D mask: true iff global index < N/2.
+        n = 128
+        a = np.arange(float(n))
+        m = np.arange(n) < n // 2
+        for scheme in SCHEMES:
+            res = do_pack(a, m, grid=4, block=2, scheme=scheme)
+            np.testing.assert_array_equal(res.vector, a[: n // 2])
+
+    def test_paper_lt_mask_2d(self):
+        n = 16
+        i1, i0 = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        m = i1 > i0
+        a = np.arange(float(n * n)).reshape(n, n)
+        for scheme in SCHEMES:
+            res = do_pack(a, m, grid=(2, 2), block=(2, 2), scheme=scheme)
+            np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+
+class TestDtypes:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64, np.int32])
+    def test_dtype_preserved(self, dtype):
+        rng = np.random.default_rng(3)
+        a = (rng.random(32) * 100).astype(dtype)
+        m = rng.random(32) < 0.5
+        res = do_pack(a, m, grid=4, block=2, scheme="cms")
+        assert res.vector.dtype == dtype
+
+
+class TestMessageVolumes:
+    def test_cms_sends_fewer_words_at_large_blocks(self):
+        # With large blocks and a dense mask, segments are long, so CMS
+        # (E + 2 Gs words) beats pairs (2 E words) — Section 6.2.  (At the
+        # full BLOCK distribution the comparison is vacuous: nearly all
+        # data is self-addressed and costs no words at all — the paper's
+        # own caveat about block distribution.)
+        rng = np.random.default_rng(4)
+        a = rng.random(1024)
+        m = rng.random(1024) < 0.9
+        res_css = do_pack(a, m, grid=4, block=64, scheme="css")
+        res_cms = do_pack(a, m, grid=4, block=64, scheme="cms")
+        assert res_cms.total_words < res_css.total_words
+
+    def test_block_distribution_mostly_self_addressed(self):
+        # Paper, Section 7: "when an input array is distributed in block,
+        # each processor will send most parts of the message to itself."
+        rng = np.random.default_rng(40)
+        a = rng.random(1024)
+        m = rng.random(1024) < 0.9
+        res_blk = do_pack(a, m, grid=4, block=256, scheme="css")
+        res_cyc = do_pack(a, m, grid=4, block=1, scheme="css")
+        assert res_blk.total_words < res_cyc.total_words / 2
+
+    def test_cms_degrades_at_cyclic_distribution(self):
+        # W=1: every slice holds at most one element, so every segment is a
+        # singleton and CMS pays 3 words/element vs 2 for pairs.
+        rng = np.random.default_rng(5)
+        a = rng.random(256)
+        m = rng.random(256) < 0.9
+        res_css = do_pack(a, m, grid=4, block=1, scheme="css")
+        res_cms = do_pack(a, m, grid=4, block=1, scheme="cms")
+        assert res_cms.total_words > res_css.total_words
+
+    def test_sss_and_css_same_words(self):
+        # Both use pair encoding; only the local-computation cost differs.
+        rng = np.random.default_rng(6)
+        a = rng.random(256)
+        m = rng.random(256) < 0.5
+        res_sss = do_pack(a, m, grid=4, block=8, scheme="sss")
+        res_css = do_pack(a, m, grid=4, block=8, scheme="css")
+        assert res_sss.total_words == res_css.total_words
+
+
+class TestSimulatedTimes:
+    def test_cyclic_costs_more_local_time_than_block(self):
+        rng = np.random.default_rng(7)
+        a = rng.random(1024)
+        m = rng.random(1024) < 0.5
+        res_cyc = do_pack(a, m, grid=4, block=1, scheme="css")
+        res_blk = do_pack(a, m, grid=4, block=256, scheme="css")
+        assert res_cyc.local_ms > res_blk.local_ms
+
+    def test_times_positive_and_decomposed(self):
+        rng = np.random.default_rng(8)
+        a = rng.random(256)
+        m = rng.random(256) < 0.5
+        res = do_pack(a, m, grid=4, block=8, scheme="cms")
+        assert res.total_ms > 0
+        assert res.local_ms > 0
+        assert res.prs_ms >= 0
+        assert res.m2m_ms > 0
+        # Components are parts of (not exceeding) the total.
+        assert res.local_ms <= res.total_ms + 1e-9
+        assert "pack.ranking.initial" in res.times
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(9)
+        a = rng.random(256)
+        m = rng.random(256) < 0.5
+        r1 = do_pack(a, m, grid=4, block=8, scheme="cms")
+        r2 = do_pack(a, m, grid=4, block=8, scheme="cms")
+        assert r1.total_ms == r2.total_ms
+        assert r1.times == r2.times
+
+
+class TestResultVectorDistribution:
+    def test_custom_result_block(self):
+        # Section 6.2: the result vector need not be BLOCK; smaller blocks
+        # increase the segment count.
+        rng = np.random.default_rng(10)
+        a = rng.random(256)
+        m = rng.random(256) < 0.7
+        res = do_pack(a, m, grid=4, block=16, scheme="cms", result_block=4)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+    def test_smaller_result_blocks_mean_more_segments(self):
+        rng = np.random.default_rng(11)
+        a = rng.random(256)
+        m = rng.random(256) < 0.9
+        res_blk = do_pack(a, m, grid=4, block=16, scheme="cms")
+        res_cyc4 = do_pack(a, m, grid=4, block=16, scheme="cms", result_block=4)
+        assert res_cyc4.total_words > res_blk.total_words
+
+
+class TestScanMethods:
+    def test_early_exit_never_slower(self):
+        rng = np.random.default_rng(12)
+        a = rng.random(512)
+        m = rng.random(512) < 0.3
+        res_early = do_pack(a, m, grid=4, block=32, scheme="css", early_exit_scan=True)
+        res_full = do_pack(a, m, grid=4, block=32, scheme="css", early_exit_scan=False)
+        assert res_early.local_ms <= res_full.local_ms
+        np.testing.assert_array_equal(res_early.vector, res_full.vector)
+
+
+class TestValidationAndErrors:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            do_pack(np.zeros(8), np.zeros(8, bool), grid=2, block=2, scheme="xyz")
+
+    def test_shape_grid_mismatch(self):
+        with pytest.raises(ValueError):
+            do_pack(np.zeros((8, 8)), np.zeros((8, 8), bool), grid=4, block=2, scheme="cms")
+
+    def test_m2m_schedules_agree(self):
+        rng = np.random.default_rng(13)
+        a = rng.random(128)
+        m = rng.random(128) < 0.5
+        r1 = do_pack(a, m, grid=4, block=4, scheme="cms", m2m_schedule="linear")
+        r2 = do_pack(a, m, grid=4, block=4, scheme="cms", m2m_schedule="naive")
+        np.testing.assert_array_equal(r1.vector, r2.vector)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.integers(1, 4),
+    w=st.integers(1, 4),
+    t=st.integers(1, 4),
+    density=st.floats(0, 1),
+    scheme=st.sampled_from(SCHEMES),
+    seed=st.integers(0, 999),
+)
+def test_property_1d_pack_matches_oracle(p, w, t, density, scheme, seed):
+    n = p * w * t * 2
+    rng = np.random.default_rng(seed)
+    a = rng.random(n)
+    m = rng.random(n) < density
+    res = do_pack(a, m, grid=(p,), block=w, scheme=scheme)
+    np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p1=st.integers(1, 2),
+    p0=st.integers(1, 3),
+    w1=st.integers(1, 3),
+    w0=st.integers(1, 3),
+    density=st.floats(0, 1),
+    scheme=st.sampled_from(SCHEMES),
+    seed=st.integers(0, 999),
+)
+def test_property_2d_pack_matches_oracle(p1, p0, w1, w0, density, scheme, seed):
+    shape = (p1 * w1 * 2, p0 * w0 * 2)
+    rng = np.random.default_rng(seed)
+    a = rng.random(shape)
+    m = rng.random(shape) < density
+    res = do_pack(a, m, grid=(p1, p0), block=(w1, w0), scheme=scheme)
+    np.testing.assert_array_equal(res.vector, pack_reference(a, m))

@@ -1,0 +1,110 @@
+"""Fortran 90's optional VECTOR argument to PACK.
+
+``PACK(ARRAY, MASK, VECTOR)`` sizes the result to ``VECTOR`` and fills the
+positions past the packed elements from it — the form HPF programs use to
+produce fixed-size compactions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import pack
+from repro.machine import MachineSpec
+from repro.serial import pack_reference
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestSerialVectorArg:
+    def test_pads_tail(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        m = np.array([True, False, True, False])
+        v = np.array([-1.0, -2.0, -3.0, -4.0, -5.0])
+        out = pack_reference(a, m, v)
+        np.testing.assert_array_equal(out, [1.0, 3.0, -3.0, -4.0, -5.0])
+
+    def test_exact_size_vector(self):
+        a = np.arange(4.0)
+        m = np.ones(4, dtype=bool)
+        out = pack_reference(a, m, np.zeros(4))
+        np.testing.assert_array_equal(out, a)
+
+    def test_too_small_rejected(self):
+        a = np.arange(4.0)
+        with pytest.raises(ValueError):
+            pack_reference(a, np.ones(4, bool), np.zeros(2))
+
+    def test_rank_checked(self):
+        a = np.arange(4.0)
+        with pytest.raises(ValueError):
+            pack_reference(a, np.ones(4, bool), np.zeros((2, 2)))
+
+
+class TestParallelVectorArg:
+    @pytest.mark.parametrize("scheme", ["sss", "css", "cms"])
+    @pytest.mark.parametrize("block", [1, 2, 8])
+    def test_matches_serial(self, scheme, block):
+        rng = np.random.default_rng(0)
+        a = rng.random(64)
+        m = rng.random(64) < 0.4
+        v = -np.arange(1.0, 41.0)
+        res = pack(a, m, grid=4, block=block, scheme=scheme, spec=SPEC, vector=v)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m, v))
+        assert res.size == int(m.sum())
+
+    def test_2d(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((8, 8))
+        m = rng.random((8, 8)) < 0.3
+        v = np.full(50, 9.0)
+        res = pack(a, m, grid=(2, 2), block=(2, 2), spec=SPEC, vector=v)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m, v))
+
+    @pytest.mark.parametrize("variant", ["selected", "whole"])
+    def test_with_redistribution_pre_pass(self, variant):
+        rng = np.random.default_rng(2)
+        a = rng.random(64)
+        m = rng.random(64) < 0.5
+        v = np.full(48, -7.0)
+        res = pack(a, m, grid=4, block="cyclic", spec=SPEC,
+                   redistribute=variant, vector=v)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m, v))
+
+    def test_empty_mask_gives_vector_back(self):
+        a = np.arange(16.0)
+        m = np.zeros(16, dtype=bool)
+        v = np.arange(10.0) * -1
+        res = pack(a, m, grid=4, block=2, spec=SPEC, vector=v)
+        np.testing.assert_array_equal(res.vector, v)
+
+    def test_undersized_vector_rejected(self):
+        a = np.arange(16.0)
+        m = np.ones(16, dtype=bool)
+        with pytest.raises(Exception):
+            pack(a, m, grid=4, block=2, spec=SPEC, vector=np.zeros(4))
+
+    def test_nonvector_pad_rejected(self):
+        a = np.arange(16.0)
+        m = np.ones(16, dtype=bool)
+        with pytest.raises(ValueError):
+            pack(a, m, grid=4, block=2, spec=SPEC, vector=np.zeros((4, 4)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    w=st.integers(1, 4),
+    density=st.floats(0, 1),
+    surplus=st.integers(0, 10),
+    scheme=st.sampled_from(["sss", "css", "cms"]),
+    seed=st.integers(0, 99),
+)
+def test_property_vector_arg_matches_serial(w, density, surplus, scheme, seed):
+    n = 4 * w * 4
+    rng = np.random.default_rng(seed)
+    a = rng.random(n)
+    m = rng.random(n) < density
+    v = rng.random(int(m.sum()) + surplus)
+    res = pack(a, m, grid=4, block=w, scheme=scheme, spec=SPEC, vector=v)
+    np.testing.assert_array_equal(res.vector, pack_reference(a, m, v))

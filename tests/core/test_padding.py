@@ -1,0 +1,131 @@
+"""Arbitrary shapes via mask-false padding (lifting the divisibility
+assumption)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.padding import crop, pad_array, pad_mask, padded_shape
+from repro.hpf import BLOCK, CYCLIC, BlockCyclic
+from repro.machine import MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestPaddedShape:
+    def test_already_divisible_untouched(self):
+        shape, blocks = padded_shape((64,), (4,), 4)
+        assert shape == (64,) and blocks == (4,)
+
+    def test_rounds_up_to_pw(self):
+        shape, blocks = padded_shape((1000,), (16,), 8)
+        assert shape == (1024,)  # next multiple of 128
+
+    def test_block_spec_uses_padded_extent(self):
+        shape, blocks = padded_shape((1000,), (16,), "block")
+        assert shape[0] % (16 * blocks[0]) == 0
+        assert blocks[0] == 63  # ceil(1000/16)
+
+    def test_cyclic_spec(self):
+        shape, blocks = padded_shape((13,), (4,), "cyclic")
+        assert shape == (16,) and blocks == (1,)
+
+    def test_dist_objects(self):
+        shape, blocks = padded_shape((10, 13), (2, 4), (BLOCK, CYCLIC))
+        assert blocks == (5, 1)
+        assert shape == (10, 16)
+        shape, blocks = padded_shape((10,), (2,), [BlockCyclic(3)])
+        assert shape == (12,) and blocks == (3,)
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            padded_shape((8,), (2, 2), 1)
+        with pytest.raises(ValueError):
+            padded_shape((8,), (2,), "diagonal")
+        with pytest.raises(ValueError):
+            padded_shape((8,), (2,), True)
+
+
+class TestPadHelpers:
+    def test_pad_and_crop_roundtrip(self):
+        a = np.arange(6.0).reshape(2, 3)
+        padded = pad_array(a, (4, 4))
+        assert padded.shape == (4, 4)
+        np.testing.assert_array_equal(crop(padded, (2, 3)), a)
+
+    def test_mask_padding_is_false(self):
+        m = np.ones((2, 2), dtype=bool)
+        padded = pad_mask(m, (3, 3))
+        assert padded.sum() == 4  # no new trues
+
+    def test_noop_paths(self):
+        a = np.zeros((2, 2))
+        assert pad_array(a, (2, 2)) is a
+        assert crop(a, (2, 2)) is a
+
+
+class TestPaddedPack:
+    @pytest.mark.parametrize("n", [13, 100, 1000, 4095])
+    def test_odd_1d_sizes(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.random(n)
+        m = rng.random(n) < 0.5
+        res = repro.pack(a, m, grid=16, block=8, pad=True, spec=SPEC)
+        np.testing.assert_array_equal(res.vector, repro.pack_reference(a, m))
+
+    def test_odd_2d_shape(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((30, 50))
+        m = rng.random((30, 50)) < 0.4
+        res = repro.pack(a, m, grid=(2, 4), block=(4, 4), pad=True, spec=SPEC)
+        np.testing.assert_array_equal(res.vector, repro.pack_reference(a, m))
+
+    def test_fails_loudly_without_pad(self):
+        with pytest.raises(ValueError):
+            repro.pack(np.zeros(1000), np.zeros(1000, bool), grid=16, block=8,
+                       spec=SPEC)
+
+    def test_padding_with_vector_argument(self):
+        rng = np.random.default_rng(2)
+        a = rng.random(100)
+        m = rng.random(100) < 0.5
+        v = np.full(80, -1.0)
+        res = repro.pack(a, m, grid=4, block=8, pad=True, spec=SPEC, vector=v)
+        np.testing.assert_array_equal(res.vector, repro.pack_reference(a, m, v))
+
+
+class TestPaddedUnpack:
+    @pytest.mark.parametrize("n", [13, 100, 999])
+    def test_odd_sizes_cropped_back(self, n):
+        rng = np.random.default_rng(n)
+        m = rng.random(n) < 0.5
+        v = rng.random(int(m.sum()))
+        f = rng.random(n)
+        res = repro.unpack(v, m, f, grid=4, block=8, pad=True, spec=SPEC)
+        assert res.array.shape == (n,)
+        np.testing.assert_array_equal(res.array, repro.unpack_reference(v, m, f))
+
+    def test_2d(self):
+        rng = np.random.default_rng(3)
+        m = rng.random((9, 21)) < 0.5
+        v = rng.random(int(m.sum()))
+        f = rng.random((9, 21))
+        res = repro.unpack(v, m, f, grid=(2, 2), block=(2, 2), pad=True, spec=SPEC)
+        np.testing.assert_array_equal(res.array, repro.unpack_reference(v, m, f))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    density=st.floats(0, 1),
+    w=st.integers(1, 8),
+    seed=st.integers(0, 99),
+)
+def test_property_padded_pack_any_size(n, density, w, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.random(n)
+    m = rng.random(n) < density
+    res = repro.pack(a, m, grid=4, block=w, pad=True, spec=SPEC)
+    np.testing.assert_array_equal(res.vector, repro.pack_reference(a, m))

@@ -1,0 +1,246 @@
+"""Ranking-stage correctness: the Figure 1 worked example (exact
+intermediate values), n-dimensional oracle checks, and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranking import ranking_program, slice_scan_lengths, slice_view
+from repro.core.schemes import Scheme
+from repro.core.api import ranking
+from repro.hpf import GridLayout
+from repro.machine import Machine, MachineSpec
+from repro.serial import mask_ranks
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+#: The library's canonical reconstruction of the paper's Figure 1 input:
+#: A(16)/M(16) distributed block-cyclic(2) on 4 processors, Size = 10.
+FIG1_MASK = np.array(
+    [1, 0, 1, 1, 0, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1], dtype=bool
+)
+
+
+def run_ranking(mask, grid, block, scheme=Scheme.CSS, prs="ctrl", spec=SPEC):
+    mask = np.asarray(mask, dtype=bool)
+    layout = GridLayout.create(mask.shape, grid, block)
+    blocks = layout.scatter(mask)
+
+    def prog(ctx, mb):
+        result = yield from ranking_program(ctx, mb, layout, scheme=scheme, prs=prs)
+        return result
+
+    run = Machine(layout.nprocs, spec).run(
+        prog, rank_args=[(b,) for b in blocks]
+    )
+    return layout, run
+
+
+class TestFigure1Example:
+    """Exact hand-derived values for the paper's 1-D running example."""
+
+    def test_size_is_ten(self):
+        _, run = run_ranking(FIG1_MASK, grid=(4,), block=2)
+        assert all(r.size == 10 for r in run.results)
+
+    def test_initial_slice_counts(self):
+        # PS_0 = RS_0 after the local scan: per-(proc, tile) true counts.
+        _, run = run_ranking(FIG1_MASK, grid=(4,), block=2)
+        counts = [r.slice_counts.tolist() for r in run.results]
+        assert counts == [[1, 0], [2, 2], [1, 1], [2, 1]]
+
+    def test_final_base_rank_array(self):
+        # PS_f[tile] = global rank of the first selected element of the
+        # slice: prefix over procs + exclusive scan over tiles.
+        _, run = run_ranking(FIG1_MASK, grid=(4,), block=2)
+        ps_f = [r.ps_f.tolist() for r in run.results]
+        assert ps_f == [[0, 6], [1, 6], [3, 8], [4, 9]]
+
+    def test_element_ranks(self):
+        layout, run = run_ranking(FIG1_MASK, grid=(4,), block=2)
+        expected = mask_ranks(FIG1_MASK)
+        got = layout.gather(
+            [
+                np.where(
+                    layout.scatter(FIG1_MASK)[r],
+                    run.results[r].element_ranks(layout.local_shape),
+                    -1,
+                )
+                for r in range(4)
+            ]
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_e_i_per_processor(self):
+        _, run = run_ranking(FIG1_MASK, grid=(4,), block=2)
+        assert [r.e_i for r in run.results] == [1, 4, 2, 3]
+
+
+def _check_against_oracle(mask, grid, block, prs="ctrl"):
+    mask = np.asarray(mask, dtype=bool)
+    result = ranking(mask, grid=grid, block=block, prs=prs, spec=SPEC)
+    np.testing.assert_array_equal(result.ranks, mask_ranks(mask))
+    assert result.size == int(mask.sum())
+
+
+class TestOneDimensional:
+    @pytest.mark.parametrize("block", [1, 2, 4, 8, 16])
+    def test_all_block_sizes(self, block):
+        rng = np.random.default_rng(1)
+        _check_against_oracle(rng.random(64) < 0.5, grid=(4,), block=block)
+
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.5, 0.9, 1.0])
+    def test_densities(self, density):
+        rng = np.random.default_rng(2)
+        _check_against_oracle(rng.random(64) < density, grid=(4,), block=2)
+
+    def test_single_processor(self):
+        rng = np.random.default_rng(3)
+        _check_against_oracle(rng.random(32) < 0.5, grid=(1,), block=8)
+
+    @pytest.mark.parametrize("prs", ["ctrl", "direct", "split"])
+    def test_prs_algorithms_agree(self, prs):
+        rng = np.random.default_rng(4)
+        _check_against_oracle(rng.random(64) < 0.3, grid=(8,), block=2, prs=prs)
+
+
+class TestTwoDimensional:
+    @pytest.mark.parametrize(
+        "block", [(1, 1), (2, 2), (4, 4), (1, 4), (4, 1), (2, 8)]
+    )
+    def test_block_combinations(self, block):
+        rng = np.random.default_rng(5)
+        _check_against_oracle(rng.random((16, 16)) < 0.4, grid=(2, 2), block=block)
+
+    @pytest.mark.parametrize("grid", [(1, 4), (4, 1), (2, 2), (2, 4)])
+    def test_grid_shapes(self, grid):
+        rng = np.random.default_rng(6)
+        _check_against_oracle(rng.random((8, 16)) < 0.4, grid=grid, block="cyclic")
+
+    def test_lower_triangular_mask(self):
+        # The paper's structured 2-D mask: true iff dim-1 index > dim-0 index
+        # (numpy: row index > column index in our axis convention? paper dim 1
+        # is the slower axis). true if global index on dim 1 > that on dim 0.
+        n = 16
+        i1, i0 = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        mask = i1 > i0
+        _check_against_oracle(mask, grid=(2, 2), block=(2, 2))
+
+
+class TestThreeDimensional:
+    def test_3d_cyclic(self):
+        rng = np.random.default_rng(7)
+        _check_against_oracle(rng.random((4, 4, 8)) < 0.5, grid=(2, 2, 2), block="cyclic")
+
+    def test_3d_mixed(self):
+        rng = np.random.default_rng(8)
+        _check_against_oracle(
+            rng.random((4, 8, 8)) < 0.3, grid=(1, 2, 4), block=(2, 2, 1)
+        )
+
+    def test_4d(self):
+        rng = np.random.default_rng(9)
+        _check_against_oracle(
+            rng.random((2, 4, 4, 4)) < 0.5, grid=(1, 2, 1, 2), block=(1, 2, 2, 1)
+        )
+
+
+class TestSizeConsistency:
+    def test_size_identical_on_all_ranks(self):
+        rng = np.random.default_rng(10)
+        mask = rng.random((8, 8)) < 0.5
+        _, run = run_ranking(mask, grid=(2, 2), block=(2, 2))
+        sizes = {r.size for r in run.results}
+        assert sizes == {int(mask.sum())}
+
+    def test_e_i_sums_to_size(self):
+        rng = np.random.default_rng(11)
+        mask = rng.random((8, 8)) < 0.7
+        _, run = run_ranking(mask, grid=(2, 2), block=(1, 1))
+        assert sum(r.e_i for r in run.results) == int(mask.sum())
+
+
+class TestSliceHelpers:
+    def test_slice_view_shape(self):
+        layout = GridLayout.create((8, 16), (2, 2), block=(2, 4))
+        local = np.zeros(layout.local_shape, dtype=bool)
+        v = slice_view(local, layout)
+        assert v.shape == (4, 2, 4)  # (L_1, T_0, W_0)
+
+    def test_scan_lengths_early_exit(self):
+        view = np.array([[True, False, True, False], [False, False, False, False]])
+        out = slice_scan_lengths(view, early_exit=True)
+        np.testing.assert_array_equal(out, [3, 0])
+
+    def test_scan_lengths_full(self):
+        view = np.array([[True, False, False, False], [False, False, False, False]])
+        out = slice_scan_lengths(view, early_exit=False)
+        np.testing.assert_array_equal(out, [4, 0])
+
+    def test_scan_lengths_all_true(self):
+        view = np.ones((3, 5), dtype=bool)
+        np.testing.assert_array_equal(slice_scan_lengths(view, True), [5, 5, 5])
+
+
+class TestCostCharging:
+    def test_sss_charges_more_initial_work_than_css(self):
+        rng = np.random.default_rng(12)
+        mask = rng.random(64) < 0.9
+        _, run_sss = run_ranking(mask, grid=(4,), block=4, scheme=Scheme.SSS)
+        _, run_css = run_ranking(mask, grid=(4,), block=4, scheme=Scheme.CSS)
+        # SSS stores d+3 items per selected element during the scan.
+        sss_initial = max(s.phase_times.get("ranking.initial", 0) for s in run_sss.stats)
+        css_initial = max(s.phase_times.get("ranking.initial", 0) for s in run_css.stats)
+        assert sss_initial > css_initial
+
+    def test_phase_names_present(self):
+        mask = np.ones(64, dtype=bool)
+        _, run = run_ranking(mask, grid=(4,), block=4)
+        names = set(run.phase_names())
+        assert "ranking.initial" in names
+        assert "ranking.prs.dim0" in names
+        assert "ranking.intermediate.dim0" in names
+        assert "ranking.final" in names
+
+    def test_more_tiles_cost_more(self):
+        # Cyclic distribution (W=1, many tiles) must charge more ranking
+        # local time than block (one tile) — the paper's headline shape.
+        rng = np.random.default_rng(13)
+        mask = rng.random(1024) < 0.5
+        _, run_cyc = run_ranking(mask, grid=(4,), block=1)
+        _, run_blk = run_ranking(mask, grid=(4,), block=256)
+        t_cyc = max(s.clock for s in run_cyc.stats)
+        t_blk = max(s.clock for s in run_blk.stats)
+        assert t_cyc > t_blk
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=st.integers(1, 4),
+    w=st.integers(1, 4),
+    t=st.integers(1, 4),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 99),
+)
+def test_property_1d_ranking_matches_oracle(p, w, t, density, seed):
+    n = p * w * t
+    rng = np.random.default_rng(seed)
+    mask = rng.random(n) < density
+    _check_against_oracle(mask, grid=(p,), block=w)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p1=st.integers(1, 3),
+    p0=st.integers(1, 3),
+    w1=st.integers(1, 3),
+    w0=st.integers(1, 3),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 99),
+)
+def test_property_2d_ranking_matches_oracle(p1, p0, w1, w0, density, seed):
+    shape = (p1 * w1 * 2, p0 * w0 * 2)
+    rng = np.random.default_rng(seed)
+    mask = rng.random(shape) < density
+    _check_against_oracle(mask, grid=(p1, p0), block=(w1, w0))

@@ -1,0 +1,135 @@
+"""Section 6.3 pre-passes: Red.1 (selected data) and Red.2 (whole arrays)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import pack
+from repro.core.redistribution import block_layout_of
+from repro.hpf import GridLayout
+from repro.machine import MachineSpec
+from repro.serial import pack_reference
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestBlockLayoutOf:
+    def test_1d(self):
+        cyc = GridLayout.create((16,), (4,), block="cyclic")
+        blk = block_layout_of(cyc)
+        assert blk.dims[0].w == 4
+        assert blk.dims[0].is_block
+
+    def test_2d(self):
+        cyc = GridLayout.create((8, 16), (2, 4), block="cyclic")
+        blk = block_layout_of(cyc)
+        assert blk.dims[1].w == 4 and blk.dims[0].w == 4
+        assert all(d.is_block for d in blk.dims)
+
+
+class TestRed1:
+    @pytest.mark.parametrize("density", [0.1, 0.5, 0.9])
+    def test_1d_matches_oracle(self, density):
+        rng = np.random.default_rng(0)
+        a = rng.random(128)
+        m = rng.random(128) < density
+        res = pack(a, m, grid=4, block="cyclic", scheme="cms",
+                   redistribute="selected", spec=SPEC)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+    def test_2d_matches_oracle(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((16, 16))
+        m = rng.random((16, 16)) < 0.3
+        res = pack(a, m, grid=(2, 2), block="cyclic", scheme="cms",
+                   redistribute="selected", spec=SPEC)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+    def test_empty_mask(self):
+        a = np.arange(64.0)
+        m = np.zeros(64, dtype=bool)
+        res = pack(a, m, grid=4, block="cyclic", redistribute="selected", spec=SPEC)
+        assert res.size == 0
+
+    def test_red1_volume_scales_with_density(self):
+        # Red.1 moves only selected data: sparse masks ship fewer words.
+        rng = np.random.default_rng(2)
+        a = rng.random(256)
+        m_lo = rng.random(256) < 0.1
+        m_hi = rng.random(256) < 0.9
+        lo = pack(a, m_lo, grid=4, block="cyclic", redistribute="selected", spec=SPEC)
+        hi = pack(a, m_hi, grid=4, block="cyclic", redistribute="selected", spec=SPEC)
+        assert lo.run.total_words < hi.run.total_words
+
+
+class TestRed2:
+    @pytest.mark.parametrize("density", [0.1, 0.5, 0.9])
+    def test_1d_matches_oracle(self, density):
+        rng = np.random.default_rng(3)
+        a = rng.random(128)
+        m = rng.random(128) < density
+        res = pack(a, m, grid=4, block="cyclic", scheme="cms",
+                   redistribute="whole", spec=SPEC)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+    def test_2d_matches_oracle(self):
+        rng = np.random.default_rng(4)
+        a = rng.random((16, 16))
+        m = rng.random((16, 16)) < 0.7
+        res = pack(a, m, grid=(2, 2), block="cyclic", scheme="cms",
+                   redistribute="whole", spec=SPEC)
+        np.testing.assert_array_equal(res.vector, pack_reference(a, m))
+
+    def test_red2_volume_density_insensitive(self):
+        # Red.2 always moves the whole A and M: volume independent of mask.
+        rng = np.random.default_rng(5)
+        a = rng.random(256)
+        m_lo = rng.random(256) < 0.1
+        m_hi = rng.random(256) < 0.9
+        lo = pack(a, m_lo, grid=4, block="cyclic", redistribute="whole", spec=SPEC)
+        hi = pack(a, m_hi, grid=4, block="cyclic", redistribute="whole", spec=SPEC)
+        # Only the final CMS pack's segment counts differ slightly.
+        pre_lo = lo.times.get("pack.red.array", 0) + lo.times.get("pack.red.mask", 0)
+        pre_hi = hi.times.get("pack.red.array", 0) + hi.times.get("pack.red.mask", 0)
+        assert pre_lo == pytest.approx(pre_hi, rel=0.05)
+
+
+class TestPrePassPhases:
+    def test_red1_phases(self):
+        rng = np.random.default_rng(6)
+        a = rng.random(64)
+        m = rng.random(64) < 0.5
+        res = pack(a, m, grid=4, block="cyclic", redistribute="selected", spec=SPEC)
+        names = set(res.run.phase_names())
+        assert "pack.red.detect" in names
+        assert "pack.red.comm" in names
+        assert "pack.red.build" in names
+
+    def test_red2_phases(self):
+        rng = np.random.default_rng(7)
+        a = rng.random(64)
+        m = rng.random(64) < 0.5
+        res = pack(a, m, grid=4, block="cyclic", redistribute="whole", spec=SPEC)
+        names = set(res.run.phase_names())
+        assert "pack.red.array" in names
+        assert "pack.red.mask" in names
+
+    def test_bad_redistribute_value(self):
+        with pytest.raises(ValueError):
+            pack(np.zeros(8), np.zeros(8, bool), grid=2, block="cyclic",
+                 redistribute="sideways", spec=SPEC)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    density=st.floats(0, 1),
+    seed=st.integers(0, 99),
+    variant=st.sampled_from(["selected", "whole"]),
+)
+def test_property_pre_passes_match_oracle(density, seed, variant):
+    rng = np.random.default_rng(seed)
+    a = rng.random((8, 8))
+    m = rng.random((8, 8)) < density
+    res = pack(a, m, grid=(2, 2), block="cyclic", redistribute=variant, spec=SPEC)
+    np.testing.assert_array_equal(res.vector, pack_reference(a, m))

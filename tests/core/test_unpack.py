@@ -1,0 +1,161 @@
+"""UNPACK correctness: schemes, two-phase communication, F90 semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import pack, unpack
+from repro.machine import MachineSpec
+from repro.serial import unpack_reference
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+SCHEMES = ["sss", "css"]
+
+
+def do_unpack(vector, mask, field, grid, block, scheme, **kw):
+    return unpack(
+        vector, mask, field, grid=grid, block=block, scheme=scheme, spec=SPEC, **kw
+    )
+
+
+class TestSchemes:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("block", [1, 2, 4, 16])
+    def test_1d(self, scheme, block):
+        rng = np.random.default_rng(0)
+        m = rng.random(64) < 0.5
+        v = rng.random(int(m.sum()))
+        f = rng.random(64)
+        res = do_unpack(v, m, f, grid=4, block=block, scheme=scheme)
+        np.testing.assert_array_equal(res.array, unpack_reference(v, m, f))
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("block", [(1, 1), (2, 2), (4, 8)])
+    def test_2d(self, scheme, block):
+        rng = np.random.default_rng(1)
+        m = rng.random((16, 16)) < 0.4
+        v = rng.random(int(m.sum()))
+        f = rng.random((16, 16))
+        res = do_unpack(v, m, f, grid=(2, 2), block=block, scheme=scheme)
+        np.testing.assert_array_equal(res.array, unpack_reference(v, m, f))
+
+    def test_cms_rejected_for_unpack(self):
+        m = np.ones(16, dtype=bool)
+        with pytest.raises(Exception):
+            do_unpack(np.zeros(16), m, np.zeros(16), grid=4, block=2, scheme="cms")
+
+
+class TestF90Semantics:
+    def test_surplus_vector_elements_ignored(self):
+        # F90: V may be longer than the true count; extras are unused.
+        m = np.array([True, False, True, False, True, False, True, False])
+        v = np.arange(10.0)  # 4 needed, 6 surplus
+        f = np.full(8, -1.0)
+        res = do_unpack(v, m, f, grid=2, block=2, scheme="css")
+        np.testing.assert_array_equal(res.array, [0, -1, 1, -1, 2, -1, 3, -1])
+
+    def test_vector_too_short_rejected(self):
+        m = np.ones(8, dtype=bool)
+        with pytest.raises(Exception):
+            do_unpack(np.zeros(4), m, np.zeros(8), grid=2, block=2, scheme="css")
+
+    def test_empty_mask_returns_field(self):
+        m = np.zeros(16, dtype=bool)
+        f = np.arange(16.0)
+        res = do_unpack(np.zeros(0), m, f, grid=4, block=2, scheme="css")
+        np.testing.assert_array_equal(res.array, f)
+
+    def test_full_mask_returns_vector(self):
+        m = np.ones(16, dtype=bool)
+        v = np.arange(16.0) * 3
+        res = do_unpack(v, m, np.zeros(16), grid=4, block=2, scheme="css")
+        np.testing.assert_array_equal(res.array, v)
+
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((8, 16))
+        m = rng.random((8, 16)) < 0.5
+        packed = pack(a, m, grid=(2, 2), block=(2, 2), scheme="cms", spec=SPEC)
+        restored = do_unpack(
+            packed.vector, m, np.zeros_like(a), grid=(2, 2), block=(2, 2), scheme="css"
+        )
+        np.testing.assert_array_equal(np.where(m, a, 0.0), restored.array)
+
+
+class TestTwoPhaseCommunication:
+    def test_unpack_needs_more_communication_rounds_than_pack(self):
+        # Section 4.2: UNPACK's redistribution is two-phase (request +
+        # reply), so it issues ~1.5x the messages of PACK's single phase
+        # (both include one count-announce round) and strictly more
+        # communication time.  Word volume is equal: PACK pairs carry
+        # (rank, datum); UNPACK carries the rank in the request and the
+        # datum in the reply.
+        rng = np.random.default_rng(3)
+        m = rng.random(256) < 0.5
+        a = rng.random(256)
+        v = rng.random(int(m.sum()))
+        f = np.zeros(256)
+        p = pack(a, m, grid=4, block=2, scheme="css", spec=SPEC)
+        u = do_unpack(v, m, f, grid=4, block=2, scheme="css")
+        p_msgs = sum(s.sends for s in p.run.stats)
+        u_msgs = sum(s.sends for s in u.run.stats)
+        assert u_msgs >= 1.5 * p_msgs
+        assert u.m2m_ms > p.m2m_ms
+        assert u.run.total_words == p.run.total_words
+
+    def test_unpack_total_exceeds_pack_total(self):
+        rng = np.random.default_rng(4)
+        m = rng.random(256) < 0.5
+        a = rng.random(256)
+        v = rng.random(int(m.sum()))
+        p = pack(a, m, grid=4, block=2, scheme="css", spec=SPEC)
+        u = do_unpack(v, m, np.zeros(256), grid=4, block=2, scheme="css")
+        assert u.total_ms > p.total_ms
+
+    def test_phase_names(self):
+        rng = np.random.default_rng(5)
+        m = rng.random(64) < 0.5
+        v = rng.random(int(m.sum()))
+        u = do_unpack(v, m, np.zeros(64), grid=4, block=2, scheme="css")
+        names = set(u.run.phase_names())
+        for expected in [
+            "unpack.ranking.initial",
+            "unpack.requests",
+            "unpack.comm.request",
+            "unpack.serve",
+            "unpack.comm.reply",
+            "unpack.place",
+            "unpack.merge",
+        ]:
+            assert expected in names, f"missing phase {expected}"
+
+
+class TestDtypes:
+    @pytest.mark.parametrize("dtype", [np.float64, np.int64, np.float32])
+    def test_dtype_flows_through(self, dtype):
+        rng = np.random.default_rng(6)
+        m = rng.random(32) < 0.5
+        v = (rng.random(int(m.sum())) * 50).astype(dtype)
+        f = np.zeros(32, dtype=dtype)
+        res = do_unpack(v, m, f, grid=4, block=2, scheme="css")
+        assert res.array.dtype == dtype
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.integers(1, 4),
+    w=st.integers(1, 3),
+    t=st.integers(1, 3),
+    density=st.floats(0, 1),
+    scheme=st.sampled_from(SCHEMES),
+    seed=st.integers(0, 999),
+)
+def test_property_unpack_matches_oracle(p, w, t, density, scheme, seed):
+    n = p * w * t * 2
+    rng = np.random.default_rng(seed)
+    m = rng.random(n) < density
+    v = rng.random(int(m.sum()) + int(rng.integers(0, 3)))  # sometimes surplus
+    f = rng.random(n)
+    res = do_unpack(v, m, f, grid=(p,), block=w, scheme=scheme)
+    np.testing.assert_array_equal(res.array, unpack_reference(v, m, f))

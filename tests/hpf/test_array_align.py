@@ -1,0 +1,64 @@
+"""DistributedArray container and alignment checks."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import (
+    DistributedArray,
+    GridLayout,
+    check_aligned,
+    check_conformable,
+)
+
+
+class TestDistributedArray:
+    def test_from_global_roundtrip(self):
+        layout = GridLayout.create(shape=(8, 8), grid=(2, 2), block=(2, 2))
+        a = np.arange(64.0).reshape(8, 8)
+        da = DistributedArray.from_global(a, layout)
+        np.testing.assert_array_equal(da.to_global(), a)
+        assert da.shape == (8, 8)
+        assert da.dtype == np.float64
+
+    def test_local_blocks_have_layout_shape(self):
+        layout = GridLayout.create(shape=(8, 8), grid=(2, 4), block="cyclic")
+        da = DistributedArray.from_global(np.zeros((8, 8)), layout)
+        for r in range(8):
+            assert da.local(r).shape == layout.local_shape
+
+    def test_from_locals_validates(self):
+        layout = GridLayout.create(shape=(8,), grid=(2,), block="block")
+        with pytest.raises(ValueError):
+            DistributedArray.from_locals([np.zeros(4)], layout)
+        with pytest.raises(ValueError):
+            DistributedArray.from_locals([np.zeros(3), np.zeros(4)], layout)
+
+    def test_local_is_live_reference(self):
+        layout = GridLayout.create(shape=(8,), grid=(2,), block="block")
+        da = DistributedArray.from_global(np.zeros(8), layout)
+        da.local(0)[:] = 7
+        assert da.to_global()[0] == 7
+
+
+class TestAlignment:
+    def test_conformable(self):
+        check_conformable(np.zeros((3, 4)), np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            check_conformable(np.zeros((3, 4)), np.zeros((4, 3)))
+
+    def test_aligned(self):
+        a = GridLayout.create(shape=(8, 8), grid=(2, 2), block=(2, 2))
+        b = GridLayout.create(shape=(8, 8), grid=(2, 2), block=(2, 2))
+        check_aligned(a, b)
+
+    def test_misaligned_block(self):
+        a = GridLayout.create(shape=(8, 8), grid=(2, 2), block=(2, 2))
+        b = GridLayout.create(shape=(8, 8), grid=(2, 2), block=(4, 2))
+        with pytest.raises(ValueError):
+            check_aligned(a, b)
+
+    def test_misaligned_rank(self):
+        a = GridLayout.create(shape=(8,), grid=(2,), block="block")
+        b = GridLayout.create(shape=(8, 1), grid=(2, 1), block="block")
+        with pytest.raises(ValueError):
+            check_aligned(a, b)

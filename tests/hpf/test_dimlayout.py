@@ -1,0 +1,157 @@
+"""DimLayout index algebra: scalar and vectorized maps, paper invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpf import BLOCK, CYCLIC, BlockCyclic, DimLayout, resolve_dist
+
+
+class TestConstruction:
+    def test_basic_quantities(self):
+        # The paper's running example: N=16, P=4, W=2.
+        dim = DimLayout(n=16, p=4, w=2)
+        assert dim.s == 8  # tile size
+        assert dim.t == 2  # tiles
+        assert dim.l == 4  # local extent
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            DimLayout(n=10, p=4, w=1)
+        with pytest.raises(ValueError):
+            DimLayout(n=16, p=4, w=3)
+
+    def test_block_and_cyclic_recognition(self):
+        assert DimLayout(n=16, p=4, w=4).is_block
+        assert DimLayout(n=16, p=4, w=1).is_cyclic
+        mid = DimLayout(n=16, p=4, w=2)
+        assert not mid.is_block and not mid.is_cyclic
+
+    def test_positive_parameters_required(self):
+        with pytest.raises(ValueError):
+            DimLayout(n=0, p=1, w=1)
+        with pytest.raises(ValueError):
+            DimLayout(n=4, p=-1, w=1)
+
+
+class TestScalarMaps:
+    def test_paper_figure1_ownership(self):
+        # Figure 1: A(16) block-cyclic(2) on 4 procs.
+        # Global:   0 1 | 2 3 | 4 5 | 6 7 | 8 9 | 10 11 | 12 13 | 14 15
+        # Owner:    0 0   1 1   2 2   3 3   0 0    1  1    2  2    3  3
+        dim = DimLayout(n=16, p=4, w=2)
+        owners = [dim.owner(g) for g in range(16)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_local_indices_tile_major(self):
+        dim = DimLayout(n=16, p=4, w=2)
+        # Processor 1 owns globals 2,3 (tile 0) and 10,11 (tile 1).
+        assert [dim.local(g) for g in (2, 3, 10, 11)] == [0, 1, 2, 3]
+
+    def test_global_inverts_local(self):
+        dim = DimLayout(n=24, p=3, w=2)
+        for g in range(24):
+            p = dim.owner(g)
+            l = dim.local(g)
+            assert dim.global_(p, l) == g
+
+    def test_range_checks(self):
+        dim = DimLayout(n=8, p=2, w=2)
+        with pytest.raises(ValueError):
+            dim.owner(8)
+        with pytest.raises(ValueError):
+            dim.owner(-1)
+        with pytest.raises(ValueError):
+            dim.global_(2, 0)
+        with pytest.raises(ValueError):
+            dim.global_(0, 4)
+
+
+class TestVectorizedMaps:
+    def test_matches_scalar(self):
+        dim = DimLayout(n=48, p=4, w=3)
+        g = np.arange(48)
+        np.testing.assert_array_equal(dim.owners(g), [dim.owner(x) for x in g])
+        np.testing.assert_array_equal(dim.tiles(g), [dim.tile(x) for x in g])
+        np.testing.assert_array_equal(dim.locals_(g), [dim.local(x) for x in g])
+
+    def test_globals_sorted_and_complete(self):
+        dim = DimLayout(n=32, p=4, w=2)
+        seen = np.concatenate([dim.globals_(p) for p in range(4)])
+        assert len(seen) == 32
+        assert set(seen.tolist()) == set(range(32))
+        for p in range(4):
+            g = dim.globals_(p)
+            assert np.all(np.diff(g) > 0)  # strictly increasing
+
+    def test_local_tiles(self):
+        dim = DimLayout(n=16, p=2, w=2)  # L=8, T=4
+        np.testing.assert_array_equal(
+            dim.local_tiles(np.arange(8)), [0, 0, 1, 1, 2, 2, 3, 3]
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    p=st.integers(1, 8),
+    w=st.integers(1, 8),
+    t=st.integers(1, 8),
+)
+def test_property_global_local_bijection(p, w, t):
+    """global -> (owner, local) -> global is the identity, for any layout."""
+    dim = DimLayout(n=p * w * t, p=p, w=w)
+    g = np.arange(dim.n)
+    owners = dim.owners(g)
+    locs = dim.locals_(g)
+    for x in range(dim.n):
+        assert dim.global_(int(owners[x]), int(locs[x])) == x
+    # Every processor owns exactly L elements.
+    counts = np.bincount(owners, minlength=p)
+    assert np.all(counts == dim.l)
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=st.integers(1, 6), w=st.integers(1, 6), t=st.integers(1, 6))
+def test_property_block_boundaries(p, w, t):
+    """Consecutive globals within one block share an owner; block edges rotate."""
+    dim = DimLayout(n=p * w * t, p=p, w=w)
+    g = np.arange(dim.n - 1) if dim.n > 1 else np.array([], dtype=int)
+    same_block = (g % w) != (w - 1)
+    owners = dim.owners(np.arange(dim.n))
+    if g.size:
+        np.testing.assert_array_equal(
+            owners[g[same_block]], owners[g[same_block] + 1]
+        )
+
+
+class TestDistDescriptors:
+    def test_block_resolution(self):
+        assert BLOCK.block_size(64, 4) == 16
+        with pytest.raises(ValueError):
+            BLOCK.block_size(10, 4)
+
+    def test_cyclic_resolution(self):
+        assert CYCLIC.block_size(64, 4) == 1
+
+    def test_block_cyclic_resolution(self):
+        assert BlockCyclic(8).block_size(64, 4) == 8
+
+    def test_block_cyclic_validation(self):
+        with pytest.raises(ValueError):
+            BlockCyclic(0)
+
+    def test_resolve_dist_front_door(self):
+        assert resolve_dist(4, 64, 4) == 4
+        assert resolve_dist("block", 64, 4) == 16
+        assert resolve_dist("cyclic", 64, 4) == 1
+        assert resolve_dist(BLOCK, 64, 4) == 16
+        with pytest.raises(ValueError):
+            resolve_dist("diagonal", 64, 4)
+        with pytest.raises(ValueError):
+            resolve_dist(0, 64, 4)
+
+    def test_repr(self):
+        assert repr(BLOCK) == "BLOCK"
+        assert repr(CYCLIC) == "CYCLIC"
+        assert repr(BlockCyclic(3)) == "CYCLIC(3)"

@@ -1,0 +1,148 @@
+"""GridLayout: rank mapping, scatter/gather, axis conventions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpf import BLOCK, CYCLIC, GridLayout
+
+
+class TestCreate:
+    def test_1d(self):
+        layout = GridLayout.create(shape=(16,), grid=(4,), block=2)
+        assert layout.d == 1
+        assert layout.shape == (16,)
+        assert layout.local_shape == (4,)
+        assert layout.nprocs == 4
+
+    def test_2d_mixed_blocks(self):
+        layout = GridLayout.create(shape=(8, 16), grid=(2, 4), block=(4, 2))
+        # numpy axis 0 (extent 8) is paper dimension 1.
+        assert layout.dims[1].n == 8 and layout.dims[1].w == 4
+        assert layout.dims[0].n == 16 and layout.dims[0].w == 2
+        assert layout.local_shape == (4, 4)
+
+    def test_dist_descriptors_accepted(self):
+        layout = GridLayout.create(shape=(8, 8), grid=(2, 2), block=(BLOCK, CYCLIC))
+        assert layout.dims[1].is_block
+        assert layout.dims[0].is_cyclic
+
+    def test_default_block(self):
+        layout = GridLayout.create(shape=(12,), grid=(3,))
+        assert layout.dims[0].is_block
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GridLayout.create(shape=(8, 8), grid=(2,))
+        with pytest.raises(ValueError):
+            GridLayout.create(shape=(8,), grid=(2,), block=(1, 1))
+
+    def test_axis_mapping(self):
+        layout = GridLayout.create(shape=(4, 8, 16), grid=(1, 1, 1), block="block")
+        assert layout.axis(0) == 2  # paper dim 0 = last numpy axis
+        assert layout.axis(2) == 0
+
+
+class TestRankMapping:
+    def test_dimension0_fastest(self):
+        layout = GridLayout.create(shape=(8, 8), grid=(2, 4), block="cyclic")
+        # P_0 = 4, P_1 = 2; rank = p_0 + 4 * p_1.
+        assert layout.rank_of_coords((0, 0)) == 0
+        assert layout.rank_of_coords((1, 0)) == 1  # coords[0] is p_0
+        assert layout.rank_of_coords((0, 1)) == 4
+        assert layout.rank_of_coords((3, 1)) == 7
+
+    def test_roundtrip(self):
+        layout = GridLayout.create(shape=(8, 8, 8), grid=(2, 2, 2), block="cyclic")
+        for rank in range(8):
+            assert layout.rank_of_coords(layout.coords_of_rank(rank)) == rank
+
+    def test_bad_coords(self):
+        layout = GridLayout.create(shape=(8,), grid=(2,), block="cyclic")
+        with pytest.raises(ValueError):
+            layout.rank_of_coords((2,))
+        with pytest.raises(ValueError):
+            layout.coords_of_rank(2)
+
+    def test_group_along(self):
+        layout = GridLayout.create(shape=(8, 8), grid=(2, 4), block="cyclic")
+        # Varying paper dim 0 (p_0 in 0..3) with p_1 = 1 fixed.
+        assert layout.group_along(0, (0, 1)) == (4, 5, 6, 7)
+        # Varying paper dim 1 (p_1 in 0..1) with p_0 = 2 fixed.
+        assert layout.group_along(1, (2, 0)) == (2, 6)
+
+    def test_groups_partition_machine(self):
+        layout = GridLayout.create(shape=(8, 8), grid=(2, 4), block="cyclic")
+        for i in range(2):
+            seen = set()
+            for rank in range(8):
+                grp = layout.group_along(i, layout.coords_of_rank(rank))
+                assert rank in grp
+                seen.update(grp)
+            assert seen == set(range(8))
+
+
+class TestScatterGather:
+    def test_roundtrip_1d(self):
+        layout = GridLayout.create(shape=(16,), grid=(4,), block=2)
+        a = np.arange(16)
+        locals_ = layout.scatter(a)
+        np.testing.assert_array_equal(layout.gather(locals_), a)
+
+    def test_figure1_distribution(self):
+        # Block-cyclic(2) on 4 procs: proc 0 holds globals 0,1,8,9.
+        layout = GridLayout.create(shape=(16,), grid=(4,), block=2)
+        locals_ = layout.scatter(np.arange(16))
+        np.testing.assert_array_equal(locals_[0], [0, 1, 8, 9])
+        np.testing.assert_array_equal(locals_[1], [2, 3, 10, 11])
+        np.testing.assert_array_equal(locals_[3], [6, 7, 14, 15])
+
+    def test_roundtrip_2d(self):
+        layout = GridLayout.create(shape=(8, 12), grid=(2, 3), block=(2, 2))
+        a = np.arange(96).reshape(8, 12)
+        np.testing.assert_array_equal(layout.gather(layout.scatter(a)), a)
+
+    def test_roundtrip_3d(self):
+        layout = GridLayout.create(shape=(4, 6, 8), grid=(2, 1, 2), block=(1, 3, 2))
+        a = np.arange(4 * 6 * 8).reshape(4, 6, 8)
+        np.testing.assert_array_equal(layout.gather(layout.scatter(a)), a)
+
+    def test_shape_validation(self):
+        layout = GridLayout.create(shape=(8,), grid=(2,), block=4)
+        with pytest.raises(ValueError):
+            layout.scatter(np.zeros(9))
+        with pytest.raises(ValueError):
+            layout.gather([np.zeros(4)])
+        with pytest.raises(ValueError):
+            layout.gather([np.zeros(3), np.zeros(4)])
+
+    def test_global_flat_index(self):
+        layout = GridLayout.create(shape=(4, 4), grid=(2, 2), block="cyclic")
+        a = np.arange(16).reshape(4, 4)
+        locals_ = layout.scatter(a)
+        for rank in range(4):
+            # With A = arange, the flat index IS the element value.
+            np.testing.assert_array_equal(
+                layout.global_flat_index(rank), locals_[rank]
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    p1=st.integers(1, 3),
+    p0=st.integers(1, 3),
+    w1=st.integers(1, 3),
+    w0=st.integers(1, 3),
+    t1=st.integers(1, 3),
+    t0=st.integers(1, 3),
+)
+def test_property_scatter_gather_roundtrip_2d(p1, p0, w1, w0, t1, t0):
+    shape = (p1 * w1 * t1, p0 * w0 * t0)
+    layout = GridLayout.create(shape=shape, grid=(p1, p0), block=(w1, w0))
+    a = np.arange(shape[0] * shape[1]).reshape(shape)
+    np.testing.assert_array_equal(layout.gather(layout.scatter(a)), a)
+    # Local storage order is global row-major order restricted to the rank.
+    for rank in range(layout.nprocs):
+        flat = layout.global_flat_index(rank).ravel()
+        assert np.all(np.diff(flat) > 0)

@@ -1,0 +1,122 @@
+"""Redistribution: communication detection and full SPMD exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpf import DistributedArray, GridLayout, detect_recvs, detect_sends
+from repro.hpf.redistribute import redistribute
+from repro.machine import Machine, MachineSpec
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+def run_redistribution(src, dst, global_array):
+    """Run the SPMD redistribute program and return the gathered result."""
+    d_src = DistributedArray.from_global(global_array, src)
+
+    def prog(ctx, block):
+        out = yield from redistribute(ctx, src, dst, block)
+        return out
+
+    res = Machine(src.nprocs, SPEC).run(prog, rank_args=[(b,) for b in d_src.locals_list()])
+    gathered = dst.gather(res.results)
+    return gathered, res
+
+
+class TestDetection:
+    def test_sends_cover_all_elements(self):
+        src = GridLayout.create(shape=(16,), grid=(4,), block="cyclic")
+        dst = GridLayout.create(shape=(16,), grid=(4,), block="block")
+        for rank in range(4):
+            sends = detect_sends(src, dst, rank)
+            total = sum(v[0].size for v in sends.values())
+            assert total == 4  # every local element goes somewhere
+
+    def test_recv_matches_send(self):
+        src = GridLayout.create(shape=(16,), grid=(4,), block="cyclic")
+        dst = GridLayout.create(shape=(16,), grid=(4,), block="block")
+        # words sent from s to r == words r expects from s
+        for s in range(4):
+            sends = detect_sends(src, dst, s)
+            for r, (src_idx, _dst_idx) in sends.items():
+                recvs = detect_recvs(src, dst, r)
+                assert recvs[s].size == src_idx.size
+
+    def test_identity_redistribution_is_all_self(self):
+        layout = GridLayout.create(shape=(8, 8), grid=(2, 2), block=(2, 2))
+        for rank in range(4):
+            sends = detect_sends(layout, layout, rank)
+            assert list(sends) == [rank]
+            src_idx, dst_idx = sends[rank]
+            np.testing.assert_array_equal(src_idx, dst_idx)
+
+    def test_shape_mismatch_rejected(self):
+        a = GridLayout.create(shape=(8,), grid=(2,), block="block")
+        b = GridLayout.create(shape=(16,), grid=(2,), block="block")
+        with pytest.raises(ValueError):
+            detect_sends(a, b, 0)
+
+
+class TestRedistribute1D:
+    def test_cyclic_to_block(self):
+        src = GridLayout.create(shape=(16,), grid=(4,), block="cyclic")
+        dst = GridLayout.create(shape=(16,), grid=(4,), block="block")
+        a = np.arange(16) * 10
+        out, _ = run_redistribution(src, dst, a)
+        np.testing.assert_array_equal(out, a)
+
+    def test_block_to_cyclic(self):
+        src = GridLayout.create(shape=(24,), grid=(4,), block="block")
+        dst = GridLayout.create(shape=(24,), grid=(4,), block="cyclic")
+        a = np.arange(24.0)
+        out, _ = run_redistribution(src, dst, a)
+        np.testing.assert_array_equal(out, a)
+
+    def test_block_cyclic_to_block_cyclic(self):
+        src = GridLayout.create(shape=(48,), grid=(4,), block=2)
+        dst = GridLayout.create(shape=(48,), grid=(4,), block=3)
+        a = np.arange(48)
+        out, _ = run_redistribution(src, dst, a)
+        np.testing.assert_array_equal(out, a)
+
+    def test_detection_cost_charged(self):
+        src = GridLayout.create(shape=(64,), grid=(4,), block="cyclic")
+        dst = GridLayout.create(shape=(64,), grid=(4,), block="block")
+        _, res = run_redistribution(src, dst, np.arange(64))
+        # Detection touches every element on both sides.
+        assert all(s.local_ops >= 2 * 16 for s in res.stats)
+
+
+class TestRedistribute2D:
+    def test_cyclic_to_block_2d(self):
+        src = GridLayout.create(shape=(8, 8), grid=(2, 2), block="cyclic")
+        dst = GridLayout.create(shape=(8, 8), grid=(2, 2), block="block")
+        a = np.arange(64).reshape(8, 8)
+        out, _ = run_redistribution(src, dst, a)
+        np.testing.assert_array_equal(out, a)
+
+    def test_grid_reshape(self):
+        # Same shape, different processor grid factorization.
+        src = GridLayout.create(shape=(8, 8), grid=(4, 1), block="block")
+        dst = GridLayout.create(shape=(8, 8), grid=(1, 4), block="block")
+        a = np.arange(64.0).reshape(8, 8)
+        out, _ = run_redistribution(src, dst, a)
+        np.testing.assert_array_equal(out, a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    w_src=st.integers(1, 4),
+    w_dst=st.integers(1, 4),
+    t=st.integers(1, 3),
+)
+def test_property_1d_redistribution_preserves_array(w_src, w_dst, t):
+    p = 3
+    n = p * w_src * w_dst * t * 2
+    src = GridLayout.create(shape=(n,), grid=(p,), block=w_src)
+    dst = GridLayout.create(shape=(n,), grid=(p,), block=w_dst)
+    a = np.arange(n)
+    out, _ = run_redistribution(src, dst, a)
+    np.testing.assert_array_equal(out, a)

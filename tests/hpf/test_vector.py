@@ -1,0 +1,89 @@
+"""VectorLayout: ragged block/cyclic vector distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpf import VectorLayout
+
+
+class TestBlockFactory:
+    def test_even_split(self):
+        v = VectorLayout.block(n=12, p=4)
+        assert [v.local_size(r) for r in range(4)] == [3, 3, 3, 3]
+
+    def test_ragged_split(self):
+        v = VectorLayout.block(n=10, p=4)  # B = ceil(10/4) = 3
+        assert [v.local_size(r) for r in range(4)] == [3, 3, 3, 1]
+
+    def test_empty_trailing_ranks(self):
+        v = VectorLayout.block(n=2, p=4)
+        assert [v.local_size(r) for r in range(4)] == [1, 1, 0, 0]
+
+    def test_zero_size_vector(self):
+        v = VectorLayout.block(n=0, p=4)
+        assert [v.local_size(r) for r in range(4)] == [0, 0, 0, 0]
+
+    def test_block_owner_is_contiguous(self):
+        v = VectorLayout.block(n=10, p=4)
+        owners = v.owners(np.arange(10))
+        np.testing.assert_array_equal(owners, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3])
+        assert v.is_block
+
+
+class TestCyclicLayout:
+    def test_round_robin(self):
+        v = VectorLayout.cyclic(n=10, p=3)
+        owners = v.owners(np.arange(10))
+        np.testing.assert_array_equal(owners, [0, 1, 2, 0, 1, 2, 0, 1, 2, 0])
+        assert [v.local_size(r) for r in range(3)] == [4, 3, 3]
+
+    def test_block_cyclic(self):
+        v = VectorLayout.cyclic(n=14, p=2, w=3)
+        owners = v.owners(np.arange(14))
+        np.testing.assert_array_equal(owners, [0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0])
+        assert [v.local_size(r) for r in range(2)] == [8, 6]
+
+
+class TestIndexMaps:
+    @pytest.mark.parametrize("n,p,w", [(10, 4, 3), (14, 2, 3), (7, 7, 1), (16, 4, 2)])
+    def test_owner_local_roundtrip(self, n, p, w):
+        v = VectorLayout(n=n, p=p, w=w)
+        for r in range(p):
+            g = v.globals_(r)
+            np.testing.assert_array_equal(v.owners(g), np.full(g.size, r))
+            np.testing.assert_array_equal(v.locals_(g), np.arange(g.size))
+
+    def test_out_of_range(self):
+        v = VectorLayout.block(n=4, p=2)
+        with pytest.raises(ValueError):
+            v.owner(4)
+        with pytest.raises(ValueError):
+            v.local_size(2)
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("n,p,w", [(10, 4, 3), (0, 3, 1), (9, 3, 2), (16, 4, 4)])
+    def test_roundtrip(self, n, p, w):
+        v = VectorLayout(n=n, p=p, w=w)
+        data = np.arange(n, dtype=np.float64)
+        np.testing.assert_array_equal(v.gather(v.scatter(data)), data)
+
+    def test_gather_validates_sizes(self):
+        v = VectorLayout.block(n=6, p=2)
+        with pytest.raises(ValueError):
+            v.gather([np.zeros(3)])
+        with pytest.raises(ValueError):
+            v.gather([np.zeros(2), np.zeros(4)])
+
+
+@settings(max_examples=150, deadline=None)
+@given(n=st.integers(0, 60), p=st.integers(1, 7), w=st.integers(1, 5))
+def test_property_partition(n, p, w):
+    """Every element owned exactly once; local sizes sum to n."""
+    v = VectorLayout(n=n, p=p, w=w)
+    sizes = [v.local_size(r) for r in range(p)]
+    assert sum(sizes) == n
+    seen = sorted(int(x) for r in range(p) for x in v.globals_(r))
+    assert seen == list(range(n))

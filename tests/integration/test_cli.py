@@ -1,0 +1,67 @@
+"""The top-level ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "cm5" in out
+        assert "pipeline" in out
+
+
+class TestPackCommand:
+    def test_default_pack(self, capsys):
+        assert main(["pack", "--n", "256", "--procs", "4", "--block", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Size =" in out and "total" in out
+
+    def test_2d_shape_and_phases(self, capsys):
+        assert main([
+            "pack", "--shape", "16x16", "--grid", "2x2", "--block", "2",
+            "--scheme", "sss", "--phases",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pack.ranking.initial" in out
+
+    def test_structured_mask(self, capsys):
+        assert main(["pack", "--shape", "16x16", "--grid", "2x2",
+                     "--block", "2", "--mask", "lt"]) == 0
+        assert "Size = 120" in capsys.readouterr().out
+
+    def test_redistribute_variant(self, capsys):
+        assert main(["pack", "--n", "256", "--procs", "4", "--block",
+                     "cyclic", "--redistribute", "selected"]) == 0
+
+    def test_machine_profiles(self, capsys):
+        for m in ("cm5", "cluster", "ideal"):
+            assert main(["pack", "--n", "256", "--procs", "4",
+                         "--block", "4", "--machine", m]) == 0
+
+
+class TestUnpackCommand:
+    def test_default_unpack(self, capsys):
+        assert main(["unpack", "--n", "256", "--procs", "4", "--block", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "UNPACK" in out and "Size =" in out
+
+
+class TestExperimentsDelegate:
+    def test_delegates(self, capsys):
+        assert main(["experiments", "sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity studies" in out
+
+
+class TestErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,65 @@
+"""Experiment-harness helpers: size scaling, caching, labels."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    array_for,
+    mask_for,
+    mask_label,
+    run_pack,
+    run_unpack,
+    scale_shape,
+)
+
+
+class TestScaleShape:
+    def test_full_size_untouched(self):
+        assert scale_shape((65536,), fast=False) == (65536,)
+        assert scale_shape((512, 512), fast=False) == (512, 512)
+
+    def test_fast_1d_divides_by_16(self):
+        assert scale_shape((65536,), fast=True) == (4096,)
+
+    def test_fast_2d_divides_per_edge(self):
+        assert scale_shape((512, 512), fast=True) == (128, 128)
+
+    def test_fast_floors(self):
+        # Never shrinks below the floors that keep layouts valid.
+        assert scale_shape((1024,), fast=True)[0] >= 256
+        assert scale_shape((64, 64), fast=True)[0] >= 32
+
+
+class TestCaching:
+    def test_masks_cached_and_immutable(self):
+        a = mask_for((256,), 0.5)
+        b = mask_for((256,), 0.5)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0] = True  # read-only
+
+    def test_arrays_cached(self):
+        assert array_for((256,)) is array_for((256,))
+
+    def test_different_kinds_different_masks(self):
+        assert not np.array_equal(mask_for((256,), 0.1), mask_for((256,), 0.9))
+
+
+class TestLabels:
+    def test_density_label(self):
+        assert mask_label(0.3) == "30%"
+        assert mask_label(0.9) == "90%"
+
+    def test_structured_labels(self):
+        assert mask_label("half") == "HALF"
+        assert mask_label("lt") == "LT"
+
+
+class TestRunHelpers:
+    def test_run_pack_returns_result(self):
+        res = run_pack((256,), (4,), 4, 0.5, "cms")
+        assert res.size == int(mask_for((256,), 0.5).sum())
+
+    def test_run_unpack_returns_result(self):
+        res = run_unpack((256,), (4,), 4, 0.5, "css")
+        assert res.array.shape == (256,)

@@ -1,0 +1,161 @@
+"""Smoke tests: every experiment driver runs end to end (fast mode) and its
+report contains the paper-shaped sections it promises."""
+
+import pytest
+
+from repro.experiments import ALL, fig3, fig4, fig5, prs, scaling, table1, table2
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL) == {
+            "table1",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "prs",
+            "scaling",
+            "sensitivity",
+            "topology",
+        }
+
+    def test_every_module_has_run(self):
+        for mod in ALL.values():
+            assert callable(mod.run)
+
+
+class TestTable1:
+    def test_report(self):
+        out = table1.run(fast=True)
+        assert "Table I" in out
+        assert "1-D arrays, P = 16" in out
+        assert "2-D arrays, P = 4 x 4" in out
+        assert "beta2" in out
+        assert "(paper)" in out
+
+    def test_data(self):
+        d = table1.data(fast=True)
+        assert "1d" in d and "2d" in d
+        # beta1 > 1 everywhere.
+        for table in d.values():
+            for v in table.values():
+                assert v > 1
+
+
+class TestTable2:
+    def test_report_and_shape(self):
+        out = table2.run(fast=True)
+        assert "Table II" in out
+        assert "Red.1" in out and "Red.2" in out
+
+    def test_1d_claims(self):
+        # At paper-like 1-D sizes both pre-passes must lose to SSS.
+        rows = table2.rows_for((16384,), (16,))
+        for _d, sss, red1, red2 in rows:
+            assert sss < red1 < red2
+
+
+class TestFigures:
+    def test_fig3_report(self):
+        out = fig3.run(fast=True, densities=(0.5,))
+        assert "Figure 3" in out
+        assert "sss (ms)" in out
+
+    def test_fig3_series_shapes(self):
+        sweep, data = fig3.series((4096,), (16,), 0.9, block_points=4)
+        # Local computation decreases as W grows, for every scheme.
+        for name, ys in data.items():
+            assert ys[0] > ys[-1], f"{name} did not fall with W"
+        # SSS best at cyclic W=1; CMS best at block.
+        assert data["sss"][0] < data["css"][0]
+        assert data["cms"][-1] <= data["css"][-1]
+
+    def test_fig4_report(self):
+        out = fig4.run(fast=True, densities=(0.5,))
+        assert "Figure 4" in out
+
+    def test_fig5_report(self):
+        out = fig5.run(fast=True, densities=(0.5,))
+        assert "Figure 5" in out
+        assert "cms" not in out  # UNPACK has no CMS curve
+
+
+class TestPRS:
+    def test_report(self):
+        out = prs.run(fast=True)
+        assert "direct (ms)" in out and "split (ms)" in out
+
+    def test_algorithm_crossover(self):
+        small = prs.prs_times(4, 16, spec=prs.SPEC.without_control_network())
+        large = prs.prs_times(16, 4096, spec=prs.SPEC.without_control_network())
+        assert small["direct"] < small["split"]
+        assert large["split"] < large["direct"]
+
+
+class TestScaling:
+    def test_report(self):
+        out = scaling.run(fast=True)
+        assert "Weak scaling" in out
+
+    def test_local_flat_comm_grows(self):
+        rows = scaling.weak_scaling_rows(4096, 128, fast=True)
+        # rows: [label, P, total, local, prs, m2m]
+        small_1d, big_1d = rows[0], rows[1]
+        assert big_1d[3] == pytest.approx(small_1d[3], rel=0.25)  # local flat
+        assert big_1d[5] > 2 * small_1d[5]  # m2m grows with P
+
+
+class TestTopology:
+    def test_report(self):
+        from repro.experiments import topology
+
+        out = topology.run(fast=True)
+        assert "crossbar" in out and "hypercube" in out
+
+    def test_drift_orders_by_distance(self):
+        from repro.experiments.topology import topology_rows
+
+        rows = topology_rows((4096,), (16,), 16, tau_hop=5e-6)
+        by_name = {name: (avg, total) for name, avg, total, _ in rows}
+        assert by_name["crossbar"][1] <= by_name["hypercube"][1]
+        assert by_name["hypercube"][1] <= by_name["ring"][1]
+
+
+class TestSensitivity:
+    def test_report(self):
+        from repro.experiments import sensitivity
+
+        out = sensitivity.run(fast=True)
+        assert "Machine balance" in out and "Array rank study" in out
+
+    def test_cms_margin_grows_with_mu(self):
+        from repro.experiments.common import SPEC
+        from repro.experiments.sensitivity import balance_rows
+
+        rows = {r[0]: r for r in balance_rows((4096,), (16,), SPEC)}
+        base_margin = rows["cm5 (baseline)"][1] - rows["cm5 (baseline)"][3]
+        slow_margin = rows["1/4 bandwidth"][1] - rows["1/4 bandwidth"][3]
+        assert slow_margin > base_margin  # sss - cms gap widens
+
+    def test_higher_rank_costs_more_prs(self):
+        from repro.experiments.sensitivity import rank_rows
+
+        rows = rank_rows(4096)
+        prs = {r[0].split()[0]: r[4] for r in rows}
+        assert prs["1-D"] < prs["2-D"] < prs["3-D"]
+
+
+class TestCLI:
+    def test_main_runs(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_bad_name_rejected(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["bogus"])

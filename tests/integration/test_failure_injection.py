@@ -1,0 +1,149 @@
+"""Failure injection: the library must *detect* broken invariants, not
+silently produce wrong answers.
+
+These tests deliberately sabotage pieces of the pipeline — dying ranks,
+corrupted messages, inconsistent SPMD calls, wrong-sized blocks — and
+assert the failure surfaces as a loud, attributable error.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.api import pack
+from repro.core.pack import pack_program
+from repro.core.schemes import PackConfig
+from repro.hpf import GridLayout
+from repro.machine import DeadlockError, Machine, MachineSpec, ProgramError
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+def _layout_and_blocks(n=64, p=4, w=2, density=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.random(n)
+    m = rng.random(n) < density
+    layout = GridLayout.create((n,), (p,), block=w)
+    return layout, layout.scatter(a), layout.scatter(m), a, m
+
+
+class TestDyingRanks:
+    def test_rank_dies_before_communicating(self):
+        layout, ab, mb, *_ = _layout_and_blocks()
+
+        def prog(ctx, a, m):
+            if ctx.rank == 2:
+                return None  # dies silently before the collective phases
+            result = yield from pack_program(ctx, a, m, layout, PackConfig())
+            return result
+
+        with pytest.raises(DeadlockError):
+            Machine(4, SPEC).run(prog, rank_args=list(zip(ab, mb)))
+
+    def test_rank_raises_mid_pack(self):
+        layout, ab, mb, *_ = _layout_and_blocks()
+
+        def prog(ctx, a, m):
+            if ctx.rank == 1:
+                raise RuntimeError("node failure")
+            result = yield from pack_program(ctx, a, m, layout, PackConfig())
+            return result
+
+        with pytest.raises(ProgramError) as exc:
+            Machine(4, SPEC).run(prog, rank_args=list(zip(ab, mb)))
+        assert exc.value.rank == 1
+
+
+class TestCorruptedData:
+    def test_validation_catches_corrupted_block(self):
+        """If a rank's local data is silently corrupted after scatter, the
+        host-level oracle validation must fire."""
+        rng = np.random.default_rng(1)
+        a = rng.random(64)
+        m = rng.random(64) < 0.5
+
+        import repro.core.api as api_mod
+
+        original_scatter = GridLayout.scatter
+        calls = {"n": 0}
+
+        def corrupting_scatter(self, arr):
+            blocks = original_scatter(self, arr)
+            calls["n"] += 1
+            if calls["n"] == 1 and blocks[0].dtype == np.float64:
+                blocks[0] = blocks[0] + 1.0  # corrupt the array pass only
+            return blocks
+
+        GridLayout.scatter = corrupting_scatter
+        try:
+            with pytest.raises(AssertionError, match="mismatch"):
+                pack(a, m, grid=4, block=2, scheme="cms", spec=SPEC)
+        finally:
+            GridLayout.scatter = original_scatter
+
+    def test_wrong_block_shape_rejected_immediately(self):
+        layout, ab, mb, *_ = _layout_and_blocks()
+
+        def prog(ctx, a, m):
+            bad = a[:-1]  # wrong local shape
+            result = yield from pack_program(ctx, bad, m, layout, PackConfig())
+            return result
+
+        with pytest.raises(ProgramError):
+            Machine(4, SPEC).run(prog, rank_args=list(zip(ab, mb)))
+
+
+class TestInconsistentSPMD:
+    def test_divergent_scheme_still_correct_or_detected(self):
+        """Ranks disagreeing on the scheme is an SPMD bug; schemes share
+        wire formats only within a scheme, so the run must either deadlock
+        or raise — never return a wrong vector silently."""
+        layout, ab, mb, a, m = _layout_and_blocks()
+
+        def prog(ctx, ab_, mb_):
+            scheme = "cms" if ctx.rank == 0 else "css"
+            result = yield from pack_program(
+                ctx, ab_, mb_, layout, PackConfig(scheme=scheme)
+            )
+            return result
+
+        with pytest.raises((DeadlockError, ProgramError, Exception)):
+            res = Machine(4, SPEC).run(prog, rank_args=list(zip(ab, mb)))
+            # If it completed, the gathered vector must NOT silently match:
+            # decoding segment messages as pairs garbles positions.
+            from repro.core.pack import result_vector_layout
+
+            vec = result_vector_layout(res.results[0].size, 4, PackConfig())
+            got = vec.gather([r.vector_block for r in res.results])
+            if np.array_equal(got, repro.pack_reference(a, m)):
+                raise AssertionError("divergent schemes produced a silent pass")
+            raise RuntimeError("detected: divergent result")
+
+    def test_divergent_prs_choice_detected(self):
+        layout, ab, mb, *_ = _layout_and_blocks()
+
+        def prog(ctx, ab_, mb_):
+            prs = "direct" if ctx.rank == 0 else "split"
+            result = yield from pack_program(
+                ctx, ab_, mb_, layout, PackConfig(prs=prs)
+            )
+            return result
+
+        with pytest.raises((DeadlockError, ProgramError, Exception)):
+            Machine(4, SPEC.without_control_network()).run(
+                prog, rank_args=list(zip(ab, mb))
+            )
+            raise RuntimeError("detected")
+
+
+class TestResourceSanity:
+    def test_empty_machine_configs_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(0, SPEC)
+        with pytest.raises(ValueError):
+            GridLayout.create((0,), (1,), block=1)
+
+    def test_undersized_unpack_vector_rejected_on_every_rank(self):
+        m = np.ones(16, dtype=bool)
+        with pytest.raises(Exception):
+            repro.unpack(np.zeros(4), m, np.zeros(16), grid=4, block=2, spec=SPEC)

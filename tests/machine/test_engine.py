@@ -1,0 +1,322 @@
+"""Engine semantics: send/recv matching, clocks, determinism, deadlock."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    ANY,
+    Barrier,
+    CM5,
+    CollectiveOp,
+    DeadlockError,
+    Machine,
+    MachineSpec,
+    ProgramError,
+    Recv,
+)
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestBasicExecution:
+    def test_single_rank_returns_value(self):
+        def prog(ctx):
+            ctx.work(10)
+            return ctx.rank * 7
+            yield  # pragma: no cover - makes this a generator
+
+        res = Machine(1, SPEC).run(prog)
+        assert res.results == [0]
+
+    def test_plain_function_program(self):
+        def prog(ctx):
+            ctx.work(5)
+            return ctx.rank + 100
+
+        res = Machine(3, SPEC).run(prog)
+        assert res.results == [100, 101, 102]
+
+    def test_all_ranks_run(self):
+        def prog(ctx):
+            return ctx.rank
+            yield
+
+        res = Machine(8, SPEC).run(prog)
+        assert res.results == list(range(8))
+
+    def test_shared_and_per_rank_args(self):
+        def prog(ctx, a, b):
+            return a + b + ctx.rank
+            yield
+
+        res = Machine(2, SPEC).run(prog, 10, 20)
+        assert res.results == [30, 31]
+        res = Machine(2, SPEC).run(prog, rank_args=[(1, 2), (3, 4)])
+        assert res.results == [3, 8]
+
+    def test_rank_args_length_checked(self):
+        def prog(ctx, a):
+            return a
+            yield
+
+        with pytest.raises(ValueError):
+            Machine(3, SPEC).run(prog, rank_args=[(1,), (2,)])
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(0, SPEC)
+
+
+class TestPointToPoint:
+    def test_ping(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "hello", words=5)
+                return None
+            msg = yield ctx.recv(source=0)
+            return msg.payload
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[1] == "hello"
+
+    def test_ping_pong_clocks(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "ping", words=10)
+                msg = yield ctx.recv(source=1)
+                return msg.payload
+            msg = yield ctx.recv(source=0)
+            ctx.send(0, "pong", words=10)
+            return msg.payload
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results == ["pong", "ping"]
+        # Each direction costs tau + 10 mu; rank 0's clock sees both legs.
+        leg = SPEC.message_time(10)
+        assert res.stats[0].clock == pytest.approx(2 * leg)
+        assert res.stats[1].clock == pytest.approx(2 * leg)
+
+    def test_fifo_per_channel(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                for i in range(5):
+                    ctx.send(1, i, words=1)
+                return None
+            got = []
+            for _ in range(5):
+                msg = yield ctx.recv(source=0)
+                got.append(msg.payload)
+            return got
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selective_receive(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "a", words=1, tag=7)
+                ctx.send(1, "b", words=1, tag=8)
+                return None
+            m8 = yield ctx.recv(source=0, tag=8)
+            m7 = yield ctx.recv(source=0, tag=7)
+            return (m8.payload, m7.payload)
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[1] == ("b", "a")
+
+    def test_any_source_takes_earliest_arrival(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                # Big message: arrives late despite earlier send order below.
+                ctx.work(1)  # tiny skew
+                ctx.send(2, "slow", words=100000)
+                return None
+            if ctx.rank == 1:
+                ctx.send(2, "fast", words=1)
+                return None
+            a = yield ctx.recv(source=ANY)
+            b = yield ctx.recv(source=ANY)
+            return (a.payload, b.payload)
+
+        res = Machine(3, SPEC).run(prog)
+        assert res.results[2] == ("fast", "slow")
+
+    def test_receive_waits_for_arrival_time(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, None, words=1000)
+                return None
+            msg = yield ctx.recv(source=0)
+            return ctx.clock
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[1] == pytest.approx(SPEC.message_time(1000))
+        assert res.stats[1].idle_time == pytest.approx(SPEC.message_time(1000))
+
+    def test_send_to_bad_rank_raises(self):
+        def prog(ctx):
+            ctx.send(99, None, words=1)
+            return None
+            yield
+
+        with pytest.raises(ProgramError):
+            Machine(2, SPEC).run(prog)
+
+    def test_numpy_payload_words_inferred(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, np.zeros(17))
+                return None
+            msg = yield ctx.recv(source=0)
+            return msg.words
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[1] == 17
+
+
+class TestDeadlockDetection:
+    def test_mutual_recv_deadlocks(self):
+        def prog(ctx):
+            msg = yield ctx.recv(source=1 - ctx.rank)
+            return msg
+
+        with pytest.raises(DeadlockError) as exc:
+            Machine(2, SPEC).run(prog)
+        assert 0 in exc.value.blocked and 1 in exc.value.blocked
+
+    def test_missing_sender_deadlocks(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                return None
+                yield
+            msg = yield ctx.recv(source=0)
+            return msg
+
+        with pytest.raises(DeadlockError):
+            Machine(2, SPEC).run(prog)
+
+    def test_wrong_tag_deadlocks(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "x", words=1, tag=1)
+                return None
+            msg = yield ctx.recv(source=0, tag=2)
+            return msg
+
+        with pytest.raises(DeadlockError):
+            Machine(2, SPEC).run(prog)
+
+
+class TestCollectives:
+    def test_barrier_synchronizes_clocks(self):
+        def prog(ctx):
+            ctx.work(1000 * (ctx.rank + 1))
+            yield Barrier(range(ctx.size))
+            return ctx.clock
+
+        res = Machine(4, SPEC).run(prog)
+        # All ranks leave the barrier at the same time.
+        assert len({round(c, 12) for c in res.results}) == 1
+        assert res.results[0] >= SPEC.work_time(4000)
+
+    def test_collective_combine_and_result_routing(self):
+        def combine(payloads):
+            total = sum(payloads.values())
+            return ({r: total + r for r in payloads}, len(payloads))
+
+        def prog(ctx):
+            out = yield CollectiveOp(
+                group=tuple(range(ctx.size)), kind="sum", payload=ctx.rank, combine=combine
+            )
+            return out
+
+        res = Machine(4, SPEC).run(prog)
+        assert res.results == [6, 7, 8, 9]
+
+    def test_collective_group_mismatch_raises(self):
+        def prog(ctx):
+            group = (0, 1) if ctx.rank == 0 else (0, 1, 2)
+            yield CollectiveOp(group=group, kind="x", payload=None)
+            return None
+
+        with pytest.raises(Exception):
+            Machine(3, SPEC).run(prog)
+
+    def test_subgroup_collectives_do_not_interfere(self):
+        def combine(payloads):
+            return ({r: sorted(payloads) for r in payloads}, 0)
+
+        def prog(ctx):
+            half = (0, 1) if ctx.rank < 2 else (2, 3)
+            out = yield CollectiveOp(group=half, kind="who", payload=None, combine=combine)
+            return tuple(out)
+
+        res = Machine(4, SPEC).run(prog)
+        assert res.results == [(0, 1), (0, 1), (2, 3), (2, 3)]
+
+    def test_collective_without_control_network_needs_cost(self):
+        spec = SPEC.with_(has_control_network=False)
+
+        def prog(ctx):
+            yield Barrier(range(ctx.size))
+            return None
+
+        with pytest.raises(Exception):
+            Machine(2, spec).run(prog)
+
+        def prog2(ctx):
+            yield CollectiveOp(
+                group=tuple(range(ctx.size)), kind="barrier", cost_seconds=1e-6
+            )
+            return None
+
+        res = Machine(2, spec).run(prog2)
+        assert res.elapsed == pytest.approx(1e-6)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_stats(self):
+        def prog(ctx):
+            rng = np.random.default_rng(ctx.rank)
+            data = rng.random(10)
+            ctx.send((ctx.rank + 1) % ctx.size, data)
+            msg = yield ctx.recv(source=(ctx.rank - 1) % ctx.size)
+            ctx.work(int(msg.payload.sum() * 100))
+            return float(msg.payload.sum())
+
+        r1 = Machine(5, SPEC).run(prog)
+        r2 = Machine(5, SPEC).run(prog)
+        assert r1.results == r2.results
+        assert [s.clock for s in r1.stats] == [s.clock for s in r2.stats]
+        assert [s.words_sent for s in r1.stats] == [s.words_sent for s in r2.stats]
+
+    def test_machine_reusable_with_fresh_state(self):
+        def prog(ctx):
+            ctx.work(100)
+            return ctx.clock
+            yield
+
+        m = Machine(2, SPEC)
+        a = m.run(prog)
+        b = m.run(prog)
+        assert a.results == b.results
+
+
+class TestErrorPropagation:
+    def test_program_exception_wrapped(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                raise RuntimeError("boom")
+            return None
+            yield
+
+        with pytest.raises(ProgramError) as exc:
+            Machine(2, SPEC).run(prog)
+        assert exc.value.rank == 1
+
+    def test_bad_yield_rejected(self):
+        def prog(ctx):
+            yield "not an op"
+
+        with pytest.raises(ProgramError):
+            Machine(1, SPEC).run(prog)

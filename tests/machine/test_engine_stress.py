@@ -1,0 +1,154 @@
+"""Engine stress tests: randomized communication patterns, conservation
+invariants, and scale."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import ANY, Machine, MachineSpec
+from repro.machine.m2m import exchange
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestRandomizedPatterns:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p=st.integers(2, 8),
+        seed=st.integers(0, 999),
+        rounds=st.integers(1, 4),
+    )
+    def test_random_m2m_rounds_never_deadlock(self, p, seed, rounds):
+        """Any sequence of valid m2m exchanges completes, delivers exactly
+        what was sent, and conserves words."""
+        rng = np.random.default_rng(seed)
+        plans = []
+        for _ in range(rounds):
+            matrix = rng.integers(0, 5, size=(p, p))  # words from s to d
+            plans.append(matrix)
+
+        def prog(ctx):
+            got = []
+            for matrix in plans:
+                outgoing = {
+                    d: ("data", int(matrix[ctx.rank, d]))
+                    for d in range(p)
+                    if matrix[ctx.rank, d] > 0
+                }
+                received = yield from exchange(
+                    ctx,
+                    {d: v[0] for d, v in outgoing.items()},
+                    words={d: v[1] for d, v in outgoing.items()},
+                )
+                got.append(sorted(received))
+            return got
+
+        res = Machine(p, SPEC).run(prog)
+        for r in range(p):
+            for i, matrix in enumerate(plans):
+                expected = sorted(s for s in range(p) if matrix[s, r] > 0)
+                assert res.results[r][i] == expected
+        # Word conservation: sent == received (self messages excluded
+        # from both counters).
+        assert sum(s.words_sent for s in res.stats) == sum(
+            s.words_received for s in res.stats
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(p=st.integers(2, 6), seed=st.integers(0, 999))
+    def test_random_send_recv_dag(self, p, seed):
+        """Random sender->receiver assignments with matching recv counts
+        complete and deliver every payload exactly once."""
+        rng = np.random.default_rng(seed)
+        n_msgs = int(rng.integers(1, 12))
+        sends = [(int(rng.integers(0, p)), int(rng.integers(0, p))) for _ in range(n_msgs)]
+        incoming = [sum(1 for _s, d in sends if d == r) for r in range(p)]
+
+        def prog(ctx):
+            for i, (s, d) in enumerate(sends):
+                if s == ctx.rank:
+                    ctx.send(d, i, words=1, tag=5)
+            got = []
+            for _ in range(incoming[ctx.rank]):
+                msg = yield ctx.recv(source=ANY, tag=5)
+                got.append(msg.payload)
+            return sorted(got)
+
+        res = Machine(p, SPEC).run(prog)
+        delivered = sorted(x for r in res.results for x in r)
+        assert delivered == list(range(n_msgs))
+
+
+class TestScale:
+    def test_256_rank_ring(self):
+        def prog(ctx):
+            ctx.send((ctx.rank + 1) % ctx.size, ctx.rank, words=1)
+            msg = yield ctx.recv(source=(ctx.rank - 1) % ctx.size)
+            return msg.payload
+
+        res = Machine(256, SPEC).run(prog)
+        assert res.results == [(r - 1) % 256 for r in range(256)]
+
+    def test_many_sequential_collectives(self):
+        from repro.machine import Barrier
+
+        def prog(ctx):
+            for _ in range(50):
+                yield Barrier(range(ctx.size))
+            return ctx.stats.ctrl_ops
+
+        res = Machine(8, SPEC).run(prog)
+        assert all(r == 50 for r in res.results)
+
+    def test_deep_message_queues(self):
+        """Thousands of queued messages on one channel drain in order."""
+        n = 2000
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                for i in range(n):
+                    ctx.send(1, i, words=1)
+                return None
+            out = []
+            for _ in range(n):
+                msg = yield ctx.recv(source=0)
+                out.append(msg.payload)
+            return out
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[1] == list(range(n))
+
+
+class TestClockInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.integers(2, 6), seed=st.integers(0, 99))
+    def test_recv_never_precedes_send(self, p, seed):
+        """Causality: every received message's arrival time is at most the
+        receiver's clock at completion, and at least the sender's send
+        time."""
+        from repro.machine import Tracer
+
+        rng = np.random.default_rng(seed)
+        work = [int(rng.integers(0, 500)) for _ in range(p)]
+
+        def prog(ctx):
+            ctx.work(work[ctx.rank])
+            ctx.send((ctx.rank + 1) % ctx.size, None, words=int(rng.integers(1, 50)))
+            msg = yield ctx.recv(source=(ctx.rank - 1) % ctx.size)
+            return (msg.send_time, msg.arrival_time, ctx.clock)
+
+        tracer = Tracer()
+        res = Machine(p, SPEC, tracer=tracer).run(prog)
+        for send_t, arrive_t, clock in res.results:
+            assert send_t <= arrive_t <= clock + 1e-15
+
+    def test_elapsed_monotone_in_work(self):
+        def prog(ctx, ops):
+            ctx.work(ops)
+            return None
+            yield
+
+        small = Machine(4, SPEC).run(prog, 100).elapsed
+        big = Machine(4, SPEC).run(prog, 10000).elapsed
+        assert big > small

@@ -1,0 +1,158 @@
+"""Many-to-many personalized communication: schedules, counts, costs."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, MachineSpec
+from repro.machine.m2m import exchange, exchange_counts
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+NOCTRL = SPEC.with_(has_control_network=False)
+
+
+def run_exchange(P, pattern, spec=SPEC, **kw):
+    """pattern: dict rank -> {dest: (payload, words)}."""
+
+    def prog(ctx):
+        mine = pattern.get(ctx.rank, {})
+        outgoing = {d: p for d, (p, _w) in mine.items()}
+        words = {d: w for d, (_p, w) in mine.items()}
+        received = yield from exchange(ctx, outgoing, words=words, **kw)
+        return received
+
+    return Machine(P, spec).run(prog)
+
+
+class TestExchangeDelivery:
+    @pytest.mark.parametrize("schedule", ["linear", "naive"])
+    @pytest.mark.parametrize("spec", [SPEC, NOCTRL])
+    def test_full_pattern(self, schedule, spec):
+        P = 4
+        pattern = {
+            s: {d: (f"{s}->{d}", 1) for d in range(P)} for s in range(P)
+        }
+        res = run_exchange(P, pattern, spec=spec, schedule=schedule)
+        for d in range(P):
+            got = res.results[d]
+            assert got == {s: f"{s}->{d}" for s in range(P)}
+
+    @pytest.mark.parametrize("schedule", ["linear", "naive"])
+    def test_sparse_pattern(self, schedule):
+        P = 5
+        pattern = {0: {3: ("x", 10)}, 2: {3: ("y", 5)}}
+        res = run_exchange(P, pattern, schedule=schedule)
+        assert res.results[3] == {0: "x", 2: "y"}
+        assert res.results[1] == {}
+
+    def test_self_message_free_and_delivered(self):
+        P = 3
+        pattern = {1: {1: ("self", 100)}}
+        res = run_exchange(P, pattern)
+        assert res.results[1] == {1: "self"}
+        # Self messages never touch the network.
+        assert res.stats[1].words_sent == 0
+
+    def test_empty_everything(self):
+        res = run_exchange(4, {})
+        assert all(r == {} for r in res.results)
+
+
+class TestScheduleCosts:
+    def test_linear_skips_empty_steps(self):
+        P = 8
+        pattern = {0: {1: ("x", 50)}}
+        res_lin = run_exchange(P, pattern, spec=SPEC, schedule="linear")
+        res_nai = run_exchange(P, pattern, spec=SPEC, schedule="naive")
+        # Naive contacts every partner: P(P-1) messages; linear sends only
+        # the one data message (counts ride the control network).
+        assert res_nai.total_messages == P * (P - 1)
+        assert res_lin.total_messages == 1
+        assert res_lin.elapsed < res_nai.elapsed
+
+    def test_linear_without_ctrl_uses_count_round(self):
+        P = 4
+        pattern = {0: {1: ("x", 50)}}
+        res = run_exchange(P, pattern, spec=NOCTRL, schedule="linear")
+        # P*(P-1) single-word count messages + 1 data message.
+        assert res.total_messages == P * (P - 1) + 1
+        assert res.results[1] == {0: "x"}
+
+    def test_self_copy_charge_knob(self):
+        P = 2
+        pattern = {0: {0: ("self", 1000)}}
+        free = run_exchange(P, pattern, self_copy_charge=False)
+        charged = run_exchange(P, pattern, self_copy_charge=True)
+        assert charged.stats[0].local_ops > free.stats[0].local_ops
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(Exception):
+            run_exchange(2, {}, schedule="ring")
+
+
+class TestExchangeCounts:
+    @pytest.mark.parametrize("spec", [SPEC, NOCTRL])
+    def test_counts_delivered(self, spec):
+        P = 4
+        counts_by_rank = {0: {1: 7, 2: 3}, 3: {1: 2}}
+
+        def prog(ctx):
+            incoming = yield from exchange_counts(
+                ctx, counts_by_rank.get(ctx.rank, {})
+            )
+            return incoming
+
+        res = Machine(P, spec).run(prog)
+        assert res.results[1] == {0: 7, 3: 2}
+        assert res.results[2] == {0: 3}
+        assert res.results[0] == {}
+
+    def test_self_count_included(self):
+        def prog(ctx):
+            incoming = yield from exchange_counts(ctx, {ctx.rank: 5})
+            return incoming
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[0] == {0: 5}
+
+    def test_zero_counts_filtered(self):
+        def prog(ctx):
+            incoming = yield from exchange_counts(ctx, {1 - ctx.rank: 0})
+            return incoming
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results == [{}, {}]
+
+
+class TestNoAnnounceMode:
+    def test_handshake_without_announce(self):
+        P = 3
+        pattern = {0: {1: ("x", 4)}}
+
+        def prog(ctx):
+            mine = pattern.get(ctx.rank, {})
+            outgoing = {d: p for d, (p, _w) in mine.items()}
+            words = {d: w for d, (_p, w) in mine.items()}
+            received = yield from exchange(
+                ctx, outgoing, words=words, announce=False
+            )
+            return received
+
+        res = Machine(P, SPEC).run(prog)
+        assert res.results[1] == {0: "x"}
+        # Every pair exchanged a (possibly empty) handshake message.
+        assert res.total_messages == P * (P - 1)
+
+
+class TestNumpyPayloads:
+    def test_array_payloads_roundtrip(self):
+        P = 4
+        pattern = {
+            s: {d: (np.arange(s * 10 + d, s * 10 + d + 3), 3) for d in range(P)}
+            for s in range(P)
+        }
+        res = run_exchange(P, pattern)
+        for d in range(P):
+            for s in range(P):
+                np.testing.assert_array_equal(
+                    res.results[d][s], np.arange(s * 10 + d, s * 10 + d + 3)
+                )

@@ -1,0 +1,77 @@
+"""Unit tests for MachineSpec and LocalCostModel."""
+
+import pytest
+
+from repro.machine import CM5, ETHERNET_CLUSTER, IDEAL, LocalCostModel, MachineSpec
+
+
+class TestMachineSpec:
+    def test_default_is_cm5_profile(self):
+        assert CM5.name == "cm5"
+        assert CM5.has_control_network
+        assert CM5.tau > 0 and CM5.mu > 0 and CM5.delta > 0
+
+    def test_message_time_is_affine_in_words(self):
+        spec = MachineSpec(tau=10e-6, mu=1e-6)
+        assert spec.message_time(0) == pytest.approx(10e-6)
+        assert spec.message_time(100) == pytest.approx(10e-6 + 100e-6)
+
+    def test_message_time_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            CM5.message_time(-1)
+
+    def test_work_time_scales_with_delta(self):
+        spec = MachineSpec(delta=2e-6)
+        assert spec.work_time(5) == pytest.approx(10e-6)
+        assert spec.work_time(0) == 0.0
+
+    def test_work_time_rejects_negative_ops(self):
+        with pytest.raises(ValueError):
+            CM5.work_time(-3)
+
+    def test_ctrl_time_requires_control_network(self):
+        spec = CM5.without_control_network()
+        with pytest.raises(ValueError):
+            spec.ctrl_time(10)
+
+    def test_ctrl_time_is_affine(self):
+        spec = MachineSpec(ctrl_latency=5e-6, ctrl_word=1e-6)
+        assert spec.ctrl_time(7) == pytest.approx(5e-6 + 7e-6)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(tau=-1.0)
+        with pytest.raises(ValueError):
+            MachineSpec(ctrl_latency=-1.0)
+
+    def test_with_returns_modified_copy(self):
+        spec = CM5.with_(tau=1e-3)
+        assert spec.tau == 1e-3
+        assert spec.mu == CM5.mu
+        assert CM5.tau != 1e-3  # original untouched
+
+    def test_spec_is_hashable_and_frozen(self):
+        with pytest.raises(Exception):
+            CM5.tau = 0.0  # type: ignore[misc]
+        assert hash(CM5) == hash(MachineSpec())
+
+    def test_presets_are_distinct(self):
+        names = {CM5.name, ETHERNET_CLUSTER.name, IDEAL.name}
+        assert len(names) == 3
+        assert not ETHERNET_CLUSTER.has_control_network
+
+
+class TestLocalCostModel:
+    def test_defaults_positive(self):
+        m = LocalCostModel()
+        assert m.seq > 0 and m.rand > 0 and m.vec > 0 and m.seg > 0
+
+    def test_rand_exceeds_seq(self):
+        # Scattered bookkeeping must cost more than streaming scans for the
+        # paper's scheme crossovers to exist at all.
+        m = LocalCostModel()
+        assert m.rand > m.seq
+
+    def test_scaled(self):
+        m = LocalCostModel(seq=1, rand=2, vec=3, seg=4).scaled(2.0)
+        assert (m.seq, m.rand, m.vec, m.seg) == (2, 4, 6, 8)

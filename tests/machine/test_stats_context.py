@@ -1,0 +1,154 @@
+"""ProcStats / RunResult accounting and Context helpers."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, MachineSpec, PhaseError, payload_words
+from repro.machine.stats import ProcStats, RunResult, merge_phase_tables
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=1e-6, name="test")
+
+
+class TestProcStats:
+    def test_phase_attribution(self):
+        s = ProcStats(0)
+        s.set_phase("a")
+        s.advance(1.0)
+        s.set_phase("b")
+        s.advance(2.0)
+        s.advance(0.5)
+        assert s.phase_times == {"a": 1.0, "b": 2.5}
+        assert s.clock == 3.5
+
+    def test_advance_to_counts_idle(self):
+        s = ProcStats(0)
+        s.advance(1.0)
+        s.advance_to(3.0)
+        assert s.clock == 3.0
+        assert s.idle_time == 2.0
+        s.advance_to(2.0)  # past: no-op
+        assert s.clock == 3.0
+
+    def test_negative_advance_rejected(self):
+        s = ProcStats(0)
+        with pytest.raises(PhaseError):
+            s.advance(-1.0)
+
+    def test_empty_phase_name_rejected(self):
+        s = ProcStats(0)
+        with pytest.raises(PhaseError):
+            s.set_phase("")
+
+    def test_snapshot_fields(self):
+        s = ProcStats(3)
+        s.advance(1.0)
+        snap = s.snapshot()
+        assert snap["rank"] == 3 and snap["clock"] == 1.0
+        assert "phase_times" in snap
+
+
+class TestRunResult:
+    def _run(self):
+        def prog(ctx):
+            ctx.phase("compute.a")
+            ctx.work(1000 * (ctx.rank + 1))
+            ctx.phase("compute.b")
+            ctx.work(500)
+            ctx.phase("io")
+            ctx.work(100)
+            return ctx.rank
+            yield
+
+        return Machine(3, SPEC).run(prog)
+
+    def test_phase_time_prefix_aggregation(self):
+        res = self._run()
+        # compute = a + b for the slowest rank (rank 2): 3000 + 500 ops.
+        assert res.phase_time("compute") == pytest.approx(SPEC.work_time(3500))
+        assert res.phase_time("compute.a") == pytest.approx(SPEC.work_time(3000))
+        assert res.phase_time("io") == pytest.approx(SPEC.work_time(100))
+        # Prefix matching is component-wise, not substring.
+        assert res.phase_time("comp") == 0.0
+
+    def test_elapsed_is_max_clock(self):
+        res = self._run()
+        assert res.elapsed == pytest.approx(SPEC.work_time(3600))
+
+    def test_phase_names_and_breakdown(self):
+        res = self._run()
+        assert res.phase_names() == ["compute.a", "compute.b", "io"]
+        bd = res.phase_breakdown()
+        assert set(bd) == {"compute.a", "compute.b", "io"}
+
+    def test_load_imbalance(self):
+        res = self._run()
+        # ops: 1600, 2600, 3600 -> max/mean = 3600/2600.
+        assert res.load_imbalance() == pytest.approx(3600 / 2600)
+
+    def test_traffic_counters_zero_without_comm(self):
+        res = self._run()
+        assert res.total_words == 0
+        assert res.total_messages == 0
+        assert res.max_words_sent() == 0
+
+    def test_summary_renders(self):
+        res = self._run()
+        text = res.summary()
+        assert "ranks=3" in text and "compute.a" in text
+
+
+class TestMergePhaseTables:
+    def test_elementwise_max(self):
+        merged = merge_phase_tables([{"a": 1.0, "b": 2.0}, {"a": 3.0, "c": 1.0}])
+        assert merged == {"a": 3.0, "b": 2.0, "c": 1.0}
+
+    def test_empty(self):
+        assert merge_phase_tables([]) == {}
+
+
+class TestPayloadWords:
+    def test_numpy_counts_elements(self):
+        assert payload_words(np.zeros((3, 4))) == 12
+
+    def test_none_is_zero(self):
+        assert payload_words(None) == 0
+
+    def test_bytes_rounded_up(self):
+        assert payload_words(b"12345") == 2
+
+    def test_containers_recurse(self):
+        assert payload_words([np.zeros(3), np.zeros(2)]) == 5
+        assert payload_words({"a": np.zeros(4), "b": 1}) == 5
+
+    def test_scalar_is_one(self):
+        assert payload_words(42) == 1
+        assert payload_words(3.14) == 1
+
+
+class TestContextValidation:
+    def test_negative_work_rejected(self):
+        def prog(ctx):
+            ctx.work(-5)
+            return None
+            yield
+
+        with pytest.raises(Exception):
+            Machine(1, SPEC).run(prog)
+
+    def test_bad_recv_source_rejected(self):
+        def prog(ctx):
+            yield ctx.recv(source=42)
+
+        with pytest.raises(Exception):
+            Machine(2, SPEC).run(prog)
+
+    def test_local_copy_charges_optionally(self):
+        def prog(ctx, charge):
+            ctx.local_copy(100, charge=charge)
+            return ctx.stats.local_ops
+            yield
+
+        free = Machine(1, SPEC).run(prog, False)
+        charged = Machine(1, SPEC).run(prog, True)
+        assert free.results[0] == 0
+        assert charged.results[0] == 100

@@ -1,0 +1,167 @@
+"""Interconnect topologies and the hop-aware cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    CM5,
+    Crossbar,
+    Hypercube,
+    Machine,
+    MachineSpec,
+    Mesh2D,
+    Ring,
+    make_topology,
+)
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestCrossbar:
+    def test_unit_distance(self):
+        t = Crossbar(8)
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 7) == 1
+        assert t.diameter == 1
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Crossbar(4).hops(0, 4)
+
+
+class TestRing:
+    def test_minimal_routing(self):
+        t = Ring(8)
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 7) == 1  # wraps
+        assert t.hops(0, 4) == 4
+        assert t.diameter == 4
+
+    def test_symmetry(self):
+        t = Ring(7)
+        for s in range(7):
+            for d in range(7):
+                assert t.hops(s, d) == t.hops(d, s)
+
+
+class TestMesh2D:
+    def test_manhattan(self):
+        t = Mesh2D(16, rows=4, cols=4)
+        assert t.hops(0, 15) == 6  # (0,0) -> (3,3)
+        assert t.hops(0, 3) == 3
+        assert t.hops(5, 5) == 0
+        assert t.diameter == 6
+
+    def test_torus_wraps(self):
+        t = Mesh2D(16, rows=4, cols=4, torus=True)
+        assert t.hops(0, 15) == 2  # (0,0) -> (3,3) wraps both ways
+        assert t.diameter == 4
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            Mesh2D(16, rows=3, cols=4)
+
+
+class TestHypercube:
+    def test_hamming_distance(self):
+        t = Hypercube(16)
+        assert t.dimension == 4
+        assert t.hops(0b0000, 0b1111) == 4
+        assert t.hops(0b0101, 0b0100) == 1
+        assert t.diameter == 4
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            Hypercube(12)
+
+
+class TestMakeTopology:
+    def test_kinds(self):
+        assert isinstance(make_topology("crossbar", 8), Crossbar)
+        assert isinstance(make_topology("ring", 8), Ring)
+        assert isinstance(make_topology("hypercube", 8), Hypercube)
+        m = make_topology("mesh", 16)
+        assert (m.rows, m.cols) == (4, 4)
+        t = make_topology("torus", 8, rows=2)
+        assert (t.rows, t.cols, t.torus) == (2, 4, True)
+
+    def test_nonsquare_mesh_needs_dims(self):
+        with pytest.raises(ValueError):
+            make_topology("mesh", 8)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_topology("butterfly", 8)
+
+
+class TestHopAwareCosts:
+    def test_send_pays_per_hop(self):
+        spec = SPEC.with_topology(Mesh2D(4, rows=2, cols=2), tau_hop=100e-6)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(3, None, words=10)  # 2 hops on the 2x2 mesh
+                return ctx.clock
+            if ctx.rank == 3:
+                yield ctx.recv(source=0)
+            return None
+
+        res = Machine(4, spec).run(prog)
+        expected = spec.tau + 2 * spec.tau_hop + 10 * spec.mu
+        assert res.results[0] == pytest.approx(expected)
+
+    def test_crossbar_default_no_hop_cost(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, None, words=10)
+                return ctx.clock
+            yield ctx.recv(source=0)
+            return None
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[0] == pytest.approx(SPEC.message_time(10))
+
+    def test_paper_portability_claim(self):
+        """PACK totals across crossbar / mesh / hypercube differ by only a
+        few percent at wormhole-era tau_hop — Section 2's argument."""
+        import repro
+
+        rng = np.random.default_rng(0)
+        a = rng.random(1024)
+        m = rng.random(1024) < 0.5
+        totals = {}
+        for name, topo in [
+            ("crossbar", None),
+            ("mesh", Mesh2D(16, rows=4, cols=4)),
+            ("hypercube", Hypercube(16)),
+        ]:
+            spec = CM5 if topo is None else CM5.with_topology(topo, tau_hop=5e-6)
+            res = repro.pack(a, m, grid=16, block=8, scheme="cms", spec=spec)
+            totals[name] = res.total_ms
+        base = totals["crossbar"]
+        for name, t in totals.items():
+            assert t == pytest.approx(base, rel=0.25), f"{name} diverges: {totals}"
+        # And the orderings follow the average distances.
+        assert totals["crossbar"] <= totals["hypercube"] <= totals["mesh"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    kind=st.sampled_from(["crossbar", "ring", "hypercube"]),
+    logp=st.integers(1, 5),
+    seed=st.integers(0, 99),
+)
+def test_property_metric_axioms(kind, logp, seed):
+    """hops is a metric: identity, symmetry, triangle inequality."""
+    n = 2**logp
+    t = make_topology(kind, n)
+    rng = np.random.default_rng(seed)
+    xs = rng.integers(0, n, size=6)
+    for x in xs:
+        assert t.hops(int(x), int(x)) == 0
+    for x, y in zip(xs, xs[::-1]):
+        assert t.hops(int(x), int(y)) == t.hops(int(y), int(x))
+    a, b, c = int(xs[0]), int(xs[1]), int(xs[2])
+    assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)

@@ -1,0 +1,189 @@
+"""Execution tracing: event capture, queries, rendering."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Barrier, Machine, MachineSpec, Tracer
+from repro.machine.m2m import exchange
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+def traced_run(nprocs, prog, *args, capture_phases=True):
+    tracer = Tracer(capture_phases=capture_phases)
+    machine = Machine(nprocs, SPEC, tracer=tracer)
+    res = machine.run(prog, *args)
+    return tracer, res
+
+
+class TestEventCapture:
+    def test_send_recv_events(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "x", words=7, tag=3)
+                return None
+            msg = yield ctx.recv(source=0, tag=3)
+            return msg.payload
+
+        tracer, _ = traced_run(2, prog)
+        sends = tracer.events_of_kind("send")
+        recvs = tracer.events_of_kind("recv")
+        assert len(sends) == 1 and len(recvs) == 1
+        assert sends[0].detail == {"dest": 1, "tag": 3, "words": 7}
+        assert recvs[0].detail == {"source": 0, "tag": 3, "words": 7}
+        assert recvs[0].time >= sends[0].time
+
+    def test_phase_events(self):
+        def prog(ctx):
+            ctx.phase("a")
+            ctx.work(10)
+            ctx.phase("b")
+            return None
+            yield
+
+        tracer, _ = traced_run(2, prog)
+        assert tracer.phase_sequence(0) == ["a", "b"]
+        assert tracer.phase_sequence(1) == ["a", "b"]
+
+    def test_phase_capture_can_be_disabled(self):
+        def prog(ctx):
+            ctx.phase("a")
+            return None
+            yield
+
+        tracer, _ = traced_run(2, prog, capture_phases=False)
+        assert tracer.events_of_kind("phase") == []
+
+    def test_collective_events(self):
+        def prog(ctx):
+            yield Barrier(range(ctx.size))
+            return None
+
+        tracer, _ = traced_run(3, prog)
+        colls = tracer.events_of_kind("collective")
+        assert len(colls) == 3
+        assert all(e.detail == {"op": "barrier", "group_size": 3} for e in colls)
+
+    def test_no_tracer_no_cost(self):
+        def prog(ctx):
+            ctx.send((ctx.rank + 1) % ctx.size, None, words=1)
+            msg = yield ctx.recv()
+            return msg.words
+
+        plain = Machine(2, SPEC).run(prog)
+        tracer, traced = traced_run(2, prog)
+        assert [s.clock for s in plain.stats] == [s.clock for s in traced.stats]
+
+
+class TestQueries:
+    def _ring_trace(self, P=4):
+        def prog(ctx):
+            ctx.send((ctx.rank + 1) % ctx.size, None, words=ctx.rank + 1)
+            msg = yield ctx.recv(source=(ctx.rank - 1) % ctx.size)
+            return msg.words
+
+        return traced_run(P, prog)
+
+    def test_message_pairs(self):
+        tracer, _ = self._ring_trace()
+        pairs = tracer.message_pairs()
+        assert (0, 1, 1) in pairs and (3, 0, 4) in pairs
+        assert len(pairs) == 4
+
+    def test_communication_matrix(self):
+        tracer, _ = self._ring_trace()
+        m = tracer.communication_matrix(4)
+        assert m[0, 1] == 1 and m[3, 0] == 4
+        assert m.sum() == 1 + 2 + 3 + 4
+
+    def test_events_of_rank_and_sorted(self):
+        tracer, _ = self._ring_trace()
+        mine = tracer.events_of_rank(2)
+        assert all(e.rank == 2 for e in mine)
+        times = [e.time for e in tracer.sorted_events()]
+        assert times == sorted(times)
+
+    def test_clear_and_len(self):
+        tracer, _ = self._ring_trace()
+        assert len(tracer) > 0
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_summary_text(self):
+        tracer, _ = self._ring_trace()
+        s = tracer.summary()
+        assert "sends=4" in s and "words=10" in s
+
+
+class TestScheduleVisibility:
+    def test_linear_permutation_structure_visible(self):
+        """The linear schedule's step-k structure shows in the trace: rank
+        r's k-th data send goes to (r + k) mod P."""
+
+        def prog(ctx):
+            outgoing = {d: "x" for d in range(ctx.size) if d != ctx.rank}
+            received = yield from exchange(
+                ctx, outgoing, words={d: 1 for d in outgoing}
+            )
+            return len(received)
+
+        tracer, _ = traced_run(4, prog)
+        sends_r0 = [
+            e.detail["dest"]
+            for e in tracer.events_of_rank(0)
+            if e.kind == "send" and e.detail["tag"] == 902
+        ]
+        assert sends_r0 == [1, 2, 3]
+
+    def test_timeline_renders(self):
+        def prog(ctx):
+            ctx.phase("compute")
+            ctx.work(100 * (ctx.rank + 1))
+            ctx.phase("exchange")
+            ctx.send((ctx.rank + 1) % ctx.size, None, words=10)
+            msg = yield ctx.recv(source=(ctx.rank - 1) % ctx.size)
+            return None
+
+        tracer, _ = traced_run(3, prog)
+        art = tracer.timeline(3)
+        assert "r0" in art and "compute" in art and "exchange" in art
+
+    def test_timeline_without_phases(self):
+        tracer = Tracer()
+        assert "no phase events" in tracer.timeline(2)
+
+
+class TestChromeTrace:
+    def _traced(self):
+        def prog(ctx):
+            ctx.phase("compute")
+            ctx.work(100)
+            ctx.phase("talk")
+            ctx.send((ctx.rank + 1) % ctx.size, None, words=10, tag=4)
+            msg = yield ctx.recv(source=(ctx.rank - 1) % ctx.size, tag=4)
+            return None
+
+        tracer = Tracer()
+        Machine(3, SPEC, tracer=tracer).run(prog)
+        return tracer
+
+    def test_exports_valid_structure(self):
+        import json
+
+        events = self._traced().to_chrome_trace(3)
+        json.dumps(events)  # serializable
+        kinds = {e["ph"] for e in events}
+        assert {"M", "X", "s", "f"} <= kinds
+
+    def test_phase_durations_cover_ranks(self):
+        events = self._traced().to_chrome_trace(3)
+        phase_events = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in phase_events} == {0, 1, 2}
+        assert {e["name"] for e in phase_events} == {"compute", "talk"}
+
+    def test_flows_pair_sends_with_recvs(self):
+        events = self._traced().to_chrome_trace(3)
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(ends) == 3
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}

@@ -1,0 +1,104 @@
+"""The serial oracle itself must be trustworthy: test it independently."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serial import mask_ranks, pack_reference, pack_size, unpack_reference
+
+
+class TestPackReference:
+    def test_1d_basic(self):
+        a = np.array([10, 20, 30, 40])
+        m = np.array([True, False, True, True])
+        np.testing.assert_array_equal(pack_reference(a, m), [10, 30, 40])
+
+    def test_row_major_order_2d(self):
+        a = np.array([[1, 2], [3, 4]])
+        m = np.array([[False, True], [True, True]])
+        # Row-major: (0,1), (1,0), (1,1).
+        np.testing.assert_array_equal(pack_reference(a, m), [2, 3, 4])
+
+    def test_empty_and_full(self):
+        a = np.arange(6).reshape(2, 3)
+        assert pack_reference(a, np.zeros((2, 3), bool)).size == 0
+        np.testing.assert_array_equal(
+            pack_reference(a, np.ones((2, 3), bool)), np.arange(6)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_reference(np.zeros(3), np.zeros(4, dtype=bool))
+
+    def test_result_is_a_copy(self):
+        a = np.arange(4.0)
+        v = pack_reference(a, np.ones(4, bool))
+        v[0] = 99
+        assert a[0] == 0
+
+
+class TestUnpackReference:
+    def test_basic(self):
+        m = np.array([True, False, True])
+        out = unpack_reference(np.array([7, 8]), m, np.zeros(3, dtype=int))
+        np.testing.assert_array_equal(out, [7, 0, 8])
+
+    def test_surplus_ignored(self):
+        m = np.array([True, False])
+        out = unpack_reference(np.array([1, 2, 3]), m, np.zeros(2, dtype=int))
+        np.testing.assert_array_equal(out, [1, 0])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_reference(np.array([1]), np.ones(3, bool), np.zeros(3))
+
+    def test_nonvector_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_reference(np.ones((2, 2)), np.ones((2, 2), bool), np.zeros((2, 2)))
+
+    def test_field_not_mutated(self):
+        f = np.zeros(3)
+        unpack_reference(np.array([5.0]), np.array([True, False, False]), f)
+        assert f[0] == 0
+
+
+class TestMaskRanks:
+    def test_basic(self):
+        m = np.array([True, False, True, True])
+        np.testing.assert_array_equal(mask_ranks(m), [0, -1, 1, 2])
+
+    def test_2d_row_major(self):
+        m = np.array([[False, True], [True, False]])
+        np.testing.assert_array_equal(mask_ranks(m), [[-1, 0], [1, -1]])
+
+    def test_pack_size(self):
+        assert pack_size(np.array([True, True, False])) == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    density=st.floats(0, 1),
+    seed=st.integers(0, 999),
+)
+def test_property_pack_unpack_inverse(n, density, seed):
+    """UNPACK(PACK(a, m), m, a) == a for any array and mask."""
+    rng = np.random.default_rng(seed)
+    a = rng.random(n)
+    m = rng.random(n) < density
+    v = pack_reference(a, m)
+    assert v.size == pack_size(m)
+    restored = unpack_reference(v, m, a)
+    np.testing.assert_array_equal(restored, a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(1, 40), density=st.floats(0, 1), seed=st.integers(0, 999))
+def test_property_ranks_enumerate_trues(n, density, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.random(n) < density
+    r = mask_ranks(m)
+    trues = np.sort(r[m])
+    np.testing.assert_array_equal(trues, np.arange(m.sum()))
+    assert np.all(r[~m] == -1)

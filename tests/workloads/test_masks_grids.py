@@ -1,0 +1,180 @@
+"""Workload generators: masks and experiment grids."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    PAPER_1D_SIZES,
+    PAPER_2D_SIZES,
+    PAPER_DENSITIES,
+    block_size_sweep,
+    half_mask_1d,
+    lt_mask_2d,
+    make_mask,
+    paper_configs_1d,
+    paper_configs_2d,
+    random_mask,
+)
+
+
+class TestRandomMask:
+    def test_deterministic(self):
+        a = random_mask((64,), 0.5, seed=1)
+        b = random_mask((64,), 0.5, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_and_density_vary_mask(self):
+        a = random_mask((64,), 0.5, seed=1)
+        b = random_mask((64,), 0.5, seed=2)
+        c = random_mask((64,), 0.3, seed=1)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_density_approximate(self):
+        m = random_mask((100_000,), 0.3, seed=0)
+        assert abs(m.mean() - 0.3) < 0.01
+
+    @pytest.mark.parametrize("density", [0.0, 1.0])
+    def test_extremes(self, density):
+        m = random_mask((100,), density)
+        assert m.mean() == density
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            random_mask((8,), 1.5)
+
+
+class TestStructuredMasks:
+    def test_half_mask(self):
+        m = half_mask_1d(10)
+        np.testing.assert_array_equal(m, [1, 1, 1, 1, 1, 0, 0, 0, 0, 0])
+
+    def test_lt_mask_selects_lower_triangle(self):
+        m = lt_mask_2d((4, 4))
+        assert m.sum() == 6  # strictly below the diagonal
+        assert not m[0, 0] and m[1, 0] and not m[0, 1]
+
+    def test_lt_mask_needs_2d(self):
+        with pytest.raises(ValueError):
+            lt_mask_2d((4,))
+
+    def test_make_mask_front_door(self):
+        np.testing.assert_array_equal(make_mask((10,), "half"), half_mask_1d(10))
+        np.testing.assert_array_equal(make_mask((4, 4), "lt"), lt_mask_2d((4, 4)))
+        np.testing.assert_array_equal(
+            make_mask((64,), "30%", seed=3), random_mask((64,), 0.3, seed=3)
+        )
+        np.testing.assert_array_equal(
+            make_mask((64,), 0.3, seed=3), random_mask((64,), 0.3, seed=3)
+        )
+        with pytest.raises(ValueError):
+            make_mask((8,), "diagonal")
+        with pytest.raises(ValueError):
+            make_mask((4, 4), "half")
+
+
+class TestClusteredMask:
+    def test_density_approximate(self):
+        from repro.workloads import clustered_mask
+
+        m = clustered_mask((50_000,), 0.3, run_length=16, seed=0)
+        assert abs(m.mean() - 0.3) < 0.05
+
+    def test_runs_are_long(self):
+        from repro.workloads import clustered_mask
+
+        m = clustered_mask((50_000,), 0.5, run_length=64, seed=1)
+        # Mean true-run length ~ run_length; count runs via transitions.
+        flat = m.ravel().astype(int)
+        starts = int(np.sum((flat[1:] == 1) & (flat[:-1] == 0))) + int(flat[0])
+        mean_run = flat.sum() / max(starts, 1)
+        assert mean_run > 16  # far longer than Bernoulli's ~2 at 50%
+
+    def test_deterministic(self):
+        from repro.workloads import clustered_mask
+
+        a = clustered_mask((256,), 0.5, seed=3)
+        b = clustered_mask((256,), 0.5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_extremes_and_validation(self):
+        from repro.workloads import clustered_mask
+
+        assert clustered_mask((16,), 0.0).sum() == 0
+        assert clustered_mask((16,), 1.0).sum() == 16
+        with pytest.raises(ValueError):
+            clustered_mask((16,), 2.0)
+        with pytest.raises(ValueError):
+            clustered_mask((16,), 0.5, run_length=0)
+
+    def test_make_mask_front_door(self):
+        from repro.workloads import clustered_mask, make_mask
+
+        np.testing.assert_array_equal(
+            make_mask((128,), "clustered:0.4", seed=5),
+            clustered_mask((128,), 0.4, seed=5),
+        )
+
+    def test_clustered_mask_breaks_block_self_send(self):
+        """Paper Section 7: at block distribution the self-send dominance
+        'will not happen' if the selected elements are not randomly
+        distributed.  Clustered masks send a larger share off-processor."""
+        import repro
+        from repro.workloads import clustered_mask
+
+        rng = np.random.default_rng(0)
+        a = rng.random(4096)
+        rnd = random_mask((4096,), 0.5, seed=6)
+        clu = clustered_mask((4096,), 0.5, run_length=256, seed=6)
+        r_rnd = repro.pack(a, rnd, grid=16, block="block", scheme="css")
+        r_clu = repro.pack(a, clu, grid=16, block="block", scheme="css")
+        # Clustered trues make processor contributions uneven, so more
+        # data must cross the network to fill the block result vector.
+        assert r_clu.total_words > 1.5 * r_rnd.total_words
+
+
+class TestBlockSweep:
+    def test_endpoints(self):
+        s = block_size_sweep(16384, 16)
+        assert s[0] == 1
+        assert s[-1] == 1024  # L = N/P
+
+    def test_powers_of_two_dividing_l(self):
+        s = block_size_sweep(4096, 16)
+        for w in s:
+            assert (4096 // 16) % w == 0
+
+    def test_subsampling_keeps_endpoints(self):
+        s = block_size_sweep(16384, 16, max_points=4)
+        assert len(s) == 4
+        assert s[0] == 1 and s[-1] == 1024
+
+    def test_small_local(self):
+        assert block_size_sweep(16, 16) == (1,)
+
+
+class TestPaperConfigs:
+    def test_1d_covers_paper_sizes(self):
+        configs = list(paper_configs_1d(block_points=3))
+        sizes = {c.shape[0] for c in configs}
+        assert sizes == set(PAPER_1D_SIZES)
+        assert all(c.grid == (16,) for c in configs)
+
+    def test_1d_includes_structured_mask(self):
+        kinds = {c.mask_kind for c in paper_configs_1d(block_points=2)}
+        assert "half" in kinds
+        assert set(PAPER_DENSITIES) <= kinds
+
+    def test_2d_square_blocks(self):
+        for c in paper_configs_2d(block_points=3):
+            assert c.block[0] == c.block[1]
+            assert c.shape[0] == c.shape[1]
+            assert c.shape[0] in PAPER_2D_SIZES
+
+    def test_local_size(self):
+        c = next(iter(paper_configs_1d(sizes=(16384,), block_points=2)))
+        assert c.local_size == 1024
+
+    def test_labels_readable(self):
+        c = next(iter(paper_configs_2d(sizes=(64,), block_points=2)))
+        assert "N=64x64" in c.label()
