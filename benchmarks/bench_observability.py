@@ -1,0 +1,109 @@
+"""Observability overhead — what a tracer/metrics registry costs.
+
+Every instrumentation site is guarded (``if metrics is not None`` /
+``if tracer is not None``), so a run without observers executes the seed
+code path; a run with them must change *wall* time only, never the
+simulated clocks.  This benchmark measures both claims on a mid-size
+PACK and writes ``BENCH_observability.json`` at the repo root:
+
+    python benchmarks/bench_observability.py
+
+Modes: ``off`` (no observers), ``metrics`` (registry only), ``full``
+(tracer + registry, i.e. what ``repro trace`` uses).
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.machine import Tracer
+from repro.obs import MetricsRegistry
+
+N, PROCS, BLOCK, DENSITY = 16384, 16, 8, 0.5
+REPEATS = 7
+
+
+def _workload():
+    rng = np.random.default_rng(0)
+    return rng.random(N), rng.random(N) < DENSITY
+
+
+def _run(array, mask, mode):
+    kwargs = {}
+    if mode == "metrics":
+        kwargs["metrics"] = MetricsRegistry()
+    elif mode == "full":
+        kwargs["metrics"] = MetricsRegistry()
+        kwargs["tracer"] = Tracer()
+    t0 = time.perf_counter()
+    result = repro.pack(array, mask, grid=(PROCS,), block=BLOCK,
+                        scheme="cms", validate=False, **kwargs)
+    return time.perf_counter() - t0, result.run.elapsed
+
+
+def measure():
+    array, mask = _workload()
+    _run(array, mask, "off")  # warm caches once
+    wall = {m: [] for m in ("off", "metrics", "full")}
+    simulated = {}
+    for _ in range(REPEATS):
+        for mode in wall:
+            dt, sim = _run(array, mask, mode)
+            wall[mode].append(dt)
+            simulated.setdefault(mode, sim)
+
+    off = statistics.median(wall["off"])
+    report = {
+        "workload": {"n": N, "nprocs": PROCS, "block": BLOCK,
+                     "density": DENSITY, "scheme": "cms",
+                     "repeats": REPEATS},
+        "simulated_elapsed_seconds": simulated["off"],
+        "deterministic": len(set(simulated.values())) == 1,
+        "wall_seconds": {m: statistics.median(ts) for m, ts in wall.items()},
+        "overhead_pct": {
+            m: 100.0 * (statistics.median(ts) - off) / off
+            for m, ts in wall.items()
+            if m != "off"
+        },
+    }
+    return report
+
+
+def test_observers_do_not_change_simulated_time():
+    """Determinism: simulated clocks are identical across all modes."""
+    array, mask = _workload()
+    elapsed = {mode: _run(array, mask, mode)[1]
+               for mode in ("off", "metrics", "full")}
+    assert elapsed["metrics"] == elapsed["off"]
+    assert elapsed["full"] == elapsed["off"]
+
+
+def test_metrics_overhead_is_modest():
+    """The registry adds bounded wall overhead on a mid-size PACK; the
+    bound is deliberately loose — CI machines are noisy."""
+    report = measure()
+    assert report["deterministic"]
+    assert report["overhead_pct"]["metrics"] < 50.0
+
+
+def main() -> int:
+    report = measure()
+    out = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    w = report["wall_seconds"]
+    print(f"PACK n={N} P={PROCS} ({REPEATS} repeats, median wall time):")
+    for mode in ("off", "metrics", "full"):
+        pct = report["overhead_pct"].get(mode)
+        extra = f"  (+{pct:.1f}%)" if pct is not None else ""
+        print(f"  {mode:8s} {w[mode] * 1e3:8.2f} ms{extra}")
+    print(f"deterministic simulated time: {report['deterministic']}")
+    print(f"[bench -> {out}]")
+    return 0 if report["deterministic"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

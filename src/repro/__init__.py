@@ -35,7 +35,7 @@ from .machine import (
     RunResult,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .hpf import (
     BLOCK,
@@ -58,6 +58,7 @@ from .core import (
     ranking,
     unpack,
 )
+from .obs import MetricsRegistry, PhaseProfiler, RunReport
 from .serial import mask_ranks, pack_reference, unpack_reference
 
 __all__ = [
@@ -76,9 +77,12 @@ __all__ = [
     "Machine",
     "MachineError",
     "MachineSpec",
+    "MetricsRegistry",
     "PackConfig",
     "PackResult",
+    "PhaseProfiler",
     "RankingResult",
+    "RunReport",
     "RunResult",
     "Scheme",
     "UnpackResult",

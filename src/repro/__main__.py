@@ -7,13 +7,25 @@ Commands:
 * ``pack`` — run one parallel PACK on the simulated machine and print the
   simulated phase times (a quick what-if tool);
 * ``unpack`` — the same for UNPACK;
+* ``trace`` — run a workload under the profiler and emit a Chrome-trace
+  JSON (open in chrome://tracing or https://ui.perfetto.dev);
+* ``metrics`` — run a workload with a metrics registry and print/export
+  the snapshot;
 * ``experiments ...`` — delegate to :mod:`repro.experiments`.
+
+``pack``/``unpack`` also accept ``--trace-out`` / ``--metrics-out`` /
+``--report-out`` to capture observability artifacts from a normal run,
+and ``experiments`` accepts ``--metrics-out`` (before the experiment
+names) to snapshot the process-wide registry.  See
+``docs/observability.md``.
 
 Examples::
 
     python -m repro info
     python -m repro pack --n 65536 --procs 16 --block 8 --density 0.5
     python -m repro pack --shape 512x512 --grid 4x4 --block 4 --scheme sss
+    python -m repro trace --nprocs 4 --n 1024 --block 8 --out pack.trace.json
+    python -m repro metrics --op unpack --n 4096 --procs 8 --out m.json
     python -m repro experiments table1 --full
 """
 
@@ -74,14 +86,42 @@ def cmd_info(_args) -> int:
     return 0
 
 
+def _make_profiler(args):
+    """A PhaseProfiler when any observability output was requested."""
+    wants = any(
+        getattr(args, name, None)
+        for name in ("trace_out", "metrics_out", "report_out")
+    )
+    if not wants:
+        return None
+    from .obs import PhaseProfiler
+
+    return PhaseProfiler()
+
+
+def _emit_observability(args, profiler) -> None:
+    if profiler is None:
+        return
+    if getattr(args, "trace_out", None):
+        n = profiler.write_chrome_trace(args.trace_out)
+        print(f"[trace: {n} events -> {args.trace_out}]")
+    if getattr(args, "metrics_out", None):
+        profiler.write_metrics(args.metrics_out)
+        print(f"[metrics -> {args.metrics_out}]")
+    if getattr(args, "report_out", None):
+        profiler.report.to_json(args.report_out)
+        print(f"[report -> {args.report_out}]")
+
+
 def cmd_pack(args) -> int:
     from .core.api import pack
 
     array, mask, grid, block = _workload(args)
+    profiler = _make_profiler(args)
     result = pack(
         array, mask, grid=grid, block=block, scheme=args.scheme,
         spec=_build_spec(args), redistribute=args.redistribute,
-        validate=not args.no_validate,
+        validate=not args.no_validate, profiler=profiler,
     )
     print(f"PACK {array.shape} on grid {grid}, block {block}, "
           f"scheme {args.scheme}: Size = {result.size}")
@@ -90,6 +130,7 @@ def cmd_pack(args) -> int:
     if args.phases:
         for name, t in sorted(result.times.items()):
             print(f"    {name:<40s} {t:9.3f} ms")
+    _emit_observability(args, profiler)
     return 0
 
 
@@ -99,21 +140,83 @@ def cmd_unpack(args) -> int:
     array, mask, grid, block = _workload(args)
     size = int(mask.sum())
     rng = np.random.default_rng(args.seed + 1)
+    profiler = _make_profiler(args)
     result = unpack(
         rng.random(size), mask, array, grid=grid, block=block,
         scheme=args.scheme if args.scheme in ("sss", "css") else "css",
         spec=_build_spec(args), validate=not args.no_validate,
+        profiler=profiler,
     )
     print(f"UNPACK into {array.shape} on grid {grid}, block {block}: "
           f"Size = {result.size}")
     print(f"  total {result.total_ms:9.3f} ms   local {result.local_ms:9.3f} ms")
     print(f"  prs   {result.prs_ms:9.3f} ms   m2m   {result.m2m_ms:9.3f} ms")
+    _emit_observability(args, profiler)
+    return 0
+
+
+def _run_observed(args):
+    """Run the selected op under a PhaseProfiler (trace/metrics commands)."""
+    from .core.api import pack, ranking, unpack
+    from .obs import PhaseProfiler
+
+    array, mask, grid, block = _workload(args)
+    spec = _build_spec(args)
+    profiler = PhaseProfiler()
+    op = args.op
+    if op == "pack":
+        result = pack(
+            array, mask, grid=grid, block=block, scheme=args.scheme,
+            spec=spec, validate=not args.no_validate, profiler=profiler,
+        )
+    elif op == "unpack":
+        rng = np.random.default_rng(args.seed + 1)
+        result = unpack(
+            rng.random(int(mask.sum())), mask, array, grid=grid, block=block,
+            scheme=args.scheme if args.scheme in ("sss", "css") else "css",
+            spec=spec, validate=not args.no_validate, profiler=profiler,
+        )
+    else:
+        result = ranking(
+            mask, grid=grid, block=block, spec=spec,
+            validate=not args.no_validate, profiler=profiler,
+        )
+    return profiler, result
+
+
+def cmd_trace(args) -> int:
+    profiler, result = _run_observed(args)
+    n = profiler.write_chrome_trace(args.out)
+    report = profiler.report
+    print(f"{args.op}: ranks={report.nprocs} Size = {result.size}  "
+          f"elapsed {report.elapsed_ms:.3f} ms (simulated)")
+    print(f"[trace: {n} events, {len(profiler.tracer)} simulator records "
+          f"-> {args.out}]")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from .analysis.reporting import format_metrics
+
+    profiler, result = _run_observed(args)
+    snapshot = profiler.metrics.snapshot()
+    print(format_metrics(
+        snapshot, title=f"{args.op}: Size = {result.size}"
+    ))
+    if args.out:
+        profiler.write_metrics(args.out)
+        print(f"[metrics -> {args.out}]")
+    if args.report_out:
+        profiler.report.to_json(args.report_out)
+        print(f"[report -> {args.report_out}]")
     return 0
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--n", type=int, default=16384, help="1-D array size")
-    p.add_argument("--procs", type=int, default=16, help="1-D processor count")
+    p.add_argument("--procs", "--nprocs", type=int, default=16,
+                   dest="procs", help="1-D processor count")
     p.add_argument("--shape", help="nD shape, e.g. 512x512 (overrides --n)")
     p.add_argument("--grid", help="nD processor grid, e.g. 4x4")
     p.add_argument("--block", help="block size (int) or 'block'/'cyclic'")
@@ -125,6 +228,15 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-validate", action="store_true")
 
 
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", dest="trace_out",
+                   help="write a Chrome-trace JSON of the run")
+    p.add_argument("--metrics-out", dest="metrics_out",
+                   help="write the metrics snapshot (.json or .csv)")
+    p.add_argument("--report-out", dest="report_out",
+                   help="write the structured RunReport JSON")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -133,13 +245,38 @@ def main(argv=None) -> int:
 
     p_pack = sub.add_parser("pack", help="run one simulated PACK")
     _add_workload_args(p_pack)
+    _add_observability_args(p_pack)
     p_pack.add_argument("--redistribute", choices=("selected", "whole"))
     p_pack.add_argument("--phases", action="store_true", help="print all phases")
 
     p_unpack = sub.add_parser("unpack", help="run one simulated UNPACK")
     _add_workload_args(p_unpack)
+    _add_observability_args(p_unpack)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a workload and emit a Chrome-trace JSON"
+    )
+    _add_workload_args(p_trace)
+    p_trace.add_argument("--op", default="pack",
+                         choices=("pack", "unpack", "ranking"))
+    p_trace.add_argument("--out", default="repro.trace.json",
+                         help="output trace file (Chrome trace_event JSON)")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run a workload and print/export the metrics snapshot"
+    )
+    _add_workload_args(p_metrics)
+    p_metrics.add_argument("--op", default="pack",
+                           choices=("pack", "unpack", "ranking"))
+    p_metrics.add_argument("--out", help="write snapshot (.json or .csv)")
+    p_metrics.add_argument("--report-out", dest="report_out",
+                           help="also write the structured RunReport JSON")
 
     p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p_exp.add_argument("--metrics-out", dest="metrics_out",
+                       help="snapshot the process-wide metrics registry "
+                            "after the experiments finish (place before "
+                            "the experiment names)")
     p_exp.add_argument("rest", nargs=argparse.REMAINDER)
 
     args = parser.parse_args(argv)
@@ -149,9 +286,25 @@ def main(argv=None) -> int:
         return cmd_pack(args)
     if args.command == "unpack":
         return cmd_unpack(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "metrics":
+        return cmd_metrics(args)
     if args.command == "experiments":
         from .experiments.__main__ import main as exp_main
 
+        if args.metrics_out:
+            from .obs import enable_global_metrics, disable_global_metrics
+            from .obs.exporters import write_metrics
+
+            registry = enable_global_metrics()
+            try:
+                rc = exp_main(args.rest)
+            finally:
+                disable_global_metrics()
+            write_metrics(args.metrics_out, registry)
+            print(f"[metrics -> {args.metrics_out}]")
+            return rc
         return exp_main(args.rest)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2

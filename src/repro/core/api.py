@@ -22,6 +22,7 @@ from ..hpf.grid import GridLayout
 from ..machine.engine import Machine
 from ..machine.spec import CM5, MachineSpec
 from ..machine.stats import RunResult
+from ..obs.profiler import PhaseProfiler, RunReport, build_run_report
 from ..serial.reference import mask_ranks, pack_reference, unpack_reference
 from .pack import pack_program, result_vector_layout
 from .ranking import ranking_program
@@ -84,9 +85,32 @@ def aggregate_time(run: RunResult, kind: str = "total") -> float:
 
 @dataclass
 class _TimedResult:
-    """Shared timing accessors for result objects."""
+    """Shared timing and reporting accessors for result objects.
+
+    ``tracer`` / ``metrics`` hold the observers the run was instrumented
+    with (``None`` for plain runs); :meth:`report` always works — an
+    uninstrumented run simply yields a report without traffic matrix or
+    metrics snapshot.
+    """
 
     run: RunResult = field(repr=False)
+    tracer: object = field(default=None, repr=False)
+    metrics: object = field(default=None, repr=False)
+    _op: str = field(default="run", repr=False)
+    _spec_name: str = field(default="?", repr=False)
+
+    def report(self) -> RunReport:
+        """Structured :class:`~repro.obs.profiler.RunReport` of this run —
+        per-phase wall times, traffic matrix (when traced), collective
+        counts and the metrics snapshot — without touching simulator
+        internals."""
+        return build_run_report(
+            self.run,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            op=self._op,
+            spec=self._spec_name,
+        )
 
     @property
     def total_ms(self) -> float:
@@ -156,6 +180,16 @@ class RankingResult(_TimedResult):
     layout: GridLayout = field(default=None, repr=False)
 
 
+def _resolve_observers(profiler, tracer, metrics):
+    """One instrumentation story: an explicit profiler wins, else the raw
+    observers (either may be None)."""
+    if profiler is not None:
+        if tracer is not None or metrics is not None:
+            raise ValueError("pass either profiler= or tracer=/metrics=, not both")
+        return profiler.tracer, profiler.metrics
+    return tracer, metrics
+
+
 def _make_config(
     scheme, prs, m2m_schedule, result_block, early_exit_scan,
     compress_requests=False,
@@ -185,6 +219,9 @@ def pack(
     vector: np.ndarray | None = None,
     pad: bool = False,
     validate: bool = True,
+    profiler: PhaseProfiler | None = None,
+    tracer=None,
+    metrics=None,
 ) -> PackResult:
     """Parallel PACK of a global numpy array under a simulated machine.
 
@@ -214,6 +251,13 @@ def pack(
     validate:
         check the result against the serial oracle (always do this in
         tests; turn off in benchmarks measuring simulated time only).
+    profiler / tracer / metrics:
+        optional observability: a :class:`~repro.obs.PhaseProfiler` (its
+        report is filled in and the result's :meth:`~_TimedResult.report`
+        includes trace-derived data), or a raw
+        :class:`~repro.machine.trace.Tracer` /
+        :class:`~repro.obs.MetricsRegistry` pair.  All default off; plain
+        calls pay nothing.
 
     Returns a :class:`PackResult` whose ``vector`` matches Fortran 90
     ``PACK(array, mask)`` semantics exactly.
@@ -231,10 +275,11 @@ def pack(
         mask = pad_mask(mask, new_shape)
     layout = GridLayout.create(array.shape, grid, block)
     config = _make_config(scheme, prs, m2m_schedule, result_block, early_exit_scan)
+    tracer, metrics = _resolve_observers(profiler, tracer, metrics)
 
     array_blocks = layout.scatter(array)
     mask_blocks = layout.scatter(mask)
-    machine = Machine(layout.nprocs, spec)
+    machine = Machine(layout.nprocs, spec, tracer=tracer, metrics=metrics)
 
     n_result = None
     pad_blocks = [None] * layout.nprocs
@@ -282,6 +327,8 @@ def pack(
                 f"parallel PACK mismatch vs serial oracle "
                 f"(scheme={config.scheme.value}, layout={layout.describe()})"
             )
+    if profiler is not None:
+        profiler.finish(run, op="pack", spec=spec.name)
     return PackResult(
         run=run,
         vector=vector,
@@ -289,6 +336,10 @@ def pack(
         scheme=config.scheme,
         layout=layout,
         total_words=run.total_words,
+        tracer=tracer,
+        metrics=metrics,
+        _op="pack",
+        _spec_name=spec.name,
     )
 
 
@@ -307,6 +358,9 @@ def unpack(
     compress_requests: bool = False,
     pad: bool = False,
     validate: bool = True,
+    profiler: PhaseProfiler | None = None,
+    tracer=None,
+    metrics=None,
 ) -> UnpackResult:
     """Parallel UNPACK: scatter ``vector`` into the trues of ``mask``, with
     ``field_array`` filling the falses.  See :func:`pack` for parameters;
@@ -335,11 +389,12 @@ def unpack(
         compress_requests=compress_requests,
     )
 
+    tracer, metrics = _resolve_observers(profiler, tracer, metrics)
     vec_layout = input_vector_layout(int(vector.size), layout.nprocs, config)
     vector_blocks = vec_layout.scatter(vector)
     mask_blocks = layout.scatter(mask)
     field_blocks = layout.scatter(field_array)
-    machine = Machine(layout.nprocs, spec)
+    machine = Machine(layout.nprocs, spec, tracer=tracer, metrics=metrics)
 
     run = machine.run(
         unpack_program,
@@ -367,12 +422,18 @@ def unpack(
                 f"parallel UNPACK mismatch vs serial oracle "
                 f"(scheme={config.scheme.value}, layout={layout.describe()})"
             )
+    if profiler is not None:
+        profiler.finish(run, op="unpack", spec=spec.name)
     return UnpackResult(
         run=run,
         array=array,
         size=run.results[0].size,
         scheme=config.scheme,
         layout=layout,
+        tracer=tracer,
+        metrics=metrics,
+        _op="unpack",
+        _spec_name=spec.name,
     )
 
 
@@ -384,14 +445,18 @@ def ranking(
     prs: str = "auto",
     scheme="css",
     validate: bool = True,
+    profiler: PhaseProfiler | None = None,
+    tracer=None,
+    metrics=None,
 ) -> RankingResult:
     """Run only the ranking stage and return the global rank array."""
     mask = np.asarray(mask, dtype=bool)
     if isinstance(grid, int):
         grid = (grid,)
+    tracer, metrics = _resolve_observers(profiler, tracer, metrics)
     layout = GridLayout.create(mask.shape, grid, block)
     mask_blocks = layout.scatter(mask)
-    machine = Machine(layout.nprocs, spec)
+    machine = Machine(layout.nprocs, spec, tracer=tracer, metrics=metrics)
     config_scheme = Scheme.parse(scheme)
 
     def program(ctx, block_mask):
@@ -413,4 +478,9 @@ def ranking(
             raise AssertionError("parallel ranking mismatch vs serial oracle")
         if size != int(np.count_nonzero(mask)):
             raise AssertionError(f"Size {size} != oracle {np.count_nonzero(mask)}")
-    return RankingResult(run=run, ranks=ranks, size=size, layout=layout)
+    if profiler is not None:
+        profiler.finish(run, op="ranking", spec=spec.name)
+    return RankingResult(
+        run=run, ranks=ranks, size=size, layout=layout,
+        tracer=tracer, metrics=metrics, _op="ranking", _spec_name=spec.name,
+    )

@@ -190,6 +190,16 @@ def pack_program(
         e_a += int(vals.size)
     ctx.work(costs.decompose(e_a, gr))
 
+    if ctx.metrics is not None:
+        # Per-rank redistribution quantities of Section 6: elements sent /
+        # received, message segments, and wire volume contributed.
+        ctx.count("pack.calls")
+        ctx.observe("pack.elements_out", e_i)
+        ctx.observe("pack.elements_in", e_a)
+        ctx.observe("pack.words_out", sum(words.values()))
+        if scheme.uses_segments:
+            ctx.observe("pack.segments_out", gs)
+
     if pad_block is None:
         expected = block.size
     else:

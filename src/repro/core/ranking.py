@@ -169,6 +169,12 @@ def ranking_program(
         ctx.phase(f"{phase_prefix}.prs.dim{i}")
         dim = grid.dims[i]
         group = grid.group_along(i, coords)
+        if ctx.metrics is not None:
+            # PRS round structure: one call per grid dimension, fan-in =
+            # participating ranks, payload = working-array words.
+            ctx.count("ranking.prs_calls")
+            ctx.observe("ranking.prs_fanin", len(group))
+            ctx.observe("ranking.prs_words", int(ps.size))
         if len(group) > 1:
             result = yield from prefix_reduction_sum(
                 ctx, ps.ravel(), group=group, algorithm=prs
@@ -228,6 +234,9 @@ def ranking_program(
     # The final step is Theta(C + alpha) even for rank-1 arrays (one pass
     # over PS_f), so the PS_f pass is charged unconditionally.
     ctx.work(costs.final_collapse(collapse_elems + ps_f.size))
+    if ctx.metrics is not None:
+        ctx.count("ranking.calls")
+        ctx.observe("ranking.selected", e_i)
 
     return LocalRanking(
         ps_f=ps_f,

@@ -121,6 +121,13 @@ def pack_red1_program(
             outgoing[int(ds[chunk[0]])] = (global_flat[rows], values[rows])
     words = {dd: 2 * int(v[0].size) for dd, v in outgoing.items()}
 
+    if ctx.metrics is not None:
+        # Red.1 economics: volume scales with selected elements (2 words
+        # each: combined global index + value), not with L.
+        ctx.count("red1.calls")
+        ctx.observe("red1.selected", e_sel)
+        ctx.observe("red1.words_out", sum(words.values()))
+
     # ---------------------------------------------------------- move them
     ctx.phase("pack.red.comm")
     received = yield from exchange(
@@ -184,6 +191,7 @@ def pack_red2_program(
     local_array = np.asarray(local_array)
     local_mask = np.asarray(local_mask, dtype=bool)
     block_grid = block_layout_of(grid)
+    ctx.count("red2.calls")
 
     # The two arrays are conformable and aligned, so they share one
     # communication schedule: the two detection phases (send + receive)

@@ -193,6 +193,13 @@ def unpack_program(
             msg = yield ctx.recv(source=src, tag=_TAG_REPLY)
             got_values[src] = np.asarray(msg.payload)
 
+    if ctx.metrics is not None:
+        # The READ pattern's two-phase volume: requests out, values served.
+        ctx.count("unpack.calls")
+        ctx.observe("unpack.requests_out", e_i)
+        ctx.observe("unpack.request_words", sum(words.values()))
+        ctx.observe("unpack.served", served)
+
     # -------------------------------------------------- stage 2C: placement
     ctx.phase(f"{phase_prefix}.place")
     out_dtype = (

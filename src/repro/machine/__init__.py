@@ -9,6 +9,11 @@ performs combining scans/reductions in time linear in the vector length.
 Programs are written SPMD-style as generator functions; see
 :mod:`repro.machine.context` for the programming model and
 :mod:`repro.machine.engine` for scheduling and clock semantics.
+
+Observability: attach a :class:`Tracer` (event stream) and/or a
+:class:`repro.obs.MetricsRegistry` (counters/histograms) to a
+:class:`Machine`; both are free when absent.  Export and reporting live
+in :mod:`repro.obs` — see ``docs/observability.md``.
 """
 
 from .context import Context, payload_words

@@ -95,6 +95,30 @@ class Context:
     def current_phase(self) -> str:
         return self.stats.phase
 
+    # ------------------------------------------------------------- metrics
+    @property
+    def metrics(self):
+        """The machine's :class:`~repro.obs.registry.MetricsRegistry`, or
+        ``None`` when the run is not instrumented."""
+        return getattr(self._engine, "metrics", None)
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Increment a counter metric; free no-op when metrics are absent.
+
+        Algorithm code calls this at phase boundaries so instrumented runs
+        accumulate structural quantities (exchange fan-outs, PRS fan-ins,
+        selected-element counts) without any cost to plain runs.
+        """
+        m = self.metrics
+        if m is not None:
+            m.inc(name, n)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a histogram observation; free no-op when metrics are absent."""
+        m = self.metrics
+        if m is not None:
+            m.observe(name, value)
+
     # ---------------------------------------------------------------- sends
     def send(self, dest: int, payload: Any, words: int | None = None, tag: int = 0) -> None:
         """Send a message; never blocks.

@@ -91,14 +91,30 @@ class Machine:
 
     A machine object is reusable: each :meth:`run` starts from fresh clocks
     and mailboxes.
+
+    Observability
+    -------------
+    ``tracer`` (a :class:`~repro.machine.trace.Tracer`) records the event
+    stream; ``metrics`` (a :class:`~repro.obs.registry.MetricsRegistry`)
+    accumulates counters and histograms from the send / receive /
+    collective / port-contention paths.  Both are optional and both are
+    free when absent — every instrumentation site is guarded by a plain
+    ``is not None`` check.  When ``metrics`` is omitted, the process-wide
+    registry installed by :func:`repro.obs.enable_global_metrics` (if any)
+    is used.
     """
 
-    def __init__(self, nprocs: int, spec: MachineSpec = CM5, tracer=None):
+    def __init__(self, nprocs: int, spec: MachineSpec = CM5, tracer=None, metrics=None):
         if nprocs < 1:
             raise ValueError(f"need at least one processor, got {nprocs}")
         self.nprocs = nprocs
         self.spec = spec
         self.tracer = tracer
+        if metrics is None:
+            from ..obs.registry import current_global_metrics
+
+            metrics = current_global_metrics()
+        self.metrics = metrics
         # Run-scoped state, created in run():
         self._mailboxes: list[Mailbox] = []
         self._procs: list[_Proc] = []
@@ -240,6 +256,10 @@ class Machine:
     ) -> None:
         """Called by Context.send: enqueue the message and wake the receiver."""
         self._seq += 1
+        if self.metrics is not None:
+            self.metrics.inc("machine.sends")
+            self.metrics.inc("machine.words_sent", words)
+            self.metrics.observe("machine.message_words", words)
         arrival = send_clock  # sender already paid tau + mu*m
         if self.spec.rx_port and source != dest and words > 0:
             # Node contention: the message occupies the destination's
@@ -251,6 +271,14 @@ class Machine:
             # be simulated-time order.
             transfer = self.spec.mu * words
             arrival = self._reserve_port(dest, send_clock - transfer, transfer)
+            if self.metrics is not None and arrival > send_clock:
+                # The destination's serial receive port was busy: the
+                # message landed later than the contention-free model
+                # would have delivered it.
+                self.metrics.inc("machine.port_stalls")
+                self.metrics.observe(
+                    "machine.port_stall_seconds", arrival - send_clock
+                )
         msg = Message(
             source=source,
             dest=dest,
@@ -301,6 +329,11 @@ class Machine:
 
     def _complete_recv(self, rank: int, msg: Message) -> None:
         st = self._stats[rank]
+        if self.metrics is not None:
+            self.metrics.inc("machine.recvs")
+            wait = msg.arrival_time - st.clock
+            if wait > 0:
+                self.metrics.observe("machine.recv_wait_seconds", wait)
         st.advance_to(msg.arrival_time)
         st.recvs += 1
         st.words_received += msg.words
@@ -343,6 +376,13 @@ class Machine:
                 f"collective {op.kind!r} needs a control network or explicit cost "
                 f"on machine {self.spec.name!r}"
             )
+        if self.metrics is not None:
+            self.metrics.inc("machine.collectives")
+            self.metrics.inc("machine.collective_words", words)
+            self.metrics.observe("machine.collective_group_size", len(members))
+            skew = sync - min(self._stats[r].clock for r in members)
+            if skew > 0:
+                self.metrics.observe("machine.collective_skew_seconds", skew)
         for r in members:
             st = self._stats[r]
             st.advance_to(sync)

@@ -67,6 +67,7 @@ def exchange_counts(
     """
     P = ctx.size
     incoming: dict[int, int] = {}
+    ctx.count("m2m.count_exchanges")
 
     if ctx.spec.has_control_network:
         # One combining operation: member contributions are routed so each
@@ -148,6 +149,18 @@ def exchange(
         for d, p in outgoing.items()
     }
     received: dict[int, Any] = {}
+
+    if ctx.metrics is not None:
+        # Exchange structure: how many partners each rank actually sends
+        # to (the schedule's effective fan-out) and the data volume it
+        # contributes, per exchange.
+        ctx.count("m2m.exchanges")
+        ctx.count(f"m2m.schedule.{schedule}")
+        fanout = sum(1 for d, s in sizes.items() if d != ctx.rank and s > 0)
+        ctx.observe("m2m.fanout", fanout)
+        ctx.observe(
+            "m2m.words_out", sum(s for d, s in sizes.items() if d != ctx.rank)
+        )
 
     if ctx.rank in outgoing:
         ctx.local_copy(sizes[ctx.rank], charge=self_copy_charge)

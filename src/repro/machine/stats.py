@@ -164,14 +164,29 @@ class RunResult:
 
         ``prefix`` selects every phase equal to it or nested below it
         (``"a.b"`` matches ``"a.b"`` and ``"a.b.c"`` but not ``"a.bc"``).
+        A prefix that matches no recorded phase raises
+        :class:`~repro.machine.errors.PhaseError` naming the known
+        prefixes — silently returning 0.0 hid typos like
+        ``phase_time("pack.rank")``.
         """
         best = 0.0
+        matched = False
         for s in self.stats:
             total = 0.0
             for name, t in s.phase_times.items():
                 if name == prefix or name.startswith(prefix + "."):
                     total += t
+                    matched = True
             best = max(best, total)
+        if not matched:
+            known = sorted(
+                {p for name in self.phase_names()
+                 for p in _prefixes_of(name)}
+            )
+            raise PhaseError(
+                f"unknown phase prefix {prefix!r}; known prefixes: "
+                f"{', '.join(known) if known else '(none recorded)'}"
+            )
         return best
 
     def phase_names(self) -> list[str]:
@@ -218,6 +233,12 @@ class RunResult:
         for name, t in sorted(self.phase_breakdown().items()):
             lines.append(f"  {name:<40s} {t * 1e3:10.3f} ms")
         return "\n".join(lines)
+
+
+def _prefixes_of(name: str) -> list[str]:
+    """Every dot-separated prefix of a phase name, including itself."""
+    parts = name.split(".")
+    return [".".join(parts[: i + 1]) for i in range(len(parts))]
 
 
 def merge_phase_tables(tables: Iterable[Mapping[str, float]]) -> dict[str, float]:

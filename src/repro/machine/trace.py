@@ -48,6 +48,16 @@ class TraceEvent:
     kind: str
     detail: dict
 
+    def to_dict(self) -> dict[str, Any]:
+        """Stable, JSON-serializable form: fixed top-level keys, with the
+        kind-specific payload under ``"detail"`` (exporter contract)."""
+        return {
+            "time": self.time,
+            "rank": self.rank,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+        }
+
     def __str__(self) -> str:
         items = " ".join(f"{k}={v}" for k, v in self.detail.items())
         return f"[{self.time * 1e6:10.2f}us] rank {self.rank}: {self.kind} {items}"
@@ -78,6 +88,14 @@ class Tracer:
         return len(self.events)
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        """Events of one kind, in simulation order.
+
+        Safe on an empty tracer (returns ``[]``); a non-string ``kind`` is
+        rejected eagerly since it could never match and usually means the
+        caller swapped the arguments.
+        """
+        if not isinstance(kind, str):
+            raise TypeError(f"kind must be a string, got {type(kind).__name__}")
         return [e for e in self.events if e.kind == kind]
 
     def events_of_rank(self, rank: int) -> list[TraceEvent]:
@@ -104,6 +122,8 @@ class Tracer:
 
     # ------------------------------------------------------------ reporting
     def summary(self) -> str:
+        if not self.events:
+            return "no events recorded"
         counts = Counter(e.kind for e in self.events)
         words = sum(e.detail.get("words", 0) for e in self.events if e.kind == "send")
         parts = [f"{len(self.events)} events"]
@@ -122,65 +142,23 @@ class Tracer:
             m[src, dst] += words
         return m
 
-    def to_chrome_trace(self, nprocs: int) -> list[dict]:
+    def to_chrome_trace(self, nprocs: int, run=None) -> list[dict]:
         """Export as Chrome trace-event JSON (load in chrome://tracing or
         https://ui.perfetto.dev).
 
         Phases become duration events (one track per rank), messages
         become flow arrows from send to receive, collectives become
         instants.  Times are microseconds, as the format requires.
+
+        Delegates to :func:`repro.obs.chrome_trace.build_chrome_trace`;
+        pass the :class:`~repro.machine.stats.RunResult` as ``run`` for
+        exact per-rank end-of-run clocks (and see
+        :func:`repro.obs.chrome_trace.write_chrome_trace` for writing a
+        complete trace file).
         """
-        events: list[dict] = []
-        for r in range(nprocs):
-            events.append({
-                "name": "process_name", "ph": "M", "pid": 0, "tid": r,
-                "args": {"name": f"rank {r}"},
-            })
-        # Phase duration events: each phase runs until the rank's next one.
-        t_max = max((e.time for e in self.events), default=0.0)
-        for r in range(nprocs):
-            spans = [
-                (e.time, e.detail["name"])
-                for e in self.events
-                if e.kind == "phase" and e.rank == r
-            ]
-            for i, (start, name) in enumerate(spans):
-                end = spans[i + 1][0] if i + 1 < len(spans) else t_max
-                events.append({
-                    "name": name, "ph": "X", "pid": 0, "tid": r,
-                    "ts": start * 1e6, "dur": max(end - start, 0.0) * 1e6,
-                })
-        # Message flows: bind sends to the matching receives per channel.
-        flow_id = 0
-        pending: dict[tuple, list[TraceEvent]] = {}
-        for e in self.events:
-            if e.kind == "send":
-                pending.setdefault((e.rank, e.detail["dest"], e.detail["tag"]), []).append(e)
-        for e in self.events:
-            if e.kind != "recv":
-                continue
-            key = (e.detail["source"], e.rank, e.detail["tag"])
-            queue = pending.get(key)
-            if not queue:
-                continue
-            s = queue.pop(0)
-            flow_id += 1
-            events.append({
-                "name": f"msg {s.detail['words']}w", "ph": "s", "cat": "msg",
-                "pid": 0, "tid": s.rank, "ts": s.time * 1e6, "id": flow_id,
-            })
-            events.append({
-                "name": f"msg {s.detail['words']}w", "ph": "f", "cat": "msg",
-                "pid": 0, "tid": e.rank, "ts": e.time * 1e6, "id": flow_id,
-                "bp": "e",
-            })
-        for e in self.events:
-            if e.kind == "collective":
-                events.append({
-                    "name": e.detail["op"], "ph": "i", "pid": 0, "tid": e.rank,
-                    "ts": e.time * 1e6, "s": "t",
-                })
-        return events
+        from ..obs.chrome_trace import build_chrome_trace
+
+        return build_chrome_trace(self, run=run, nprocs=nprocs)
 
     def timeline(self, nprocs: int, width: int = 64) -> str:
         """ASCII phase timeline: one lane per rank, one glyph per slot.

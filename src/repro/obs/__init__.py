@@ -1,0 +1,64 @@
+"""Observability for the simulated machine: metrics, traces, reports.
+
+The paper's whole argument is cost accounting — ranking vs. redistribution
+time, PRS step structure, per-phase message volumes.  This package makes
+those quantities first-class:
+
+* :mod:`repro.obs.registry` — counters / gauges / fixed-bucket histograms
+  (:class:`MetricsRegistry`), attachable to a
+  :class:`~repro.machine.engine.Machine` alongside the tracer and
+  populated by the engine's send/receive/collective/contention paths and
+  the core PACK/UNPACK phase boundaries.  Zero overhead when absent.
+* :mod:`repro.obs.chrome_trace` — export a traced run as Chrome
+  ``trace_event`` JSON (one thread per rank, phase slices, message flow
+  arrows); open in ``chrome://tracing`` or https://ui.perfetto.dev.
+* :mod:`repro.obs.profiler` — :class:`PhaseProfiler` (bundles both
+  observers) and :class:`RunReport` (the structured per-run summary the
+  host API returns).
+* :mod:`repro.obs.exporters` — flat JSON/CSV metric snapshots.
+
+CLI entry points: ``python -m repro trace`` and ``python -m repro
+metrics``; see ``docs/observability.md``.
+"""
+
+from .chrome_trace import build_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .exporters import (
+    snapshot_rows,
+    write_metrics,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from .profiler import PhaseProfiler, RunReport, build_run_report
+from .registry import (
+    DEFAULT_TIME_BUCKETS,
+    DEFAULT_WORD_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_global_metrics,
+    disable_global_metrics,
+    enable_global_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_WORD_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "RunReport",
+    "build_chrome_trace",
+    "build_run_report",
+    "current_global_metrics",
+    "disable_global_metrics",
+    "enable_global_metrics",
+    "snapshot_rows",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+    "write_metrics_csv",
+    "write_metrics_json",
+]

@@ -1,0 +1,71 @@
+"""Flat exports of a metrics snapshot: JSON and CSV.
+
+The JSON form is the snapshot dict verbatim (stable keys, sorted); the CSV
+form is long/tidy — one row per scalar quantity, histograms exploded into
+their buckets — so spreadsheet tools and pandas both ingest it directly::
+
+    metric,field,value
+    machine.message_words,count,42
+    machine.message_words,bucket_le_16,30
+    machine.sends,value,42
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "snapshot_rows",
+    "write_metrics",
+    "write_metrics_json",
+    "write_metrics_csv",
+]
+
+
+def _snapshot_of(metrics) -> Mapping[str, Any]:
+    """Accept either a registry or an already-taken snapshot dict."""
+    snap = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    if not isinstance(snap, Mapping):
+        raise TypeError(f"expected MetricsRegistry or snapshot dict, got {type(metrics)}")
+    return snap
+
+
+def snapshot_rows(metrics) -> list[tuple[str, str, Any]]:
+    """Flatten a snapshot into ``(metric, field, value)`` rows."""
+    rows: list[tuple[str, str, Any]] = []
+    for name, entry in sorted(_snapshot_of(metrics).items()):
+        if entry["type"] in ("counter", "gauge"):
+            rows.append((name, "value", entry["value"]))
+            continue
+        for fld in ("count", "sum", "min", "max", "mean"):
+            rows.append((name, fld, entry[fld]))
+        for bucket, count in entry["buckets"].items():
+            rows.append((name, f"bucket_{bucket}", count))
+    return rows
+
+
+def write_metrics_json(path, metrics, extra: Mapping[str, Any] | None = None) -> None:
+    """Write ``{"metrics": snapshot, **extra}`` to ``path``."""
+    doc: dict[str, Any] = {"metrics": dict(_snapshot_of(metrics))}
+    if extra:
+        doc.update(extra)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_metrics_csv(path, metrics) -> None:
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("metric", "field", "value"))
+        writer.writerows(snapshot_rows(metrics))
+
+
+def write_metrics(path, metrics) -> None:
+    """Dispatch on extension: ``.csv`` writes CSV, anything else JSON."""
+    if str(path).endswith(".csv"):
+        write_metrics_csv(path, metrics)
+    else:
+        write_metrics_json(path, metrics)

@@ -1,0 +1,294 @@
+"""Metrics primitives: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the simulator's quantitative event sink —
+the numeric complement of :class:`~repro.machine.trace.Tracer`'s event
+stream.  The engine populates it from the send/receive/collective/
+contention paths, the core PACK/UNPACK programs from their phase
+boundaries, and the many-to-many scheduler from its exchange structure.
+
+Design constraints, in order:
+
+1. **Zero overhead when absent.**  Every producer guards with
+   ``if metrics is not None`` (or the :meth:`Context.count
+   <repro.machine.context.Context>` helpers, which do the same), so a run
+   without a registry executes exactly the seed code path.
+2. **Deterministic.**  Metrics never read wall clocks; everything comes
+   from simulated quantities, so two identical runs produce identical
+   snapshots.
+3. **Flat and exportable.**  A snapshot is a plain dict of plain values —
+   directly JSON/CSV-serializable (see :mod:`repro.obs.exporters`).
+
+Histograms use *fixed* bucket upper bounds chosen at registration (or by
+name suffix for auto-created ones: ``*_seconds`` metrics get latency
+buckets, everything else word-count buckets).  Cumulative-style counts
+are not used; each bucket counts observations in ``(prev, bound]``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_WORD_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "enable_global_metrics",
+    "disable_global_metrics",
+    "current_global_metrics",
+]
+
+#: Default bucket bounds for size-like metrics (words, counts, fan-in).
+DEFAULT_WORD_BUCKETS: tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+)
+
+#: Default bucket bounds for duration metrics, in seconds (1us .. 10s).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {n}")
+        self.value += n
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value that may move either way."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last bound.
+    ``counts`` therefore has ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float]):
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError(f"histogram {self.name!r}: needs at least one bucket")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds must be strictly "
+                f"increasing, got {self.bounds}"
+            )
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)},
+                "overflow": self.counts[-1],
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, mean={self.mean:g})"
+        )
+
+
+def _default_bounds(name: str) -> tuple[float, ...]:
+    return DEFAULT_TIME_BUCKETS if name.endswith("_seconds") else DEFAULT_WORD_BUCKETS
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and kept for the registry's life.
+
+    The three accessor methods (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) create-or-return; a name registered as one kind
+    cannot be reused as another (that is a programming error, reported
+    eagerly).  The hot-path helpers :meth:`inc` / :meth:`observe` /
+    :meth:`set` avoid touching metric objects at the call sites.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------- accessors
+    def _get(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None) -> Histogram:
+        hist = self._get(
+            name,
+            Histogram,
+            lambda: Histogram(name, buckets if buckets is not None else _default_bounds(name)),
+        )
+        if buckets is not None and hist.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{hist.bounds}, got {tuple(buckets)}"
+            )
+        return hist
+
+    # ------------------------------------------------------------- hot path
+    def inc(self, name: str, n: float = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def value(self, name: str) -> float:
+        """Counter/gauge value (0.0 for an unknown name)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise ValueError(f"metric {name!r} is a histogram; use get()")
+        return metric.value
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Flat, JSON-serializable view of every metric, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def merge(self, other: "MetricsRegistry | Mapping[str, Any]") -> None:
+        """Fold another registry's counters/gauges/histograms into this one
+        (used when aggregating multiple runs into one report)."""
+        if isinstance(other, MetricsRegistry):
+            items = other._metrics.items()
+        else:
+            raise TypeError("merge expects a MetricsRegistry")
+        for name, metric in items:
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(name).set(metric.value)
+            else:
+                mine = self.histogram(name, metric.bounds)
+                for i, c in enumerate(metric.counts):
+                    mine.counts[i] += c
+                mine.count += metric.count
+                mine.sum += metric.sum
+                mine.min = min(mine.min, metric.min)
+                mine.max = max(mine.max, metric.max)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+# ---------------------------------------------------------------- global sink
+# An opt-in process-wide registry: code that constructs Machines internally
+# (the experiment drivers, the CLI) can be observed without threading a
+# registry through every call.  Default off, so library users pay nothing.
+_GLOBAL: MetricsRegistry | None = None
+
+
+def enable_global_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the process-wide default.
+
+    Machines constructed *after* this call with ``metrics=None`` report
+    into it.  Returns the installed registry."""
+    global _GLOBAL
+    _GLOBAL = registry if registry is not None else MetricsRegistry()
+    return _GLOBAL
+
+
+def disable_global_metrics() -> None:
+    """Remove the process-wide registry (new machines stop reporting)."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
+def current_global_metrics() -> MetricsRegistry | None:
+    return _GLOBAL

@@ -1,5 +1,8 @@
 """The top-level ``python -m repro`` command line."""
 
+import csv
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -50,11 +53,89 @@ class TestUnpackCommand:
         assert "UNPACK" in out and "Size =" in out
 
 
+class TestTraceCommand:
+    def test_trace_emits_valid_chrome_json(self, capsys, tmp_path):
+        out = tmp_path / "t.trace.json"
+        assert main(["trace", "--nprocs", "4", "--n", "256", "--block", "4",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "ranks=4" in text and "perfetto" in text
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        from repro.obs.chrome_trace import validate_chrome_trace
+
+        assert validate_chrome_trace(events) == len(events)
+        threads = [e for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(threads) == 4
+
+    def test_trace_other_ops(self, capsys, tmp_path):
+        for op in ("unpack", "ranking"):
+            out = tmp_path / f"{op}.trace.json"
+            assert main(["trace", "--op", op, "--n", "128", "--procs", "4",
+                         "--block", "4", "--out", str(out)]) == 0
+            assert json.loads(out.read_text())["traceEvents"]
+
+
+class TestMetricsCommand:
+    def test_metrics_prints_table(self, capsys):
+        assert main(["metrics", "--n", "256", "--procs", "4",
+                     "--block", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "machine.sends" in out and "pack.calls" in out
+        assert "histogram" in out
+
+    def test_metrics_exports_json_and_report(self, capsys, tmp_path):
+        mpath = tmp_path / "m.json"
+        rpath = tmp_path / "r.json"
+        assert main(["metrics", "--op", "unpack", "--n", "256", "--procs", "4",
+                     "--block", "4", "--out", str(mpath),
+                     "--report-out", str(rpath)]) == 0
+        assert json.loads(mpath.read_text())["metrics"]["machine.sends"]["value"] > 0
+        assert json.loads(rpath.read_text())["op"] == "unpack"
+
+
+class TestObservabilityFlags:
+    def test_pack_with_all_artifacts(self, capsys, tmp_path):
+        trace = tmp_path / "p.trace.json"
+        metrics = tmp_path / "p.csv"
+        report = tmp_path / "p.report.json"
+        assert main(["pack", "--n", "256", "--procs", "4", "--block", "4",
+                     "--trace-out", str(trace), "--metrics-out", str(metrics),
+                     "--report-out", str(report)]) == 0
+        assert json.loads(trace.read_text())["traceEvents"]
+        rows = list(csv.reader(metrics.read_text().splitlines()))
+        assert rows[0] == ["metric", "field", "value"] and len(rows) > 5
+        assert json.loads(report.read_text())["op"] == "pack"
+
+    def test_unpack_with_metrics_out(self, capsys, tmp_path):
+        out = tmp_path / "u.json"
+        assert main(["unpack", "--n", "256", "--procs", "4", "--block", "4",
+                     "--metrics-out", str(out)]) == 0
+        assert "unpack.calls" in json.loads(out.read_text())["metrics"]
+
+    def test_plain_run_has_no_profiler_output(self, capsys):
+        assert main(["pack", "--n", "256", "--procs", "4", "--block", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "[trace" not in out and "[metrics" not in out
+
+
 class TestExperimentsDelegate:
     def test_delegates(self, capsys):
         assert main(["experiments", "sensitivity"]) == 0
         out = capsys.readouterr().out
         assert "Sensitivity studies" in out
+
+    def test_metrics_out_snapshots_global_registry(self, capsys, tmp_path):
+        out = tmp_path / "exp.json"
+        assert main(["experiments", "--metrics-out", str(out),
+                     "sensitivity"]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["metrics"]["machine.sends"]["value"] > 0
+        # The global registry was torn down afterwards.
+        from repro.obs import current_global_metrics
+
+        assert current_global_metrics() is None
 
 
 class TestErrors:

@@ -1,0 +1,187 @@
+"""Chrome-trace export, metrics exporters and RunReport on a real PACK.
+
+The golden workload is a 4-rank 1-D PACK; the key invariant is that the
+exported phase slices are an *exact* partition of each rank's timeline,
+so per-rank per-phase durations must sum to ``ProcStats.phase_times``.
+"""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.obs import PhaseProfiler
+from repro.obs.chrome_trace import validate_chrome_trace, write_chrome_trace
+from repro.obs.exporters import snapshot_rows, write_metrics
+
+NPROCS = 4
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """One 4-rank PACK run under a full profiler, shared by the module."""
+    rng = np.random.default_rng(7)
+    a = rng.random(256)
+    m = rng.random(256) < 0.4
+    profiler = PhaseProfiler()
+    result = repro.pack(a, m, grid=(NPROCS,), block=16, profiler=profiler)
+    return profiler, result
+
+
+@pytest.fixture(scope="module")
+def events(golden):
+    profiler, _ = golden
+    from repro.obs.chrome_trace import build_chrome_trace
+
+    return build_chrome_trace(
+        profiler.tracer, run=profiler.run, nprocs=NPROCS
+    )
+
+
+class TestChromeTraceSchema:
+    def test_validates_and_serializes(self, events):
+        n = validate_chrome_trace(events)
+        assert n == len(events) > 0
+        json.dumps(events)
+
+    def test_one_thread_per_rank(self, events):
+        names = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(names) == NPROCS
+        assert {e["args"]["name"] for e in names} == {
+            f"rank {r}" for r in range(NPROCS)
+        }
+        assert {e["tid"] for e in names} == set(range(NPROCS))
+
+    def test_phase_slices_match_phase_times(self, golden, events):
+        profiler, _ = golden
+        run = profiler.run
+        tol = 1e-6  # us; the slices are exact up to float summation
+        for r in range(NPROCS):
+            sums: dict[str, float] = {}
+            for e in events:
+                if e["ph"] == "X" and e["tid"] == r:
+                    sums[e["name"]] = sums.get(e["name"], 0.0) + e["dur"]
+            expected = {
+                name: t * 1e6
+                for name, t in run.stats[r].phase_times.items()
+                if t > 0
+            }
+            assert set(expected) <= set(sums)
+            for name, want in expected.items():
+                assert sums[name] == pytest.approx(want, abs=tol), (r, name)
+            # ... and the slices partition the rank's whole timeline.
+            assert sum(sums.values()) == pytest.approx(
+                run.stats[r].clock * 1e6, abs=tol
+            )
+
+    def test_flow_events_cover_every_message(self, golden, events):
+        profiler, _ = golden
+        pairs = profiler.tracer.message_pairs()
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(ends) == len(pairs) > 0
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+
+    def test_write_object_form(self, golden, tmp_path):
+        profiler, _ = golden
+        path = tmp_path / "pack.trace.json"
+        n = write_chrome_trace(
+            path, profiler.tracer, run=profiler.run, nprocs=NPROCS,
+            metadata={"workload": "golden"},
+        )
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert doc["otherData"]["workload"] == "golden"
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestRunReport:
+    def test_report_fields(self, golden):
+        profiler, result = golden
+        rep = profiler.report
+        assert rep.op == "pack" and rep.nprocs == NPROCS
+        assert rep.elapsed == pytest.approx(result.run.elapsed)
+        assert rep.total_messages == result.run.total_messages
+        assert rep.phase_times == result.run.phase_breakdown()
+        assert 1.0 <= rep.load_imbalance
+
+    def test_phase_time_prefix(self, golden):
+        profiler, result = golden
+        rep = profiler.report
+        total_pack = sum(
+            t for n, t in rep.phase_times.items() if n.split(".")[0] == "pack"
+        )
+        assert rep.phase_time("pack") == pytest.approx(total_pack)
+
+    def test_traffic_matrix_totals(self, golden):
+        profiler, _ = golden
+        tm = profiler.report.traffic_matrix
+        assert len(tm) == NPROCS and all(len(row) == NPROCS for row in tm)
+        assert sum(map(sum, tm)) == profiler.run.total_words
+
+    def test_to_json_and_summary(self, golden, tmp_path):
+        profiler, _ = golden
+        path = tmp_path / "report.json"
+        profiler.report.to_json(path)
+        doc = json.loads(path.read_text())
+        assert doc["op"] == "pack" and doc["nprocs"] == NPROCS
+        assert "metrics" in doc and "traffic_matrix_words" in doc
+        text = profiler.report.summary()
+        assert "pack" in text and "ranks" in text
+
+
+class TestMetricsExport:
+    def test_json_export(self, golden, tmp_path):
+        profiler, _ = golden
+        path = tmp_path / "m.json"
+        write_metrics(path, profiler.metrics)
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["machine.sends"]["value"] > 0
+        # pack.calls increments once per rank (the program is SPMD).
+        assert doc["metrics"]["pack.calls"]["value"] == NPROCS
+
+    def test_csv_export(self, golden, tmp_path):
+        profiler, _ = golden
+        path = tmp_path / "m.csv"
+        write_metrics(path, profiler.metrics)
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows[0] == ["metric", "field", "value"]
+        metrics = {r[0] for r in rows[1:]}
+        assert "machine.sends" in metrics and "machine.message_words" in metrics
+
+    def test_snapshot_rows_explode_histograms(self, golden):
+        profiler, _ = golden
+        rows = snapshot_rows(profiler.metrics)
+        fields = {f for m, f, v in rows if m == "machine.message_words"}
+        assert {"count", "sum", "mean"} <= fields
+        assert any(f.startswith("bucket_le_") for f in fields)
+
+
+class TestProfilerLifecycle:
+    def test_flags_disable_components(self):
+        p = PhaseProfiler(trace=False, metrics=False)
+        assert p.tracer is None and p.metrics is None
+
+    def test_unpack_and_ranking_reports(self):
+        rng = np.random.default_rng(3)
+        a = rng.random(128)
+        m = rng.random(128) < 0.5
+        p = PhaseProfiler()
+        repro.unpack(rng.random(int(m.sum())), m, a, grid=(4,), block=8,
+                     profiler=p)
+        assert p.report.op == "unpack"
+        p2 = PhaseProfiler()
+        repro.ranking(m, grid=(4,), block=8, profiler=p2)
+        assert p2.report.op == "ranking"
+
+    def test_profiler_and_raw_observers_conflict(self):
+        rng = np.random.default_rng(3)
+        a = rng.random(64)
+        m = rng.random(64) < 0.5
+        from repro.machine import Tracer
+
+        with pytest.raises(ValueError, match="not both"):
+            repro.pack(a, m, grid=(4,), block=4,
+                       profiler=PhaseProfiler(), tracer=Tracer())

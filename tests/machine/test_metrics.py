@@ -1,0 +1,203 @@
+"""MetricsRegistry primitives and the engine's metric instrumentation."""
+
+import pytest
+
+from repro.machine import Machine, MachineSpec, Tracer
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    DEFAULT_WORD_BUCKETS,
+    MetricsRegistry,
+    current_global_metrics,
+    disable_global_metrics,
+    enable_global_metrics,
+)
+from repro.obs.registry import Histogram
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.inc("x", 4)
+        assert reg.value("x") == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("x", -1)
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.set("g", 3.0)
+        reg.gauge("g").add(-1.0)
+        assert reg.value("g") == 2.0
+
+    def test_unknown_value_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper(self):
+        h = Histogram("h", (1, 4, 16))
+        for v in (0, 1, 2, 4, 5, 16, 17):
+            h.observe(v)
+        # (..,1], (1,4], (4,16], overflow
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.min == 0 and h.max == 17
+
+    def test_snapshot_keys_and_stats(self):
+        h = Histogram("h", (1, 10))
+        h.observe(5)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert set(snap["buckets"]) == {"le_1", "le_10", "overflow"}
+        assert snap["buckets"]["le_10"] == 1
+        assert snap["count"] == 1 and snap["mean"] == 5.0
+
+    def test_empty_snapshot_min_max_none(self):
+        snap = Histogram("h", (1,)).snapshot()
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["mean"] == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (4, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_default_buckets_by_name_suffix(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("wait_seconds").bounds == DEFAULT_TIME_BUCKETS
+        assert reg.histogram("message_words").bounds == DEFAULT_WORD_BUCKETS
+
+
+class TestRegistry:
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(ValueError, match="Counter"):
+            reg.observe("x", 1.0)
+        with pytest.raises(ValueError, match="Counter"):
+            reg.gauge("x")
+
+    def test_histogram_value_raises(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        with pytest.raises(ValueError, match="histogram"):
+            reg.value("h")
+
+    def test_rebucketing_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1, 2))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("h", (1, 2, 3))
+        # Same buckets (or none) are fine.
+        assert reg.histogram("h", (1, 2)) is reg.histogram("h")
+
+    def test_names_len_contains_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        assert reg.names() == ["a", "b"]
+        assert len(reg) == 2 and "a" in reg
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set("g", 1.5)
+        reg.observe("h", 3.0)
+        text = json.dumps(reg.snapshot())
+        assert '"counter"' in text and '"histogram"' in text
+
+    def test_merge_folds_all_kinds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            reg.inc("c", 2)
+            reg.observe("h", 5.0)
+        b.set("g", 7.0)
+        a.merge(b)
+        assert a.value("c") == 4
+        assert a.value("g") == 7.0
+        h = a.get("h")
+        assert h.count == 2 and h.sum == 10.0
+
+    def test_merge_rejects_non_registry(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry().merge({"c": 1})
+
+
+def _comm_prog(ctx):
+    ctx.phase("talk")
+    ctx.send((ctx.rank + 1) % ctx.size, None, words=10, tag=1)
+    msg = yield ctx.recv(source=(ctx.rank - 1) % ctx.size, tag=1)
+    return msg.words
+
+
+class TestEngineInstrumentation:
+    def test_send_recv_metrics(self):
+        reg = MetricsRegistry()
+        Machine(4, SPEC, metrics=reg).run(_comm_prog)
+        assert reg.value("machine.sends") == 4
+        assert reg.value("machine.recvs") == 4
+        assert reg.value("machine.words_sent") == 40
+        assert reg.get("machine.message_words").count == 4
+
+    def test_collective_metrics(self):
+        from repro.machine import Barrier
+
+        def prog(ctx):
+            ctx.work(100 * ctx.rank)  # skew so the barrier waits
+            yield Barrier(range(ctx.size))
+            return None
+
+        reg = MetricsRegistry()
+        Machine(3, SPEC, metrics=reg).run(prog)
+        # One count per collective *fire* (per group), not per participant.
+        assert reg.value("machine.collectives") == 1
+        assert reg.get("machine.collective_group_size").max == 3
+        assert reg.get("machine.collective_skew_seconds").count > 0
+
+    def test_no_metrics_no_clock_change(self):
+        """The determinism invariant: instrumentation (metrics, tracer, or
+        both) must not move any simulated clock."""
+        plain = Machine(4, SPEC).run(_comm_prog)
+        clocks = [s.clock for s in plain.stats]
+        observed = Machine(
+            4, SPEC, tracer=Tracer(), metrics=MetricsRegistry()
+        ).run(_comm_prog)
+        assert [s.clock for s in observed.stats] == clocks
+        assert observed.results == plain.results
+
+
+class TestGlobalRegistry:
+    def test_disabled_by_default(self):
+        assert current_global_metrics() is None
+        machine = Machine(2, SPEC)
+        assert machine.metrics is None
+
+    def test_enable_routes_new_machines(self):
+        reg = enable_global_metrics()
+        try:
+            assert current_global_metrics() is reg
+            Machine(2, SPEC).run(_comm_prog)
+            assert reg.value("machine.sends") == 2
+        finally:
+            disable_global_metrics()
+        assert current_global_metrics() is None
+
+    def test_explicit_registry_wins_over_global(self):
+        global_reg = enable_global_metrics()
+        try:
+            mine = MetricsRegistry()
+            Machine(2, SPEC, metrics=mine).run(_comm_prog)
+            assert mine.value("machine.sends") == 2
+            assert global_reg.value("machine.sends") == 0
+        finally:
+            disable_global_metrics()

@@ -68,7 +68,16 @@ class TestRunResult:
         assert res.phase_time("compute.a") == pytest.approx(SPEC.work_time(3000))
         assert res.phase_time("io") == pytest.approx(SPEC.work_time(100))
         # Prefix matching is component-wise, not substring.
-        assert res.phase_time("comp") == 0.0
+        with pytest.raises(PhaseError, match="compute"):
+            res.phase_time("comp")
+
+    def test_phase_time_unknown_prefix_lists_known(self):
+        res = self._run()
+        with pytest.raises(PhaseError) as exc:
+            res.phase_time("nosuch.phase")
+        msg = str(exc.value)
+        assert "nosuch.phase" in msg
+        assert "compute" in msg and "io" in msg
 
     def test_elapsed_is_max_clock(self):
         res = self._run()

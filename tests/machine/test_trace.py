@@ -114,6 +114,26 @@ class TestQueries:
         s = tracer.summary()
         assert "sends=4" in s and "words=10" in s
 
+    def test_summary_of_empty_tracer(self):
+        assert Tracer().summary() == "no events recorded"
+
+    def test_events_of_kind_empty_tracer(self):
+        assert Tracer().events_of_kind("send") == []
+
+    def test_events_of_kind_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            Tracer().events_of_kind(3)
+
+    def test_event_to_dict(self):
+        tracer, _ = self._ring_trace()
+        d = tracer.events_of_kind("send")[0].to_dict()
+        assert set(d) == {"time", "rank", "kind", "detail"}
+        assert d["kind"] == "send"
+        assert isinstance(d["detail"], dict)
+        # The detail is a copy: mutating it leaves the event untouched.
+        d["detail"]["dest"] = -1
+        assert tracer.events_of_kind("send")[0].detail["dest"] != -1
+
 
 class TestScheduleVisibility:
     def test_linear_permutation_structure_visible(self):
