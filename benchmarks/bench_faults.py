@@ -1,0 +1,141 @@
+"""Cost of fault tolerance — reliable-transport overhead vs drop rate.
+
+The reliable transport (``repro.faults.reliable``) wraps every data
+message in a (seq, crc) header, answers each with a NIC-level ack, and
+retransmits on simulated-time timeouts.  Two questions matter:
+
+* what does reliability cost on a *clean* network?  Timeouts are
+  conservative (they fire only when nothing else can progress), so the
+  answer should be headers + one ack round-trip per exchange — a small
+  constant, under 15% of simulated time at a realistic problem size;
+* how does simulated time degrade as the drop rate rises, and does the
+  answer stay oracle-correct throughout?
+
+This benchmark measures both on a mid-size PACK and UNPACK and writes
+``BENCH_faults.json`` at the repo root:
+
+    python benchmarks/bench_faults.py
+
+Every cell is validated against the serial numpy oracle and every run is
+seeded, so the JSON is bit-for-bit reproducible.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.core.api import pack, unpack
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry
+
+N, PROCS, DENSITY = 16384, 8, 0.5
+DROP_RATES = (0.0, 0.01, 0.05, 0.1)
+SEED = 0
+
+
+def _workload():
+    rng = np.random.default_rng(SEED)
+    mask = rng.random(N) < DENSITY
+    array = np.arange(N, dtype=np.int64)
+    vector = np.arange(int(mask.sum()), dtype=np.int64)
+    field_array = np.full(N, -1, dtype=np.int64)
+    return array, mask, vector, field_array
+
+
+def _reliable_counters(reg):
+    snap = reg.snapshot()
+
+    def val(name):
+        entry = snap.get(name)
+        return int(entry["value"]) if entry and "value" in entry else 0
+
+    return {
+        "data_sends": val("reliable.data_sends"),
+        "retransmits": val("reliable.retransmits"),
+        "timeouts": val("reliable.timeouts"),
+        "dup_dropped": val("reliable.dup_dropped"),
+        "corrupt_rejected": val("reliable.corrupt_rejected"),
+        "auto_acks": val("machine.auto_acks"),
+    }
+
+
+def measure():
+    array, mask, vector, field_array = _workload()
+
+    baseline = {
+        "pack_ms": pack(array, mask, PROCS, scheme="cms",
+                        validate=True).total_ms,
+        "unpack_ms": unpack(vector, mask, field_array, PROCS, scheme="css",
+                            validate=True).total_ms,
+    }
+
+    cells = []
+    for drop in DROP_RATES:
+        plan = FaultPlan(seed=SEED, drop_rate=drop)
+        reg = MetricsRegistry()
+        p = pack(array, mask, PROCS, scheme="cms", faults=plan,
+                 reliability=True, metrics=reg, validate=True)
+        u = unpack(vector, mask, field_array, PROCS, scheme="css",
+                   faults=plan, reliability=True, validate=True)
+        cells.append({
+            "drop_rate": drop,
+            "pack_ms": p.total_ms,
+            "unpack_ms": u.total_ms,
+            "pack_overhead_pct":
+                100.0 * (p.total_ms / baseline["pack_ms"] - 1.0),
+            "unpack_overhead_pct":
+                100.0 * (u.total_ms / baseline["unpack_ms"] - 1.0),
+            "pack_transport": _reliable_counters(reg),
+            "oracle_correct": True,  # validate=True raised otherwise
+        })
+
+    return {
+        "workload": {"n": N, "nprocs": PROCS, "density": DENSITY,
+                     "pack_scheme": "cms", "unpack_scheme": "css",
+                     "seed": SEED, "machine": "cm5"},
+        "baseline_ms": baseline,
+        "cells": cells,
+    }
+
+
+def test_zero_drop_overhead_under_15_pct():
+    """Acceptance bound: reliability on a clean network costs < 15%."""
+    report = measure()
+    clean = next(c for c in report["cells"] if c["drop_rate"] == 0.0)
+    assert clean["pack_overhead_pct"] < 15.0
+    assert clean["unpack_overhead_pct"] < 15.0
+    assert clean["pack_transport"]["retransmits"] == 0
+
+
+def test_report_reproducible():
+    """Same seed, same cells — bit-for-bit."""
+    assert json.dumps(measure(), sort_keys=True) == \
+        json.dumps(measure(), sort_keys=True)
+
+
+def main() -> int:
+    report = measure()
+    out = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    base = report["baseline_ms"]
+    print(f"PACK/UNPACK n={N} P={PROCS} cm5, reliable transport:")
+    print(f"  baseline (no reliability): pack {base['pack_ms']:.3f} ms, "
+          f"unpack {base['unpack_ms']:.3f} ms")
+    for cell in report["cells"]:
+        t = cell["pack_transport"]
+        print(f"  drop={cell['drop_rate']:<5g} "
+              f"pack {cell['pack_ms']:8.3f} ms (+{cell['pack_overhead_pct']:5.1f}%)  "
+              f"unpack {cell['unpack_ms']:8.3f} ms (+{cell['unpack_overhead_pct']:5.1f}%)  "
+              f"retransmits={t['retransmits']}")
+    clean = next(c for c in report["cells"] if c["drop_rate"] == 0.0)
+    ok = (clean["pack_overhead_pct"] < 15.0
+          and clean["unpack_overhead_pct"] < 15.0)
+    print(f"zero-drop overhead < 15%: {ok}")
+    print(f"[bench -> {out}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

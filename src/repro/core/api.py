@@ -192,7 +192,7 @@ def _resolve_observers(profiler, tracer, metrics):
 
 def _make_config(
     scheme, prs, m2m_schedule, result_block, early_exit_scan,
-    compress_requests=False,
+    compress_requests=False, reliability=None,
 ) -> PackConfig:
     return PackConfig(
         scheme=Scheme.parse(scheme),
@@ -201,6 +201,7 @@ def _make_config(
         result_block=result_block,
         early_exit_scan=early_exit_scan,
         compress_requests=compress_requests,
+        reliability=reliability,
     )
 
 
@@ -222,6 +223,10 @@ def pack(
     profiler: PhaseProfiler | None = None,
     tracer=None,
     metrics=None,
+    faults=None,
+    reliability=None,
+    step_budget: int | None = None,
+    time_budget: float | None = None,
 ) -> PackResult:
     """Parallel PACK of a global numpy array under a simulated machine.
 
@@ -258,6 +263,19 @@ def pack(
         :class:`~repro.machine.trace.Tracer` /
         :class:`~repro.obs.MetricsRegistry` pair.  All default off; plain
         calls pay nothing.
+    faults:
+        optional :class:`~repro.faults.FaultPlan` injected into the
+        simulated network (seeded, fully reproducible).  Under message
+        faults, pass ``reliability`` too or the run will (correctly)
+        deadlock / fail validation.
+    reliability:
+        ``True`` or a :class:`~repro.faults.ReliabilityConfig` to route
+        the redistribution rounds through the reliable transport; see
+        :class:`~repro.core.schemes.PackConfig`.
+    step_budget / time_budget:
+        optional progress-watchdog bounds forwarded to
+        :class:`~repro.machine.engine.Machine`; a run exceeding them
+        raises :class:`~repro.machine.errors.WatchdogError`.
 
     Returns a :class:`PackResult` whose ``vector`` matches Fortran 90
     ``PACK(array, mask)`` semantics exactly.
@@ -274,12 +292,18 @@ def pack(
         array = pad_array(array, new_shape)
         mask = pad_mask(mask, new_shape)
     layout = GridLayout.create(array.shape, grid, block)
-    config = _make_config(scheme, prs, m2m_schedule, result_block, early_exit_scan)
+    config = _make_config(
+        scheme, prs, m2m_schedule, result_block, early_exit_scan,
+        reliability=reliability,
+    )
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
 
     array_blocks = layout.scatter(array)
     mask_blocks = layout.scatter(mask)
-    machine = Machine(layout.nprocs, spec, tracer=tracer, metrics=metrics)
+    machine = Machine(
+        layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
+        step_budget=step_budget, time_budget=time_budget,
+    )
 
     n_result = None
     pad_blocks = [None] * layout.nprocs
@@ -361,9 +385,14 @@ def unpack(
     profiler: PhaseProfiler | None = None,
     tracer=None,
     metrics=None,
+    faults=None,
+    reliability=None,
+    step_budget: int | None = None,
+    time_budget: float | None = None,
 ) -> UnpackResult:
     """Parallel UNPACK: scatter ``vector`` into the trues of ``mask``, with
-    ``field_array`` filling the falses.  See :func:`pack` for parameters;
+    ``field_array`` filling the falses.  See :func:`pack` for parameters
+    (including ``faults`` / ``reliability`` / the watchdog budgets);
     ``scheme`` must be ``"sss"`` or ``"css"``.  ``field_array`` may be a
     scalar (Fortran 90 allows a scalar FIELD).  ``compress_requests``
     run-length-encodes the rank requests (CSS only; a library extension —
@@ -386,7 +415,7 @@ def unpack(
     layout = GridLayout.create(mask.shape, grid, block)
     config = _make_config(
         scheme, prs, m2m_schedule, result_block, early_exit_scan,
-        compress_requests=compress_requests,
+        compress_requests=compress_requests, reliability=reliability,
     )
 
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
@@ -394,7 +423,10 @@ def unpack(
     vector_blocks = vec_layout.scatter(vector)
     mask_blocks = layout.scatter(mask)
     field_blocks = layout.scatter(field_array)
-    machine = Machine(layout.nprocs, spec, tracer=tracer, metrics=metrics)
+    machine = Machine(
+        layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
+        step_budget=step_budget, time_budget=time_budget,
+    )
 
     run = machine.run(
         unpack_program,
@@ -448,15 +480,25 @@ def ranking(
     profiler: PhaseProfiler | None = None,
     tracer=None,
     metrics=None,
+    faults=None,
+    step_budget: int | None = None,
+    time_budget: float | None = None,
 ) -> RankingResult:
-    """Run only the ranking stage and return the global rank array."""
+    """Run only the ranking stage and return the global rank array.
+
+    Ranking communicates via hardware collectives only (no point-to-point
+    data), so there is no ``reliability`` knob; ``faults`` can still
+    crash ranks or stretch straggler clocks."""
     mask = np.asarray(mask, dtype=bool)
     if isinstance(grid, int):
         grid = (grid,)
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
     layout = GridLayout.create(mask.shape, grid, block)
     mask_blocks = layout.scatter(mask)
-    machine = Machine(layout.nprocs, spec, tracer=tracer, metrics=metrics)
+    machine = Machine(
+        layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
+        step_budget=step_budget, time_budget=time_budget,
+    )
     config_scheme = Scheme.parse(scheme)
 
     def program(ctx, block_mask):

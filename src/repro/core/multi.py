@@ -122,6 +122,7 @@ def pack_many_program(
             schedule=config.m2m_schedule,
             self_copy_charge=config.charge_self_copy,
             tag=_GANG_TAG_BASE + k,
+            reliability=config.reliability,
         )
 
         ctx.phase(f"{phase_prefix}.decompose.{k}")
@@ -151,12 +152,16 @@ def pack_many(
     scheme="cms",
     spec=None,
     validate: bool = True,
+    faults=None,
     **config_kw,
 ):
     """Host-level gang PACK: returns (list of packed vectors, RunResult).
 
     Each returned vector equals ``PACK(arrays[k], mask)`` exactly; the
     simulated cost amortizes the mask-dependent stages across the gang.
+    ``faults`` injects a :class:`~repro.faults.FaultPlan`; pass
+    ``reliability=True`` (forwarded to :class:`PackConfig`) alongside it
+    to keep the gang exchanges correct under message faults.
     """
     from ..machine.engine import Machine
     from ..machine.spec import CM5
@@ -171,7 +176,7 @@ def pack_many(
     config = PackConfig(scheme=scheme, **config_kw)
     mask_blocks = layout.scatter(mask)
     array_blocks = [layout.scatter(np.asarray(a)) for a in arrays]
-    machine = Machine(layout.nprocs, spec if spec is not None else CM5)
+    machine = Machine(layout.nprocs, spec if spec is not None else CM5, faults=faults)
     run = machine.run(
         pack_many_program,
         rank_args=[

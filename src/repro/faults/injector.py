@@ -1,0 +1,135 @@
+"""Per-run fault-injection state, consulted by the engine's hooks.
+
+The engine calls exactly two methods on the hot paths:
+
+* :meth:`FaultInjector.deliveries` from ``Machine._deliver`` — decides,
+  for one point-to-point message, which copies actually arrive (none
+  when dropped, two when duplicated), with what payload (possibly
+  :class:`~repro.faults.plan.Corrupted`) and how much extra latency.
+* :meth:`FaultInjector.should_crash` from ``Machine._step`` — counts
+  the rank's generator resumptions and fires the plan's crash schedule.
+
+Every decision consumes the seeded stream in simulation order, which is
+what makes an injected run exactly as reproducible as a clean one.  All
+injected events are counted into the run's
+:class:`~repro.obs.registry.MetricsRegistry` (when present) under
+``faults.*`` and mirrored as plain attributes for test assertions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from .plan import Corrupted, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Mutable per-run companion of one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan, nprocs: int, metrics=None):
+        self.plan = plan
+        self.nprocs = nprocs
+        self.metrics = metrics
+        self._rng = random.Random(plan.seed)
+        self._steps = [0] * nprocs
+        # Straggler lookup as a dense list: None when nobody straggles so
+        # the Context.work hook stays a single attribute test.
+        if plan.stragglers:
+            self.work_scales: list[float] | None = [
+                float(plan.stragglers.get(r, 1.0)) for r in range(nprocs)
+            ]
+        else:
+            self.work_scales = None
+        # Event tallies (mirrored into metrics when attached).
+        self.dropped = 0
+        self.duplicated = 0
+        self.corrupted = 0
+        self.delayed = 0
+        self.crashed: list[int] = []
+        self.lost_to_crashed = 0
+
+    # ------------------------------------------------------------- messages
+    def _targets(self, tag: int, words: int) -> bool:
+        if words < self.plan.min_words:
+            return False
+        tags = self.plan.target_tags
+        return tags is None or tag in tags
+
+    def deliveries(
+        self, source: int, dest: int, tag: int, payload: Any, words: int
+    ) -> list[tuple[Any, float, bool]]:
+        """Fate of one message: the list of ``(payload, extra_delay,
+        corrupted)`` copies to deposit (empty = dropped).  The
+        ``corrupted`` flag lets the engine withhold transport-level acks
+        for copies that will fail the receiver's checksum.
+
+        The decision stream is consumed in a fixed field order (drop,
+        then corrupt, then delay, then duplicate) regardless of which
+        rates are zero, so enabling one fault kind does not reshuffle
+        another kind's pattern.
+        """
+        plan = self.plan
+        if not plan.faults_messages or not self._targets(tag, words):
+            return [(payload, 0.0, False)]
+        rng = self._rng
+        drop = rng.random() < plan.drop_rate
+        corrupt = rng.random() < plan.corrupt_rate
+        delay = rng.random() < plan.delay_rate
+        dup = rng.random() < plan.dup_rate
+        if drop:
+            self.dropped += 1
+            self._count("faults.drops")
+            return []
+        if corrupt:
+            self.corrupted += 1
+            self._count("faults.corruptions")
+            payload = Corrupted(payload)
+        extra = 0.0
+        if delay:
+            self.delayed += 1
+            self._count("faults.delays")
+            extra = plan.delay_seconds
+            if self.metrics is not None:
+                self.metrics.observe("faults.delay_seconds", extra)
+        copies = [(payload, extra, corrupt)]
+        if dup:
+            self.duplicated += 1
+            self._count("faults.duplicates")
+            copies.append((payload, extra, corrupt))
+        return copies
+
+    def drop_to_crashed(self) -> None:
+        """Record a message addressed to an already-crashed rank."""
+        self.lost_to_crashed += 1
+        self._count("faults.msgs_to_crashed")
+
+    # -------------------------------------------------------------- crashes
+    def should_crash(self, rank: int) -> bool:
+        """Called once per generator resumption of ``rank``; True when the
+        plan schedules the crash at this step."""
+        crash_step = self.plan.crash_at.get(rank)
+        step = self._steps[rank]
+        self._steps[rank] = step + 1
+        if crash_step is not None and step >= crash_step:
+            self.crashed.append(rank)
+            self._count("faults.crashes")
+            return True
+        return False
+
+    def steps_of(self, rank: int) -> int:
+        return self._steps[rank]
+
+    # -------------------------------------------------------------- helpers
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector({self.plan.describe()}, dropped={self.dropped}, "
+            f"duplicated={self.duplicated}, corrupted={self.corrupted}, "
+            f"crashed={self.crashed})"
+        )

@@ -1,0 +1,153 @@
+"""Fault plans: immutable, seeded descriptions of injected failures.
+
+A :class:`FaultPlan` says *what kinds* of faults occur and *how often*;
+it contains no mutable state, so one plan can parameterize many runs.
+The per-run randomness lives in :class:`~repro.faults.injector.
+FaultInjector`, built from the plan by :meth:`FaultPlan.build` at the
+start of every :meth:`Machine.run <repro.machine.engine.Machine.run>`.
+
+Determinism contract
+--------------------
+Fault decisions are drawn from ``random.Random(seed)`` in simulation
+order.  The engine itself is deterministic, so the stream of decision
+points — message deliveries and rank resumptions — is identical across
+runs of the same program, and therefore so is every injected fault.
+Changing the seed produces an independent fault pattern; changing a
+rate reshuffles which decision points fire but stays reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+
+class Corrupted:
+    """Wrapper an injected corruption puts around a message payload.
+
+    Models in-flight bit rot: the words on the wire are the same size
+    but their content is garbage.  The reliability layer detects the
+    damage via its payload checksum (a :class:`Corrupted` payload never
+    checksums to the original's digest — see
+    :func:`repro.faults.reliable.checksum`) and discards the packet;
+    unprotected programs that receive one will fail loudly downstream.
+    """
+
+    __slots__ = ("original",)
+
+    def __init__(self, original: Any):
+        self.original = original
+
+    def __repr__(self) -> str:
+        return f"Corrupted({self.original!r})"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What goes wrong, how often, and under which seed.
+
+    Parameters
+    ----------
+    seed:
+        seed of the decision stream; the whole point — two runs with the
+        same plan see the *same* faults at the same decision points.
+    drop_rate:
+        probability that a point-to-point message vanishes in flight.
+    dup_rate:
+        probability that a message is delivered twice (the duplicate
+        carries a fresh engine sequence number, so it is a genuinely
+        distinct delivery, as a repeated network retransmit would be).
+    corrupt_rate:
+        probability that a payload arrives damaged (wrapped in
+        :class:`Corrupted`; modeled size is unchanged).
+    delay_rate / delay_seconds:
+        probability that a message is held up, and for how long of
+        extra simulated latency.
+    crash_at:
+        mapping ``rank -> step``: the rank's generator is abandoned
+        just before its ``step``-th resumption (0 = before it runs at
+        all).  Crashed ranks never run again; traffic addressed to them
+        is dropped; a run that then gets stuck raises
+        :class:`~repro.machine.errors.RankFailureError`.
+    stragglers:
+        mapping ``rank -> factor``: the rank's *local work* takes
+        ``factor`` times longer than modeled (a slow or thermally
+        throttled node).  Communication costs are unchanged.
+    target_tags:
+        restrict message faults (drop/dup/corrupt/delay) to these tags;
+        ``None`` means every point-to-point message is fair game.
+    min_words:
+        only messages of at least this modeled size are faulted —
+        ``min_words=1`` targets data and spares zero-word headers.
+
+    Collectives ride the control network and are never faulted.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 1e-3
+    crash_at: Mapping[int, int] = field(default_factory=dict)
+    stragglers: Mapping[int, float] = field(default_factory=dict)
+    target_tags: tuple[int, ...] | None = None
+    min_words: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "corrupt_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        if self.min_words < 0:
+            raise ValueError(f"min_words must be >= 0, got {self.min_words}")
+        # Freeze the mappings so a plan really is immutable and hashable
+        # state cannot drift between the runs it parameterizes.
+        object.__setattr__(self, "crash_at", MappingProxyType(dict(self.crash_at)))
+        object.__setattr__(self, "stragglers", MappingProxyType(dict(self.stragglers)))
+        for rank, step in self.crash_at.items():
+            if step < 0:
+                raise ValueError(f"crash_at[{rank}] must be >= 0, got {step}")
+        for rank, factor in self.stragglers.items():
+            if factor < 1.0:
+                raise ValueError(
+                    f"stragglers[{rank}] must be >= 1.0 (a straggler is "
+                    f"slower, not faster), got {factor}"
+                )
+        if self.target_tags is not None:
+            object.__setattr__(self, "target_tags", tuple(self.target_tags))
+
+    @property
+    def faults_messages(self) -> bool:
+        """Whether any per-message fault can fire."""
+        return (
+            self.drop_rate > 0
+            or self.dup_rate > 0
+            or self.corrupt_rate > 0
+            or self.delay_rate > 0
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        return not (self.faults_messages or self.crash_at or self.stragglers)
+
+    def build(self, nprocs: int, metrics=None) -> "FaultInjector":
+        """Fresh per-run injector state (new decision stream at ``seed``)."""
+        from .injector import FaultInjector
+
+        return FaultInjector(self, nprocs, metrics=metrics)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for name in ("drop_rate", "dup_rate", "corrupt_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if rate:
+                parts.append(f"{name.replace('_rate', '')}={rate:g}")
+        if self.crash_at:
+            parts.append(f"crash_at={dict(sorted(self.crash_at.items()))}")
+        if self.stragglers:
+            parts.append(f"stragglers={dict(sorted(self.stragglers.items()))}")
+        return f"FaultPlan({', '.join(parts)})"

@@ -1,0 +1,377 @@
+"""Reliable transport over the simulated (and possibly faulty) network.
+
+The simulator's native sends are at-most-once under a
+:class:`~repro.faults.plan.FaultPlan`: a message may be dropped,
+duplicated, corrupted or delayed.  This module layers the classic
+recipe on top of the native ops to get effectively exactly-once
+delivery:
+
+* every payload travels in a ``("DATA", seq, crc, payload)`` packet —
+  a per-destination **sequence number** and a **checksum** of the
+  payload (two header words on the wire);
+* every intact data copy is answered with an ``("ACK", seq)`` (one
+  word) by the *receiving node's network interface* — the engine's
+  ``auto_ack`` send option — not by the receiving program.  Acks are
+  therefore generated even for duplicates, even while the receiver is
+  busy elsewhere, and even after its program has finished (the classic
+  "last ack" termination hazard of program-level acks cannot arise).
+  Acks cross the same faulty network and may themselves be lost;
+* the receiver suppresses payloads it has already delivered (the dedup
+  that turns at-least-once into exactly-once);
+* the sender retransmits on a **simulated-time timeout** (a
+  :class:`~repro.machine.ops.Recv` with ``timeout=``), giving up with
+  :class:`~repro.machine.errors.ReliabilityError` after a bounded
+  number of attempts;
+* corrupted packets never checksum correctly: the engine withholds the
+  transport ack and the receiver discards them, so corruption
+  degenerates to loss.
+
+Timeouts in the simulator are conservative: the engine fires a timed
+receive only when no rank can otherwise make progress, so a fault-free
+run never retransmits and pays only the header/ack overhead (measured
+by ``benchmarks/bench_faults.py``).
+
+Two granularities are offered: :meth:`ReliableEndpoint.send` /
+:meth:`ReliableEndpoint.recv` are stop-and-wait point-to-point
+primitives for hand-written programs, and
+:meth:`ReliableEndpoint.exchange` is a pipelined event loop that makes
+a whole many-to-many round reliable (what PACK/UNPACK use — see
+:func:`repro.machine.m2m.exchange`).
+
+Endpoint state (sequence numbers, dedup sets) must persist across the
+several exchanges one program performs, so endpoints are cached on the
+rank's :attr:`Context.scratch <repro.machine.context.Context>` —
+obtain them via :meth:`ReliableEndpoint.of`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Mapping
+
+import numpy as np
+
+from ..machine.errors import ReliabilityError
+from ..machine.ops import ANY, Recv, TIMEOUT
+from .plan import Corrupted
+
+__all__ = ["ReliabilityConfig", "ReliableEndpoint", "ReliabilityError", "checksum"]
+
+#: Tag carrying all reliable-transport traffic (data and acks share it;
+#: the packet kind field disambiguates).  Distinct from the m2m tags.
+RELIABLE_TAG = 970
+
+_DATA = "DATA"
+_ACK = "ACK"
+
+
+def checksum(payload: Any) -> int:
+    """Deterministic 32-bit digest of a message payload.
+
+    Covers the payload types the library sends: numpy arrays, scalars,
+    strings, bytes, and (nested) tuples/lists/dicts thereof.  A
+    :class:`Corrupted` wrapper digests to the complement of its
+    original's digest, modeling the damaged words on the wire — the
+    receiver's verification therefore always fails for it.
+    """
+    return _digest(payload) & 0xFFFFFFFF
+
+
+def _digest(obj: Any) -> int:
+    if isinstance(obj, Corrupted):
+        return ~_digest(obj.original)
+    if obj is None:
+        return 0x9E3779B9
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        meta = f"{arr.dtype.str}{arr.shape}".encode()
+        return zlib.crc32(arr.tobytes(), zlib.crc32(meta))
+    if isinstance(obj, (bytes, bytearray)):
+        return zlib.crc32(bytes(obj))
+    if isinstance(obj, (bool, int, float, complex, str, np.generic)):
+        return zlib.crc32(repr(obj).encode())
+    if isinstance(obj, (tuple, list)):
+        acc = zlib.crc32(b"seq")
+        for item in obj:
+            acc = zlib.crc32(str(_digest(item) & 0xFFFFFFFF).encode(), acc)
+        return acc
+    if isinstance(obj, dict):
+        acc = zlib.crc32(b"map")
+        for key in sorted(obj, key=repr):
+            acc = zlib.crc32(repr(key).encode(), acc)
+            acc = zlib.crc32(str(_digest(obj[key]) & 0xFFFFFFFF).encode(), acc)
+        return acc
+    return zlib.crc32(repr(obj).encode())
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Tunables of the reliable transport.
+
+    Parameters
+    ----------
+    max_retries:
+        retransmissions allowed per packet beyond the first attempt;
+        exhausting them raises :class:`ReliabilityError` (the loss rate
+        was not survivable, better loud than a silent deadlock).
+    timeout:
+        retransmit timeout in simulated seconds, or ``None`` to derive
+        one per packet from the machine spec (a few round-trip times).
+        Because the engine fires timeouts only when no rank can
+        otherwise progress, the value shapes simulated-time cost under
+        loss but can never cause a spurious retransmit.
+    header_words:
+        modeled wire cost of the (seq, crc) data header.
+    ack_words:
+        modeled wire cost of one ack.
+    tag:
+        message tag of all reliable traffic.
+    """
+
+    max_retries: int = 8
+    timeout: float | None = None
+    header_words: int = 2
+    ack_words: int = 1
+    tag: int = RELIABLE_TAG
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.header_words < 0 or self.ack_words < 0:
+            raise ValueError("header_words / ack_words must be >= 0")
+
+    @classmethod
+    def coerce(cls, value: "ReliabilityConfig | bool | None") -> "ReliabilityConfig | None":
+        """``True`` means defaults; ``None``/``False`` mean disabled."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        raise TypeError(f"expected ReliabilityConfig or bool, got {value!r}")
+
+
+class ReliableEndpoint:
+    """Per-rank reliable-transport state for one simulated run."""
+
+    def __init__(self, ctx, config: ReliabilityConfig | None = None):
+        self.ctx = ctx
+        self.config = config if config is not None else ReliabilityConfig()
+        self._send_seq: dict[int, int] = {}
+        self._seen: dict[int, set[int]] = {}
+        self._stash: dict[int, list[Any]] = {}
+
+    @classmethod
+    def of(cls, ctx, config: ReliabilityConfig) -> "ReliableEndpoint":
+        """The rank's cached endpoint for ``config.tag`` (sequence numbers
+        and dedup state must span every exchange the program performs)."""
+        key = ("reliable_endpoint", config.tag)
+        endpoint = ctx.scratch.get(key)
+        if endpoint is None:
+            endpoint = cls(ctx, config)
+            ctx.scratch[key] = endpoint
+        return endpoint
+
+    # ------------------------------------------------------------- plumbing
+    def _rto(self, words: int) -> float:
+        if self.config.timeout is not None:
+            return self.config.timeout
+        spec = self.ctx.spec
+        wire = words + self.config.header_words
+        return 4.0 * spec.tau + 3.0 * spec.mu * wire + spec.tau
+
+    def _next_seq(self, dest: int) -> int:
+        seq = self._send_seq.get(dest, 0) + 1
+        self._send_seq[dest] = seq
+        return seq
+
+    def _send_data(self, dest: int, seq: int, crc: int, payload: Any, words: int) -> None:
+        self.ctx.send(
+            dest,
+            (_DATA, seq, crc, payload),
+            words=words + self.config.header_words,
+            tag=self.config.tag,
+            auto_ack=((_ACK, seq), self.config.ack_words),
+        )
+        self.ctx.count("reliable.data_sends")
+
+    def _accept_data(self, source: int, seq: int, payload: Any) -> bool:
+        """Dedup a delivered data packet; True when it is new.
+
+        The transport ack was already generated by the engine when the
+        packet arrived, so nothing needs sending here.
+        """
+        seen = self._seen.setdefault(source, set())
+        if seq in seen:
+            self.ctx.count("reliable.dup_dropped")
+            return False
+        seen.add(seq)
+        return True
+
+    def _parse(self, msg) -> tuple[str, int, int, Any] | None:
+        """Unpack a packet; None when it fails verification (corrupt)."""
+        pkt = msg.payload
+        if isinstance(pkt, Corrupted) or not isinstance(pkt, tuple) or not pkt:
+            self.ctx.count("reliable.corrupt_rejected")
+            return None
+        if pkt[0] == _ACK and len(pkt) == 2:
+            return (_ACK, pkt[1], 0, None)
+        if pkt[0] == _DATA and len(pkt) == 4:
+            kind, seq, crc, payload = pkt
+            if checksum(payload) != crc:
+                self.ctx.count("reliable.corrupt_rejected")
+                return None
+            return (kind, seq, crc, payload)
+        self.ctx.count("reliable.corrupt_rejected")
+        return None
+
+    # ------------------------------------------------------- point-to-point
+    def send(
+        self, dest: int, payload: Any, words: int | None = None
+    ) -> Generator[Any, Any, None]:
+        """Stop-and-wait reliable send: ``yield from endpoint.send(...)``.
+
+        Data packets from ``dest`` that arrive while waiting for the ack
+        (both sides sending at once) are accepted and stashed for a
+        later :meth:`recv`.
+        """
+        if words is None:
+            words = self.ctx.words_of(payload)
+        seq = self._next_seq(dest)
+        crc = checksum(payload)
+        rto = self._rto(words)
+        for attempt in range(1 + self.config.max_retries):
+            if attempt:
+                self.ctx.count("reliable.retransmits")
+            self._send_data(dest, seq, crc, payload, words)
+            while True:
+                msg = yield Recv(source=dest, tag=self.config.tag, timeout=rto)
+                if msg is TIMEOUT:
+                    self.ctx.count("reliable.timeouts")
+                    break  # retransmit
+                parsed = self._parse(msg)
+                if parsed is None:
+                    continue
+                kind, got_seq, _, got_payload = parsed
+                if kind == _ACK:
+                    if got_seq == seq:
+                        self.ctx.observe("reliable.attempts", attempt + 1)
+                        return
+                    continue  # stale ack of an earlier packet
+                if self._accept_data(msg.source, got_seq, got_payload):
+                    self._stash.setdefault(msg.source, []).append(got_payload)
+        raise ReliabilityError(
+            self.ctx.rank, dest, seq, attempts=1 + self.config.max_retries
+        )
+
+    def recv(self, source: int) -> Generator[Any, Any, Any]:
+        """Reliable receive of the next new payload from ``source``."""
+        stash = self._stash.get(source)
+        if stash:
+            return stash.pop(0)
+        while True:
+            msg = yield self.ctx.recv(source=source, tag=self.config.tag)
+            parsed = self._parse(msg)
+            if parsed is None:
+                continue
+            kind, seq, _, payload = parsed
+            if kind == _ACK:
+                continue  # stale ack addressed to a finished send
+            if self._accept_data(source, seq, payload):
+                return payload
+
+    # -------------------------------------------------------- m2m event loop
+    def exchange(
+        self,
+        outgoing: Mapping[int, Any],
+        words: Mapping[int, int],
+        expected: Iterable[int],
+    ) -> Generator[Any, Any, dict[int, Any]]:
+        """Reliable many-to-many round: send ``outgoing`` (pipelined, all
+        at once), collect one payload from every rank in ``expected``,
+        and return ``source -> payload``.
+
+        One event loop serves both directions: any arriving packet —
+        data to deliver, acks retiring our own sends — is
+        handled as it comes, and a single retransmit timer (the earliest
+        outstanding deadline) drives recovery.  A rank with nothing left
+        outstanding blocks without a timer; its missing data is the
+        *sender's* problem, and the sender's timer fires once the engine
+        has nothing else to run.
+        """
+        got: dict[int, Any] = {}
+        waiting = {s for s in expected if s != self.ctx.rank}
+        # A waited-for payload may have arrived during an *earlier* round
+        # on this endpoint (rounds interleave when ranks drift); serve the
+        # stash before blocking on the network.
+        for s in sorted(waiting):
+            stash = self._stash.get(s)
+            if stash:
+                got[s] = stash.pop(0)
+                waiting.discard(s)
+        # dest -> (seq, crc, payload, words, deadline, attempts) in flight.
+        outstanding: dict[int, tuple[int, int, Any, int, float, int]] = {}
+        for dest in sorted(outgoing):
+            if dest == self.ctx.rank:
+                continue
+            payload = outgoing[dest]
+            w = int(words.get(dest, 0))
+            seq = self._next_seq(dest)
+            crc = checksum(payload)
+            self._send_data(dest, seq, crc, payload, w)
+            deadline = self.ctx.clock + self._rto(w)
+            outstanding[dest] = (seq, crc, payload, w, deadline, 0)
+
+        while outstanding or waiting:
+            timeout = None
+            if outstanding:
+                deadline = min(entry[4] for entry in outstanding.values())
+                timeout = max(deadline - self.ctx.clock, 1e-12)
+            msg = yield Recv(source=ANY, tag=self.config.tag, timeout=timeout)
+            if msg is TIMEOUT:
+                self.ctx.count("reliable.timeouts")
+                now = self.ctx.clock
+                for dest in sorted(outstanding):
+                    seq, crc, payload, w, deadline, attempts = outstanding[dest]
+                    if deadline > now:
+                        continue
+                    if attempts >= self.config.max_retries:
+                        raise ReliabilityError(
+                            self.ctx.rank, dest, seq, attempts=attempts + 1
+                        )
+                    self.ctx.count("reliable.retransmits")
+                    self._send_data(dest, seq, crc, payload, w)
+                    outstanding[dest] = (
+                        seq, crc, payload, w, self.ctx.clock + self._rto(w),
+                        attempts + 1,
+                    )
+                continue
+            parsed = self._parse(msg)
+            if parsed is None:
+                continue
+            kind, seq, _, payload = parsed
+            if kind == _ACK:
+                entry = outstanding.get(msg.source)
+                if entry is not None and entry[0] == seq:
+                    del outstanding[msg.source]
+                    self.ctx.observe("reliable.attempts", entry[5] + 1)
+                continue
+            if self._accept_data(msg.source, seq, payload):
+                if msg.source in waiting:
+                    got[msg.source] = payload
+                    waiting.discard(msg.source)
+                else:
+                    # New data outside this round (interleaved protocols);
+                    # keep it for a later recv() instead of losing it.
+                    self._stash.setdefault(msg.source, []).append(payload)
+        return got
+
+    def __repr__(self) -> str:
+        return (
+            f"ReliableEndpoint(rank={self.ctx.rank}, tag={self.config.tag}, "
+            f"channels={len(self._send_seq)})"
+        )

@@ -13,6 +13,24 @@ Determinism
 Given the same programs and arguments, a run is bit-for-bit reproducible:
 ranks are resumed in rank order, message matching uses global sequence
 numbers to break ties, and no real time or randomness enters the engine.
+Fault injection preserves this: a :class:`~repro.faults.FaultPlan` draws
+its decisions from a seeded stream consumed in simulation order, so a
+fixed ``(program, plan)`` pair always fails identically.
+
+Fault injection and the watchdog
+--------------------------------
+``faults=FaultPlan(...)`` intercepts the delivery path (message drop /
+duplication / corruption / delay), the scheduler (rank crash-at-step)
+and local-work charging (stragglers).  Timed receives
+(:class:`Recv` with ``timeout=``) expire conservatively — only when no
+rank can otherwise progress — which is what the reliable transport's
+retransmit timers build on.  When a run gets stuck, the engine
+attributes the failure: injected crashes raise
+:class:`~.errors.RankFailureError` naming the dead ranks and what was
+pending on them; genuine deadlocks raise
+:class:`~.errors.DeadlockError` carrying the blocked-rank wait-for
+graph; and ``step_budget`` / ``time_budget`` bound livelocks with
+:class:`~.errors.WatchdogError`.
 
 Clock semantics
 ---------------
@@ -29,9 +47,15 @@ from collections import deque
 from typing import Any, Callable, Sequence
 
 from .context import Context
-from .errors import CollectiveMismatchError, DeadlockError, ProgramError
+from .errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    ProgramError,
+    RankFailureError,
+    WatchdogError,
+)
 from .mailbox import Mailbox
-from .ops import CollectiveOp, Message, Recv
+from .ops import ANY, TIMEOUT, CollectiveOp, Message, Recv
 from .spec import CM5, MachineSpec
 from .stats import ProcStats, RunResult
 
@@ -41,7 +65,10 @@ __all__ = ["Machine"]
 class _Proc:
     """Book-keeping for one rank's generator."""
 
-    __slots__ = ("rank", "gen", "waiting", "send_value", "finished", "result")
+    __slots__ = (
+        "rank", "gen", "waiting", "send_value", "finished", "result",
+        "crashed", "deadline",
+    )
 
     def __init__(self, rank: int, gen):
         self.rank = rank
@@ -50,6 +77,13 @@ class _Proc:
         self.send_value: Any = None
         self.finished = False
         self.result: Any = None
+        self.crashed = False
+        # Absolute expiry clock of a pending timed Recv, else None.
+        self.deadline: float | None = None
+
+    @property
+    def live(self) -> bool:
+        return not self.finished and not self.crashed
 
 
 class _PendingCollective:
@@ -70,6 +104,12 @@ class _PendingCollective:
         if op.group != self.op.group:
             raise CollectiveMismatchError(
                 f"rank {rank} joined group {op.group}, expected {self.op.group}"
+            )
+        if rank in self.arrived:
+            raise CollectiveMismatchError(
+                f"rank {rank} joined collective {self.op.kind!r} "
+                f"(key={self.op.key}) twice before the group completed — "
+                f"mismatched keys on concurrent collectives?"
             )
         self.payloads[rank] = op.payload
         self.arrived.add(rank)
@@ -104,9 +144,22 @@ class Machine:
     is used.
     """
 
-    def __init__(self, nprocs: int, spec: MachineSpec = CM5, tracer=None, metrics=None):
+    def __init__(
+        self,
+        nprocs: int,
+        spec: MachineSpec = CM5,
+        tracer=None,
+        metrics=None,
+        faults=None,
+        step_budget: int | None = None,
+        time_budget: float | None = None,
+    ):
         if nprocs < 1:
             raise ValueError(f"need at least one processor, got {nprocs}")
+        if step_budget is not None and step_budget < 1:
+            raise ValueError(f"step_budget must be >= 1, got {step_budget}")
+        if time_budget is not None and time_budget <= 0:
+            raise ValueError(f"time_budget must be > 0, got {time_budget}")
         self.nprocs = nprocs
         self.spec = spec
         self.tracer = tracer
@@ -115,6 +168,14 @@ class Machine:
 
             metrics = current_global_metrics()
         self.metrics = metrics
+        #: Optional :class:`~repro.faults.FaultPlan`; each run builds a
+        #: fresh seeded injector from it, so runs are independent and
+        #: identically reproducible.
+        self.fault_plan = faults
+        #: Progress watchdog: max scheduler steps / max simulated seconds
+        #: per run (None = unbounded, the seed behavior).
+        self.step_budget = step_budget
+        self.time_budget = time_budget
         # Run-scoped state, created in run():
         self._mailboxes: list[Mailbox] = []
         self._procs: list[_Proc] = []
@@ -123,6 +184,9 @@ class Machine:
         self._runnable_set: set[int] = set()
         self._pending_collectives: dict[tuple, _PendingCollective] = {}
         self._seq = 0
+        self._injector = None
+        self._work_scales: list[float] | None = None
+        self._steps_total = 0
 
     # ------------------------------------------------------------------ API
     def run(
@@ -157,6 +221,12 @@ class Machine:
         self._procs = []
         self._runnable = deque()
         self._runnable_set = set()
+        self._steps_total = 0
+        self._injector = None
+        self._work_scales = None
+        if self.fault_plan is not None and not self.fault_plan.is_noop:
+            self._injector = self.fault_plan.build(self.nprocs, metrics=self.metrics)
+            self._work_scales = self._injector.work_scales
         # rx_port contention: per-destination sorted busy intervals.
         self._port_busy: list[list[tuple[float, float]]] = [
             [] for _ in range(self.nprocs)
@@ -183,7 +253,8 @@ class Machine:
 
     # --------------------------------------------------------------- engine
     def _make_runnable(self, rank: int) -> None:
-        if rank not in self._runnable_set and not self._procs[rank].finished:
+        proc = self._procs[rank]
+        if rank not in self._runnable_set and proc.live:
             self._runnable.append(rank)
             self._runnable_set.add(rank)
 
@@ -192,10 +263,20 @@ class Machine:
             if self._runnable:
                 rank = self._runnable.popleft()
                 self._runnable_set.discard(rank)
+                self._steps_total += 1
+                if self.step_budget is not None and self._steps_total > self.step_budget:
+                    raise WatchdogError("steps", self.step_budget, self._steps_total)
                 self._step(rank)
+                if (
+                    self.time_budget is not None
+                    and self._stats[rank].clock > self.time_budget
+                ):
+                    raise WatchdogError(
+                        "time", self.time_budget, self._stats[rank].clock
+                    )
                 continue
-            # Nobody runnable: either all done, or deadlock.
-            live = [p for p in self._procs if not p.finished]
+            # Nobody runnable: all done, a timer to fire, or a dead end.
+            live = [p for p in self._procs if p.live]
             if not live:
                 return
             # A blocked receive may still be satisfiable if a matching
@@ -203,21 +284,110 @@ class Machine:
             # happen with current wake logic, but guard anyway).
             woke = False
             for p in live:
-                if isinstance(p.waiting, Recv) and self._mailboxes[p.rank].would_match(p.waiting):
-                    self._make_runnable(p.rank)
-                    woke = True
+                if not isinstance(p.waiting, Recv):
+                    continue
+                if not self._mailboxes[p.rank].would_match(p.waiting):
+                    continue
+                msg = self._mailboxes[p.rank].match(p.waiting)
+                p.waiting = None
+                p.deadline = None
+                self._complete_recv(p.rank, msg)
+                p.send_value = msg
+                self._make_runnable(p.rank)
+                woke = True
             if woke:
                 continue
+            # Timed receives expire only here — when nothing else can
+            # move — so a timeout can never race a message some runnable
+            # rank was still going to send.  Fire the earliest deadline
+            # (rank id breaks ties) and resume that rank with TIMEOUT.
+            timed = [
+                p for p in live
+                if isinstance(p.waiting, Recv) and p.deadline is not None
+            ]
+            if timed:
+                p = min(timed, key=lambda q: (q.deadline, q.rank))
+                st = self._stats[p.rank]
+                st.advance_to(p.deadline)
+                p.waiting = None
+                p.deadline = None
+                p.send_value = TIMEOUT
+                if self.metrics is not None:
+                    self.metrics.inc("machine.recv_timeouts")
+                if self.tracer is not None:
+                    self.tracer.record(st.clock, p.rank, "timeout")
+                self._make_runnable(p.rank)
+                continue
+            # Stuck for good: attribute the failure.
+            crashed = {
+                p.rank: self.fault_plan.crash_at.get(p.rank, 0)
+                for p in self._procs
+                if p.crashed
+            }
+            if crashed:
+                raise RankFailureError(crashed, pending=self._pending_on(crashed, live))
             blocked = {
                 p.rank: (p.waiting.describe() if p.waiting is not None else "nothing")
                 for p in live
             }
-            raise DeadlockError(blocked)
+            raise DeadlockError(blocked, wait_for=self._wait_for_graph(live))
+
+    # -------------------------------------------------------- stuck forensics
+    def _waits_on(self, proc: _Proc) -> tuple[int, ...]:
+        """Ranks whose progress could unblock ``proc`` right now."""
+        op = proc.waiting
+        if isinstance(op, Recv):
+            if op.source is ANY:
+                return tuple(
+                    q.rank for q in self._procs
+                    if q.rank != proc.rank and not q.finished
+                )
+            return (op.source,)
+        if isinstance(op, CollectiveOp):
+            key = (op.group, op.kind, op.key)
+            pending = self._pending_collectives.get(key)
+            arrived = pending.arrived if pending is not None else set()
+            return tuple(sorted(set(op.group) - arrived))
+        return ()
+
+    def _wait_for_graph(self, live: list[_Proc]) -> dict[int, tuple[int, ...]]:
+        return {p.rank: self._waits_on(p) for p in live if p.waiting is not None}
+
+    def _pending_on(self, crashed: dict[int, int], live: list[_Proc]) -> dict[int, str]:
+        """For each crashed rank, what the survivors still need from it."""
+        pending: dict[int, str] = {}
+        for rank in sorted(crashed):
+            waiters = sorted(
+                p.rank for p in live
+                if p.waiting is not None and rank in self._waits_on(p)
+            )
+            unread = len(self._mailboxes[rank])
+            parts = []
+            if waiters:
+                parts.append(f"ranks {waiters} blocked on rank {rank}")
+            if unread:
+                parts.append(f"{unread} unread message(s) in its mailbox")
+            pending[rank] = "; ".join(parts) if parts else f"nothing pending on rank {rank}"
+        return pending
+
+    def _crash(self, rank: int) -> None:
+        proc = self._procs[rank]
+        proc.crashed = True
+        proc.waiting = None
+        proc.deadline = None
+        if proc.gen is not None:
+            proc.gen.close()
+        if self.tracer is not None:
+            self.tracer.record(self._stats[rank].clock, rank, "crash")
 
     def _step(self, rank: int) -> None:
         """Advance one rank until it blocks or finishes."""
         proc = self._procs[rank]
+        inj = self._injector
         while True:
+            if inj is not None and inj.should_crash(rank):
+                self._crash(rank)
+                return
             try:
                 op = proc.gen.send(proc.send_value)
             except StopIteration as stop:
@@ -232,6 +402,8 @@ class Machine:
                 msg = self._mailboxes[rank].match(op)
                 if msg is None:
                     proc.waiting = op
+                    if op.timeout is not None:
+                        proc.deadline = self._stats[rank].clock + op.timeout
                     return
                 self._complete_recv(rank, msg)
                 proc.send_value = msg
@@ -252,14 +424,88 @@ class Machine:
 
     # ------------------------------------------------------------- messages
     def _deliver(
-        self, source: int, dest: int, tag: int, payload: Any, words: int, send_clock: float
+        self,
+        source: int,
+        dest: int,
+        tag: int,
+        payload: Any,
+        words: int,
+        send_clock: float,
+        auto_ack: tuple[Any, int] | None = None,
     ) -> None:
-        """Called by Context.send: enqueue the message and wake the receiver."""
-        self._seq += 1
+        """Called by Context.send: enqueue the message and wake the receiver.
+
+        With a fault injector attached, the delivery may be dropped,
+        duplicated, corrupted or delayed here — after the sender already
+        paid its send cost, exactly like a real in-flight loss.  Messages
+        addressed to a crashed rank are dropped unconditionally.
+
+        ``auto_ack=(ack_payload, ack_words)`` asks for a transport-level
+        acknowledgment: for every copy that arrives *uncorrupted*, the
+        engine sends ``ack_payload`` back to the sender on the same tag,
+        originating at the copy's arrival time.  The ack is generated by
+        the destination node's network interface, not its program — it
+        costs the destination's CPU nothing and keeps flowing even when
+        the destination's program has finished — and it crosses the same
+        faulty network (it may itself be dropped, duplicated, corrupted
+        or delayed).  This is the primitive the reliable transport
+        (:mod:`repro.faults.reliable`) builds its retransmit loop on.
+        """
         if self.metrics is not None:
             self.metrics.inc("machine.sends")
             self.metrics.inc("machine.words_sent", words)
             self.metrics.observe("machine.message_words", words)
+        if self.tracer is not None:
+            self.tracer.record(
+                send_clock, source, "send",
+                dest=dest, tag=tag, words=words,
+            )
+        inj = self._injector
+        if inj is None:
+            copies = ((payload, 0.0, False),)
+        else:
+            if self._procs[dest].crashed:
+                inj.drop_to_crashed()
+                if self.tracer is not None:
+                    self.tracer.record(
+                        send_clock, source, "fault",
+                        kind_of="drop", dest=dest, tag=tag, reason="crashed",
+                    )
+                return
+            copies = inj.deliveries(source, dest, tag, payload, words)
+            if not copies:
+                if self.tracer is not None:
+                    self.tracer.record(
+                        send_clock, source, "fault",
+                        kind_of="drop", dest=dest, tag=tag,
+                    )
+                return
+        for delivered_payload, extra_delay, corrupted in copies:
+            arrival = self._deposit(
+                source, dest, tag, delivered_payload, words, send_clock, extra_delay
+            )
+            if auto_ack is not None and not corrupted and dest != source:
+                ack_payload, ack_words = auto_ack
+                if self.metrics is not None:
+                    self.metrics.inc("machine.auto_acks")
+                transit = self.spec.message_time(
+                    ack_words, self.spec.hops_between(dest, source)
+                )
+                self._deliver(dest, source, tag, ack_payload, ack_words, arrival + transit)
+
+    def _deposit(
+        self,
+        source: int,
+        dest: int,
+        tag: int,
+        payload: Any,
+        words: int,
+        send_clock: float,
+        extra_delay: float = 0.0,
+    ) -> float:
+        """Place one (possibly fault-modified) copy into dest's mailbox;
+        returns the copy's arrival time."""
+        self._seq += 1
         arrival = send_clock  # sender already paid tau + mu*m
         if self.spec.rx_port and source != dest and words > 0:
             # Node contention: the message occupies the destination's
@@ -286,18 +532,14 @@ class Machine:
             payload=payload,
             words=words,
             send_time=send_clock,
-            arrival_time=arrival,
+            arrival_time=arrival + extra_delay,
             seq=self._seq,
         )
-        if self.tracer is not None:
-            self.tracer.record(
-                self._stats[source].clock, source, "send",
-                dest=dest, tag=tag, words=words,
-            )
         self._mailboxes[dest].deposit(msg)
         waiting = self._procs[dest].waiting
         if isinstance(waiting, Recv) and waiting.matches(msg):
             self._procs[dest].waiting = None
+            self._procs[dest].deadline = None
             # The engine loop will re-run the Recv; put the op back by
             # resuming through the normal path: deliver directly.
             taken = self._mailboxes[dest].match(waiting)
@@ -305,12 +547,11 @@ class Machine:
             self._complete_recv(dest, taken)
             self._procs[dest].send_value = taken
             self._make_runnable(dest)
+        return msg.arrival_time
 
     def _reserve_port(self, dest: int, ready: float, transfer: float) -> float:
         """Book ``transfer`` seconds on dest's receive port, no earlier
         than ``ready``; returns the transfer's end time (the arrival)."""
-        import bisect
-
         intervals = self._port_busy[dest]
         start = ready
         idx = 0

@@ -1,0 +1,108 @@
+"""FaultPlan validation, noop detection, and injector determinism."""
+
+import pytest
+
+from repro.faults import Corrupted, FaultPlan
+from repro.obs import MetricsRegistry
+
+
+class TestPlanValidation:
+    def test_defaults_are_noop(self):
+        plan = FaultPlan()
+        assert plan.is_noop
+        assert not plan.faults_messages
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(dup_rate=-0.1)
+
+    def test_crash_steps_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_at={0: -1})
+
+    def test_straggler_factors_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(stragglers={0: 0.5})
+
+    def test_any_fault_kind_defeats_noop(self):
+        assert not FaultPlan(drop_rate=0.1).is_noop
+        assert not FaultPlan(crash_at={1: 0}).is_noop
+        assert not FaultPlan(stragglers={1: 2.0}).is_noop
+
+    def test_describe_mentions_active_faults(self):
+        text = FaultPlan(seed=3, drop_rate=0.25).describe()
+        assert "drop" in text and "0.25" in text
+
+    def test_mappings_frozen(self):
+        plan = FaultPlan(crash_at={1: 2})
+        with pytest.raises(TypeError):
+            plan.crash_at[2] = 0
+
+
+class TestInjectorDecisions:
+    def _decide(self, plan, n=200):
+        inj = plan.build(nprocs=4)
+        return [
+            len(inj.deliveries(0, 1, tag=0, payload=i, words=4)) for i in range(n)
+        ]
+
+    def test_same_seed_same_decisions(self):
+        a = self._decide(FaultPlan(seed=5, drop_rate=0.3, dup_rate=0.2))
+        b = self._decide(FaultPlan(seed=5, drop_rate=0.3, dup_rate=0.2))
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = self._decide(FaultPlan(seed=5, drop_rate=0.3))
+        b = self._decide(FaultPlan(seed=6, drop_rate=0.3))
+        assert a != b
+
+    def test_fixed_field_order(self):
+        # The drop pattern must be identical whether or not other fault
+        # kinds are enabled: the stream is consumed in fixed field order.
+        a = self._decide(FaultPlan(seed=9, drop_rate=0.3))
+        b = [
+            min(n, 1)  # ignore duplicates, look only at dropped-or-not
+            for n in self._decide(FaultPlan(seed=9, drop_rate=0.3, dup_rate=0.5))
+        ]
+        assert [min(n, 1) for n in a] == b
+
+    def test_drop_rate_roughly_honoured(self):
+        fates = self._decide(FaultPlan(seed=0, drop_rate=0.4), n=2000)
+        dropped = fates.count(0)
+        assert 0.3 < dropped / 2000 < 0.5
+
+    def test_corruption_wraps_payload(self):
+        inj = FaultPlan(seed=1, corrupt_rate=1.0).build(nprocs=2)
+        copies = inj.deliveries(0, 1, tag=0, payload="data", words=4)
+        payload, _delay, corrupted = copies[0]
+        assert isinstance(payload, Corrupted)
+        assert payload.original == "data"
+        assert corrupted
+
+    def test_delay_adds_latency(self):
+        inj = FaultPlan(seed=1, delay_rate=1.0, delay_seconds=0.5).build(2)
+        [(_, delay, _c)] = inj.deliveries(0, 1, tag=0, payload=1, words=4)
+        assert delay == 0.5
+
+    def test_min_words_filter(self):
+        inj = FaultPlan(seed=1, drop_rate=1.0, min_words=10).build(2)
+        assert len(inj.deliveries(0, 1, tag=0, payload=1, words=4)) == 1
+        assert len(inj.deliveries(0, 1, tag=0, payload=1, words=10)) == 0
+
+    def test_target_tags_filter(self):
+        inj = FaultPlan(seed=1, drop_rate=1.0, target_tags=(7,)).build(2)
+        assert len(inj.deliveries(0, 1, tag=3, payload=1, words=4)) == 1
+        assert len(inj.deliveries(0, 1, tag=7, payload=1, words=4)) == 0
+
+    def test_metrics_counted(self):
+        reg = MetricsRegistry()
+        inj = FaultPlan(seed=1, drop_rate=1.0).build(2, metrics=reg)
+        inj.deliveries(0, 1, tag=0, payload=1, words=4)
+        assert reg.snapshot()["faults.drops"]["value"] == 1
+
+    def test_straggler_scales_dense(self):
+        inj = FaultPlan(seed=0, stragglers={2: 3.0}).build(4)
+        assert inj.work_scales == [1.0, 1.0, 3.0, 1.0]
+        assert FaultPlan(seed=0, drop_rate=0.1).build(4).work_scales is None

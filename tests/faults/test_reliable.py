@@ -1,0 +1,258 @@
+"""Reliable transport: checksums, retransmit, dedup, corruption rejection."""
+
+import numpy as np
+import pytest
+
+from repro.faults import Corrupted, FaultPlan
+from repro.faults.reliable import (
+    RELIABLE_TAG,
+    ReliabilityConfig,
+    ReliableEndpoint,
+    checksum,
+)
+from repro.machine import Machine, MachineSpec, ProgramError
+from repro.machine.errors import ReliabilityError
+from repro.obs import MetricsRegistry
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+def _counter(reg, name):
+    entry = reg.snapshot().get(name)
+    return 0 if entry is None else entry["value"]
+
+
+class TestChecksum:
+    def test_deterministic_and_type_sensitive(self):
+        a = np.arange(16, dtype=np.int64)
+        assert checksum(a) == checksum(a.copy())
+        assert checksum(a) != checksum(a.astype(np.float64))
+        assert checksum(a) != checksum(a.reshape(4, 4))
+
+    def test_covers_library_payload_shapes(self):
+        payloads = [
+            None, 0, 1.5, "text", b"raw",
+            (1, np.arange(3)), [1, 2], {"k": np.ones(2), 3: "v"},
+        ]
+        digests = [checksum(p) for p in payloads]
+        assert len(set(digests)) == len(digests)
+        assert all(0 <= d <= 0xFFFFFFFF for d in digests)
+
+    def test_corrupted_never_verifies(self):
+        for payload in [np.arange(8), "x", (1, 2), None]:
+            assert checksum(Corrupted(payload)) != checksum(payload)
+
+
+class TestConfig:
+    def test_coerce(self):
+        assert ReliabilityConfig.coerce(None) is None
+        assert ReliabilityConfig.coerce(False) is None
+        assert ReliabilityConfig.coerce(True) == ReliabilityConfig()
+        cfg = ReliabilityConfig(max_retries=3)
+        assert ReliabilityConfig.coerce(cfg) is cfg
+        with pytest.raises(TypeError):
+            ReliabilityConfig.coerce(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(timeout=0.0)
+
+    def test_endpoint_cached_on_context(self):
+        cfg = ReliabilityConfig()
+        seen = []
+
+        def prog(ctx):
+            a = ReliableEndpoint.of(ctx, cfg)
+            b = ReliableEndpoint.of(ctx, cfg)
+            seen.append(a is b)
+            return None
+            yield  # pragma: no cover
+
+        Machine(1, SPEC).run(prog)
+        assert seen == [True]
+
+
+def _ping(plan, config=None, payload="hello", metrics=None):
+    """Rank 0 reliably sends ``payload`` to rank 1; returns rank 1's copy."""
+    cfg = config or ReliabilityConfig()
+
+    def prog(ctx):
+        endpoint = ReliableEndpoint.of(ctx, cfg)
+        if ctx.rank == 0:
+            yield from endpoint.send(1, payload, words=8)
+            return None
+        got = yield from endpoint.recv(0)
+        return got
+
+    res = Machine(2, SPEC, faults=plan, metrics=metrics).run(prog)
+    return res.results[1]
+
+
+class TestStopAndWait:
+    def test_clean_network_no_retransmits(self):
+        reg = MetricsRegistry()
+        assert _ping(None, metrics=reg) == "hello"
+        assert _counter(reg, "reliable.retransmits") == 0
+        assert _counter(reg, "reliable.timeouts") == 0
+        assert _counter(reg, "machine.auto_acks") == 1
+
+    def test_drop_triggers_retransmit(self):
+        # Seed chosen so at least one data copy is dropped; the timed
+        # recv fires (conservatively) and the retransmit gets through.
+        reg = MetricsRegistry()
+        plan = FaultPlan(seed=3, drop_rate=0.6)
+        assert _ping(plan, metrics=reg) == "hello"
+        assert _counter(reg, "reliable.retransmits") >= 1
+        assert _counter(reg, "reliable.timeouts") >= 1
+
+    def test_duplicate_deduped(self):
+        # Two back-to-back payloads: the duplicate of the first is still
+        # in the mailbox when the receiver reads for the second, so the
+        # dedup path actually runs (a lone recv returns on the first
+        # copy and never parses its duplicate).
+        reg = MetricsRegistry()
+        cfg = ReliabilityConfig()
+
+        def prog(ctx):
+            endpoint = ReliableEndpoint.of(ctx, cfg)
+            if ctx.rank == 0:
+                yield from endpoint.send(1, "first", words=4)
+                yield from endpoint.send(1, "second", words=4)
+                return None
+            a = yield from endpoint.recv(0)
+            b = yield from endpoint.recv(0)
+            return (a, b)
+
+        plan = FaultPlan(seed=1, dup_rate=1.0)
+        res = Machine(2, SPEC, faults=plan, metrics=reg).run(prog)
+        assert res.results[1] == ("first", "second")
+        assert _counter(reg, "reliable.dup_dropped") >= 1
+
+    def test_corruption_rejected_by_checksum(self):
+        # Every copy arrives damaged until retries run out of luck — use a
+        # 50% corruption rate so a clean copy eventually lands.
+        reg = MetricsRegistry()
+        plan = FaultPlan(seed=3, corrupt_rate=0.5)
+        payload = np.arange(32)
+        got = _ping(plan, payload=payload, metrics=reg)
+        assert np.array_equal(got, payload)
+        assert _counter(reg, "reliable.corrupt_rejected") >= 1
+
+    def test_retries_exhausted_raises(self):
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        cfg = ReliabilityConfig(max_retries=2)
+        with pytest.raises(ProgramError) as exc:
+            _ping(plan, config=cfg)
+        cause = exc.value.__cause__
+        assert isinstance(cause, ReliabilityError)
+        assert cause.attempts == 3
+        assert (cause.rank, cause.dest) == (0, 1)
+
+    def test_ping_pong_survives_loss_across_seeds(self):
+        cfg = ReliabilityConfig()
+
+        def prog(ctx):
+            endpoint = ReliableEndpoint.of(ctx, cfg)
+            if ctx.rank == 0:
+                yield from endpoint.send(1, ("ping", 1), words=4)
+                return (yield from endpoint.recv(1))
+            got = yield from endpoint.recv(0)
+            yield from endpoint.send(0, ("pong", got[1] + 1), words=4)
+            return got
+
+        for seed in range(6):
+            plan = FaultPlan(seed=seed, drop_rate=0.3, dup_rate=0.1)
+            res = Machine(2, SPEC, faults=plan).run(prog)
+            assert res.results == [("pong", 2), ("ping", 1)]
+
+    def test_acks_flow_after_receiver_finished(self):
+        # The receiver's program ends right after its recv; the transport
+        # ack for any retransmitted copy is generated by the engine (the
+        # node's NIC), so the sender still terminates.  This is the
+        # two-army hazard that program-level acks cannot solve.
+        cfg = ReliabilityConfig()
+
+        def prog(ctx):
+            endpoint = ReliableEndpoint.of(ctx, cfg)
+            if ctx.rank == 0:
+                yield from endpoint.send(1, "final", words=4)
+                return "sent"
+            return (yield from endpoint.recv(0))
+
+        retransmitted = 0
+        for seed in range(8):
+            reg = MetricsRegistry()
+            plan = FaultPlan(seed=seed, drop_rate=0.4)
+            res = Machine(2, SPEC, faults=plan, metrics=reg).run(prog)
+            assert res.results == ["sent", "final"]
+            retransmitted += _counter(reg, "reliable.retransmits")
+        assert retransmitted >= 1  # the sweep did exercise recovery
+
+
+class TestExchange:
+    def _all_to_all(self, nprocs, plan, metrics=None, config=None):
+        cfg = config or ReliabilityConfig()
+
+        def prog(ctx):
+            endpoint = ReliableEndpoint.of(ctx, cfg)
+            outgoing = {
+                d: ctx.rank * 100 + d for d in range(ctx.size) if d != ctx.rank
+            }
+            words = {d: 2 for d in outgoing}
+            got = yield from endpoint.exchange(
+                outgoing, words, expected=range(ctx.size)
+            )
+            return got
+
+        res = Machine(nprocs, SPEC, faults=plan, metrics=metrics).run(prog)
+        for rank, got in enumerate(res.results):
+            assert got == {
+                s: s * 100 + rank for s in range(nprocs) if s != rank
+            }, f"rank {rank} received wrong payloads"
+        return res
+
+    def test_clean_network(self):
+        reg = MetricsRegistry()
+        self._all_to_all(4, None, metrics=reg)
+        assert _counter(reg, "reliable.retransmits") == 0
+
+    def test_lossy_network_across_seeds(self):
+        # A generous retry budget: at these rates a packet can lose many
+        # rounds in a row (seed 0 loses nine straight on one channel with
+        # the default budget of 8 — that raise is correct behavior, but
+        # here the point is delivery under survivable loss).
+        cfg = ReliabilityConfig(max_retries=24)
+        for seed in range(4):
+            plan = FaultPlan(seed=seed, drop_rate=0.2, dup_rate=0.05,
+                             corrupt_rate=0.05)
+            self._all_to_all(4, plan, config=cfg)
+
+    def test_exchange_is_deterministic(self):
+        plan = FaultPlan(seed=7, drop_rate=0.25)
+        a = self._all_to_all(4, plan)
+        b = self._all_to_all(4, plan)
+        assert [s.clock for s in a.stats] == [s.clock for s in b.stats]
+
+    def test_sequence_numbers_span_rounds(self):
+        # Two successive exchanges on one cached endpoint must not reuse
+        # sequence numbers, or round 2's data would be deduped as round
+        # 1's duplicates.
+        cfg = ReliabilityConfig()
+
+        def prog(ctx):
+            endpoint = ReliableEndpoint.of(ctx, cfg)
+            peer = 1 - ctx.rank
+            first = yield from endpoint.exchange(
+                {peer: ("round", 1, ctx.rank)}, {peer: 2}, expected=[peer]
+            )
+            second = yield from endpoint.exchange(
+                {peer: ("round", 2, ctx.rank)}, {peer: 2}, expected=[peer]
+            )
+            return (first[peer], second[peer])
+
+        res = Machine(2, SPEC, faults=FaultPlan(seed=1, dup_rate=0.5)).run(prog)
+        for rank, (first, second) in enumerate(res.results):
+            assert first == ("round", 1, 1 - rank)
+            assert second == ("round", 2, 1 - rank)

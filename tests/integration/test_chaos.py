@@ -1,0 +1,159 @@
+"""End-to-end chaos: PACK/UNPACK stay oracle-correct on a faulty network
+when the reliable transport is on, reproduce bit-for-bit per seed, and
+attribute rank crashes as RankFailureError."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import pack, unpack
+from repro.faults import FaultPlan
+from repro.faults.reliable import RELIABLE_TAG
+from repro.machine import DeadlockError, ProgramError
+from repro.machine.errors import RankFailureError
+from repro.machine.spec import CM5, ETHERNET_CLUSTER
+from repro.obs import MetricsRegistry
+from repro.serial.reference import pack_reference, unpack_reference
+
+N = 512
+PROCS = 4
+
+
+def _mask(seed, density=0.5, n=N):
+    rng = np.random.default_rng(seed)
+    return rng.random(n) < density
+
+
+def _array(n=N):
+    return np.arange(n, dtype=np.int64)
+
+
+class TestPackUnderChaos:
+    @pytest.mark.parametrize("drop", [0.01, 0.05, 0.1])
+    def test_oracle_correct_across_drop_rates(self, drop):
+        mask = _mask(1)
+        array = _array()
+        plan = FaultPlan(seed=0, drop_rate=drop)
+        # validate=True checks against the serial numpy oracle internally;
+        # assert explicitly anyway so the contract is visible here.
+        res = pack(array, mask, PROCS, scheme="cms", faults=plan,
+                   reliability=True, validate=True)
+        assert np.array_equal(res.vector, pack_reference(array, mask))
+
+    @pytest.mark.parametrize("scheme", ["sss", "css", "cms"])
+    def test_all_schemes_survive_faults(self, scheme):
+        mask = _mask(2, density=0.3)
+        array = _array()
+        plan = FaultPlan(seed=3, drop_rate=0.05, dup_rate=0.02,
+                         corrupt_rate=0.02)
+        res = pack(array, mask, PROCS, scheme=scheme, faults=plan,
+                   reliability=True, validate=True)
+        assert res.size == int(mask.sum())
+
+    def test_unreliable_run_fails_loudly(self):
+        # Without the reliable transport a heavy drop rate must not give
+        # silently wrong data: the run dies (deadlock on the lost message
+        # or a program error from a corrupted payload).
+        mask = _mask(1)
+        plan = FaultPlan(seed=0, drop_rate=0.5)
+        with pytest.raises((DeadlockError, ProgramError)):
+            pack(_array(), mask, PROCS, scheme="cms", faults=plan,
+                 validate=False)
+
+    def test_bitwise_reproducible_per_seed(self):
+        mask = _mask(4)
+        array = _array()
+        plan = FaultPlan(seed=11, drop_rate=0.08, dup_rate=0.02)
+
+        def one_run():
+            reg = MetricsRegistry()
+            res = pack(array, mask, PROCS, scheme="cms", faults=plan,
+                       reliability=True, metrics=reg, validate=True)
+            snap = reg.snapshot()
+            return (
+                res.vector.tobytes(),
+                res.total_ms,
+                [s.clock for s in res.run.stats],
+                {k: v for k, v in sorted(snap.items())},
+            )
+
+        assert one_run() == one_run()
+
+    def test_different_seeds_differ(self):
+        mask = _mask(4)
+        array = _array()
+
+        def elapsed(seed):
+            res = pack(array, mask, PROCS, scheme="cms",
+                       faults=FaultPlan(seed=seed, drop_rate=0.2),
+                       reliability=True, validate=True)
+            return res.total_ms
+
+        # Same answer either way, but the fault pattern (and so the
+        # simulated time) depends on the seed.
+        assert elapsed(0) != elapsed(1)
+
+
+class TestUnpackUnderChaos:
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_oracle_correct(self, compress):
+        mask = _mask(5)
+        field_array = np.full(N, -1, dtype=np.int64)
+        vector = np.arange(int(mask.sum()), dtype=np.int64)
+        plan = FaultPlan(seed=2, drop_rate=0.05, dup_rate=0.02)
+        res = unpack(vector, mask, field_array, PROCS, scheme="css",
+                     compress_requests=compress, faults=plan,
+                     reliability=True, validate=True)
+        expected = unpack_reference(vector, mask, field_array)
+        assert np.array_equal(res.array, expected)
+
+
+class TestCrashAttribution:
+    def test_crash_surfaces_as_rank_failure(self):
+        # Step 1 = rank 1's second generator resumption, well inside any
+        # pack run; the survivors must name the dead rank, not report a
+        # bare deadlock.
+        mask = _mask(6)
+        plan = FaultPlan(seed=0, crash_at={1: 1})
+        with pytest.raises(RankFailureError) as exc:
+            pack(_array(), mask, PROCS, scheme="cms", faults=plan,
+                 validate=False)
+        assert 1 in exc.value.crashed
+
+
+class TestNonControlNetworkSpec:
+    def test_faults_scoped_to_reliable_tag(self):
+        # ETHERNET_CLUSTER has no reliable control network: PRS runs over
+        # unprotected point-to-point messages, so faults must be scoped
+        # to the reliable transport's tag (the redistribution traffic).
+        mask = _mask(7)
+        array = _array()
+        plan = FaultPlan(seed=1, drop_rate=0.1,
+                         target_tags=(RELIABLE_TAG,))
+        res = pack(array, mask, PROCS, scheme="cms",
+                   spec=ETHERNET_CLUSTER, faults=plan, reliability=True,
+                   validate=True)
+        assert np.array_equal(res.vector, pack_reference(array, mask))
+
+
+class TestReliabilityOverhead:
+    def test_zero_drop_overhead_bounded(self):
+        # At drop 0 the reliable transport (headers + NIC acks, no
+        # retransmits) adds < 15% simulated time.  The extra cost is one
+        # ack round-trip per exchange — a constant — so the bound needs
+        # a realistically sized problem to amortize it.
+        n = 8192
+        mask = _mask(8, n=n)
+        array = _array(n)
+        base = pack(array, mask, PROCS, scheme="cms", validate=True)
+        rel = pack(array, mask, PROCS, scheme="cms", reliability=True,
+                   faults=FaultPlan(seed=0, drop_rate=0.0), validate=True)
+        assert rel.total_ms <= base.total_ms * 1.15
+
+    def test_no_retransmits_without_faults(self):
+        reg = MetricsRegistry()
+        mask = _mask(8)
+        pack(_array(), mask, PROCS, scheme="cms", reliability=True,
+             metrics=reg, validate=True)
+        snap = reg.snapshot()
+        assert snap.get("reliable.retransmits", {"value": 0})["value"] == 0
+        assert snap.get("machine.recv_timeouts", {"value": 0})["value"] == 0

@@ -1,0 +1,298 @@
+"""Engine robustness: late-wake guard, timed receives, watchdog, crash
+attribution, wait-for graphs, straggler scaling."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.machine import (
+    ANY,
+    CollectiveOp,
+    DeadlockError,
+    Machine,
+    MachineSpec,
+    Message,
+    Recv,
+    TIMEOUT,
+)
+from repro.machine.engine import _PendingCollective
+from repro.machine.errors import (
+    CollectiveMismatchError,
+    RankFailureError,
+    WatchdogError,
+)
+from repro.machine.mailbox import Mailbox
+from repro.obs import MetricsRegistry
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+def _msg(source=0, dest=1, tag=0, seq=1, arrival=1.0):
+    return Message(
+        source=source, dest=dest, tag=tag, payload=None, words=1,
+        send_time=0.0, arrival_time=arrival, seq=seq,
+    )
+
+
+class TestWouldMatch:
+    def test_empty_mailbox_matches_nothing(self):
+        assert not Mailbox(1).would_match(Recv(source=ANY, tag=ANY))
+
+    def test_source_and_tag_selectivity(self):
+        box = Mailbox(1)
+        box.deposit(_msg(source=3, tag=7))
+        assert box.would_match(Recv(source=3, tag=7))
+        assert box.would_match(Recv(source=ANY, tag=7))
+        assert box.would_match(Recv(source=3, tag=ANY))
+        assert not box.would_match(Recv(source=2, tag=7))
+        assert not box.would_match(Recv(source=3, tag=8))
+
+    def test_does_not_consume(self):
+        box = Mailbox(1)
+        box.deposit(_msg())
+        pattern = Recv(source=ANY, tag=ANY)
+        assert box.would_match(pattern) and box.would_match(pattern)
+        assert len(box) == 1
+        assert box.match(pattern) is not None
+        assert not box.would_match(pattern)
+
+
+class SleepyMachine(Machine):
+    """Deposits messages without ever waking a blocked receiver, to prove
+    the scheduler's late-wake guard recovers on its own."""
+
+    def _deposit(self, source, dest, tag, payload, words, send_clock,
+                 extra_delay=0.0):
+        self._seq += 1
+        msg = Message(
+            source=source, dest=dest, tag=tag, payload=payload, words=words,
+            send_time=send_clock, arrival_time=send_clock + extra_delay,
+            seq=self._seq,
+        )
+        self._mailboxes[dest].deposit(msg)
+        return msg.arrival_time
+
+
+class TestLateWakeGuard:
+    def test_blocked_recv_recovers_without_wake(self):
+        # Rank 0 blocks first; rank 1's send deposits silently, then rank 1
+        # blocks too.  With nobody runnable the loop must notice rank 0's
+        # mailbox would match and re-queue it (and later rank 1 likewise).
+        def prog(ctx):
+            if ctx.rank == 0:
+                msg = yield ctx.recv(source=1)
+                ctx.send(1, msg.payload * 2, words=1)
+                return "zero"
+            ctx.send(0, 21, words=1)
+            reply = yield ctx.recv(source=0)
+            return reply.payload
+
+        res = SleepyMachine(2, SPEC).run(prog)
+        assert res.results == ["zero", 42]
+
+    def test_normal_machine_same_results(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                msg = yield ctx.recv(source=1)
+                return msg.payload
+            ctx.send(0, "data", words=1)
+            return None
+
+        assert SleepyMachine(2, SPEC).run(prog).results == \
+            Machine(2, SPEC).run(prog).results
+
+
+class TestDoubleJoinGuard:
+    def _op(self, **kw):
+        defaults = dict(group=(0, 1, 2), kind="sum", payload=0)
+        defaults.update(kw)
+        return CollectiveOp(**defaults)
+
+    def test_double_join_rejected(self):
+        pending = _PendingCollective(self._op())
+        pending.join(0, self._op())
+        with pytest.raises(CollectiveMismatchError, match="twice"):
+            pending.join(0, self._op())
+
+    def test_mismatched_kind_and_group_rejected(self):
+        pending = _PendingCollective(self._op())
+        with pytest.raises(CollectiveMismatchError):
+            pending.join(1, self._op(kind="max"))
+        with pytest.raises(CollectiveMismatchError):
+            pending.join(1, self._op(group=(0, 1)))
+
+
+class TestTimedRecv:
+    def test_timeout_fires_when_nothing_can_progress(self):
+        reg = MetricsRegistry()
+
+        def prog(ctx):
+            got = yield Recv(source=ANY, timeout=1e-3)
+            return (got is TIMEOUT, ctx.clock)
+
+        res = Machine(1, SPEC, metrics=reg).run(prog)
+        timed_out, clock = res.results[0]
+        assert timed_out
+        assert clock == pytest.approx(1e-3)
+        assert reg.snapshot()["machine.recv_timeouts"]["value"] == 1
+
+    def test_timeout_is_conservative(self):
+        # Rank 1 takes far longer than the timeout to send, but stays
+        # runnable the whole time, so the timed recv must NOT expire: a
+        # timeout never races a message a runnable rank was going to send.
+        def prog(ctx):
+            if ctx.rank == 0:
+                got = yield Recv(source=1, timeout=1e-6)
+                return got if got is TIMEOUT else got.payload
+            ctx.work(10_000_000)  # ~1 s of local work at delta=0.1us
+            ctx.send(0, "late", words=1)
+            return None
+
+        res = Machine(2, SPEC).run(prog)
+        assert res.results[0] == "late"
+
+    def test_earliest_deadline_fires_first(self):
+        order = []
+
+        def prog(ctx):
+            timeout = 2e-3 if ctx.rank == 0 else 1e-3
+            yield Recv(source=ANY, timeout=timeout)
+            order.append(ctx.rank)
+            return None
+
+        Machine(2, SPEC).run(prog)
+        assert order == [1, 0]
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Recv(source=ANY, timeout=0.0)
+
+
+class TestWatchdog:
+    def test_step_budget(self):
+        def prog(ctx):
+            peer = 1 - ctx.rank
+            for i in range(1000):
+                ctx.send(peer, i, words=1)
+                yield ctx.recv(source=peer)
+            return None
+
+        with pytest.raises(WatchdogError) as exc:
+            Machine(2, SPEC, step_budget=50).run(prog)
+        assert exc.value.kind == "steps"
+        assert exc.value.limit == 50
+
+    def test_time_budget(self):
+        def prog(ctx):
+            ctx.work(10_000_000)  # ~1 s at delta=0.1us
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(WatchdogError) as exc:
+            Machine(1, SPEC, time_budget=1e-3).run(prog)
+        assert exc.value.kind == "time"
+
+    def test_budgets_validated(self):
+        with pytest.raises(ValueError):
+            Machine(1, SPEC, step_budget=0)
+        with pytest.raises(ValueError):
+            Machine(1, SPEC, time_budget=0.0)
+
+    def test_generous_budget_is_invisible(self):
+        def prog(ctx):
+            ctx.send(1 - ctx.rank, ctx.rank, words=1)
+            msg = yield ctx.recv(source=1 - ctx.rank)
+            return msg.payload
+
+        res = Machine(2, SPEC, step_budget=10_000, time_budget=10.0).run(prog)
+        assert res.results == [1, 0]
+
+
+class TestStuckAttribution:
+    def test_deadlock_carries_wait_for_graph(self):
+        def prog(ctx):
+            msg = yield ctx.recv(source=1 - ctx.rank)
+            return msg
+
+        with pytest.raises(DeadlockError) as exc:
+            Machine(2, SPEC).run(prog)
+        assert exc.value.wait_for == {0: (1,), 1: (0,)}
+
+    def test_crash_raises_rank_failure_not_deadlock(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                ctx.send(0, "never-sent", words=1)
+                yield ctx.recv(source=0)
+                return None
+            msg = yield ctx.recv(source=1)
+            return msg.payload
+
+        plan = FaultPlan(crash_at={1: 0})
+        with pytest.raises(RankFailureError) as exc:
+            Machine(2, SPEC, faults=plan).run(prog)
+        assert exc.value.crashed == {1: 0}
+        assert 1 in exc.value.pending
+        assert "blocked on rank 1" in exc.value.pending[1]
+
+    def test_rank_failure_is_a_deadlock_subclass_boundary(self):
+        # RankFailureError must NOT be caught by code expecting a plain
+        # DeadlockError: attribution is the whole point.
+        assert not issubclass(RankFailureError, DeadlockError)
+
+    def test_crash_at_later_step(self):
+        # Step 1 = the rank's second generator resumption: rank 0 runs
+        # its first slice, blocks, and dies on being woken.
+        resumed_twice = []
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                msg = yield ctx.recv(source=1)
+                resumed_twice.append(ctx.rank)
+                ctx.send(1, msg.payload, words=1)
+                return None
+            ctx.send(0, "wake", words=1)
+            msg = yield ctx.recv(source=0)
+            return msg.payload
+
+        plan = FaultPlan(crash_at={0: 1})
+        with pytest.raises(RankFailureError) as exc:
+            Machine(2, SPEC, faults=plan).run(prog)
+        assert exc.value.crashed == {0: 1}
+        assert resumed_twice == []  # the crash preempted the resumption
+
+    def test_crash_with_no_stuck_survivors_is_silent(self):
+        # A crashed rank only surfaces as RankFailureError when somebody
+        # needed it; an independent survivor finishes normally.
+        def prog(ctx):
+            ctx.work(10)
+            return ctx.rank
+            yield  # pragma: no cover
+
+        res = Machine(2, SPEC, faults=FaultPlan(crash_at={1: 0})).run(prog)
+        assert res.results[0] == 0
+        assert res.results[1] is None  # never ran
+
+
+class TestStragglers:
+    def test_work_scaled_only_on_straggler(self):
+        def prog(ctx):
+            ctx.work(1_000_000)
+            return ctx.clock
+            yield  # pragma: no cover
+
+        base = Machine(2, SPEC).run(prog)
+        slow = Machine(2, SPEC, faults=FaultPlan(stragglers={1: 3.0})).run(prog)
+        assert slow.results[0] == pytest.approx(base.results[0])
+        assert slow.results[1] == pytest.approx(3.0 * base.results[1])
+
+    def test_communication_costs_unchanged(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "x", words=100)
+                return None
+                yield  # pragma: no cover
+            msg = yield ctx.recv(source=0)
+            return ctx.clock
+
+        base = Machine(2, SPEC).run(prog)
+        slow = Machine(2, SPEC, faults=FaultPlan(stragglers={0: 5.0})).run(prog)
+        assert slow.results[1] == pytest.approx(base.results[1])
