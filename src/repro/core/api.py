@@ -298,8 +298,9 @@ def pack(
     )
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
 
-    array_blocks = layout.scatter(array)
-    mask_blocks = layout.scatter(mask)
+    # The programs only read their input blocks, so views are safe.
+    array_blocks = layout.scatter(array, copy=False)
+    mask_blocks = layout.scatter(mask, copy=False)
     machine = Machine(
         layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
         step_budget=step_budget, time_budget=time_budget,
@@ -420,9 +421,10 @@ def unpack(
 
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
     vec_layout = input_vector_layout(int(vector.size), layout.nprocs, config)
-    vector_blocks = vec_layout.scatter(vector)
-    mask_blocks = layout.scatter(mask)
-    field_blocks = layout.scatter(field_array)
+    # The programs only read their input blocks, so views are safe.
+    vector_blocks = vec_layout.scatter(vector, copy=False)
+    mask_blocks = layout.scatter(mask, copy=False)
+    field_blocks = layout.scatter(field_array, copy=False)
     machine = Machine(
         layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
         step_budget=step_budget, time_budget=time_budget,
@@ -494,7 +496,7 @@ def ranking(
         grid = (grid,)
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
     layout = GridLayout.create(mask.shape, grid, block)
-    mask_blocks = layout.scatter(mask)
+    mask_blocks = layout.scatter(mask, copy=False)
     machine = Machine(
         layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
         step_budget=step_budget, time_budget=time_budget,

@@ -32,6 +32,10 @@ __all__ = [
     "compose_segment_messages",
     "decompose_pair_message",
     "decompose_segment_message",
+    "expand_segments",
+    "gather_segments",
+    "place_pair_message",
+    "place_segment_message",
 ]
 
 
@@ -72,40 +76,65 @@ class SegmentMessage:
         return self.count + 2 * self.segments
 
 
-def _group_slices(keys: np.ndarray) -> list[tuple[int, np.ndarray]]:
-    """Split ``arange(len(keys))`` into runs of equal key.
+def _is_monotone(keys: np.ndarray) -> bool:
+    return bool(np.all(keys[1:] >= keys[:-1]))
 
-    ``keys`` must be *grouped* (equal values contiguous), which holds for
-    destination vectors derived from ascending ranks under a block vector
-    layout; for non-block layouts the callers sort first.
+
+def _run_bounds(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run boundaries of a *grouped* key vector.
+
+    Returns ``(run_keys, bounds)`` where run ``j`` spans
+    ``[bounds[j], bounds[j+1])`` and has key ``run_keys[j]``.
     """
-    if keys.size == 0:
-        return []
-    boundaries = np.flatnonzero(np.diff(keys)) + 1
-    chunks = np.split(np.arange(keys.size), boundaries)
-    return [(int(keys[c[0]]), c) for c in chunks]
+    boundaries = np.flatnonzero(keys[1:] != keys[:-1]) + 1
+    bounds = np.concatenate(([0], boundaries, [keys.size]))
+    return keys[bounds[:-1]], bounds
 
 
-def _ensure_grouped(sel_order: np.ndarray, dests: np.ndarray) -> np.ndarray:
-    """Stable-sort element order by destination if not already grouped."""
-    if dests.size <= 1:
-        return sel_order
-    # Grouped iff every destination change is to a never-seen value; for a
-    # monotone destination vector that is automatic.  Cheap test: monotone.
-    if np.all(np.diff(dests) >= 0):
-        return sel_order
-    order = np.argsort(dests, kind="stable")
-    return sel_order[order]
+def expand_segments(bases: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Expand ``(base, count)`` runs into the full index stream, vectorized.
+
+    ``[b0, b0+1, .., b0+c0-1, b1, ..]`` via the repeat/cumsum-offset trick:
+    repeat each base shifted by the elements emitted before its run, then
+    add one global ``arange``.  Replaces the per-segment Python loop of
+    ``base + arange(count)`` concatenations.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    total = int(cum[-1])
+    shifted = np.asarray(bases, dtype=np.int64) - (cum - counts)
+    return np.repeat(shifted, counts) + np.arange(total, dtype=np.int64)
 
 
 def compose_pair_messages(sel: SelectedElements) -> dict[int, PairMessage]:
-    """One pair-encoded message per destination."""
-    idx = _ensure_grouped(np.arange(sel.count), sel.dests)
-    dests = sel.dests[idx]
+    """One pair-encoded message per destination.
+
+    Destinations derived from ascending ranks under a block result layout
+    are already grouped; that monotone fast path slices the rank/value
+    vectors directly (views, no permutation, no copies).  Non-monotone
+    destination vectors (block-cyclic result layouts) pay one stable sort.
+    """
+    if sel.count == 0:
+        return {}
+    dests = sel.dests
     out: dict[int, PairMessage] = {}
-    for dest, rows in _group_slices(dests):
-        rows = idx[rows]
-        out[dest] = PairMessage(ranks=sel.ranks[rows], values=sel.values[rows])
+    if _is_monotone(dests):
+        run_keys, bounds = _run_bounds(dests)
+        for j, dest in enumerate(run_keys):
+            a, b = bounds[j], bounds[j + 1]
+            out[int(dest)] = PairMessage(
+                ranks=sel.ranks[a:b], values=sel.values[a:b]
+            )
+        return out
+    order = np.argsort(dests, kind="stable")
+    ranks = sel.ranks[order]
+    values = sel.values[order]
+    run_keys, bounds = _run_bounds(dests[order])
+    for j, dest in enumerate(run_keys):
+        a, b = bounds[j], bounds[j + 1]
+        out[int(dest)] = PairMessage(ranks=ranks[a:b], values=values[a:b])
     return out
 
 
@@ -113,7 +142,11 @@ def compose_segment_messages(sel: SelectedElements) -> dict[int, SegmentMessage]
     """One segment-encoded message per destination.
 
     Segments are maximal same-slice same-destination runs (consecutive
-    ranks within, by the slice property).
+    ranks within, by the slice property).  Segment geometry and the value
+    stream are computed with pure array ops; the only Python loop left is
+    one iteration per destination (one message each).  When segment
+    destinations are monotone, each destination's segments cover one
+    contiguous element span, so its value stream is a plain slice.
     """
     n = sel.count
     if n == 0:
@@ -126,20 +159,35 @@ def compose_segment_messages(sel: SelectedElements) -> dict[int, SegmentMessage]
     seg_count = seg_ends - seg_starts
 
     out: dict[int, SegmentMessage] = {}
-    # Group segments by destination (stable, preserving rank order).
-    order = (
-        np.arange(seg_dest.size)
-        if np.all(np.diff(seg_dest) >= 0)
-        else np.argsort(seg_dest, kind="stable")
-    )
-    sd = seg_dest[order]
-    for dest, seg_rows in _group_slices(sd):
-        rows = order[seg_rows]
-        values = np.concatenate(
-            [sel.values[seg_starts[s] : seg_ends[s]] for s in rows]
-        )
-        out[dest] = SegmentMessage(
-            bases=seg_base[rows], counts=seg_count[rows], values=values
+    if _is_monotone(seg_dest):
+        run_keys, bounds = _run_bounds(seg_dest)
+        for j, dest in enumerate(run_keys):
+            a, b = bounds[j], bounds[j + 1]
+            out[int(dest)] = SegmentMessage(
+                bases=seg_base[a:b],
+                counts=seg_count[a:b],
+                # Segments are consecutive element ranges, so this
+                # destination's values are one contiguous slice.
+                values=sel.values[seg_starts[a] : seg_ends[b - 1]],
+            )
+        return out
+    # Non-monotone: order segments by destination (stable, preserving rank
+    # order), expand the ordered segment spans into one element gather
+    # index, then slice the gathered stream per destination.
+    order = np.argsort(seg_dest, kind="stable")
+    lengths = seg_count[order]
+    elem_idx = expand_segments(seg_starts[order], lengths)
+    values_all = sel.values[elem_idx]
+    elem_bounds = np.concatenate(([0], np.cumsum(lengths)))
+    run_keys, bounds = _run_bounds(seg_dest[order])
+    bases = seg_base[order]
+    counts = seg_count[order]
+    for j, dest in enumerate(run_keys):
+        a, b = bounds[j], bounds[j + 1]
+        out[int(dest)] = SegmentMessage(
+            bases=bases[a:b],
+            counts=counts[a:b],
+            values=values_all[elem_bounds[a] : elem_bounds[b]],
         )
     return out
 
@@ -156,13 +204,105 @@ def decompose_pair_message(
 def decompose_segment_message(
     msg: SegmentMessage, vec: VectorLayout
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Receiver side: expand segments into (local positions, values)."""
+    """Receiver side: expand segments into (local positions, values).
+
+    A segment's consecutive ranks share one owner, and consecutive global
+    indices only change owner at block boundaries, so every segment lives
+    inside one block and its local indices are consecutive too.  The local
+    map therefore runs over the segment *bases* only (Gs entries), not the
+    full value stream.
+    """
     if msg.count == 0:
         return np.empty(0, dtype=np.int64), msg.values
-    ranks = np.concatenate(
-        [base + np.arange(cnt, dtype=np.int64) for base, cnt in zip(msg.bases, msg.counts)]
-    )
-    return vec.locals_(ranks), msg.values
+    return expand_segments(vec.locals_(msg.bases), msg.counts), msg.values
+
+
+# Below this ratio of values to segments, a Python loop of slice copies
+# beats the vectorized expand + fancy-index path.
+_SLICE_RATIO = 64
+
+
+def place_segment_message(
+    block: np.ndarray, msg: SegmentMessage, vec: VectorLayout
+) -> int:
+    """Write a segment message's values into the receiver's block in place.
+
+    Equivalent to ``pos, vals = decompose_segment_message(...); block[pos]
+    = vals`` — but each segment's local indices are one consecutive run
+    (see :func:`decompose_segment_message`), so a message carrying few
+    long segments is a few slice copies instead of an expanded scatter.
+    Returns the element count placed.
+    """
+    n = msg.count
+    if n == 0:
+        return 0
+    starts = vec.locals_(msg.bases)
+    if msg.segments * _SLICE_RATIO <= n:
+        values = msg.values
+        off = 0
+        counts = msg.counts.tolist()
+        for j, s in enumerate(starts.tolist()):
+            c = counts[j]
+            block[s : s + c] = values[off : off + c]
+            off += c
+    else:
+        block[expand_segments(starts, msg.counts)] = msg.values
+    return n
+
+
+def place_pair_message(
+    block: np.ndarray, msg: PairMessage, vec: VectorLayout
+) -> int:
+    """Write a pair message's values into the receiver's block in place.
+
+    When the message's ranks are one consecutive run (always the case for
+    a block result layout and a 1-D block source), the whole write is a
+    single slice copy; otherwise fall back to the general scatter.
+    Returns the element count placed.
+    """
+    n = msg.count
+    if n == 0:
+        return 0
+    ranks = msg.ranks
+    g0 = int(ranks[0])
+    if int(ranks[-1]) - g0 == n - 1:
+        # Consecutive ranks addressed to one owner live in one block, so
+        # the local indices are consecutive as well.
+        l0 = (g0 // vec.s) * vec.w + g0 % vec.w
+        block[l0 : l0 + n] = msg.values
+    else:
+        block[vec.locals_(ranks)] = msg.values
+    return n
+
+
+def gather_segments(
+    vector_block: np.ndarray,
+    bases: np.ndarray,
+    lengths: np.ndarray,
+    vec: VectorLayout,
+) -> np.ndarray:
+    """Owner side of a segmented READ: values of ``(base, count)`` rank
+    runs out of the local vector block, concatenated in request order.
+
+    The mirror of :func:`place_segment_message` — per-run local indices
+    are consecutive, so few long runs become slice copies.
+    """
+    bases = np.asarray(bases, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return vector_block[:0]
+    starts = vec.locals_(bases)
+    total = int(lengths.sum())
+    if lengths.size * _SLICE_RATIO <= total:
+        out = np.empty(total, dtype=vector_block.dtype)
+        off = 0
+        lens = lengths.tolist()
+        for j, s in enumerate(starts.tolist()):
+            c = lens[j]
+            out[off : off + c] = vector_block[s : s + c]
+            off += c
+        return out
+    return vector_block[expand_segments(starts, lengths)]
 
 
 def message_words(msg: Any) -> int:

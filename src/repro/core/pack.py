@@ -41,8 +41,8 @@ from .costs import StepCosts
 from .messages import (
     compose_pair_messages,
     compose_segment_messages,
-    decompose_pair_message,
-    decompose_segment_message,
+    place_pair_message,
+    place_segment_message,
 )
 from .ranking import LocalRanking, ranking_program, slice_scan_lengths, slice_view
 from .schemes import PackConfig, Scheme
@@ -183,12 +183,10 @@ def pack_program(
     for source in sorted(received):
         msg = received[source]
         if scheme.uses_segments:
-            pos, vals = decompose_segment_message(msg, vec)
+            e_a += place_segment_message(block, msg, vec)
             gr += msg.segments
         else:
-            pos, vals = decompose_pair_message(msg, vec)
-        block[pos] = vals
-        e_a += int(vals.size)
+            e_a += place_pair_message(block, msg, vec)
     ctx.work(costs.decompose(e_a, gr))
 
     if ctx.metrics is not None:

@@ -55,6 +55,8 @@ class SelectedElements:
     ranks: np.ndarray
     dests: np.ndarray
     slice_ids: np.ndarray
+    _breaks: np.ndarray | None = None
+    _seg_count: int | None = None
 
     @property
     def count(self) -> int:
@@ -66,17 +68,26 @@ class SelectedElements:
         A segment is a maximal run of elements in one slice bound for one
         destination; within it, ranks are consecutive by the slice
         property, so ``(base-rank, count)`` describes all of them.
+
+        Computed once and cached — cost charging, composition, and request
+        grouping all consult it.
         """
+        if self._breaks is not None:
+            return self._breaks
         n = self.count
         brk = np.ones(n, dtype=bool)
         if n > 1:
-            brk[1:] = (np.diff(self.slice_ids) != 0) | (np.diff(self.dests) != 0)
+            np.not_equal(self.slice_ids[1:], self.slice_ids[:-1], out=brk[1:])
+            brk[1:] |= self.dests[1:] != self.dests[:-1]
+        self._breaks = brk
         return brk
 
     @property
     def segment_count(self) -> int:
         """``Gs_i``: total message segments this rank would compose."""
-        return int(self.segment_breaks().sum())
+        if self._seg_count is None:
+            self._seg_count = int(self.segment_breaks().sum())
+        return self._seg_count
 
 
 def extract_selected(
@@ -96,11 +107,15 @@ def extract_selected(
     flat_mask = local_mask.ravel()
     positions = np.flatnonzero(flat_mask)
     values = local_array.ravel()[positions]
-    ranks = ranking.element_ranks(grid.local_shape).ravel()[positions]
-    dests = vec.owners(ranks) if ranks.size else np.empty(0, dtype=np.int64)
     w0 = grid.dims[0].w
     slice_ids = positions // w0
-    if ranks.size > 1 and not np.all(np.diff(ranks) > 0):
+    # Rank of a selected element = its in-slice rank plus its slice's base
+    # rank — gathered for the E selected elements only, instead of
+    # materialising the full L-element rank array
+    # (``ranking.element_ranks``) just to index E entries out of it.
+    ranks = ranking.initial.ravel()[positions] + ranking.ps_f.ravel()[slice_ids]
+    dests = vec.owners(ranks) if ranks.size else np.empty(0, dtype=np.int64)
+    if ranks.size > 1 and not np.all(ranks[1:] > ranks[:-1]):
         raise AssertionError("internal error: local ranks not strictly increasing")
     return SelectedElements(
         positions=positions,

@@ -34,6 +34,7 @@ from ..hpf.vector import VectorLayout
 from ..machine.context import Context
 from ..machine.m2m import exchange
 from .costs import StepCosts
+from .messages import gather_segments
 from .ranking import ranking_program, slice_scan_lengths, slice_view
 from .schemes import PackConfig, Scheme
 from .storage import extract_selected
@@ -125,22 +126,32 @@ def unpack_program(
     compress = config.compress_requests and not scheme.stores_records
     if e_i:
         dests = sel.dests
-        boundaries = np.flatnonzero(np.diff(dests)) + 1
-        brk_all = sel.segment_breaks()
-        for chunk in np.split(np.arange(e_i), boundaries):
-            dest = int(dests[chunk[0]])
-            ranks_chunk = sel.ranks[chunk]
-            request_counts[dest] = int(ranks_chunk.size)
+        bounds = np.concatenate(
+            ([0], np.flatnonzero(dests[1:] != dests[:-1]) + 1, [e_i])
+        )
+        if compress:
+            # Run-length encode: segments of consecutive ranks (the slice
+            # property), shipped as (bases, lengths).  A destination
+            # boundary always starts a new segment (segment breaks include
+            # destination changes), so per-destination segment runs are
+            # contiguous slices of the global segment arrays.
+            seg_starts = np.flatnonzero(sel.segment_breaks())
+            seg_ends = np.append(seg_starts[1:], e_i)
+            # First segment of each destination chunk, by position.
+            seg_of_dest = np.searchsorted(seg_starts, bounds).tolist()
+        bounds_l = bounds.tolist()
+        dest_l = dests[bounds[:-1]].tolist()
+        for j, dest in enumerate(dest_l):
+            a, b = bounds_l[j], bounds_l[j + 1]
+            request_counts[dest] = b - a
             if compress:
-                # Run-length encode: segments of consecutive ranks (the
-                # slice property), shipped as (bases, lengths).
-                brk = brk_all[chunk].copy()
-                brk[0] = True
-                starts = np.flatnonzero(brk)
-                ends = np.append(starts[1:], ranks_chunk.size)
-                requests[dest] = (ranks_chunk[starts], (ends - starts))
+                sa, sb = seg_of_dest[j], seg_of_dest[j + 1]
+                requests[dest] = (
+                    sel.ranks[seg_starts[sa:sb]],
+                    seg_ends[sa:sb] - seg_starts[sa:sb],
+                )
             else:
-                requests[dest] = ranks_chunk
+                requests[dest] = sel.ranks[a:b]
             request_order.append(dest)
 
     ctx.phase(f"{phase_prefix}.comm.request")
@@ -165,17 +176,22 @@ def unpack_program(
         req = incoming[source]
         if compress:
             bases, lengths = req
-            if len(bases):
-                ranks_req = np.concatenate(
-                    [b + np.arange(n, dtype=np.int64) for b, n in zip(bases, lengths)]
-                )
-            else:
-                ranks_req = np.empty(0, dtype=np.int64)
+            replies[source] = gather_segments(vector_block, bases, lengths, vec)
+            served += int(replies[source].size)
+            continue
+        ranks_req = np.asarray(req)
+        n_req = int(ranks_req.size)
+        if n_req == 0:
+            replies[source] = vector_block[:0]
+        elif int(ranks_req[-1]) - int(ranks_req[0]) == n_req - 1:
+            # One consecutive rank run addressed to this owner lives in
+            # one block: serve it as a slice (view), not a gather.
+            g0 = int(ranks_req[0])
+            l0 = (g0 // vec.s) * vec.w + g0 % vec.w
+            replies[source] = vector_block[l0 : l0 + n_req]
         else:
-            ranks_req = np.asarray(req)
-        local_idx = vec.locals_(ranks_req) if ranks_req.size else np.empty(0, np.int64)
-        replies[source] = vector_block[local_idx]
-        served += int(ranks_req.size)
+            replies[source] = vector_block[vec.locals_(ranks_req)]
+        served += n_req
     ctx.work(costs.unpack_serve(served))
 
     # ------------------------------------------------ stage 2B': send replies
@@ -224,7 +240,10 @@ def unpack_program(
         if vector_block.size
         else local_field.dtype
     )
-    out_flat = np.empty(L, dtype=out_dtype)
+    # Start from the field (one streaming copy) and scatter the received
+    # values into the mask-true positions — equivalent to filling trues
+    # then merging falses, without the two boolean-mask passes.
+    out_flat = local_field.reshape(-1).astype(out_dtype, copy=True)
     for dest in request_order:
         vals = got_values[dest]
         if vals.size != request_counts[dest]:
@@ -232,18 +251,14 @@ def unpack_program(
                 f"rank {ctx.rank}: reply size mismatch from {dest}"
             )
     if e_i:
-        all_values = (
-            np.concatenate([got_values[d] for d in request_order])
-            if request_order
-            else np.empty(0, dtype=vector_block.dtype)
-        )
+        all_values = np.concatenate([got_values[d] for d in request_order])
         out_flat[sel.positions] = all_values
     ctx.work(costs.unpack_place(e_i))
 
     # ------------------------------------------------ stage 2D: field merge
+    # (The host-side merge already happened via the field-initialized
+    # output; the simulated charge for the merge pass is unchanged.)
     ctx.phase(f"{phase_prefix}.merge")
-    flat_mask = local_mask.ravel()
-    out_flat[~flat_mask] = local_field.ravel()[~flat_mask]
     ctx.work(costs.field_merge(L))
 
     return UnpackLocal(

@@ -17,10 +17,28 @@ forms are what the library uses on hot paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 __all__ = ["DimLayout"]
+
+
+@lru_cache(maxsize=4096)
+def _dim_globals(n: int, p: int, w: int, coord: int) -> np.ndarray:
+    """Cached full global-index map of one processor coordinate.
+
+    Layouts are value objects, so the map depends only on ``(n, p, w,
+    coord)`` — PACK/UNPACK ask for the same handful of maps once per
+    message otherwise.  The array is marked read-only because it is
+    shared between callers.
+    """
+    l = np.arange(n // p, dtype=np.int64)
+    s = p * w
+    t, rem = np.divmod(l, w)
+    out = t * s + coord * w + rem
+    out.setflags(write=False)
+    return out
 
 
 @dataclass(frozen=True)
@@ -101,13 +119,17 @@ class DimLayout:
     # --------------------------------------------------- vectorized maps
     def owners(self, g: np.ndarray) -> np.ndarray:
         g = np.asarray(g)
-        return (g // self.w) % self.p
+        q = g // self.w
+        # Single-tile (block) layouts: g // w already is the coordinate.
+        return q if self.n == self.s else q % self.p
 
     def tiles(self, g: np.ndarray) -> np.ndarray:
         return np.asarray(g) // self.s
 
     def locals_(self, g: np.ndarray) -> np.ndarray:
         g = np.asarray(g)
+        if self.n == self.s:  # single tile: t = 0, local index is g % w
+            return g % self.w
         return (g // self.s) * self.w + g % self.w
 
     def globals_(self, p: int, l: np.ndarray | None = None) -> np.ndarray:
@@ -115,12 +137,12 @@ class DimLayout:
         processor coordinate ``p``, in local order.
 
         The result is strictly increasing: local storage order equals
-        global order restricted to one processor.
+        global order restricted to one processor.  The full map (``l is
+        None``) is cached per coordinate and returned read-only.
         """
         if l is None:
-            l = np.arange(self.l, dtype=np.int64)
-        else:
-            l = np.asarray(l, dtype=np.int64)
+            return _dim_globals(self.n, self.p, self.w, p)
+        l = np.asarray(l, dtype=np.int64)
         t, w = np.divmod(l, self.w)
         return t * self.s + p * self.w + w
 

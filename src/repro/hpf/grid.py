@@ -18,7 +18,7 @@ global numpy array and per-rank local blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -27,6 +27,28 @@ from .dimlayout import DimLayout
 from .dist import resolve_dist
 
 __all__ = ["GridLayout"]
+
+
+@lru_cache(maxsize=1024)
+def _grid_flat_index(dims: tuple[DimLayout, ...], rank: int) -> np.ndarray:
+    """Cached :meth:`GridLayout.global_flat_index` result (read-only).
+
+    Keyed by the dims tuple (layouts are hashable value objects), so the
+    redistribution pre-passes stop recomputing the same per-rank map on
+    every PACK/UNPACK call.
+    """
+    grid = GridLayout(dims=dims)
+    idx = grid.local_global_indices(rank)
+    flat = np.zeros(grid.local_shape, dtype=np.int64)
+    stride = 1
+    # accumulate strides from the last numpy axis (paper dim 0) upward
+    for j in range(grid.d - 1, -1, -1):
+        reshape = [1] * grid.d
+        reshape[j] = len(idx[j])
+        flat = flat + idx[j].astype(np.int64).reshape(reshape) * stride
+        stride *= grid.shape[j]
+    flat.setflags(write=False)
+    return flat
 
 
 @dataclass(frozen=True)
@@ -166,12 +188,13 @@ class GridLayout:
         """
         if not (0 <= i < self.d):
             raise ValueError(f"paper dimension {i} out of range")
-        base = list(coords)
-        ranks = []
-        for pi in range(self.dims[i].p):
-            base[i] = pi
-            ranks.append(self.rank_of_coords(base))
-        return tuple(sorted(ranks))
+        # Ranks in a group differ only in the p_i term, which has stride
+        # prod_{k<i} P_k; increasing p_i already yields ascending ranks.
+        stride = 1
+        for k in range(i):
+            stride *= self.dims[k].p
+        base = self.rank_of_coords(coords) - coords[i] * stride
+        return tuple(base + pi * stride for pi in range(self.dims[i].p))
 
     # ------------------------------------------------------ scatter/gather
     def local_global_indices(self, rank: int) -> list[np.ndarray]:
@@ -187,8 +210,32 @@ class GridLayout:
             out.append(self.dims[i].globals_(coords[i]))
         return out
 
-    def scatter(self, global_array: np.ndarray) -> list[np.ndarray]:
-        """Split a global array into per-rank local blocks (copies)."""
+    def _block_slices(self, rank: int) -> tuple[slice, ...] | None:
+        """Per-numpy-axis slices selecting ``rank``'s local block, or None
+        when some dimension is not block-distributed (multi-tile).
+
+        When every dimension is a single tile, the local block is a plain
+        hyperrectangle — slicing it avoids the ``np.ix_`` gather/scatter
+        fancy-index path entirely.
+        """
+        if any(dim.t != 1 for dim in self.dims):
+            return None
+        coords = self.coords_of_rank(rank)
+        out = []
+        for j in range(self.d):  # numpy axis order
+            i = self.d - 1 - j
+            c, w = coords[i], self.dims[i].w
+            out.append(slice(c * w, (c + 1) * w))
+        return tuple(out)
+
+    def scatter(self, global_array: np.ndarray, copy: bool = True) -> list[np.ndarray]:
+        """Split a global array into per-rank local blocks.
+
+        ``copy=False`` permits returning views of ``global_array`` when the
+        layout allows it (all-block layouts slice it directly) — callers
+        that only *read* the blocks (PACK/UNPACK programs) skip the full
+        materialization.
+        """
         global_array = np.asarray(global_array)
         if global_array.shape != self.shape:
             raise ValueError(
@@ -196,8 +243,13 @@ class GridLayout:
             )
         locals_ = []
         for rank in range(self.nprocs):
-            idx = self.local_global_indices(rank)
-            locals_.append(global_array[np.ix_(*idx)].copy())
+            sel = self._block_slices(rank)
+            if sel is not None:
+                block = global_array[sel]
+                locals_.append(block.copy() if copy else block)
+            else:
+                idx = self.local_global_indices(rank)
+                locals_.append(global_array[np.ix_(*idx)])
         return locals_
 
     def gather(self, locals_: Sequence[np.ndarray], dtype=None) -> np.ndarray:
@@ -213,8 +265,12 @@ class GridLayout:
                 raise ValueError(
                     f"rank {rank} block shape {block.shape} != {self.local_shape}"
                 )
-            idx = self.local_global_indices(rank)
-            out[np.ix_(*idx)] = block
+            sel = self._block_slices(rank)
+            if sel is not None:
+                out[sel] = block
+            else:
+                idx = self.local_global_indices(rank)
+                out[np.ix_(*idx)] = block
         return out
 
     # -------------------------------------------------- global rank helpers
@@ -224,18 +280,10 @@ class GridLayout:
 
         Used by oracle tests and by the redistribution pre-passes (the
         paper combines the d per-dimension indices into one global index to
-        halve index traffic — Section 6.3).
+        halve index traffic — Section 6.3).  Cached per layout/rank;
+        returned read-only.
         """
-        idx = self.local_global_indices(rank)
-        flat = np.zeros(self.local_shape, dtype=np.int64)
-        stride = 1
-        # accumulate strides from the last numpy axis (paper dim 0) upward
-        for j in range(self.d - 1, -1, -1):
-            reshape = [1] * self.d
-            reshape[j] = len(idx[j])
-            flat = flat + idx[j].astype(np.int64).reshape(reshape) * stride
-            stride *= self.shape[j]
-        return flat
+        return _grid_flat_index(self.dims, rank)
 
     def describe(self) -> str:
         lines = [f"GridLayout d={self.d} shape={self.shape} grid={self.grid}"]

@@ -15,10 +15,21 @@ the result vector's block size shrinks).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 __all__ = ["VectorLayout"]
+
+
+@lru_cache(maxsize=1024)
+def _vec_globals(n: int, p: int, w: int, rank: int, size: int) -> np.ndarray:
+    """Cached global-index map of one rank's vector block (read-only)."""
+    l = np.arange(size, dtype=np.int64)
+    t, rem = np.divmod(l, w)
+    out = t * (p * w) + rank * w + rem
+    out.setflags(write=False)
+    return out
 
 
 @dataclass(frozen=True)
@@ -66,10 +77,14 @@ class VectorLayout:
         return (g // self.s) * self.w + g % self.w
 
     def owners(self, g: np.ndarray) -> np.ndarray:
-        return (np.asarray(g) // self.w) % self.p
+        q = np.asarray(g) // self.w
+        # Block layouts fit in one tile, so g // w never wraps past p.
+        return q if self.is_block else q % self.p
 
     def locals_(self, g: np.ndarray) -> np.ndarray:
         g = np.asarray(g)
+        if self.is_block:  # one tile: local index is just the in-block offset
+            return g % self.w
         return (g // self.s) * self.w + g % self.w
 
     def local_size(self, rank: int) -> int:
@@ -81,22 +96,34 @@ class VectorLayout:
         return full * self.w + extra
 
     def globals_(self, rank: int) -> np.ndarray:
-        """Global indices owned by ``rank``, in local storage order."""
+        """Global indices owned by ``rank``, in local storage order.
+
+        Cached per layout/rank and returned read-only (layouts are value
+        objects, so the map is a pure function of ``(n, p, w, rank)``).
+        """
         size = self.local_size(rank)
-        l = np.arange(size, dtype=np.int64)
-        t, w = np.divmod(l, self.w)
-        return t * self.s + rank * self.w + w
+        return _vec_globals(self.n, self.p, self.w, rank, size)
 
     def _check(self, g: int) -> None:
         if not (0 <= g < self.n):
             raise ValueError(f"vector index {g} out of range [0, {self.n})")
 
     # --------------------------------------------------------- host helpers
-    def scatter(self, vector: np.ndarray) -> list[np.ndarray]:
+    def scatter(self, vector: np.ndarray, copy: bool = True) -> list[np.ndarray]:
+        """Split into per-rank blocks; ``copy=False`` returns views where
+        the layout allows (block layouts slice contiguous spans) for
+        read-only consumers."""
         vector = np.asarray(vector)
         if vector.shape != (self.n,):
             raise ValueError(f"vector shape {vector.shape} != ({self.n},)")
-        return [vector[self.globals_(r)].copy() for r in range(self.p)]
+        if self.is_block:  # contiguous per-rank spans: slice, don't gather
+            return [
+                vector[r * self.w : r * self.w + self.local_size(r)].copy()
+                if copy
+                else vector[r * self.w : r * self.w + self.local_size(r)]
+                for r in range(self.p)
+            ]
+        return [vector[self.globals_(r)] for r in range(self.p)]
 
     def gather(self, locals_: list[np.ndarray], dtype=None) -> np.ndarray:
         if len(locals_) != self.p:
@@ -110,7 +137,10 @@ class VectorLayout:
             expected = self.local_size(r)
             if block.shape != (expected,):
                 raise ValueError(f"rank {r} block shape {block.shape} != ({expected},)")
-            out[self.globals_(r)] = block
+            if self.is_block:
+                out[r * self.w : r * self.w + expected] = block
+            else:
+                out[self.globals_(r)] = block
         return out
 
     @property

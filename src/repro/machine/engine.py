@@ -43,6 +43,7 @@ final clock, and per-phase times are maxima of per-rank phase totals.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from typing import Any, Callable, Sequence
 
@@ -227,9 +228,10 @@ class Machine:
         if self.fault_plan is not None and not self.fault_plan.is_noop:
             self._injector = self.fault_plan.build(self.nprocs, metrics=self.metrics)
             self._work_scales = self._injector.work_scales
-        # rx_port contention: per-destination sorted busy intervals.
-        self._port_busy: list[list[tuple[float, float]]] = [
-            [] for _ in range(self.nprocs)
+        # rx_port contention: per-destination busy schedule as parallel
+        # sorted (starts, ends) lists of disjoint, coalesced intervals.
+        self._port_busy: list[tuple[list[float], list[float]]] = [
+            ([], []) for _ in range(self.nprocs)
         ]
 
         for r in range(self.nprocs):
@@ -286,9 +288,9 @@ class Machine:
             for p in live:
                 if not isinstance(p.waiting, Recv):
                     continue
-                if not self._mailboxes[p.rank].would_match(p.waiting):
-                    continue
                 msg = self._mailboxes[p.rank].match(p.waiting)
+                if msg is None:
+                    continue
                 p.waiting = None
                 p.deadline = None
                 self._complete_recv(p.rank, msg)
@@ -536,37 +538,60 @@ class Machine:
             seq=self._seq,
         )
         self._mailboxes[dest].deposit(msg)
-        waiting = self._procs[dest].waiting
-        if isinstance(waiting, Recv) and waiting.matches(msg):
-            self._procs[dest].waiting = None
-            self._procs[dest].deadline = None
-            # The engine loop will re-run the Recv; put the op back by
-            # resuming through the normal path: deliver directly.
+        # One wake attempt per deposit: only when the receiver is blocked
+        # on a pattern this message satisfies is the (indexed, O(log n))
+        # match run — it returns the best match, which is this message
+        # unless an older pending one also satisfies the pattern.
+        proc = self._procs[dest]
+        waiting = proc.waiting
+        if type(waiting) is Recv and waiting.matches(msg):
             taken = self._mailboxes[dest].match(waiting)
-            assert taken is not None
+            proc.waiting = None
+            proc.deadline = None
             self._complete_recv(dest, taken)
-            self._procs[dest].send_value = taken
+            proc.send_value = taken
             self._make_runnable(dest)
         return msg.arrival_time
 
     def _reserve_port(self, dest: int, ready: float, transfer: float) -> float:
         """Book ``transfer`` seconds on dest's receive port, no earlier
-        than ``ready``; returns the transfer's end time (the arrival)."""
-        intervals = self._port_busy[dest]
+        than ``ready``; returns the transfer's end time (the arrival).
+
+        The busy schedule is kept as disjoint sorted intervals with
+        touching neighbours merged, so locating the earliest fitting gap
+        is a bisection plus a (typically zero-length) walk over the few
+        intervals straddling ``ready`` — the seed implementation rescanned
+        the whole schedule from the start for every message.  Gap choice
+        is identical to the seed's first-fit scan: merging touching
+        intervals never removes a gap, and intervals wholly before
+        ``ready`` can never contain the booking.
+        """
+        starts, ends = self._port_busy[dest]
+        n = len(starts)
+        # First interval that ends after `ready` — everything before it is
+        # already in the past relative to this booking.
+        i = bisect_right(ends, ready)
         start = ready
-        idx = 0
-        for i, (b0, b1) in enumerate(intervals):
-            if b1 <= start:
-                idx = i + 1
-                continue
-            if b0 >= start + transfer:
-                idx = i
-                break  # the gap before interval i fits
-            # overlaps: push past this interval
-            start = b1
-            idx = i + 1
-        intervals.insert(idx, (start, start + transfer))
-        return start + transfer
+        while i < n and starts[i] < start + transfer:
+            # Interval i overlaps the candidate window: push past it.
+            if ends[i] > start:
+                start = ends[i]
+            i += 1
+        end = start + transfer
+        # Insert [start, end) before interval i, merging touching runs.
+        merge_prev = i > 0 and ends[i - 1] == start
+        merge_next = i < n and starts[i] == end
+        if merge_prev and merge_next:
+            ends[i - 1] = ends[i]
+            del starts[i], ends[i]
+        elif merge_prev:
+            ends[i - 1] = end
+        elif merge_next:
+            starts[i] = start
+        else:
+            starts.insert(i, start)
+            ends.insert(i, end)
+        return end
 
     def _complete_recv(self, rank: int, msg: Message) -> None:
         st = self._stats[rank]

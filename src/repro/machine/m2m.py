@@ -73,14 +73,14 @@ def exchange_counts(
         # One combining operation: member contributions are routed so each
         # rank receives the column of counts addressed to it.
         def _combine(payloads: dict) -> tuple[dict, int]:
-            results = {
-                r: {
-                    s: int(c.get(r, 0))
-                    for s, c in payloads.items()
-                    if s != r and int(c.get(r, 0))
-                }
-                for r in payloads
-            }
+            # Invert sender -> {dest: words} into dest -> {sender: words};
+            # walking the sparse outgoing maps is O(P + messages), not the
+            # O(P^2) of probing every (sender, dest) pair.
+            results: dict = {r: {} for r in payloads}
+            for s, c in payloads.items():
+                for r, w in c.items():
+                    if r != s and int(w):
+                        results[r][s] = int(w)
             return results, P
 
         got = yield CollectiveOp(

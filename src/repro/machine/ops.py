@@ -64,7 +64,7 @@ class _Timeout:
 TIMEOUT = _Timeout()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A delivered point-to-point message.
 
@@ -110,7 +110,7 @@ class Message:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Recv:
     """Blocking receive.
 

@@ -1,0 +1,289 @@
+"""The vectorized codecs and cached index maps equal loop references.
+
+The perf rewrite vectorized message composition/decomposition (repeat /
+cumsum-offset expansion, slice-copy fast paths) and cached the layout
+index maps.  Each optimized routine is compared here against a
+straightforward loop implementation of the original definition, over
+random masks and layouts: all three schemes' encodings (pair for
+SSS/CSS, segment for CMS), d = 1..3 grids, block and block-cyclic result
+vectors (cyclic exercises the non-monotone destination paths and the
+multi-tile local-index math).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import (
+    PairMessage,
+    SegmentMessage,
+    compose_pair_messages,
+    compose_segment_messages,
+    decompose_pair_message,
+    decompose_segment_message,
+    expand_segments,
+    gather_segments,
+    place_pair_message,
+    place_segment_message,
+)
+from repro.core.ranking import ranking_program
+from repro.core.storage import extract_selected
+from repro.hpf.grid import GridLayout
+from repro.hpf.vector import VectorLayout
+from repro.machine.engine import Machine
+
+# (shape, grid, block) cases covering d = 1..3, pure block and cyclic dims.
+GRIDS = [
+    ((256,), (4,), None),
+    ((256,), (4,), 16),  # block-cyclic dim 0
+    ((16, 32), (2, 4), None),
+    ((16, 32), (2, 4), (4, 4)),
+    ((8, 8, 8), (2, 2, 2), None),
+]
+DENSITIES = [0.0, 0.15, 0.6, 1.0]
+
+
+def _selected_per_rank(layout, mask, vec):
+    """SelectedElements of every rank for a global mask (runs the real
+    ranking stage, so rank vectors are exactly what PACK composes from)."""
+    array = np.arange(layout.n, dtype=np.int64).reshape(layout.shape)
+    mask_blocks = layout.scatter(mask)
+    array_blocks = layout.scatter(array)
+    rankings = Machine(layout.nprocs).run(
+        ranking_program, rank_args=[(mb, layout) for mb in mask_blocks]
+    ).results
+    return [
+        extract_selected(ab, mb, rk, layout, vec)
+        for ab, mb, rk in zip(array_blocks, mask_blocks, rankings)
+    ]
+
+
+def _vec_layouts(size, nprocs):
+    out = [VectorLayout.block(max(size, 0), nprocs)]
+    if size > 0:
+        out.append(VectorLayout.cyclic(size, nprocs, w=3))
+    return out
+
+
+def ref_expand(bases, counts):
+    parts = [int(b) + np.arange(int(c), dtype=np.int64)
+             for b, c in zip(bases, counts)]
+    return (np.concatenate(parts) if parts else np.empty(0, dtype=np.int64))
+
+
+def ref_compose_pair(sel):
+    out = {}
+    for i in range(sel.count):
+        d = int(sel.dests[i])
+        out.setdefault(d, ([], []))
+        out[d][0].append(int(sel.ranks[i]))
+        out[d][1].append(sel.values[i])
+    return {
+        d: PairMessage(ranks=np.array(r, dtype=sel.ranks.dtype),
+                       values=np.array(v, dtype=sel.values.dtype))
+        for d, (r, v) in out.items()
+    }
+
+
+def ref_compose_segment(sel):
+    """Element walk accumulating maximal same-slice same-destination runs."""
+    segs: dict[int, list] = {}
+    for i in range(sel.count):
+        d = int(sel.dests[i])
+        runs = segs.setdefault(d, [])
+        new_seg = (
+            i == 0
+            or sel.slice_ids[i] != sel.slice_ids[i - 1]
+            or sel.dests[i] != sel.dests[i - 1]
+        )
+        if new_seg:
+            runs.append([int(sel.ranks[i]), 0, []])
+        runs[-1][1] += 1
+        runs[-1][2].append(sel.values[i])
+    out = {}
+    for d, runs in segs.items():
+        out[d] = SegmentMessage(
+            bases=np.array([r[0] for r in runs], dtype=np.int64),
+            counts=np.array([r[1] for r in runs], dtype=np.int64),
+            values=np.array([v for r in runs for v in r[2]],
+                            dtype=sel.values.dtype),
+        )
+    return out
+
+
+def ref_local(vec, g):
+    return (g // (vec.p * vec.w)) * vec.w + g % vec.w
+
+
+def _assert_pair_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for d in a:
+        np.testing.assert_array_equal(a[d].ranks, b[d].ranks)
+        np.testing.assert_array_equal(a[d].values, b[d].values)
+
+
+def _assert_segment_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for d in a:
+        np.testing.assert_array_equal(a[d].bases, b[d].bases)
+        np.testing.assert_array_equal(a[d].counts, b[d].counts)
+        np.testing.assert_array_equal(a[d].values, b[d].values)
+
+
+class TestExpandSegments:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_runs(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(0, 40))
+        bases = rng.integers(0, 1000, size=k)
+        counts = rng.integers(0, 9, size=k)  # zero-length runs included
+        np.testing.assert_array_equal(
+            expand_segments(bases, counts), ref_expand(bases, counts)
+        )
+
+    def test_empty(self):
+        assert expand_segments(np.empty(0), np.empty(0)).size == 0
+
+
+class TestComposeEquivalence:
+    @pytest.mark.parametrize("shape,grid,block", GRIDS)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_all_layouts_and_densities(self, shape, grid, block, density):
+        layout = GridLayout.create(shape, grid, block)
+        rng = np.random.default_rng(hash((shape, grid, density)) % 2**32)
+        mask = rng.random(shape) < density
+        size = int(mask.sum())
+        for vec in _vec_layouts(size, layout.nprocs):
+            for sel in _selected_per_rank(layout, mask, vec):
+                # Pair encoding (SSS / CSS) and segment encoding (CMS).
+                _assert_pair_equal(
+                    compose_pair_messages(sel), ref_compose_pair(sel)
+                )
+                _assert_segment_equal(
+                    compose_segment_messages(sel), ref_compose_segment(sel)
+                )
+
+
+class TestPlaceAndGatherEquivalence:
+    @pytest.mark.parametrize("shape,grid,block", GRIDS)
+    def test_roundtrip_places_every_element(self, shape, grid, block):
+        """Composing on all ranks and placing at each destination fills the
+        destination blocks exactly as elementwise reference placement."""
+        layout = GridLayout.create(shape, grid, block)
+        rng = np.random.default_rng(42)
+        mask = rng.random(shape) < 0.5
+        size = int(mask.sum())
+        for vec in _vec_layouts(size, layout.nprocs):
+            selected = _selected_per_rank(layout, mask, vec)
+            for encode, place, decompose in (
+                (compose_pair_messages, place_pair_message,
+                 decompose_pair_message),
+                (compose_segment_messages, place_segment_message,
+                 decompose_segment_message),
+            ):
+                inboxes: dict[int, list] = {}
+                for sel in selected:
+                    for d, msg in encode(sel).items():
+                        inboxes.setdefault(d, []).append(msg)
+                for d in range(layout.nprocs):
+                    got = np.full(vec.local_size(d), -1, dtype=np.int64)
+                    want = np.full(vec.local_size(d), -1, dtype=np.int64)
+                    for msg in inboxes.get(d, []):
+                        n = place(got, msg, vec)
+                        assert n == msg.count
+                        pos, vals = decompose(msg, vec)
+                        for p, v in zip(pos.tolist(), vals.tolist()):
+                            want[p] = v
+                    np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_gather_segments_vs_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n, p = 480, 4
+        for vec in (VectorLayout.block(n, p), VectorLayout.cyclic(n, p, w=5)):
+            rank = int(rng.integers(0, p))
+            block = rng.integers(0, 1000, size=vec.local_size(rank))
+            mine = vec.globals_(rank)
+            # Random (base, length) runs of globals owned by this rank:
+            # consecutive local elements have consecutive globals within a
+            # block, so pick run starts and clip lengths to the block end.
+            k = int(rng.integers(1, 12))
+            starts_l = rng.integers(0, vec.local_size(rank), size=k)
+            bases, lengths = [], []
+            for sl in starts_l.tolist():
+                g = int(mine[sl])
+                room = vec.w - g % vec.w
+                bases.append(g)
+                lengths.append(int(rng.integers(1, room + 1)))
+            got = gather_segments(block, np.array(bases), np.array(lengths), vec)
+            want = block[ref_expand(ref_local(vec, np.array(bases)), lengths)]
+            np.testing.assert_array_equal(got, want)
+
+    def test_slice_and_fancy_paths_agree(self):
+        """Both sides of the _SLICE_RATIO switch produce identical blocks."""
+        vec = VectorLayout.block(1000, 2)
+        block_a = np.zeros(500, dtype=np.int64)
+        block_b = np.zeros(500, dtype=np.int64)
+        # One long segment (slice path) vs the same data as many short
+        # segments (fancy-index path).
+        long_msg = SegmentMessage(
+            bases=np.array([0]), counts=np.array([300]),
+            values=np.arange(300, dtype=np.int64),
+        )
+        short_msg = SegmentMessage(
+            bases=np.arange(0, 300, 5), counts=np.full(60, 5),
+            values=np.arange(300, dtype=np.int64),
+        )
+        assert place_segment_message(block_a, long_msg, vec) == 300
+        assert place_segment_message(block_b, short_msg, vec) == 300
+        np.testing.assert_array_equal(block_a, block_b)
+        np.testing.assert_array_equal(
+            gather_segments(block_a, long_msg.bases, long_msg.counts, vec),
+            gather_segments(block_b, short_msg.bases, short_msg.counts, vec),
+        )
+
+
+class TestLayoutIndexMapCaches:
+    """Cached globals_/locals_/flat-index maps equal their definitions."""
+
+    @pytest.mark.parametrize("n,p,w", [(64, 4, 16), (64, 4, 4), (60, 4, 4)])
+    def test_vector_maps(self, n, p, w):
+        vec = VectorLayout(n=n, p=p, w=w)
+        g = np.arange(n, dtype=np.int64)
+        np.testing.assert_array_equal(vec.owners(g), (g // w) % p)
+        np.testing.assert_array_equal(vec.locals_(g), ref_local(vec, g))
+        seen = np.zeros(n, dtype=bool)
+        for r in range(p):
+            mine = vec.globals_(r)
+            assert not mine.flags.writeable  # cached maps are frozen
+            assert np.array_equal(vec.owners(mine), np.full(mine.size, r))
+            np.testing.assert_array_equal(
+                vec.locals_(mine), np.arange(mine.size)
+            )
+            seen[mine] = True
+        assert seen.all()
+
+    @pytest.mark.parametrize("shape,grid,block", GRIDS)
+    def test_grid_flat_index_matches_ix_gather(self, shape, grid, block):
+        layout = GridLayout.create(shape, grid, block)
+        flat_global = np.arange(layout.n, dtype=np.int64).reshape(shape)
+        for r in range(layout.nprocs):
+            idx = layout.local_global_indices(r)
+            want = flat_global[np.ix_(*idx)]
+            got = layout.global_flat_index(r)
+            assert not got.flags.writeable
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("shape,grid,block", GRIDS)
+    def test_scatter_views_equal_copies(self, shape, grid, block):
+        layout = GridLayout.create(shape, grid, block)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 100, size=shape)
+        for bc, bv in zip(layout.scatter(a, copy=True),
+                          layout.scatter(a, copy=False)):
+            np.testing.assert_array_equal(bc, bv)
+        size = 100
+        for vec in _vec_layouts(size, 4):
+            v = rng.integers(0, 100, size=size)
+            for bc, bv in zip(vec.scatter(v, copy=True),
+                              vec.scatter(v, copy=False)):
+                np.testing.assert_array_equal(bc, bv)

@@ -67,7 +67,7 @@ class TestCorruptedData:
         original_scatter = GridLayout.scatter
         calls = {"n": 0}
 
-        def corrupting_scatter(self, arr):
+        def corrupting_scatter(self, arr, copy=True):
             blocks = original_scatter(self, arr)
             calls["n"] += 1
             if calls["n"] == 1 and blocks[0].dtype == np.float64:
