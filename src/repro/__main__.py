@@ -14,7 +14,14 @@ Commands:
 * ``chaos`` — fault-injection matrix: run PACK+UNPACK with the reliable
   transport across a seed x drop-rate grid and verify every cell against
   the serial oracle (exit 1 on any mismatch);
+* ``conform`` — differential conformance fuzzing: seeded random
+  configurations checked against the serial reference, failures shrunk to
+  minimal repros (exit 1 on any failure); ``--corpus DIR`` also replays
+  the regression corpus.  See ``docs/conformance.md``;
 * ``experiments ...`` — delegate to :mod:`repro.experiments`.
+
+Malformed geometry options (``--shape``, ``--grid``, ``--block``,
+``--procs``) exit with status 2 and a one-line error, never a traceback.
 
 ``pack``/``unpack`` accept the fault-injection family (``--fault-seed``,
 ``--drop-rate``, ``--dup-rate``, ``--corrupt-rate``, ``--delay-rate``,
@@ -36,6 +43,7 @@ Examples::
     python -m repro metrics --op unpack --n 4096 --procs 8 --out m.json
     python -m repro pack --n 4096 --procs 8 --drop-rate 0.05 --reliable
     python -m repro chaos --seeds 3 --rates 0.01,0.05,0.1
+    python -m repro conform --cases 200 --seed 4 --corpus tests/conformance/corpus
     python -m repro experiments table1 --full
 """
 
@@ -47,8 +55,20 @@ import sys
 import numpy as np
 
 
-def _parse_dims(text: str) -> tuple[int, ...]:
-    return tuple(int(x) for x in text.lower().split("x"))
+class CLIError(Exception):
+    """A user-input problem: printed as one line to stderr, exit status 2."""
+
+
+def _parse_dims(text: str, flag: str = "--shape") -> tuple[int, ...]:
+    try:
+        dims = tuple(int(x) for x in text.lower().split("x"))
+    except ValueError:
+        raise CLIError(
+            f"{flag} expects INTxINT... (e.g. 512x512), got {text!r}"
+        ) from None
+    if not dims or any(d < 0 for d in dims):
+        raise CLIError(f"{flag} dimensions must be >= 0, got {text!r}")
+    return dims
 
 
 def _build_spec(args):
@@ -61,17 +81,32 @@ def _workload(args):
     from .workloads import make_mask
 
     if args.shape:
-        shape = _parse_dims(args.shape)
-        grid = _parse_dims(args.grid) if args.grid else (4,) * len(shape)
+        shape = _parse_dims(args.shape, "--shape")
+        grid = _parse_dims(args.grid, "--grid") if args.grid else (4,) * len(shape)
+        if len(grid) != len(shape):
+            raise CLIError(
+                f"--grid rank {len(grid)} does not match --shape rank "
+                f"{len(shape)} ({args.grid!r} vs {args.shape!r})"
+            )
     else:
         shape = (args.n,)
         grid = (args.procs,)
+    if any(p < 1 for p in grid):
+        raise CLIError(f"processor grid must be >= 1 per axis, got {grid}")
     rng = np.random.default_rng(args.seed)
     array = rng.random(shape)
     mask = make_mask(shape, args.mask if args.mask else args.density, seed=args.seed)
     block = args.block if args.block else "block"
     if block not in ("block", "cyclic"):
-        block = int(block)
+        try:
+            block = int(block)
+        except ValueError:
+            raise CLIError(
+                f"--block expects an integer block size or 'block'/'cyclic', "
+                f"got {args.block!r}"
+            ) from None
+        if block < 1:
+            raise CLIError(f"--block must be >= 1, got {block}")
     return array, mask, grid, block
 
 
@@ -283,6 +318,34 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_conform(args) -> int:
+    """Differential conformance fuzz + optional corpus replay (exit 1 on any
+    failure; every fuzz failure is printed with its minimized repro)."""
+    from .conformance import fuzz, replay_corpus
+
+    failed = 0
+    if args.corpus:
+        results = replay_corpus(args.corpus)
+        bad = [(p, bug, o) for p, bug, o in results if not o.ok]
+        print(f"corpus: {len(results)} entr(ies) from {args.corpus}: "
+              f"{len(bad)} failure(s)")
+        for path, bug, outcome in bad:
+            print(f"  REGRESSION {path.name}: {outcome}\n    pinned bug: {bug}")
+        failed += len(bad)
+
+    progress = None
+    if args.cases >= 100:
+        def progress(done, total, fails):
+            if done % 100 == 0 or done == total:
+                print(f"  [{done}/{total}] {fails} failure(s)", flush=True)
+
+    report = fuzz(seed=args.seed, cases=args.cases,
+                  max_shrink=args.max_shrink, progress=progress)
+    print(report.summary())
+    failed += len(report.failures)
+    return 1 if failed else 0
+
+
 def _run_observed(args):
     """Run the selected op under a PhaseProfiler (trace/metrics commands)."""
     from .core.api import pack, ranking, unpack
@@ -447,6 +510,23 @@ def main(argv=None) -> int:
     p_metrics.add_argument("--report-out", dest="report_out",
                            help="also write the structured RunReport JSON")
 
+    p_conform = sub.add_parser(
+        "conform",
+        help="differential conformance fuzz vs the serial reference "
+             "(seeded; failures are shrunk to minimal repros)",
+    )
+    p_conform.add_argument("--seed", type=int, default=4,
+                           help="seed of the case-draw stream")
+    p_conform.add_argument("--cases", type=int, default=200,
+                           help="number of random cases to run")
+    p_conform.add_argument("--max-shrink", type=int, default=200,
+                           dest="max_shrink",
+                           help="oracle evaluations the shrinker may spend "
+                                "per failure")
+    p_conform.add_argument("--corpus",
+                           help="also replay every *.json regression corpus "
+                                "entry in this directory")
+
     p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     p_exp.add_argument("--metrics-out", dest="metrics_out",
                        help="snapshot the process-wide metrics registry "
@@ -455,6 +535,19 @@ def main(argv=None) -> int:
     p_exp.add_argument("rest", nargs=argparse.REMAINDER)
 
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args, parser)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Library-level validation (bad dist/grid/block geometry, paper
+        # divisibility): a user-input problem, not a crash — one line.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args, parser) -> int:
     if args.command == "info":
         return cmd_info(args)
     if args.command == "pack":
@@ -463,6 +556,8 @@ def main(argv=None) -> int:
         return cmd_unpack(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "conform":
+        return cmd_conform(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "metrics":

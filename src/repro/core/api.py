@@ -314,6 +314,12 @@ def pack(
             raise ValueError(
                 f"PACK's VECTOR must be rank 1, got rank {vector.ndim}"
             )
+        trues = int(np.count_nonzero(mask))
+        if vector.size < trues:
+            raise ValueError(
+                f"PACK's VECTOR has {vector.size} elements but the mask "
+                f"selects {trues}"
+            )
         n_result = int(vector.size)
         pad_layout = result_vector_layout(n_result, layout.nprocs, config)
         pad_blocks = pad_layout.scatter(vector)
@@ -401,6 +407,16 @@ def unpack(
     vector = np.asarray(vector)
     mask = np.asarray(mask, dtype=bool)
     field_array = np.asarray(field_array)
+    if vector.ndim != 1:
+        raise ValueError(
+            f"UNPACK input vector must be rank 1, got rank {vector.ndim}"
+        )
+    trues = int(np.count_nonzero(mask))
+    if vector.size < trues:
+        raise ValueError(
+            f"UNPACK vector has {vector.size} elements but the mask selects "
+            f"{trues}"
+        )
     if field_array.ndim == 0:
         field_array = np.full(mask.shape, field_array[()])
     if isinstance(grid, int):
@@ -485,15 +501,26 @@ def ranking(
     faults=None,
     step_budget: int | None = None,
     time_budget: float | None = None,
+    pad: bool = False,
 ) -> RankingResult:
     """Run only the ranking stage and return the global rank array.
 
     Ranking communicates via hardware collectives only (no point-to-point
     data), so there is no ``reliability`` knob; ``faults`` can still
-    crash ranks or stretch straggler clocks."""
+    crash ranks or stretch straggler clocks.  ``pad`` lifts the ``P*W | N``
+    divisibility assumption exactly as in :func:`pack`: padding cells are
+    mask-false, contribute nothing to the prefix sums, and are cropped away
+    before the ranks are returned."""
     mask = np.asarray(mask, dtype=bool)
     if isinstance(grid, int):
         grid = (grid,)
+    original_mask = mask
+    original_shape = mask.shape
+    if pad:
+        from .padding import pad_mask, padded_shape
+
+        new_shape, block = padded_shape(mask.shape, grid, block)
+        mask = pad_mask(mask, new_shape)
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
     layout = GridLayout.create(mask.shape, grid, block)
     mask_blocks = layout.scatter(mask, copy=False)
@@ -516,12 +543,17 @@ def ranking(
     )
     ranks = layout.gather([run.results[r][0] for r in range(layout.nprocs)])
     size = run.results[0][1]
+    if pad:
+        from .padding import crop
+
+        ranks = crop(ranks, original_shape)
     if validate:
-        expected = mask_ranks(mask)
+        expected = mask_ranks(original_mask)
         if not np.array_equal(ranks, expected):
             raise AssertionError("parallel ranking mismatch vs serial oracle")
-        if size != int(np.count_nonzero(mask)):
-            raise AssertionError(f"Size {size} != oracle {np.count_nonzero(mask)}")
+        if size != int(np.count_nonzero(original_mask)):
+            raise AssertionError(
+                f"Size {size} != oracle {np.count_nonzero(original_mask)}")
     if profiler is not None:
         profiler.finish(run, op="ranking", spec=spec.name)
     return RankingResult(

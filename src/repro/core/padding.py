@@ -67,8 +67,15 @@ def padded_shape(shape, grid, block) -> tuple[tuple[int, ...], tuple[int, ...]]:
             w = -(-n // p)
         else:
             raise ValueError(f"bad block spec {b!r}")
+        if n < 0:
+            raise ValueError(f"negative extent {n}")
+        # Zero-length extents (legal in Fortran 90: PACK of a zero-size
+        # array is a zero-size vector) pad up to one full tile so every
+        # processor owns a (mask-false) block; the crop restores the
+        # zero extent afterwards.
+        w = max(1, w)
         unit = p * w
-        padded = -(-n // unit) * unit
+        padded = max(1, -(-n // unit)) * unit
         out_shape.append(padded)
         out_block.append(w)
     return tuple(out_shape), tuple(out_block)

@@ -107,6 +107,15 @@ def unpack_program(
             f"UNPACK vector of {n_vector} elements cannot fill {size} mask trues"
         )
     vec = input_vector_layout(n_vector, ctx.size, config)
+    expected_block = vec.local_size(ctx.rank)
+    if vector_block.shape != (expected_block,):
+        # Catch host/caller slicing errors before they turn into silent
+        # truncation or reads of stale padding during the serve stage.
+        raise ValueError(
+            f"rank {ctx.rank}: vector block shape {vector_block.shape} != "
+            f"({expected_block},) required by the input layout for "
+            f"n_vector={n_vector}"
+        )
 
     # --------------------------------------- stage 2A: compose rank requests
     ctx.phase(f"{phase_prefix}.requests")
@@ -119,39 +128,62 @@ def unpack_program(
         ctx.work(costs.second_scan(ranking_result.c, scan2))
     ctx.work(costs.unpack_requests(e_i, sel.segment_count))
 
-    # Group ranks by owner (contiguous runs: ranks ascending, block layout).
+    # Group ranks by owner.  Under a block input layout the owners of the
+    # ascending ranks are already grouped (contiguous runs); a block-cyclic
+    # input layout (``result_block``) revisits owners, so the elements are
+    # grouped with one stable sort — preserving ascending-rank order within
+    # each destination — and the permutation is remembered so the received
+    # values can be scattered back in element order during placement.
     requests: dict[int, np.ndarray] = {}
     request_counts: dict[int, int] = {}
     request_order: list[int] = []
+    elem_order: np.ndarray | None = None
     compress = config.compress_requests and not scheme.stores_records
     if e_i:
         dests = sel.dests
+        if np.all(dests[1:] >= dests[:-1]):
+            dests_g, ranks_g = dests, sel.ranks
+            slices_g = sel.slice_ids
+        else:
+            elem_order = np.argsort(dests, kind="stable")
+            dests_g = dests[elem_order]
+            ranks_g = sel.ranks[elem_order]
+            slices_g = sel.slice_ids[elem_order]
         bounds = np.concatenate(
-            ([0], np.flatnonzero(dests[1:] != dests[:-1]) + 1, [e_i])
+            ([0], np.flatnonzero(dests_g[1:] != dests_g[:-1]) + 1, [e_i])
         )
         if compress:
             # Run-length encode: segments of consecutive ranks (the slice
-            # property), shipped as (bases, lengths).  A destination
-            # boundary always starts a new segment (segment breaks include
-            # destination changes), so per-destination segment runs are
-            # contiguous slices of the global segment arrays.
-            seg_starts = np.flatnonzero(sel.segment_breaks())
+            # property), shipped as (bases, lengths).  A segment breaks at
+            # a destination or slice change, and — after grouping — at any
+            # rank discontinuity (grouping can abut same-slice elements
+            # whose ranks are a full tile apart).  Destination boundaries
+            # always start a new segment, so per-destination segment runs
+            # are contiguous slices of the global segment arrays.
+            brk = np.ones(e_i, dtype=bool)
+            if e_i > 1:
+                brk[1:] = (
+                    (dests_g[1:] != dests_g[:-1])
+                    | (slices_g[1:] != slices_g[:-1])
+                    | (ranks_g[1:] != ranks_g[:-1] + 1)
+                )
+            seg_starts = np.flatnonzero(brk)
             seg_ends = np.append(seg_starts[1:], e_i)
             # First segment of each destination chunk, by position.
             seg_of_dest = np.searchsorted(seg_starts, bounds).tolist()
         bounds_l = bounds.tolist()
-        dest_l = dests[bounds[:-1]].tolist()
+        dest_l = dests_g[bounds[:-1]].tolist()
         for j, dest in enumerate(dest_l):
             a, b = bounds_l[j], bounds_l[j + 1]
             request_counts[dest] = b - a
             if compress:
                 sa, sb = seg_of_dest[j], seg_of_dest[j + 1]
                 requests[dest] = (
-                    sel.ranks[seg_starts[sa:sb]],
+                    ranks_g[seg_starts[sa:sb]],
                     seg_ends[sa:sb] - seg_starts[sa:sb],
                 )
             else:
-                requests[dest] = sel.ranks[a:b]
+                requests[dest] = ranks_g[a:b]
             request_order.append(dest)
 
     ctx.phase(f"{phase_prefix}.comm.request")
@@ -235,11 +267,10 @@ def unpack_program(
 
     # -------------------------------------------------- stage 2C: placement
     ctx.phase(f"{phase_prefix}.place")
-    out_dtype = (
-        np.result_type(vector_block.dtype, local_field.dtype)
-        if vector_block.size
-        else local_field.dtype
-    )
+    # The output dtype is a pure function of the *global* vector and field
+    # dtypes, which every rank's (possibly empty) blocks carry — deciding
+    # it from local block sizes would let ranks disagree.
+    out_dtype = np.result_type(vector_block.dtype, local_field.dtype)
     # Start from the field (one streaming copy) and scatter the received
     # values into the mask-true positions — equivalent to filling trues
     # then merging falses, without the two boolean-mask passes.
@@ -252,7 +283,12 @@ def unpack_program(
             )
     if e_i:
         all_values = np.concatenate([got_values[d] for d in request_order])
-        out_flat[sel.positions] = all_values
+        if elem_order is None:
+            out_flat[sel.positions] = all_values
+        else:
+            # Replies arrive grouped by destination; scatter them back to
+            # the element order the grouping permuted away from.
+            out_flat[sel.positions[elem_order]] = all_values
     ctx.work(costs.unpack_place(e_i))
 
     # ------------------------------------------------ stage 2D: field merge

@@ -150,6 +150,17 @@ class DimLayout:
         """Tile number of each local index (same on every processor)."""
         return np.asarray(l) // self.w
 
+    def globals_reference(self, p: int) -> np.ndarray:
+        """Uncached, scalar-map derivation of :meth:`globals_`.
+
+        The A/B oracle for the lru-cached vectorized fast path: one
+        :meth:`global_` call per local index, no shared state.  Slow —
+        test/diagnostic use only.
+        """
+        return np.array(
+            [self.global_(p, l) for l in range(self.l)], dtype=np.int64
+        )
+
     # ---------------------------------------------------------- reporting
     def describe(self) -> str:
         if self.is_block:

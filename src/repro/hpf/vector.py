@@ -108,6 +108,21 @@ class VectorLayout:
         if not (0 <= g < self.n):
             raise ValueError(f"vector index {g} out of range [0, {self.n})")
 
+    def globals_reference(self, rank: int) -> np.ndarray:
+        """Uncached, scalar-map derivation of :meth:`globals_`.
+
+        Walks every global index through the scalar :meth:`owner` map —
+        ascending global order restricted to one owner is exactly local
+        storage order.  The A/B oracle for the cached fast path; slow —
+        test/diagnostic use only.
+        """
+        if not (0 <= rank < self.p):
+            raise ValueError(f"rank {rank} out of range [0, {self.p})")
+        return np.array(
+            [g for g in range(self.n) if self.owner(g) == rank],
+            dtype=np.int64,
+        )
+
     # --------------------------------------------------------- host helpers
     def scatter(self, vector: np.ndarray, copy: bool = True) -> list[np.ndarray]:
         """Split into per-rank blocks; ``copy=False`` returns views where

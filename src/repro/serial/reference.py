@@ -82,7 +82,10 @@ def unpack_reference(
         raise ValueError(
             f"UNPACK vector has {vector.size} elements but mask selects {size}"
         )
-    out = field.copy()
+    # Promote to the common dtype of vector and field (Fortran 90 requires
+    # them to agree; for mixed numpy inputs the result must not depend on
+    # which positions happen to be true).
+    out = field.astype(np.result_type(vector.dtype, field.dtype), copy=True)
     out[mask] = vector[:size]
     return out
 

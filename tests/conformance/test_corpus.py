@@ -1,0 +1,36 @@
+"""Regression corpus replay: every bug the fuzzer (or a probe) ever found
+stays fixed.  One JSON file per bug under ``corpus/``; each entry is a
+minimized :class:`ConformanceCase` that failed before its fix landed and
+must pass forever after."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import load_corpus_case, replay_corpus, run_case
+
+CORPUS = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    # The conformance work fixed at least five distinct bug classes; the
+    # corpus pins every one of them.
+    assert len(ENTRIES) >= 5
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_passes(path):
+    case, bug = load_corpus_case(path)
+    assert bug, f"{path.name} must describe the bug it pins"
+    outcome = run_case(case)
+    assert outcome.ok, (
+        f"REGRESSION {path.name}: {outcome}\n"
+        f"pinned bug: {bug}\n{case.snippet()}"
+    )
+
+
+def test_replay_corpus_helper_agrees():
+    results = replay_corpus(CORPUS)
+    assert [p for p, _, _ in results] == ENTRIES
+    assert all(outcome.ok for _, _, outcome in results)

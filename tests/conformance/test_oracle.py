@@ -1,0 +1,119 @@
+"""The conformance oracle itself: serial-reference properties (including
+the paper's Section 2 / Figure 1 worked example) and the verdict logic —
+a healthy library yields ``ok``, a planted bug is detected and classified."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.api as api
+from repro.conformance import CaseOutcome, ConformanceCase, run_case
+from repro.serial.reference import mask_ranks, pack_reference, unpack_reference
+
+#: The paper's Figure 1 input: A(16)/M(16), CYCLIC(2) on 4 procs, Size=10.
+FIG1_MASK = np.array(
+    [1, 0, 1, 1, 0, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1], dtype=bool
+)
+
+
+class TestFigure1Example:
+    """Section 2's running example, checked end to end."""
+
+    def test_mask_ranks(self):
+        expected = [0, -1, 1, 2, -1, 3, 4, 5, -1, -1, 6, 7, -1, 8, -1, 9]
+        assert mask_ranks(FIG1_MASK).tolist() == expected
+
+    def test_pack_reference_selects_in_element_order(self):
+        a = np.arange(16.0)
+        packed = pack_reference(a, FIG1_MASK)
+        assert packed.tolist() == [0, 2, 3, 5, 6, 7, 10, 11, 13, 15]
+
+    def test_unpack_reference_inverts_pack(self):
+        a = np.arange(16.0)
+        v = pack_reference(a, FIG1_MASK)
+        assert np.array_equal(unpack_reference(v, FIG1_MASK, a), a)
+
+    def test_parallel_pack_matches_reference_on_fig1_layout(self):
+        # The exact paper configuration: block-cyclic(2) over 4 processors.
+        a = np.arange(16.0)
+        result = api.pack(a, FIG1_MASK, grid=(4,), block=2, validate=False)
+        assert result.size == 10
+        assert np.array_equal(result.vector[:10], pack_reference(a, FIG1_MASK))
+
+    def test_fig1_as_conformance_case_layout(self):
+        # The same distribution driven through the conformance harness.
+        case = ConformanceCase(
+            op="roundtrip", seed=6, shape=(16,), grid=(4,),
+            dist=("cyclic(2)",), scheme="css", mask_kind="random",
+            density=10 / 16,
+        )
+        assert run_case(case).ok
+
+
+class TestReferenceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=0, max_size=40))
+    def test_rank_permutation(self, bits):
+        mask = np.array(bits, dtype=bool)
+        ranks = mask_ranks(mask)
+        size = int(mask.sum())
+        assert np.array_equal(np.sort(ranks[mask]), np.arange(size))
+        assert np.all(ranks[~mask] == -1)
+        # Ranks ascend in row-major element order.
+        assert np.all(np.diff(ranks[mask]) == 1) or size <= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=40), st.integers(0, 5))
+    def test_serial_roundtrip_identity(self, bits, extra):
+        mask = np.array(bits, dtype=bool)
+        a = np.arange(mask.size, dtype=np.float64)
+        v = pack_reference(a, mask)
+        # Surplus vector elements beyond Size are legal F90 and ignored.
+        v = np.concatenate([v, np.full(extra, -1.0)])
+        assert np.array_equal(unpack_reference(v, mask, a), a)
+
+
+class TestVerdicts:
+    def test_ok_cases_per_op(self):
+        for op in ("pack", "pack_vector", "unpack", "roundtrip", "ranking"):
+            case = ConformanceCase(
+                op=op, seed=9, shape=(12,), grid=(3,), dist=("block",),
+                scheme="css", mask_kind="random", density=0.5,
+            )
+            outcome = run_case(case)
+            assert outcome.ok, f"{op}: {outcome}"
+
+    def test_planted_pack_bug_is_detected(self, monkeypatch):
+        real_pack = api.pack
+
+        def corrupted_pack(*args, **kwargs):
+            result = real_pack(*args, **kwargs)
+            result.vector[0] += 1  # flip one packed element
+            return result
+
+        monkeypatch.setattr(api, "pack", corrupted_pack)
+        case = ConformanceCase(
+            op="pack", seed=1, shape=(16,), grid=(4,), dist=("block",),
+            scheme="sss", mask_kind="all_true", density=1.0,
+        )
+        outcome = run_case(case)
+        assert not outcome.ok
+        assert outcome.kind == "mismatch"
+
+    def test_exceptions_are_error_outcomes(self, monkeypatch):
+        def broken_unpack(*args, **kwargs):
+            raise RuntimeError("planted")
+
+        monkeypatch.setattr(api, "unpack", broken_unpack)
+        case = ConformanceCase(
+            op="unpack", seed=1, shape=(8,), grid=(2,), dist=("block",),
+            scheme="css", mask_kind="random", density=0.5,
+        )
+        outcome = run_case(case)
+        assert not outcome.ok and outcome.kind == "error"
+        assert "planted" in outcome.detail
+
+    def test_outcome_str(self):
+        assert str(CaseOutcome(True, "ok")) == "ok"
+        assert str(CaseOutcome(False, "mismatch", "boom")) == "mismatch: boom"

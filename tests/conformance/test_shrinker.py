@@ -1,0 +1,66 @@
+"""The shrinker: minimizes while preserving failure, respects its budget,
+and actually makes cases smaller along the documented axes."""
+
+import numpy as np
+
+from repro.conformance import ConformanceCase, shrink_case
+
+BIG = ConformanceCase(
+    op="unpack", seed=12345, shape=(16, 24), grid=(4, 4),
+    dist=("cyclic(2)", "cyclic"), scheme="css", mask_kind="stripe",
+    density=0.5, dtype="complex128", field_dtype="int32", result_block=3,
+    compress_requests=True, prs="direct", m2m_schedule="naive",
+    machine="cluster", vector_extra=5,
+)
+
+
+def _weight(case: ConformanceCase) -> int:
+    return int(np.prod([max(n, 1) for n in case.shape])) * case.nprocs
+
+
+class TestShrinker:
+    def test_preserves_failure_and_shrinks(self):
+        # Synthetic bug: any case running on more than two processors.
+        failing = lambda c: c.nprocs > 2  # noqa: E731
+        assert failing(BIG)
+        shrunk, evals = shrink_case(BIG, failing=failing, max_shrink=400)
+        assert failing(shrunk), "shrinking must never lose the failure"
+        assert evals <= 400
+        assert _weight(shrunk) < _weight(BIG)
+        # Everything irrelevant to the predicate got reset to its default.
+        assert shrunk.result_block is None
+        assert not shrunk.compress_requests
+        assert shrunk.vector_extra == 0
+        assert shrunk.dtype == "float64" and shrunk.field_dtype is None
+        assert shrunk.machine == "cm5" and shrunk.prs == "auto"
+
+    def test_shrinks_distribution_toward_block(self):
+        failing = lambda c: c.shape[0] >= 8  # noqa: E731
+        shrunk, _ = shrink_case(BIG, failing=failing, max_shrink=400)
+        assert failing(shrunk)
+        assert all(spec == "block" for spec in shrunk.dist)
+
+    def test_drops_axes(self):
+        # A failure independent of rank should shrink to a 1-D case.
+        failing = lambda c: True  # noqa: E731
+        shrunk, _ = shrink_case(BIG, failing=failing, max_shrink=600)
+        assert shrunk.d == 1
+
+    def test_budget_zero_returns_input(self):
+        shrunk, evals = shrink_case(BIG, failing=lambda c: True, max_shrink=0)
+        assert shrunk == BIG.normalized()
+        assert evals == 0
+
+    def test_budget_is_respected(self):
+        calls = []
+
+        def failing(case):
+            calls.append(case)
+            return True
+
+        _, evals = shrink_case(BIG, failing=failing, max_shrink=7)
+        assert evals == len(calls) == 7
+
+    def test_result_is_normalized(self):
+        shrunk, _ = shrink_case(BIG, failing=lambda c: True, max_shrink=100)
+        assert shrunk.pad or shrunk.divisible()

@@ -1,0 +1,190 @@
+"""Direct-API regression tests for the bugs pinned by the conformance
+corpus (``tests/conformance/corpus/*.json``) plus the UNPACK / empty-PACK
+edge-case contracts.
+
+Each test cites its corpus entry; the corpus replay proves the minimized
+case stays fixed, these tests state the user-facing contract in API terms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import pack, unpack
+from repro.core.unpack import unpack_program
+from repro.hpf import GridLayout
+from repro.machine import Machine, MachineSpec, ProgramError
+from repro.serial.reference import pack_reference, unpack_reference
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+
+class TestResultBlockGrouping:
+    """Corpus: unpack-result-block-grouping / unpack-3d-mixed-dist-result-block.
+
+    Block-cyclic input vector layouts revisit destination ranks; the
+    request grouping must tolerate non-monotone destination sequences.
+    """
+
+    @pytest.mark.parametrize("scheme", ["sss", "css"])
+    @pytest.mark.parametrize("result_block", [1, 2, 3])
+    def test_cyclic_input_vector_layouts(self, scheme, result_block):
+        rng = np.random.default_rng(7)
+        mask = np.ones(16, dtype=bool)
+        field = rng.random(16)
+        vector = rng.random(16)
+        result = unpack(
+            vector, mask, field, grid=(4,), block=2, scheme=scheme,
+            result_block=result_block, spec=SPEC, validate=False,
+        )
+        assert np.array_equal(result.array, unpack_reference(vector, mask, field))
+
+    @pytest.mark.parametrize("result_block", [1, 2])
+    def test_compressed_requests_with_revisited_destinations(self, result_block):
+        # Corpus: unpack-result-block-compress — compressed (base, length)
+        # request runs must split at destination-rank discontinuities.
+        rng = np.random.default_rng(5)
+        mask = rng.random(16) < 0.9
+        field = rng.random(16)
+        vector = rng.random(int(mask.sum()))
+        result = unpack(
+            vector, mask, field, grid=(4,), block=2, scheme="css",
+            compress_requests=True, result_block=result_block,
+            spec=SPEC, validate=False,
+        )
+        assert np.array_equal(result.array, unpack_reference(vector, mask, field))
+
+    def test_3d_mixed_distributions(self):
+        rng = np.random.default_rng(2)
+        shape = (4, 4, 8)
+        mask = np.ones(shape, dtype=bool)
+        field = rng.random(shape)
+        vector = rng.random(int(mask.sum()))
+        result = unpack(
+            vector, mask, field, grid=(2, 2, 2),
+            block=["block", "cyclic", 2], scheme="sss", result_block=1,
+            spec=SPEC, validate=False,
+        )
+        assert np.array_equal(result.array, unpack_reference(vector, mask, field))
+
+
+class TestDtypePromotion:
+    """Corpus: unpack-dtype-promotion — promotion is a global decision."""
+
+    def test_float_vector_into_int_field(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random(16) < 0.5
+        field = rng.integers(-50, 50, 16).astype(np.int64)
+        vector = rng.random(int(mask.sum()))
+        result = unpack(vector, mask, field, grid=(4,), block=2,
+                        spec=SPEC, validate=False)
+        expected = unpack_reference(vector, mask, field)
+        assert result.array.dtype == expected.dtype == np.float64
+        assert np.array_equal(result.array, expected)
+
+    def test_promotion_with_empty_vector_blocks(self):
+        # The old bug: ranks whose vector block was empty skipped promotion
+        # and disagreed with the others.  A sparse mask on many ranks
+        # leaves most vector blocks empty.
+        mask = np.zeros(16, dtype=bool)
+        mask[0] = True
+        field = np.arange(16, dtype=np.int64)
+        result = unpack(np.array([0.5]), mask, field, grid=(4,), block=2,
+                        spec=SPEC, validate=False)
+        assert result.array.dtype == np.float64
+        assert result.array[0] == 0.5
+        assert np.array_equal(result.array[1:], field[1:].astype(np.float64))
+
+    def test_serial_reference_promotes_identically(self):
+        field = np.arange(4, dtype=np.int64)
+        out = unpack_reference(np.array([1.5]), np.array([1, 0, 0, 0], bool),
+                               field)
+        assert out.dtype == np.float64 and out[0] == 1.5
+
+
+class TestShortVectorContract:
+    """len(V) < Size must raise a clear ValueError — never truncate."""
+
+    def test_host_level_error(self):
+        mask = np.ones(8, dtype=bool)
+        field = np.zeros(8)
+        with pytest.raises(ValueError, match="8"):
+            unpack(np.zeros(5), mask, field, grid=(2,), spec=SPEC)
+
+    def test_pack_vector_argument_too_short(self):
+        mask = np.ones(8, dtype=bool)
+        with pytest.raises(ValueError, match="VECTOR has 5"):
+            pack(np.arange(8.0), mask, grid=(2,), vector=np.zeros(5), spec=SPEC)
+
+    def test_non_rank1_vector_rejected(self):
+        mask = np.ones(8, dtype=bool)
+        with pytest.raises(ValueError, match="rank 1"):
+            unpack(np.zeros((4, 2)), mask, np.zeros(8), grid=(2,), spec=SPEC)
+
+    def test_every_rank_raises_in_spmd_program(self):
+        # SPMD users calling unpack_program directly (bypassing the host
+        # check) must get the ValueError on every rank, not a hang.
+        mask = np.ones(8, dtype=bool)
+        layout = GridLayout.create(mask.shape, (2,), "block")
+        mask_blocks = layout.scatter(mask)
+        field_blocks = layout.scatter(np.zeros(8))
+        from repro.core.schemes import PackConfig, Scheme
+        from repro.core.unpack import input_vector_layout
+
+        config = PackConfig(scheme=Scheme.parse("css"))
+        vec = input_vector_layout(5, 2, config)
+        v = np.zeros(5)
+
+        def prog(ctx, mb, fb, blk):
+            result = yield from unpack_program(ctx, blk, mb, fb, layout, 5,
+                                               config)
+            return result
+
+        with pytest.raises(ProgramError) as err:
+            Machine(2, SPEC).run(
+                prog,
+                rank_args=[
+                    (mask_blocks[r], field_blocks[r], v[vec.globals_(r)])
+                    for r in range(2)
+                ],
+            )
+        assert "cannot fill" in str(err.value)
+
+    def test_surplus_vector_elements_ignored(self):
+        # len(V) > Size stays legal F90: the surplus is ignored.
+        rng = np.random.default_rng(0)
+        mask = rng.random(16) < 0.5
+        field = rng.random(16)
+        vector = rng.random(int(mask.sum()) + 4)
+        result = unpack(vector, mask, field, grid=(4,), block=2,
+                        spec=SPEC, validate=False)
+        assert np.array_equal(result.array, unpack_reference(vector, mask, field))
+
+
+class TestEmptyAndZeroExtent:
+    """Corpus: pack-zero-extent-pad / unpack-zero-extent-pad."""
+
+    def test_pack_all_false_returns_empty_vector_everywhere(self):
+        a = np.arange(16.0)
+        mask = np.zeros(16, dtype=bool)
+        result = pack(a, mask, grid=(4,), block=2, spec=SPEC, validate=False)
+        assert result.size == 0
+        assert result.vector.shape == (0,)
+        assert result.vector.dtype == a.dtype
+
+    def test_pack_zero_extent_with_pad(self):
+        a = np.zeros((0,))
+        mask = np.zeros((0,), dtype=bool)
+        result = pack(a, mask, grid=(2,), pad=True, spec=SPEC, validate=False)
+        assert result.size == 0 and result.vector.shape == (0,)
+
+    def test_unpack_zero_extent_axis_with_pad(self):
+        shape = (4, 0)
+        mask = np.zeros(shape, dtype=bool)
+        field = np.zeros(shape)
+        result = unpack(np.zeros(0), mask, field, grid=(2, 2),
+                        block=["block", "cyclic"], pad=True, spec=SPEC,
+                        validate=False)
+        assert result.array.shape == shape
+
+    def test_pack_reference_empty_agrees(self):
+        assert pack_reference(np.arange(4.0), np.zeros(4, bool)).shape == (0,)

@@ -1,0 +1,105 @@
+"""A/B checks of the lru-cached layout index maps against uncached
+scalar-map derivations, across the edge cases the caches must not blur:
+zero-size local tiles, CYCLIC(1) with more processors than elements, and
+ragged trailing blocks of the vector layout."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import GridLayout
+from repro.hpf.dimlayout import DimLayout, _dim_globals
+from repro.hpf.vector import VectorLayout
+
+
+def _dim_cases():
+    # Every (n, p, w) with P*W | N, n up to 24, p up to 4, w up to 4.
+    for n in (1, 2, 4, 6, 8, 12, 16, 24):
+        for p in (1, 2, 3, 4):
+            for w in (1, 2, 3, 4):
+                if n % (p * w) == 0:
+                    yield n, p, w
+
+
+class TestDimLayoutReference:
+    @pytest.mark.parametrize("n,p,w", list(_dim_cases()))
+    def test_cached_globals_match_reference(self, n, p, w):
+        layout = DimLayout(n=n, p=p, w=w)
+        for rank in range(p):
+            cached = layout.globals_(rank)
+            assert np.array_equal(cached, layout.globals_reference(rank))
+            # The cache returns a read-only view: callers cannot corrupt it.
+            assert not cached.flags.writeable
+
+    def test_cache_not_confused_by_similar_keys(self):
+        # (n=8,p=2,w=2) and (n=8,p=4,w=1) have equal local extents but
+        # different maps; a mis-keyed cache would cross them.
+        a = DimLayout(n=8, p=2, w=2)
+        b = DimLayout(n=8, p=4, w=1)
+        assert a.l == 4 and b.l == 2
+        assert not np.array_equal(a.globals_(1)[: b.l], b.globals_(1))
+        assert np.array_equal(a.globals_(1), a.globals_reference(1))
+        assert np.array_equal(b.globals_(1), b.globals_reference(1))
+
+    def test_cache_function_is_pure(self):
+        first = _dim_globals(12, 2, 3, 1).copy()
+        again = _dim_globals(12, 2, 3, 1)
+        assert np.array_equal(first, again)
+
+
+class TestVectorLayoutReference:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 7, 8, 13, 16, 27])
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("w", [1, 2, 3])
+    def test_cached_globals_match_reference(self, n, p, w):
+        layout = VectorLayout(n=n, p=p, w=w)
+        total = 0
+        for rank in range(p):
+            cached = layout.globals_(rank)
+            ref = layout.globals_reference(rank)
+            assert np.array_equal(cached, ref), (n, p, w, rank)
+            assert cached.size == layout.local_size(rank)
+            total += cached.size
+        assert total == n  # every element owned exactly once
+
+    def test_cyclic1_more_procs_than_elements(self):
+        # CYCLIC(1), P=8, n=3: ranks 3..7 own nothing — zero-size tiles.
+        layout = VectorLayout.cyclic(n=3, p=8, w=1)
+        for rank in range(8):
+            expected = [rank] if rank < 3 else []
+            assert layout.globals_(rank).tolist() == expected
+            assert layout.globals_reference(rank).tolist() == expected
+            assert layout.local_size(rank) == len(expected)
+
+    def test_zero_length_vector(self):
+        layout = VectorLayout.block(n=0, p=4)
+        for rank in range(4):
+            assert layout.local_size(rank) == 0
+            assert layout.globals_(rank).size == 0
+            assert layout.globals_reference(rank).size == 0
+
+    def test_scatter_gather_roundtrip_on_ragged_layouts(self):
+        for n, p, w in [(13, 4, 2), (5, 3, 1), (27, 5, 3), (3, 8, 1)]:
+            layout = VectorLayout(n=n, p=p, w=w)
+            v = np.arange(n, dtype=np.float64)
+            assert np.array_equal(layout.gather(layout.scatter(v)), v)
+
+    def test_reference_rejects_bad_rank(self):
+        layout = VectorLayout.block(n=8, p=2)
+        with pytest.raises(ValueError, match="rank"):
+            layout.globals_reference(2)
+
+
+class TestGridFlatIndexReference:
+    @pytest.mark.parametrize("shape,grid,block", [
+        ((8,), (4,), 2),
+        ((16,), (4,), "cyclic"),
+        ((4, 8), (2, 2), [2, "cyclic"]),
+        ((4, 4, 8), (2, 2, 2), ["block", "cyclic", 2]),
+    ])
+    def test_flat_index_matches_scalar_walk(self, shape, grid, block):
+        layout = GridLayout.create(shape, grid, block)
+        # Uncached derivation: scatter the identity flat index array.
+        flat = np.arange(int(np.prod(shape)), dtype=np.int64).reshape(shape)
+        blocks = layout.scatter(flat, copy=False)
+        for rank in range(layout.nprocs):
+            assert np.array_equal(layout.global_flat_index(rank), blocks[rank])

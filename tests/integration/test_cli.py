@@ -146,3 +146,87 @@ class TestErrors:
     def test_no_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestGeometryErrors:
+    """Malformed --shape/--grid/--block exit 2 with one line on stderr,
+    never a traceback."""
+
+    def _expect_error(self, capsys, argv, needle):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert needle in captured.err
+        assert captured.err.startswith("error: ")
+        assert captured.err.count("\n") == 1  # exactly one line
+        assert "Traceback" not in captured.err
+
+    def test_non_integer_block(self, capsys):
+        self._expect_error(
+            capsys, ["pack", "--n", "64", "--procs", "4", "--block", "foo"],
+            "--block expects an integer",
+        )
+
+    def test_negative_block(self, capsys):
+        self._expect_error(
+            capsys, ["pack", "--n", "64", "--procs", "4", "--block", "0"],
+            "--block must be >= 1",
+        )
+
+    def test_malformed_grid(self, capsys):
+        self._expect_error(
+            capsys, ["pack", "--shape", "8x8", "--grid", "3xx2"],
+            "--grid expects INTxINT",
+        )
+
+    def test_grid_rank_mismatch(self, capsys):
+        self._expect_error(
+            capsys, ["pack", "--shape", "8x8", "--grid", "2x2x2"],
+            "--grid rank 3 does not match --shape rank 2",
+        )
+
+    def test_malformed_shape(self, capsys):
+        self._expect_error(
+            capsys, ["unpack", "--shape", "8xlarge", "--grid", "2"],
+            "--shape expects INTxINT",
+        )
+
+    def test_nondividing_block_is_one_line(self, capsys):
+        # Library-level geometry validation surfaces the same way.
+        self._expect_error(
+            capsys, ["pack", "--n", "60", "--procs", "16", "--block", "8"],
+            "P*W must divide N",
+        )
+
+
+class TestConformCommand:
+    def test_clean_fuzz_run_exits_zero(self, capsys):
+        assert main(["conform", "--cases", "10", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "10 cases, seed 2: 0 failure(s)" in out
+
+    def test_corpus_replay(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).parents[1] / "conformance" / "corpus"
+        assert main(["conform", "--cases", "2", "--seed", "3",
+                     "--corpus", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out and "corpus:" in out
+
+    def test_failure_exits_one_with_minimized_repro(self, capsys, monkeypatch):
+        import repro.core.api as api
+
+        real_pack = api.pack
+
+        def corrupted_pack(*args, **kwargs):
+            result = real_pack(*args, **kwargs)
+            if result.vector.size:
+                result.vector[0] += 1
+            return result
+
+        monkeypatch.setattr(api, "pack", corrupted_pack)
+        assert main(["conform", "--cases", "25", "--seed", "4",
+                     "--max-shrink", "60"]) == 1
+        out = capsys.readouterr().out
+        assert "failure(s)" in out
+        assert "repro snippet" in out and "ConformanceCase.from_dict" in out
