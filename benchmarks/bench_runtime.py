@@ -1,0 +1,153 @@
+"""Sim-vs-mp execution-backend comparison: ``BENCH_runtime.json``.
+
+The other ``bench_*`` files time either the paper's *simulated* machine
+(the tables and figures) or the simulator's own hot paths
+(``bench_perf.py``).  This one compares the two **execution backends** on
+the same PACK/UNPACK workloads (the paper's Figure 4/5 shape: 1-D array,
+random mask, CMS pack / CSS unpack) at ``P`` in {2, 4, 8}:
+
+* ``sim`` — the deterministic cost simulator.  Reported per case:
+  host wall-clock of the whole call, and the *simulated* elapsed time the
+  cost model predicts for the CM-5.
+* ``mp`` — one OS process per rank on real cores.  Reported per case:
+  host wall-clock of the whole call (fork + shm + gang + teardown), and
+  the gang-internal *wall* elapsed time (max final rank clock, the same
+  quantity the simulator reports in its own time domain).
+
+The two elapsed numbers live in different time domains on purpose — this
+benchmark records them side by side but never adds them (the library
+itself refuses to: see ``aggregate_time`` / ``TimeDomainError``).
+
+Usage::
+
+    python benchmarks/bench_runtime.py            # measure + write JSON
+    python benchmarks/bench_runtime.py --quick    # small workload (CI)
+    python benchmarks/bench_runtime.py --no-write # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import pack, unpack
+from repro.runtime import MpBackend, SimBackend
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_runtime.json"
+SEED = 0
+PROCS = (2, 4, 8)
+GANG_TIMEOUT = 300.0  # wall budget per mp gang; a hang fails, not stalls
+
+
+def _workload(n: int, density: float):
+    rng = np.random.default_rng(SEED)
+    array = rng.random(n)
+    mask = rng.random(n) < density
+    vector = rng.random(int(mask.sum()))
+    field = np.full(n, -1.0)
+    return array, mask, vector, field
+
+
+def _run_case(op: str, p: int, backend, inputs) -> float:
+    """One PACK or UNPACK on ``backend``; returns the run's elapsed time
+    (simulated seconds on sim, gang wall seconds on mp)."""
+    array, mask, vector, field = inputs
+    if op == "pack":
+        r = pack(array, mask, grid=(p,), scheme="cms", validate=False,
+                 backend=backend)
+    else:
+        r = unpack(vector, mask, field, grid=(p,), scheme="css",
+                   validate=False, backend=backend)
+    return r.run.elapsed
+
+
+def measure(n: int, density: float, reps: int) -> list[dict]:
+    inputs = _workload(n, density)
+    backends = {
+        "sim": SimBackend(),
+        "mp": MpBackend(timeout=GANG_TIMEOUT),
+    }
+    cases = []
+    for op in ("pack", "unpack"):
+        for p in PROCS:
+            row: dict = {"op": op, "p": p, "n": n}
+            for bname, backend in backends.items():
+                best_wall = float("inf")
+                elapsed = None
+                for _ in range(reps):
+                    t0 = time.perf_counter()
+                    e = _run_case(op, p, backend, inputs)
+                    best_wall = min(best_wall, time.perf_counter() - t0)
+                    # sim elapsed is deterministic; for mp keep the run
+                    # matching the best host wall.
+                    if elapsed is None or bname == "mp":
+                        elapsed = e
+                row[bname] = {
+                    "host_wall_ms": round(best_wall * 1e3, 3),
+                    "elapsed_ms": round(elapsed * 1e3, 6),
+                    "time_domain": backend.time_domain,
+                }
+            ratio = (row["mp"]["host_wall_ms"] / row["sim"]["host_wall_ms"]
+                     if row["sim"]["host_wall_ms"] else float("inf"))
+            row["mp_over_sim_host_wall"] = round(ratio, 3)
+            cases.append(row)
+            print(f"  {op:<6s} P={p}: "
+                  f"sim {row['sim']['host_wall_ms']:9.1f} ms host "
+                  f"({row['sim']['elapsed_ms']:9.3f} ms simulated)   "
+                  f"mp {row['mp']['host_wall_ms']:9.1f} ms host "
+                  f"({row['mp']['elapsed_ms']:9.3f} ms gang wall)")
+    return cases
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--n", type=int, default=1 << 16,
+                    help="1-D array size (default 65536)")
+    ap.add_argument("--density", type=float, default=0.5)
+    ap.add_argument("--reps", type=int, default=3,
+                    help="repetitions per cell (best host wall kept)")
+    ap.add_argument("--quick", action="store_true",
+                    help="small workload, one rep (CI smoke)")
+    ap.add_argument("--no-write", action="store_true",
+                    help="print only; do not write BENCH_runtime.json")
+    args = ap.parse_args(argv)
+
+    n = 4096 if args.quick else args.n
+    reps = 1 if args.quick else args.reps
+    print(f"runtime backends: pack/unpack n={n} density={args.density} "
+          f"P={list(PROCS)} ({reps} rep{'s' if reps > 1 else ''}):")
+    cases = measure(n, args.density, reps)
+
+    if not args.no_write:
+        doc = {
+            "schema": 1,
+            "n": n,
+            "density": args.density,
+            "reps": reps,
+            "procs": list(PROCS),
+            "rev": _git_rev(),
+            "cases": cases,
+        }
+        OUT.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {len(cases)} cases -> {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

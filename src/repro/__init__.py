@@ -59,10 +59,21 @@ from .core import (
     unpack,
 )
 from .obs import MetricsRegistry, PhaseProfiler, RunReport
+from .runtime import (
+    Backend,
+    BackendError,
+    MpBackend,
+    MpGangError,
+    SimBackend,
+    available_backends,
+    get_backend,
+)
 from .serial import mask_ranks, pack_reference, unpack_reference
 
 __all__ = [
     "BLOCK",
+    "Backend",
+    "BackendError",
     "BlockCyclic",
     "CM5",
     "CYCLIC",
@@ -78,6 +89,8 @@ __all__ = [
     "MachineError",
     "MachineSpec",
     "MetricsRegistry",
+    "MpBackend",
+    "MpGangError",
     "PackConfig",
     "PackResult",
     "PhaseProfiler",
@@ -85,10 +98,13 @@ __all__ = [
     "RunReport",
     "RunResult",
     "Scheme",
+    "SimBackend",
     "UnpackResult",
     "VectorLayout",
     "__version__",
+    "available_backends",
     "count",
+    "get_backend",
     "mask_ranks",
     "pack",
     "pack_many",

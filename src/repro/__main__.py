@@ -17,8 +17,18 @@ Commands:
 * ``conform`` — differential conformance fuzzing: seeded random
   configurations checked against the serial reference, failures shrunk to
   minimal repros (exit 1 on any failure); ``--corpus DIR`` also replays
-  the regression corpus.  See ``docs/conformance.md``;
+  the regression corpus, and ``--backend mp`` replays it on the
+  real-process backend.  See ``docs/conformance.md``;
+* ``runtime`` — execution-backend smoke test: runs the primitive set
+  (barrier, allreduce, exclusive prefix sum, alltoallv, a send/recv ring)
+  and a PACK/UNPACK round against the serial oracle on the chosen
+  backend (exit 1 on any failure).  See ``docs/runtime.md``;
 * ``experiments ...`` — delegate to :mod:`repro.experiments`.
+
+``pack`` / ``unpack`` / ``trace`` / ``metrics`` accept ``--backend
+{sim,mp}``: ``sim`` (default) runs on the deterministic cost simulator
+and reports simulated times; ``mp`` runs one OS process per rank on real
+cores and reports wall times.
 
 Malformed geometry options (``--shape``, ``--grid``, ``--block``,
 ``--procs``) exit with status 2 and a one-line error, never a traceback.
@@ -38,6 +48,8 @@ Examples::
 
     python -m repro info
     python -m repro pack --n 65536 --procs 16 --block 8 --density 0.5
+    python -m repro pack --n 65536 --procs 8 --backend mp
+    python -m repro runtime --backend mp --procs 4
     python -m repro pack --shape 512x512 --grid 4x4 --block 4 --scheme sss
     python -m repro trace --nprocs 4 --n 1024 --block 8 --out pack.trace.json
     python -m repro metrics --op unpack --n 4096 --procs 8 --out m.json
@@ -199,10 +211,13 @@ def cmd_pack(args) -> int:
         array, mask, grid=grid, block=block, scheme=args.scheme,
         spec=_build_spec(args), redistribute=args.redistribute,
         validate=not args.no_validate, profiler=profiler,
-        faults=faults, reliability=reliability,
+        faults=faults, reliability=reliability, backend=args.backend,
     )
     print(f"PACK {array.shape} on grid {grid}, block {block}, "
           f"scheme {args.scheme}: Size = {result.size}")
+    if args.backend != "sim":
+        print(f"  backend {args.backend}: one OS process per rank, "
+              f"{result.time_domain}-clock times")
     if faults is not None:
         print(f"  faults: {faults.describe()}"
               f"{' + reliable transport' if reliability else ''}")
@@ -228,9 +243,13 @@ def cmd_unpack(args) -> int:
         scheme=args.scheme if args.scheme in ("sss", "css") else "css",
         spec=_build_spec(args), validate=not args.no_validate,
         profiler=profiler, faults=faults, reliability=reliability,
+        backend=args.backend,
     )
     print(f"UNPACK into {array.shape} on grid {grid}, block {block}: "
           f"Size = {result.size}")
+    if args.backend != "sim":
+        print(f"  backend {args.backend}: one OS process per rank, "
+              f"{result.time_domain}-clock times")
     if faults is not None:
         print(f"  faults: {faults.describe()}"
               f"{' + reliable transport' if reliability else ''}")
@@ -325,10 +344,24 @@ def cmd_conform(args) -> int:
 
     failed = 0
     if args.corpus:
-        results = replay_corpus(args.corpus)
+        if args.cross_check:
+            from pathlib import Path
+
+            from .conformance import cross_check_case, load_corpus_case
+
+            results = []
+            for path in sorted(Path(args.corpus).glob("*.json")):
+                case, bug = load_corpus_case(path)
+                results.append((path, bug, cross_check_case(case)))
+            label = "sim+mp cross-check"
+        else:
+            results = replay_corpus(args.corpus, backend=args.backend)
+            label = f"backend={args.backend}"
         bad = [(p, bug, o) for p, bug, o in results if not o.ok]
-        print(f"corpus: {len(results)} entr(ies) from {args.corpus}: "
-              f"{len(bad)} failure(s)")
+        skipped = sum(1 for _, _, o in results if o.kind == "skipped")
+        print(f"corpus ({label}): {len(results)} entr(ies) from {args.corpus}: "
+              f"{len(bad)} failure(s)"
+              + (f", {skipped} skipped (simulator-only)" if skipped else ""))
         for path, bug, outcome in bad:
             print(f"  REGRESSION {path.name}: {outcome}\n    pinned bug: {bug}")
         failed += len(bad)
@@ -359,6 +392,7 @@ def _run_observed(args):
         result = pack(
             array, mask, grid=grid, block=block, scheme=args.scheme,
             spec=spec, validate=not args.no_validate, profiler=profiler,
+            backend=args.backend,
         )
     elif op == "unpack":
         rng = np.random.default_rng(args.seed + 1)
@@ -366,11 +400,13 @@ def _run_observed(args):
             rng.random(int(mask.sum())), mask, array, grid=grid, block=block,
             scheme=args.scheme if args.scheme in ("sss", "css") else "css",
             spec=spec, validate=not args.no_validate, profiler=profiler,
+            backend=args.backend,
         )
     else:
         result = ranking(
             mask, grid=grid, block=block, spec=spec,
             validate=not args.no_validate, profiler=profiler,
+            backend=args.backend,
         )
     return profiler, result
 
@@ -380,7 +416,7 @@ def cmd_trace(args) -> int:
     n = profiler.write_chrome_trace(args.out)
     report = profiler.report
     print(f"{args.op}: ranks={report.nprocs} Size = {result.size}  "
-          f"elapsed {report.elapsed_ms:.3f} ms (simulated)")
+          f"elapsed {report.elapsed_ms:.3f} ms ({report.time_domain})")
     print(f"[trace: {n} events, {len(profiler.tracer)} simulator records "
           f"-> {args.out}]")
     print("open in https://ui.perfetto.dev or chrome://tracing")
@@ -404,6 +440,100 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_runtime(args) -> int:
+    """Execution-backend smoke test: the SPMD primitive set plus one
+    PACK/UNPACK round against the serial oracle, on the chosen backend."""
+    from .core.api import pack, unpack
+    from .runtime import (
+        MpBackend, allreduce, alltoallv, barrier, exclusive_prefix_sum,
+        get_backend,
+    )
+    from .workloads import make_mask
+
+    # Run mp gangs under a wall-clock budget: a transport regression must
+    # fail the smoke test, not hang it.
+    if args.backend == "mp":
+        backend = MpBackend(timeout=args.timeout)
+    else:
+        backend = get_backend(args.backend)
+    nprocs = args.procs
+    if nprocs < 1:
+        raise CLIError(f"--procs must be >= 1, got {nprocs}")
+    n = 512 if args.quick else args.n
+    print(f"runtime smoke: backend={backend.name} "
+          f"({backend.time_domain} time), P={nprocs}")
+    failures: list[str] = []
+
+    def program(ctx, payload):
+        ctx.phase("primitives")
+        yield from barrier(ctx)
+        total = yield from allreduce(ctx, ctx.rank + 1)
+        offset = yield from exclusive_prefix_sum(ctx, ctx.rank + 1)
+        ring = ctx.rank
+        if ctx.size > 1:
+            ctx.send((ctx.rank + 1) % ctx.size,
+                     np.array([ctx.rank], dtype=np.int64), tag=7)
+            msg = yield ctx.recv((ctx.rank - 1) % ctx.size, 7)
+            ring = int(np.asarray(msg.payload)[0])
+        outgoing = {q: np.full(q + 1, ctx.rank, dtype=np.int64)
+                    for q in range(ctx.size) if q != ctx.rank}
+        incoming = yield from alltoallv(ctx, outgoing)
+        return {
+            "total": total,
+            "offset": offset,
+            "ring": ring,
+            "a2a": {int(q): np.asarray(block).copy()
+                    for q, block in incoming.items()},
+            "payload_sum": float(np.asarray(payload).sum()),
+        }
+
+    run = backend.run_spmd(
+        program, nprocs,
+        make_rank_args=lambda r, sh: (np.full(4, float(r)),),
+    )
+    for r, res in enumerate(run.results):
+        if res["total"] != nprocs * (nprocs + 1) // 2:
+            failures.append(f"rank {r}: allreduce -> {res['total']}")
+        if res["offset"] != r * (r + 1) // 2:
+            failures.append(f"rank {r}: exclusive_prefix_sum -> {res['offset']}")
+        if res["ring"] != (r - 1) % nprocs:
+            failures.append(f"rank {r}: ring recv -> {res['ring']}")
+        for q, block in res["a2a"].items():
+            if not np.array_equal(block, np.full(r + 1, q, dtype=np.int64)):
+                failures.append(f"rank {r}: alltoallv block from {q} wrong")
+        if res["payload_sum"] != 4.0 * r:
+            failures.append(f"rank {r}: scattered payload wrong")
+    print(f"  primitives: barrier/allreduce/xprefix/ring/alltoallv on "
+          f"{nprocs} rank(s), elapsed {run.elapsed * 1e3:.3f} ms "
+          f"({run.time_domain})")
+
+    rng = np.random.default_rng(args.seed)
+    array = rng.random(n)
+    mask = make_mask((n,), args.density, seed=args.seed)
+    try:
+        packed = pack(array, mask, grid=(nprocs,), scheme="cms",
+                      validate=True, backend=backend)
+        restored = unpack(packed.vector, mask, array, grid=(nprocs,),
+                          scheme="css", validate=True, backend=backend)
+        if not np.array_equal(restored.array, array):
+            failures.append("pack/unpack round trip is not the identity")
+        print(f"  pack   n={n}: Size={packed.size}  "
+              f"total {packed.total_ms:9.3f} ms ({packed.time_domain})")
+        print(f"  unpack n={n}: oracle-exact round trip  "
+              f"total {restored.total_ms:9.3f} ms ({restored.time_domain})")
+    except Exception as exc:  # noqa: BLE001 - report, don't traceback
+        failures.append(f"pack/unpack: {type(exc).__name__}: {exc}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} check(s) failed:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"OK: backend {backend.name} primitives + PACK/UNPACK "
+          f"oracle-correct at P={nprocs}")
+    return 0
+
+
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--n", type=int, default=16384, help="1-D array size")
     p.add_argument("--procs", "--nprocs", type=int, default=16,
@@ -417,6 +547,10 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--machine", default="cm5", choices=("cm5", "cluster", "ideal"))
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-validate", action="store_true")
+    p.add_argument("--backend", default="sim", choices=("sim", "mp"),
+                   help="execution backend: 'sim' (deterministic cost "
+                        "simulator, simulated times) or 'mp' (one OS "
+                        "process per rank on real cores, wall times)")
 
 
 def _add_observability_args(p: argparse.ArgumentParser) -> None:
@@ -526,6 +660,31 @@ def main(argv=None) -> int:
     p_conform.add_argument("--corpus",
                            help="also replay every *.json regression corpus "
                                 "entry in this directory")
+    p_conform.add_argument("--backend", default="sim", choices=("sim", "mp"),
+                           help="execution backend for the corpus replay "
+                                "(the fuzz loop always runs on 'sim')")
+    p_conform.add_argument("--cross-check", action="store_true",
+                           dest="cross_check",
+                           help="replay the corpus on every backend "
+                                "(sim and mp) instead of just --backend")
+
+    p_runtime = sub.add_parser(
+        "runtime",
+        help="execution-backend smoke test: SPMD primitives plus one "
+             "PACK/UNPACK round against the serial oracle",
+    )
+    p_runtime.add_argument("--backend", default="mp", choices=("sim", "mp"),
+                           help="backend to smoke-test (default: mp)")
+    p_runtime.add_argument("--procs", type=int, default=4,
+                           help="number of ranks (OS processes under mp)")
+    p_runtime.add_argument("--n", type=int, default=4096,
+                           help="1-D array size for the PACK/UNPACK round")
+    p_runtime.add_argument("--density", type=float, default=0.5)
+    p_runtime.add_argument("--seed", type=int, default=0)
+    p_runtime.add_argument("--quick", action="store_true",
+                           help="small workload (n=512) for CI smoke")
+    p_runtime.add_argument("--timeout", type=float, default=120.0,
+                           help="wall-clock budget per mp gang in seconds")
 
     p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     p_exp.add_argument("--metrics-out", dest="metrics_out",
@@ -534,15 +693,18 @@ def main(argv=None) -> int:
                             "the experiment names)")
     p_exp.add_argument("rest", nargs=argparse.REMAINDER)
 
+    from .runtime.base import BackendError
+
     args = parser.parse_args(argv)
     try:
         return _dispatch(args, parser)
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except ValueError as exc:
+    except (ValueError, BackendError) as exc:
         # Library-level validation (bad dist/grid/block geometry, paper
-        # divisibility): a user-input problem, not a crash — one line.
+        # divisibility, simulator-only feature on another backend): a
+        # user-input problem, not a crash — one line.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -558,6 +720,8 @@ def _dispatch(args, parser) -> int:
         return cmd_chaos(args)
     if args.command == "conform":
         return cmd_conform(args)
+    if args.command == "runtime":
+        return cmd_runtime(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "metrics":

@@ -28,7 +28,7 @@ Driven by ``python -m repro conform``; see ``docs/conformance.md``.
 
 from .cases import ConformanceCase
 from .generator import draw_case, generate_cases
-from .oracle import CaseOutcome, run_case
+from .oracle import CaseOutcome, cross_check_case, run_case
 from .runner import FuzzReport, fuzz, load_corpus_case, replay_corpus, save_corpus_case
 from .shrink import shrink_case
 
@@ -36,6 +36,7 @@ __all__ = [
     "CaseOutcome",
     "ConformanceCase",
     "FuzzReport",
+    "cross_check_case",
     "draw_case",
     "fuzz",
     "generate_cases",

@@ -75,26 +75,63 @@ def _equal(got, want) -> bool:
     return got.shape == want.shape and bool(np.array_equal(got, want))
 
 
-def run_case(case: ConformanceCase) -> CaseOutcome:
-    """Execute the case's operation and check every applicable property."""
+def run_case(case: ConformanceCase, backend: str = "sim") -> CaseOutcome:
+    """Execute the case's operation and check every applicable property.
+
+    ``backend`` selects the execution backend (see :mod:`repro.runtime`);
+    the same oracle judges every backend.  Cases that depend on
+    simulator-only machinery (fault plans, the reliable transport) are
+    reported as ``kind="skipped"`` (``ok=True``) under other backends —
+    they exercise the simulated network, not the algorithms.
+    """
     case = case.normalized()
     try:
-        return _run(case)
+        return _run(case, backend)
     except Exception as exc:  # noqa: BLE001 - every escape is a failure
         return CaseOutcome(False, "error", f"{type(exc).__name__}: {exc}")
 
 
-def _run(case: ConformanceCase) -> CaseOutcome:
+def cross_check_case(
+    case: ConformanceCase, backends=("sim", "mp")
+) -> CaseOutcome:
+    """Differential backend mode: the case must pass the oracle on every
+    backend.
+
+    The oracle's comparison is bit-exact against the one serial reference,
+    so two backends that both pass are transitively bit-identical to each
+    other — no separate pairwise comparison is needed.  The first failing
+    backend is reported (prefixed with its name); a case only the
+    simulator can run comes back ``kind="skipped"``.
+    """
+    for backend in backends:
+        outcome = run_case(case, backend=backend)
+        if not outcome.ok:
+            return CaseOutcome(
+                False, outcome.kind, f"[backend={backend}] {outcome.detail}"
+            )
+        if outcome.kind == "skipped":
+            return outcome
+    return _OK
+
+
+def _run(case: ConformanceCase, backend: str = "sim") -> CaseOutcome:
     from ..core.api import pack, ranking, unpack
 
     mask = case.make_mask()
     spec = _spec(case)
     faults = case.fault_plan()
     reliability = True if (case.reliable or faults is not None) else None
+    if backend != "sim" and (faults is not None or reliability):
+        return CaseOutcome(
+            True, "skipped",
+            f"fault/reliability case needs the simulated network "
+            f"(backend={backend!r})",
+        )
     common = dict(
         grid=case.grid, block=case.block_arg(), spec=spec,
         prs=case.prs, m2m_schedule=case.m2m_schedule,
         result_block=case.result_block, pad=case.pad, validate=False,
+        backend=backend,
     )
     size = int(np.count_nonzero(mask))
 
@@ -102,7 +139,7 @@ def _run(case: ConformanceCase) -> CaseOutcome:
         result = ranking(
             mask, grid=case.grid, block=case.block_arg(), spec=spec,
             prs=case.prs, scheme="css" if case.scheme == "cms" else case.scheme,
-            pad=case.pad, validate=False,
+            pad=case.pad, validate=False, backend=backend,
         )
         expected = mask_ranks(mask)
         if not _equal(result.ranks, expected):

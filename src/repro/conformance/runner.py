@@ -123,16 +123,20 @@ def load_corpus_case(path: str | Path) -> tuple[ConformanceCase, str]:
     return ConformanceCase.from_dict(data["case"]), str(data.get("bug", ""))
 
 
-def replay_corpus(directory: str | Path) -> list[tuple[Path, str, CaseOutcome]]:
+def replay_corpus(
+    directory: str | Path, backend: str = "sim"
+) -> list[tuple[Path, str, CaseOutcome]]:
     """Re-run every ``*.json`` corpus entry under ``directory``.
 
     Returns ``(path, bug, outcome)`` per entry, sorted by filename, so the
     caller can assert all outcomes are ``ok`` (the tier-1 regression test)
-    or print a table (the CLI).
+    or print a table (the CLI).  ``backend`` replays the corpus on another
+    execution backend (fault/reliability entries come back
+    ``kind="skipped"`` there — see :func:`~repro.conformance.oracle.run_case`).
     """
     directory = Path(directory)
     results: list[tuple[Path, str, CaseOutcome]] = []
     for path in sorted(directory.glob("*.json")):
         case, bug = load_corpus_case(path)
-        results.append((path, bug, run_case(case)))
+        results.append((path, bug, run_case(case, backend=backend)))
     return results

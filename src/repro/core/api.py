@@ -1,10 +1,12 @@
 """Host-level convenience API.
 
-These functions hide the SPMD machinery: they build the machine and
-layout, scatter the global arrays, run the program on every rank, gather
-the result, and (optionally) validate it against the serial numpy oracle.
-They return rich result objects carrying the simulated per-phase times
-that the benchmarks and experiments consume.
+These functions hide the SPMD machinery: they build the layout, hand the
+global arrays to an execution backend (each rank slices out only the
+blocks it owns), run the program on every rank, gather the result, and
+(optionally) validate it against the serial numpy oracle.  They return
+rich result objects carrying per-phase times — simulated seconds under
+the default ``backend="sim"``, real wall seconds under ``backend="mp"``
+(see :mod:`repro.runtime`).
 
 For writing custom SPMD programs against the library, use the lower-level
 generators in :mod:`repro.core.pack` / :mod:`repro.core.unpack` /
@@ -14,15 +16,15 @@ generators in :mod:`repro.core.pack` / :mod:`repro.core.unpack` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..hpf.grid import GridLayout
-from ..machine.engine import Machine
 from ..machine.spec import CM5, MachineSpec
-from ..machine.stats import RunResult
+from ..machine.stats import RunResult, same_time_domain
 from ..obs.profiler import PhaseProfiler, RunReport, build_run_report
+from ..runtime.base import get_backend
 from ..serial.reference import mask_ranks, pack_reference, unpack_reference
 from .pack import pack_program, result_vector_layout
 from .ranking import ranking_program
@@ -44,8 +46,10 @@ __all__ = [
 _COMM_FRAGMENTS = (".prs.", ".comm", ".red.comm", ".red.array", ".red.mask")
 
 
-def aggregate_time(run: RunResult, kind: str = "total") -> float:
-    """Paper-style time aggregates over a run, in seconds.
+def aggregate_time(
+    run: RunResult | Iterable[RunResult], kind: str = "total"
+) -> float:
+    """Paper-style time aggregates over a run (or runs), in seconds.
 
     ``kind``:
 
@@ -56,7 +60,18 @@ def aggregate_time(run: RunResult, kind: str = "total") -> float:
       computation" measurement, which explicitly excludes PRS);
     * ``"prs"`` — the prefix-reduction-sum phases;
     * ``"m2m"`` — the many-to-many personalized communication phases.
+
+    A sequence of runs is summed — but only after
+    :func:`~repro.machine.stats.same_time_domain` confirms they share one
+    time domain.  Adding a simulated CM-5 clock to a wall clock measured
+    by the multiprocessing backend raises
+    :class:`~repro.machine.errors.TimeDomainError` instead of producing a
+    meaningless number.
     """
+    if not isinstance(run, RunResult):
+        runs = tuple(run)
+        same_time_domain(runs)
+        return sum(aggregate_time(r, kind) for r in runs)
     if kind == "total":
         return run.elapsed
 
@@ -111,6 +126,11 @@ class _TimedResult:
             op=self._op,
             spec=self._spec_name,
         )
+
+    @property
+    def time_domain(self) -> str:
+        """``"simulated"`` or ``"wall"``, from the backend that ran this."""
+        return self.run.time_domain
 
     @property
     def total_ms(self) -> float:
@@ -227,6 +247,7 @@ def pack(
     reliability=None,
     step_budget: int | None = None,
     time_budget: float | None = None,
+    backend="sim",
 ) -> PackResult:
     """Parallel PACK of a global numpy array under a simulated machine.
 
@@ -276,6 +297,13 @@ def pack(
         optional progress-watchdog bounds forwarded to
         :class:`~repro.machine.engine.Machine`; a run exceeding them
         raises :class:`~repro.machine.errors.WatchdogError`.
+    backend:
+        execution backend: ``"sim"`` (default — the deterministic cost
+        simulator, times in simulated seconds) or ``"mp"`` (one OS
+        process per rank on real cores, times in wall seconds), or a
+        :class:`~repro.runtime.Backend` instance.  Simulator-only
+        features (``faults``, ``reliability``, watchdog budgets) raise
+        :class:`~repro.runtime.BackendError` under ``"mp"``.
 
     Returns a :class:`PackResult` whose ``vector`` matches Fortran 90
     ``PACK(array, mask)`` semantics exactly.
@@ -297,17 +325,11 @@ def pack(
         reliability=reliability,
     )
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
-
-    # The programs only read their input blocks, so views are safe.
-    array_blocks = layout.scatter(array, copy=False)
-    mask_blocks = layout.scatter(mask, copy=False)
-    machine = Machine(
-        layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
-        step_budget=step_budget, time_budget=time_budget,
-    )
+    exec_backend = get_backend(backend)
+    exec_backend.reject_unsupported(faults=faults, reliability=reliability)
 
     n_result = None
-    pad_blocks = [None] * layout.nprocs
+    pad_layout = None
     if vector is not None:
         vector = np.asarray(vector)
         if vector.ndim != 1:
@@ -322,7 +344,6 @@ def pack(
             )
         n_result = int(vector.size)
         pad_layout = result_vector_layout(n_result, layout.nprocs, config)
-        pad_blocks = pad_layout.scatter(vector)
 
     if redistribute is None:
         program = pack_program
@@ -335,13 +356,36 @@ def pack(
             f"redistribute must be None, 'selected' or 'whole', got {redistribute!r}"
         )
 
-    run = machine.run(
+    # Each rank extracts only the blocks it owns from the shared global
+    # arrays (views in-process; shared-memory slices under "mp") — the
+    # host never materializes a per-rank copy of anything.
+    shared = {"array": array, "mask": mask}
+    if vector is not None:
+        shared["pad_vector"] = vector
+
+    def _rank_args(r, sh):
+        pad_block = (
+            pad_layout.local_block(sh["pad_vector"], r)
+            if pad_layout is not None
+            else None
+        )
+        return (
+            layout.local_block(sh["array"], r, copy=False),
+            layout.local_block(sh["mask"], r, copy=False),
+            layout, config, pad_block, n_result,
+        )
+
+    run = exec_backend.run_spmd(
         program,
-        rank_args=[
-            (array_blocks[r], mask_blocks[r], layout, config,
-             pad_blocks[r], n_result)
-            for r in range(layout.nprocs)
-        ],
+        layout.nprocs,
+        make_rank_args=_rank_args,
+        shared=shared,
+        spec=spec,
+        tracer=tracer,
+        metrics=metrics,
+        faults=faults,
+        step_budget=step_budget,
+        time_budget=time_budget,
     )
     size = run.results[0].size
     vec_layout = result_vector_layout(
@@ -396,6 +440,7 @@ def unpack(
     reliability=None,
     step_budget: int | None = None,
     time_budget: float | None = None,
+    backend="sim",
 ) -> UnpackResult:
     """Parallel UNPACK: scatter ``vector`` into the trues of ``mask``, with
     ``field_array`` filling the falses.  See :func:`pack` for parameters
@@ -436,29 +481,34 @@ def unpack(
     )
 
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
+    exec_backend = get_backend(backend)
+    exec_backend.reject_unsupported(faults=faults, reliability=reliability)
     vec_layout = input_vector_layout(int(vector.size), layout.nprocs, config)
-    # The programs only read their input blocks, so views are safe.
-    vector_blocks = vec_layout.scatter(vector, copy=False)
-    mask_blocks = layout.scatter(mask, copy=False)
-    field_blocks = layout.scatter(field_array, copy=False)
-    machine = Machine(
-        layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
-        step_budget=step_budget, time_budget=time_budget,
-    )
+    n_vector = int(vector.size)
 
-    run = machine.run(
+    # Each rank slices only its own blocks from the shared global arrays
+    # (views in-process, shared-memory slices under "mp").
+    def _rank_args(r, sh):
+        return (
+            vec_layout.local_block(sh["vector"], r, copy=False),
+            layout.local_block(sh["mask"], r, copy=False),
+            layout.local_block(sh["field"], r, copy=False),
+            layout,
+            n_vector,
+            config,
+        )
+
+    run = exec_backend.run_spmd(
         unpack_program,
-        rank_args=[
-            (
-                vector_blocks[r],
-                mask_blocks[r],
-                field_blocks[r],
-                layout,
-                int(vector.size),
-                config,
-            )
-            for r in range(layout.nprocs)
-        ],
+        layout.nprocs,
+        make_rank_args=_rank_args,
+        shared={"vector": vector, "mask": mask, "field": field_array},
+        spec=spec,
+        tracer=tracer,
+        metrics=metrics,
+        faults=faults,
+        step_budget=step_budget,
+        time_budget=time_budget,
     )
     array = layout.gather([run.results[r].array_block for r in range(layout.nprocs)])
     if pad:
@@ -502,6 +552,7 @@ def ranking(
     step_budget: int | None = None,
     time_budget: float | None = None,
     pad: bool = False,
+    backend="sim",
 ) -> RankingResult:
     """Run only the ranking stage and return the global rank array.
 
@@ -522,12 +573,9 @@ def ranking(
         new_shape, block = padded_shape(mask.shape, grid, block)
         mask = pad_mask(mask, new_shape)
     tracer, metrics = _resolve_observers(profiler, tracer, metrics)
+    exec_backend = get_backend(backend)
+    exec_backend.reject_unsupported(faults=faults)
     layout = GridLayout.create(mask.shape, grid, block)
-    mask_blocks = layout.scatter(mask, copy=False)
-    machine = Machine(
-        layout.nprocs, spec, tracer=tracer, metrics=metrics, faults=faults,
-        step_budget=step_budget, time_budget=time_budget,
-    )
     config_scheme = Scheme.parse(scheme)
 
     def program(ctx, block_mask):
@@ -538,8 +586,17 @@ def ranking(
         ranks_local = np.where(block_mask, ranks_local, -1)
         return (ranks_local, result.size)
 
-    run = machine.run(
-        program, rank_args=[(mask_blocks[r],) for r in range(layout.nprocs)]
+    run = exec_backend.run_spmd(
+        program,
+        layout.nprocs,
+        make_rank_args=lambda r, sh: (layout.local_block(sh["mask"], r, copy=False),),
+        shared={"mask": mask},
+        spec=spec,
+        tracer=tracer,
+        metrics=metrics,
+        faults=faults,
+        step_budget=step_budget,
+        time_budget=time_budget,
     )
     ranks = layout.gather([run.results[r][0] for r in range(layout.nprocs)])
     size = run.results[0][1]

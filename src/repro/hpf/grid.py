@@ -228,6 +228,31 @@ class GridLayout:
             out.append(slice(c * w, (c + 1) * w))
         return tuple(out)
 
+    def local_block(
+        self, global_array: np.ndarray, rank: int, copy: bool = True
+    ) -> np.ndarray:
+        """Extract only ``rank``'s local block of a global array.
+
+        The single-rank fast path under :meth:`scatter`: an execution
+        backend whose rank processes can see the global array (e.g.
+        through a shared-memory segment) calls this with its own rank and
+        never materializes the other ``nprocs - 1`` blocks.  ``copy=False``
+        permits returning a view when the layout allows it (all-block
+        layouts slice directly) — callers that only *read* the block
+        (PACK/UNPACK programs) skip the materialization.
+        """
+        global_array = np.asarray(global_array)
+        if global_array.shape != self.shape:
+            raise ValueError(
+                f"array shape {global_array.shape} does not match layout {self.shape}"
+            )
+        sel = self._block_slices(rank)
+        if sel is not None:
+            block = global_array[sel]
+            return block.copy() if copy else block
+        idx = self.local_global_indices(rank)
+        return global_array[np.ix_(*idx)]
+
     def scatter(self, global_array: np.ndarray, copy: bool = True) -> list[np.ndarray]:
         """Split a global array into per-rank local blocks.
 
@@ -236,21 +261,10 @@ class GridLayout:
         that only *read* the blocks (PACK/UNPACK programs) skip the full
         materialization.
         """
-        global_array = np.asarray(global_array)
-        if global_array.shape != self.shape:
-            raise ValueError(
-                f"array shape {global_array.shape} does not match layout {self.shape}"
-            )
-        locals_ = []
-        for rank in range(self.nprocs):
-            sel = self._block_slices(rank)
-            if sel is not None:
-                block = global_array[sel]
-                locals_.append(block.copy() if copy else block)
-            else:
-                idx = self.local_global_indices(rank)
-                locals_.append(global_array[np.ix_(*idx)])
-        return locals_
+        return [
+            self.local_block(global_array, rank, copy=copy)
+            for rank in range(self.nprocs)
+        ]
 
     def gather(self, locals_: Sequence[np.ndarray], dtype=None) -> np.ndarray:
         """Reassemble a global array from per-rank local blocks."""

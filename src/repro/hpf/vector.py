@@ -124,21 +124,29 @@ class VectorLayout:
         )
 
     # --------------------------------------------------------- host helpers
+    def local_block(self, vector: np.ndarray, rank: int, copy: bool = True) -> np.ndarray:
+        """Extract only ``rank``'s block of a global vector.
+
+        The single-rank fast path under :meth:`scatter`: an execution
+        backend whose rank processes see the global vector (e.g. through a
+        shared-memory segment) calls this with its own rank and never
+        materializes the other ``p - 1`` blocks.  ``copy=False`` returns a
+        view where the layout allows (block layouts slice contiguous
+        spans) for read-only consumers.
+        """
+        vector = np.asarray(vector)
+        if vector.shape != (self.n,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.n},)")
+        if self.is_block:  # contiguous per-rank span: slice, don't gather
+            block = vector[rank * self.w : rank * self.w + self.local_size(rank)]
+            return block.copy() if copy else block
+        return vector[self.globals_(rank)]
+
     def scatter(self, vector: np.ndarray, copy: bool = True) -> list[np.ndarray]:
         """Split into per-rank blocks; ``copy=False`` returns views where
         the layout allows (block layouts slice contiguous spans) for
         read-only consumers."""
-        vector = np.asarray(vector)
-        if vector.shape != (self.n,):
-            raise ValueError(f"vector shape {vector.shape} != ({self.n},)")
-        if self.is_block:  # contiguous per-rank spans: slice, don't gather
-            return [
-                vector[r * self.w : r * self.w + self.local_size(r)].copy()
-                if copy
-                else vector[r * self.w : r * self.w + self.local_size(r)]
-                for r in range(self.p)
-            ]
-        return [vector[self.globals_(r)] for r in range(self.p)]
+        return [self.local_block(vector, r, copy=copy) for r in range(self.p)]
 
     def gather(self, locals_: list[np.ndarray], dtype=None) -> np.ndarray:
         if len(locals_) != self.p:

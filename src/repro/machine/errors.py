@@ -18,6 +18,7 @@ __all__ = [
     "PhaseError",
     "RankFailureError",
     "ReliabilityError",
+    "TimeDomainError",
     "WatchdogError",
 ]
 
@@ -151,3 +152,22 @@ class MessageError(MachineError):
 
 class PhaseError(MachineError):
     """Phase bookkeeping was used inconsistently (e.g. empty phase name)."""
+
+
+class TimeDomainError(MachineError):
+    """An aggregate tried to combine times from different domains.
+
+    A :class:`~repro.machine.stats.RunResult` carries a ``time_domain``:
+    ``"simulated"`` (CM-5-scale clock charged from the
+    :class:`~repro.machine.spec.MachineSpec` cost model) or ``"wall"``
+    (real host seconds measured by the multiprocessing backend).  The two
+    are unrelated scales — a sum or comparison across them is garbage, so
+    the aggregation helpers refuse instead.
+    """
+
+    def __init__(self, domains):
+        self.domains = tuple(sorted(set(domains)))
+        super().__init__(
+            f"cannot aggregate times across domains {list(self.domains)}; "
+            f"simulated clocks and wall clocks are unrelated scales"
+        )

@@ -20,12 +20,22 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from .errors import PhaseError
+from .errors import PhaseError, TimeDomainError
 
-__all__ = ["ProcStats", "RunResult", "DEFAULT_PHASE"]
+__all__ = [
+    "ProcStats",
+    "RunResult",
+    "DEFAULT_PHASE",
+    "TIME_DOMAINS",
+    "same_time_domain",
+    "stats_from_snapshot",
+]
 
 #: Phase used before a program sets one explicitly.
 DEFAULT_PHASE = "unphased"
+
+#: Legal values of :attr:`RunResult.time_domain`.
+TIME_DOMAINS = ("simulated", "wall")
 
 
 class ProcStats:
@@ -125,6 +135,7 @@ class ProcStats:
             "ctrl_ops": self.ctrl_ops,
             "idle_time": self.idle_time,
             "phase_times": dict(self.phase_times),
+            "phase_ops": dict(self.phase_ops),
         }
 
     def __repr__(self) -> str:
@@ -144,10 +155,24 @@ class RunResult:
         per-rank return values of the program generators.
     stats:
         per-rank :class:`ProcStats`.
+    time_domain:
+        what kind of clock the per-rank times are measured on:
+        ``"simulated"`` (the spec's two-level cost model — the simulator
+        backend) or ``"wall"`` (real host seconds — the multiprocessing
+        backend).  Aggregation helpers refuse to combine runs from
+        different domains (:class:`~repro.machine.errors.TimeDomainError`).
     """
 
     results: list[Any]
     stats: list[ProcStats]
+    time_domain: str = "simulated"
+
+    def __post_init__(self) -> None:
+        if self.time_domain not in TIME_DOMAINS:
+            raise ValueError(
+                f"time_domain must be one of {TIME_DOMAINS}, "
+                f"got {self.time_domain!r}"
+            )
 
     # -------------------------------------------------------------- timing
     @property
@@ -239,6 +264,43 @@ def _prefixes_of(name: str) -> list[str]:
     """Every dot-separated prefix of a phase name, including itself."""
     parts = name.split(".")
     return [".".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+def same_time_domain(runs: Iterable[RunResult]) -> str:
+    """The shared time domain of several runs.
+
+    Raises :class:`~repro.machine.errors.TimeDomainError` when the runs
+    disagree — adding a simulated CM-5 clock to a measured wall clock is
+    always a bug, never a number.
+    """
+    domains = {run.time_domain for run in runs}
+    if not domains:
+        return "simulated"
+    if len(domains) > 1:
+        raise TimeDomainError(domains)
+    return domains.pop()
+
+
+def stats_from_snapshot(snapshot: Mapping[str, Any]) -> ProcStats:
+    """Rebuild a :class:`ProcStats` from a :meth:`ProcStats.snapshot` dict.
+
+    Used by execution backends that run ranks in other processes and ship
+    their statistics home as plain dicts.
+    """
+    st = ProcStats(int(snapshot["rank"]))
+    st.clock = float(snapshot.get("clock", 0.0))
+    st.local_ops = float(snapshot.get("local_ops", 0.0))
+    st.sends = int(snapshot.get("sends", 0))
+    st.recvs = int(snapshot.get("recvs", 0))
+    st.words_sent = int(snapshot.get("words_sent", 0))
+    st.words_received = int(snapshot.get("words_received", 0))
+    st.ctrl_ops = int(snapshot.get("ctrl_ops", 0))
+    st.idle_time = float(snapshot.get("idle_time", 0.0))
+    for name, t in dict(snapshot.get("phase_times", {})).items():
+        st.phase_times[name] = float(t)
+    for name, ops in dict(snapshot.get("phase_ops", {})).items():
+        st.phase_ops[name] = float(ops)
+    return st
 
 
 def merge_phase_tables(tables: Iterable[Mapping[str, float]]) -> dict[str, float]:

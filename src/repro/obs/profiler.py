@@ -39,8 +39,13 @@ class RunReport:
         what ran (``"pack"``, ``"unpack"``, ``"ranking"``, ``"run"``).
     nprocs / spec:
         machine shape and cost profile name.
+    time_domain:
+        ``"simulated"`` (cost-model seconds, the simulator backend) or
+        ``"wall"`` (real host seconds, the multiprocessing backend);
+        copied from the run so reports from different backends are never
+        silently comparable.
     elapsed:
-        simulated wall-clock time (max final rank clock).
+        elapsed time in the report's time domain (max final rank clock).
     phase_times:
         per-phase wall time — max over ranks of the per-rank total, the
         same quantity as ``RunResult.phase_time`` per leaf phase.
@@ -70,6 +75,7 @@ class RunReport:
     per_rank: list[dict] = field(repr=False, default_factory=list)
     traffic_matrix: list[list[int]] | None = field(repr=False, default=None)
     metrics: dict[str, Any] | None = field(repr=False, default=None)
+    time_domain: str = "simulated"
 
     # ------------------------------------------------------------- accessors
     def phase_time(self, prefix: str) -> float:
@@ -90,6 +96,7 @@ class RunReport:
             "op": self.op,
             "nprocs": self.nprocs,
             "spec": self.spec,
+            "time_domain": self.time_domain,
             "elapsed_seconds": self.elapsed,
             "phase_times_seconds": dict(self.phase_times),
             "total_messages": self.total_messages,
@@ -112,6 +119,7 @@ class RunReport:
     def summary(self) -> str:
         lines = [
             f"{self.op}: ranks={self.nprocs} spec={self.spec} "
+            f"time={self.time_domain} "
             f"elapsed={self.elapsed * 1e3:.3f} ms "
             f"msgs={self.total_messages} words={self.total_words} "
             f"collectives={self.collective_ops} "
@@ -155,6 +163,7 @@ def build_run_report(
         per_rank=[s.snapshot() for s in run.stats],
         traffic_matrix=traffic,
         metrics=metrics.snapshot() if metrics is not None else None,
+        time_domain=getattr(run, "time_domain", "simulated"),
     )
 
 

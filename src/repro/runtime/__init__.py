@@ -1,0 +1,34 @@
+"""Pluggable execution backends for SPMD programs.
+
+One program source, two machines: ``get_backend("sim")`` runs on the
+deterministic cost-model simulator; ``get_backend("mp")`` runs one OS
+process per rank on real cores, with shared-memory input arrays and
+queue transport.  See :mod:`repro.runtime.base` for the contract and
+``docs/runtime.md`` for the design.
+"""
+
+from .base import (
+    BACKEND_NAMES,
+    Backend,
+    BackendError,
+    available_backends,
+    get_backend,
+)
+from .mp import MpBackend, MpGangError
+from .primitives import allreduce, alltoallv, barrier, exclusive_prefix_sum
+from .sim import SimBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "BackendError",
+    "SimBackend",
+    "MpBackend",
+    "MpGangError",
+    "available_backends",
+    "get_backend",
+    "barrier",
+    "allreduce",
+    "exclusive_prefix_sum",
+    "alltoallv",
+]

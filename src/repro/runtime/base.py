@@ -1,0 +1,155 @@
+"""The execution-backend seam: one program, pluggable machines.
+
+Every phase of the Bae–Ranka algorithm — local scan, dimension-by-dimension
+prefix-reduction-sum, many-to-many redistribution — is written once as an
+SPMD generator program against :class:`~repro.machine.context.Context`.
+A :class:`Backend` decides *where* those programs execute:
+
+* :class:`~repro.runtime.sim.SimBackend` — the deterministic cooperative
+  simulator (:class:`~repro.machine.engine.Machine`), charging the paper's
+  two-level cost model.  Times are **simulated** CM-5-scale seconds, and a
+  run is bit-for-bit reproducible.
+* :class:`~repro.runtime.mp.MpBackend` — one OS process per rank over
+  ``multiprocessing``, with shared-memory-backed input arrays and
+  pipe/queue message transport.  Times are **wall** seconds measured on
+  the host's cores.
+
+Both backends run the *same* program source: the cooperative yield
+protocol (``yield ctx.recv(...)``, ``yield CollectiveOp(...)``) doubles as
+the transport-neutral op language, so the backend boundary sits exactly
+between the redistribution plan and the transport that executes it.
+
+Rank-argument construction goes through ``make_rank_args(rank, shared)``
+rather than a pre-built list: the host hands the backend the *global*
+arrays once (``shared``), and each rank extracts only the blocks it owns
+(:meth:`~repro.hpf.grid.GridLayout.local_block`).  Under the simulator
+this is the same lazy view-slicing as before; under the multiprocessing
+backend it is what keeps the per-rank block extraction inside the rank's
+own process — the host never pickles ``P`` blocks through a pipe.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping, Sequence
+
+from ..machine.stats import RunResult
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BACKEND_NAMES",
+    "get_backend",
+    "available_backends",
+]
+
+#: Registered backend names, in preference order.
+BACKEND_NAMES = ("sim", "mp")
+
+
+class BackendError(RuntimeError):
+    """A backend could not run the gang (unsupported feature, bad config)."""
+
+
+class Backend(ABC):
+    """Abstract execution backend.
+
+    Concrete backends expose the classic SPMD primitive set — barrier,
+    send/recv message passing, combining collectives (allreduce /
+    exclusive prefix sum via :mod:`repro.runtime.primitives`), and the
+    many-to-many ``alltoallv`` (:func:`repro.machine.m2m.exchange`) — by
+    executing generator programs that use those primitives through their
+    per-rank :class:`~repro.machine.context.Context`.
+
+    Attributes
+    ----------
+    name:
+        short registry name (``"sim"``, ``"mp"``).
+    time_domain:
+        the domain of every time this backend reports: ``"simulated"``
+        or ``"wall"``.  Copied onto the :class:`RunResult`.
+    supports_faults:
+        whether seeded :class:`~repro.faults.FaultPlan` injection is
+        available.  Fault injection intercepts the *simulated* delivery
+        path, so only the simulator supports it.
+    supports_reliability:
+        whether the reliable transport (auto-ack retransmit loop) is
+        available; it needs the engine's NIC-level acks, so again only
+        the simulator supports it.
+    """
+
+    name: str = "?"
+    time_domain: str = "simulated"
+    supports_faults: bool = False
+    supports_reliability: bool = False
+
+    @abstractmethod
+    def run_spmd(
+        self,
+        program: Callable,
+        nprocs: int,
+        *,
+        make_rank_args: Callable[[int, Mapping[str, Any]], tuple] | None = None,
+        rank_args: Sequence[tuple] | None = None,
+        shared: Mapping[str, Any] | None = None,
+        spec=None,
+        tracer=None,
+        metrics=None,
+        faults=None,
+        step_budget: int | None = None,
+        time_budget: float | None = None,
+    ) -> RunResult:
+        """Execute ``program`` on every rank and return results and stats.
+
+        Exactly one of ``make_rank_args`` / ``rank_args`` supplies the
+        per-rank arguments (neither means every rank gets no arguments).
+        ``make_rank_args(rank, shared)`` is called once per rank — in the
+        rank's own process under process-per-rank backends — with
+        ``shared`` the host-provided mapping of global (read-only) arrays.
+        """
+
+    # ------------------------------------------------------------- helpers
+    def reject_unsupported(self, faults=None, reliability=None) -> None:
+        """Raise :class:`BackendError` for simulator-only features."""
+        if faults is not None and not self.supports_faults:
+            raise BackendError(
+                f"backend {self.name!r} does not support fault injection; "
+                f"FaultPlan intercepts the simulated network — use backend='sim'"
+            )
+        if reliability is not None and reliability is not False and not self.supports_reliability:
+            # The mp transport is an OS pipe: already reliable, and the
+            # retransmit machinery needs the engine's NIC auto-acks.
+            raise BackendError(
+                f"backend {self.name!r} does not support the reliable "
+                f"transport (its pipes are already reliable); use "
+                f"backend='sim' for reliability experiments"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(time_domain={self.time_domain!r})"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend` (and the CLI ``--backend``)."""
+    return BACKEND_NAMES
+
+
+def get_backend(backend: "str | Backend" = "sim") -> Backend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``"sim"`` → :class:`~repro.runtime.sim.SimBackend` (default, the seed
+    behaviour); ``"mp"`` → :class:`~repro.runtime.mp.MpBackend`.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    if backend == "sim":
+        from .sim import SimBackend
+
+        return SimBackend()
+    if backend == "mp":
+        from .mp import MpBackend
+
+        return MpBackend()
+    raise ValueError(
+        f"unknown backend {backend!r}; pick from {list(BACKEND_NAMES)}"
+    )

@@ -1,0 +1,679 @@
+"""Process-per-rank execution backend over ``multiprocessing``.
+
+:class:`MpBackend` runs the same SPMD generator programs as the simulator,
+but on real cores: one forked OS process per rank, global input arrays in
+POSIX shared memory (each rank slices out only its own block —
+:meth:`~repro.hpf.grid.GridLayout.local_block` — so no block is ever
+pickled through a pipe), and message passing over per-rank
+``multiprocessing.Queue`` mailboxes.
+
+How the same programs run on both transports
+--------------------------------------------
+A program interacts with the machine only through its context and the ops
+it yields.  The child-side driver (:class:`_Driver`) replays the engine's
+contract over IPC:
+
+* ``ctx.send(...)`` pickles the payload onto the destination's mailbox
+  queue (eager and buffered — the queue's feeder thread means sends never
+  block, matching the simulator's eager-send model);
+* ``yield ctx.recv(...)`` reads from the rank's own mailbox through a
+  *pending buffer*: every incoming item passes through one matcher, and
+  items that do not match the current pattern are buffered in arrival
+  order, preserving the engine's FIFO-per-(source, tag) guarantee and
+  keeping the collective protocol's internal messages from being stolen
+  by ``source=ANY`` receives (library receives all use explicit tags;
+  the protocol uses reserved negative tags programs may not send on);
+* ``yield CollectiveOp(...)`` runs a root-gather protocol: members send
+  their contribution to the lowest-ranked member, which applies the op's
+  own ``combine`` callable and scatters the per-rank results.  Because
+  every member constructs the op (and its combine closure) inside its own
+  process, nothing about the collective needs to be picklable except the
+  contributions and results.
+
+Time is **wall** time: each rank accumulates ``perf_counter`` deltas into
+a genuine :class:`~repro.machine.stats.ProcStats`, flushed to the current
+phase label on every phase switch — so per-phase breakdowns, the profiler
+and the metrics registry all work unchanged, just in a different
+``time_domain`` (``"wall"``).
+
+Failure hygiene
+---------------
+A rank that raises mid-phase ships ``("error", rank, traceback)`` home;
+the host terminates the whole gang, joins every child, closes and unlinks
+every shared-memory segment, and raises :class:`MpGangError` carrying the
+originating rank's traceback.  A rank that dies without reporting (e.g.
+killed) is detected by exit-code polling.  The host's ``finally`` block
+performs the same reaping on every path, so no children or ``/dev/shm``
+segments outlive a run.
+
+Simulator-only features — fault injection, the reliable transport
+(``auto_ack``), timed receives, watchdog budgets in simulated seconds —
+are rejected with a clear :class:`~repro.runtime.base.BackendError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as _mp
+import os
+import queue as _queue_mod
+import time
+import traceback
+from time import perf_counter
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..machine.context import payload_words
+from ..machine.errors import CollectiveMismatchError, MessageError, ProgramError
+from ..machine.ops import ANY, CollectiveOp, Message, Recv
+from ..machine.spec import CM5, MachineSpec
+from ..machine.stats import ProcStats, RunResult, stats_from_snapshot
+from .base import Backend, BackendError
+
+__all__ = ["MpBackend", "MpGangError"]
+
+#: Reserved mailbox tags for the collective protocol.  Program sends must
+#: use non-negative tags, so these can never collide.
+_COLL_CONTRIB = -101
+_COLL_RESULT = -102
+
+#: Child exit code used when the program raised (after the traceback was
+#: shipped home on the result queue).
+_CHILD_FAILED = 70
+
+
+class MpGangError(BackendError):
+    """The process gang failed; carries the originating rank's story.
+
+    Attributes
+    ----------
+    rank:
+        the rank that caused the failure, or ``None`` when the gang as a
+        whole failed (e.g. a timeout with every child still blocked).
+    child_traceback:
+        the formatted traceback from the failing child, when one was
+        reported before the gang was torn down.
+    """
+
+    def __init__(self, rank: int | None, detail: str, child_traceback: str | None = None):
+        self.rank = rank
+        self.child_traceback = child_traceback
+        who = "gang" if rank is None else f"rank {rank}"
+        msg = f"mp backend: {who} failed: {detail}"
+        if child_traceback:
+            msg += f"\n--- rank {rank} traceback ---\n{child_traceback.rstrip()}"
+        super().__init__(msg)
+
+
+# --------------------------------------------------------------------- shm
+class _ShmArena:
+    """Host-owned shared-memory segments holding the global input arrays.
+
+    Created *before* the fork so children inherit the mappings directly —
+    no child ever re-attaches by name, which keeps the resource tracker's
+    view simple: the host is the sole owner and the only unlinker.
+    """
+
+    def __init__(self, shared: Mapping[str, Any]):
+        from multiprocessing import shared_memory
+
+        self._meta: dict[str, tuple[Any, tuple, np.dtype]] = {}
+        self._segments: list[Any] = []
+        for name, arr in shared.items():
+            arr = np.ascontiguousarray(arr)
+            if arr.nbytes == 0:
+                # Zero-extent arrays (empty masks, empty vectors) need no
+                # segment; children rebuild them from shape and dtype.
+                self._meta[name] = (None, arr.shape, arr.dtype)
+                continue
+            seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
+            self._segments.append(seg)
+            self._meta[name] = (seg, arr.shape, arr.dtype)
+
+    def views(self) -> dict[str, np.ndarray]:
+        """Numpy views over the segments (call in the child, post-fork)."""
+        out: dict[str, np.ndarray] = {}
+        for name, (seg, shape, dtype) in self._meta.items():
+            if seg is None:
+                out[name] = np.empty(shape, dtype=dtype)
+            else:
+                out[name] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+        return out
+
+    def destroy(self) -> None:
+        """Close and unlink every segment (host side, exactly once)."""
+        segments, self._segments = self._segments, []
+        self._meta = {}
+        for seg in segments:
+            try:
+                seg.close()
+            except OSError:
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# ----------------------------------------------------------------- context
+class MpContext:
+    """Per-rank context for real-process execution.
+
+    Mirrors :class:`~repro.machine.context.Context`'s full surface so
+    library code (prefix-reduction-sum, the m2m exchange, PACK/UNPACK
+    programs) runs unmodified.  Differences, all dictated by the wall
+    time domain:
+
+    * :meth:`work` charges op *counts* only — the time they take accrues
+      by itself;
+    * :meth:`elapse` is a no-op (a wall clock cannot be advanced by fiat);
+    * :meth:`send` copies the payload (pickling), so the simulator's
+      "don't mutate after send" rule is automatically safe here.
+    """
+
+    __slots__ = (
+        "rank", "size", "spec", "stats", "scratch",
+        "_driver", "_tracer", "_metrics", "_last",
+    )
+
+    def __init__(self, rank, size, spec, stats, driver, tracer=None, metrics=None):
+        self.rank = rank
+        self.size = size
+        self.spec = spec
+        self.stats = stats
+        self.scratch: dict = {}
+        self._driver = driver
+        self._tracer = tracer
+        self._metrics = metrics
+        self._last = perf_counter()
+
+    # ----------------------------------------------------------- wall clock
+    def _flush(self) -> None:
+        """Attribute wall time since the last flush to the current phase."""
+        now = perf_counter()
+        delta = now - self._last
+        self._last = now
+        if delta > 0:
+            self.stats.advance(delta)
+
+    # ------------------------------------------------------------ local ops
+    def work(self, ops: float) -> None:
+        if ops < 0:
+            raise MessageError(f"rank {self.rank}: negative work {ops}")
+        if ops:
+            self.stats.charge_ops(ops)
+
+    def elapse(self, seconds: float) -> None:
+        """No-op: wall time passes on its own; simulated charges don't apply."""
+
+    def phase(self, name: str) -> None:
+        self._flush()
+        self.stats.set_phase(name)
+        if self._tracer is not None and self._tracer.capture_phases:
+            self._tracer.record(self.stats.clock, self.rank, "phase", name=name)
+
+    @property
+    def clock(self) -> float:
+        self._flush()
+        return self.stats.clock
+
+    @property
+    def current_phase(self) -> str:
+        return self.stats.phase
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def metrics(self):
+        return self._metrics
+
+    def count(self, name: str, n: float = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(name, n)
+
+    def observe(self, name: str, value: float) -> None:
+        if self._metrics is not None:
+            self._metrics.observe(name, value)
+
+    # ---------------------------------------------------------------- sends
+    def send(
+        self,
+        dest: int,
+        payload: Any,
+        words: int | None = None,
+        tag: int = 0,
+        auto_ack: tuple[Any, int] | None = None,
+    ) -> None:
+        if auto_ack is not None:
+            raise BackendError(
+                "mp backend: auto-ack sends belong to the reliable transport, "
+                "which only exists on the simulated network; use backend='sim'"
+            )
+        if not (0 <= dest < self.size):
+            raise MessageError(f"rank {self.rank}: bad destination {dest}")
+        if tag < 0:
+            raise MessageError(
+                f"rank {self.rank}: negative tag {tag} is reserved for the "
+                f"runtime's collective protocol"
+            )
+        if words is None:
+            words = payload_words(payload)
+        if words < 0:
+            raise MessageError(f"rank {self.rank}: negative message size {words}")
+        self._flush()
+        self.stats.sends += 1
+        self.stats.words_sent += words
+        if self._metrics is not None:
+            self._metrics.inc("machine.sends")
+            self._metrics.inc("machine.words_sent", words)
+            self._metrics.observe("machine.message_words", words)
+        if self._tracer is not None:
+            self._tracer.record(
+                self.stats.clock, self.rank, "send", dest=dest, tag=tag, words=words
+            )
+        self._driver.post(dest, tag, payload, words, self.stats.clock)
+
+    def local_copy(self, words: int, charge: bool = False) -> None:
+        if charge:
+            self.work(words)
+
+    # ------------------------------------------------------------- blocking
+    def recv(self, source: Any = ANY, tag: Any = ANY) -> Recv:
+        if source is not ANY and not (0 <= source < self.size):
+            raise MessageError(f"rank {self.rank}: bad source {source}")
+        return Recv(source=source, tag=tag)
+
+    def barrier(self, group: Sequence[int] | None = None, key: int = 0) -> CollectiveOp:
+        from ..machine.ops import Barrier
+
+        if group is None:
+            group = range(self.size)
+        return Barrier(group, key=key)
+
+    # ------------------------------------------------------------- helpers
+    def words_of(self, payload: Any) -> int:
+        return payload_words(payload)
+
+    def __repr__(self) -> str:
+        return f"MpContext(rank={self.rank}/{self.size}, spec={self.spec.name})"
+
+
+# ------------------------------------------------------------------ driver
+class _Driver:
+    """Child-side generator driver: satisfies yielded ops over the queues.
+
+    All mailbox reads funnel through :meth:`_take`, which buffers items
+    that do not match the requested pattern — the single point that keeps
+    program receives and the collective protocol from stealing each
+    other's messages.
+    """
+
+    def __init__(self, rank: int, mailboxes, stats: ProcStats):
+        self.rank = rank
+        self._mailboxes = mailboxes
+        self._inbox = mailboxes[rank]
+        self._stats = stats
+        #: Buffered (source, tag, payload, words, send_clock) items in
+        #: arrival order.
+        self._pending: list[tuple] = []
+        self._seq = 0
+        self.ctx: MpContext | None = None
+
+    # ---------------------------------------------------------- transport
+    def post(self, dest: int, tag: int, payload: Any, words: int, clock: float) -> None:
+        self._mailboxes[dest].put((self.rank, tag, payload, words, clock))
+
+    def _blocking_get(self) -> tuple:
+        t0 = perf_counter()
+        item = self._inbox.get()
+        waited = perf_counter() - t0
+        # Queue-blocked time is idle; it still lands in the current phase
+        # via the next flush (a wall clock can't tell waiting from work).
+        self._stats.idle_time += waited
+        return item
+
+    def _take(self, match: Callable[[tuple], bool]) -> tuple:
+        """Return the oldest item satisfying ``match``, buffering the rest."""
+        for i, item in enumerate(self._pending):
+            if match(item):
+                return self._pending.pop(i)
+        while True:
+            item = self._blocking_get()
+            if match(item):
+                return item
+            self._pending.append(item)
+
+    # -------------------------------------------------------------- program
+    def drive(self, gen) -> Any:
+        send_value = None
+        while True:
+            try:
+                op = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            send_value = None
+            if isinstance(op, Recv):
+                send_value = self._run_recv(op)
+            elif isinstance(op, CollectiveOp):
+                send_value = self._run_collective(op)
+            else:
+                raise ProgramError(self.rank, f"yielded unsupported op {op!r}")
+
+    def _run_recv(self, op: Recv) -> Message:
+        if op.timeout is not None:
+            raise BackendError(
+                "mp backend: timed receives are a simulated-clock feature "
+                "(they underpin the reliable transport); use backend='sim'"
+            )
+
+        def _match(item: tuple) -> bool:
+            source, tag = item[0], item[1]
+            if tag < 0:
+                return False  # collective protocol traffic is never a program message
+            if op.source is not ANY and source != op.source:
+                return False
+            if op.tag is not ANY and tag != op.tag:
+                return False
+            return True
+
+        source, tag, payload, words, send_clock = self._take(_match)
+        ctx = self.ctx
+        ctx._flush()
+        st = self._stats
+        st.recvs += 1
+        st.words_received += words
+        if ctx._metrics is not None:
+            ctx._metrics.inc("machine.recvs")
+        if ctx._tracer is not None:
+            ctx._tracer.record(
+                st.clock, self.rank, "recv", source=source, tag=tag, words=words
+            )
+        self._seq += 1
+        return Message(
+            source=source,
+            dest=self.rank,
+            tag=tag,
+            payload=payload,
+            words=words,
+            send_time=send_clock,
+            arrival_time=st.clock,
+            seq=self._seq,
+        )
+
+    # ----------------------------------------------------------- collectives
+    def _run_collective(self, op: CollectiveOp) -> Any:
+        group = op.group
+        if self.rank not in group:
+            raise CollectiveMismatchError(
+                f"rank {self.rank} not in its own group {group}"
+            )
+        stamp = (op.kind, op.key, group)
+        root = group[0]
+        if self.rank == root:
+            # Per-sender FIFO means the next contribution from a member of
+            # this group *must* belong to this collective — a different
+            # stamp is a genuine SPMD divergence, reported exactly like
+            # the engine would, not buffered into a silent deadlock.
+            payloads = {root: op.payload}
+            others = set(group) - {root}
+            while others:
+                item = self._take(
+                    lambda item: item[1] == _COLL_CONTRIB and item[0] in others
+                )
+                got_stamp, src_rank, contribution = item[2]
+                self._check_stamp(got_stamp, stamp, item[0])
+                payloads[src_rank] = contribution
+                others.discard(item[0])
+            if op.combine is not None:
+                results, _words = op.combine(payloads)
+            else:
+                results = {r: None for r in group}
+            for r in group:
+                if r != root:
+                    self._mailboxes[r].put(
+                        (root, _COLL_RESULT, (stamp, results.get(r)), 0, 0.0)
+                    )
+            value = results.get(root)
+        else:
+            self._mailboxes[root].put(
+                (self.rank, _COLL_CONTRIB, (stamp, self.rank, op.payload), 0, 0.0)
+            )
+            item = self._take(
+                lambda item: item[0] == root and item[1] == _COLL_RESULT
+            )
+            self._check_stamp(item[2][0], stamp, root)
+            value = item[2][1]
+        ctx = self.ctx
+        ctx._flush()
+        self._stats.ctrl_ops += 1
+        if ctx._metrics is not None:
+            ctx._metrics.inc("machine.collectives")
+            ctx._metrics.observe("machine.collective_group_size", len(group))
+        if ctx._tracer is not None:
+            ctx._tracer.record(
+                self._stats.clock, self.rank, "collective",
+                op=op.kind, group_size=len(group),
+            )
+        return value
+
+    def _check_stamp(self, got, expected, source: int) -> None:
+        if got != expected:
+            raise CollectiveMismatchError(
+                f"rank {source} joined kind {got[0]!r} (key={got[1]}, "
+                f"group={got[2]}), group started {expected[0]!r} "
+                f"(key={expected[1]}, group={expected[2]})"
+            )
+
+
+# ------------------------------------------------------------- child entry
+def _child_main(
+    rank: int,
+    nprocs: int,
+    spec: MachineSpec,
+    program: Callable,
+    make_rank_args,
+    rank_args,
+    arena: _ShmArena,
+    mailboxes,
+    result_q,
+    want_metrics: bool,
+    want_trace: bool,
+) -> None:
+    """Entry point of one rank process (fork-inherited closure state)."""
+    try:
+        tracer = None
+        metrics = None
+        if want_trace:
+            from ..machine.trace import Tracer
+
+            tracer = Tracer()
+        if want_metrics:
+            from ..obs.registry import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        if make_rank_args is not None:
+            call_args = tuple(make_rank_args(rank, arena.views()))
+        elif rank_args is not None:
+            call_args = tuple(rank_args[rank])
+        else:
+            call_args = ()
+        stats = ProcStats(rank)
+        driver = _Driver(rank, mailboxes, stats)
+        ctx = MpContext(rank, nprocs, spec, stats, driver, tracer=tracer, metrics=metrics)
+        driver.ctx = ctx
+        gen_or_value = program(ctx, *call_args)
+        if hasattr(gen_or_value, "send") and hasattr(gen_or_value, "throw"):
+            result = driver.drive(gen_or_value)
+        else:
+            result = gen_or_value
+        ctx._flush()
+        result_q.put((
+            "ok",
+            rank,
+            result,
+            stats.snapshot(),
+            metrics,
+            tracer.events if tracer is not None else None,
+        ))
+    except BaseException:
+        try:
+            result_q.put(("error", rank, traceback.format_exc()))
+            result_q.close()
+            result_q.join_thread()
+        finally:
+            # Skip normal interpreter teardown: a failing rank must not
+            # hang flushing mailbox messages nobody will ever read.
+            os._exit(_CHILD_FAILED)
+
+
+# ----------------------------------------------------------------- backend
+class MpBackend(Backend):
+    """Run SPMD programs with one OS process per rank (fork + shm + queues).
+
+    Parameters
+    ----------
+    timeout:
+        optional gang wall-clock budget in seconds; on expiry the gang is
+        terminated and :class:`MpGangError` raised.  ``None`` (default)
+        waits indefinitely — the host still detects crashed children.
+    join_grace:
+        seconds to wait for a finished child to exit before terminating
+        it (its result is already home by then; stragglers are harmless).
+    """
+
+    name = "mp"
+    time_domain = "wall"
+    supports_faults = False
+
+    def __init__(self, timeout: float | None = None, join_grace: float = 5.0):
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
+        self.join_grace = join_grace
+
+    def run_spmd(
+        self,
+        program: Callable,
+        nprocs: int,
+        *,
+        make_rank_args: Callable[[int, Mapping[str, Any]], tuple] | None = None,
+        rank_args: Sequence[tuple] | None = None,
+        shared: Mapping[str, Any] | None = None,
+        spec=None,
+        tracer=None,
+        metrics=None,
+        faults=None,
+        step_budget: int | None = None,
+        time_budget: float | None = None,
+    ) -> RunResult:
+        if make_rank_args is not None and rank_args is not None:
+            raise ValueError("pass make_rank_args or rank_args, not both")
+        if rank_args is not None and len(rank_args) != nprocs:
+            raise ValueError(
+                f"rank_args has {len(rank_args)} entries for {nprocs} ranks"
+            )
+        if nprocs < 1:
+            raise ValueError(f"need at least one processor, got {nprocs}")
+        self.reject_unsupported(faults=faults)
+        if step_budget is not None or time_budget is not None:
+            raise BackendError(
+                "mp backend: watchdog budgets count simulated steps/seconds; "
+                "use MpBackend(timeout=wall_seconds) instead"
+            )
+        if "fork" not in _mp.get_all_start_methods():
+            raise BackendError(
+                "mp backend requires the 'fork' start method (POSIX); "
+                "it is unavailable on this platform"
+            )
+        if metrics is None:
+            from ..obs.registry import current_global_metrics
+
+            metrics = current_global_metrics()
+        spec = spec if spec is not None else CM5
+
+        mpctx = _mp.get_context("fork")
+        arena = _ShmArena(shared or {})
+        mailboxes = [mpctx.Queue() for _ in range(nprocs)]
+        result_q = mpctx.Queue()
+        procs = [
+            mpctx.Process(
+                target=_child_main,
+                args=(
+                    r, nprocs, spec, program, make_rank_args, rank_args,
+                    arena, mailboxes, result_q,
+                    metrics is not None, tracer is not None,
+                ),
+                daemon=True,
+                name=f"repro-mp-rank-{r}",
+            )
+            for r in range(nprocs)
+        ]
+        try:
+            for p in procs:
+                p.start()
+            reports = self._collect(procs, result_q, nprocs)
+            for p in procs:
+                p.join(timeout=self.join_grace)
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=self.join_grace)
+            arena.destroy()
+            for q in [*mailboxes, result_q]:
+                q.close()
+                # Never let host teardown block on unread mailbox residue.
+                q.cancel_join_thread()
+
+        results = []
+        stats = []
+        for r in range(nprocs):
+            result, snapshot, child_metrics, child_events = reports[r]
+            results.append(result)
+            stats.append(stats_from_snapshot(snapshot))
+            if metrics is not None and child_metrics is not None:
+                metrics.merge(child_metrics)
+            if tracer is not None and child_events:
+                tracer.events.extend(child_events)
+        return RunResult(results=results, stats=stats, time_domain=self.time_domain)
+
+    # ------------------------------------------------------------ gathering
+    def _collect(self, procs, result_q, nprocs: int) -> dict[int, tuple]:
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        pending = set(range(nprocs))
+        reports: dict[int, tuple] = {}
+        while pending:
+            try:
+                msg = result_q.get(timeout=0.1)
+            except _queue_mod.Empty:
+                dead = sorted(
+                    r for r in pending if procs[r].exitcode is not None
+                )
+                if dead:
+                    # One more grace read: the child may have exited right
+                    # after posting its result.
+                    try:
+                        msg = result_q.get(timeout=0.5)
+                    except _queue_mod.Empty:
+                        r = dead[0]
+                        raise MpGangError(
+                            r,
+                            f"process exited with code {procs[r].exitcode} "
+                            f"without reporting a result",
+                        ) from None
+                elif deadline is not None and time.monotonic() > deadline:
+                    raise MpGangError(
+                        None,
+                        f"gang did not finish within {self.timeout:g}s "
+                        f"(ranks still pending: {sorted(pending)})",
+                    )
+                else:
+                    continue
+            if msg[0] == "error":
+                _, rank, tb = msg
+                raise MpGangError(rank, "program raised", child_traceback=tb)
+            _, rank, result, snapshot, child_metrics, child_events = msg
+            reports[rank] = (result, snapshot, child_metrics, child_events)
+            pending.discard(rank)
+        return reports

@@ -1,0 +1,82 @@
+"""local_block: the single-rank fast path under scatter.
+
+Execution backends whose ranks can see the global array (shared memory)
+extract only their own block; the contract is strict equality with
+``scatter(...)[rank]`` for every rank and layout, plus view (zero-copy)
+semantics where the layout is contiguous.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpf import BLOCK, CYCLIC, GridLayout, VectorLayout
+
+
+GRID_LAYOUTS = [
+    ("1d_block", dict(shape=(16,), grid=(4,), block="block")),
+    ("1d_cyclic", dict(shape=(16,), grid=(4,), block="cyclic")),
+    ("1d_cyclic_k", dict(shape=(24,), grid=(4,), block=3)),
+    ("2d_block", dict(shape=(8, 12), grid=(2, 3), block="block")),
+    ("2d_mixed", dict(shape=(8, 8), grid=(2, 2), block=(BLOCK, CYCLIC))),
+]
+
+
+@pytest.mark.parametrize("name,kw", GRID_LAYOUTS, ids=[g[0] for g in GRID_LAYOUTS])
+def test_grid_local_block_equals_scatter(name, kw):
+    layout = GridLayout.create(**kw)
+    arr = np.arange(int(np.prod(kw["shape"]))).reshape(kw["shape"])
+    blocks = layout.scatter(arr)
+    for rank in range(layout.nprocs):
+        np.testing.assert_array_equal(layout.local_block(arr, rank), blocks[rank])
+        np.testing.assert_array_equal(
+            layout.local_block(arr, rank, copy=False), blocks[rank]
+        )
+
+
+def test_grid_all_block_nocopy_is_view():
+    layout = GridLayout.create(shape=(8, 8), grid=(2, 2), block="block")
+    arr = np.zeros((8, 8))
+    block = layout.local_block(arr, 3, copy=False)
+    assert np.shares_memory(block, arr)
+    # Default copy=True materializes.
+    assert not np.shares_memory(layout.local_block(arr, 3), arr)
+
+
+def test_grid_local_block_shape_mismatch():
+    layout = GridLayout.create(shape=(8,), grid=(2,), block="block")
+    with pytest.raises(ValueError, match="shape"):
+        layout.local_block(np.zeros(9), 0)
+
+
+@pytest.mark.parametrize(
+    "vec",
+    [
+        VectorLayout.block(n=12, p=4),
+        VectorLayout.block(n=10, p=4),  # ragged
+        VectorLayout.block(n=2, p=4),   # empty trailing ranks
+        VectorLayout.cyclic(n=10, p=3),
+    ],
+    ids=["block_even", "block_ragged", "block_empty_tail", "cyclic"],
+)
+def test_vector_local_block_equals_scatter(vec):
+    v = np.arange(vec.n, dtype=np.float64)
+    blocks = vec.scatter(v)
+    for rank in range(vec.p):
+        np.testing.assert_array_equal(vec.local_block(v, rank), blocks[rank])
+        np.testing.assert_array_equal(
+            vec.local_block(v, rank, copy=False), blocks[rank]
+        )
+
+
+def test_vector_block_nocopy_is_view():
+    vec = VectorLayout.block(n=12, p=4)
+    v = np.zeros(12)
+    block = vec.local_block(v, 1, copy=False)
+    assert block.size and np.shares_memory(block, v)
+    assert not np.shares_memory(vec.local_block(v, 1), v)
+
+
+def test_vector_local_block_shape_mismatch():
+    vec = VectorLayout.block(n=8, p=2)
+    with pytest.raises(ValueError):
+        vec.local_block(np.zeros(7), 0)

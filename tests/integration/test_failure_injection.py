@@ -62,24 +62,22 @@ class TestCorruptedData:
         a = rng.random(64)
         m = rng.random(64) < 0.5
 
-        import repro.core.api as api_mod
+        original_local_block = GridLayout.local_block
+        corrupted = {"done": False}
 
-        original_scatter = GridLayout.scatter
-        calls = {"n": 0}
+        def corrupting_local_block(self, arr, rank, copy=True):
+            block = original_local_block(self, arr, rank, copy=copy)
+            if not corrupted["done"] and rank == 0 and block.dtype == np.float64:
+                corrupted["done"] = True
+                block = block + 1.0  # corrupt rank 0's array block only
+            return block
 
-        def corrupting_scatter(self, arr, copy=True):
-            blocks = original_scatter(self, arr)
-            calls["n"] += 1
-            if calls["n"] == 1 and blocks[0].dtype == np.float64:
-                blocks[0] = blocks[0] + 1.0  # corrupt the array pass only
-            return blocks
-
-        GridLayout.scatter = corrupting_scatter
+        GridLayout.local_block = corrupting_local_block
         try:
             with pytest.raises(AssertionError, match="mismatch"):
                 pack(a, m, grid=4, block=2, scheme="cms", spec=SPEC)
         finally:
-            GridLayout.scatter = original_scatter
+            GridLayout.local_block = original_local_block
 
     def test_wrong_block_shape_rejected_immediately(self):
         layout, ab, mb, *_ = _layout_and_blocks()

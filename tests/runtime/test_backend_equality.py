@@ -1,0 +1,131 @@
+"""MpBackend ≡ SimBackend ≡ serial oracle over a seeded configuration grid.
+
+The mp backend must produce bit-identical *results* to the simulator (and
+therefore to the serial reference) for every legal configuration — only
+the times differ, and those live in a different time domain.  The grid
+below covers distributions (BLOCK, CYCLIC, CYCLIC(k)), densities
+including both degenerate extremes, dtypes, multi-dimensional arrays,
+single-rank / single-element degenerates, and padded result vectors.  Rank counts stay
+small: each mp case forks a real process gang.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import pack, ranking, unpack
+from repro.machine import MachineSpec
+from repro.serial.reference import mask_ranks, pack_reference, unpack_reference
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+MP_KW = dict(spec=SPEC, validate=False)
+
+
+def _mp():
+    from repro.runtime import MpBackend
+
+    return MpBackend(timeout=120)
+
+
+# (name, shape, grid, block, density, dtype, scheme)
+CASES = [
+    ("block_1d", (64,), (4,), "block", 0.5, np.float64, "cms"),
+    ("cyclic_1d", (63,), (3,), "cyclic", 0.4, np.float64, "sss"),
+    ("cyclic_k", (48,), (4,), 3, 0.6, np.float64, "css"),
+    ("int_dtype", (40,), (2,), "block", 0.5, np.int64, "cms"),
+    ("float32", (32,), (2,), "block", 0.7, np.float32, "css"),
+    ("dense", (24,), (2,), "block", 1.0, np.float64, "cms"),
+    ("all_false", (24,), (2,), "block", 0.0, np.float64, "cms"),
+    ("grid_2d", (8, 12), (2, 2), "block", 0.5, np.float64, "cms"),
+    ("grid_2d_cyclic", (6, 8), (2, 2), "cyclic", 0.3, np.float64, "sss"),
+    ("single_rank", (16,), (1,), "block", 0.5, np.float64, "cms"),
+    ("single_elem", (1,), (1,), "block", 1.0, np.float64, "cms"),
+    ("cyclic_dense", (12,), (4,), "cyclic", 0.8, np.float64, "css"),
+]
+
+
+def _inputs(name, shape, density, dtype):
+    rng = np.random.default_rng(abs(hash(name)) % (2**32))
+    n = int(np.prod(shape))
+    if np.issubdtype(dtype, np.integer):
+        array = rng.integers(-100, 100, size=shape).astype(dtype)
+    else:
+        array = rng.random(shape).astype(dtype)
+    if density >= 1.0:
+        mask = np.ones(shape, dtype=bool)
+    elif density <= 0.0:
+        mask = np.zeros(shape, dtype=bool)
+    else:
+        mask = rng.random(shape) < density
+    return array, mask
+
+
+@pytest.mark.parametrize(
+    "name,shape,grid,block,density,dtype,scheme",
+    CASES, ids=[c[0] for c in CASES],
+)
+def test_pack_mp_equals_sim_equals_oracle(
+    name, shape, grid, block, density, dtype, scheme
+):
+    array, mask = _inputs(name, shape, density, dtype)
+    sim = pack(array, mask, grid=grid, block=block, scheme=scheme,
+               backend="sim", **MP_KW)
+    mp = pack(array, mask, grid=grid, block=block, scheme=scheme,
+              backend=_mp(), **MP_KW)
+    expected = pack_reference(array, mask)
+    assert mp.size == sim.size == int(mask.sum())
+    np.testing.assert_array_equal(mp.vector, sim.vector)
+    np.testing.assert_array_equal(mp.vector, expected)
+    assert mp.vector.dtype == sim.vector.dtype
+
+
+@pytest.mark.parametrize(
+    "name,shape,grid,block,density,dtype,scheme",
+    [c for c in CASES if c[6] in ("sss", "css")][:4],
+    ids=[c[0] for c in CASES if c[6] in ("sss", "css")][:4],
+)
+def test_unpack_mp_equals_sim_equals_oracle(
+    name, shape, grid, block, density, dtype, scheme
+):
+    array, mask = _inputs(name, shape, density, dtype)
+    rng = np.random.default_rng(7)
+    size = int(mask.sum())
+    vector = (rng.random(size) * 100).astype(dtype)
+    sim = unpack(vector, mask, array, grid=grid, block=block, scheme=scheme,
+                 backend="sim", **MP_KW)
+    mp = unpack(vector, mask, array, grid=grid, block=block, scheme=scheme,
+                backend=_mp(), **MP_KW)
+    expected = unpack_reference(vector, mask, array)
+    np.testing.assert_array_equal(mp.array, sim.array)
+    np.testing.assert_array_equal(mp.array, expected)
+
+
+@pytest.mark.parametrize("grid,block", [((4,), "block"), ((3,), "cyclic")])
+def test_ranking_mp_equals_sim_equals_oracle(grid, block):
+    rng = np.random.default_rng(11)
+    mask = rng.random(36) < 0.5
+    sim = ranking(mask, grid=grid, block=block, backend="sim", **MP_KW)
+    mp = ranking(mask, grid=grid, block=block, backend=_mp(), **MP_KW)
+    np.testing.assert_array_equal(mp.ranks, sim.ranks)
+    np.testing.assert_array_equal(mp.ranks, mask_ranks(mask))
+    assert mp.size == sim.size
+
+
+def test_pack_with_pad_vector_mp_equals_sim():
+    rng = np.random.default_rng(13)
+    array = rng.random(30)
+    mask = rng.random(30) < 0.5
+    pad = rng.random(30)  # longer than Size: tail pads the result
+    sim = pack(array, mask, grid=(3,), vector=pad, backend="sim", **MP_KW)
+    mp = pack(array, mask, grid=(3,), vector=pad, backend=_mp(), **MP_KW)
+    np.testing.assert_array_equal(mp.vector, sim.vector)
+    np.testing.assert_array_equal(mp.vector, pack_reference(array, mask, pad))
+
+
+def test_mp_validates_against_oracle_inline():
+    """validate=True runs the full oracle check inside pack() itself."""
+    rng = np.random.default_rng(17)
+    array = rng.random(48)
+    mask = rng.random(48) < 0.5
+    res = pack(array, mask, grid=(4,), spec=SPEC, validate=True,
+               backend=_mp())
+    assert res.size == int(mask.sum())

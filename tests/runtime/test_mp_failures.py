@@ -1,0 +1,167 @@
+"""MpBackend failure hygiene: gang teardown, reaping, leak-freedom.
+
+A rank failing mid-phase must terminate the whole gang, reap every child
+process, unlink every shared-memory segment, and surface the originating
+rank's traceback — on every failure path (program exception, silent child
+death, gang timeout, SPMD divergence).
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineSpec
+from repro.runtime import MpBackend, MpGangError, allreduce, barrier
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+SHM_DIR = "/dev/shm"
+
+
+def _shm_segments():
+    """Current multiprocessing shared-memory segment names (POSIX)."""
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-POSIX hosts
+        return set()
+    return {f for f in os.listdir(SHM_DIR) if f.startswith("psm_")}
+
+
+def _live_gang():
+    return [p for p in multiprocessing.active_children()
+            if p.name.startswith("repro-mp-rank-")]
+
+
+def _settle(deadline=5.0):
+    """Give just-terminated children a moment to be reaped."""
+    t0 = time.monotonic()
+    while _live_gang() and time.monotonic() - t0 < deadline:
+        time.sleep(0.02)
+
+
+@pytest.fixture(autouse=True)
+def no_leaks():
+    """Every test must leave zero gang children and zero shm segments."""
+    before = _shm_segments()
+    yield
+    _settle()
+    assert _live_gang() == []
+    assert _shm_segments() <= before
+
+
+class TestProgramFailure:
+    def test_raise_mid_phase_surfaces_rank_and_traceback(self):
+        def prog(ctx):
+            ctx.phase("ranking.local")
+            yield from barrier(ctx)
+            if ctx.rank == 1:
+                raise ValueError("boom on rank one")
+            # Healthy ranks block forever; teardown must not wait on them.
+            yield ctx.recv(0, 42)
+
+        with pytest.raises(MpGangError) as err:
+            MpBackend(timeout=60).run_spmd(prog, 3, spec=SPEC)
+        assert err.value.rank == 1
+        assert "ValueError: boom on rank one" in str(err.value)
+        assert "rank 1 traceback" in str(err.value)
+
+    def test_gang_reaped_after_failure(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("die immediately")
+            yield ctx.recv(0, 1)  # would block forever
+
+        with pytest.raises(MpGangError):
+            MpBackend(timeout=60).run_spmd(prog, 4, spec=SPEC)
+        _settle()
+        assert _live_gang() == []
+
+    def test_shm_unlinked_after_failure(self):
+        before = _shm_segments()
+        big = np.arange(1 << 16, dtype=np.float64)
+
+        def prog(ctx, block):
+            raise RuntimeError("fail with shm live")
+            yield  # pragma: no cover - generator form
+
+        with pytest.raises(MpGangError):
+            MpBackend(timeout=60).run_spmd(
+                prog, 2, spec=SPEC, shared={"big": big},
+                make_rank_args=lambda r, sh: (sh["big"],),
+            )
+        assert _shm_segments() <= before
+
+    def test_shm_unlinked_after_success(self):
+        before = _shm_segments()
+        data = np.arange(4096, dtype=np.float64)
+
+        def prog(ctx, block):
+            ctx.work(1)
+            return float(np.sum(block))
+
+        run = MpBackend(timeout=60).run_spmd(
+            prog, 2, spec=SPEC, shared={"data": data},
+            make_rank_args=lambda r, sh: (sh["data"],),
+        )
+        assert run.results == [float(data.sum())] * 2
+        assert _shm_segments() <= before
+
+    def test_silent_child_death_detected(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                os._exit(9)  # dies without reporting a result
+            yield ctx.recv(0, 1)
+
+        with pytest.raises(MpGangError, match="without reporting"):
+            MpBackend(timeout=60).run_spmd(prog, 2, spec=SPEC)
+
+    def test_gang_timeout(self):
+        def prog(ctx):
+            yield ctx.recv((ctx.rank + 1) % ctx.size, 99)  # never sent
+
+        with pytest.raises(MpGangError, match="did not finish within"):
+            MpBackend(timeout=1.5).run_spmd(prog, 2, spec=SPEC)
+
+    def test_collective_divergence_is_reported_not_deadlocked(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                total = yield from allreduce(ctx, 1, key=1)
+            else:
+                yield from barrier(ctx, key=2)
+                total = None
+            return total
+
+        with pytest.raises(MpGangError) as err:
+            MpBackend(timeout=30).run_spmd(prog, 2, spec=SPEC)
+        assert "CollectiveMismatch" in str(err.value)
+
+
+class TestRejectedInsideChild:
+    """Simulator-only ops used *inside* a program fail fast with a clear
+    message shipped home, instead of hanging the gang."""
+
+    def test_timed_recv(self):
+        def prog(ctx):
+            from repro.machine.ops import Recv
+
+            yield Recv(source=0, tag=1, timeout=1e-3)
+
+        with pytest.raises(MpGangError, match="timed receives"):
+            MpBackend(timeout=30).run_spmd(prog, 2, spec=SPEC)
+
+    def test_auto_ack_send(self):
+        def prog(ctx):
+            ctx.send(0, 1.0, auto_ack=(object(), 1))
+            yield ctx.recv(0, 1)
+
+        with pytest.raises(MpGangError, match="reliable transport"):
+            MpBackend(timeout=30).run_spmd(prog, 2, spec=SPEC)
+
+    def test_negative_tag_send(self):
+        def prog(ctx):
+            ctx.send(0, 1.0, tag=-5)
+            yield ctx.recv(0, 1)
+
+        with pytest.raises(MpGangError, match="reserved"):
+            MpBackend(timeout=30).run_spmd(prog, 2, spec=SPEC)
