@@ -18,6 +18,13 @@ The two elapsed numbers live in different time domains on purpose — this
 benchmark records them side by side but never adds them (the library
 itself refuses to: see ``aggregate_time`` / ``TimeDomainError``).
 
+Alongside the comparison it records *where the mp wall time goes*: each
+mp case is re-run once under a :class:`~repro.obs.runtime.RuntimeProfiler`
+and the resulting phase-attribution tables (fork / shm / pickle /
+queue_send / queue_wait / collective / compute / reap as fractions of the
+host wall) and communication totals are written to ``BENCH_profile.json``
+— the file that explains the ``mp_over_sim_host_wall`` ratios above.
+
 Usage::
 
     python benchmarks/bench_runtime.py            # measure + write JSON
@@ -36,10 +43,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.api import pack, unpack
+from repro.obs import RuntimeProfiler
 from repro.runtime import MpBackend, SimBackend
 
 ROOT = Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_runtime.json"
+OUT_PROFILE = ROOT / "BENCH_profile.json"
 SEED = 0
 PROCS = (2, 4, 8)
 GANG_TIMEOUT = 300.0  # wall budget per mp gang; a hang fails, not stalls
@@ -54,16 +63,16 @@ def _workload(n: int, density: float):
     return array, mask, vector, field
 
 
-def _run_case(op: str, p: int, backend, inputs) -> float:
+def _run_case(op: str, p: int, backend, inputs, profile=None) -> float:
     """One PACK or UNPACK on ``backend``; returns the run's elapsed time
     (simulated seconds on sim, gang wall seconds on mp)."""
     array, mask, vector, field = inputs
     if op == "pack":
         r = pack(array, mask, grid=(p,), scheme="cms", validate=False,
-                 backend=backend)
+                 backend=backend, profile=profile)
     else:
         r = unpack(vector, mask, field, grid=(p,), scheme="css",
-                   validate=False, backend=backend)
+                   validate=False, backend=backend, profile=profile)
     return r.run.elapsed
 
 
@@ -105,6 +114,49 @@ def measure(n: int, density: float, reps: int) -> list[dict]:
     return cases
 
 
+def measure_profiles(n: int, density: float) -> list[dict]:
+    """Profile each mp case once: where does the host wall go?"""
+    inputs = _workload(n, density)
+    backend = MpBackend(timeout=GANG_TIMEOUT)
+    cases = []
+    for op in ("pack", "unpack"):
+        for p in PROCS:
+            prof = RuntimeProfiler()
+            _run_case(op, p, backend, inputs, profile=prof)
+            profile = prof.profile
+            table = profile.phase_table()
+            cases.append({
+                "op": op,
+                "p": p,
+                "n": n,
+                "backend": "mp",
+                "time_domain": profile.time_domain,
+                "host_wall_ms": round(profile.total_seconds * 1e3, 3),
+                "attributed_fraction": round(profile.attributed_fraction, 6),
+                "phases_ms": {
+                    name: round(row["seconds"] * 1e3, 3)
+                    for name, row in table.items()
+                },
+                "phase_fraction": {
+                    name: round(row["fraction"], 4)
+                    for name, row in table.items()
+                },
+                "comm": {
+                    "messages": int(sum(map(sum, profile.comm_msgs))),
+                    "pickled_bytes": int(sum(map(sum, profile.comm_bytes))),
+                    "collectives": int(sum(profile.collectives_per_rank)),
+                },
+                "dropped_events": profile.dropped_events,
+            })
+            top = max(table, key=lambda k: table[k]["seconds"])
+            print(f"  {op:<6s} P={p}: mp {cases[-1]['host_wall_ms']:9.1f} ms "
+                  f"host, attributed "
+                  f"{cases[-1]['attributed_fraction'] * 100:5.1f}%, "
+                  f"top phase {top} "
+                  f"({table[top]['fraction'] * 100:.0f}%)")
+    return cases
+
+
 def _git_rev() -> str:
     try:
         return subprocess.run(
@@ -133,19 +185,32 @@ def main(argv=None) -> int:
     print(f"runtime backends: pack/unpack n={n} density={args.density} "
           f"P={list(PROCS)} ({reps} rep{'s' if reps > 1 else ''}):")
     cases = measure(n, args.density, reps)
+    print("mp phase attribution:")
+    profile_cases = measure_profiles(n, args.density)
 
     if not args.no_write:
+        rev = _git_rev()
         doc = {
             "schema": 1,
             "n": n,
             "density": args.density,
             "reps": reps,
             "procs": list(PROCS),
-            "rev": _git_rev(),
+            "rev": rev,
             "cases": cases,
         }
         OUT.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {len(cases)} cases -> {OUT}")
+        prof_doc = {
+            "schema": 1,
+            "n": n,
+            "density": args.density,
+            "procs": list(PROCS),
+            "rev": rev,
+            "cases": profile_cases,
+        }
+        OUT_PROFILE.write_text(json.dumps(prof_doc, indent=2) + "\n")
+        print(f"wrote {len(profile_cases)} cases -> {OUT_PROFILE}")
     return 0
 
 

@@ -23,6 +23,12 @@ Commands:
   (barrier, allreduce, exclusive prefix sum, alltoallv, a send/recv ring)
   and a PACK/UNPACK round against the serial oracle on the chosen
   backend (exit 1 on any failure).  See ``docs/runtime.md``;
+* ``profile`` — cross-rank runtime cost attribution: run an op under a
+  :class:`~repro.obs.runtime.RuntimeProfiler` and print the
+  phase-attribution table (what fraction of host wall is fork / pickle /
+  queue-wait / compute under ``--backend mp``), validate the P×P
+  communication matrix's conservation invariant, and optionally export
+  the merged per-rank Chrome trace / matrix / profile JSON;
 * ``experiments ...`` — delegate to :mod:`repro.experiments`.
 
 ``pack`` / ``unpack`` / ``trace`` / ``metrics`` accept ``--backend
@@ -50,6 +56,7 @@ Examples::
     python -m repro pack --n 65536 --procs 16 --block 8 --density 0.5
     python -m repro pack --n 65536 --procs 8 --backend mp
     python -m repro runtime --backend mp --procs 4
+    python -m repro profile pack --backend mp -p 8 --trace-out pack.mp.trace.json
     python -m repro pack --shape 512x512 --grid 4x4 --block 4 --scheme sss
     python -m repro trace --nprocs 4 --n 1024 --block 8 --out pack.trace.json
     python -m repro metrics --op unpack --n 4096 --procs 8 --out m.json
@@ -440,6 +447,75 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Cross-rank runtime cost attribution: where does the host time go?
+
+    Runs the op under a :class:`~repro.obs.runtime.RuntimeProfiler`,
+    prints the phase-attribution table, validates the communication
+    matrix's conservation invariant (row sums == sends, column sums ==
+    receives — exit 1 on violation), and optionally exports the merged
+    per-rank Chrome trace, the P×P matrix and the full profile JSON.
+    """
+    import json
+
+    from .core.api import pack, ranking, unpack
+    from .obs.runtime import RuntimeProfiler
+    from .runtime import MpBackend, get_backend
+
+    array, mask, grid, block = _workload(args)
+    spec = _build_spec(args)
+    if args.backend == "mp":
+        backend = MpBackend(timeout=args.timeout)
+    else:
+        backend = get_backend(args.backend)
+    profiler = RuntimeProfiler(ring_capacity=args.ring_capacity)
+    if args.op == "pack":
+        result = pack(
+            array, mask, grid=grid, block=block, scheme=args.scheme,
+            spec=spec, validate=not args.no_validate, profile=profiler,
+            backend=backend,
+        )
+    elif args.op == "unpack":
+        rng = np.random.default_rng(args.seed + 1)
+        result = unpack(
+            rng.random(int(mask.sum())), mask, array, grid=grid, block=block,
+            scheme=args.scheme if args.scheme in ("sss", "css") else "css",
+            spec=spec, validate=not args.no_validate, profile=profiler,
+            backend=backend,
+        )
+    else:
+        result = ranking(
+            mask, grid=grid, block=block, spec=spec,
+            validate=not args.no_validate, profile=profiler, backend=backend,
+        )
+    profile = profiler.profile
+    print(f"{args.op}: Size = {result.size}")
+    print(profile.summary())
+    if profile.dropped_events:
+        print(f"  [ring overflow: {profile.dropped_events} spans dropped "
+              f"from the trace; attribution table is still exact — "
+              f"raise --ring-capacity]")
+    try:
+        profile.validate_conservation()
+        print(f"  comm matrix: conservation OK "
+              f"(row sums == sends, column sums == receives)")
+    except ValueError as exc:
+        print(f"FAIL: comm matrix conservation violated: {exc}")
+        return 1
+    if args.trace_out:
+        n = profile.write_chrome_trace(args.trace_out)
+        print(f"[trace: {n} events ({profile.nprocs} rank lanes + gang lane) "
+              f"-> {args.trace_out}]")
+    if args.matrix_out:
+        with open(args.matrix_out, "w") as fh:
+            json.dump(profile.matrix_dict(), fh, indent=2)
+        print(f"[comm matrix -> {args.matrix_out}]")
+    if args.report_out:
+        profile.to_json(args.report_out)
+        print(f"[profile report -> {args.report_out}]")
+    return 0
+
+
 def cmd_runtime(args) -> int:
     """Execution-backend smoke test: the SPMD primitive set plus one
     PACK/UNPACK round against the serial oracle, on the chosen backend."""
@@ -536,7 +612,7 @@ def cmd_runtime(args) -> int:
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--n", type=int, default=16384, help="1-D array size")
-    p.add_argument("--procs", "--nprocs", type=int, default=16,
+    p.add_argument("-p", "--procs", "--nprocs", type=int, default=16,
                    dest="procs", help="1-D processor count")
     p.add_argument("--shape", help="nD shape, e.g. 512x512 (overrides --n)")
     p.add_argument("--grid", help="nD processor grid, e.g. 4x4")
@@ -668,6 +744,28 @@ def main(argv=None) -> int:
                            help="replay the corpus on every backend "
                                 "(sim and mp) instead of just --backend")
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="cross-rank runtime cost attribution: phase table, per-rank "
+             "trace lanes and P×P communication matrix on either backend",
+    )
+    p_profile.add_argument("op", nargs="?", default="pack",
+                           choices=("pack", "unpack", "ranking"),
+                           help="operation to profile (default: pack)")
+    _add_workload_args(p_profile)
+    p_profile.add_argument("--timeout", type=float, default=300.0,
+                           help="wall-clock budget per mp gang in seconds")
+    p_profile.add_argument("--ring-capacity", type=int, default=8192,
+                           dest="ring_capacity",
+                           help="per-rank span ring-buffer capacity (mp)")
+    p_profile.add_argument("--trace-out", dest="trace_out",
+                           help="write the merged per-rank Chrome trace "
+                                "(one lane per rank + a gang lane)")
+    p_profile.add_argument("--matrix-out", dest="matrix_out",
+                           help="write the P×P msgs/bytes matrix JSON")
+    p_profile.add_argument("--report-out", dest="report_out",
+                           help="write the full RunProfile JSON")
+
     p_runtime = sub.add_parser(
         "runtime",
         help="execution-backend smoke test: SPMD primitives plus one "
@@ -720,6 +818,8 @@ def _dispatch(args, parser) -> int:
         return cmd_chaos(args)
     if args.command == "conform":
         return cmd_conform(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "runtime":
         return cmd_runtime(args)
     if args.command == "trace":

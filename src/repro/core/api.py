@@ -241,6 +241,7 @@ def pack(
     pad: bool = False,
     validate: bool = True,
     profiler: PhaseProfiler | None = None,
+    profile=None,
     tracer=None,
     metrics=None,
     faults=None,
@@ -277,6 +278,13 @@ def pack(
     validate:
         check the result against the serial oracle (always do this in
         tests; turn off in benchmarks measuring simulated time only).
+    profile:
+        optional :class:`~repro.obs.runtime.RuntimeProfiler`: after the
+        call it holds a cross-rank :class:`~repro.obs.runtime.RunProfile`
+        — per-rank trace lanes, a P×P communication matrix and a
+        phase-attribution table in the backend's own time domain (host
+        wall phases like fork/pickle/queue-wait under ``"mp"``).  See
+        ``repro profile`` and docs/runtime.md.
     profiler / tracer / metrics:
         optional observability: a :class:`~repro.obs.PhaseProfiler` (its
         report is filled in and the result's :meth:`~_TimedResult.report`
@@ -386,6 +394,7 @@ def pack(
         faults=faults,
         step_budget=step_budget,
         time_budget=time_budget,
+        profile=profile,
     )
     size = run.results[0].size
     vec_layout = result_vector_layout(
@@ -404,6 +413,8 @@ def pack(
             )
     if profiler is not None:
         profiler.finish(run, op="pack", spec=spec.name)
+    if profile is not None and profile.profile is not None:
+        profile.finish(op="pack", spec=spec.name)
     return PackResult(
         run=run,
         vector=vector,
@@ -434,6 +445,7 @@ def unpack(
     pad: bool = False,
     validate: bool = True,
     profiler: PhaseProfiler | None = None,
+    profile=None,
     tracer=None,
     metrics=None,
     faults=None,
@@ -509,6 +521,7 @@ def unpack(
         faults=faults,
         step_budget=step_budget,
         time_budget=time_budget,
+        profile=profile,
     )
     array = layout.gather([run.results[r].array_block for r in range(layout.nprocs)])
     if pad:
@@ -524,6 +537,8 @@ def unpack(
             )
     if profiler is not None:
         profiler.finish(run, op="unpack", spec=spec.name)
+    if profile is not None and profile.profile is not None:
+        profile.finish(op="unpack", spec=spec.name)
     return UnpackResult(
         run=run,
         array=array,
@@ -546,6 +561,7 @@ def ranking(
     scheme="css",
     validate: bool = True,
     profiler: PhaseProfiler | None = None,
+    profile=None,
     tracer=None,
     metrics=None,
     faults=None,
@@ -597,6 +613,7 @@ def ranking(
         faults=faults,
         step_budget=step_budget,
         time_budget=time_budget,
+        profile=profile,
     )
     ranks = layout.gather([run.results[r][0] for r in range(layout.nprocs)])
     size = run.results[0][1]
@@ -613,6 +630,8 @@ def ranking(
                 f"Size {size} != oracle {np.count_nonzero(original_mask)}")
     if profiler is not None:
         profiler.finish(run, op="ranking", spec=spec.name)
+    if profile is not None and profile.profile is not None:
+        profile.finish(op="ranking", spec=spec.name)
     return RankingResult(
         run=run, ranks=ranks, size=size, layout=layout,
         tracer=tracer, metrics=metrics, _op="ranking", _spec_name=spec.name,

@@ -120,6 +120,42 @@ class _PendingCollective:
         return self.arrived == set(self.op.group)
 
 
+class _EngineMetrics:
+    """Pre-bound metric handles for the engine's hot paths.
+
+    Resolving ``registry.counter("machine.sends")`` on every send costs a
+    dict lookup plus an isinstance check; binding the Counter/Histogram
+    objects once at machine construction reduces each recording site to
+    attribute loads.  Every site still guards on ``registry.enabled`` so a
+    disabled registry costs one flag check per event and nothing else.
+    """
+
+    __slots__ = (
+        "registry",
+        "sends", "words_sent", "message_words",
+        "recvs", "recv_wait_seconds", "recv_timeouts",
+        "auto_acks", "port_stalls", "port_stall_seconds",
+        "collectives", "collective_words",
+        "collective_group_size", "collective_skew_seconds",
+    )
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.sends = registry.counter("machine.sends")
+        self.words_sent = registry.counter("machine.words_sent")
+        self.message_words = registry.histogram("machine.message_words")
+        self.recvs = registry.counter("machine.recvs")
+        self.recv_wait_seconds = registry.histogram("machine.recv_wait_seconds")
+        self.recv_timeouts = registry.counter("machine.recv_timeouts")
+        self.auto_acks = registry.counter("machine.auto_acks")
+        self.port_stalls = registry.counter("machine.port_stalls")
+        self.port_stall_seconds = registry.histogram("machine.port_stall_seconds")
+        self.collectives = registry.counter("machine.collectives")
+        self.collective_words = registry.counter("machine.collective_words")
+        self.collective_group_size = registry.histogram("machine.collective_group_size")
+        self.collective_skew_seconds = registry.histogram("machine.collective_skew_seconds")
+
+
 class Machine:
     """A simulated coarse-grained distributed-memory parallel machine.
 
@@ -169,6 +205,9 @@ class Machine:
 
             metrics = current_global_metrics()
         self.metrics = metrics
+        # Hot-path handles: bound once so per-event recording is attribute
+        # loads plus an enabled-flag check (a disabled registry is a no-op).
+        self._mx = _EngineMetrics(metrics) if metrics is not None else None
         #: Optional :class:`~repro.faults.FaultPlan`; each run builds a
         #: fresh seeded injector from it, so runs are independent and
         #: identically reproducible.
@@ -314,8 +353,9 @@ class Machine:
                 p.waiting = None
                 p.deadline = None
                 p.send_value = TIMEOUT
-                if self.metrics is not None:
-                    self.metrics.inc("machine.recv_timeouts")
+                mx = self._mx
+                if mx is not None and mx.registry._enabled:
+                    mx.recv_timeouts.inc()
                 if self.tracer is not None:
                     self.tracer.record(st.clock, p.rank, "timeout")
                 self._make_runnable(p.rank)
@@ -453,10 +493,11 @@ class Machine:
         or delayed).  This is the primitive the reliable transport
         (:mod:`repro.faults.reliable`) builds its retransmit loop on.
         """
-        if self.metrics is not None:
-            self.metrics.inc("machine.sends")
-            self.metrics.inc("machine.words_sent", words)
-            self.metrics.observe("machine.message_words", words)
+        mx = self._mx
+        if mx is not None and mx.registry._enabled:
+            mx.sends.inc()
+            mx.words_sent.inc(words)
+            mx.message_words.observe(words)
         if self.tracer is not None:
             self.tracer.record(
                 send_clock, source, "send",
@@ -488,8 +529,9 @@ class Machine:
             )
             if auto_ack is not None and not corrupted and dest != source:
                 ack_payload, ack_words = auto_ack
-                if self.metrics is not None:
-                    self.metrics.inc("machine.auto_acks")
+                mx = self._mx
+                if mx is not None and mx.registry._enabled:
+                    mx.auto_acks.inc()
                 transit = self.spec.message_time(
                     ack_words, self.spec.hops_between(dest, source)
                 )
@@ -519,14 +561,13 @@ class Machine:
             # be simulated-time order.
             transfer = self.spec.mu * words
             arrival = self._reserve_port(dest, send_clock - transfer, transfer)
-            if self.metrics is not None and arrival > send_clock:
+            mx = self._mx
+            if mx is not None and mx.registry._enabled and arrival > send_clock:
                 # The destination's serial receive port was busy: the
                 # message landed later than the contention-free model
                 # would have delivered it.
-                self.metrics.inc("machine.port_stalls")
-                self.metrics.observe(
-                    "machine.port_stall_seconds", arrival - send_clock
-                )
+                mx.port_stalls.inc()
+                mx.port_stall_seconds.observe(arrival - send_clock)
         msg = Message(
             source=source,
             dest=dest,
@@ -595,11 +636,12 @@ class Machine:
 
     def _complete_recv(self, rank: int, msg: Message) -> None:
         st = self._stats[rank]
-        if self.metrics is not None:
-            self.metrics.inc("machine.recvs")
+        mx = self._mx
+        if mx is not None and mx.registry._enabled:
+            mx.recvs.inc()
             wait = msg.arrival_time - st.clock
             if wait > 0:
-                self.metrics.observe("machine.recv_wait_seconds", wait)
+                mx.recv_wait_seconds.observe(wait)
         st.advance_to(msg.arrival_time)
         st.recvs += 1
         st.words_received += msg.words
@@ -642,13 +684,14 @@ class Machine:
                 f"collective {op.kind!r} needs a control network or explicit cost "
                 f"on machine {self.spec.name!r}"
             )
-        if self.metrics is not None:
-            self.metrics.inc("machine.collectives")
-            self.metrics.inc("machine.collective_words", words)
-            self.metrics.observe("machine.collective_group_size", len(members))
+        mx = self._mx
+        if mx is not None and mx.registry._enabled:
+            mx.collectives.inc()
+            mx.collective_words.inc(words)
+            mx.collective_group_size.observe(len(members))
             skew = sync - min(self._stats[r].clock for r in members)
             if skew > 0:
-                self.metrics.observe("machine.collective_skew_seconds", skew)
+                mx.collective_skew_seconds.observe(skew)
         for r in members:
             st = self._stats[r]
             st.advance_to(sync)

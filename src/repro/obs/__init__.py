@@ -16,12 +16,23 @@ those quantities first-class:
   observers) and :class:`RunReport` (the structured per-run summary the
   host API returns).
 * :mod:`repro.obs.exporters` — flat JSON/CSV metric snapshots.
+* :mod:`repro.obs.runtime` — cross-rank *runtime* profiling for the
+  backend seam: :class:`RuntimeProfiler` / :class:`RunProfile` merge
+  per-rank event lanes into one wall-clock-aligned Chrome trace, a P×P
+  communication matrix and a phase-attribution table, in the backend's
+  own time domain (``"simulated"`` vs ``"wall"`` profiles refuse to be
+  compared — :class:`~repro.machine.stats.TimeDomainError`).
 
-CLI entry points: ``python -m repro trace`` and ``python -m repro
-metrics``; see ``docs/observability.md``.
+CLI entry points: ``python -m repro trace``, ``python -m repro metrics``
+and ``python -m repro profile``; see ``docs/observability.md``.
 """
 
-from .chrome_trace import build_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .chrome_trace import (
+    build_chrome_trace,
+    trace_metadata,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .exporters import (
     snapshot_rows,
     write_metrics,
@@ -40,6 +51,13 @@ from .registry import (
     disable_global_metrics,
     enable_global_metrics,
 )
+from .runtime import (
+    RUNTIME_PHASES,
+    RankLane,
+    RunProfile,
+    RuntimeProfiler,
+    build_sim_profile,
+)
 
 __all__ = [
     "Counter",
@@ -49,13 +67,19 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "PhaseProfiler",
+    "RUNTIME_PHASES",
+    "RankLane",
+    "RunProfile",
     "RunReport",
+    "RuntimeProfiler",
     "build_chrome_trace",
     "build_run_report",
+    "build_sim_profile",
     "current_global_metrics",
     "disable_global_metrics",
     "enable_global_metrics",
     "snapshot_rows",
+    "trace_metadata",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_metrics",

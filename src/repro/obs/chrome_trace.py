@@ -16,8 +16,13 @@ and https://ui.perfetto.dev:
   matching receive — message arrows in the viewer;
 * **instant events** for collectives.
 
-Timestamps are microseconds, per the format.  The exporter is pure: it
-reads the tracer and stats, mutates nothing, and returns plain dicts.
+Timestamps are microseconds, per the format — but a microsecond of
+*simulated* CM-5 time and a microsecond of *wall* time are unrelated
+scales, so every exported trace is stamped with its ``time_domain``
+(process-name label + ``otherData`` metadata via :func:`trace_metadata`)
+and the seconds→timestamp scale is chosen per domain from
+:data:`_DOMAIN_SCALE`.  The exporter is pure: it reads the tracer and
+stats, mutates nothing, and returns plain dicts.
 """
 
 from __future__ import annotations
@@ -29,9 +34,45 @@ __all__ = [
     "build_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "trace_metadata",
 ]
 
 _US = 1e6  # seconds -> microseconds
+
+#: Seconds→timestamp scale per time domain.  Both resolve to microseconds
+#: (the trace_event format mandates µs timestamps), but the table keeps the
+#: choice explicit and per-domain — and :func:`trace_metadata` records which
+#: clock those microseconds belong to, so a wall trace can never be mistaken
+#: for a simulated one.
+_DOMAIN_SCALE = {"simulated": _US, "wall": _US}
+
+#: Human description of each domain's clock, stamped into trace metadata.
+_DOMAIN_CLOCK = {
+    "simulated": "simulated machine seconds (two-level cost model)",
+    "wall": "host wall seconds (CLOCK_MONOTONIC-aligned across ranks)",
+}
+
+
+def trace_metadata(time_domain: str, extra: dict | None = None) -> dict:
+    """``otherData`` metadata stamping a trace with its time domain.
+
+    Every exported trace carries ``time_domain``, the timestamp unit and a
+    description of the underlying clock, so traces from the simulator and
+    the real-process backend are never silently interchangeable.
+    """
+    if time_domain not in _DOMAIN_SCALE:
+        from ..machine.stats import TIME_DOMAINS
+
+        raise ValueError(
+            f"time_domain must be one of {TIME_DOMAINS}, got {time_domain!r}"
+        )
+    meta = {
+        "time_domain": time_domain,
+        "timestamp_unit": f"{time_domain} microseconds",
+        "clock": _DOMAIN_CLOCK[time_domain],
+    }
+    meta.update(extra or {})
+    return meta
 
 #: Required keys per event phase type, used by :func:`validate_chrome_trace`.
 _REQUIRED = {
@@ -43,7 +84,8 @@ _REQUIRED = {
 }
 
 
-def build_chrome_trace(tracer, run=None, nprocs: int | None = None, pid: int = 0) -> list[dict]:
+def build_chrome_trace(tracer, run=None, nprocs: int | None = None, pid: int = 0,
+                       time_domain: str | None = None) -> list[dict]:
     """Build the ``traceEvents`` list for one traced run.
 
     Parameters
@@ -56,15 +98,24 @@ def build_chrome_trace(tracer, run=None, nprocs: int | None = None, pid: int = 0
         (exact), otherwise at the global last event time (approximate).
     nprocs:
         number of ranks; inferred from ``run`` when omitted.
+    time_domain:
+        the domain of the tracer's timestamps (``"simulated"`` /
+        ``"wall"``); inferred from ``run`` when omitted, defaulting to
+        ``"simulated"``.  Labels the process lane and picks the
+        seconds→timestamp scale from :data:`_DOMAIN_SCALE`.
     """
     if nprocs is None:
         if run is None:
             raise ValueError("need nprocs or run to size the rank tracks")
         nprocs = run.nprocs
+    if time_domain is None:
+        time_domain = getattr(run, "time_domain", None) or "simulated"
+    scale = _DOMAIN_SCALE[time_domain]
+    machine = "simulated machine" if time_domain == "simulated" else "machine"
     events: list[dict] = [
         {
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-            "args": {"name": "repro simulated machine"},
+            "args": {"name": f"repro {machine} ({time_domain} clock)"},
         }
     ]
     for r in range(nprocs):
@@ -95,7 +146,7 @@ def build_chrome_trace(tracer, run=None, nprocs: int | None = None, pid: int = 0
             end = spans[i + 1][0] if i + 1 < len(spans) else end_of_run
             events.append({
                 "name": name, "cat": "phase", "ph": "X", "pid": pid, "tid": r,
-                "ts": start * _US, "dur": max(end - start, 0.0) * _US,
+                "ts": start * scale, "dur": max(end - start, 0.0) * scale,
             })
 
     # ------------------------------------------------------ message flows
@@ -116,11 +167,11 @@ def build_chrome_trace(tracer, run=None, nprocs: int | None = None, pid: int = 0
         name = f"msg {s.detail['words']}w"
         events.append({
             "name": name, "cat": "msg", "ph": "s", "pid": pid,
-            "tid": s.rank, "ts": s.time * _US, "id": flow_id,
+            "tid": s.rank, "ts": s.time * scale, "id": flow_id,
         })
         events.append({
             "name": name, "cat": "msg", "ph": "f", "bp": "e", "pid": pid,
-            "tid": e.rank, "ts": e.time * _US, "id": flow_id,
+            "tid": e.rank, "ts": e.time * scale, "id": flow_id,
         })
 
     # -------------------------------------------------------- collectives
@@ -129,7 +180,7 @@ def build_chrome_trace(tracer, run=None, nprocs: int | None = None, pid: int = 0
             events.append({
                 "name": e.detail.get("op", "collective"), "cat": "collective",
                 "ph": "i", "s": "t", "pid": pid, "tid": e.rank,
-                "ts": e.time * _US,
+                "ts": e.time * scale,
             })
     return events
 
@@ -175,18 +226,25 @@ def validate_chrome_trace(events: Iterable[dict]) -> int:
 
 
 def write_chrome_trace(path, tracer, run=None, nprocs: int | None = None,
-                       metadata: dict | None = None) -> int:
+                       metadata: dict | None = None,
+                       time_domain: str | None = None) -> int:
     """Export to ``path`` as a Chrome trace JSON object; returns event count.
 
     The file holds ``{"traceEvents": [...], "displayTimeUnit": "ms",
     "otherData": {...}}`` — the object form, which viewers accept and
-    which leaves room for run metadata."""
-    events = build_chrome_trace(tracer, run=run, nprocs=nprocs)
+    which leaves room for run metadata.  ``otherData`` always carries the
+    :func:`trace_metadata` time-domain stamp (domain inferred from ``run``
+    when not given), so wall-clock and simulated traces are never
+    interchangeable."""
+    if time_domain is None:
+        time_domain = getattr(run, "time_domain", None) or "simulated"
+    events = build_chrome_trace(tracer, run=run, nprocs=nprocs,
+                                time_domain=time_domain)
     validate_chrome_trace(events)
     doc = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": dict(metadata or {}),
+        "otherData": trace_metadata(time_domain, metadata),
     }
     with open(path, "w") as fh:
         json.dump(doc, fh)

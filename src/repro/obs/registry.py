@@ -166,10 +166,35 @@ class MetricsRegistry:
     cannot be reused as another (that is a programming error, reported
     eagerly).  The hot-path helpers :meth:`inc` / :meth:`observe` /
     :meth:`set` avoid touching metric objects at the call sites.
+
+    A registry can be :meth:`disable`\\ d without detaching it: every
+    hot-path helper then returns immediately on a single cached-flag
+    check, and producers holding pre-bound metric handles (e.g. the
+    engine's send/receive paths) are expected to guard on
+    :attr:`enabled` themselves — so instrumented-but-muted runs cost one
+    attribute load and a branch per event, not a dict lookup and an
+    object update.
     """
 
     def __init__(self):
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._enabled = True
+
+    # ------------------------------------------------------------ on/off
+    @property
+    def enabled(self) -> bool:
+        """Whether hot-path recording helpers do anything at all."""
+        return self._enabled
+
+    def disable(self) -> None:
+        """Mute the registry: ``inc``/``observe``/``set`` become no-ops.
+
+        Registration and inspection still work; already-recorded values
+        are kept.  Re-enable with :meth:`enable`."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        self._enabled = True
 
     # ------------------------------------------------------------- accessors
     def _get(self, name: str, kind: type, factory):
@@ -205,12 +230,18 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------- hot path
     def inc(self, name: str, n: float = 1) -> None:
+        if not self._enabled:
+            return
         self.counter(name).inc(n)
 
     def observe(self, name: str, value: float) -> None:
+        if not self._enabled:
+            return
         self.histogram(name).observe(value)
 
     def set(self, name: str, value: float) -> None:
+        if not self._enabled:
+            return
         self.gauge(name).set(value)
 
     # ------------------------------------------------------------ inspection

@@ -98,6 +98,7 @@ class Backend(ABC):
         faults=None,
         step_budget: int | None = None,
         time_budget: float | None = None,
+        profile=None,
     ) -> RunResult:
         """Execute ``program`` on every rank and return results and stats.
 
@@ -106,6 +107,13 @@ class Backend(ABC):
         ``make_rank_args(rank, shared)`` is called once per rank — in the
         rank's own process under process-per-rank backends — with
         ``shared`` the host-provided mapping of global (read-only) arrays.
+
+        ``profile`` is an optional
+        :class:`~repro.obs.runtime.RuntimeProfiler`: after the run it
+        holds a cross-rank :class:`~repro.obs.runtime.RunProfile` (per-rank
+        trace lanes, P×P communication matrix, phase-attribution table) in
+        the backend's own time domain.  Profiles from different domains
+        refuse to be compared, like the run aggregation helpers.
         """
 
     # ------------------------------------------------------------- helpers

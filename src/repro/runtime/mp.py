@@ -55,10 +55,11 @@ from __future__ import annotations
 
 import multiprocessing as _mp
 import os
+import pickle
 import queue as _queue_mod
 import time
 import traceback
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -80,6 +81,27 @@ _COLL_RESULT = -102
 #: Child exit code used when the program raised (after the traceback was
 #: shipped home on the result queue).
 _CHILD_FAILED = 70
+
+#: Profile span kinds, as stored in the shared-memory ring buffers (see
+#: :class:`_ProfileBuffers`).  ``fork`` and ``compute`` have no ring kind:
+#: fork is derived from the spawn/entry marks and compute is the lane
+#: residual between instrumented spans.
+_PK_SHM = 1
+_PK_PICKLE = 2
+_PK_QSEND = 3
+_PK_QWAIT = 4
+_PK_COLL = 5
+_PK_NAMES = {
+    _PK_SHM: "shm",
+    _PK_PICKLE: "pickle",
+    _PK_QSEND: "queue_send",
+    _PK_QWAIT: "queue_wait",
+    _PK_COLL: "collective",
+}
+#: Ring kinds that also accumulate into the per-rank phase table (the shm
+#: phase comes from the entry/ready marks instead, so it is ring-only).
+_PK_ACC = {_PK_PICKLE: 0, _PK_QSEND: 1, _PK_QWAIT: 2, _PK_COLL: 3}
+_ACC_NAMES = ("pickle", "queue_send", "queue_wait", "collective")
 
 
 class MpGangError(BackendError):
@@ -156,6 +178,174 @@ class _ShmArena:
                 pass
 
 
+# --------------------------------------------------------------- profiling
+class _Pickled:
+    """A payload the sender already serialized (profiled sends only).
+
+    Profiling pre-pickles every payload so the pickle time and exact byte
+    volume are measured at the source; the queue then only re-serializes
+    this thin wrapper around the ready-made bytes, and the receiver
+    unpickles (timed again) on delivery.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        self.data = data
+
+    def __reduce__(self):
+        return (_Pickled, (self.data,))
+
+
+class _ProfileBuffers:
+    """Per-rank profile state in one host-owned shared-memory segment.
+
+    Layout (all rows 8-byte aligned, one row per rank):
+
+    * ``times   (P, 3) f8`` — monotonic marks: child entry, args ready,
+      program done;
+    * ``acc     (P, 4) f8`` — per-phase accumulated seconds
+      (pickle, queue_send, queue_wait, collective), kept exact even when
+      the ring overflows;
+    * ``hdr     (P, 2) i8`` — ring event count, dropped-span count;
+    * ``counters(P, 4) i8`` — pickled bytes sent, collectives joined,
+      program messages received, pickled bytes received;
+    * ``msgs / bytes (P, P) i8`` — communication matrices, rows = senders;
+    * ``events  (P, cap, 3) f8`` — the span rings: (kind, t0, t1).
+
+    Lock-free by construction: each row has exactly one writer (its rank),
+    and the parent reads only after the gang has reported.  Marks and ring
+    timestamps are raw ``time.monotonic()`` values — CLOCK_MONOTONIC is
+    shared by every process on the same boot, so the parent can align all
+    lanes on one wall clock by subtracting its own start mark.
+    """
+
+    def __init__(self, nprocs: int, capacity: int):
+        from multiprocessing import shared_memory
+
+        self.nprocs = nprocs
+        self.capacity = capacity
+        p = nprocs
+        self._shapes = {
+            "times": ((p, 3), np.float64),
+            "acc": ((p, 4), np.float64),
+            "hdr": ((p, 2), np.int64),
+            "counters": ((p, 4), np.int64),
+            "msgs": ((p, p), np.int64),
+            "bytes": ((p, p), np.int64),
+            "events": ((p, capacity, 3), np.float64),
+        }
+        size = sum(
+            int(np.prod(shape)) * np.dtype(dt).itemsize
+            for shape, dt in self._shapes.values()
+        )
+        # POSIX shm is zero-filled by the kernel; no explicit init needed.
+        self._seg = shared_memory.SharedMemory(create=True, size=size)
+
+    def _views(self) -> dict[str, np.ndarray]:
+        out = {}
+        offset = 0
+        for name, (shape, dt) in self._shapes.items():
+            nbytes = int(np.prod(shape)) * np.dtype(dt).itemsize
+            out[name] = np.ndarray(
+                shape, dtype=dt, buffer=self._seg.buf, offset=offset
+            )
+            offset += nbytes
+        return out
+
+    def recorder(self, rank: int) -> "_RankRecorder":
+        """The single-writer view of rank ``rank``'s rows (child side)."""
+        return _RankRecorder(rank, self._views(), self.capacity)
+
+    def copy_out(self) -> dict[str, np.ndarray]:
+        """Host-side copies of every array (call before :meth:`destroy`)."""
+        return {name: arr.copy() for name, arr in self._views().items()}
+
+    def destroy(self) -> None:
+        seg, self._seg = self._seg, None
+        if seg is None:
+            return
+        try:
+            seg.close()
+        except OSError:
+            pass
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class _RankRecorder:
+    """One rank's lock-free writer over its :class:`_ProfileBuffers` rows."""
+
+    __slots__ = ("rank", "_times", "_acc", "_hdr", "_counters",
+                 "_msgs", "_bytes", "_events", "_cap")
+
+    def __init__(self, rank: int, views: dict[str, np.ndarray], capacity: int):
+        self.rank = rank
+        self._times = views["times"][rank]
+        self._acc = views["acc"][rank]
+        self._hdr = views["hdr"][rank]
+        self._counters = views["counters"][rank]
+        self._msgs = views["msgs"][rank]
+        self._bytes = views["bytes"][rank]
+        self._events = views["events"][rank]
+        self._cap = capacity
+
+    def mark(self, slot: int, t: float) -> None:
+        self._times[slot] = t
+
+    def span(self, kind: int, t0: float, t1: float) -> None:
+        acc = _PK_ACC.get(kind)
+        if acc is not None:
+            self._acc[acc] += t1 - t0
+        n = int(self._hdr[0])
+        if n < self._cap:
+            ev = self._events[n]
+            ev[0] = kind
+            ev[1] = t0
+            ev[2] = t1
+            self._hdr[0] = n + 1
+        else:
+            self._hdr[1] += 1
+
+    def sent(self, dest: int, nbytes: int) -> None:
+        self._msgs[dest] += 1
+        self._bytes[dest] += nbytes
+        self._counters[0] += nbytes
+
+    def received(self, nbytes: int) -> None:
+        self._counters[2] += 1
+        self._counters[3] += nbytes
+
+    def collective(self) -> None:
+        self._counters[1] += 1
+
+
+class _MpMetrics:
+    """Pre-bound metric handles for the mp transport's per-message paths.
+
+    Same idea as the engine's ``_EngineMetrics``: bind the Counter /
+    Histogram objects once per rank process so each send/recv/collective
+    records through attribute loads guarded by the registry's cached
+    enabled flag, not per-event name lookups.
+    """
+
+    __slots__ = (
+        "registry", "sends", "words_sent", "message_words",
+        "recvs", "collectives", "collective_group_size",
+    )
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.sends = registry.counter("machine.sends")
+        self.words_sent = registry.counter("machine.words_sent")
+        self.message_words = registry.histogram("machine.message_words")
+        self.recvs = registry.counter("machine.recvs")
+        self.collectives = registry.counter("machine.collectives")
+        self.collective_group_size = registry.histogram("machine.collective_group_size")
+
+
 # ----------------------------------------------------------------- context
 class MpContext:
     """Per-rank context for real-process execution.
@@ -174,10 +364,11 @@ class MpContext:
 
     __slots__ = (
         "rank", "size", "spec", "stats", "scratch",
-        "_driver", "_tracer", "_metrics", "_last",
+        "_driver", "_tracer", "_metrics", "_mx", "_recorder", "_last",
     )
 
-    def __init__(self, rank, size, spec, stats, driver, tracer=None, metrics=None):
+    def __init__(self, rank, size, spec, stats, driver, tracer=None,
+                 metrics=None, recorder=None):
         self.rank = rank
         self.size = size
         self.spec = spec
@@ -186,6 +377,8 @@ class MpContext:
         self._driver = driver
         self._tracer = tracer
         self._metrics = metrics
+        self._mx = _MpMetrics(metrics) if metrics is not None else None
+        self._recorder = recorder
         self._last = perf_counter()
 
     # ----------------------------------------------------------- wall clock
@@ -263,15 +456,30 @@ class MpContext:
         self._flush()
         self.stats.sends += 1
         self.stats.words_sent += words
-        if self._metrics is not None:
-            self._metrics.inc("machine.sends")
-            self._metrics.inc("machine.words_sent", words)
-            self._metrics.observe("machine.message_words", words)
+        mx = self._mx
+        if mx is not None and mx.registry._enabled:
+            mx.sends.inc()
+            mx.words_sent.inc(words)
+            mx.message_words.observe(words)
         if self._tracer is not None:
             self._tracer.record(
                 self.stats.clock, self.rank, "send", dest=dest, tag=tag, words=words
             )
-        self._driver.post(dest, tag, payload, words, self.stats.clock)
+        rec = self._recorder
+        if rec is None:
+            self._driver.post(dest, tag, payload, words, self.stats.clock)
+        else:
+            # Profiled send: pickle eagerly so serialization time and the
+            # exact wire byte volume are charged at the source, then post
+            # the ready-made bytes (the queue re-pickles only the thin
+            # _Pickled wrapper — effectively a memcpy).
+            t0 = monotonic()
+            data = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+            t1 = monotonic()
+            rec.span(_PK_PICKLE, t0, t1)
+            rec.sent(dest, len(data))
+            self._driver.post(dest, tag, _Pickled(data), words, self.stats.clock)
+            rec.span(_PK_QSEND, t1, monotonic())
 
     def local_copy(self, words: int, charge: bool = False) -> None:
         if charge:
@@ -308,11 +516,15 @@ class _Driver:
     other's messages.
     """
 
-    def __init__(self, rank: int, mailboxes, stats: ProcStats):
+    def __init__(self, rank: int, mailboxes, stats: ProcStats, recorder=None):
         self.rank = rank
         self._mailboxes = mailboxes
         self._inbox = mailboxes[rank]
         self._stats = stats
+        self._recorder = recorder
+        #: Inside a collective: queue waits belong to the collective span
+        #: (which wraps them), not to queue_wait.
+        self._in_collective = False
         #: Buffered (source, tag, payload, words, send_clock) items in
         #: arrival order.
         self._pending: list[tuple] = []
@@ -324,12 +536,16 @@ class _Driver:
         self._mailboxes[dest].put((self.rank, tag, payload, words, clock))
 
     def _blocking_get(self) -> tuple:
+        rec = self._recorder
+        t0m = monotonic() if rec is not None else 0.0
         t0 = perf_counter()
         item = self._inbox.get()
         waited = perf_counter() - t0
         # Queue-blocked time is idle; it still lands in the current phase
         # via the next flush (a wall clock can't tell waiting from work).
         self._stats.idle_time += waited
+        if rec is not None and not self._in_collective:
+            rec.span(_PK_QWAIT, t0m, monotonic())
         return item
 
     def _take(self, match: Callable[[tuple], bool]) -> tuple:
@@ -377,13 +593,21 @@ class _Driver:
             return True
 
         source, tag, payload, words, send_clock = self._take(_match)
+        rec = self._recorder
+        if rec is not None and type(payload) is _Pickled:
+            data = payload.data
+            t0 = monotonic()
+            payload = pickle.loads(data)
+            rec.span(_PK_PICKLE, t0, monotonic())
+            rec.received(len(data))
         ctx = self.ctx
         ctx._flush()
         st = self._stats
         st.recvs += 1
         st.words_received += words
-        if ctx._metrics is not None:
-            ctx._metrics.inc("machine.recvs")
+        mx = ctx._mx
+        if mx is not None and mx.registry._enabled:
+            mx.recvs.inc()
         if ctx._tracer is not None:
             ctx._tracer.record(
                 st.clock, self.rank, "recv", source=source, tag=tag, words=words
@@ -407,6 +631,10 @@ class _Driver:
             raise CollectiveMismatchError(
                 f"rank {self.rank} not in its own group {group}"
             )
+        rec = self._recorder
+        if rec is not None:
+            t_coll0 = monotonic()
+            self._in_collective = True
         stamp = (op.kind, op.key, group)
         root = group[0]
         if self.rank == root:
@@ -443,12 +671,17 @@ class _Driver:
             )
             self._check_stamp(item[2][0], stamp, root)
             value = item[2][1]
+        if rec is not None:
+            self._in_collective = False
+            rec.span(_PK_COLL, t_coll0, monotonic())
+            rec.collective()
         ctx = self.ctx
         ctx._flush()
         self._stats.ctrl_ops += 1
-        if ctx._metrics is not None:
-            ctx._metrics.inc("machine.collectives")
-            ctx._metrics.observe("machine.collective_group_size", len(group))
+        mx = ctx._mx
+        if mx is not None and mx.registry._enabled:
+            mx.collectives.inc()
+            mx.collective_group_size.observe(len(group))
         if ctx._tracer is not None:
             ctx._tracer.record(
                 self._stats.clock, self.rank, "collective",
@@ -474,13 +707,19 @@ def _child_main(
     make_rank_args,
     rank_args,
     arena: _ShmArena,
+    profile: _ProfileBuffers | None,
     mailboxes,
     result_q,
     want_metrics: bool,
     want_trace: bool,
 ) -> None:
     """Entry point of one rank process (fork-inherited closure state)."""
+    t_entry = monotonic()
     try:
+        recorder = None
+        if profile is not None:
+            recorder = profile.recorder(rank)
+            recorder.mark(0, t_entry)
         tracer = None
         metrics = None
         if want_trace:
@@ -497,9 +736,16 @@ def _child_main(
             call_args = tuple(rank_args[rank])
         else:
             call_args = ()
+        if recorder is not None:
+            # Everything from interpreter entry to here is shm/argument
+            # setup: attaching views, slicing this rank's blocks.
+            t_ready = monotonic()
+            recorder.mark(1, t_ready)
+            recorder.span(_PK_SHM, t_entry, t_ready)
         stats = ProcStats(rank)
-        driver = _Driver(rank, mailboxes, stats)
-        ctx = MpContext(rank, nprocs, spec, stats, driver, tracer=tracer, metrics=metrics)
+        driver = _Driver(rank, mailboxes, stats, recorder=recorder)
+        ctx = MpContext(rank, nprocs, spec, stats, driver, tracer=tracer,
+                        metrics=metrics, recorder=recorder)
         driver.ctx = ctx
         gen_or_value = program(ctx, *call_args)
         if hasattr(gen_or_value, "send") and hasattr(gen_or_value, "throw"):
@@ -507,6 +753,8 @@ def _child_main(
         else:
             result = gen_or_value
         ctx._flush()
+        if recorder is not None:
+            recorder.mark(2, monotonic())
         result_q.put((
             "ok",
             rank,
@@ -565,7 +813,9 @@ class MpBackend(Backend):
         faults=None,
         step_budget: int | None = None,
         time_budget: float | None = None,
+        profile=None,
     ) -> RunResult:
+        t_host0 = monotonic() if profile is not None else 0.0
         if make_rank_args is not None and rank_args is not None:
             raise ValueError("pass make_rank_args or rank_args, not both")
         if rank_args is not None and len(rank_args) != nprocs:
@@ -593,6 +843,9 @@ class MpBackend(Backend):
 
         mpctx = _mp.get_context("fork")
         arena = _ShmArena(shared or {})
+        prof_bufs = None
+        if profile is not None:
+            prof_bufs = _ProfileBuffers(nprocs, profile.ring_capacity)
         mailboxes = [mpctx.Queue() for _ in range(nprocs)]
         result_q = mpctx.Queue()
         procs = [
@@ -600,7 +853,7 @@ class MpBackend(Backend):
                 target=_child_main,
                 args=(
                     r, nprocs, spec, program, make_rank_args, rank_args,
-                    arena, mailboxes, result_q,
+                    arena, prof_bufs, mailboxes, result_q,
                     metrics is not None, tracer is not None,
                 ),
                 daemon=True,
@@ -608,12 +861,23 @@ class MpBackend(Backend):
             )
             for r in range(nprocs)
         ]
+        t_spawn0 = monotonic() if profile is not None else 0.0
+        prof_data = None
+        t_spawned = t_collected = 0.0
         try:
             for p in procs:
                 p.start()
+            if profile is not None:
+                t_spawned = monotonic()
             reports = self._collect(procs, result_q, nprocs)
+            if profile is not None:
+                t_collected = monotonic()
             for p in procs:
                 p.join(timeout=self.join_grace)
+            if prof_bufs is not None:
+                # Every rank has reported and exited: its rows are final.
+                # Copy before the finally block unlinks the segment.
+                prof_data = prof_bufs.copy_out()
         finally:
             for p in procs:
                 if p.is_alive():
@@ -621,6 +885,8 @@ class MpBackend(Backend):
             for p in procs:
                 p.join(timeout=self.join_grace)
             arena.destroy()
+            if prof_bufs is not None:
+                prof_bufs.destroy()
             for q in [*mailboxes, result_q]:
                 q.close()
                 # Never let host teardown block on unread mailbox residue.
@@ -636,7 +902,13 @@ class MpBackend(Backend):
                 metrics.merge(child_metrics)
             if tracer is not None and child_events:
                 tracer.events.extend(child_events)
-        return RunResult(results=results, stats=stats, time_domain=self.time_domain)
+        run = RunResult(results=results, stats=stats, time_domain=self.time_domain)
+        if profile is not None and prof_data is not None:
+            profile.profile = _build_mp_profile(
+                nprocs, prof_data, run,
+                t_host0, t_spawn0, t_spawned, t_collected, monotonic(),
+            )
+        return run
 
     # ------------------------------------------------------------ gathering
     def _collect(self, procs, result_q, nprocs: int) -> dict[int, tuple]:
@@ -677,3 +949,108 @@ class MpBackend(Backend):
             reports[rank] = (result, snapshot, child_metrics, child_events)
             pending.discard(rank)
         return reports
+
+
+# ----------------------------------------------------------- profile merge
+def _build_mp_profile(
+    nprocs: int,
+    data: Mapping[str, np.ndarray],
+    run: RunResult,
+    t_host0: float,
+    t_spawn0: float,
+    t_spawned: float,
+    t_collected: float,
+    t_end: float,
+):
+    """Merge the per-rank shm rows into a wall-aligned ``RunProfile``.
+
+    All child marks and ring timestamps are raw CLOCK_MONOTONIC values on
+    the same boot as the parent's marks, so subtracting ``t_host0`` puts
+    every lane on one common clock starting at the host call.
+
+    The attribution table is built from the exact decomposition of each
+    rank's view of the call::
+
+        host_wall = shm_parent                (arena setup, same for all)
+                  + (entry_r  - t_spawn0)     fork
+                  + (ready_r  - entry_r)      shm (child view/arg build)
+                  + (done_r   - ready_r)      pickle+queue+collective+compute
+                  + (t_end    - done_r)       reap
+
+    averaged over ranks — the per-rank identities each telescope to
+    ``host_wall - shm_parent``, so the table sums to ``host_wall`` by
+    construction (compute is the in-lane residual).
+    """
+    from ..obs.runtime import RankLane, RunProfile
+
+    times = data["times"]
+    acc = data["acc"]
+    hdr = data["hdr"]
+    counters = data["counters"]
+    events = data["events"]
+
+    def h(t: float) -> float:
+        return t - t_host0
+
+    lanes = []
+    fork_s = []
+    shm_child_s = []
+    lane_acc = np.zeros(4)
+    compute_s = []
+    reap_s = []
+    for r in range(nprocs):
+        entry, ready, done = (float(t) for t in times[r])
+        spans: list[tuple[str, float, float]] = [("fork", h(t_spawn0), h(entry))]
+        n = int(hdr[r, 0])
+        for kind, t0, t1 in events[r, :n]:
+            spans.append((_PK_NAMES[int(kind)], h(float(t0)), h(float(t1))))
+        per = {name: float(acc[r, i]) for i, name in enumerate(_ACC_NAMES)}
+        per["fork"] = entry - t_spawn0
+        per["shm"] = ready - entry
+        per["compute"] = max((done - ready) - float(acc[r].sum()), 0.0)
+        lanes.append(RankLane(
+            rank=r, t_start=h(t_spawn0), t_ready=h(ready), t_done=h(done),
+            spans=spans, phase_seconds=per,
+        ))
+        fork_s.append(per["fork"])
+        shm_child_s.append(per["shm"])
+        lane_acc += acc[r]
+        compute_s.append(per["compute"])
+        reap_s.append(t_end - done)
+
+    def mean(xs) -> float:
+        return float(sum(xs) / len(xs)) if len(xs) else 0.0
+
+    shm_parent = t_spawn0 - t_host0
+    phase_seconds = {
+        "fork": mean(fork_s),
+        "shm": shm_parent + mean(shm_child_s),
+        "compute": mean(compute_s),
+        "reap": mean(reap_s),
+    }
+    for i, name in enumerate(_ACC_NAMES):
+        phase_seconds[name] = float(lane_acc[i]) / nprocs
+    return RunProfile(
+        op="run",
+        backend="mp",
+        time_domain="wall",
+        nprocs=nprocs,
+        total_seconds=t_end - t_host0,
+        host_wall_seconds=t_end - t_host0,
+        phase_seconds=phase_seconds,
+        lanes=lanes,
+        gang_spans=[
+            ("shm_setup", 0.0, h(t_spawn0)),
+            ("spawn", h(t_spawn0), h(t_spawned)),
+            ("collect", h(t_spawned), h(t_collected)),
+            ("reap", h(t_collected), h(t_end)),
+        ],
+        comm_msgs=[[int(v) for v in row] for row in data["msgs"]],
+        comm_bytes=[[int(v) for v in row] for row in data["bytes"]],
+        sends_per_rank=[s.sends for s in run.stats],
+        recvs_per_rank=[int(counters[r, 2]) for r in range(nprocs)],
+        recv_bytes_per_rank=[int(counters[r, 3]) for r in range(nprocs)],
+        pickle_bytes_per_rank=[int(counters[r, 0]) for r in range(nprocs)],
+        collectives_per_rank=[int(counters[r, 1]) for r in range(nprocs)],
+        dropped_events=int(hdr[:, 1].sum()),
+    )

@@ -47,13 +47,27 @@ class SimBackend(Backend):
         faults=None,
         step_budget: int | None = None,
         time_budget: float | None = None,
+        profile=None,
     ) -> RunResult:
         if make_rank_args is not None and rank_args is not None:
             raise ValueError("pass make_rank_args or rank_args, not both")
+        own_tracer = tracer
+        t_host0 = 0.0
+        if profile is not None:
+            from time import perf_counter
+
+            t_host0 = perf_counter()
+            if own_tracer is None:
+                # The profile needs the event stream; a tracer observes
+                # without touching the simulated clocks, so results stay
+                # bit-identical with profiling on.
+                from ..machine.trace import Tracer
+
+                own_tracer = Tracer()
         machine = Machine(
             nprocs,
             spec if spec is not None else CM5,
-            tracer=tracer,
+            tracer=own_tracer,
             metrics=metrics,
             faults=faults,
             step_budget=step_budget,
@@ -67,4 +81,12 @@ class SimBackend(Backend):
             rank_args = [make_rank_args(r, shared) for r in range(nprocs)]
         run = machine.run(program, rank_args=rank_args)
         run.time_domain = self.time_domain
+        if profile is not None:
+            from time import perf_counter
+
+            from ..obs.runtime import build_sim_profile
+
+            profile.profile = build_sim_profile(
+                run, own_tracer, perf_counter() - t_host0, nprocs
+            )
         return run
