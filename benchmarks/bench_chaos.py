@@ -1,0 +1,227 @@
+"""Supervised-gang chaos benchmark: ``BENCH_chaos.json``.
+
+Two questions about :class:`~repro.runtime.supervisor.GangSupervisor`,
+answered with real processes and real signals:
+
+* **Warm vs cold** — what does the persistent gang buy?  The same PACK
+  workload is run ``ops`` times on a fresh :class:`MpBackend` gang per
+  op (fork + import + shm every time) and on one supervised gang that is
+  forked once and reused (op dispatch over queues + named shm attach).
+  Reported per P: mean host wall per op, and the cold/warm speedup.
+
+* **MTTR** — when a rank is SIGKILLed mid-op, how long from the fault to
+  the recovered, bit-identical result?  Seeded
+  :class:`~repro.faults.chaos.ChaosPlan` placements (spawn / start /
+  collective / flush), recovery timeline from the supervisor's own
+  lifecycle events (first failure event to ``op_ok``).
+
+``--check`` turns the benchmark into an assertion (CI): every chaos seed
+must recover bit-identical to the fault-free baseline, and the warm gang
+must beat cold gang spawn per op.
+
+Usage::
+
+    python benchmarks/bench_chaos.py            # measure + write JSON
+    python benchmarks/bench_chaos.py --quick    # small workload (CI)
+    python benchmarks/bench_chaos.py --check    # exit 1 on regression
+    python benchmarks/bench_chaos.py --no-write # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import pack
+from repro.faults.chaos import ChaosPlan
+from repro.runtime import GangSupervisor, MpBackend, MpGangError, RetryPolicy
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_chaos.json"
+SEED = 0
+PROCS = (2, 4)
+GANG_TIMEOUT = 300.0  # wall budget per op; a hang fails, not stalls
+FAIL_KINDS = ("spawn_failure", "rank_death", "heartbeat_miss",
+              "op_timeout", "poisoned_result")
+
+
+def _workload(n: int, density: float):
+    rng = np.random.default_rng(SEED)
+    array = rng.random(n)
+    mask = rng.random(n) < density
+    return array, mask
+
+
+def _pack_once(backend, array, mask, p: int):
+    return pack(array, mask, grid=(p,), scheme="cms", validate=False,
+                backend=backend)
+
+
+def measure_warm_vs_cold(n: int, density: float, ops: int) -> list[dict]:
+    """Per-op host wall: fresh gang per op vs one persistent gang."""
+    array, mask = _workload(n, density)
+    rows = []
+    for p in PROCS:
+        cold = []
+        for _ in range(ops):
+            backend = MpBackend(timeout=GANG_TIMEOUT)
+            t0 = time.perf_counter()
+            _pack_once(backend, array, mask, p)
+            cold.append(time.perf_counter() - t0)
+        warm = []
+        with GangSupervisor(timeout=GANG_TIMEOUT) as sup:
+            sup.warm(p)
+            for _ in range(ops):
+                t0 = time.perf_counter()
+                _pack_once(sup, array, mask, p)
+                warm.append(time.perf_counter() - t0)
+            warm_ops = sup.stats.warm_ops
+        cold_ms = sum(cold) / len(cold) * 1e3
+        warm_ms = sum(warm) / len(warm) * 1e3
+        speedup = cold_ms / warm_ms if warm_ms else float("inf")
+        rows.append({
+            "p": p, "n": n, "ops": ops,
+            "cold_mean_ms": round(cold_ms, 3),
+            "cold_min_ms": round(min(cold) * 1e3, 3),
+            "warm_mean_ms": round(warm_ms, 3),
+            "warm_min_ms": round(min(warm) * 1e3, 3),
+            "warm_ops": warm_ops,
+            "cold_over_warm": round(speedup, 3),
+        })
+        print(f"  P={p}: cold gang {cold_ms:8.1f} ms/op   "
+              f"warm gang {warm_ms:8.1f} ms/op   "
+              f"speedup {speedup:5.2f}x")
+    return rows
+
+
+def measure_recovery(n: int, density: float, seeds: int) -> list[dict]:
+    """Seeded SIGKILL placements: recovery wall and MTTR per seed."""
+    array, mask = _workload(n, density)
+    rows = []
+    for p in PROCS:
+        with GangSupervisor(timeout=GANG_TIMEOUT) as clean:
+            base = _pack_once(clean, array, mask, p)
+        for seed in range(seeds):
+            plan = ChaosPlan.random(
+                seed=seed, nprocs=p, n_events=1, kinds=("kill",),
+                phases=("spawn", "start", "collective", "flush"),
+            )
+            retry = RetryPolicy(max_retries=3, base_delay=0.05, jitter=0.1,
+                                seed=seed)
+            sup = GangSupervisor(timeout=GANG_TIMEOUT, retry=retry,
+                                 chaos=plan, heartbeat_interval=0.1,
+                                 heartbeat_timeout=3.0)
+            t0 = time.perf_counter()
+            try:
+                with sup:
+                    res = _pack_once(sup, array, mask, p)
+                    st = sup.stats
+            except MpGangError as exc:
+                rows.append({"p": p, "seed": seed, "recovered": False,
+                             "error": str(exc)})
+                print(f"  P={p} seed={seed}: UNRECOVERED: {exc}")
+                continue
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            t_fail = min((e.t for e in st.events if e.kind in FAIL_KINDS),
+                         default=None)
+            t_ok = max((e.t for e in st.events if e.kind == "op_ok"),
+                       default=None)
+            mttr_ms = ((t_ok - t_fail) * 1e3
+                       if t_fail is not None and t_ok is not None else 0.0)
+            identical = (res.size == base.size
+                         and bool(np.array_equal(res.vector, base.vector)))
+            rows.append({
+                "p": p, "seed": seed, "n": n,
+                "plan": plan.describe(),
+                "recovered": identical,
+                "faults_observed": sum(st.failures.values()),
+                "retries": st.retries,
+                "rebuilds": st.rebuilds,
+                "mttr_ms": round(mttr_ms, 1),
+                "wall_ms": round(wall_ms, 1),
+            })
+            print(f"  P={p} seed={seed}: recovered={identical} "
+                  f"retries={st.retries} MTTR={mttr_ms:7.1f} ms "
+                  f"wall={wall_ms:7.1f} ms")
+    return rows
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--n", type=int, default=1 << 15,
+                    help="1-D array size (default 32768)")
+    ap.add_argument("--density", type=float, default=0.5)
+    ap.add_argument("--ops", type=int, default=5,
+                    help="ops per warm/cold cell (mean kept)")
+    ap.add_argument("--seeds", type=int, default=3,
+                    help="chaos seeds per P for the recovery table")
+    ap.add_argument("--quick", action="store_true",
+                    help="small workload, fewer ops/seeds (CI smoke)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 unless every seed recovers bit-identical "
+                         "and the warm gang beats cold spawn")
+    ap.add_argument("--no-write", action="store_true",
+                    help="print only; do not write BENCH_chaos.json")
+    args = ap.parse_args(argv)
+
+    n = 2048 if args.quick else args.n
+    ops = 3 if args.quick else args.ops
+    seeds = 2 if args.quick else args.seeds
+    print(f"chaos bench: PACK n={n} density={args.density} P={list(PROCS)}")
+    print(f"warm vs cold gang ({ops} ops/cell):")
+    warm_cold = measure_warm_vs_cold(n, args.density, ops)
+    print(f"recovery under seeded SIGKILL ({seeds} seeds/P):")
+    recovery = measure_recovery(n, args.density, seeds)
+
+    if not args.no_write:
+        doc = {
+            "schema": 1,
+            "n": n,
+            "density": args.density,
+            "procs": list(PROCS),
+            "rev": _git_rev(),
+            "warm_vs_cold": warm_cold,
+            "recovery": recovery,
+        }
+        OUT.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {len(warm_cold)} warm/cold cells + "
+              f"{len(recovery)} recovery rows -> {OUT}")
+
+    if args.check:
+        problems = []
+        for row in warm_cold:
+            if row["cold_over_warm"] <= 1.0:
+                problems.append(
+                    f"P={row['p']}: warm gang not faster than cold spawn "
+                    f"({row['warm_mean_ms']} ms vs {row['cold_mean_ms']} ms)")
+        for row in recovery:
+            if not row.get("recovered"):
+                problems.append(
+                    f"P={row['p']} seed={row['seed']}: did not recover "
+                    f"bit-identical")
+        if problems:
+            print("CHECK FAILED:")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        print("CHECK OK: all seeds recovered bit-identical; warm gang wins")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

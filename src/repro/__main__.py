@@ -268,6 +268,8 @@ def cmd_unpack(args) -> int:
 
 def cmd_chaos(args) -> int:
     """Seed x drop-rate chaos matrix: every cell must stay oracle-correct."""
+    if args.backend == "mp":
+        return _chaos_mp(args)
     from .core.api import pack, unpack
     from .faults import FaultPlan
     from .machine import RankFailureError
@@ -341,6 +343,81 @@ def cmd_chaos(args) -> int:
         return 1
     print(f"OK: {cells} chaos cells oracle-correct, reproducible, "
           f"crash attribution works")
+    return 0
+
+
+def _chaos_mp(args) -> int:
+    """Real-process chaos: seeded SIGKILL/SIGSTOP/poison faults against a
+    supervised persistent gang.  Every seed must recover to the
+    bit-identical fault-free answer; mean-time-to-recovery is reported."""
+    from time import monotonic
+
+    from .core.api import pack
+    from .faults.chaos import ChaosPlan
+    from .runtime import GangSupervisor, MpGangError, RetryPolicy
+    from .workloads import make_mask
+
+    fail_kinds = ("spawn_failure", "rank_death", "heartbeat_miss",
+                  "op_timeout", "poisoned_result")
+    spec = _build_spec(args)
+    rng = np.random.default_rng(args.seed)
+    array = rng.random(args.n)
+    mask = make_mask((args.n,), args.density, seed=args.seed)
+    seeds = range(args.fault_seed, args.fault_seed + args.seeds)
+    retry = RetryPolicy(max_retries=3, base_delay=0.05, jitter=0.1,
+                        seed=args.fault_seed)
+    kinds = tuple(args.kill_kinds.split(","))
+
+    print(f"chaos --backend mp: PACK n={args.n} P={args.procs} on "
+          f"{spec.name}; {args.kills} real fault(s)/seed, "
+          f"kinds={','.join(kinds)}")
+    with GangSupervisor(timeout=args.timeout) as clean:
+        base = pack(array, mask, grid=(args.procs,), scheme=args.scheme,
+                    spec=spec, validate=True, backend=clean)
+    print(f"  baseline: Size={base.size} on a fault-free supervised gang")
+
+    failures = []
+    for seed in seeds:
+        plan = ChaosPlan.random(
+            seed=seed, nprocs=args.procs, n_events=args.kills, kinds=kinds,
+            phases=("spawn", "start", "collective", "flush"),
+        )
+        sup = GangSupervisor(timeout=args.timeout, retry=retry, chaos=plan,
+                             heartbeat_interval=0.1, heartbeat_timeout=3.0)
+        t0 = monotonic()
+        print(f"  seed={seed}: {plan.describe()}")
+        try:
+            with sup:
+                res = pack(array, mask, grid=(args.procs,),
+                           scheme=args.scheme, spec=spec, validate=True,
+                           backend=sup)
+                st = sup.stats
+        except MpGangError as exc:
+            failures.append((seed, f"unrecovered: {exc}"))
+            print(f"    FAIL: {exc}")
+            continue
+        wall_ms = (monotonic() - t0) * 1e3
+        t_fail = min((e.t for e in st.events if e.kind in fail_kinds),
+                     default=None)
+        t_ok = max((e.t for e in st.events if e.kind == "op_ok"),
+                   default=None)
+        mttr_ms = ((t_ok - t_fail) * 1e3
+                   if t_fail is not None and t_ok is not None else 0.0)
+        identical = (res.size == base.size
+                     and bool(np.array_equal(res.vector, base.vector)))
+        print(f"    recovered={identical} observed={sum(st.failures.values())}"
+              f" retries={st.retries} rebuilds={st.rebuilds} "
+              f"MTTR={mttr_ms:.0f} ms wall={wall_ms:.0f} ms")
+        if not identical:
+            failures.append((seed, "result diverged from fault-free baseline"))
+
+    if failures:
+        print(f"FAIL: {len(failures)}/{args.seeds} chaos seeds failed:")
+        for seed, why in failures:
+            print(f"  seed={seed}: {why}")
+        return 1
+    print(f"OK: {args.seeds} real-process chaos seeds recovered "
+          f"bit-identical to the fault-free baseline")
     return 0
 
 
@@ -530,6 +607,10 @@ def cmd_runtime(args) -> int:
     # fail the smoke test, not hang it.
     if args.backend == "mp":
         backend = MpBackend(timeout=args.timeout)
+    elif args.backend == "supervised":
+        from .runtime import GangSupervisor
+
+        backend = GangSupervisor(timeout=args.timeout)
     else:
         backend = get_backend(args.backend)
     nprocs = args.procs
@@ -600,6 +681,18 @@ def cmd_runtime(args) -> int:
     except Exception as exc:  # noqa: BLE001 - report, don't traceback
         failures.append(f"pack/unpack: {type(exc).__name__}: {exc}")
 
+    if args.backend == "supervised":
+        st = backend.stats
+        print(f"  supervisor: gang epoch {st.gang_epoch}, "
+              f"ops {st.ops} ({st.warm_ops} warm / {st.cold_ops} cold), "
+              f"retries {st.retries}, rebuilds {st.rebuilds}, "
+              f"fallbacks {st.fallbacks}")
+        if st.fallbacks:
+            failures.append(
+                f"supervisor degraded to the simulator {st.fallbacks} "
+                f"time(s): the real-process gang is not healthy")
+        backend.shutdown()  # reap the warm gang: leak checks diff /dev/shm
+
     if failures:
         print(f"FAIL: {len(failures)} check(s) failed:")
         for line in failures:
@@ -623,10 +716,13 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--machine", default="cm5", choices=("cm5", "cluster", "ideal"))
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-validate", action="store_true")
-    p.add_argument("--backend", default="sim", choices=("sim", "mp"),
+    p.add_argument("--backend", default="sim",
+                   choices=("sim", "mp", "supervised"),
                    help="execution backend: 'sim' (deterministic cost "
-                        "simulator, simulated times) or 'mp' (one OS "
-                        "process per rank on real cores, wall times)")
+                        "simulator, simulated times), 'mp' (one OS "
+                        "process per rank on real cores, wall times), or "
+                        "'supervised' (persistent warm gang with "
+                        "heartbeat supervision and retry recovery)")
 
 
 def _add_observability_args(p: argparse.ArgumentParser) -> None:
@@ -700,6 +796,18 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--dup-rate", type=float, default=0.02, dest="dup_rate")
     p_chaos.add_argument("--corrupt-rate", type=float, default=0.02,
                          dest="corrupt_rate")
+    p_chaos.add_argument("--backend", default="sim", choices=("sim", "mp"),
+                         help="'sim' injects simulated message faults; "
+                              "'mp' injects real process faults (SIGKILL/"
+                              "SIGSTOP/poison) into a supervised gang and "
+                              "asserts bit-identical recovery")
+    p_chaos.add_argument("--kills", type=int, default=1,
+                         help="real faults per seed (mp backend)")
+    p_chaos.add_argument("--kill-kinds", default="kill", dest="kill_kinds",
+                         help="comma-separated mp fault kinds drawn per "
+                              "seed: kill,stop,delay,poison")
+    p_chaos.add_argument("--timeout", type=float, default=120.0,
+                         help="wall-clock budget per supervised op (mp)")
 
     p_trace = sub.add_parser(
         "trace", help="run a workload and emit a Chrome-trace JSON"
@@ -771,7 +879,8 @@ def main(argv=None) -> int:
         help="execution-backend smoke test: SPMD primitives plus one "
              "PACK/UNPACK round against the serial oracle",
     )
-    p_runtime.add_argument("--backend", default="mp", choices=("sim", "mp"),
+    p_runtime.add_argument("--backend", default="mp",
+                           choices=("sim", "mp", "supervised"),
                            help="backend to smoke-test (default: mp)")
     p_runtime.add_argument("--procs", type=int, default=4,
                            help="number of ranks (OS processes under mp)")

@@ -6,7 +6,8 @@ blocks it owns), run the program on every rank, gather the result, and
 (optionally) validate it against the serial numpy oracle.  They return
 rich result objects carrying per-phase times — simulated seconds under
 the default ``backend="sim"``, real wall seconds under ``backend="mp"``
-(see :mod:`repro.runtime`).
+or ``backend="supervised"`` (a persistent, fault-tolerant mp gang; see
+:mod:`repro.runtime`).
 
 For writing custom SPMD programs against the library, use the lower-level
 generators in :mod:`repro.core.pack` / :mod:`repro.core.unpack` /
@@ -307,11 +308,15 @@ def pack(
         raises :class:`~repro.machine.errors.WatchdogError`.
     backend:
         execution backend: ``"sim"`` (default — the deterministic cost
-        simulator, times in simulated seconds) or ``"mp"`` (one OS
-        process per rank on real cores, times in wall seconds), or a
-        :class:`~repro.runtime.Backend` instance.  Simulator-only
-        features (``faults``, ``reliability``, watchdog budgets) raise
-        :class:`~repro.runtime.BackendError` under ``"mp"``.
+        simulator, times in simulated seconds), ``"mp"`` (one OS
+        process per rank on real cores, times in wall seconds),
+        ``"supervised"`` (a persistent
+        :class:`~repro.runtime.GangSupervisor` gang, forked once and
+        reused, with heartbeat monitoring and retry-based recovery from
+        rank death), or a :class:`~repro.runtime.Backend` instance.
+        Simulator-only features (``faults``, ``reliability``, watchdog
+        budgets) raise :class:`~repro.runtime.BackendError` under the
+        process backends.
 
     Returns a :class:`PackResult` whose ``vector`` matches Fortran 90
     ``PACK(array, mask)`` semantics exactly.

@@ -13,6 +13,11 @@ violations *first-class and reproducible*:
   consulted by the engine's delivery and scheduling hooks.  Decisions
   are drawn from a ``random.Random(seed)`` consumed in simulation
   order, so a fixed ``(program, plan)`` pair reproduces bit-for-bit.
+* :class:`ChaosPlan` (:mod:`repro.faults.chaos`) — the same idea aimed
+  at the *real* process runtime: seeded placements of genuine OS faults
+  (self-inflicted ``SIGKILL``/``SIGSTOP``, delayed starts, poisoned
+  result messages) at exact program phases, recovered from by
+  :class:`~repro.runtime.supervisor.GangSupervisor`.
 * :mod:`repro.faults.reliable` — an end-to-end reliability layer built
   *on top of* the simulated ops: sequence numbers, payload checksums,
   positive acks, simulated-time retransmit timeouts and duplicate
@@ -34,6 +39,7 @@ only.  See ``docs/fault_tolerance.md``.
 
 from .plan import Corrupted, FaultPlan
 from .injector import FaultInjector
+from .chaos import ChaosEvent, ChaosPlan
 from .reliable import (
     ReliabilityConfig,
     ReliabilityError,
@@ -42,6 +48,8 @@ from .reliable import (
 )
 
 __all__ = [
+    "ChaosEvent",
+    "ChaosPlan",
     "Corrupted",
     "FaultInjector",
     "FaultPlan",

@@ -1,10 +1,15 @@
 """Pluggable execution backends for SPMD programs.
 
-One program source, two machines: ``get_backend("sim")`` runs on the
+One program source, three machines: ``get_backend("sim")`` runs on the
 deterministic cost-model simulator; ``get_backend("mp")`` runs one OS
 process per rank on real cores, with shared-memory input arrays and
-queue transport.  See :mod:`repro.runtime.base` for the contract and
-``docs/runtime.md`` for the design.
+queue transport; ``get_backend("supervised")`` runs the same real
+processes as a *persistent warm gang* under a
+:class:`~repro.runtime.supervisor.GangSupervisor` — heartbeat-monitored,
+rebuilt and retried on rank death/hang under a seeded
+:class:`~repro.runtime.supervisor.RetryPolicy`, optionally degrading to
+the simulator when the budget is spent.  See :mod:`repro.runtime.base`
+for the contract and ``docs/runtime.md`` for the design.
 """
 
 from .base import (
@@ -17,6 +22,14 @@ from .base import (
 from .mp import MpBackend, MpGangError
 from .primitives import allreduce, alltoallv, barrier, exclusive_prefix_sum
 from .sim import SimBackend
+from .supervisor import (
+    GangSupervisor,
+    RetryPolicy,
+    SupervisorEvent,
+    SupervisorStats,
+    default_supervisor,
+    shutdown_default_supervisor,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -25,8 +38,14 @@ __all__ = [
     "SimBackend",
     "MpBackend",
     "MpGangError",
+    "GangSupervisor",
+    "RetryPolicy",
+    "SupervisorEvent",
+    "SupervisorStats",
     "available_backends",
     "get_backend",
+    "default_supervisor",
+    "shutdown_default_supervisor",
     "barrier",
     "allreduce",
     "exclusive_prefix_sum",

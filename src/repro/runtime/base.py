@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 #: Registered backend names, in preference order.
-BACKEND_NAMES = ("sim", "mp")
+BACKEND_NAMES = ("sim", "mp", "supervised")
 
 
 class BackendError(RuntimeError):
@@ -146,7 +146,11 @@ def get_backend(backend: "str | Backend" = "sim") -> Backend:
     """Resolve a backend name (or pass an instance through).
 
     ``"sim"`` → :class:`~repro.runtime.sim.SimBackend` (default, the seed
-    behaviour); ``"mp"`` → :class:`~repro.runtime.mp.MpBackend`.
+    behaviour); ``"mp"`` → :class:`~repro.runtime.mp.MpBackend`;
+    ``"supervised"`` → the process-wide persistent
+    :class:`~repro.runtime.supervisor.GangSupervisor` (one shared warm
+    gang, reused across calls and shut down atexit — see
+    :func:`~repro.runtime.supervisor.default_supervisor`).
     """
     if isinstance(backend, Backend):
         return backend
@@ -158,6 +162,10 @@ def get_backend(backend: "str | Backend" = "sim") -> Backend:
         from .mp import MpBackend
 
         return MpBackend()
+    if backend == "supervised":
+        from .supervisor import default_supervisor
+
+        return default_supervisor()
     raise ValueError(
         f"unknown backend {backend!r}; pick from {list(BACKEND_NAMES)}"
     )

@@ -46,24 +46,41 @@ killed) is detected by exit-code polling.  The host's ``finally`` block
 performs the same reaping on every path, so no children or ``/dev/shm``
 segments outlive a run.
 
+If the *parent* itself dies mid-run (SIGTERM, interpreter exit with a
+gang still up), a process-wide emergency registry unlinks every live
+shared-memory segment and kills stray children — see
+:func:`register_for_cleanup`.
+
 Simulator-only features — fault injection, the reliable transport
 (``auto_ack``), timed receives, watchdog budgets in simulated seconds —
 are rejected with a clear :class:`~repro.runtime.base.BackendError`.
+
+Real-process faults *are* supported: ``MpBackend(chaos=ChaosPlan(...))``
+ships each rank its seeded :class:`~repro.faults.chaos.ChaosEvent`
+placements, which the rank inflicts on itself (SIGKILL / SIGSTOP /
+delay / poisoned result) at exact phase boundaries.  The bare backend
+fails fast on them, exercising the failure-hygiene paths; recovery is
+the supervisor's job (:mod:`repro.runtime.supervisor`).
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as _mp
 import os
 import pickle
 import queue as _queue_mod
+import signal as _signal
 import time
 import traceback
+import weakref
+from multiprocessing.connection import wait as _conn_wait
 from time import monotonic, perf_counter
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..faults.chaos import ChaosEvent, fire_chaos
 from ..machine.context import payload_words
 from ..machine.errors import CollectiveMismatchError, MessageError, ProgramError
 from ..machine.ops import ANY, CollectiveOp, Message, Recv
@@ -71,7 +88,7 @@ from ..machine.spec import CM5, MachineSpec
 from ..machine.stats import ProcStats, RunResult, stats_from_snapshot
 from .base import Backend, BackendError
 
-__all__ = ["MpBackend", "MpGangError"]
+__all__ = ["MpBackend", "MpGangError", "register_for_cleanup"]
 
 #: Reserved mailbox tags for the collective protocol.  Program sends must
 #: use non-negative tags, so these can never collide.
@@ -127,18 +144,95 @@ class MpGangError(BackendError):
         super().__init__(msg)
 
 
+# ------------------------------------------------------- emergency cleanup
+# If the *parent* dies mid-run — SIGTERM from a CI harness, sys.exit from
+# a signal handler, an unhandled exception past the backend's finally —
+# whatever shm segments and children were live at that moment would leak
+# (POSIX shm survives its creator).  Every owner of leak-prone state
+# registers itself here; one atexit + SIGTERM hook per process walks the
+# registry and destroys what is left.  Fork children inherit the hook but
+# the owner-pid guard makes it a no-op there (workers exit via os._exit,
+# which skips atexit anyway).
+_CLEANUP_PID: int | None = None
+_CLEANUP_OBJS: "weakref.WeakSet[Any]" = weakref.WeakSet()
+_PREV_SIGTERM: Any = None
+
+
+def register_for_cleanup(obj: Any) -> None:
+    """Arrange for ``obj._emergency_cleanup()`` to run if this process dies.
+
+    Installed once per pid (lazily re-armed after fork); objects are held
+    weakly, so normal teardown needs no deregistration.
+    """
+    global _CLEANUP_PID, _PREV_SIGTERM
+    if _CLEANUP_PID != os.getpid():
+        _CLEANUP_PID = os.getpid()
+        atexit.register(_emergency_cleanup)
+        try:
+            _PREV_SIGTERM = _signal.signal(_signal.SIGTERM, _on_sigterm)
+        except ValueError:
+            # Not the main thread: atexit coverage only.
+            _PREV_SIGTERM = None
+    _CLEANUP_OBJS.add(obj)
+
+
+def _emergency_cleanup() -> None:
+    if os.getpid() != _CLEANUP_PID:
+        return
+    for obj in list(_CLEANUP_OBJS):
+        try:
+            obj._emergency_cleanup()
+        except Exception:
+            pass
+
+
+def _on_sigterm(signum, frame) -> None:
+    _emergency_cleanup()
+    prev = _PREV_SIGTERM
+    if callable(prev):
+        prev(signum, frame)
+    else:
+        # Re-raise with the default disposition so the exit status still
+        # says "terminated by SIGTERM".
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+        os.kill(os.getpid(), _signal.SIGTERM)
+
+
+def _attach_shm(name: str):
+    """Attach an existing segment *without* resource-tracker registration.
+
+    On 3.11 ``SharedMemory(name=...)`` registers with the tracker even on
+    the attach path; a worker attaching a host-owned segment would then
+    fight the host over who unlinks it.  The host is the sole owner —
+    suppress registration for the duration of the attach.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig
+
+
 # --------------------------------------------------------------------- shm
 class _ShmArena:
     """Host-owned shared-memory segments holding the global input arrays.
 
-    Created *before* the fork so children inherit the mappings directly —
-    no child ever re-attaches by name, which keeps the resource tracker's
-    view simple: the host is the sole owner and the only unlinker.
+    Two ways for a rank to see the arrays: the one-shot backend creates
+    the arena *before* forking so children inherit the mappings directly;
+    a persistent gang (forked before the op existed) instead receives the
+    picklable :meth:`descriptor` and re-attaches by name —
+    :meth:`attach` / :meth:`close` — with tracker registration suppressed.
+    Either way the host stays the sole owner and the only unlinker, on
+    every path up to and including parent death (``register_for_cleanup``).
     """
 
     def __init__(self, shared: Mapping[str, Any]):
         from multiprocessing import shared_memory
 
+        self._owner = True
         self._meta: dict[str, tuple[Any, tuple, np.dtype]] = {}
         self._segments: list[Any] = []
         for name, arr in shared.items():
@@ -152,6 +246,30 @@ class _ShmArena:
             np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
             self._segments.append(seg)
             self._meta[name] = (seg, arr.shape, arr.dtype)
+        register_for_cleanup(self)
+
+    def descriptor(self) -> dict[str, tuple[str | None, tuple, np.dtype]]:
+        """Picklable (segment-name, shape, dtype) map for name-attaching."""
+        return {
+            name: (seg.name if seg is not None else None, shape, dtype)
+            for name, (seg, shape, dtype) in self._meta.items()
+        }
+
+    @classmethod
+    def attach(cls, desc: Mapping[str, tuple[str | None, tuple, np.dtype]]) -> "_ShmArena":
+        """Worker-side view of a host-owned arena (never unlinks)."""
+        self = cls.__new__(cls)
+        self._owner = False
+        self._meta = {}
+        self._segments = []
+        for name, (segname, shape, dtype) in desc.items():
+            if segname is None:
+                self._meta[name] = (None, shape, dtype)
+            else:
+                seg = _attach_shm(segname)
+                self._segments.append(seg)
+                self._meta[name] = (seg, shape, dtype)
+        return self
 
     def views(self) -> dict[str, np.ndarray]:
         """Numpy views over the segments (call in the child, post-fork)."""
@@ -163,19 +281,39 @@ class _ShmArena:
                 out[name] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
         return out
 
-    def destroy(self) -> None:
-        """Close and unlink every segment (host side, exactly once)."""
+    def close(self) -> None:
+        """Drop a non-owning attachment's mappings (worker side).
+
+        ``BufferError`` means a numpy view is still exported; the mapping
+        then lives until the worker's next op or exit — harmless, the
+        host's unlink removes the name either way.
+        """
         segments, self._segments = self._segments, []
         self._meta = {}
         for seg in segments:
             try:
                 seg.close()
-            except OSError:
+            except (OSError, BufferError):
+                pass
+
+    def destroy(self) -> None:
+        """Close and unlink every segment (host side, exactly once)."""
+        if not self._owner:
+            self.close()
+            return
+        segments, self._segments = self._segments, []
+        self._meta = {}
+        for seg in segments:
+            try:
+                seg.close()
+            except (OSError, BufferError):
                 pass
             try:
                 seg.unlink()
             except FileNotFoundError:
                 pass
+
+    _emergency_cleanup = destroy
 
 
 # --------------------------------------------------------------- profiling
@@ -225,8 +363,20 @@ class _ProfileBuffers:
 
         self.nprocs = nprocs
         self.capacity = capacity
+        self._owner = True
+        self._shapes = self._layout(nprocs, capacity)
+        size = sum(
+            int(np.prod(shape)) * np.dtype(dt).itemsize
+            for shape, dt in self._shapes.values()
+        )
+        # POSIX shm is zero-filled by the kernel; no explicit init needed.
+        self._seg = shared_memory.SharedMemory(create=True, size=size)
+        register_for_cleanup(self)
+
+    @staticmethod
+    def _layout(nprocs: int, capacity: int) -> dict:
         p = nprocs
-        self._shapes = {
+        return {
             "times": ((p, 3), np.float64),
             "acc": ((p, 4), np.float64),
             "hdr": ((p, 2), np.int64),
@@ -235,12 +385,31 @@ class _ProfileBuffers:
             "bytes": ((p, p), np.int64),
             "events": ((p, capacity, 3), np.float64),
         }
-        size = sum(
-            int(np.prod(shape)) * np.dtype(dt).itemsize
-            for shape, dt in self._shapes.values()
-        )
-        # POSIX shm is zero-filled by the kernel; no explicit init needed.
-        self._seg = shared_memory.SharedMemory(create=True, size=size)
+
+    def descriptor(self) -> tuple[str, int, int]:
+        """Picklable handle: (segment name, nprocs, ring capacity)."""
+        return (self._seg.name, self.nprocs, self.capacity)
+
+    @classmethod
+    def attach(cls, desc: tuple[str, int, int]) -> "_ProfileBuffers":
+        """Worker-side view of host-owned buffers (never unlinks)."""
+        name, nprocs, capacity = desc
+        self = cls.__new__(cls)
+        self.nprocs = nprocs
+        self.capacity = capacity
+        self._owner = False
+        self._shapes = cls._layout(nprocs, capacity)
+        self._seg = _attach_shm(name)
+        return self
+
+    def close(self) -> None:
+        seg, self._seg = self._seg, None
+        if seg is None:
+            return
+        try:
+            seg.close()
+        except (OSError, BufferError):
+            pass
 
     def _views(self) -> dict[str, np.ndarray]:
         out = {}
@@ -262,17 +431,22 @@ class _ProfileBuffers:
         return {name: arr.copy() for name, arr in self._views().items()}
 
     def destroy(self) -> None:
+        if not self._owner:
+            self.close()
+            return
         seg, self._seg = self._seg, None
         if seg is None:
             return
         try:
             seg.close()
-        except OSError:
+        except (OSError, BufferError):
             pass
         try:
             seg.unlink()
         except FileNotFoundError:
             pass
+
+    _emergency_cleanup = destroy
 
 
 class _RankRecorder:
@@ -365,10 +539,11 @@ class MpContext:
     __slots__ = (
         "rank", "size", "spec", "stats", "scratch",
         "_driver", "_tracer", "_metrics", "_mx", "_recorder", "_last",
+        "_chaos",
     )
 
     def __init__(self, rank, size, spec, stats, driver, tracer=None,
-                 metrics=None, recorder=None):
+                 metrics=None, recorder=None, chaos=()):
         self.rank = rank
         self.size = size
         self.spec = spec
@@ -380,6 +555,7 @@ class MpContext:
         self._mx = _MpMetrics(metrics) if metrics is not None else None
         self._recorder = recorder
         self._last = perf_counter()
+        self._chaos = tuple(chaos)
 
     # ----------------------------------------------------------- wall clock
     def _flush(self) -> None:
@@ -405,6 +581,10 @@ class MpContext:
         self.stats.set_phase(name)
         if self._tracer is not None and self._tracer.capture_phases:
             self._tracer.record(self.stats.clock, self.rank, "phase", name=name)
+        if self._chaos:
+            # Self-inflicted chaos fires at the exact phase switch — the
+            # deterministic anchor a host-side killer could never hit.
+            fire_chaos(self._chaos, name)
 
     @property
     def clock(self) -> float:
@@ -516,12 +696,20 @@ class _Driver:
     other's messages.
     """
 
-    def __init__(self, rank: int, mailboxes, stats: ProcStats, recorder=None):
+    def __init__(self, rank: int, mailboxes, stats: ProcStats, recorder=None,
+                 stamp: tuple[int, int] = (0, 0)):
         self.rank = rank
         self._mailboxes = mailboxes
         self._inbox = mailboxes[rank]
         self._stats = stats
         self._recorder = recorder
+        #: (epoch, op_id) wire stamp.  Every message carries its sender's
+        #: stamp; the receiver silently drops mismatches.  On a one-shot
+        #: gang the stamp is constant; on a supervised persistent gang it
+        #: is what keeps residue from a killed attempt (messages parked in
+        #: mailbox pipes when a rank died) from satisfying a receive of
+        #: the retried — or any later — operation.
+        self._stamp = stamp
         #: Inside a collective: queue waits belong to the collective span
         #: (which wraps them), not to queue_wait.
         self._in_collective = False
@@ -533,20 +721,25 @@ class _Driver:
 
     # ---------------------------------------------------------- transport
     def post(self, dest: int, tag: int, payload: Any, words: int, clock: float) -> None:
-        self._mailboxes[dest].put((self.rank, tag, payload, words, clock))
+        self._mailboxes[dest].put((self._stamp, self.rank, tag, payload, words, clock))
 
     def _blocking_get(self) -> tuple:
         rec = self._recorder
         t0m = monotonic() if rec is not None else 0.0
         t0 = perf_counter()
-        item = self._inbox.get()
+        while True:
+            item = self._inbox.get()
+            if item[0] == self._stamp:
+                break
+            # Stale stamp: residue from an earlier attempt/op on a
+            # persistent gang.  Drop and keep waiting.
         waited = perf_counter() - t0
         # Queue-blocked time is idle; it still lands in the current phase
         # via the next flush (a wall clock can't tell waiting from work).
         self._stats.idle_time += waited
         if rec is not None and not self._in_collective:
             rec.span(_PK_QWAIT, t0m, monotonic())
-        return item
+        return item[1:]
 
     def _take(self, match: Callable[[tuple], bool]) -> tuple:
         """Return the oldest item satisfying ``match``, buffering the rest."""
@@ -631,6 +824,9 @@ class _Driver:
             raise CollectiveMismatchError(
                 f"rank {self.rank} not in its own group {group}"
             )
+        ctx0 = self.ctx
+        if ctx0 is not None and ctx0._chaos:
+            fire_chaos(ctx0._chaos, "collective")
         rec = self._recorder
         if rec is not None:
             t_coll0 = monotonic()
@@ -659,12 +855,12 @@ class _Driver:
             for r in group:
                 if r != root:
                     self._mailboxes[r].put(
-                        (root, _COLL_RESULT, (stamp, results.get(r)), 0, 0.0)
+                        (self._stamp, root, _COLL_RESULT, (stamp, results.get(r)), 0, 0.0)
                     )
             value = results.get(root)
         else:
             self._mailboxes[root].put(
-                (self.rank, _COLL_CONTRIB, (stamp, self.rank, op.payload), 0, 0.0)
+                (self._stamp, self.rank, _COLL_CONTRIB, (stamp, self.rank, op.payload), 0, 0.0)
             )
             item = self._take(
                 lambda item: item[0] == root and item[1] == _COLL_RESULT
@@ -699,6 +895,79 @@ class _Driver:
 
 
 # ------------------------------------------------------------- child entry
+def _run_program(
+    rank: int,
+    nprocs: int,
+    spec: MachineSpec,
+    program: Callable,
+    make_rank_args,
+    rank_args,
+    views: Mapping[str, np.ndarray],
+    mailboxes,
+    recorder,
+    want_metrics: bool,
+    want_trace: bool,
+    *,
+    t_entry: float,
+    stamp: tuple[int, int] = (0, 0),
+    chaos: tuple[ChaosEvent, ...] = (),
+) -> tuple:
+    """Execute one SPMD op in the calling rank process.
+
+    The shared core of the one-shot :func:`_child_main` and the
+    supervisor's persistent worker loop.  ``views`` are the rank's numpy
+    views over the arena (inherited or attached — the caller decides),
+    ``rank_args`` is already this rank's own tuple (or ``None``), and
+    ``stamp`` is the ``(epoch, op_id)`` wire stamp for every message.
+    Returns ``(result, stats_snapshot, metrics, trace_events)``.
+    """
+    tracer = None
+    metrics = None
+    if want_trace:
+        from ..machine.trace import Tracer
+
+        tracer = Tracer()
+    if want_metrics:
+        from ..obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if make_rank_args is not None:
+        call_args = tuple(make_rank_args(rank, views))
+    elif rank_args is not None:
+        call_args = tuple(rank_args)
+    else:
+        call_args = ()
+    if recorder is not None:
+        # Everything from entry (fork, or op receipt on a warm gang) to
+        # here is shm/argument setup: attaching views, slicing blocks.
+        t_ready = monotonic()
+        recorder.mark(1, t_ready)
+        recorder.span(_PK_SHM, t_entry, t_ready)
+    stats = ProcStats(rank)
+    driver = _Driver(rank, mailboxes, stats, recorder=recorder, stamp=stamp)
+    ctx = MpContext(rank, nprocs, spec, stats, driver, tracer=tracer,
+                    metrics=metrics, recorder=recorder, chaos=chaos)
+    driver.ctx = ctx
+    if chaos:
+        fire_chaos(chaos, "start")
+    gen_or_value = program(ctx, *call_args)
+    if hasattr(gen_or_value, "send") and hasattr(gen_or_value, "throw"):
+        result = driver.drive(gen_or_value)
+    else:
+        result = gen_or_value
+    ctx._flush()
+    if chaos:
+        fire_chaos(chaos, "flush")
+    if recorder is not None:
+        recorder.mark(2, monotonic())
+    return (
+        result,
+        stats.snapshot(),
+        metrics,
+        tracer.events if tracer is not None else None,
+    )
+
+
 def _child_main(
     rank: int,
     nprocs: int,
@@ -712,57 +981,29 @@ def _child_main(
     result_q,
     want_metrics: bool,
     want_trace: bool,
+    chaos: tuple[ChaosEvent, ...] = (),
 ) -> None:
     """Entry point of one rank process (fork-inherited closure state)."""
     t_entry = monotonic()
     try:
+        if chaos:
+            fire_chaos(chaos, "spawn")
         recorder = None
         if profile is not None:
             recorder = profile.recorder(rank)
             recorder.mark(0, t_entry)
-        tracer = None
-        metrics = None
-        if want_trace:
-            from ..machine.trace import Tracer
-
-            tracer = Tracer()
-        if want_metrics:
-            from ..obs.registry import MetricsRegistry
-
-            metrics = MetricsRegistry()
-        if make_rank_args is not None:
-            call_args = tuple(make_rank_args(rank, arena.views()))
-        elif rank_args is not None:
-            call_args = tuple(rank_args[rank])
+        result, snapshot, metrics, events = _run_program(
+            rank, nprocs, spec, program, make_rank_args,
+            rank_args[rank] if rank_args is not None else None,
+            arena.views(), mailboxes, recorder, want_metrics, want_trace,
+            t_entry=t_entry, chaos=chaos,
+        )
+        if any(ev.kind == "poison" for ev in chaos):
+            # Poisoned result: a truncated message, exercising host-side
+            # validation instead of this rank's execution.
+            result_q.put(("ok", rank))
         else:
-            call_args = ()
-        if recorder is not None:
-            # Everything from interpreter entry to here is shm/argument
-            # setup: attaching views, slicing this rank's blocks.
-            t_ready = monotonic()
-            recorder.mark(1, t_ready)
-            recorder.span(_PK_SHM, t_entry, t_ready)
-        stats = ProcStats(rank)
-        driver = _Driver(rank, mailboxes, stats, recorder=recorder)
-        ctx = MpContext(rank, nprocs, spec, stats, driver, tracer=tracer,
-                        metrics=metrics, recorder=recorder)
-        driver.ctx = ctx
-        gen_or_value = program(ctx, *call_args)
-        if hasattr(gen_or_value, "send") and hasattr(gen_or_value, "throw"):
-            result = driver.drive(gen_or_value)
-        else:
-            result = gen_or_value
-        ctx._flush()
-        if recorder is not None:
-            recorder.mark(2, monotonic())
-        result_q.put((
-            "ok",
-            rank,
-            result,
-            stats.snapshot(),
-            metrics,
-            tracer.events if tracer is not None else None,
-        ))
+            result_q.put(("ok", rank, result, snapshot, metrics, events))
     except BaseException:
         try:
             result_q.put(("error", rank, traceback.format_exc()))
@@ -787,17 +1028,26 @@ class MpBackend(Backend):
     join_grace:
         seconds to wait for a finished child to exit before terminating
         it (its result is already home by then; stragglers are harmless).
+    chaos:
+        optional :class:`~repro.faults.chaos.ChaosPlan` of real process
+        faults (op 0 events only — the one-shot gang runs one op).  The
+        bare backend does not recover: a killed rank surfaces as
+        :class:`MpGangError` through the normal failure-hygiene paths.
+        Recovery belongs to
+        :class:`~repro.runtime.supervisor.GangSupervisor`.
     """
 
     name = "mp"
     time_domain = "wall"
     supports_faults = False
 
-    def __init__(self, timeout: float | None = None, join_grace: float = 5.0):
+    def __init__(self, timeout: float | None = None, join_grace: float = 5.0,
+                 chaos=None):
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.timeout = timeout
         self.join_grace = join_grace
+        self.chaos = chaos
 
     def run_spmd(
         self,
@@ -848,6 +1098,9 @@ class MpBackend(Backend):
             prof_bufs = _ProfileBuffers(nprocs, profile.ring_capacity)
         mailboxes = [mpctx.Queue() for _ in range(nprocs)]
         result_q = mpctx.Queue()
+        chaos_by_rank = {
+            r: self.chaos.events_for(0, r) for r in range(nprocs)
+        } if self.chaos is not None else {}
         procs = [
             mpctx.Process(
                 target=_child_main,
@@ -855,6 +1108,7 @@ class MpBackend(Backend):
                     r, nprocs, spec, program, make_rank_args, rank_args,
                     arena, prof_bufs, mailboxes, result_q,
                     metrics is not None, tracer is not None,
+                    chaos_by_rank.get(r, ()),
                 ),
                 daemon=True,
                 name=f"repro-mp-rank-{r}",
@@ -881,7 +1135,10 @@ class MpBackend(Backend):
         finally:
             for p in procs:
                 if p.is_alive():
-                    p.terminate()
+                    # SIGKILL, not SIGTERM: a SIGSTOPped child (chaos, or
+                    # an operator's ^Z) never processes SIGTERM, but KILL
+                    # reaps stopped processes too.
+                    p.kill()
             for p in procs:
                 p.join(timeout=self.join_grace)
             arena.destroy()
@@ -912,19 +1169,32 @@ class MpBackend(Backend):
 
     # ------------------------------------------------------------ gathering
     def _collect(self, procs, result_q, nprocs: int) -> dict[int, tuple]:
+        """Gather one report per rank, event-driven.
+
+        The parent blocks in one ``connection.wait`` on the result pipe
+        *and* every pending child's exit sentinel, bounded by the gang
+        deadline — no polling loop burning host CPU, and a silent death
+        (killed child, ``os._exit``) wakes the wait immediately instead
+        of on the next poll tick.
+        """
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
         pending = set(range(nprocs))
         reports: dict[int, tuple] = {}
+        reader = getattr(result_q, "_reader", None)
         while pending:
+            msg = None
             try:
-                msg = result_q.get(timeout=0.1)
+                msg = result_q.get_nowait()
             except _queue_mod.Empty:
+                pass
+            if msg is None:
                 dead = sorted(
                     r for r in pending if procs[r].exitcode is not None
                 )
                 if dead:
                     # One more grace read: the child may have exited right
-                    # after posting its result.
+                    # after posting its result (the feeder thread races
+                    # the exit).
                     try:
                         msg = result_q.get(timeout=0.5)
                     except _queue_mod.Empty:
@@ -934,21 +1204,48 @@ class MpBackend(Backend):
                             f"process exited with code {procs[r].exitcode} "
                             f"without reporting a result",
                         ) from None
-                elif deadline is not None and time.monotonic() > deadline:
-                    raise MpGangError(
-                        None,
-                        f"gang did not finish within {self.timeout:g}s "
-                        f"(ranks still pending: {sorted(pending)})",
-                    )
                 else:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise MpGangError(
+                                None,
+                                f"gang did not finish within {self.timeout:g}s "
+                                f"(ranks still pending: {sorted(pending)})",
+                            )
+                    sentinels = [procs[r].sentinel for r in sorted(pending)]
+                    if reader is not None:
+                        _conn_wait([reader, *sentinels], timeout=remaining)
+                    else:
+                        # No readable pipe handle on this Queue flavour:
+                        # degrade to a bounded sleep-poll.
+                        _conn_wait(sentinels,
+                                   timeout=0.05 if remaining is None
+                                   else min(remaining, 0.05))
                     continue
-            if msg[0] == "error":
-                _, rank, tb = msg
-                raise MpGangError(rank, "program raised", child_traceback=tb)
-            _, rank, result, snapshot, child_metrics, child_events = msg
-            reports[rank] = (result, snapshot, child_metrics, child_events)
+            rank, report = self._validate_report(msg, nprocs)
+            reports[rank] = report
             pending.discard(rank)
         return reports
+
+    @staticmethod
+    def _validate_report(msg, nprocs: int) -> tuple[int, tuple]:
+        """Check one result-queue message; raise :class:`MpGangError` on a
+        malformed (poisoned / truncated) one instead of unpacking blind."""
+        if not isinstance(msg, tuple) or len(msg) < 3:
+            rank = msg[1] if isinstance(msg, tuple) and len(msg) > 1 else None
+            rank = rank if isinstance(rank, int) else None
+            raise MpGangError(rank, f"posted a malformed result message: {msg!r}")
+        if msg[0] == "error":
+            _, rank, tb = msg
+            raise MpGangError(rank, "program raised", child_traceback=tb)
+        if msg[0] != "ok" or len(msg) != 6 or not isinstance(msg[1], int) \
+                or not (0 <= msg[1] < nprocs):
+            rank = msg[1] if isinstance(msg[1], int) else None
+            raise MpGangError(rank, f"posted a malformed result message: {msg!r}")
+        _, rank, result, snapshot, child_metrics, child_events = msg
+        return rank, (result, snapshot, child_metrics, child_events)
 
 
 # ----------------------------------------------------------- profile merge

@@ -1,0 +1,1024 @@
+"""Supervised persistent gangs: warm reuse, failure recovery, degradation.
+
+:class:`~repro.runtime.mp.MpBackend` forks a throwaway gang per call and
+fails fast on any child death.  That is the right *hygiene* baseline,
+but ``BENCH_profile.json`` shows fork/reap/shm lifecycle is about half
+of the mp slowdown at P=8 — and the paper's PACK/UNPACK primitives
+assume a gang of processors that survives the whole computation.
+:class:`GangSupervisor` provides that gang:
+
+* **Persistent & warm** — ranks are forked *once* per gang epoch and
+  then reused: each worker sits in an op-dispatch loop, receiving
+  ``(epoch, op_id, op)`` commands over a per-rank control queue,
+  attaching the host's shared-memory arena *by name* (the arena did not
+  exist at fork time), running the op through the exact same
+  :func:`~repro.runtime.mp._run_program` core as the one-shot backend,
+  and posting the result home.  A warm dispatch replaces a fork.
+* **Supervised** — every worker runs a daemon heartbeat thread beating a
+  shared-memory board; the host's collect loop multiplexes the result
+  pipe, every child's exit sentinel, the board, and the op wall
+  deadline in one ``connection.wait``.  Failures are *classified*:
+  ``rank_death`` (exit sentinel), ``heartbeat_miss`` (stale board — a
+  SIGSTOPped or livelocked rank), ``op_timeout`` (deadline with fresh
+  heartbeats — a deadlock), ``poisoned_result`` (malformed result
+  message), ``spawn_failure`` (death before ready), and the
+  non-retryable ``program_error`` (the rank itself raised).
+* **Recovering** — on a retryable failure the supervisor reaps the whole
+  gang (SIGKILL: stopped ranks can't process SIGTERM), rebuilds it
+  under a new epoch, and retries the in-flight op under a seeded
+  exponential-backoff-with-jitter :class:`RetryPolicy`.  Every message
+  a rank sends is stamped ``(epoch, op_id)`` and stale stamps are
+  dropped at the receiver, so an op retried after a rebuild is
+  exactly-once from the caller's view: one ``run_spmd`` call, one
+  result, bit-identical to a fault-free run.
+* **Degrading** — when the retry budget is exhausted,
+  ``on_exhaustion="fallback"`` reruns the op on the in-process
+  :class:`~repro.runtime.sim.SimBackend` (results identical, times in
+  the ``"simulated"`` domain) instead of raising; ``"raise"`` (default)
+  surfaces :class:`~repro.runtime.mp.MpGangError`.
+
+Because workers are forked *before* an op's callables exist, programs
+and ``make_rank_args`` closures are shipped through the control queue:
+pickled by reference when possible, otherwise frozen as marshalled code
+objects plus recursively-frozen defaults and closure cells and thawed
+against the worker's (fork-inherited) module globals — see
+:func:`_freeze_callable`.
+
+Lifecycle events (``rank_death``, ``rebuild``, ``retry``, ``fallback``,
+``heartbeat_miss``, ...) are appended to :attr:`SupervisorStats.events`,
+counted into the active :class:`~repro.obs.registry.MetricsRegistry`
+(``supervisor.*``), and — for a profiled op — appended to the profile's
+gang lanes as ``supervisor.*`` spans.
+
+Chaos (:class:`~repro.faults.chaos.ChaosPlan`) is first-class: the
+supervisor decrements each event's ``times`` budget per delivery, so a
+``times=1`` kill recovers on the first retry while ``times > budget``
+exercises exhaustion and fallback deterministically.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import marshal
+import multiprocessing as _mp
+import os
+import pickle
+import queue as _queue_mod
+import random
+import sys
+import threading
+import time
+import traceback
+import types
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from time import monotonic
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..faults.chaos import ChaosEvent, ChaosPlan, fire_chaos
+from ..machine.spec import CM5
+from ..machine.stats import RunResult, stats_from_snapshot
+from .base import Backend, BackendError
+from .mp import (
+    _CHILD_FAILED,
+    MpGangError,
+    _build_mp_profile,
+    _ProfileBuffers,
+    _ShmArena,
+    register_for_cleanup,
+    _run_program,
+)
+
+__all__ = [
+    "GangSupervisor",
+    "RetryPolicy",
+    "SupervisorEvent",
+    "SupervisorStats",
+    "default_supervisor",
+    "shutdown_default_supervisor",
+]
+
+
+# ------------------------------------------------------------ retry policy
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff with jitter.
+
+    ``delays()`` yields ``max_retries`` sleep lengths:
+    ``min(max_delay, base_delay * multiplier**i)`` scaled by a uniform
+    jitter factor in ``[1 - jitter, 1 + jitter]`` drawn from
+    ``random.Random(seed)`` — deterministic per policy instance, so a
+    chaos run's recovery timeline is reproducible.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not (0 <= self.jitter < 1):
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delays(self):
+        rng = random.Random(self.seed)
+        for i in range(self.max_retries):
+            base = min(self.max_delay, self.base_delay * self.multiplier ** i)
+            yield base * (1 + self.jitter * (2 * rng.random() - 1))
+
+
+# ------------------------------------------------------- events and stats
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One lifecycle event: what happened, when (monotonic), to whom."""
+
+    kind: str
+    t: float
+    op_id: int | None = None
+    rank: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class SupervisorStats:
+    """Aggregate lifecycle counters for one supervisor instance."""
+
+    ops: int = 0
+    warm_ops: int = 0
+    cold_ops: int = 0
+    retries: int = 0
+    rebuilds: int = 0
+    fallbacks: int = 0
+    gang_epoch: int = 0
+    stale_dropped: int = 0
+    failures: dict[str, int] = field(default_factory=dict)
+    events: list[SupervisorEvent] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "warm_ops": self.warm_ops,
+            "cold_ops": self.cold_ops,
+            "retries": self.retries,
+            "rebuilds": self.rebuilds,
+            "fallbacks": self.fallbacks,
+            "gang_epoch": self.gang_epoch,
+            "stale_dropped": self.stale_dropped,
+            "failures": dict(self.failures),
+            "events": [
+                {"kind": e.kind, "t": e.t, "op_id": e.op_id,
+                 "rank": e.rank, "detail": e.detail}
+                for e in self.events
+            ],
+        }
+
+
+class _OpFailure(Exception):
+    """Internal: one attempt failed; carries the classification."""
+
+    def __init__(self, kind: str, rank: int | None, detail: str,
+                 child_traceback: str | None = None):
+        self.kind = kind
+        self.rank = rank
+        self.detail = detail
+        self.child_traceback = child_traceback
+        super().__init__(f"{kind}: {detail}")
+
+
+# --------------------------------------------------------- heartbeat board
+class _HeartbeatBoard:
+    """One float64 per rank in shared memory: last beat, CLOCK_MONOTONIC.
+
+    Created by the host *before* the fork, so workers inherit the mapping
+    and beat it from a daemon thread.  Single-writer per slot; an 8-byte
+    aligned store is atomic on every platform we run on.  A SIGSTOPped
+    worker freezes all its threads — heartbeat included — which is
+    exactly what makes a stopped rank distinguishable from a slow one.
+    """
+
+    def __init__(self, nprocs: int):
+        from multiprocessing import shared_memory
+
+        self.nprocs = nprocs
+        self._owner = True
+        self._seg = shared_memory.SharedMemory(create=True, size=8 * nprocs)
+        self._arr = np.ndarray((nprocs,), dtype=np.float64, buffer=self._seg.buf)
+        self._arr[:] = monotonic()
+        register_for_cleanup(self)
+
+    def beat(self, rank: int) -> None:
+        self._arr[rank] = monotonic()
+
+    def ages(self, now: float | None = None) -> list[float]:
+        now = monotonic() if now is None else now
+        return [float(now - t) for t in self._arr]
+
+    def destroy(self) -> None:
+        self._arr = None
+        seg, self._seg = self._seg, None
+        if seg is None or not self._owner:
+            return
+        try:
+            seg.close()
+        except (OSError, BufferError):
+            pass
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+
+    _emergency_cleanup = destroy
+
+
+# ---------------------------------------------------------- freeze / thaw
+def _freeze_callable(fn: Callable | None):
+    """Make ``fn`` shippable to a worker forked before ``fn`` existed.
+
+    Module-level functions pickle by reference and import cleanly, so try
+    that first.  Local closures (``pack``'s ``make_rank_args``, a test's
+    inline program) don't pickle — for plain Python functions we marshal
+    the code object and recursively freeze defaults and closure cells,
+    rebuilding the function in the worker against its fork-inherited
+    module globals (the worker forked *after* the defining module was
+    imported, including ``__main__`` and test modules, so the globals are
+    there).
+    """
+    if fn is None:
+        return None
+    try:
+        return ("pickle", pickle.dumps(fn, pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        pass
+    if not isinstance(fn, types.FunctionType):
+        raise BackendError(
+            f"supervised gang cannot ship {fn!r}: not picklable and not a "
+            f"plain Python function"
+        )
+    try:
+        code = marshal.dumps(fn.__code__)
+        defaults = tuple(_freeze_value(v) for v in (fn.__defaults__ or ()))
+        kwdefaults = {
+            k: _freeze_value(v) for k, v in (fn.__kwdefaults__ or {}).items()
+        }
+        closure = tuple(
+            _freeze_value(c.cell_contents) for c in (fn.__closure__ or ())
+        )
+    except Exception as exc:
+        raise BackendError(
+            f"supervised gang cannot ship {fn.__qualname__}: closure state "
+            f"is not picklable ({exc})"
+        ) from exc
+    return ("code", code, fn.__module__, defaults, kwdefaults, closure)
+
+
+def _freeze_value(v):
+    if isinstance(v, types.FunctionType):
+        return ("fn", _freeze_callable(v))
+    return ("val", pickle.dumps(v, pickle.HIGHEST_PROTOCOL))
+
+
+def _thaw_value(blob):
+    tag, data = blob
+    if tag == "fn":
+        return _thaw_callable(data)
+    return pickle.loads(data)
+
+
+def _thaw_callable(blob) -> Callable | None:
+    if blob is None:
+        return None
+    if blob[0] == "pickle":
+        return pickle.loads(blob[1])
+    _, code_b, module, defaults, kwdefaults, closure = blob
+    code = marshal.loads(code_b)
+    mod = sys.modules.get(module)
+    if mod is None:  # pragma: no cover - fork inherits loaded modules
+        mod = importlib.import_module(module)
+    cells = tuple(types.CellType(_thaw_value(v)) for v in closure)
+    fn = types.FunctionType(
+        code, mod.__dict__, code.co_name,
+        tuple(_thaw_value(v) for v in defaults) or None,
+        cells or None,
+    )
+    if kwdefaults:
+        fn.__kwdefaults__ = {k: _thaw_value(v) for k, v in kwdefaults.items()}
+    return fn
+
+
+# ------------------------------------------------------------- worker loop
+def _worker_main(
+    rank: int,
+    nprocs: int,
+    epoch: int,
+    ctl_q,
+    mailboxes,
+    result_q,
+    board: _HeartbeatBoard,
+    heartbeat_interval: float,
+    spawn_chaos: tuple[ChaosEvent, ...],
+) -> None:
+    """Persistent rank process: heartbeat + op-dispatch loop.
+
+    Per-gang state (queues, mailboxes, board) is fork-inherited; per-op
+    state (arena, profile buffers, the program itself) arrives in the op
+    command and is attached by name / thawed here.  Exits only on a
+    ``shutdown`` command, an op error (after shipping the traceback), or
+    a signal.
+    """
+    stop = threading.Event()
+
+    def _beat():
+        while not stop.is_set():
+            board.beat(rank)
+            stop.wait(heartbeat_interval)
+
+    threading.Thread(target=_beat, daemon=True, name="heartbeat").start()
+    if spawn_chaos:
+        fire_chaos(spawn_chaos, "spawn")
+    result_q.put(("ready", rank, epoch))
+    # Per-op shm (arena, profile rings) must NOT be closed when the op
+    # finishes: queue feeder threads pickle outgoing messages (mailbox
+    # payloads sliced from arena views, the result blob) asynchronously,
+    # and ``SharedMemory.close()`` unmaps even under live numpy views —
+    # the race is a feeder-thread segfault.  By the time the *next*
+    # command arrives the host has collected every rank's result, which
+    # means every message of the previous op was received, i.e. fully
+    # serialized — only then is unmapping safe.
+    deferred_close: list[Any] = []
+    while True:
+        cmd = ctl_q.get()
+        for res in deferred_close:
+            res.close()
+        deferred_close = []
+        if cmd[0] == "shutdown":
+            break
+        _, cmd_epoch, op_id, op = cmd
+        t_entry = monotonic()
+        arena = None
+        prof = None
+        try:
+            chaos = op["chaos"]
+            recorder = None
+            if op["profile"] is not None:
+                prof = _ProfileBuffers.attach(op["profile"])
+                recorder = prof.recorder(rank)
+                recorder.mark(0, t_entry)
+            arena = _ShmArena.attach(op["arena"])
+            result, snapshot, metrics, events = _run_program(
+                rank, nprocs, op["spec"],
+                _thaw_callable(op["program"]),
+                _thaw_callable(op["make_rank_args"]),
+                op["rank_args"],
+                arena.views(), mailboxes, recorder,
+                op["want_metrics"], op["want_trace"],
+                t_entry=t_entry, stamp=(cmd_epoch, op_id), chaos=chaos,
+            )
+            if any(ev.kind == "poison" for ev in chaos):
+                result_q.put(("ok", rank, cmd_epoch))
+            else:
+                # Serialize NOW, in this thread, while the arena is still
+                # mapped: the queue feeder pickles asynchronously, and the
+                # ``finally`` below closes (unmaps) the per-op segments —
+                # a result referencing arena-backed memory would otherwise
+                # race the feeder straight into a segfault.
+                blob = pickle.dumps(
+                    (result, snapshot, metrics, events),
+                    pickle.HIGHEST_PROTOCOL,
+                )
+                result_q.put(("ok", rank, cmd_epoch, op_id, blob))
+        except BaseException:
+            try:
+                result_q.put((
+                    "error", rank, cmd_epoch, op_id, traceback.format_exc(),
+                ))
+                result_q.close()
+                result_q.join_thread()
+            finally:
+                os._exit(_CHILD_FAILED)
+        finally:
+            if arena is not None:
+                deferred_close.append(arena)
+            if prof is not None:
+                deferred_close.append(prof)
+    stop.set()
+    result_q.close()
+    result_q.join_thread()
+    # Skip interpreter teardown: atexit hooks and queue flushing belong
+    # to the parent; a worker's job ends here.
+    os._exit(0)
+
+
+# -------------------------------------------------------------- gang state
+class _Gang:
+    """One epoch of worker processes and their fork-shared plumbing."""
+
+    def __init__(self, epoch: int, nprocs: int, mpctx, procs, ctl, mailboxes,
+                 result_q, board: _HeartbeatBoard):
+        self.epoch = epoch
+        self.nprocs = nprocs
+        self.mpctx = mpctx
+        self.procs = procs
+        self.ctl = ctl
+        self.mailboxes = mailboxes
+        self.result_q = result_q
+        self.board = board
+        register_for_cleanup(self)
+
+    def healthy(self) -> bool:
+        return all(p.is_alive() for p in self.procs)
+
+    def reap(self, join_grace: float, graceful: bool) -> None:
+        if graceful and self.healthy():
+            for q in self.ctl:
+                try:
+                    q.put(("shutdown",))
+                except (OSError, ValueError):
+                    pass
+            for p in self.procs:
+                p.join(timeout=join_grace)
+        for p in self.procs:
+            if p.is_alive():
+                # SIGKILL, never SIGTERM: a SIGSTOPped worker cannot run a
+                # SIGTERM handler, but KILL reaps stopped processes too.
+                p.kill()
+        for p in self.procs:
+            p.join(timeout=join_grace)
+        self.board.destroy()
+        for q in [*self.mailboxes, *self.ctl, self.result_q]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+
+    def _emergency_cleanup(self) -> None:
+        for p in self.procs:
+            if p.is_alive():
+                try:
+                    p.kill()
+                except (OSError, ValueError):
+                    pass
+        self.board.destroy()
+
+
+# --------------------------------------------------------------- chaos state
+class _ChaosState:
+    """Per-supervisor delivery bookkeeping over an immutable ChaosPlan."""
+
+    def __init__(self, plan: ChaosPlan | None):
+        self.plan = plan
+        self._left = [ev.times for ev in plan.events] if plan is not None else []
+
+    def take(self, op_index: int, rank: int, spawn: bool) -> tuple[ChaosEvent, ...]:
+        """Consume (decrement) and return the events due for this attempt."""
+        if self.plan is None:
+            return ()
+        out = []
+        for i, ev in enumerate(self.plan.events):
+            if self._left[i] <= 0:
+                continue
+            if ev.rank != rank or ev.op_index != op_index:
+                continue
+            if spawn != (ev.phase == "spawn"):
+                continue
+            self._left[i] -= 1
+            out.append(ev)
+        return tuple(out)
+
+
+# ---------------------------------------------------------------- backend
+class GangSupervisor(Backend):
+    """A persistent, supervised, self-healing mp gang behind the Backend seam.
+
+    Parameters
+    ----------
+    timeout:
+        per-op wall deadline in seconds (``None`` = none; heartbeat and
+        exit supervision still apply).
+    retry:
+        the :class:`RetryPolicy`; default retries twice with seeded
+        jittered exponential backoff.
+    on_exhaustion:
+        ``"raise"`` (default) surfaces :class:`MpGangError` once the
+        retry budget is spent; ``"fallback"`` degrades the op to
+        :class:`~repro.runtime.sim.SimBackend` (results identical,
+        ``time_domain="simulated"``).
+    heartbeat_interval / heartbeat_timeout:
+        workers beat every ``interval`` seconds; a pending op whose rank
+        has not beaten for ``timeout`` seconds is classified
+        ``heartbeat_miss``.  The default timeout is deliberately large —
+        on a loaded single-core host a busy gang legitimately starves its
+        heartbeat threads for whole seconds.
+    spawn_timeout:
+        seconds to wait for every worker's ready message after a fork.
+    chaos:
+        optional :class:`~repro.faults.chaos.ChaosPlan`; events are
+        delivered at most ``times`` attempts each (see module docstring).
+    join_grace:
+        seconds to wait for exits before escalating, as in MpBackend.
+
+    A supervisor instance is a context manager; :meth:`shutdown` reaps
+    the gang.  The process-wide instance behind ``backend="supervised"``
+    (see :func:`default_supervisor`) is shut down atexit.
+    """
+
+    name = "supervised"
+    time_domain = "wall"
+    supports_faults = False
+
+    def __init__(
+        self,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        on_exhaustion: str = "raise",
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float = 15.0,
+        spawn_timeout: float = 60.0,
+        chaos: ChaosPlan | None = None,
+        join_grace: float = 5.0,
+    ):
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if on_exhaustion not in ("raise", "fallback"):
+            raise ValueError(
+                f"on_exhaustion must be 'raise' or 'fallback', got {on_exhaustion!r}"
+            )
+        if heartbeat_interval <= 0 or heartbeat_timeout <= heartbeat_interval:
+            raise ValueError(
+                "need 0 < heartbeat_interval < heartbeat_timeout, got "
+                f"{heartbeat_interval} / {heartbeat_timeout}"
+            )
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.on_exhaustion = on_exhaustion
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.spawn_timeout = spawn_timeout
+        self.join_grace = join_grace
+        self.stats = SupervisorStats()
+        self._chaos = _ChaosState(chaos)
+        self._gang: _Gang | None = None
+        self._next_epoch = 1
+        self._next_op_id = 0
+        self._metrics = None  # registry in scope for the current op
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "GangSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Gracefully stop the gang (idempotent)."""
+        gang, self._gang = self._gang, None
+        if gang is not None:
+            gang.reap(self.join_grace, graceful=True)
+
+    def warm(self, nprocs: int) -> None:
+        """Pre-fork the gang so the first op dispatches warm."""
+        self._ensure_gang(nprocs, op_index=self.stats.ops)
+
+    # --------------------------------------------------------------- events
+    def _event(self, kind: str, op_id: int | None = None,
+               rank: int | None = None, detail: str = "") -> SupervisorEvent:
+        ev = SupervisorEvent(kind=kind, t=monotonic(), op_id=op_id,
+                             rank=rank, detail=detail)
+        self.stats.events.append(ev)
+        if len(self.stats.events) > 1000:
+            del self.stats.events[:-1000]
+        if self._metrics is not None:
+            self._metrics.inc(f"supervisor.{kind}")
+        return ev
+
+    # ----------------------------------------------------------- gang build
+    def _ensure_gang(self, nprocs: int, op_index: int) -> _Gang:
+        gang = self._gang
+        if gang is not None and gang.nprocs != nprocs:
+            # One warm gang at a time; a different width rebuilds cold.
+            gang.reap(self.join_grace, graceful=True)
+            gang = self._gang = None
+        if gang is not None and gang.healthy():
+            return gang
+        if gang is not None:
+            # Died between ops (e.g. a program error last op).
+            gang.reap(self.join_grace, graceful=False)
+            self._gang = None
+        epoch = self._next_epoch
+        self._next_epoch += 1
+        if "fork" not in _mp.get_all_start_methods():
+            raise BackendError(
+                "supervised backend requires the 'fork' start method (POSIX)"
+            )
+        mpctx = _mp.get_context("fork")
+        board = _HeartbeatBoard(nprocs)
+        mailboxes = [mpctx.Queue() for _ in range(nprocs)]
+        ctl = [mpctx.Queue() for _ in range(nprocs)]
+        result_q = mpctx.Queue()
+        procs = [
+            mpctx.Process(
+                target=_worker_main,
+                args=(r, nprocs, epoch, ctl[r], mailboxes, result_q, board,
+                      self.heartbeat_interval,
+                      self._chaos.take(op_index, r, spawn=True)),
+                daemon=True,
+                name=f"repro-mp-rank-{r}-e{epoch}",
+            )
+            for r in range(nprocs)
+        ]
+        gang = _Gang(epoch, nprocs, mpctx, procs, ctl, mailboxes, result_q, board)
+        self._event("gang_start", detail=f"epoch {epoch}, P={nprocs}")
+        try:
+            for p in procs:
+                p.start()
+            self._await_ready(gang)
+        except BaseException:
+            gang.reap(self.join_grace, graceful=False)
+            raise
+        self._gang = gang
+        self.stats.gang_epoch = epoch
+        if self._metrics is not None:
+            self._metrics.set("supervisor.gang_epoch", epoch)
+        return gang
+
+    def _await_ready(self, gang: _Gang) -> None:
+        deadline = monotonic() + self.spawn_timeout
+        pending = set(range(gang.nprocs))
+        reader = getattr(gang.result_q, "_reader", None)
+        while pending:
+            msg = None
+            try:
+                msg = gang.result_q.get_nowait()
+            except _queue_mod.Empty:
+                pass
+            except Exception:
+                msg = None
+            if msg is None:
+                dead = sorted(
+                    r for r in pending if gang.procs[r].exitcode is not None
+                )
+                if dead:
+                    r = dead[0]
+                    raise _OpFailure(
+                        "spawn_failure", r,
+                        f"rank {r} exited with code {gang.procs[r].exitcode} "
+                        f"before reporting ready",
+                    )
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    raise _OpFailure(
+                        "spawn_failure", sorted(pending)[0],
+                        f"gang not ready within {self.spawn_timeout:g}s "
+                        f"(ranks still pending: {sorted(pending)})",
+                    )
+                sentinels = [gang.procs[r].sentinel for r in sorted(pending)]
+                wait_for = ([reader] if reader is not None else []) + sentinels
+                _conn_wait(wait_for, timeout=min(remaining, 0.5))
+                continue
+            if (isinstance(msg, tuple) and len(msg) == 3
+                    and msg[0] == "ready" and msg[2] == gang.epoch):
+                pending.discard(msg[1])
+            else:
+                self.stats.stale_dropped += 1
+
+    # -------------------------------------------------------------- run_spmd
+    def run_spmd(
+        self,
+        program: Callable,
+        nprocs: int,
+        *,
+        make_rank_args: Callable[[int, Mapping[str, Any]], tuple] | None = None,
+        rank_args: Sequence[tuple] | None = None,
+        shared: Mapping[str, Any] | None = None,
+        spec=None,
+        tracer=None,
+        metrics=None,
+        faults=None,
+        step_budget: int | None = None,
+        time_budget: float | None = None,
+        profile=None,
+    ) -> RunResult:
+        if make_rank_args is not None and rank_args is not None:
+            raise ValueError("pass make_rank_args or rank_args, not both")
+        if rank_args is not None and len(rank_args) != nprocs:
+            raise ValueError(
+                f"rank_args has {len(rank_args)} entries for {nprocs} ranks"
+            )
+        if nprocs < 1:
+            raise ValueError(f"need at least one processor, got {nprocs}")
+        self.reject_unsupported(faults=faults)
+        if step_budget is not None or time_budget is not None:
+            raise BackendError(
+                "supervised backend: watchdog budgets count simulated "
+                "steps/seconds; use GangSupervisor(timeout=wall_seconds)"
+            )
+        if metrics is None:
+            from ..obs.registry import current_global_metrics
+
+            metrics = current_global_metrics()
+        spec = spec if spec is not None else CM5
+        self._metrics = metrics
+
+        op_index = self.stats.ops
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        self.stats.ops += 1
+        frozen = {
+            "spec": spec,
+            "program": _freeze_callable(program),
+            "make_rank_args": _freeze_callable(make_rank_args),
+            "want_metrics": metrics is not None,
+            "want_trace": tracer is not None,
+        }
+        lifecycle: list[SupervisorEvent] = []
+        last_failure: _OpFailure | None = None
+        try:
+            delays = [None, *self.retry.delays()]
+            for attempt, delay in enumerate(delays):
+                if delay is not None:
+                    lifecycle.append(self._event(
+                        "backoff", op_id=op_id,
+                        detail=f"sleep {delay * 1e3:.0f}ms before attempt "
+                               f"{attempt + 1}/{len(delays)}"))
+                    time.sleep(delay)
+                try:
+                    was_warm = self._gang is not None and self._gang.healthy() \
+                        and self._gang.nprocs == nprocs
+                    gang = self._ensure_gang(nprocs, op_index)
+                    if attempt > 0:
+                        self.stats.retries += 1
+                        lifecycle.append(self._event(
+                            "retry", op_id=op_id,
+                            detail=f"attempt {attempt + 1}/{len(delays)} on "
+                                   f"epoch {gang.epoch}"))
+                    if was_warm:
+                        self.stats.warm_ops += 1
+                    else:
+                        self.stats.cold_ops += 1
+                    return self._run_once(
+                        gang, op_index, op_id, attempt, frozen,
+                        rank_args, shared, tracer, metrics, profile,
+                        lifecycle,
+                    )
+                except _OpFailure as failure:
+                    last_failure = failure
+                    self.stats.failures[failure.kind] = (
+                        self.stats.failures.get(failure.kind, 0) + 1)
+                    lifecycle.append(self._event(
+                        failure.kind, op_id=op_id, rank=failure.rank,
+                        detail=failure.detail))
+                    gang, self._gang = self._gang, None
+                    if gang is not None:
+                        gang.reap(self.join_grace, graceful=False)
+                        self.stats.rebuilds += 1
+                        lifecycle.append(self._event(
+                            "rebuild", op_id=op_id,
+                            detail=f"reaped epoch {gang.epoch} after "
+                                   f"{failure.kind}"))
+                    if failure.kind == "program_error":
+                        # Deterministic program bugs don't heal by retry.
+                        raise MpGangError(
+                            failure.rank, "program raised",
+                            child_traceback=failure.child_traceback,
+                        ) from None
+            # Retry budget exhausted.
+            assert last_failure is not None
+            if self.on_exhaustion == "fallback":
+                self.stats.fallbacks += 1
+                self._event(
+                    "fallback", op_id=op_id, rank=last_failure.rank,
+                    detail=f"degrading to SimBackend after {len(delays)} "
+                           f"attempts; last: {last_failure.kind}: "
+                           f"{last_failure.detail}")
+                from .sim import SimBackend
+
+                return SimBackend().run_spmd(
+                    program, nprocs,
+                    make_rank_args=make_rank_args, rank_args=rank_args,
+                    shared=shared, spec=spec, tracer=tracer, metrics=metrics,
+                    profile=profile,
+                )
+            raise MpGangError(
+                last_failure.rank,
+                f"retry budget exhausted after {len(delays)} attempts; "
+                f"last failure: {last_failure.kind}: {last_failure.detail}",
+                child_traceback=last_failure.child_traceback,
+            )
+        finally:
+            self._metrics = None
+
+    # -------------------------------------------------------------- one try
+    def _run_once(
+        self, gang: _Gang, op_index: int, op_id: int, attempt: int,
+        frozen: dict, rank_args, shared, tracer, metrics, profile,
+        lifecycle: list[SupervisorEvent],
+    ) -> RunResult:
+        nprocs = gang.nprocs
+        t_attempt0 = monotonic()
+        arena = _ShmArena(shared or {})
+        prof_bufs = None
+        if profile is not None:
+            prof_bufs = _ProfileBuffers(nprocs, profile.ring_capacity)
+        prof_data = None
+        t_dispatch0 = t_dispatched = t_collected = 0.0
+        try:
+            arena_desc = arena.descriptor()
+            prof_desc = prof_bufs.descriptor() if prof_bufs is not None else None
+            t_dispatch0 = monotonic()
+            for r in range(nprocs):
+                gang.ctl[r].put(("op", gang.epoch, op_id, {
+                    **frozen,
+                    "rank_args": tuple(rank_args[r]) if rank_args is not None else None,
+                    "arena": arena_desc,
+                    "profile": prof_desc,
+                    "chaos": self._chaos.take(op_index, r, spawn=False),
+                }))
+            t_dispatched = monotonic()
+            reports = self._collect_op(gang, op_id)
+            t_collected = monotonic()
+            if prof_bufs is not None:
+                prof_data = prof_bufs.copy_out()
+        finally:
+            arena.destroy()
+            if prof_bufs is not None:
+                prof_bufs.destroy()
+
+        results = []
+        stats = []
+        for r in range(nprocs):
+            result, snapshot, child_metrics, child_events = reports[r]
+            results.append(result)
+            stats.append(stats_from_snapshot(snapshot))
+            if metrics is not None and child_metrics is not None:
+                metrics.merge(child_metrics)
+            if tracer is not None and child_events:
+                tracer.events.extend(child_events)
+        run = RunResult(results=results, stats=stats, time_domain=self.time_domain)
+        lifecycle.append(self._event(
+            "op_ok", op_id=op_id,
+            detail=f"attempt {attempt + 1}, epoch {gang.epoch}"))
+        if profile is not None and prof_data is not None:
+            prof = _build_mp_profile(
+                nprocs, prof_data, run,
+                t_attempt0, t_dispatch0, t_dispatched, t_collected, monotonic(),
+            )
+            prof.backend = self.name
+            # Lifecycle spans: clamp into the final attempt's window (the
+            # Chrome-trace schema refuses negative timestamps; a failed
+            # earlier attempt predates this attempt's origin).
+            for ev in lifecycle:
+                t = max(ev.t - t_attempt0, 0.0)
+                prof.gang_spans.append((f"supervisor.{ev.kind}", t, t))
+            profile.profile = prof
+        return run
+
+    # ---------------------------------------------------------- collect one
+    def _collect_op(self, gang: _Gang, op_id: int) -> dict[int, tuple]:
+        deadline = None if self.timeout is None else monotonic() + self.timeout
+        pending = set(range(gang.nprocs))
+        reports: dict[int, tuple] = {}
+        reader = getattr(gang.result_q, "_reader", None)
+        while pending:
+            msg = None
+            got = True
+            try:
+                msg = gang.result_q.get_nowait()
+            except _queue_mod.Empty:
+                got = False
+            except Exception as exc:
+                # A rank killed mid-write can corrupt the stream; treat it
+                # like a poisoned message from an unknown rank.
+                raise _OpFailure(
+                    "poisoned_result", None,
+                    f"result stream corrupted: {exc!r}") from None
+            if not got:
+                now = monotonic()
+                dead = sorted(
+                    r for r in pending if gang.procs[r].exitcode is not None
+                )
+                if dead:
+                    # Grace drain: the rank may have posted before dying.
+                    try:
+                        msg = gang.result_q.get(timeout=0.5)
+                    except (_queue_mod.Empty, Exception):
+                        msg = None
+                    if msg is None:
+                        r = dead[0]
+                        raise _OpFailure(
+                            "rank_death", r,
+                            f"rank {r} exited with code "
+                            f"{gang.procs[r].exitcode} mid-op")
+                else:
+                    ages = gang.board.ages(now)
+                    stale = [
+                        r for r in sorted(pending)
+                        if ages[r] > self.heartbeat_timeout
+                        and gang.procs[r].is_alive()
+                    ]
+                    if stale:
+                        r = stale[0]
+                        raise _OpFailure(
+                            "heartbeat_miss", r,
+                            f"rank {r} heartbeat stale for {ages[r]:.2f}s "
+                            f"(> {self.heartbeat_timeout:g}s): hung or stopped")
+                    if deadline is not None and now >= deadline:
+                        raise _OpFailure(
+                            "op_timeout", None,
+                            f"op {op_id} did not finish within "
+                            f"{self.timeout:g}s (ranks still pending: "
+                            f"{sorted(pending)})")
+                    remaining = None if deadline is None else deadline - now
+                    wake = self.heartbeat_interval
+                    if remaining is not None:
+                        wake = min(wake, max(remaining, 0.01))
+                    sentinels = [gang.procs[r].sentinel for r in sorted(pending)]
+                    wait_for = ([reader] if reader is not None else []) + sentinels
+                    _conn_wait(wait_for, timeout=wake)
+                    continue
+            if msg is None:
+                continue
+            kind, rank, report = self._validate_result(gang, op_id, msg)
+            if kind == "stale":
+                self.stats.stale_dropped += 1
+                continue
+            if kind == "error":
+                raise _OpFailure(
+                    "program_error", rank, "program raised",
+                    child_traceback=report)
+            reports[rank] = report
+            pending.discard(rank)
+        return reports
+
+    def _validate_result(self, gang: _Gang, op_id: int, msg):
+        """Classify one result message: ok / error / stale, or fail poisoned."""
+        if not isinstance(msg, tuple) or len(msg) < 3:
+            rank = msg[1] if isinstance(msg, tuple) and len(msg) > 1 \
+                and isinstance(msg[1], int) else None
+            raise _OpFailure(
+                "poisoned_result", rank,
+                f"malformed result message: {msg!r}")
+        kind = msg[0]
+        if kind == "ready":
+            return ("stale", None, None)
+        if kind == "error" and len(msg) == 5:
+            _, rank, epoch, msg_op, tb = msg
+            if epoch != gang.epoch or msg_op != op_id:
+                return ("stale", None, None)
+            return ("error", rank, tb)
+        if kind == "ok" and len(msg) == 5 and isinstance(msg[1], int) \
+                and 0 <= msg[1] < gang.nprocs:
+            _, rank, epoch, msg_op, blob = msg
+            if epoch != gang.epoch or msg_op != op_id:
+                return ("stale", None, None)
+            try:
+                report = pickle.loads(blob)
+            except Exception as exc:
+                raise _OpFailure(
+                    "poisoned_result", rank,
+                    f"undecodable result payload: {exc!r}") from None
+            return ("ok", rank, report)
+        if kind == "ok" and len(msg) == 3 and isinstance(msg[1], int) \
+                and msg[2] != gang.epoch:
+            return ("stale", None, None)
+        rank = msg[1] if len(msg) > 1 and isinstance(msg[1], int) else None
+        raise _OpFailure(
+            "poisoned_result", rank,
+            f"malformed result message: {msg!r}")
+
+
+# ------------------------------------------------------- default instance
+_DEFAULT: GangSupervisor | None = None
+
+
+def default_supervisor() -> GangSupervisor:
+    """The process-wide supervisor behind ``backend="supervised"``.
+
+    One shared instance means every string-name caller reuses the same
+    warm gang; it is shut down atexit (and by
+    :func:`shutdown_default_supervisor`, which tests use to assert
+    leak-freedom deterministically).
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = GangSupervisor()
+        atexit.register(shutdown_default_supervisor)
+    return _DEFAULT
+
+
+def shutdown_default_supervisor() -> None:
+    """Reap the default supervisor's gang (idempotent)."""
+    global _DEFAULT
+    sup, _DEFAULT = _DEFAULT, None
+    if sup is not None:
+        sup.shutdown()

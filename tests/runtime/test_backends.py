@@ -11,6 +11,7 @@ from repro.runtime import (
     BACKEND_NAMES,
     Backend,
     BackendError,
+    GangSupervisor,
     MpBackend,
     SimBackend,
     available_backends,
@@ -30,12 +31,16 @@ def _ring_program(ctx):
 
 class TestResolution:
     def test_names(self):
-        assert set(BACKEND_NAMES) == {"sim", "mp"}
+        assert set(BACKEND_NAMES) == {"sim", "mp", "supervised"}
         assert set(available_backends()) == set(BACKEND_NAMES)
 
     def test_get_backend_by_name(self):
         assert isinstance(get_backend("sim"), SimBackend)
         assert isinstance(get_backend("mp"), MpBackend)
+        assert isinstance(get_backend("supervised"), GangSupervisor)
+        # The supervised backend is a process-wide singleton: every
+        # string-name caller shares one warm gang.
+        assert get_backend("supervised") is get_backend("supervised")
 
     def test_default_is_sim(self):
         assert get_backend().name == "sim"

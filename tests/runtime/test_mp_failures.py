@@ -3,51 +3,25 @@
 A rank failing mid-phase must terminate the whole gang, reap every child
 process, unlink every shared-memory segment, and surface the originating
 rank's traceback — on every failure path (program exception, silent child
-death, gang timeout, SPMD divergence).
+death via real SIGKILL at every lifecycle phase, gang timeout, SPMD
+divergence, poisoned result message).
+
+The leak check itself (children, ``psm_*`` segments, ``sem.*``
+semaphores after every test) is the autouse fixture in ``conftest.py``.
 """
 
-import multiprocessing
 import os
-import time
 
 import numpy as np
 import pytest
 
+from repro.faults.chaos import ChaosEvent, ChaosPlan
 from repro.machine import MachineSpec
 from repro.runtime import MpBackend, MpGangError, allreduce, barrier
 
+from .conftest import _shm_segments, live_gang as _live_gang, settle as _settle
+
 SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
-
-SHM_DIR = "/dev/shm"
-
-
-def _shm_segments():
-    """Current multiprocessing shared-memory segment names (POSIX)."""
-    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-POSIX hosts
-        return set()
-    return {f for f in os.listdir(SHM_DIR) if f.startswith("psm_")}
-
-
-def _live_gang():
-    return [p for p in multiprocessing.active_children()
-            if p.name.startswith("repro-mp-rank-")]
-
-
-def _settle(deadline=5.0):
-    """Give just-terminated children a moment to be reaped."""
-    t0 = time.monotonic()
-    while _live_gang() and time.monotonic() - t0 < deadline:
-        time.sleep(0.02)
-
-
-@pytest.fixture(autouse=True)
-def no_leaks():
-    """Every test must leave zero gang children and zero shm segments."""
-    before = _shm_segments()
-    yield
-    _settle()
-    assert _live_gang() == []
-    assert _shm_segments() <= before
 
 
 class TestProgramFailure:
@@ -135,6 +109,71 @@ class TestProgramFailure:
         with pytest.raises(MpGangError) as err:
             MpBackend(timeout=30).run_spmd(prog, 2, spec=SPEC)
         assert "CollectiveMismatch" in str(err.value)
+
+
+class TestChaosKillPaths:
+    """Satellite: every MpGangError path under a *real* SIGKILL, placed
+    by a seeded ChaosPlan at each lifecycle phase.  The bare backend must
+    fail fast with originating-rank attribution, reap the gang, and leak
+    nothing (the autouse fixture asserts the last two)."""
+
+    #: phase -> where the rank dies: before reporting ready (fork/spawn),
+    #: inside its compute phase, entering a collective, or after the
+    #: program finished but before the result is posted (flush).
+    PHASES = ("spawn", "compute", "collective", "flush")
+
+    @staticmethod
+    def _prog(ctx, x):
+        ctx.phase("compute")
+        total = yield from allreduce(ctx, float(np.sum(x)), lambda a, b: a + b)
+        return total
+
+    @pytest.mark.parametrize("phase", PHASES)
+    @pytest.mark.parametrize("victim", [0, 1])
+    def test_sigkill_at_phase_attributed_and_clean(self, phase, victim):
+        data = np.arange(64, dtype=np.float64)
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="kill", rank=victim, op_index=0, phase=phase),
+        ))
+        backend = MpBackend(timeout=60, chaos=plan)
+        with pytest.raises(MpGangError) as err:
+            backend.run_spmd(
+                self._prog, 2, spec=SPEC, shared={"x": data},
+                make_rank_args=lambda r, sh: (sh["x"][r * 32:(r + 1) * 32],),
+            )
+        # A SIGKILLed child exits -9 without reporting; the survivor may
+        # block in the collective forever — teardown must not wait on it.
+        assert err.value.rank == victim
+        assert "code -9" in str(err.value)
+        assert "without reporting" in str(err.value)
+        _settle()
+        assert _live_gang() == []
+
+    def test_poisoned_result_rejected(self):
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="poison", rank=1, op_index=0, phase="flush"),
+        ))
+
+        def prog(ctx):
+            ctx.work(1)
+            return ctx.rank
+
+        with pytest.raises(MpGangError, match="malformed result"):
+            MpBackend(timeout=60, chaos=plan).run_spmd(prog, 2, spec=SPEC)
+
+    def test_delay_is_not_a_failure(self):
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="delay", rank=0, op_index=0, phase="compute",
+                       seconds=0.2),
+        ))
+
+        def prog(ctx):
+            ctx.phase("compute")
+            ctx.work(1)
+            return ctx.rank
+
+        run = MpBackend(timeout=60, chaos=plan).run_spmd(prog, 2, spec=SPEC)
+        assert run.results == [0, 1]
 
 
 class TestRejectedInsideChild:

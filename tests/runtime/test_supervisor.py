@@ -1,0 +1,448 @@
+"""GangSupervisor: warm gangs, chaos recovery, retry/backoff, degradation.
+
+The supervisor's contract — recover from *real* process faults (SIGKILL,
+SIGSTOP, poisoned results, deadlocks) by rebuilding the gang and
+retrying under a seeded backoff policy, with bit-identical results to a
+fault-free run — is asserted here against actual forked processes.  The
+autouse fixture in ``conftest.py`` checks every test reaps its children
+and leaks no ``/dev/shm`` segments or semaphores.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.api import pack
+from repro.faults.chaos import ChaosEvent, ChaosPlan
+from repro.machine import MachineSpec
+from repro.obs import MetricsRegistry, RuntimeProfiler, validate_chrome_trace
+from repro.runtime import (
+    GangSupervisor,
+    MpGangError,
+    RetryPolicy,
+    SimBackend,
+    allreduce,
+    default_supervisor,
+)
+
+from .conftest import live_gang, settle
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+
+#: Tight deterministic backoff so recovery tests stay fast.
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.01, max_delay=0.05,
+                         jitter=0.0, seed=0)
+
+
+def _sum_prog(ctx, x):
+    ctx.phase("compute")
+    total = yield from allreduce(ctx, float(np.sum(x)), lambda a, b: a + b)
+    return total
+
+
+def _quick_prog(ctx):
+    ctx.work(1)
+    return ctx.rank
+
+
+def _deadlock_prog(ctx):
+    yield ctx.recv((ctx.rank + 1) % ctx.size, 99)  # never sent
+
+
+def _boom_prog(ctx):
+    if ctx.rank == 1:
+        raise ValueError("boom in supervised gang")
+    ctx.work(1)
+    return ctx.rank
+
+
+DATA = np.arange(64, dtype=np.float64)
+EXPECTED_SUM = float(DATA.sum())
+
+
+def _halves(r, sh):
+    return (sh["x"][r * 32:(r + 1) * 32],)
+
+
+def _run_sum(sup, nprocs=2):
+    return sup.run_spmd(_sum_prog, nprocs, spec=SPEC, shared={"x": DATA},
+                        make_rank_args=_halves)
+
+
+class TestRetryPolicy:
+    def test_deterministic_per_seed(self):
+        a = list(RetryPolicy(seed=7).delays())
+        b = list(RetryPolicy(seed=7).delays())
+        c = list(RetryPolicy(seed=8).delays())
+        assert a == b
+        assert a != c
+
+    def test_delays_bounded_and_growing(self):
+        pol = RetryPolicy(max_retries=6, base_delay=0.1, max_delay=1.0,
+                          multiplier=2.0, jitter=0.25, seed=0)
+        delays = list(pol.delays())
+        assert len(delays) == 6
+        for i, d in enumerate(delays):
+            base = min(1.0, 0.1 * 2.0 ** i)
+            assert base * 0.75 <= d <= base * 1.25
+        # The capped tail stays near max_delay rather than growing forever.
+        assert delays[-1] <= 1.25
+
+    def test_zero_retries_yields_nothing(self):
+        assert list(RetryPolicy(max_retries=0).delays()) == []
+
+    @pytest.mark.parametrize("kw", [
+        {"max_retries": -1},
+        {"base_delay": -0.1},
+        {"multiplier": 0.5},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kw)
+
+
+class TestWarmGang:
+    def test_warm_reuse_keeps_epoch(self):
+        with GangSupervisor(timeout=60) as sup:
+            sup.warm(2)
+            epoch = sup.stats.gang_epoch
+            assert epoch >= 1
+            for _ in range(2):
+                run = _run_sum(sup)
+                assert run.results == [EXPECTED_SUM] * 2
+            assert sup.stats.gang_epoch == epoch  # no rebuild
+            assert sup.stats.warm_ops == 2
+            assert sup.stats.cold_ops == 0
+            assert sup.stats.ops == 2
+
+    def test_first_op_without_warm_is_cold(self):
+        with GangSupervisor(timeout=60) as sup:
+            run = _run_sum(sup)
+            assert run.results == [EXPECTED_SUM] * 2
+            assert sup.stats.cold_ops == 1
+            assert sup.stats.warm_ops == 0
+
+    def test_width_change_rebuilds(self):
+        with GangSupervisor(timeout=60) as sup:
+            sup.run_spmd(_quick_prog, 2, spec=SPEC)
+            e2 = sup.stats.gang_epoch
+            run = sup.run_spmd(_quick_prog, 3, spec=SPEC)
+            assert run.results == [0, 1, 2]
+            assert sup.stats.gang_epoch > e2
+
+    def test_shutdown_reaps_gang(self):
+        sup = GangSupervisor(timeout=60)
+        sup.warm(2)
+        assert len(live_gang()) == 2
+        sup.shutdown()
+        settle()
+        assert live_gang() == []
+
+    def test_rank_args_list_and_time_domain(self):
+        with GangSupervisor(timeout=60) as sup:
+            run = sup.run_spmd(
+                _sum_prog, 2, spec=SPEC,
+                rank_args=[(DATA[:32],), (DATA[32:],)],
+            )
+            assert run.results == [EXPECTED_SUM] * 2
+            assert run.time_domain == "wall"
+
+
+class TestRecovery:
+    """A seeded real-process fault on op 0 must recover to the exact
+    fault-free answer, with the failure classified and counted."""
+
+    #: phase at which rank 1 is SIGKILLed -> expected failure class.
+    KILL_PHASES = {
+        "spawn": "spawn_failure",
+        "compute": "rank_death",
+        "collective": "rank_death",
+        "flush": "rank_death",
+    }
+
+    @pytest.mark.parametrize("phase", sorted(KILL_PHASES))
+    def test_sigkill_recovers_bit_identical(self, phase):
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="kill", rank=1, op_index=0, phase=phase),
+        ))
+        with GangSupervisor(timeout=60, retry=FAST_RETRY, chaos=plan) as sup:
+            run = _run_sum(sup)
+            assert run.results == [EXPECTED_SUM] * 2
+            assert sup.stats.retries >= 1
+            assert sup.stats.failures.get(self.KILL_PHASES[phase], 0) >= 1
+            # The op still counts once: retries are inside one op.
+            assert sup.stats.ops == 1
+            kinds = {ev.kind for ev in sup.stats.events}
+            assert {"retry", "op_ok"} <= kinds
+            if phase == "spawn":
+                # The gang died while being built: no established gang
+                # was reaped, but a fresh epoch was spawned.
+                assert sup.stats.gang_epoch >= 2
+            else:
+                assert sup.stats.rebuilds >= 1
+                assert "rebuild" in kinds
+
+    def test_sigstop_hang_detected_by_heartbeat(self):
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="stop", rank=0, op_index=0, phase="compute"),
+        ))
+        sup = GangSupervisor(timeout=60, retry=FAST_RETRY, chaos=plan,
+                             heartbeat_interval=0.05, heartbeat_timeout=1.0)
+        with sup:
+            run = _run_sum(sup)
+            assert run.results == [EXPECTED_SUM] * 2
+            assert sup.stats.failures.get("heartbeat_miss", 0) >= 1
+
+    def test_poisoned_result_retried(self):
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="poison", rank=1, op_index=0, phase="flush"),
+        ))
+        with GangSupervisor(timeout=60, retry=FAST_RETRY, chaos=plan) as sup:
+            run = _run_sum(sup)
+            assert run.results == [EXPECTED_SUM] * 2
+            assert sup.stats.failures.get("poisoned_result", 0) >= 1
+
+    def test_deadlock_classified_as_op_timeout(self):
+        pol = RetryPolicy(max_retries=1, base_delay=0.01, jitter=0.0)
+        with GangSupervisor(timeout=1.0, retry=pol) as sup:
+            with pytest.raises(MpGangError, match="retry budget exhausted"):
+                sup.run_spmd(_deadlock_prog, 2, spec=SPEC)
+            # Every attempt (initial + 1 retry) timed out.
+            assert sup.stats.failures.get("op_timeout", 0) == 2
+
+    def test_program_error_not_retried(self):
+        with GangSupervisor(timeout=60, retry=FAST_RETRY) as sup:
+            with pytest.raises(MpGangError) as err:
+                sup.run_spmd(_boom_prog, 2, spec=SPEC)
+            assert err.value.rank == 1
+            assert "ValueError: boom in supervised gang" in str(err.value)
+            assert sup.stats.retries == 0
+            assert sup.stats.failures.get("program_error", 0) == 1
+            # The gang is rebuilt (the failing worker exited), but no
+            # retry of a deterministic program error is attempted.
+            run = sup.run_spmd(_quick_prog, 2, spec=SPEC)
+            assert run.results == [0, 1]
+
+    def test_later_ops_unaffected_by_op0_chaos(self):
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="kill", rank=1, op_index=0, phase="compute"),
+        ))
+        with GangSupervisor(timeout=60, retry=FAST_RETRY, chaos=plan) as sup:
+            _run_sum(sup)
+            epoch = sup.stats.gang_epoch
+            run = _run_sum(sup)  # op 1: warm, no faults
+            assert run.results == [EXPECTED_SUM] * 2
+            assert sup.stats.gang_epoch == epoch
+            assert sup.stats.warm_ops >= 1
+
+
+class TestDegradation:
+    #: A kill with a budget bigger than the retry allowance: every mp
+    #: attempt dies, forcing the exhaustion path.
+    PERSISTENT_KILL = ChaosPlan(events=(
+        ChaosEvent(kind="kill", rank=1, op_index=0, phase="compute",
+                   times=10),
+    ))
+
+    def test_exhaustion_raises_by_default(self):
+        pol = RetryPolicy(max_retries=1, base_delay=0.01, jitter=0.0)
+        sup = GangSupervisor(timeout=60, retry=pol,
+                             chaos=self.PERSISTENT_KILL)
+        with sup:
+            with pytest.raises(MpGangError, match="retry budget exhausted"):
+                _run_sum(sup)
+            assert sup.stats.fallbacks == 0
+
+    def test_exhaustion_falls_back_to_simulator(self):
+        pol = RetryPolicy(max_retries=1, base_delay=0.01, jitter=0.0)
+        sup = GangSupervisor(timeout=60, retry=pol,
+                             chaos=self.PERSISTENT_KILL,
+                             on_exhaustion="fallback")
+        with sup:
+            run = _run_sum(sup)
+            # Degraded answer comes from the simulator: same numbers,
+            # honestly labelled with the simulated time domain.
+            assert run.results == [EXPECTED_SUM] * 2
+            assert run.time_domain == "simulated"
+            assert sup.stats.fallbacks == 1
+            assert "fallback" in {ev.kind for ev in sup.stats.events}
+
+    def test_bad_on_exhaustion_rejected(self):
+        with pytest.raises(ValueError, match="on_exhaustion"):
+            GangSupervisor(on_exhaustion="retry-forever")
+
+    def test_bad_heartbeat_config_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat"):
+            GangSupervisor(heartbeat_interval=1.0, heartbeat_timeout=0.5)
+
+
+class TestObservability:
+    def test_metrics_counters_and_epoch_gauge(self):
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="kill", rank=1, op_index=0, phase="compute"),
+        ))
+        reg = MetricsRegistry()
+        with GangSupervisor(timeout=60, retry=FAST_RETRY, chaos=plan) as sup:
+            sup.run_spmd(_sum_prog, 2, spec=SPEC, shared={"x": DATA},
+                         make_rank_args=_halves, metrics=reg)
+            assert reg.value("supervisor.rank_death") >= 1
+            assert reg.value("supervisor.retry") >= 1
+            assert reg.value("supervisor.rebuild") >= 1
+            assert reg.value("supervisor.op_ok") == 1
+            assert reg.value("supervisor.gang_epoch") == sup.stats.gang_epoch
+
+    def test_profile_warm_dispatch_and_lifecycle_spans(self):
+        with GangSupervisor(timeout=60) as sup:
+            sup.warm(2)
+            prof = RuntimeProfiler()
+            run = sup.run_spmd(_sum_prog, 2, spec=SPEC, shared={"x": DATA},
+                               make_rank_args=_halves, profile=prof)
+            assert run.results == [EXPECTED_SUM] * 2
+            p = prof.profile
+            assert p is not None
+            assert p.backend == "supervised"
+            # Warm dispatch: the "fork" lane is queue latency, not a real
+            # fork+import; it must be far below any plausible cold spawn.
+            assert p.phase_seconds["fork"] < 0.2
+            names = {s[0] for s in p.gang_spans}
+            assert "supervisor.op_ok" in names
+            for _, t0, t1 in p.gang_spans:
+                assert 0.0 <= t0 <= t1
+            validate_chrome_trace(p.to_chrome_trace())
+
+    def test_stats_as_dict_is_json(self):
+        with GangSupervisor(timeout=60) as sup:
+            sup.run_spmd(_quick_prog, 2, spec=SPEC)
+            doc = json.loads(json.dumps(sup.stats.as_dict()))
+            assert doc["ops"] == 1
+            assert doc["gang_epoch"] >= 1
+            assert isinstance(doc["events"], list)
+
+
+class TestFreezeThaw:
+    """Programs and arg-makers must survive the dispatch queue even when
+    they are closures (plain pickle would refuse them)."""
+
+    def test_closure_program_ships(self):
+        scale = 3.0
+
+        def prog(ctx):
+            ctx.work(1)
+            return ctx.rank * scale
+
+        with GangSupervisor(timeout=60) as sup:
+            run = sup.run_spmd(prog, 2, spec=SPEC)
+            assert run.results == [0.0, 3.0]
+
+    def test_closure_over_array_ships(self):
+        weights = np.array([2.0, 5.0])
+
+        def maker(r, shared):
+            return (float(weights[r]),)
+
+        def prog(ctx, w):
+            ctx.work(1)
+            return w * 10
+
+        with GangSupervisor(timeout=60) as sup:
+            run = sup.run_spmd(prog, 2, spec=SPEC, make_rank_args=maker)
+            assert run.results == [20.0, 50.0]
+
+    def test_unpicklable_closure_state_rejected_eagerly(self):
+        lock = threading.Lock()
+
+        def prog(ctx):
+            return lock.locked()
+
+        from repro.runtime import BackendError
+
+        with GangSupervisor(timeout=60) as sup:
+            with pytest.raises(BackendError, match="not picklable"):
+                sup.run_spmd(prog, 2, spec=SPEC)
+
+
+class TestApiIntegration:
+    def test_pack_via_supervised_backend_matches_sim(self):
+        rng = np.random.default_rng(5)
+        a = rng.random(96)
+        m = rng.random(96) < 0.4
+        base = pack(a, m, grid=4, spec=SPEC, backend="sim")
+        via = pack(a, m, grid=4, spec=SPEC, backend="supervised")
+        np.testing.assert_array_equal(base.vector, via.vector)
+        # A second call through the string name reuses the warm gang.
+        pack(a, m, grid=4, spec=SPEC, backend="supervised")
+        assert default_supervisor().stats.warm_ops >= 1
+
+
+class TestEmergencyCleanup:
+    """Satellite: a host killed by SIGTERM mid-run must unlink its shm
+    segments and kill its gang from the signal handler — atexit never
+    runs under default SIGTERM disposition."""
+
+    SCRIPT = r"""
+import sys, time
+import numpy as np
+from repro.runtime.supervisor import GangSupervisor
+from repro.runtime.mp import _ShmArena
+
+sup = GangSupervisor(timeout=60)
+sup.warm(2)
+arena = _ShmArena({"a": np.arange(1 << 14, dtype=np.float64)})
+names = [seg.name for seg in arena._segments]
+pids = [str(p.pid) for p in sup._gang.procs]
+print("READY", ",".join(names), ",".join(pids), flush=True)
+time.sleep(60)
+"""
+
+    def test_sigterm_unlinks_shm_and_kills_gang(self, tmp_path):
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.SCRIPT],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline().split()
+            assert line and line[0] == "READY", proc.stderr.read()
+            seg_names = line[1].split(",")
+            child_pids = [int(p) for p in line[2].split(",")]
+            assert seg_names and len(child_pids) == 2
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) != 0
+        finally:
+            proc.kill()
+            proc.wait(timeout=15)
+            proc.stdout.close()
+            proc.stderr.close()
+        deadline = time.monotonic() + 10
+        pending = lambda: (
+            [n for n in seg_names if os.path.exists(f"/dev/shm/{n}")],
+            [p for p in child_pids if _alive(p)],
+        )
+        while time.monotonic() < deadline and any(pending()):
+            time.sleep(0.1)
+        leaked_segs, leaked_pids = pending()
+        assert leaked_segs == [], f"segments survived SIGTERM: {leaked_segs}"
+        assert leaked_pids == [], f"gang survived SIGTERM: {leaked_pids}"
+
+
+def _alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
