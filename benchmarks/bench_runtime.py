@@ -18,18 +18,33 @@ The two elapsed numbers live in different time domains on purpose — this
 benchmark records them side by side but never adds them (the library
 itself refuses to: see ``aggregate_time`` / ``TimeDomainError``).
 
+Two measurement regimes, recorded separately:
+
+* **cold** (``cases``, the original fields) — each op pays fork + shm +
+  gang teardown.  This is what made early runs look like mp scaled
+  *inversely* with P: more ranks, more forks per op.
+* **steady state** (``steady_state``) — ops run on a warm persistent
+  gang (:class:`~repro.runtime.GangSupervisor`), with the one-time gang
+  spawn cost reported separately (``gang_setup_ms``).  Each cell is
+  measured per transport (``queue`` vs ``ring``), so the zero-copy
+  transport win is visible instead of being buried under fork cost.
+
 Alongside the comparison it records *where the mp wall time goes*: each
 mp case is re-run once under a :class:`~repro.obs.runtime.RuntimeProfiler`
 and the resulting phase-attribution tables (fork / shm / pickle /
-queue_send / queue_wait / collective / compute / reap as fractions of the
-host wall) and communication totals are written to ``BENCH_profile.json``
-— the file that explains the ``mp_over_sim_host_wall`` ratios above.
+queue_send / queue_wait / encode / ring_send / ring_wait / collective /
+compute / reap as fractions of the host wall) and communication totals
+are written to ``BENCH_profile.json`` — the file that explains the
+``mp_over_sim_host_wall`` ratios above.  A ``codec_crossover`` section
+records the analytic SSS-vs-CMS wire-byte ratio of the paper's beta_2
+crossover (CMS wins iff the mean run length exceeds 2).
 
 Usage::
 
     python benchmarks/bench_runtime.py            # measure + write JSON
     python benchmarks/bench_runtime.py --quick    # small workload (CI)
     python benchmarks/bench_runtime.py --no-write # print only
+    python benchmarks/bench_runtime.py --quick --check   # CI perf gate
 """
 
 from __future__ import annotations
@@ -42,16 +57,19 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.codecs import pair_runs, wire_bytes_pair_cms, wire_bytes_pair_sss
 from repro.core.api import pack, unpack
 from repro.obs import RuntimeProfiler
-from repro.runtime import MpBackend, SimBackend
+from repro.runtime import GangSupervisor, MpBackend, SimBackend, TRANSPORT_NAMES
 
 ROOT = Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_runtime.json"
 OUT_PROFILE = ROOT / "BENCH_profile.json"
 SEED = 0
 PROCS = (2, 4, 8)
+QUICK_PROCS = (2, 4)
 GANG_TIMEOUT = 300.0  # wall budget per mp gang; a hang fails, not stalls
+CHECK_SLACK = 5.0  # CI perf gate: measured ratio may exceed the band by this
 
 
 def _workload(n: int, density: float):
@@ -76,7 +94,8 @@ def _run_case(op: str, p: int, backend, inputs, profile=None) -> float:
     return r.run.elapsed
 
 
-def measure(n: int, density: float, reps: int) -> list[dict]:
+def measure(n: int, density: float, reps: int, procs) -> list[dict]:
+    """Cold-path comparison: every op pays gang spawn and teardown."""
     inputs = _workload(n, density)
     backends = {
         "sim": SimBackend(),
@@ -84,7 +103,7 @@ def measure(n: int, density: float, reps: int) -> list[dict]:
     }
     cases = []
     for op in ("pack", "unpack"):
-        for p in PROCS:
+        for p in procs:
             row: dict = {"op": op, "p": p, "n": n}
             for bname, backend in backends.items():
                 best_wall = float("inf")
@@ -102,6 +121,9 @@ def measure(n: int, density: float, reps: int) -> list[dict]:
                     "elapsed_ms": round(elapsed * 1e3, 6),
                     "time_domain": backend.time_domain,
                 }
+                transport = getattr(backend, "transport", None)
+                if transport is not None:
+                    row[bname]["transport"] = transport
             ratio = (row["mp"]["host_wall_ms"] / row["sim"]["host_wall_ms"]
                      if row["sim"]["host_wall_ms"] else float("inf"))
             row["mp_over_sim_host_wall"] = round(ratio, 3)
@@ -114,22 +136,82 @@ def measure(n: int, density: float, reps: int) -> list[dict]:
     return cases
 
 
-def measure_profiles(n: int, density: float) -> list[dict]:
+def measure_steady(n: int, density: float, reps: int, procs) -> list[dict]:
+    """Warm-gang regime: per-op wall on a persistent gang, per transport.
+
+    Gang spawn is paid once per (P, transport) and reported separately —
+    this is the number the cold path buried, and the one where the
+    transport choice actually shows.
+    """
+    inputs = _workload(n, density)
+    reps = max(reps, 3)
+    sim = SimBackend()
+    rows = {}
+    for op in ("pack", "unpack"):
+        for p in procs:
+            best = min(
+                _time_wall(op, p, sim, inputs) for _ in range(reps)
+            )
+            rows[(op, p)] = {
+                "op": op, "p": p, "n": n,
+                "sim_host_wall_ms": round(best * 1e3, 3),
+                "transports": {},
+            }
+    for transport in TRANSPORT_NAMES:
+        for p in procs:
+            sup = GangSupervisor(timeout=GANG_TIMEOUT, transport=transport)
+            with sup:
+                t0 = time.perf_counter()
+                _run_case("pack", p, sup, inputs)  # spawns + warms the gang
+                setup = time.perf_counter() - t0
+                for op in ("pack", "unpack"):
+                    walls = [
+                        _time_wall(op, p, sup, inputs) for _ in range(reps)
+                    ]
+                    row = rows[(op, p)]
+                    per_op = min(walls)
+                    ratio = (per_op * 1e3 / row["sim_host_wall_ms"]
+                             if row["sim_host_wall_ms"] else float("inf"))
+                    row["transports"][transport] = {
+                        "gang_setup_ms": round(setup * 1e3, 3),
+                        "per_op_ms": round(per_op * 1e3, 3),
+                        "warm_ops": reps,
+                        "mp_over_sim_host_wall": round(ratio, 3),
+                    }
+    for row in rows.values():
+        cells = "   ".join(
+            f"{t} {c['per_op_ms']:8.1f} ms/op ({c['mp_over_sim_host_wall']:.2f}x sim)"
+            for t, c in row["transports"].items()
+        )
+        print(f"  {row['op']:<6s} P={row['p']}: "
+              f"sim {row['sim_host_wall_ms']:8.1f} ms   {cells}")
+    return list(rows.values())
+
+
+def _time_wall(op, p, backend, inputs) -> float:
+    t0 = time.perf_counter()
+    _run_case(op, p, backend, inputs)
+    return time.perf_counter() - t0
+
+
+def measure_profiles(n: int, density: float, procs) -> list[dict]:
     """Profile each mp case once: where does the host wall go?"""
     inputs = _workload(n, density)
     backend = MpBackend(timeout=GANG_TIMEOUT)
     cases = []
     for op in ("pack", "unpack"):
-        for p in PROCS:
+        for p in procs:
             prof = RuntimeProfiler()
             _run_case(op, p, backend, inputs, profile=prof)
             profile = prof.profile
             table = profile.phase_table()
+            wire_bytes = int(sum(map(sum, profile.comm_bytes)))
             cases.append({
                 "op": op,
                 "p": p,
                 "n": n,
                 "backend": "mp",
+                "transport": profile.transport,
                 "time_domain": profile.time_domain,
                 "host_wall_ms": round(profile.total_seconds * 1e3, 3),
                 "attributed_fraction": round(profile.attributed_fraction, 6),
@@ -143,7 +225,13 @@ def measure_profiles(n: int, density: float) -> list[dict]:
                 },
                 "comm": {
                     "messages": int(sum(map(sum, profile.comm_msgs))),
-                    "pickled_bytes": int(sum(map(sum, profile.comm_bytes))),
+                    # legacy name kept for trend continuity; under the
+                    # ring transport these are encoded wire bytes.
+                    "pickled_bytes": wire_bytes,
+                    "wire_bytes": wire_bytes,
+                    "byte_meaning": ("encoded wire bytes"
+                                     if profile.transport == "ring"
+                                     else "pickled payload bytes"),
                     "collectives": int(sum(profile.collectives_per_rank)),
                 },
                 "dropped_events": profile.dropped_events,
@@ -155,6 +243,82 @@ def measure_profiles(n: int, density: float) -> list[dict]:
                   f"top phase {top} "
                   f"({table[top]['fraction'] * 100:.0f}%)")
     return cases
+
+
+def measure_codec_crossover(n: int, p: int = 4) -> list[dict]:
+    """Analytic SSS-vs-CMS wire bytes on the bench mask shape.
+
+    The paper's beta_2 crossover at the byte level: CMS wins iff the
+    mean run length of consecutive destination indices exceeds 2.
+    Density sweeps the run-length distribution — dense masks give long
+    runs (CMS), sparse masks give singletons (SSS).
+    """
+    rng = np.random.default_rng(SEED)
+    rows = []
+    for density in (0.05, 0.1, 0.25, 0.5, 0.75, 0.9):
+        mask = rng.random(n) < density
+        ranks = np.flatnonzero(mask).astype(np.int64)
+        _, counts = pair_runs(ranks)
+        count, segments = int(ranks.size), int(counts.size)
+        sss = wire_bytes_pair_sss(count)
+        cms = wire_bytes_pair_cms(count, segments)
+        rows.append({
+            "density": density,
+            "count": count,
+            "segments": segments,
+            "mean_run_length": round(count / segments, 3) if segments else 0.0,
+            "sss_bytes": sss,
+            "cms_bytes": cms,
+            "cms_over_sss": round(cms / sss, 4) if sss else 0.0,
+            "auto_picks": "cms" if cms < sss else "sss",
+        })
+        print(f"  density {density:4.2f}: mean run "
+              f"{rows[-1]['mean_run_length']:6.2f} -> "
+              f"cms/sss bytes {rows[-1]['cms_over_sss']:.3f} "
+              f"(auto: {rows[-1]['auto_picks']})")
+    return rows
+
+
+def check_gate(steady: list[dict], p: int = 4,
+               slack: float = CHECK_SLACK) -> int:
+    """CI perf gate: ring steady-state ratio at P=4 under the recorded band.
+
+    The band is what the last full ``bench_runtime.py`` run wrote to
+    ``BENCH_runtime.json`` (``check_band``); ``slack`` absorbs CI noise
+    and the smaller ``--quick`` workload.  Missing file or band means no
+    gate yet — pass with a note so first runs don't fail.
+    """
+    band = None
+    if OUT.exists():
+        band = json.loads(OUT.read_text()).get("check_band", {}).get(
+            "mp_over_sim_steady_p4")
+    if band is None:
+        print("perf gate: no recorded band in BENCH_runtime.json; skipping")
+        return 0
+    measured = [
+        row["transports"]["ring"]["mp_over_sim_host_wall"]
+        for row in steady
+        if row["p"] == p and "ring" in row["transports"]
+    ]
+    if not measured:
+        print(f"perf gate: no ring steady-state rows at P={p}; skipping")
+        return 0
+    worst = max(measured)
+    limit = band * slack
+    verdict = "OK" if worst <= limit else "FAIL"
+    print(f"perf gate: ring steady mp/sim at P={p} = {worst:.2f}x "
+          f"(band {band:.2f}x, limit {limit:.2f}x with {slack:g}x slack) "
+          f"-> {verdict}")
+    return 0 if worst <= limit else 1
+
+
+def _band_from(steady: list[dict], p: int = 4) -> float | None:
+    ratios = [
+        row["transports"]["ring"]["mp_over_sim_host_wall"]
+        for row in steady
+        if row["p"] == p and "ring" in row["transports"]
+    ]
+    return round(max(ratios), 3) if ratios else None
 
 
 def _git_rev() -> str:
@@ -175,37 +339,54 @@ def main(argv=None) -> int:
     ap.add_argument("--reps", type=int, default=3,
                     help="repetitions per cell (best host wall kept)")
     ap.add_argument("--quick", action="store_true",
-                    help="small workload, one rep (CI smoke)")
+                    help="small workload, one rep, P in {2,4} (CI smoke)")
     ap.add_argument("--no-write", action="store_true",
                     help="print only; do not write BENCH_runtime.json")
+    ap.add_argument("--check", action="store_true",
+                    help="gate: ring steady-state mp/sim ratio at P=4 must "
+                         "stay under the recorded band (implies --no-write)")
     args = ap.parse_args(argv)
 
     n = 4096 if args.quick else args.n
     reps = 1 if args.quick else args.reps
+    procs = QUICK_PROCS if args.quick else PROCS
     print(f"runtime backends: pack/unpack n={n} density={args.density} "
-          f"P={list(PROCS)} ({reps} rep{'s' if reps > 1 else ''}):")
-    cases = measure(n, args.density, reps)
+          f"P={list(procs)} ({reps} rep{'s' if reps > 1 else ''}):")
+    print("cold path (gang spawned per op):")
+    cases = measure(n, args.density, reps, procs)
+    print("steady state (warm persistent gang, per transport):")
+    steady = measure_steady(n, args.density, reps, procs)
+    print("codec crossover (analytic wire bytes):")
+    crossover = measure_codec_crossover(n)
     print("mp phase attribution:")
-    profile_cases = measure_profiles(n, args.density)
+    profile_cases = measure_profiles(n, args.density, procs)
+
+    if args.check:
+        return check_gate(steady)
 
     if not args.no_write:
         rev = _git_rev()
         doc = {
-            "schema": 1,
+            "schema": 2,
             "n": n,
             "density": args.density,
             "reps": reps,
-            "procs": list(PROCS),
+            "procs": list(procs),
             "rev": rev,
             "cases": cases,
+            "steady_state": steady,
+            "codec_crossover": crossover,
         }
+        band = _band_from(steady)
+        if band is not None:
+            doc["check_band"] = {"p": 4, "mp_over_sim_steady_p4": band}
         OUT.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {len(cases)} cases -> {OUT}")
         prof_doc = {
-            "schema": 1,
+            "schema": 2,
             "n": n,
             "density": args.density,
-            "procs": list(PROCS),
+            "procs": list(procs),
             "rev": rev,
             "cases": profile_cases,
         }

@@ -35,10 +35,13 @@ Event kinds
 Phases
 ------
 ``phase`` matches by prefix against the program's own ``ctx.phase(...)``
-labels, plus four runtime pseudo-phases: ``"spawn"`` (worker entry,
+labels, plus five runtime pseudo-phases: ``"spawn"`` (worker entry,
 before it reports ready), ``"start"`` (op received, before the program
-runs), ``"collective"`` (entry to any collective protocol round), and
-``"flush"`` (program done, before the result is posted).
+runs), ``"collective"`` (entry to any collective protocol round),
+``"ring_wait"`` (the rank's first transition from polling an empty shm
+ring to blocking on its doorbell — ring transport only, the
+kill-during-ring-wait recovery scenario), and ``"flush"`` (program
+done, before the result is posted).
 
 Usage::
 
@@ -66,7 +69,7 @@ from typing import Iterable, Sequence
 __all__ = ["ChaosEvent", "ChaosPlan"]
 
 #: Runtime pseudo-phases an event may target, besides program phase labels.
-PSEUDO_PHASES = ("spawn", "start", "collective", "flush")
+PSEUDO_PHASES = ("spawn", "start", "collective", "ring_wait", "flush")
 
 _KINDS = ("kill", "stop", "delay", "poison")
 
@@ -87,7 +90,8 @@ class ChaosEvent:
         A bare :class:`~repro.runtime.mp.MpBackend` run is op 0.
     phase:
         prefix-matched against ``ctx.phase(...)`` labels and the
-        pseudo-phases ``spawn`` / ``start`` / ``collective`` / ``flush``.
+        pseudo-phases ``spawn`` / ``start`` / ``collective`` /
+        ``ring_wait`` / ``flush``.
     seconds:
         sleep length for ``kind="delay"`` (ignored otherwise).
     times:

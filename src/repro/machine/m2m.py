@@ -210,6 +210,17 @@ def exchange(
             "m2m.words_out", sum(s for d, s in sizes.items() if d != ctx.rank)
         )
 
+    # Real-process fast path: the mp driver executes ops imperatively, so
+    # the announced linear schedule lowers to the aggregated native
+    # alltoallv — one counts collective, bulk ring writes fired in the
+    # same linear-permutation order, one arrival-order drain.  Same
+    # messages, same payloads; only the host-side mechanics differ.
+    native = getattr(ctx, "alltoallv_native", None)
+    if (native is not None and schedule == "linear" and announce
+            and ctx.spec.has_control_network):
+        return native(outgoing, sizes, tag, _COUNT_TAG,
+                      self_copy_charge=self_copy_charge)
+
     if ctx.rank in outgoing:
         ctx.local_copy(sizes[ctx.rank], charge=self_copy_charge)
         received[ctx.rank] = outgoing[ctx.rank]

@@ -54,9 +54,12 @@ __all__ = [
 RUNTIME_PHASES = (
     "fork",        # process spawn: gang start -> child interpreter running
     "shm",         # arena setup (parent) + per-rank view/argument build
-    "pickle",      # serializing payloads out and deserializing them in
-    "queue_send",  # posting messages onto mailbox queues
-    "queue_wait",  # blocked on an empty mailbox queue
+    "pickle",      # serializing payloads out and deserializing them in (queue)
+    "queue_send",  # posting messages onto mailbox queues (queue transport)
+    "queue_wait",  # blocked on an empty mailbox queue (queue transport)
+    "encode",      # wire codec encode/decode (ring transport)
+    "ring_send",   # copying records/slab bytes into the shm ring (ring)
+    "ring_wait",   # blocked polling an empty ring / doorbell (ring)
     "collective",  # the collective protocol, including waiting for peers
     "compute",     # residual: program code between transport operations
     "reap",        # result skew + joins + teardown + merge (parent)
@@ -125,9 +128,13 @@ class RunProfile:
         (end-of-run rank skew), so both domains telescope to
         ``total_seconds``.
     comm_msgs / comm_bytes:
-        ``P x P`` matrices, rows = senders.  Under mp, bytes are *pickled
-        payload bytes* (the real wire volume); under sim, payload words
-        times four.
+        ``P x P`` matrices, rows = senders.  Under mp, bytes are the real
+        wire volume — pickled payload bytes on the queue transport,
+        encoded wire bytes (codec framing + raw array bytes) on the ring
+        transport; under sim, payload words times four.
+    transport:
+        which mp message transport produced this profile (``"ring"`` or
+        ``"queue"``); ``"n/a"`` under sim.
     """
 
     op: str
@@ -148,6 +155,7 @@ class RunProfile:
     collectives_per_rank: list[int] = field(repr=False, default_factory=list)
     dropped_events: int = 0
     spec: str = "?"
+    transport: str = "n/a"
 
     # ----------------------------------------------------------- attribution
     def phase_table(self) -> dict[str, dict[str, float]]:
@@ -189,9 +197,11 @@ class RunProfile:
         return {
             "nprocs": self.nprocs,
             "time_domain": self.time_domain,
+            "transport": self.transport,
             "byte_meaning": (
-                "pickled payload bytes" if self.time_domain == "wall"
-                else "payload words x 4"
+                "payload words x 4" if self.time_domain != "wall"
+                else "encoded wire bytes" if self.transport == "ring"
+                else "pickled payload bytes"
             ),
             "msgs": [list(row) for row in self.comm_msgs],
             "bytes": [list(row) for row in self.comm_bytes],
@@ -309,6 +319,7 @@ class RunProfile:
             "backend": self.backend,
             "spec": self.spec,
             "time_domain": self.time_domain,
+            "transport": self.transport,
             "nprocs": self.nprocs,
             "total_seconds": self.total_seconds,
             "host_wall_seconds": self.host_wall_seconds,
@@ -331,8 +342,9 @@ class RunProfile:
     # ------------------------------------------------------------- reporting
     def summary(self) -> str:
         unit = "host wall" if self.time_domain == "wall" else "simulated"
+        via = f" transport={self.transport}" if self.transport != "n/a" else ""
         lines = [
-            f"{self.op} on backend={self.backend}: ranks={self.nprocs} "
+            f"{self.op} on backend={self.backend}:{via} ranks={self.nprocs} "
             f"{unit} {self.total_seconds * 1e3:.3f} ms "
             f"(attributed {self.attributed_fraction * 100:.1f}%)",
         ]
@@ -343,9 +355,10 @@ class RunProfile:
             )
         total_msgs = sum(map(sum, self.comm_msgs))
         total_bytes = sum(map(sum, self.comm_bytes))
+        wire = "encoded" if self.transport == "ring" else "pickled"
         lines.append(
             f"  comm: {total_msgs} messages, {total_bytes} bytes"
-            + (f", {sum(self.pickle_bytes_per_rank)} pickled payload bytes"
+            + (f", {sum(self.pickle_bytes_per_rank)} {wire} payload bytes"
                if self.time_domain == "wall" else "")
         )
         return "\n".join(lines)

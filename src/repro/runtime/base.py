@@ -30,8 +30,10 @@ own process — the host never pickles ``P`` blocks through a pipe.
 
 from __future__ import annotations
 
+import os
+import time
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..machine.stats import RunResult
 
@@ -39,12 +41,67 @@ __all__ = [
     "Backend",
     "BackendError",
     "BACKEND_NAMES",
+    "Deadline",
+    "TRANSPORT_NAMES",
     "get_backend",
     "available_backends",
+    "resolve_transport",
 ]
 
 #: Registered backend names, in preference order.
 BACKEND_NAMES = ("sim", "mp", "supervised")
+
+#: Message transports accepted by the process-per-rank backends.
+#: ``ring`` is the zero-copy shared-memory ring matrix
+#: (:mod:`repro.runtime.shm_ring`); ``queue`` is the original pickled
+#: ``multiprocessing.Queue`` mailbox per rank.
+TRANSPORT_NAMES = ("queue", "ring")
+
+
+def resolve_transport(transport: str | None) -> str:
+    """Resolve a transport name: explicit arg > ``REPRO_MP_TRANSPORT`` > ring."""
+    if transport is None:
+        transport = os.environ.get("REPRO_MP_TRANSPORT", "ring")
+    if transport not in TRANSPORT_NAMES:
+        raise ValueError(
+            f"unknown transport {transport!r}; pick from {TRANSPORT_NAMES}"
+        )
+    return transport
+
+
+class Deadline:
+    """One wall-clock deadline, shared by every collect loop that waits on a gang.
+
+    ``MpBackend._collect`` and ``GangSupervisor._collect_op`` used to carry
+    duplicate ``None``-or-``monotonic()+timeout`` plumbing; unifying it here
+    means a ring-wait that overruns surfaces through the same watchdog
+    attribution (which ranks are still pending, how long we waited) on both
+    paths instead of a generic wall timeout.
+
+    A ``timeout`` of ``None`` never expires.
+    """
+
+    __slots__ = ("timeout", "_expiry")
+
+    def __init__(self, timeout: float | None):
+        self.timeout = timeout
+        self._expiry = None if timeout is None else time.monotonic() + timeout
+
+    def expired(self) -> bool:
+        return self._expiry is not None and time.monotonic() >= self._expiry
+
+    def remaining(self, cap: float = 0.2) -> float:
+        """Seconds to block on the next poll: ``cap``-bounded time left."""
+        if self._expiry is None:
+            return cap
+        return max(0.0, min(cap, self._expiry - time.monotonic()))
+
+    def describe(self, subject: str, pending: Iterable[int]) -> str:
+        """Watchdog attribution line for an expired deadline."""
+        return (
+            f"{subject} did not finish within {self.timeout:g}s "
+            f"(ranks still pending: {sorted(pending)})"
+        )
 
 
 class BackendError(RuntimeError):

@@ -4,8 +4,23 @@
 but on real cores: one forked OS process per rank, global input arrays in
 POSIX shared memory (each rank slices out only its own block —
 :meth:`~repro.hpf.grid.GridLayout.local_block` — so no block is ever
-pickled through a pipe), and message passing over per-rank
-``multiprocessing.Queue`` mailboxes.
+pickled through a pipe), and message passing over one of two pluggable
+transports:
+
+``ring`` (default)
+    zero-copy shared-memory SPSC ring buffers
+    (:mod:`repro.runtime.shm_ring`): a send frames the payload with the
+    wire codec (:mod:`repro.codecs`) — raw bytes for numpy arrays, the
+    paper's CMS ``(base_rank, count, data...)`` run-length segments for
+    pair messages past the β₂ crossover, pickle only as a fallback —
+    and memcpys it straight into a ring slot (or streams it through the
+    pair's slab ring when large) that the receiver already has mapped.
+    No pickle for array traffic, no pipe, no feeder thread.
+``queue``
+    the original per-rank ``multiprocessing.Queue`` mailboxes (pickled
+    payloads over pipes), kept for A/B measurement and as a portability
+    fallback — ``MpBackend(transport="queue")``, the CLI's
+    ``--transport``, or ``REPRO_MP_TRANSPORT=queue``.
 
 How the same programs run on both transports
 --------------------------------------------
@@ -13,9 +28,10 @@ A program interacts with the machine only through its context and the ops
 it yields.  The child-side driver (:class:`_Driver`) replays the engine's
 contract over IPC:
 
-* ``ctx.send(...)`` pickles the payload onto the destination's mailbox
-  queue (eager and buffered — the queue's feeder thread means sends never
-  block, matching the simulator's eager-send model);
+* ``ctx.send(...)`` posts the payload through the transport (eager and
+  buffered — ring slots and queue feeder threads both mean sends only
+  block on sustained backpressure, matching the simulator's eager-send
+  model);
 * ``yield ctx.recv(...)`` reads from the rank's own mailbox through a
   *pending buffer*: every incoming item passes through one matcher, and
   items that do not match the current pattern are buffered in arrival
@@ -80,13 +96,15 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..codecs.wire import decode_payload, encode_payload, resolve_codec
 from ..faults.chaos import ChaosEvent, fire_chaos
 from ..machine.context import payload_words
 from ..machine.errors import CollectiveMismatchError, MessageError, ProgramError
 from ..machine.ops import ANY, CollectiveOp, Message, Recv
 from ..machine.spec import CM5, MachineSpec
 from ..machine.stats import ProcStats, RunResult, stats_from_snapshot
-from .base import Backend, BackendError
+from .base import Backend, BackendError, Deadline, resolve_transport
+from .shm_ring import RingMatrix
 
 __all__ = ["MpBackend", "MpGangError", "register_for_cleanup"]
 
@@ -108,17 +126,28 @@ _PK_PICKLE = 2
 _PK_QSEND = 3
 _PK_QWAIT = 4
 _PK_COLL = 5
+_PK_ENC = 6
+_PK_RSEND = 7
+_PK_RWAIT = 8
 _PK_NAMES = {
     _PK_SHM: "shm",
     _PK_PICKLE: "pickle",
     _PK_QSEND: "queue_send",
     _PK_QWAIT: "queue_wait",
     _PK_COLL: "collective",
+    _PK_ENC: "encode",
+    _PK_RSEND: "ring_send",
+    _PK_RWAIT: "ring_wait",
 }
 #: Ring kinds that also accumulate into the per-rank phase table (the shm
 #: phase comes from the entry/ready marks instead, so it is ring-only).
-_PK_ACC = {_PK_PICKLE: 0, _PK_QSEND: 1, _PK_QWAIT: 2, _PK_COLL: 3}
-_ACC_NAMES = ("pickle", "queue_send", "queue_wait", "collective")
+#: The queue transport fills the first four, the ring transport the last
+#: three (+ collective); either way the non-zero columns sum with compute
+#: to the lane body.
+_PK_ACC = {_PK_PICKLE: 0, _PK_QSEND: 1, _PK_QWAIT: 2, _PK_COLL: 3,
+           _PK_ENC: 4, _PK_RSEND: 5, _PK_RWAIT: 6}
+_ACC_NAMES = ("pickle", "queue_send", "queue_wait", "collective",
+              "encode", "ring_send", "ring_wait")
 
 
 class MpGangError(BackendError):
@@ -342,9 +371,10 @@ class _ProfileBuffers:
 
     * ``times   (P, 3) f8`` — monotonic marks: child entry, args ready,
       program done;
-    * ``acc     (P, 4) f8`` — per-phase accumulated seconds
-      (pickle, queue_send, queue_wait, collective), kept exact even when
-      the ring overflows;
+    * ``acc     (P, 7) f8`` — per-phase accumulated seconds (the
+      :data:`_ACC_NAMES` columns: pickle/queue_send/queue_wait for the
+      queue transport, encode/ring_send/ring_wait for the ring transport,
+      collective for both), kept exact even when the ring overflows;
     * ``hdr     (P, 2) i8`` — ring event count, dropped-span count;
     * ``counters(P, 4) i8`` — pickled bytes sent, collectives joined,
       program messages received, pickled bytes received;
@@ -378,7 +408,7 @@ class _ProfileBuffers:
         p = nprocs
         return {
             "times": ((p, 3), np.float64),
-            "acc": ((p, 4), np.float64),
+            "acc": ((p, len(_ACC_NAMES)), np.float64),
             "hdr": ((p, 2), np.int64),
             "counters": ((p, 4), np.int64),
             "msgs": ((p, p), np.int64),
@@ -520,6 +550,199 @@ class _MpMetrics:
         self.collective_group_size = registry.histogram("machine.collective_group_size")
 
 
+# -------------------------------------------------------------- transports
+class _QueueTransport:
+    """The original mailbox transport: one ``multiprocessing.Queue`` per
+    rank, pickled payloads over pipes.
+
+    Kept as the A/B baseline and the portability fallback.  Its hot-path
+    behaviour (eager pickled puts, ``_Pickled`` pre-serialization when
+    profiled, blocking gets with stale-stamp drops) is byte-for-byte the
+    PR 5/6 wire.
+    """
+
+    kind = "queue"
+
+    def __init__(self, mpctx, nprocs: int):
+        self.mailboxes = [mpctx.Queue() for _ in range(nprocs)]
+
+    def child_init(self, rank: int) -> "_QueueTransport":
+        return self
+
+    # Program sends — profiled sends pre-pickle so serialization time and
+    # the exact wire byte volume are charged at the source; the queue then
+    # re-serializes only the thin _Pickled wrapper (effectively a memcpy).
+    def post(self, driver: "_Driver", dest: int, tag: int, payload: Any,
+             words: int, clock: float) -> None:
+        rec = driver._recorder
+        if rec is None:
+            self.mailboxes[dest].put(
+                (driver._stamp, driver.rank, tag, payload, words, clock)
+            )
+            return
+        t0 = monotonic()
+        data = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        t1 = monotonic()
+        rec.span(_PK_PICKLE, t0, t1)
+        rec.sent(dest, len(data))
+        self.mailboxes[dest].put(
+            (driver._stamp, driver.rank, tag, _Pickled(data), words, clock)
+        )
+        rec.span(_PK_QSEND, t1, monotonic())
+
+    # Collective-protocol traffic: no per-message profiling (the whole
+    # round is inside the collective span) and words=0 (protocol bytes
+    # are excluded from the comm matrix by contract).
+    def post_protocol(self, driver: "_Driver", dest: int, tag: int,
+                      payload: Any) -> None:
+        self.mailboxes[dest].put(
+            (driver._stamp, driver.rank, tag, payload, 0, 0.0)
+        )
+
+    def get(self, driver: "_Driver") -> tuple:
+        """Blocking receive of one current-stamp item for ``driver.rank``.
+
+        Returns ``(source, tag, payload, words, send_clock)``; drops
+        stale-stamped residue from earlier attempts on a persistent gang.
+        """
+        rec = driver._recorder
+        t0m = monotonic() if rec is not None else 0.0
+        t0 = perf_counter()
+        inbox = self.mailboxes[driver.rank]
+        while True:
+            item = inbox.get()
+            if item[0] == driver._stamp:
+                break
+        # Queue-blocked time is idle; it still lands in the current phase
+        # via the next flush (a wall clock can't tell waiting from work).
+        driver._stats.idle_time += perf_counter() - t0
+        if rec is not None and not driver._in_collective:
+            rec.span(_PK_QWAIT, t0m, monotonic())
+        return item[1:]
+
+    # ------------------------------------------------------- host lifecycle
+    def host_destroy(self) -> None:
+        for q in self.mailboxes:
+            q.close()
+            # Never let host teardown block on unread mailbox residue.
+            q.cancel_join_thread()
+
+
+class _RingTransport:
+    """Zero-copy transport over a :class:`~repro.runtime.shm_ring.RingMatrix`.
+
+    Payloads are framed by the wire codec (:mod:`repro.codecs.wire`) and
+    memcpy'd into the destination's SPSC ring — no pickle for arrays or
+    pair/segment messages, pickle fallback for everything else (protocol
+    tuples, scalars).  Self-sends bypass the fabric entirely: streaming a
+    slab payload to yourself would deadlock a single thread, and the
+    simulator delivers self-messages by reference anyway.
+
+    Fork-shared: the host builds the matrix pre-fork; each rank binds its
+    endpoint lazily on first use (idempotent — a persistent worker reuses
+    its binding across ops of one gang epoch).
+    """
+
+    kind = "ring"
+
+    def __init__(self, matrix: RingMatrix, codec: str):
+        self.matrix = matrix
+        self.codec = codec
+        self._ep = None
+
+    def child_init(self, rank: int) -> "_RingTransport":
+        if self._ep is None or self._ep.rank != rank:
+            self._ep = self.matrix.endpoint(rank)
+        return self
+
+    def post(self, driver: "_Driver", dest: int, tag: int, payload: Any,
+             words: int, clock: float) -> None:
+        rec = driver._recorder
+        if dest == driver.rank:
+            # Self-send: straight into the pending buffer, by reference
+            # (same as the engine's local delivery).  Profiled runs still
+            # encode once so the comm matrix carries honest wire bytes.
+            if rec is not None:
+                t0 = monotonic()
+                _wire, _parts, nbytes = encode_payload(payload, self.codec)
+                rec.span(_PK_ENC, t0, monotonic())
+                rec.sent(dest, nbytes)
+                rec.received(nbytes)
+            driver._pending.append((driver.rank, tag, payload, words, clock))
+            return
+        epoch, op_id = driver._stamp
+        if rec is None:
+            wire, parts, nbytes = encode_payload(payload, self.codec)
+            self._ep.send(dest, epoch=epoch, op_id=op_id, tag=tag, kind=0,
+                          wire=wire, words=words, clock=clock,
+                          parts=parts, nbytes=nbytes)
+            return
+        t0 = monotonic()
+        wire, parts, nbytes = encode_payload(payload, self.codec)
+        t1 = monotonic()
+        rec.span(_PK_ENC, t0, t1)
+        rec.sent(dest, nbytes)
+        self._ep.send(dest, epoch=epoch, op_id=op_id, tag=tag, kind=0,
+                      wire=wire, words=words, clock=clock,
+                      parts=parts, nbytes=nbytes)
+        rec.span(_PK_RSEND, t1, monotonic())
+
+    def post_protocol(self, driver: "_Driver", dest: int, tag: int,
+                      payload: Any) -> None:
+        epoch, op_id = driver._stamp
+        wire, parts, nbytes = encode_payload(payload, self.codec)
+        self._ep.send(dest, epoch=epoch, op_id=op_id, tag=tag, kind=0,
+                      wire=wire, words=0, clock=0.0,
+                      parts=parts, nbytes=nbytes)
+
+    def get(self, driver: "_Driver") -> tuple:
+        rec = driver._recorder
+        t0m = monotonic() if rec is not None else 0.0
+        t0 = perf_counter()
+        on_block = None
+        ctx = driver.ctx
+        if ctx is not None and ctx._chaos and not driver._ring_wait_fired:
+            def on_block() -> None:
+                # The kill-during-ring-wait pseudo-phase: fires exactly
+                # when this rank transitions from polling to blocking.
+                driver._ring_wait_fired = True
+                fire_chaos(ctx._chaos, "ring_wait")
+        while True:
+            r = self._ep.wait(on_block=on_block)
+            if (r.epoch, r.op_id) == driver._stamp:
+                break
+            # Stale stamp: residue from an earlier attempt/op on a
+            # persistent gang.  Its slab bytes were already drained by
+            # the pop (stream alignment), so dropping is safe.
+        driver._stats.idle_time += perf_counter() - t0
+        if rec is None or driver._in_collective:
+            # Inside a collective both the wait and the decode fold into
+            # the enclosing collective span (single-writer span order).
+            payload = decode_payload(r.wire, r.data)
+        else:
+            rec.span(_PK_RWAIT, t0m, monotonic())
+            t0 = monotonic()
+            payload = decode_payload(r.wire, r.data)
+            rec.span(_PK_ENC, t0, monotonic())
+        if rec is not None and r.tag >= 0:
+            # Protocol traffic is excluded from the comm matrix.
+            rec.received(r.nbytes)
+        return (r.src, r.tag, payload, r.words, r.clock)
+
+    # ------------------------------------------------------- host lifecycle
+    def host_destroy(self) -> None:
+        self.matrix.destroy()
+
+
+def _make_transport(name: str, mpctx, nprocs: int, codec: str):
+    """Host-side transport factory (pre-fork; registered for cleanup)."""
+    if name == "ring":
+        matrix = RingMatrix(nprocs)
+        register_for_cleanup(matrix)
+        return _RingTransport(matrix, codec)
+    return _QueueTransport(mpctx, nprocs)
+
+
 # ----------------------------------------------------------------- context
 class MpContext:
     """Per-rank context for real-process execution.
@@ -645,21 +868,10 @@ class MpContext:
             self._tracer.record(
                 self.stats.clock, self.rank, "send", dest=dest, tag=tag, words=words
             )
-        rec = self._recorder
-        if rec is None:
-            self._driver.post(dest, tag, payload, words, self.stats.clock)
-        else:
-            # Profiled send: pickle eagerly so serialization time and the
-            # exact wire byte volume are charged at the source, then post
-            # the ready-made bytes (the queue re-pickles only the thin
-            # _Pickled wrapper — effectively a memcpy).
-            t0 = monotonic()
-            data = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
-            t1 = monotonic()
-            rec.span(_PK_PICKLE, t0, t1)
-            rec.sent(dest, len(data))
-            self._driver.post(dest, tag, _Pickled(data), words, self.stats.clock)
-            rec.span(_PK_QSEND, t1, monotonic())
+        # Serialization/wire accounting is the transport's business: the
+        # queue transport pre-pickles profiled payloads, the ring
+        # transport frames them with the wire codec.
+        self._driver.post(dest, tag, payload, words, self.stats.clock)
 
     def local_copy(self, words: int, charge: bool = False) -> None:
         if charge:
@@ -682,27 +894,117 @@ class MpContext:
     def words_of(self, payload: Any) -> int:
         return payload_words(payload)
 
+    # -------------------------------------------------- aggregated alltoallv
+    def alltoallv_native(
+        self,
+        outgoing: Mapping[int, Any],
+        sizes: Mapping[int, int],
+        tag: int,
+        count_key: int,
+        self_copy_charge: bool = False,
+    ) -> dict[int, Any]:
+        """One aggregated many-to-many exchange, driven imperatively.
+
+        The generator-based linear schedule costs a yield round-trip and a
+        :class:`~repro.machine.ops.Message` object per peer message.  On a
+        real-process backend the driver executes ops imperatively anyway,
+        so :func:`repro.machine.m2m.exchange` dispatches here: one
+        counts-collective (the same ``m2m-counts`` root-gather the linear
+        schedule uses on a control-network machine), then every non-empty
+        send fired in linear-permutation order as bulk ring/slab writes,
+        then one arrival-order drain loop — no per-message generator
+        suspension, no head-of-line blocking on a fixed receive order.
+
+        Bit-compatible with the linear schedule: the same messages carry
+        the same payloads, only the host-side mechanics differ.  Returns
+        ``source -> payload`` including the self entry.
+        """
+        P = self.size
+        rank = self.rank
+        driver = self._driver
+        received: dict[int, Any] = {}
+        if rank in outgoing:
+            self.local_copy(sizes[rank], charge=self_copy_charge)
+            received[rank] = outgoing[rank]
+
+        # Counts exchange: who will send me data?  One combining collective
+        # (identical to exchange_counts' control-network path).
+        self.count("m2m.count_exchanges")
+
+        def _combine(payloads: dict) -> tuple[dict, int]:
+            results: dict = {r: {} for r in payloads}
+            for s, c in payloads.items():
+                for r, w in c.items():
+                    if r != s and int(w):
+                        results[r][s] = int(w)
+            return results, P
+
+        incoming = driver._run_collective(CollectiveOp(
+            group=tuple(range(P)),
+            kind="m2m-counts",
+            payload={d: int(w) for d, w in sizes.items() if d != rank},
+            key=count_key,
+            combine=_combine,
+        ))
+
+        # Fire every send in linear-permutation order (stagger the traffic
+        # like the paper's schedule), then drain in arrival order.
+        st = self.stats
+        mx = self._mx
+        for k in range(1, P):
+            dest = (rank + k) % P
+            if dest in outgoing and sizes.get(dest, 0) > 0:
+                self.send(dest, outgoing[dest], words=sizes[dest], tag=tag)
+        expected = {s for s in incoming if s != rank}
+        while expected:
+            source, got_tag, payload, words, _clock = driver._take(
+                lambda item: item[1] == tag and item[0] in expected
+            )
+            expected.discard(source)
+            rec = driver._recorder
+            if rec is not None and type(payload) is _Pickled:
+                data = payload.data
+                t0 = monotonic()
+                payload = pickle.loads(data)
+                rec.span(_PK_PICKLE, t0, monotonic())
+                rec.received(len(data))
+            received[source] = payload
+            self._flush()
+            st.recvs += 1
+            st.words_received += words
+            if mx is not None and mx.registry._enabled:
+                mx.recvs.inc()
+            if self._tracer is not None:
+                self._tracer.record(
+                    st.clock, rank, "recv", source=source, tag=got_tag,
+                    words=words,
+                )
+            driver._seq += 1
+        return received
+
     def __repr__(self) -> str:
         return f"MpContext(rank={self.rank}/{self.size}, spec={self.spec.name})"
 
 
 # ------------------------------------------------------------------ driver
 class _Driver:
-    """Child-side generator driver: satisfies yielded ops over the queues.
+    """Child-side generator driver: satisfies yielded ops over a transport.
 
-    All mailbox reads funnel through :meth:`_take`, which buffers items
+    All transport reads funnel through :meth:`_take`, which buffers items
     that do not match the requested pattern — the single point that keeps
     program receives and the collective protocol from stealing each
-    other's messages.
+    other's messages.  The transport (queue or ring) only moves stamped
+    ``(source, tag, payload, words, clock)`` items; matching, pending
+    buffering and the collective protocol are transport-independent.
     """
 
-    def __init__(self, rank: int, mailboxes, stats: ProcStats, recorder=None,
+    def __init__(self, rank: int, transport, stats: ProcStats, recorder=None,
                  stamp: tuple[int, int] = (0, 0)):
         self.rank = rank
-        self._mailboxes = mailboxes
-        self._inbox = mailboxes[rank]
+        self._transport = transport
         self._stats = stats
         self._recorder = recorder
+        self._ring_wait_fired = False
         #: (epoch, op_id) wire stamp.  Every message carries its sender's
         #: stamp; the receiver silently drops mismatches.  On a one-shot
         #: gang the stamp is constant; on a supervised persistent gang it
@@ -721,25 +1023,10 @@ class _Driver:
 
     # ---------------------------------------------------------- transport
     def post(self, dest: int, tag: int, payload: Any, words: int, clock: float) -> None:
-        self._mailboxes[dest].put((self._stamp, self.rank, tag, payload, words, clock))
+        self._transport.post(self, dest, tag, payload, words, clock)
 
     def _blocking_get(self) -> tuple:
-        rec = self._recorder
-        t0m = monotonic() if rec is not None else 0.0
-        t0 = perf_counter()
-        while True:
-            item = self._inbox.get()
-            if item[0] == self._stamp:
-                break
-            # Stale stamp: residue from an earlier attempt/op on a
-            # persistent gang.  Drop and keep waiting.
-        waited = perf_counter() - t0
-        # Queue-blocked time is idle; it still lands in the current phase
-        # via the next flush (a wall clock can't tell waiting from work).
-        self._stats.idle_time += waited
-        if rec is not None and not self._in_collective:
-            rec.span(_PK_QWAIT, t0m, monotonic())
-        return item[1:]
+        return self._transport.get(self)
 
     def _take(self, match: Callable[[tuple], bool]) -> tuple:
         """Return the oldest item satisfying ``match``, buffering the rest."""
@@ -854,13 +1141,13 @@ class _Driver:
                 results = {r: None for r in group}
             for r in group:
                 if r != root:
-                    self._mailboxes[r].put(
-                        (self._stamp, root, _COLL_RESULT, (stamp, results.get(r)), 0, 0.0)
+                    self._transport.post_protocol(
+                        self, r, _COLL_RESULT, (stamp, results.get(r))
                     )
             value = results.get(root)
         else:
-            self._mailboxes[root].put(
-                (self._stamp, self.rank, _COLL_CONTRIB, (stamp, self.rank, op.payload), 0, 0.0)
+            self._transport.post_protocol(
+                self, root, _COLL_CONTRIB, (stamp, self.rank, op.payload)
             )
             item = self._take(
                 lambda item: item[0] == root and item[1] == _COLL_RESULT
@@ -903,7 +1190,7 @@ def _run_program(
     make_rank_args,
     rank_args,
     views: Mapping[str, np.ndarray],
-    mailboxes,
+    transport,
     recorder,
     want_metrics: bool,
     want_trace: bool,
@@ -917,9 +1204,11 @@ def _run_program(
     The shared core of the one-shot :func:`_child_main` and the
     supervisor's persistent worker loop.  ``views`` are the rank's numpy
     views over the arena (inherited or attached — the caller decides),
-    ``rank_args`` is already this rank's own tuple (or ``None``), and
-    ``stamp`` is the ``(epoch, op_id)`` wire stamp for every message.
-    Returns ``(result, stats_snapshot, metrics, trace_events)``.
+    ``rank_args`` is already this rank's own tuple (or ``None``),
+    ``transport`` is the fork-shared queue/ring transport (bound to this
+    rank here), and ``stamp`` is the ``(epoch, op_id)`` wire stamp for
+    every message.  Returns
+    ``(result, stats_snapshot, metrics, trace_events)``.
     """
     tracer = None
     metrics = None
@@ -944,7 +1233,8 @@ def _run_program(
         recorder.mark(1, t_ready)
         recorder.span(_PK_SHM, t_entry, t_ready)
     stats = ProcStats(rank)
-    driver = _Driver(rank, mailboxes, stats, recorder=recorder, stamp=stamp)
+    transport = transport.child_init(rank)
+    driver = _Driver(rank, transport, stats, recorder=recorder, stamp=stamp)
     ctx = MpContext(rank, nprocs, spec, stats, driver, tracer=tracer,
                     metrics=metrics, recorder=recorder, chaos=chaos)
     driver.ctx = ctx
@@ -977,7 +1267,7 @@ def _child_main(
     rank_args,
     arena: _ShmArena,
     profile: _ProfileBuffers | None,
-    mailboxes,
+    transport,
     result_q,
     want_metrics: bool,
     want_trace: bool,
@@ -995,7 +1285,7 @@ def _child_main(
         result, snapshot, metrics, events = _run_program(
             rank, nprocs, spec, program, make_rank_args,
             rank_args[rank] if rank_args is not None else None,
-            arena.views(), mailboxes, recorder, want_metrics, want_trace,
+            arena.views(), transport, recorder, want_metrics, want_trace,
             t_entry=t_entry, chaos=chaos,
         )
         if any(ev.kind == "poison" for ev in chaos):
@@ -1035,6 +1325,15 @@ class MpBackend(Backend):
         :class:`MpGangError` through the normal failure-hygiene paths.
         Recovery belongs to
         :class:`~repro.runtime.supervisor.GangSupervisor`.
+    transport:
+        ``"ring"`` (default: zero-copy shared-memory ring buffers) or
+        ``"queue"`` (pickled ``multiprocessing.Queue`` mailboxes).
+        ``None`` resolves ``REPRO_MP_TRANSPORT`` then the default — see
+        :func:`~repro.runtime.base.resolve_transport`.
+    codec:
+        wire codec mode for the ring transport: ``"auto"`` (default,
+        per-message CMS-vs-SSS choice), ``"cms"``, ``"sss"``, or
+        ``"pickle"``.  ``None`` resolves ``REPRO_WIRE_CODEC`` then auto.
     """
 
     name = "mp"
@@ -1042,12 +1341,15 @@ class MpBackend(Backend):
     supports_faults = False
 
     def __init__(self, timeout: float | None = None, join_grace: float = 5.0,
-                 chaos=None):
+                 chaos=None, transport: str | None = None,
+                 codec: str | None = None):
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.timeout = timeout
         self.join_grace = join_grace
         self.chaos = chaos
+        self.transport = resolve_transport(transport)
+        self.codec = resolve_codec(codec)
 
     def run_spmd(
         self,
@@ -1096,7 +1398,7 @@ class MpBackend(Backend):
         prof_bufs = None
         if profile is not None:
             prof_bufs = _ProfileBuffers(nprocs, profile.ring_capacity)
-        mailboxes = [mpctx.Queue() for _ in range(nprocs)]
+        transport = _make_transport(self.transport, mpctx, nprocs, self.codec)
         result_q = mpctx.Queue()
         chaos_by_rank = {
             r: self.chaos.events_for(0, r) for r in range(nprocs)
@@ -1106,7 +1408,7 @@ class MpBackend(Backend):
                 target=_child_main,
                 args=(
                     r, nprocs, spec, program, make_rank_args, rank_args,
-                    arena, prof_bufs, mailboxes, result_q,
+                    arena, prof_bufs, transport, result_q,
                     metrics is not None, tracer is not None,
                     chaos_by_rank.get(r, ()),
                 ),
@@ -1144,10 +1446,10 @@ class MpBackend(Backend):
             arena.destroy()
             if prof_bufs is not None:
                 prof_bufs.destroy()
-            for q in [*mailboxes, result_q]:
-                q.close()
-                # Never let host teardown block on unread mailbox residue.
-                q.cancel_join_thread()
+            transport.host_destroy()
+            result_q.close()
+            # Never let host teardown block on unread mailbox residue.
+            result_q.cancel_join_thread()
 
         results = []
         stats = []
@@ -1164,6 +1466,7 @@ class MpBackend(Backend):
             profile.profile = _build_mp_profile(
                 nprocs, prof_data, run,
                 t_host0, t_spawn0, t_spawned, t_collected, monotonic(),
+                transport=self.transport,
             )
         return run
 
@@ -1177,7 +1480,7 @@ class MpBackend(Backend):
         (killed child, ``os._exit``) wakes the wait immediately instead
         of on the next poll tick.
         """
-        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        deadline = Deadline(self.timeout)
         pending = set(range(nprocs))
         reports: dict[int, tuple] = {}
         reader = getattr(result_q, "_reader", None)
@@ -1205,24 +1508,21 @@ class MpBackend(Backend):
                             f"without reporting a result",
                         ) from None
                 else:
-                    remaining = None
-                    if deadline is not None:
-                        remaining = deadline - time.monotonic()
-                        if remaining <= 0:
-                            raise MpGangError(
-                                None,
-                                f"gang did not finish within {self.timeout:g}s "
-                                f"(ranks still pending: {sorted(pending)})",
-                            )
+                    if deadline.expired():
+                        raise MpGangError(
+                            None, deadline.describe("gang", pending)
+                        )
                     sentinels = [procs[r].sentinel for r in sorted(pending)]
                     if reader is not None:
-                        _conn_wait([reader, *sentinels], timeout=remaining)
+                        _conn_wait(
+                            [reader, *sentinels],
+                            timeout=(None if deadline.timeout is None
+                                     else deadline.remaining(cap=0.2)),
+                        )
                     else:
                         # No readable pipe handle on this Queue flavour:
                         # degrade to a bounded sleep-poll.
-                        _conn_wait(sentinels,
-                                   timeout=0.05 if remaining is None
-                                   else min(remaining, 0.05))
+                        _conn_wait(sentinels, timeout=deadline.remaining(cap=0.05))
                     continue
             rank, report = self._validate_report(msg, nprocs)
             reports[rank] = report
@@ -1258,6 +1558,7 @@ def _build_mp_profile(
     t_spawned: float,
     t_collected: float,
     t_end: float,
+    transport: str = "queue",
 ):
     """Merge the per-rank shm rows into a wall-aligned ``RunProfile``.
 
@@ -1292,7 +1593,7 @@ def _build_mp_profile(
     lanes = []
     fork_s = []
     shm_child_s = []
-    lane_acc = np.zeros(4)
+    lane_acc = np.zeros(len(_ACC_NAMES))
     compute_s = []
     reap_s = []
     for r in range(nprocs):
@@ -1331,6 +1632,7 @@ def _build_mp_profile(
         op="run",
         backend="mp",
         time_domain="wall",
+        transport=transport,
         nprocs=nprocs,
         total_seconds=t_end - t_host0,
         host_wall_seconds=t_end - t_host0,

@@ -117,7 +117,11 @@ def alltoallv(
 
     Thin alias over :func:`repro.machine.m2m.exchange` — the linear
     permutation schedule with its count pre-exchange — provided here so
-    the primitive set is complete under one roof.  Returns
+    the primitive set is complete under one roof.  On the process-per-rank
+    backends the announced linear schedule lowers to the aggregated
+    native path (``MpContext.alltoallv_native``): one counts collective
+    plus bulk ring writes and an arrival-order drain, instead of a
+    generator suspension per peer message.  Returns
     ``source -> payload`` of everything received (self included).
     """
     received = yield from exchange(ctx, outgoing, words=words, schedule=schedule)

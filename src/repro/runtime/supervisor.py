@@ -81,11 +81,13 @@ import numpy as np
 from ..faults.chaos import ChaosEvent, ChaosPlan, fire_chaos
 from ..machine.spec import CM5
 from ..machine.stats import RunResult, stats_from_snapshot
-from .base import Backend, BackendError
+from .base import Backend, BackendError, Deadline, resolve_transport
+from ..codecs.wire import resolve_codec
 from .mp import (
     _CHILD_FAILED,
     MpGangError,
     _build_mp_profile,
+    _make_transport,
     _ProfileBuffers,
     _ShmArena,
     register_for_cleanup,
@@ -322,7 +324,7 @@ def _worker_main(
     nprocs: int,
     epoch: int,
     ctl_q,
-    mailboxes,
+    transport,
     result_q,
     board: _HeartbeatBoard,
     heartbeat_interval: float,
@@ -330,7 +332,7 @@ def _worker_main(
 ) -> None:
     """Persistent rank process: heartbeat + op-dispatch loop.
 
-    Per-gang state (queues, mailboxes, board) is fork-inherited; per-op
+    Per-gang state (queues, transport, board) is fork-inherited; per-op
     state (arena, profile buffers, the program itself) arrives in the op
     command and is attached by name / thawed here.  Exits only on a
     ``shutdown`` command, an op error (after shipping the traceback), or
@@ -380,7 +382,7 @@ def _worker_main(
                 _thaw_callable(op["program"]),
                 _thaw_callable(op["make_rank_args"]),
                 op["rank_args"],
-                arena.views(), mailboxes, recorder,
+                arena.views(), transport, recorder,
                 op["want_metrics"], op["want_trace"],
                 t_entry=t_entry, stamp=(cmd_epoch, op_id), chaos=chaos,
             )
@@ -423,14 +425,14 @@ def _worker_main(
 class _Gang:
     """One epoch of worker processes and their fork-shared plumbing."""
 
-    def __init__(self, epoch: int, nprocs: int, mpctx, procs, ctl, mailboxes,
+    def __init__(self, epoch: int, nprocs: int, mpctx, procs, ctl, transport,
                  result_q, board: _HeartbeatBoard):
         self.epoch = epoch
         self.nprocs = nprocs
         self.mpctx = mpctx
         self.procs = procs
         self.ctl = ctl
-        self.mailboxes = mailboxes
+        self.transport = transport
         self.result_q = result_q
         self.board = board
         register_for_cleanup(self)
@@ -455,7 +457,11 @@ class _Gang:
         for p in self.procs:
             p.join(timeout=join_grace)
         self.board.destroy()
-        for q in [*self.mailboxes, *self.ctl, self.result_q]:
+        try:
+            self.transport.host_destroy()
+        except (OSError, ValueError):
+            pass
+        for q in [*self.ctl, self.result_q]:
             try:
                 q.close()
                 q.cancel_join_thread()
@@ -527,6 +533,10 @@ class GangSupervisor(Backend):
         delivered at most ``times`` attempts each (see module docstring).
     join_grace:
         seconds to wait for exits before escalating, as in MpBackend.
+    transport / codec:
+        message transport (``"ring"`` / ``"queue"``) and wire codec mode,
+        resolved exactly as in :class:`~repro.runtime.mp.MpBackend` —
+        each gang epoch gets its own ring matrix, torn down on reap.
 
     A supervisor instance is a context manager; :meth:`shutdown` reaps
     the gang.  The process-wide instance behind ``backend="supervised"``
@@ -547,6 +557,8 @@ class GangSupervisor(Backend):
         spawn_timeout: float = 60.0,
         chaos: ChaosPlan | None = None,
         join_grace: float = 5.0,
+        transport: str | None = None,
+        codec: str | None = None,
     ):
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
@@ -566,6 +578,8 @@ class GangSupervisor(Backend):
         self.heartbeat_timeout = heartbeat_timeout
         self.spawn_timeout = spawn_timeout
         self.join_grace = join_grace
+        self.transport = resolve_transport(transport)
+        self.codec = resolve_codec(codec)
         self.stats = SupervisorStats()
         self._chaos = _ChaosState(chaos)
         self._gang: _Gang | None = None
@@ -623,13 +637,13 @@ class GangSupervisor(Backend):
             )
         mpctx = _mp.get_context("fork")
         board = _HeartbeatBoard(nprocs)
-        mailboxes = [mpctx.Queue() for _ in range(nprocs)]
+        transport = _make_transport(self.transport, mpctx, nprocs, self.codec)
         ctl = [mpctx.Queue() for _ in range(nprocs)]
         result_q = mpctx.Queue()
         procs = [
             mpctx.Process(
                 target=_worker_main,
-                args=(r, nprocs, epoch, ctl[r], mailboxes, result_q, board,
+                args=(r, nprocs, epoch, ctl[r], transport, result_q, board,
                       self.heartbeat_interval,
                       self._chaos.take(op_index, r, spawn=True)),
                 daemon=True,
@@ -637,7 +651,7 @@ class GangSupervisor(Backend):
             )
             for r in range(nprocs)
         ]
-        gang = _Gang(epoch, nprocs, mpctx, procs, ctl, mailboxes, result_q, board)
+        gang = _Gang(epoch, nprocs, mpctx, procs, ctl, transport, result_q, board)
         self._event("gang_start", detail=f"epoch {epoch}, P={nprocs}")
         try:
             for p in procs:
@@ -872,6 +886,7 @@ class GangSupervisor(Backend):
             prof = _build_mp_profile(
                 nprocs, prof_data, run,
                 t_attempt0, t_dispatch0, t_dispatched, t_collected, monotonic(),
+                transport=self.transport,
             )
             prof.backend = self.name
             # Lifecycle spans: clamp into the final attempt's window (the
@@ -885,7 +900,7 @@ class GangSupervisor(Backend):
 
     # ---------------------------------------------------------- collect one
     def _collect_op(self, gang: _Gang, op_id: int) -> dict[int, tuple]:
-        deadline = None if self.timeout is None else monotonic() + self.timeout
+        deadline = Deadline(self.timeout)
         pending = set(range(gang.nprocs))
         reports: dict[int, tuple] = {}
         reader = getattr(gang.result_q, "_reader", None)
@@ -932,16 +947,13 @@ class GangSupervisor(Backend):
                             "heartbeat_miss", r,
                             f"rank {r} heartbeat stale for {ages[r]:.2f}s "
                             f"(> {self.heartbeat_timeout:g}s): hung or stopped")
-                    if deadline is not None and now >= deadline:
+                    if deadline.expired():
                         raise _OpFailure(
                             "op_timeout", None,
-                            f"op {op_id} did not finish within "
-                            f"{self.timeout:g}s (ranks still pending: "
-                            f"{sorted(pending)})")
-                    remaining = None if deadline is None else deadline - now
+                            deadline.describe(f"op {op_id}", pending))
                     wake = self.heartbeat_interval
-                    if remaining is not None:
-                        wake = min(wake, max(remaining, 0.01))
+                    if deadline.timeout is not None:
+                        wake = max(deadline.remaining(cap=wake), 0.01)
                     sentinels = [gang.procs[r].sentinel for r in sorted(pending)]
                     wait_for = ([reader] if reader is not None else []) + sentinels
                     _conn_wait(wait_for, timeout=wake)

@@ -140,7 +140,10 @@ class TestCommMatrix:
         out.write_text(json.dumps(profile.matrix_dict()))
         doc = json.loads(out.read_text())
         n = doc["nprocs"]
-        assert doc["byte_meaning"] == "pickled payload bytes"
+        assert doc["byte_meaning"] == (
+            "encoded wire bytes" if doc["transport"] == "ring"
+            else "pickled payload bytes"
+        )
         for r in range(n):
             assert sum(doc["msgs"][r]) == doc["sends_per_rank"][r]
             col = sum(doc["msgs"][q][r] for q in range(n))

@@ -1,0 +1,153 @@
+"""Ring transport integration: bit-equality, conformance corpus, chaos.
+
+The ring transport must be invisible to results: every configuration
+that passes on the queue transport (and on the simulator, and against
+the serial oracle) must produce bit-identical output over the rings, at
+P=2 and P=4, for every wire codec mode.  And a SIGKILL delivered while
+a rank is blocked in a ring wait must classify as ``rank_death`` and
+recover under the supervisor — never deadlock the gang.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.conformance import replay_corpus
+from repro.core.api import pack, unpack
+from repro.faults.chaos import ChaosEvent, ChaosPlan
+from repro.machine import MachineSpec
+from repro.runtime import (
+    GangSupervisor,
+    MpBackend,
+    RetryPolicy,
+    TRANSPORT_NAMES,
+    resolve_transport,
+)
+
+SPEC = MachineSpec(tau=10e-6, mu=1e-6, delta=0.1e-6, name="test")
+CORPUS = "tests/conformance/corpus"
+
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.01, max_delay=0.05,
+                         jitter=0.0, seed=0)
+
+
+def _workload(n=96, density=0.5, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.random(n), rng.random(n) < density
+
+
+class TestTransportResolution:
+    def test_default_is_ring(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MP_TRANSPORT", raising=False)
+        assert MpBackend().transport == "ring"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_TRANSPORT", "queue")
+        assert MpBackend().transport == "queue"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_TRANSPORT", "queue")
+        assert MpBackend(transport="ring").transport == "ring"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("tcp")
+        with pytest.raises(ValueError, match="unknown transport"):
+            MpBackend(transport="tcp")
+
+    def test_names_registry(self):
+        assert TRANSPORT_NAMES == ("queue", "ring")
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_ring_equals_queue_equals_sim(self, nprocs):
+        array, mask = _workload()
+        sim = pack(array, mask, grid=(nprocs,), spec=SPEC, validate=False,
+                   backend="sim")
+        by_transport = {
+            t: pack(array, mask, grid=(nprocs,), spec=SPEC, validate=False,
+                    backend=MpBackend(timeout=120, transport=t))
+            for t in TRANSPORT_NAMES
+        }
+        for t, res in by_transport.items():
+            np.testing.assert_array_equal(res.vector, sim.vector, err_msg=t)
+            assert res.vector.dtype == sim.vector.dtype
+
+    @pytest.mark.parametrize("codec", ["auto", "sss", "cms", "pickle"])
+    def test_every_codec_mode_is_bit_identical(self, codec):
+        array, mask = _workload(seed=11)
+        sim = pack(array, mask, grid=(4,), spec=SPEC, validate=False,
+                   backend="sim")
+        mp = pack(array, mask, grid=(4,), spec=SPEC, validate=False,
+                  backend=MpBackend(timeout=120, transport="ring",
+                                    codec=codec))
+        np.testing.assert_array_equal(mp.vector, sim.vector)
+
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_unpack_roundtrip_over_ring(self, nprocs):
+        array, mask = _workload(seed=23)
+        backend = MpBackend(timeout=120, transport="ring")
+        packed = pack(array, mask, grid=(nprocs,), spec=SPEC, validate=True,
+                      backend=backend)
+        restored = unpack(packed.vector, mask, array, grid=(nprocs,),
+                          scheme="css", spec=SPEC, validate=True,
+                          backend=backend)
+        np.testing.assert_array_equal(restored.array, array)
+
+
+class TestConformanceCorpus:
+    def test_corpus_replays_clean_over_tiny_rings(self, monkeypatch):
+        # The corpus entries fix their own grids (P=2, 4, and 8 among
+        # them); what we vary here is the transport geometry — tiny
+        # rings force wraparound and slab spill on real corpus traffic.
+        monkeypatch.setenv("REPRO_MP_TRANSPORT", "ring")
+        monkeypatch.setenv("REPRO_RING_SLOTS", "4")
+        monkeypatch.setenv("REPRO_RING_SLOT_BYTES", "128")
+        monkeypatch.setenv("REPRO_RING_SLAB_BYTES", "256")
+        failures = [
+            (path.name, outcome.detail)
+            for path, _bug, outcome in replay_corpus(CORPUS, backend="mp")
+            if not outcome.ok
+        ]
+        assert failures == []
+
+
+def _late_send_prog(ctx):
+    # Rank 1 blocks in a ring wait; rank 0 sleeps in real wall time
+    # first, so the kill fires while rank 1 is parked on its doorbell.
+    if ctx.rank == 0:
+        time.sleep(0.3)
+        ctx.send(1, np.arange(4, dtype=np.int64), words=4, tag=5)
+        return 0
+    msg = yield ctx.recv(0, 5)
+    return int(np.asarray(msg.payload).sum())
+
+
+class TestChaosRingWait:
+    def test_sigkill_mid_ring_wait_recovers_not_deadlocks(self):
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="kill", rank=1, op_index=0, phase="ring_wait"),
+        ))
+        sup = GangSupervisor(timeout=60, retry=FAST_RETRY, chaos=plan,
+                             transport="ring")
+        with sup:
+            run = sup.run_spmd(_late_send_prog, 2, spec=SPEC)
+            assert run.results == [0, 6]
+            assert sup.stats.failures.get("rank_death", 0) >= 1
+            assert sup.stats.retries >= 1
+            assert sup.stats.rebuilds >= 1
+
+    def test_ring_wait_phase_never_fires_on_queue_transport(self):
+        # The same plan on the queue transport must be a no-op: the op
+        # completes first try, no retries.
+        plan = ChaosPlan(events=(
+            ChaosEvent(kind="kill", rank=1, op_index=0, phase="ring_wait"),
+        ))
+        sup = GangSupervisor(timeout=60, retry=FAST_RETRY, chaos=plan,
+                             transport="queue")
+        with sup:
+            run = sup.run_spmd(_late_send_prog, 2, spec=SPEC)
+            assert run.results == [0, 6]
+            assert sup.stats.retries == 0

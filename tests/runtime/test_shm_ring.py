@@ -1,0 +1,200 @@
+"""SPSC shm ring unit tests: wraparound, slab spill, backpressure, doorbell.
+
+These exercise :mod:`repro.runtime.shm_ring` directly with threads as
+producer/consumer (the SPSC protocol does not care whether the peer is a
+thread or a forked process — the fork path is covered by the transport
+tests).  The autouse conftest fixture asserts no /dev/shm residue.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.runtime.shm_ring import RECORD, RingConfig, RingMatrix
+
+
+SMALL = RingConfig(nslots=4, slot_bytes=128, slab_bytes=256)
+
+
+@pytest.fixture
+def matrix():
+    m = RingMatrix(2, SMALL)
+    yield m
+    m.destroy()
+
+
+def _send(ep, dst, payload, tag=0, epoch=0, op_id=0):
+    ep.send(dst, epoch=epoch, op_id=op_id, tag=tag, kind=0, wire=0,
+            words=0, clock=0.0, parts=[payload], nbytes=len(payload))
+
+
+class TestRecordRing:
+    def test_header_and_inline_payload_roundtrip(self, matrix):
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        ep0.send(1, epoch=3, op_id=9, tag=7, kind=2, wire=4, words=11,
+                 clock=1.5, parts=[b"he", b"llo"], nbytes=5)
+        r = ep1.wait()
+        assert (r.src, r.epoch, r.op_id, r.tag, r.kind, r.wire, r.words,
+                r.clock) == (0, 3, 9, 7, 2, 4, 11, 1.5)
+        assert r.data == b"hello"
+
+    def test_wraparound_preserves_fifo(self, matrix):
+        # 20 records through 4 slots: the consumer must interleave, and
+        # every sequence counter laps the ring several times.
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        got = []
+
+        def consume():
+            for _ in range(20):
+                got.append(ep1.wait().data)
+
+        t = threading.Thread(target=consume)
+        t.start()
+        for i in range(20):
+            _send(ep0, 1, bytes([i]) * 10, tag=i)
+        t.join(10)
+        assert not t.is_alive()
+        assert got == [bytes([i]) * 10 for i in range(20)]
+
+    def test_full_ring_backpressure_blocks_then_completes(self, matrix):
+        # Fill every slot, then assert the next send blocks until the
+        # consumer frees one.
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        for i in range(SMALL.nslots):
+            _send(ep0, 1, b"x", tag=i)
+        blocked = threading.Event()
+        done = threading.Event()
+
+        def overflow_send():
+            ep0.send(1, epoch=0, op_id=0, tag=99, kind=0, wire=0, words=0,
+                     clock=0.0, parts=[b"y"], nbytes=1,
+                     on_wait=blocked.set)
+            done.set()
+
+        t = threading.Thread(target=overflow_send)
+        t.start()
+        assert blocked.wait(5.0), "send should report backpressure"
+        assert not done.is_set()
+        tags = [ep1.wait().tag for _ in range(SMALL.nslots + 1)]
+        t.join(10)
+        assert done.is_set()
+        assert tags == list(range(SMALL.nslots)) + [99]
+
+    def test_deadline_expiry_returns_none(self, matrix):
+        ep0 = matrix.endpoint(0)
+        t0 = time.monotonic()
+        assert ep0.wait(deadline=t0 + 0.05) is None
+        assert time.monotonic() - t0 < 5.0
+
+
+class TestSlabStream:
+    def test_spill_threshold(self, matrix):
+        # inline_max is the exact boundary: one byte more goes to slab.
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        boundary = SMALL.inline_max
+        assert boundary == SMALL.slot_bytes - RECORD.size
+        _send(ep0, 1, b"a" * boundary)
+        _send(ep0, 1, b"b" * (boundary + 1))
+        r1, r2 = ep1.wait(), ep1.wait()
+        assert r1.data == b"a" * boundary
+        assert r2.data == b"b" * (boundary + 1)
+
+    def test_payload_larger_than_slab_ring(self, matrix):
+        # 1000 bytes through a 256-byte slab ring: multiple flow-control
+        # rounds, producer and consumer strictly interleaved.
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        big = os.urandom(1000)
+        got = {}
+
+        def consume():
+            got["data"] = ep1.wait().data
+
+        t = threading.Thread(target=consume)
+        t.start()
+        _send(ep0, 1, big)
+        t.join(10)
+        assert not t.is_alive()
+        assert got["data"] == big
+
+    def test_slab_records_interleave_with_inline(self, matrix):
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        payloads = [b"s", os.urandom(500), b"t", os.urandom(300)]
+        got = []
+
+        def consume():
+            for _ in payloads:
+                got.append(ep1.wait().data)
+
+        t = threading.Thread(target=consume)
+        t.start()
+        for p in payloads:
+            _send(ep0, 1, p)
+        t.join(10)
+        assert not t.is_alive()
+        assert got == payloads
+
+
+class TestDoorbell:
+    def test_blocked_consumer_woken_by_late_producer(self, matrix):
+        # The consumer exhausts its spin/yield budget and parks on the
+        # doorbell; a producer arriving afterwards must wake it promptly.
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        got = {}
+
+        def consume():
+            got["rec"] = ep1.wait(deadline=time.monotonic() + 30.0)
+
+        t = threading.Thread(target=consume)
+        t.start()
+        time.sleep(0.3)  # let the consumer reach the doorbell phase
+        _send(ep0, 1, b"wake", tag=5)
+        t.join(10)
+        assert not t.is_alive()
+        assert got["rec"] is not None and got["rec"].data == b"wake"
+
+    def test_waiting_flag_cleared_after_wakeup(self, matrix):
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+
+        def consume():
+            ep1.wait()
+
+        t = threading.Thread(target=consume)
+        t.start()
+        time.sleep(0.2)
+        _send(ep0, 1, b"z")
+        t.join(10)
+        assert int(matrix._flags[1]) == 0
+
+
+class TestBidirectional:
+    def test_both_directions_share_the_matrix(self, matrix):
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        _send(ep0, 1, b"fwd", tag=1)
+        _send(ep1, 0, b"rev", tag=2)
+        assert ep1.wait().data == b"fwd"
+        assert ep0.wait().data == b"rev"
+
+
+class TestConfig:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RING_SLOTS", "8")
+        monkeypatch.setenv("REPRO_RING_SLOT_BYTES", "256")
+        monkeypatch.setenv("REPRO_RING_SLAB_BYTES", "1024")
+        cfg = RingConfig.from_env()
+        assert (cfg.nslots, cfg.slot_bytes, cfg.slab_bytes) == (8, 256, 1024)
+
+    def test_kwarg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RING_SLOTS", "8")
+        assert RingConfig.from_env(nslots=16).nslots == 16
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            RingConfig.from_env(nslots=1)
+
+    def test_destroy_is_idempotent(self):
+        m = RingMatrix(2, SMALL)
+        m.endpoint(0)
+        m.destroy()
+        m.destroy()
