@@ -35,8 +35,11 @@ One byte stream per payload; the transport carries a separate
     u8 len(dtype.str) | dtype.str ascii | u8 ndim | i64 shape... | raw bytes
 
 and composite kinds are a fixed sequence of framed arrays.  Decoding
-builds read-only numpy views over the received buffer — no copy beyond
-the transport's own copy out of shared memory.
+builds numpy views over the received buffer — no copy beyond the
+transport's own copy out of shared memory.  The views inherit the
+buffer's writability: the ring transport hands a fresh ``bytearray``
+per message, so received payloads are mutable, exactly like the queue
+transport's unpickled copies and the simulator's deliveries.
 """
 
 from __future__ import annotations
@@ -119,7 +122,12 @@ def _frame_array(arr: np.ndarray, parts: list) -> int:
 
 
 def _unframe_array(buf, offset: int) -> tuple[np.ndarray, int]:
-    """Read one framed array as a read-only view over ``buf``."""
+    """Read one framed array as a view over ``buf``.
+
+    The view's writability follows the buffer's: writable for a
+    ``bytearray`` (what the ring transport delivers), read-only for
+    immutable ``bytes``.
+    """
     dlen = buf[offset]
     offset += 1
     dtype = np.dtype(bytes(buf[offset : offset + dlen]).decode("ascii"))
@@ -226,9 +234,10 @@ def encode_payload(payload: Any, codec: str = "auto") -> tuple[int, list, int]:
 def decode_payload(wire_kind: int, buf) -> Any:
     """Decode one wire payload; the exact inverse of :func:`encode_payload`.
 
-    ``buf`` is the received byte buffer (bytes or memoryview).  Array
-    results are read-only views over it; callers that need to write
-    must copy (library code never mutates received payloads).
+    ``buf`` is the received byte buffer.  Array results are views over
+    it whose writability follows the buffer's — transports must pass a
+    mutable buffer (``bytearray``) so programs may mutate received
+    payloads, the receive contract every other backend provides.
     """
     if wire_kind == W_NONE:
         return None

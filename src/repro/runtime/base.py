@@ -31,7 +31,9 @@ own process — the host never pickles ``P`` blocks through a pipe.
 from __future__ import annotations
 
 import os
+import platform
 import time
+import warnings
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -45,6 +47,7 @@ __all__ = [
     "TRANSPORT_NAMES",
     "get_backend",
     "available_backends",
+    "default_transport",
     "resolve_transport",
 ]
 
@@ -57,14 +60,49 @@ BACKEND_NAMES = ("sim", "mp", "supervised")
 #: ``multiprocessing.Queue`` mailbox per rank.
 TRANSPORT_NAMES = ("queue", "ring")
 
+#: Architectures with a total-store-order memory model, where the ring
+#: transport's plain-store head publication (payload bytes first, then
+#: the int64 sequence counter) is safe without explicit barriers.  On
+#: weakly-ordered CPUs (aarch64, ppc64le, riscv64) store-store
+#: reordering could let a consumer observe the advanced head before the
+#: payload is visible, so the default transport there is ``queue``.
+_TSO_MACHINES = frozenset(
+    {"x86_64", "amd64", "i386", "i486", "i586", "i686", "x86"}
+)
+
+
+def _ring_memory_model_safe() -> bool:
+    return platform.machine().lower() in _TSO_MACHINES
+
+
+def default_transport() -> str:
+    """The platform default: ``ring`` on x86 (TSO), ``queue`` elsewhere."""
+    return "ring" if _ring_memory_model_safe() else "queue"
+
 
 def resolve_transport(transport: str | None) -> str:
-    """Resolve a transport name: explicit arg > ``REPRO_MP_TRANSPORT`` > ring."""
+    """Resolve a transport name.
+
+    Explicit arg > ``REPRO_MP_TRANSPORT`` > :func:`default_transport`
+    (``ring`` on x86, ``queue`` on weakly-ordered architectures — see
+    :data:`_TSO_MACHINES`).  Forcing ``ring`` on a non-TSO machine is
+    allowed for experiments but warns: the ring's lock-free publication
+    relies on total store order.
+    """
     if transport is None:
-        transport = os.environ.get("REPRO_MP_TRANSPORT", "ring")
+        transport = os.environ.get("REPRO_MP_TRANSPORT", default_transport())
     if transport not in TRANSPORT_NAMES:
         raise ValueError(
             f"unknown transport {transport!r}; pick from {TRANSPORT_NAMES}"
+        )
+    if transport == "ring" and not _ring_memory_model_safe():
+        warnings.warn(
+            f"the ring transport's lock-free head publication assumes a "
+            f"total-store-order memory model; {platform.machine()} is "
+            f"weakly-ordered and records may be observed before their "
+            f"payload bytes — use transport='queue' for correctness",
+            RuntimeWarning,
+            stacklevel=2,
         )
     return transport
 

@@ -30,7 +30,9 @@ contract over IPC:
 
 * ``ctx.send(...)`` posts the payload through the transport (eager and
   buffered — ring slots and queue feeder threads both mean sends only
-  block on sustained backpressure, matching the simulator's eager-send
+  block on sustained backpressure, and a ring send that does block
+  drains its own incoming rings while it waits, so even a cycle of
+  ranks all mid-send completes — matching the simulator's eager-send
   model);
 * ``yield ctx.recv(...)`` reads from the rank's own mailbox through a
   *pending buffer*: every incoming item passes through one matcher, and
@@ -576,6 +578,16 @@ class _QueueTransport:
              words: int, clock: float) -> None:
         rec = driver._recorder
         if rec is None:
+            if dest == driver.rank:
+                # The queue's feeder thread pickles asynchronously, so a
+                # self-send could deliver a *later* mutation of the
+                # payload.  Serialize synchronously to pin the copy at
+                # post time — ctx.send promises mutate-after-send safety
+                # (profiled sends already pre-pickle, and remote sends
+                # hand the buffer to another process).
+                payload = pickle.loads(
+                    pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+                )
             self.mailboxes[dest].put(
                 (driver._stamp, driver.rank, tag, payload, words, clock)
             )
@@ -634,9 +646,18 @@ class _RingTransport:
     Payloads are framed by the wire codec (:mod:`repro.codecs.wire`) and
     memcpy'd into the destination's SPSC ring — no pickle for arrays or
     pair/segment messages, pickle fallback for everything else (protocol
-    tuples, scalars).  Self-sends bypass the fabric entirely: streaming a
-    slab payload to yourself would deadlock a single thread, and the
-    simulator delivers self-messages by reference anyway.
+    tuples, scalars).  Self-sends bypass the fabric (streaming a slab
+    payload to yourself would deadlock a single thread) but still
+    round-trip the codec, so the program receives an independent
+    writable copy — the same mutate-after-send safety every other
+    transport gives.
+
+    A send blocked on ring backpressure drains this rank's *own*
+    incoming rings into the driver's pending buffer (:meth:`_progress`):
+    consuming is what frees a peer blocked sending to us, so the
+    eager-send patterns the engine allows — every rank firing all its
+    ``alltoallv`` sends before draining a single arrival — cannot
+    deadlock on the bounded slab space.
 
     Fork-shared: the host builds the matrix pre-fork; each rank binds its
     endpoint lazily on first use (idempotent — a persistent worker reuses
@@ -655,27 +676,61 @@ class _RingTransport:
             self._ep = self.matrix.endpoint(rank)
         return self
 
+    def _progress(self, driver: "_Driver") -> bool:
+        """Consume incoming traffic, without blocking, for a stalled send.
+
+        Invoked by the endpoint while one of our sends is blocked on a
+        full peer ring.  Complete records land in ``driver._pending``
+        in arrival order — exactly where a later ``_take`` looks first —
+        so the FIFO-per-(source, tag) guarantee is preserved; a payload
+        the peer is still streaming is drained partially (which frees
+        its slab space — the progress that matters) and finished on a
+        later call.  Returns True when anything moved — a consumed
+        record, drained slab bytes, or dropped stale-stamped residue.
+        """
+        r = self._ep.progress()
+        if r is True or r is False:
+            return r
+        if (r.epoch, r.op_id) != driver._stamp:
+            return True  # stale residue from an earlier attempt: dropped
+        payload = decode_payload(r.wire, r.data)
+        rec = driver._recorder
+        if rec is not None and r.tag >= 0:
+            rec.received(r.nbytes)
+        driver._pending.append((r.src, r.tag, payload, r.words, r.clock))
+        return True
+
     def post(self, driver: "_Driver", dest: int, tag: int, payload: Any,
              words: int, clock: float) -> None:
         rec = driver._recorder
         if dest == driver.rank:
-            # Self-send: straight into the pending buffer, by reference
-            # (same as the engine's local delivery).  Profiled runs still
-            # encode once so the comm matrix carries honest wire bytes.
+            # Self-send: round-trip through the wire codec so the
+            # payload delivered from the pending buffer is an
+            # independent writable copy — ``ctx.send`` promises
+            # mutate-after-send safety on every transport — carrying
+            # the same bytes a remote send would put on the wire.
+            t0 = monotonic() if rec is not None else 0.0
+            wire, parts, nbytes = encode_payload(payload, self.codec)
+            buf = bytearray(nbytes)
+            off = 0
+            for part in parts:
+                pv = memoryview(part).cast("B")
+                buf[off : off + len(pv)] = pv
+                off += len(pv)
+            payload = decode_payload(wire, buf)
             if rec is not None:
-                t0 = monotonic()
-                _wire, _parts, nbytes = encode_payload(payload, self.codec)
                 rec.span(_PK_ENC, t0, monotonic())
                 rec.sent(dest, nbytes)
                 rec.received(nbytes)
             driver._pending.append((driver.rank, tag, payload, words, clock))
             return
         epoch, op_id = driver._stamp
+        progress = lambda: self._progress(driver)  # noqa: E731
         if rec is None:
             wire, parts, nbytes = encode_payload(payload, self.codec)
             self._ep.send(dest, epoch=epoch, op_id=op_id, tag=tag, kind=0,
                           wire=wire, words=words, clock=clock,
-                          parts=parts, nbytes=nbytes)
+                          parts=parts, nbytes=nbytes, progress=progress)
             return
         t0 = monotonic()
         wire, parts, nbytes = encode_payload(payload, self.codec)
@@ -684,7 +739,7 @@ class _RingTransport:
         rec.sent(dest, nbytes)
         self._ep.send(dest, epoch=epoch, op_id=op_id, tag=tag, kind=0,
                       wire=wire, words=words, clock=clock,
-                      parts=parts, nbytes=nbytes)
+                      parts=parts, nbytes=nbytes, progress=progress)
         rec.span(_PK_RSEND, t1, monotonic())
 
     def post_protocol(self, driver: "_Driver", dest: int, tag: int,
@@ -693,7 +748,8 @@ class _RingTransport:
         wire, parts, nbytes = encode_payload(payload, self.codec)
         self._ep.send(dest, epoch=epoch, op_id=op_id, tag=tag, kind=0,
                       wire=wire, words=0, clock=0.0,
-                      parts=parts, nbytes=nbytes)
+                      parts=parts, nbytes=nbytes,
+                      progress=lambda: self._progress(driver))
 
     def get(self, driver: "_Driver") -> tuple:
         rec = driver._recorder
@@ -755,7 +811,8 @@ class MpContext:
     * :meth:`work` charges op *counts* only — the time they take accrues
       by itself;
     * :meth:`elapse` is a no-op (a wall clock cannot be advanced by fiat);
-    * :meth:`send` copies the payload (pickling), so the simulator's
+    * :meth:`send` copies the payload — pickle on the queue transport,
+      wire framing on the ring, self-sends included — so the simulator's
       "don't mutate after send" rule is automatically safe here.
     """
 

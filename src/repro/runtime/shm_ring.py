@@ -24,7 +24,13 @@ counters.  A producer publishes a record by filling the slot **then**
 advancing ``slot_head``; the consumer reads ``slot_head``, consumes,
 then advances ``slot_tail``.  int64 aligned stores are atomic on every
 platform CPython runs on, and each side writes only its own cache line,
-so no locks are needed.  Waits spin briefly, then ``sched_yield``, then
+so no locks are needed.  The payload-before-head *ordering*, however,
+holds only under a total-store-order memory model (x86/x86-64): plain
+stores carry no release barrier, so a weakly-ordered CPU (aarch64,
+ppc64le) may let the consumer observe the advanced head before the
+payload bytes are visible.  :func:`repro.runtime.base.resolve_transport`
+therefore defaults to the queue transport off x86 and warns when the
+ring is forced there.  Waits spin briefly, then ``sched_yield``, then
 block on a per-receiver **doorbell** (``os.eventfd``, falling back to a
 pipe): the receiver sets its waiting flag, re-checks the rings, and
 blocks in ``select`` with a bounded timeout; a producer that observes
@@ -42,6 +48,21 @@ through bounded memory with flow control on ``byte_tail``.
 Stale records (wrong ``(epoch, op_id)`` under the supervisor's retry
 loop) must still drain their slab bytes before being dropped — skipping
 them would desynchronise the byte stream for every later record.
+
+Backpressure is **cooperative**.  A send blocked on a full slot ring or
+slab invokes its ``progress`` callback between re-checks; the mp
+transport wires that callback to :meth:`RingEndpoint.progress`, which
+consumes the sender's *own* incoming rings into the driver's pending
+buffer.  Draining is what frees a peer blocked sending to us, so a
+cycle of ranks all mid-send — exactly what ``alltoallv_native``
+produces by firing every send before its drain loop — makes progress
+instead of deadlocking when every per-pair payload exceeds the bounded
+slab space.  Crucially the hook itself **never blocks**: an incoming
+slab payload whose producer is still streaming is drained *partially*
+(per-source resumable state, freeing slab space as it goes) and control
+returns to the blocked send — blocking the hook on the peer's stream
+would just re-create the cycle one level down, with both ranks stuck
+draining streams whose producers are their own suspended send loops.
 
 SIGKILL of a peer mid-wait leaves counters frozen; nothing in here
 detects that, by design.  The host side (``MpBackend._collect``, the
@@ -130,7 +151,13 @@ class RingConfig:
 
 @dataclass(frozen=True)
 class RingRecord:
-    """One received message header + its payload bytes."""
+    """One received message header + its payload bytes.
+
+    ``data`` is a writable ``bytearray`` (the consumer's copy out of
+    shared memory), so numpy views the wire codec decodes over it are
+    mutable — receive semantics match the queue transport's unpickled
+    copies.
+    """
 
     src: int
     epoch: int
@@ -141,7 +168,7 @@ class RingRecord:
     words: int
     nbytes: int
     clock: float
-    data: bytes
+    data: bytearray
 
 
 def _now() -> float:
@@ -325,17 +352,28 @@ class RingEndpoint:
                               for dst in range(self.nprocs)]
         self._my_byte_head = [int(self._ctr[self.rank, dst, 0, 1])
                               for dst in range(self.nprocs)]
+        self._rr = 0
+        #: In-progress slab drains, src -> [header, out bytearray, got]:
+        #: a record whose payload the producer is still streaming, begun
+        #: by the non-blocking :meth:`progress` path.  At most one per
+        #: source (record order == stream order), and it must complete
+        #: before any later record from that source is surfaced.
+        self._partials: dict[int, list] = {}
 
     # ------------------------------------------------------------ send
     def send(self, dst: int, *, epoch: int, op_id: int, tag: int, kind: int,
              wire: int, words: int, clock: float, parts, nbytes: int,
-             on_wait=None) -> None:
+             on_wait=None, progress=None) -> None:
         """Publish one record (and payload) to ``dst``'s ring.
 
         Blocks (spin → yield → sleep) on slot or slab backpressure;
         ``on_wait`` is invoked once if the send had to block, letting
-        the caller attribute the stall.  Must not be used for
-        ``dst == rank`` — self-sends bypass the transport entirely.
+        the caller attribute the stall.  ``progress`` is invoked between
+        backpressure re-checks and should consume this endpoint's *own*
+        incoming traffic (returning True when it did) — the cooperative
+        drain that keeps a cycle of ranks all blocked mid-send from
+        deadlocking.  Must not be used for ``dst == rank`` — self-sends
+        bypass the transport entirely.
         """
         m = self.matrix
         rank = self.rank
@@ -343,7 +381,7 @@ class RingEndpoint:
         # Wait for a free slot (consumer lags by at most nslots).
         self._wait_until(
             lambda: head - int(self._ctr[rank, dst, 1, 0]) < self._nslots,
-            on_wait,
+            on_wait, progress,
         )
         slot = m._slot_view(rank, dst, head % self._nslots)
         use_slab = nbytes > self._inline_max
@@ -376,7 +414,7 @@ class RingEndpoint:
                 def _free() -> int:
                     return size - (byte_head - int(self._ctr[rank, dst, 1, 1]))
 
-                self._wait_until(lambda: _free() > 0, on_wait)
+                self._wait_until(lambda: _free() > 0, on_wait, progress)
                 avail = _free()
                 pos = byte_head % size
                 chunk = min(len(pv) - sent, avail, size - pos)
@@ -398,56 +436,125 @@ class RingEndpoint:
         Scans sources round-robin from the last served rank so no pair
         starves.  Popping a slab record drains its full payload from
         the slab ring (blocking on the producer if it is still
-        streaming).
+        streaming) — including any drain the non-blocking
+        :meth:`progress` path left partial.
         """
         rank = self.rank
         for i in range(self.nprocs):
-            src = (getattr(self, "_rr", 0) + i) % self.nprocs
+            src = (self._rr + i) % self.nprocs
             if src == rank:
                 continue
+            if src in self._partials:
+                self._rr = (src + 1) % self.nprocs
+                rec, _ = self._drain_partial(src, block=True)
+                return rec
             tail = self._my_slot_tail[src]
             if int(self._ctr[src, rank, 0, 0]) > tail:
                 self._rr = (src + 1) % self.nprocs
                 return self._pop(src, tail)
         return None
 
-    def _pop(self, src: int, tail: int) -> RingRecord:
+    def progress(self) -> "RingRecord | bool":
+        """One bounded, **non-blocking** step of incoming consumption.
+
+        The cooperative-backpressure hook for a blocked send: returns a
+        complete :class:`RingRecord` if one could be consumed without
+        waiting, ``True`` if partial progress was made (slab bytes
+        drained or a new drain started — producer space was freed), and
+        ``False`` if there was nothing to do.  Never waits on a
+        producer: the caller *is* a suspended producer, and blocking
+        here would rebuild the very send-send cycle this hook breaks.
+        """
+        rank = self.rank
+        made = False
+        for i in range(self.nprocs):
+            src = (self._rr + i) % self.nprocs
+            if src == rank:
+                continue
+            if src in self._partials:
+                rec, moved = self._drain_partial(src, block=False)
+                if rec is not None:
+                    self._rr = (src + 1) % self.nprocs
+                    return rec
+                made = made or moved
+                continue
+            tail = self._my_slot_tail[src]
+            if int(self._ctr[src, rank, 0, 0]) > tail:
+                rec = self._pop(src, tail, block=False)
+                if rec is not None:
+                    self._rr = (src + 1) % self.nprocs
+                    return rec
+                made = True  # started a partial drain
+        return made
+
+    def _pop(self, src: int, tail: int, block: bool = True) -> RingRecord | None:
         m = self.matrix
         rank = self.rank
         slot = m._slot_view(src, rank, tail % self._nslots)
         epoch, op_id, tag, kind, wire, flags, words, nbytes, clock = (
             RECORD.unpack_from(slot, 0)
         )
-        if flags & _F_SLAB:
-            data = self._drain_slab(src, nbytes)
-        else:
-            data = bytes(slot[RECORD.size : RECORD.size + nbytes])
+        # Free the slot before draining any slab payload: the header is
+        # copied out, and the producer cannot reuse the slot until after
+        # it finishes streaming this very payload (sends are sequential
+        # per pair), so early release is safe and lets an nslots-deep
+        # pipeline refill sooner.
         self._my_slot_tail[src] = tail + 1
-        self._ctr[src, rank, 1, 0] = tail + 1  # free the slot
+        self._ctr[src, rank, 1, 0] = tail + 1
+        if flags & _F_SLAB:
+            self._partials[src] = [
+                (epoch, op_id, tag, kind, wire, words, clock),
+                bytearray(nbytes), 0,
+            ]
+            rec, _ = self._drain_partial(src, block=block)
+            return rec
+        # bytearray, not bytes: decoded numpy views over the payload
+        # stay writable, like an unpickled queue-transport copy.
+        data = bytearray(slot[RECORD.size : RECORD.size + nbytes])
         return RingRecord(src, epoch, op_id, tag, kind, wire, words,
                           nbytes, clock, data)
 
-    def _drain_slab(self, src: int, nbytes: int) -> bytes:
-        m = self.matrix
+    def _drain_partial(self, src: int, block: bool) -> tuple[RingRecord | None, bool]:
+        """Advance the in-progress slab drain for ``src``.
+
+        Returns ``(record, moved)``: the completed record (and the
+        partial state retired), or ``None`` with ``moved`` telling
+        whether any bytes were drained.  ``block=True`` waits for the
+        producer to finish streaming; ``block=False`` (the send-side
+        progress hook) drains only what is already published.
+        """
         rank = self.rank
-        slab = m._slab_view(src, rank)
+        state = self._partials[src]
+        hdr, out, got = state
+        nbytes = len(out)
+        slab = self.matrix._slab_view(src, rank)
         size = self._slab_bytes
-        out = bytearray(nbytes)
-        got = 0
         byte_tail = self._my_byte_tail[src]
+        moved = False
         while got < nbytes:
-            self._wait_until(
-                lambda: int(self._ctr[src, rank, 0, 1]) > byte_tail, None
-            )
             avail = int(self._ctr[src, rank, 0, 1]) - byte_tail
+            if avail <= 0:
+                if not block:
+                    break
+                self._wait_until(
+                    lambda: int(self._ctr[src, rank, 0, 1]) > byte_tail, None
+                )
+                continue
             pos = byte_tail % size
             chunk = min(nbytes - got, avail, size - pos)
             out[got : got + chunk] = slab[pos : pos + chunk]
             got += chunk
             byte_tail += chunk
             self._ctr[src, rank, 1, 1] = byte_tail  # open space for producer
+            moved = True
         self._my_byte_tail[src] = byte_tail
-        return bytes(out)
+        if got < nbytes:
+            state[2] = got
+            return None, moved
+        del self._partials[src]
+        epoch, op_id, tag, kind, wire, words, clock = hdr
+        return RingRecord(src, epoch, op_id, tag, kind, wire, words,
+                          nbytes, clock, out), moved
 
     def wait(self, *, deadline: float | None = None, on_block=None) -> RingRecord | None:
         """Block until a record arrives; ``None`` only on deadline expiry.
@@ -504,13 +611,18 @@ class RingEndpoint:
         self._ctr = self._flags = None
 
     # ------------------------------------------------------------ util
-    def _wait_until(self, cond, on_wait) -> None:
+    def _wait_until(self, cond, on_wait, progress=None) -> None:
         if cond():
             return
         if on_wait is not None:
             on_wait()
         spins = 0
         while not cond():
+            if progress is not None and progress():
+                # We consumed incoming traffic: a peer blocked sending
+                # to us can now advance (and eventually drain *our*
+                # ring), so re-check immediately without backing off.
+                continue
             if spins < _SPINS:
                 spins += 1
             elif spins < _SPINS + _YIELDS:

@@ -8,7 +8,9 @@ a rank is blocked in a ring wait must classify as ``rank_death`` and
 recover under the supervisor — never deadlock the gang.
 """
 
+import platform
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -40,7 +42,30 @@ def _workload(n=96, density=0.5, seed=3):
 class TestTransportResolution:
     def test_default_is_ring(self, monkeypatch):
         monkeypatch.delenv("REPRO_MP_TRANSPORT", raising=False)
+        monkeypatch.setattr(platform, "machine", lambda: "x86_64")
         assert MpBackend().transport == "ring"
+
+    def test_weakly_ordered_platform_defaults_to_queue(self, monkeypatch):
+        # The ring's lock-free head publication assumes total store
+        # order; off x86 the safe queue transport is the default.
+        monkeypatch.delenv("REPRO_MP_TRANSPORT", raising=False)
+        monkeypatch.setattr(platform, "machine", lambda: "aarch64")
+        assert resolve_transport(None) == "queue"
+        assert MpBackend().transport == "queue"
+
+    def test_forcing_ring_on_weakly_ordered_platform_warns(self, monkeypatch):
+        monkeypatch.setattr(platform, "machine", lambda: "aarch64")
+        with pytest.warns(RuntimeWarning, match="total-store-order"):
+            assert resolve_transport("ring") == "ring"
+        monkeypatch.setenv("REPRO_MP_TRANSPORT", "ring")
+        with pytest.warns(RuntimeWarning, match="total-store-order"):
+            assert resolve_transport(None) == "ring"
+
+    def test_no_warning_on_tso_platform(self, monkeypatch):
+        monkeypatch.setattr(platform, "machine", lambda: "x86_64")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_transport("ring") == "ring"
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_MP_TRANSPORT", "queue")
@@ -112,6 +137,77 @@ class TestConformanceCorpus:
             if not outcome.ok
         ]
         assert failures == []
+
+
+def _eager_exchange_prog(ctx, n):
+    # Every rank fires all of its sends before receiving anything — the
+    # pattern alltoallv_native uses.  With payloads far larger than the
+    # slab ring, every pair hits slab backpressure mid-send; only the
+    # cooperative drain (a blocked send consuming its own incoming
+    # rings) lets the cycle complete.
+    data = np.full(n, float(ctx.rank), dtype=np.float64)
+    for k in range(1, ctx.size):
+        ctx.send((ctx.rank + k) % ctx.size, data, words=n, tag=7)
+    total = 0.0
+    for _ in range(ctx.size - 1):
+        msg = yield ctx.recv(tag=7)
+        total += float(np.asarray(msg.payload).sum())
+    return total
+
+
+class TestSendBackpressure:
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_all_sends_before_any_recv_exceeding_slab(self, nprocs, monkeypatch):
+        # REVIEW scenario: every per-pair payload (32 KiB) dwarfs the
+        # slab ring (256 B), and every rank is mid-send at once.  The
+        # timeout bounds a regression to a clean MpGangError instead of
+        # a hung gang.
+        monkeypatch.setenv("REPRO_RING_SLOTS", "4")
+        monkeypatch.setenv("REPRO_RING_SLOT_BYTES", "128")
+        monkeypatch.setenv("REPRO_RING_SLAB_BYTES", "256")
+        n = 4096
+        run = MpBackend(timeout=120, transport="ring").run_spmd(
+            _eager_exchange_prog, nprocs, rank_args=[(n,)] * nprocs
+        )
+        expected = [
+            float(sum(n * s for s in range(nprocs) if s != me))
+            for me in range(nprocs)
+        ]
+        assert run.results == expected
+
+
+def _mutate_recv_prog(ctx):
+    if ctx.rank == 0:
+        ctx.send(1, np.arange(4, dtype=np.float64), words=4, tag=3)
+        return 0.0
+    msg = yield ctx.recv(0, 3)
+    msg.payload[:] *= 2.0  # received payloads are writable on every transport
+    return float(msg.payload.sum())
+
+
+def _self_send_mutate_prog(ctx):
+    a = np.arange(4, dtype=np.float64)
+    ctx.send(ctx.rank, a, words=4, tag=2)
+    a[:] = -1.0  # mutate-after-send must never reach the receiver
+    msg = yield ctx.recv(ctx.rank, 2)
+    msg.payload[0] += 1.0  # and the copy is writable
+    return float(np.asarray(msg.payload).sum())
+
+
+class TestReceiveContract:
+    @pytest.mark.parametrize("transport", TRANSPORT_NAMES)
+    def test_received_payloads_are_writable(self, transport):
+        run = MpBackend(timeout=60, transport=transport).run_spmd(
+            _mutate_recv_prog, 2
+        )
+        assert run.results == [0.0, 12.0]
+
+    @pytest.mark.parametrize("transport", TRANSPORT_NAMES)
+    def test_self_send_delivers_an_independent_copy(self, transport):
+        run = MpBackend(timeout=60, transport=transport).run_spmd(
+            _self_send_mutate_prog, 1
+        )
+        assert run.results == [7.0]
 
 
 def _late_send_prog(ctx):

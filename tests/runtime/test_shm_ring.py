@@ -176,6 +176,86 @@ class TestBidirectional:
         assert ep1.wait().data == b"fwd"
         assert ep0.wait().data == b"rev"
 
+    def test_payload_copy_is_writable(self, matrix):
+        # Both the inline and slab paths must deliver a mutable buffer:
+        # decoded numpy views over it are the program's to write.
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        _send(ep0, 1, b"tiny")
+        # > inline_max so it streams through the slab, but < slab_bytes
+        # so the single-threaded send completes without a consumer.
+        _send(ep0, 1, b"x" * 200)
+        for expect in (b"tiny", b"x" * 200):
+            r = ep1.wait()
+            assert isinstance(r.data, bytearray)
+            r.data[0:1] = b"Y"  # must not raise
+            assert r.data[1:] == expect[1:]
+
+
+def _cooperative_runner(ep, dst, payloads, results):
+    """Send every payload before receiving any — the alltoallv pattern.
+
+    A blocked send drains the endpoint's own incoming rings through the
+    non-blocking ``progress`` hook (as ``_RingTransport`` does), which
+    is the only thing that lets two ranks both mid-send get unstuck.
+    """
+    drained = []
+
+    def progress():
+        r = ep.progress()
+        if r is True or r is False:
+            return r
+        drained.append(r.data)
+        return True
+
+    for i, payload in enumerate(payloads):
+        ep.send(dst, epoch=0, op_id=0, tag=i, kind=0, wire=0, words=0,
+                clock=0.0, parts=[payload], nbytes=len(payload),
+                progress=progress)
+    while len(drained) < len(payloads):
+        r = ep.wait(deadline=time.monotonic() + 10)
+        assert r is not None, "peer traffic never arrived"
+        drained.append(r.data)
+    results[ep.rank] = drained
+
+
+class TestCooperativeBackpressure:
+    """The REVIEW cyclic-deadlock scenario, at the ring level."""
+
+    def test_cyclic_slab_sends_complete(self, matrix):
+        # Each payload is ~4x the 256-byte slab ring, and both sides
+        # send before either receives: without the cooperative drain
+        # both block in send forever, ring deadlocked.
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        p0, p1 = os.urandom(1000), os.urandom(900)
+        results = {}
+        t0 = threading.Thread(target=_cooperative_runner,
+                              args=(ep0, 1, [p0], results))
+        t1 = threading.Thread(target=_cooperative_runner,
+                              args=(ep1, 0, [p1], results))
+        t0.start(); t1.start()
+        t0.join(15); t1.join(15)
+        assert not t0.is_alive() and not t1.is_alive()
+        assert results[1] == [p0]
+        assert results[0] == [p1]
+
+    def test_cyclic_slot_backpressure_completes(self, matrix):
+        # Same cycle through the record ring: 3x more inline sends than
+        # slots, fired in both directions before any receive.
+        ep0, ep1 = matrix.endpoint(0), matrix.endpoint(1)
+        n = SMALL.nslots * 3
+        p0 = [bytes([i]) * 8 for i in range(n)]
+        p1 = [bytes([100 + i]) * 8 for i in range(n)]
+        results = {}
+        t0 = threading.Thread(target=_cooperative_runner,
+                              args=(ep0, 1, p0, results))
+        t1 = threading.Thread(target=_cooperative_runner,
+                              args=(ep1, 0, p1, results))
+        t0.start(); t1.start()
+        t0.join(15); t1.join(15)
+        assert not t0.is_alive() and not t1.is_alive()
+        assert results[1] == p0  # SPSC order survives the drain path
+        assert results[0] == p1
+
 
 class TestConfig:
     def test_env_overrides(self, monkeypatch):

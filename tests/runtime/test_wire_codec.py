@@ -77,9 +77,18 @@ class TestRoundtrips:
         _, back = roundtrip(pm)
         assert back.count == 0
 
-    def test_decoded_views_are_readonly(self):
-        kind, back = roundtrip(np.arange(4.0))
-        assert not back.flags.writeable
+    def test_decoded_view_writability_follows_buffer(self):
+        # Decoded arrays are views over the receive buffer: immutable
+        # bytes give a read-only view, while the mutable bytearray the
+        # ring transport delivers gives a writable one — programs may
+        # mutate received payloads, like on every other transport.
+        kind, parts, nbytes = encode_payload(np.arange(4.0))
+        buf = b"".join(bytes(p) for p in parts)
+        assert not decode_payload(kind, buf).flags.writeable
+        back = decode_payload(kind, bytearray(buf))
+        assert back.flags.writeable
+        back[0] = 9.0  # must not raise
+        assert float(back[0]) == 9.0
 
 
 class TestPairEncoding:
