@@ -24,6 +24,11 @@ oracle is covered by the test suite, here we time the simulator only):
     PACK through the reliable transport over a lossy network — timed
     receives, ANY-tag retransmit traffic, fault bookkeeping.
 
+A separate ``plan_cache`` section times the same PACK cold (fresh plan
+cache, full compile) and warm (plan replayed from the cache) and bands
+the ``warm_over_cold`` wall ratio; the two runs' simulated times must be
+bit-identical or the measurement itself raises.
+
 Wall-clock numbers are normalised by a host-speed calibration loop so the
 committed baseline transfers across machines; the CI gate compares the
 *normalised* score with a tolerance band (default 25%).  Simulated times
@@ -199,6 +204,74 @@ def measure(reps: int) -> dict:
     return {"calib_ms": round(calib * 1e3, 3), "cases": cases}
 
 
+def measure_plan_cache(reps: int, calib: float) -> dict:
+    """Cold-compile vs warm-replay PACK through the plan cache.
+
+    Cold runs get a fresh cache every repetition (full compile each time);
+    warm runs replay the plan.  Simulated time must be bit-identical
+    between the two — the cache is a wall-clock optimisation only — so a
+    mismatch raises instead of being recorded.  ``warm_over_cold`` is the
+    banded quantity: it is a wall ratio on the same host and workload, so
+    it transfers across machines better than either absolute time.
+    """
+    from repro.core.plan_cache import PlanCache
+
+    n = 1 << 18
+    array, mask = _inputs(
+        "plan_cache", lambda: (np.arange(n, dtype=np.int64), _mask(n, 0.5))
+    )
+
+    def run(cache):
+        t0 = time.perf_counter()
+        r = pack(array, mask, 64, scheme="cms", validate=False,
+                 plan_cache=cache)
+        return time.perf_counter() - t0, r
+
+    run(PlanCache())  # warm-up: input construction + cold numpy caches
+    cold_best = warm_best = float("inf")
+    sim_cold = sim_warm = None
+    compile_ms = None
+    for _ in range(reps):
+        cache = PlanCache()
+        wall, r = run(cache)
+        cold_best = min(cold_best, wall)
+        sim_cold = r.run.elapsed
+        if compile_ms is None:
+            compile_ms = r.plan_info["compile_ms"]
+        wall, r = run(cache)
+        warm_best = min(warm_best, wall)
+        sim_warm = r.run.elapsed
+        if r.plan_info["cache"] != "hit":
+            raise AssertionError(
+                f"plan_cache: second run was a {r.plan_info['cache']}, "
+                f"not a hit"
+            )
+        if r.plan_info["compile_ms"] != 0.0:
+            raise AssertionError(
+                f"plan_cache: hit reported compile "
+                f"{r.plan_info['compile_ms']} ms, expected 0"
+            )
+    if sim_cold != sim_warm:
+        raise AssertionError(
+            f"plan_cache: replayed simulated time differs from compiled "
+            f"({sim_warm!r} vs {sim_cold!r}) — plan replay broke determinism"
+        )
+    out = {
+        "cold_wall_ms": round(cold_best * 1e3, 3),
+        "warm_wall_ms": round(warm_best * 1e3, 3),
+        "cold_norm": round(cold_best / calib, 4),
+        "warm_norm": round(warm_best / calib, 4),
+        "warm_over_cold": round(warm_best / cold_best, 4),
+        "compile_ms": round(compile_ms, 3),
+        "sim_ms": round(sim_cold * 1e3, 9),
+    }
+    print(f"  plan_cache             cold {cold_best * 1e3:9.1f} ms   "
+          f"warm {warm_best * 1e3:9.1f} ms   "
+          f"ratio {out['warm_over_cold']:.3f}   "
+          f"compile {out['compile_ms']:.1f} ms")
+    return out
+
+
 def _git_rev() -> str:
     try:
         return subprocess.run(
@@ -243,6 +316,25 @@ def check(entry: dict, baseline: dict, tolerance: float) -> list[str]:
                 f"(norm {base['norm']} -> {cur['norm']}, "
                 f"band {1.0 + tolerance:.2f}x)"
             )
+    pc_base = baseline.get("plan_cache")
+    pc_cur = entry.get("plan_cache")
+    if pc_base and pc_cur:
+        # The banded quantity is warm/cold on the current host — a ratio,
+        # so it needs no calibration.  Regressing it means plan replay got
+        # slower relative to a full compile.
+        limit = pc_base["warm_over_cold"] * (1.0 + tolerance)
+        if pc_cur["warm_over_cold"] > limit:
+            failures.append(
+                f"plan_cache: warm/cold ratio regressed "
+                f"{pc_base['warm_over_cold']} -> {pc_cur['warm_over_cold']} "
+                f"(limit {limit:.3f} with {1.0 + tolerance:.2f}x band)"
+            )
+        if abs(pc_cur["sim_ms"] - pc_base["sim_ms"]) > 1e-9:
+            failures.append(
+                f"plan_cache: simulated time changed "
+                f"{pc_base['sim_ms']} -> {pc_cur['sim_ms']} ms "
+                f"(determinism break)"
+            )
     return failures
 
 
@@ -262,6 +354,7 @@ def main(argv=None) -> int:
     reps = 1 if args.quick else 5
     print(f"perf cases ({reps} rep{'s' if reps > 1 else ''}):")
     entry = measure(reps)
+    entry["plan_cache"] = measure_plan_cache(reps, entry["calib_ms"] / 1e3)
     entry["label"] = args.label or ("quick" if args.quick else "local")
     entry["rev"] = _git_rev()
 

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import time
 from pathlib import Path
@@ -279,6 +280,25 @@ def measure_codec_crossover(n: int, p: int = 4) -> list[dict]:
     return rows
 
 
+def host_class() -> str:
+    """Coarse CPU-count bucket for the perf band.
+
+    The gate compares real mp-over-sim wall ratios, and those are a
+    property of the host: a band recorded on a 32-core workstation says
+    nothing about a 2-core CI runner, where P=4 ranks time-share cores
+    and the ratio legitimately explodes.  Bucketing (rather than the raw
+    count) keeps the band portable across near-identical machines.
+    """
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        return "small(<4)"
+    if cores < 8:
+        return "medium(4-7)"
+    if cores < 16:
+        return "large(8-15)"
+    return "xlarge(16+)"
+
+
 def check_gate(steady: list[dict], p: int = 4,
                slack: float = CHECK_SLACK) -> int:
     """CI perf gate: ring steady-state ratio at P=4 under the recorded band.
@@ -286,15 +306,29 @@ def check_gate(steady: list[dict], p: int = 4,
     The band is what the last full ``bench_runtime.py`` run wrote to
     ``BENCH_runtime.json`` (``check_band``); ``slack`` absorbs CI noise
     and the smaller ``--quick`` workload.  Missing file or band means no
-    gate yet — pass with a note so first runs don't fail.
+    gate yet — pass with a note so first runs don't fail.  A band
+    recorded on a different :func:`host_class` is skipped with a notice:
+    wall ratios do not transfer across core-count classes.
     """
     band = None
+    recorded_class = None
     if OUT.exists():
-        band = json.loads(OUT.read_text()).get("check_band", {}).get(
-            "mp_over_sim_steady_p4")
+        band_doc = json.loads(OUT.read_text()).get("check_band", {})
+        band = band_doc.get("mp_over_sim_steady_p4")
+        recorded_class = band_doc.get("host_class")
     if band is None:
         print("perf gate: no recorded band in BENCH_runtime.json; skipping")
         return 0
+    here = host_class()
+    if recorded_class is not None and recorded_class != here:
+        print(f"perf gate: recorded band is from host class "
+              f"{recorded_class!r} but this host is {here!r} "
+              f"({os.cpu_count()} cores); skipping — re-run "
+              f"bench_runtime.py here to record a comparable band")
+        return 0
+    if recorded_class is None:
+        print(f"perf gate: recorded band has no host class (pre-schema "
+              f"band); gating anyway on host class {here!r}")
     measured = [
         row["transports"]["ring"]["mp_over_sim_host_wall"]
         for row in steady
@@ -379,7 +413,12 @@ def main(argv=None) -> int:
         }
         band = _band_from(steady)
         if band is not None:
-            doc["check_band"] = {"p": 4, "mp_over_sim_steady_p4": band}
+            doc["check_band"] = {
+                "p": 4,
+                "mp_over_sim_steady_p4": band,
+                "host_class": host_class(),
+                "cpu_count": os.cpu_count(),
+            }
         OUT.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {len(cases)} cases -> {OUT}")
         prof_doc = {

@@ -49,13 +49,17 @@ from .hpf import (
 from .core import (
     PackConfig,
     PackResult,
+    Plan,
+    PlanCache,
     RankingResult,
     Scheme,
     UnpackResult,
     count,
+    default_plan_cache,
     pack,
     pack_many,
     ranking,
+    reset_default_plan_cache,
     unpack,
 )
 from .obs import MetricsRegistry, PhaseProfiler, RunReport
@@ -94,6 +98,8 @@ __all__ = [
     "PackConfig",
     "PackResult",
     "PhaseProfiler",
+    "Plan",
+    "PlanCache",
     "RankingResult",
     "RunReport",
     "RunResult",
@@ -104,12 +110,14 @@ __all__ = [
     "__version__",
     "available_backends",
     "count",
+    "default_plan_cache",
     "get_backend",
     "mask_ranks",
     "pack",
     "pack_many",
     "pack_reference",
     "ranking",
+    "reset_default_plan_cache",
     "unpack",
     "unpack_reference",
 ]

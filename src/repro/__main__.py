@@ -14,6 +14,10 @@ Commands:
 * ``chaos`` — fault-injection matrix: run PACK+UNPACK with the reliable
   transport across a seed x drop-rate grid and verify every cell against
   the serial oracle (exit 1 on any mismatch);
+* ``plan`` — compile one workload's execution plan (the mask-dependent
+  bookkeeping the plan cache stores), print its summary, optionally
+  export the serialized plan or ``--repeat`` to demonstrate the cache
+  hit.  See ``docs/plans.md``;
 * ``conform`` — differential conformance fuzzing: seeded random
   configurations checked against the serial reference, failures shrunk to
   minimal repros (exit 1 on any failure); ``--corpus DIR`` also replays
@@ -189,6 +193,23 @@ def _parse_rank_map(entries, value_type, flag):
     return out
 
 
+def _plan_cache_arg(args):
+    """``plan_cache=`` argument for the core API from ``--plan-cache``."""
+    return True if getattr(args, "plan_cache", "off") == "on" else None
+
+
+def _print_plan_info(result) -> None:
+    info = getattr(result, "plan_info", None)
+    if not info:
+        return
+    line = f"  plan cache: {info['cache']}"
+    if info.get("compile_ms") is not None:
+        line += (f"  compile {info['compile_ms']:.3f} ms"
+                 f"  plan {info['plan_bytes']} B"
+                 f"  key {info['fingerprint'][:12]}")
+    print(line)
+
+
 def _build_faults(args):
     """(FaultPlan | None, reliability) from the ``--faults`` flag family."""
     from .faults import FaultPlan
@@ -219,9 +240,11 @@ def cmd_pack(args) -> int:
         spec=_build_spec(args), redistribute=args.redistribute,
         validate=not args.no_validate, profiler=profiler,
         faults=faults, reliability=reliability, backend=args.backend,
+        plan_cache=_plan_cache_arg(args),
     )
     print(f"PACK {array.shape} on grid {grid}, block {block}, "
           f"scheme {args.scheme}: Size = {result.size}")
+    _print_plan_info(result)
     if args.backend != "sim":
         print(f"  backend {args.backend}: one OS process per rank, "
               f"{result.time_domain}-clock times")
@@ -250,10 +273,11 @@ def cmd_unpack(args) -> int:
         scheme=args.scheme if args.scheme in ("sss", "css") else "css",
         spec=_build_spec(args), validate=not args.no_validate,
         profiler=profiler, faults=faults, reliability=reliability,
-        backend=args.backend,
+        backend=args.backend, plan_cache=_plan_cache_arg(args),
     )
     print(f"UNPACK into {array.shape} on grid {grid}, block {block}: "
           f"Size = {result.size}")
+    _print_plan_info(result)
     if args.backend != "sim":
         print(f"  backend {args.backend}: one OS process per rank, "
               f"{result.time_domain}-clock times")
@@ -421,6 +445,70 @@ def _chaos_mp(args) -> int:
     return 0
 
 
+def cmd_plan(args) -> int:
+    """Compile the plan for one workload and print (or export) it.
+
+    Runs the op once with a private plan cache so the compile is captured,
+    prints the plan summary, and with ``--repeat`` runs it again to
+    demonstrate the hit (compile time drops to zero — the charges are
+    replayed from the plan, so the simulated result is bit-identical).
+    """
+    from .core.api import pack, ranking, unpack
+    from .core.plan_cache import PlanCache
+
+    array, mask, grid, block = _workload(args)
+    spec = _build_spec(args)
+    cache = PlanCache(capacity=4)
+    common = dict(grid=grid, block=block, spec=spec,
+                  validate=not args.no_validate, backend=args.backend,
+                  plan_cache=cache)
+
+    def run():
+        if args.op == "pack":
+            return pack(array, mask, scheme=args.scheme, **common)
+        if args.op == "unpack":
+            rng = np.random.default_rng(args.seed + 1)
+            return unpack(
+                rng.random(int(mask.sum())), mask, array,
+                scheme=args.scheme if args.scheme in ("sss", "css") else "css",
+                **common,
+            )
+        return ranking(
+            mask, scheme=args.scheme if args.scheme in ("sss", "css") else "css",
+            **common,
+        )
+
+    result = run()
+    (key,) = cache.keys()
+    plan = cache.peek(key)
+    print(plan.summary())
+    print(f"  key: {key.describe()}")
+    info = result.plan_info or {}
+    print(f"  compile: {info.get('compile_ms') or 0.0:.3f} ms wall "
+          f"(status {info.get('cache', '?')})")
+    if args.repeat:
+        again = run()
+        info2 = again.plan_info or {}
+        line = (f"  repeat: status {info2.get('cache', '?')}, "
+                f"compile {info2.get('compile_ms') or 0.0:.3f} ms")
+        same = True
+        if args.backend == "sim":
+            # Simulated time is deterministic: the replayed charges must
+            # reproduce it exactly.  (Wall backends vary run to run.)
+            same = again.total_ms == result.total_ms
+            line += f", simulated time {'bit-identical' if same else 'DIFFERS'}"
+        print(line)
+        if info2.get("cache") != "hit" or not same:
+            return 1
+    if args.out:
+        import json
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(plan.to_dict()) + "\n")
+        print(f"[plan -> {args.out}]")
+    return 0
+
+
 def cmd_conform(args) -> int:
     """Differential conformance fuzz + optional corpus replay (exit 1 on any
     failure; every fuzz failure is printed with its minimized repro)."""
@@ -438,6 +526,26 @@ def cmd_conform(args) -> int:
                 case, bug = load_corpus_case(path)
                 results.append((path, bug, cross_check_case(case)))
             label = "sim+mp cross-check"
+        elif args.plan_cache == "on":
+            # Replay twice through one shared cache: pass 1 compiles the
+            # plans, pass 2 must replay them (hits > 0, same oracle
+            # verdicts) — this is the bit-identity gate CI runs.
+            from .core.plan_cache import PlanCache
+
+            cache = PlanCache(capacity=256)
+            first = replay_corpus(args.corpus, backend=args.backend,
+                                  plan_cache=cache)
+            compiled = cache.stats().misses
+            results = replay_corpus(args.corpus, backend=args.backend,
+                                    plan_cache=cache)
+            stats = cache.stats()
+            label = (f"backend={args.backend}, plan cache: "
+                     f"{compiled} compiled, {stats.hits} replayed")
+            failed += sum(1 for _, _, o in first if not o.ok)
+            if compiled and not stats.hits:
+                print("PLAN CACHE: second corpus pass produced zero hits "
+                      "(every case recompiled — cache keying is broken)")
+                failed += 1
         else:
             results = replay_corpus(args.corpus, backend=args.backend)
             label = f"backend={args.backend}"
@@ -471,12 +579,13 @@ def _run_observed(args):
     array, mask, grid, block = _workload(args)
     spec = _build_spec(args)
     profiler = PhaseProfiler()
+    plan_cache = _plan_cache_arg(args)
     op = args.op
     if op == "pack":
         result = pack(
             array, mask, grid=grid, block=block, scheme=args.scheme,
             spec=spec, validate=not args.no_validate, profiler=profiler,
-            backend=args.backend,
+            backend=args.backend, plan_cache=plan_cache,
         )
     elif op == "unpack":
         rng = np.random.default_rng(args.seed + 1)
@@ -484,13 +593,13 @@ def _run_observed(args):
             rng.random(int(mask.sum())), mask, array, grid=grid, block=block,
             scheme=args.scheme if args.scheme in ("sss", "css") else "css",
             spec=spec, validate=not args.no_validate, profiler=profiler,
-            backend=args.backend,
+            backend=args.backend, plan_cache=plan_cache,
         )
     else:
         result = ranking(
             mask, grid=grid, block=block, spec=spec,
             validate=not args.no_validate, profiler=profiler,
-            backend=args.backend,
+            backend=args.backend, plan_cache=plan_cache,
         )
     return profiler, result
 
@@ -731,6 +840,11 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                         "process per rank on real cores, wall times), or "
                         "'supervised' (persistent warm gang with "
                         "heartbeat supervision and retry recovery)")
+    p.add_argument("--plan-cache", default="off", choices=("on", "off"),
+                   dest="plan_cache",
+                   help="compile the mask-dependent bookkeeping into a "
+                        "cached plan (process-wide LRU) and replay it on "
+                        "repeat calls with the same geometry and mask")
 
 
 def _add_observability_args(p: argparse.ArgumentParser) -> None:
@@ -836,6 +950,19 @@ def main(argv=None) -> int:
     p_metrics.add_argument("--report-out", dest="report_out",
                            help="also write the structured RunReport JSON")
 
+    p_plan = sub.add_parser(
+        "plan",
+        help="compile a workload's plan, print its summary, optionally "
+             "export it as JSON or re-run to demonstrate the cache hit",
+    )
+    p_plan.add_argument("--op", default="pack",
+                        choices=("pack", "unpack", "ranking"))
+    _add_workload_args(p_plan)
+    p_plan.add_argument("--out", help="write the serialized plan JSON")
+    p_plan.add_argument("--repeat", action="store_true",
+                        help="run the workload a second time and assert a "
+                             "cache hit with bit-identical simulated time")
+
     p_conform = sub.add_parser(
         "conform",
         help="differential conformance fuzz vs the serial reference "
@@ -859,6 +986,12 @@ def main(argv=None) -> int:
                            dest="cross_check",
                            help="replay the corpus on every backend "
                                 "(sim and mp) instead of just --backend")
+    p_conform.add_argument("--plan-cache", default="off",
+                           choices=("on", "off"), dest="plan_cache",
+                           help="replay the corpus twice through one shared "
+                                "plan cache: pass 1 compiles, pass 2 must "
+                                "hit (exit 1 on zero hits or any oracle "
+                                "failure)")
 
     p_profile = sub.add_parser(
         "profile",
@@ -949,6 +1082,8 @@ def _dispatch(args, parser) -> int:
         return cmd_unpack(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "plan":
+        return cmd_plan(args)
     if args.command == "conform":
         return cmd_conform(args)
     if args.command == "profile":

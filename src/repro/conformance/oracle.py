@@ -75,7 +75,9 @@ def _equal(got, want) -> bool:
     return got.shape == want.shape and bool(np.array_equal(got, want))
 
 
-def run_case(case: ConformanceCase, backend: str = "sim") -> CaseOutcome:
+def run_case(
+    case: ConformanceCase, backend: str = "sim", plan_cache=None
+) -> CaseOutcome:
     """Execute the case's operation and check every applicable property.
 
     ``backend`` selects the execution backend (see :mod:`repro.runtime`);
@@ -83,16 +85,23 @@ def run_case(case: ConformanceCase, backend: str = "sim") -> CaseOutcome:
     simulator-only machinery (fault plans, the reliable transport) are
     reported as ``kind="skipped"`` (``ok=True``) under other backends —
     they exercise the simulated network, not the algorithms.
+
+    ``plan_cache`` is forwarded to every library call (see
+    :mod:`repro.core.plan_cache`): replaying a corpus with a shared cache
+    checks that plan replay is bit-identical to fresh compilation — the
+    oracle's comparisons are exact, so a stale or mis-keyed plan fails the
+    same way any other bug does.  Fault/reliability cases bypass the cache
+    inside the library itself.
     """
     case = case.normalized()
     try:
-        return _run(case, backend)
+        return _run(case, backend, plan_cache)
     except Exception as exc:  # noqa: BLE001 - every escape is a failure
         return CaseOutcome(False, "error", f"{type(exc).__name__}: {exc}")
 
 
 def cross_check_case(
-    case: ConformanceCase, backends=("sim", "mp")
+    case: ConformanceCase, backends=("sim", "mp"), plan_cache=None
 ) -> CaseOutcome:
     """Differential backend mode: the case must pass the oracle on every
     backend.
@@ -104,7 +113,7 @@ def cross_check_case(
     simulator can run comes back ``kind="skipped"``.
     """
     for backend in backends:
-        outcome = run_case(case, backend=backend)
+        outcome = run_case(case, backend=backend, plan_cache=plan_cache)
         if not outcome.ok:
             return CaseOutcome(
                 False, outcome.kind, f"[backend={backend}] {outcome.detail}"
@@ -114,7 +123,9 @@ def cross_check_case(
     return _OK
 
 
-def _run(case: ConformanceCase, backend: str = "sim") -> CaseOutcome:
+def _run(
+    case: ConformanceCase, backend: str = "sim", plan_cache=None
+) -> CaseOutcome:
     from ..core.api import pack, ranking, unpack
 
     mask = case.make_mask()
@@ -131,7 +142,7 @@ def _run(case: ConformanceCase, backend: str = "sim") -> CaseOutcome:
         grid=case.grid, block=case.block_arg(), spec=spec,
         prs=case.prs, m2m_schedule=case.m2m_schedule,
         result_block=case.result_block, pad=case.pad, validate=False,
-        backend=backend,
+        backend=backend, plan_cache=plan_cache,
     )
     size = int(np.count_nonzero(mask))
 
@@ -140,6 +151,7 @@ def _run(case: ConformanceCase, backend: str = "sim") -> CaseOutcome:
             mask, grid=case.grid, block=case.block_arg(), spec=spec,
             prs=case.prs, scheme="css" if case.scheme == "cms" else case.scheme,
             pad=case.pad, validate=False, backend=backend,
+            plan_cache=plan_cache,
         )
         expected = mask_ranks(mask)
         if not _equal(result.ranks, expected):

@@ -124,7 +124,7 @@ def load_corpus_case(path: str | Path) -> tuple[ConformanceCase, str]:
 
 
 def replay_corpus(
-    directory: str | Path, backend: str = "sim"
+    directory: str | Path, backend: str = "sim", plan_cache=None
 ) -> list[tuple[Path, str, CaseOutcome]]:
     """Re-run every ``*.json`` corpus entry under ``directory``.
 
@@ -133,10 +133,16 @@ def replay_corpus(
     or print a table (the CLI).  ``backend`` replays the corpus on another
     execution backend (fault/reliability entries come back
     ``kind="skipped"`` there — see :func:`~repro.conformance.oracle.run_case`).
+    ``plan_cache`` is forwarded to every case — replaying the corpus twice
+    with one shared :class:`~repro.core.plan_cache.PlanCache` exercises
+    plan compilation on the first pass and plan replay on the second,
+    under the same exact-comparison oracle.
     """
     directory = Path(directory)
     results: list[tuple[Path, str, CaseOutcome]] = []
     for path in sorted(directory.glob("*.json")):
         case, bug = load_corpus_case(path)
-        results.append((path, bug, run_case(case, backend=backend)))
+        results.append(
+            (path, bug, run_case(case, backend=backend, plan_cache=plan_cache))
+        )
     return results

@@ -17,6 +17,7 @@ generators in :mod:`repro.core.pack` / :mod:`repro.core.unpack` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -28,7 +29,15 @@ from ..obs.profiler import PhaseProfiler, RunReport, build_run_report
 from ..runtime.base import get_backend
 from ..serial.reference import mask_ranks, pack_reference, unpack_reference
 from .pack import pack_program, result_vector_layout
-from .ranking import ranking_program
+from .plan import (
+    ChargeRecorder,
+    Plan,
+    RankingRankPlan,
+    plan_key,
+    replay_charges,
+)
+from .plan_cache import resolve_plan_cache
+from .ranking import ranking_phase_names, ranking_program
 from .redistribution import pack_red1_program, pack_red2_program
 from .schemes import PackConfig, Scheme
 from .unpack import input_vector_layout, unpack_program
@@ -114,6 +123,10 @@ class _TimedResult:
     metrics: object = field(default=None, repr=False)
     _op: str = field(default="run", repr=False)
     _spec_name: str = field(default="?", repr=False)
+    #: Plan-cache outcome of this call (``{"cache": "hit"|"miss"|"off",
+    #: "compile_ms", "fingerprint", "plan_bytes"}``) when a ``plan_cache``
+    #: was requested; ``None`` for plain calls.
+    plan_info: dict | None = field(default=None, repr=False)
 
     def report(self) -> RunReport:
         """Structured :class:`~repro.obs.profiler.RunReport` of this run —
@@ -126,6 +139,7 @@ class _TimedResult:
             metrics=self.metrics,
             op=self._op,
             spec=self._spec_name,
+            plan=self.plan_info,
         )
 
     @property
@@ -226,6 +240,72 @@ def _make_config(
     )
 
 
+@dataclass
+class _PlanState:
+    """Per-call plan-cache bookkeeping shared by pack/unpack/ranking.
+
+    ``status`` is ``None`` when no cache was requested, ``"off"`` when one
+    was requested but the call is ineligible (redistribution pre-pass,
+    fault injection, reliable transport — their charges are not a pure
+    function of the key), else ``"hit"`` / ``"miss"``.
+    """
+
+    cache: object = None
+    key: object = None
+    plan: Plan | None = None
+    capture: bool = False
+    status: str | None = None
+
+
+def _plan_setup(
+    plan_cache, bypass: bool, op: str, layout, config, mask,
+    n_result, spec_name: str, time_domain: str,
+) -> _PlanState:
+    """Resolve the cache and probe it for this call's key."""
+    cache = resolve_plan_cache(plan_cache)
+    if cache is None:
+        return _PlanState()
+    if bypass:
+        return _PlanState(status="off")
+    key = plan_key(
+        op, layout, config, mask,
+        n_result=n_result, spec=spec_name, time_domain=time_domain,
+    )
+    plan = cache.get(key)
+    return _PlanState(
+        cache=cache, key=key, plan=plan,
+        capture=plan is None, status="hit" if plan is not None else "miss",
+    )
+
+
+def _plan_finish(state: _PlanState, run, nprocs: int, metrics, rank_plan_of):
+    """Store a freshly captured plan and build the call's plan-info dict."""
+    if state.status is None:
+        return None
+    if state.status == "off":
+        return {"cache": "off", "compile_ms": None}
+    if state.capture:
+        plan = Plan(
+            key=state.key,
+            ranks=[rank_plan_of(run.results[r]) for r in range(nprocs)],
+        )
+        state.cache.put(state.key, plan)
+        compile_ms = plan.compile_wall * 1e3
+    else:
+        plan = state.plan
+        compile_ms = 0.0  # the prefix was replayed, not computed
+    info = {
+        "cache": state.status,
+        "compile_ms": compile_ms,
+        "fingerprint": state.key.fingerprint,
+        "plan_bytes": plan.nbytes,
+    }
+    if metrics is not None:
+        metrics.inc(f"plan_cache.{state.status}")
+        metrics.observe("plan.compile_ms", compile_ms)
+    return info
+
+
 def pack(
     array: np.ndarray,
     mask: np.ndarray,
@@ -250,6 +330,7 @@ def pack(
     step_budget: int | None = None,
     time_budget: float | None = None,
     backend="sim",
+    plan_cache=None,
 ) -> PackResult:
     """Parallel PACK of a global numpy array under a simulated machine.
 
@@ -317,6 +398,17 @@ def pack(
         Simulator-only features (``faults``, ``reliability``, watchdog
         budgets) raise :class:`~repro.runtime.BackendError` under the
         process backends.
+    plan_cache:
+        opt-in plan/execute split (:mod:`repro.core.plan`): ``True`` /
+        ``"on"`` uses the process-default
+        :class:`~repro.core.plan_cache.PlanCache`, or pass an instance.
+        The mask-dependent compile prefix (ranking, send-vector
+        derivation, rescan) is compiled once per (geometry, scheme, mask
+        fingerprint, machine spec, time domain) and replayed on repeat
+        calls — results and simulated times stay bit-identical; under the
+        wall-clock backends the recompute is genuinely skipped.  Calls
+        using ``redistribute`` / ``faults`` / ``reliability`` bypass the
+        cache (reported as ``plan_info["cache"] == "off"``).
 
     Returns a :class:`PackResult` whose ``vector`` matches Fortran 90
     ``PACK(array, mask)`` semantics exactly.
@@ -369,10 +461,23 @@ def pack(
             f"redistribute must be None, 'selected' or 'whole', got {redistribute!r}"
         )
 
+    plan_state = _plan_setup(
+        plan_cache,
+        bypass=(redistribute is not None or faults is not None
+                or bool(reliability)),
+        op="pack", layout=layout, config=config, mask=mask,
+        n_result=n_result, spec_name=spec.name,
+        time_domain=exec_backend.time_domain,
+    )
+    rank_plans = plan_state.plan.ranks if plan_state.plan is not None else None
+
     # Each rank extracts only the blocks it owns from the shared global
     # arrays (views in-process; shared-memory slices under "mp") — the
-    # host never materializes a per-rank copy of anything.
-    shared = {"array": array, "mask": mask}
+    # host never materializes a per-rank copy of anything.  On a plan hit
+    # the mask is not shipped at all: the plan already encodes it.
+    shared = {"array": array}
+    if rank_plans is None:
+        shared["mask"] = mask
     if vector is not None:
         shared["pad_vector"] = vector
 
@@ -382,11 +487,17 @@ def pack(
             if pad_layout is not None
             else None
         )
-        return (
+        base = (
             layout.local_block(sh["array"], r, copy=False),
-            layout.local_block(sh["mask"], r, copy=False),
+            layout.local_block(sh["mask"], r, copy=False)
+            if rank_plans is None else None,
             layout, config, pad_block, n_result,
         )
+        if rank_plans is not None:
+            return base + (None, "pack", rank_plans[r], False)
+        if plan_state.capture:
+            return base + (None, "pack", None, True)
+        return base
 
     run = exec_backend.run_spmd(
         program,
@@ -416,8 +527,11 @@ def pack(
                 f"parallel PACK mismatch vs serial oracle "
                 f"(scheme={config.scheme.value}, layout={layout.describe()})"
             )
+    plan_info = _plan_finish(
+        plan_state, run, layout.nprocs, metrics, lambda res: res.rank_plan
+    )
     if profiler is not None:
-        profiler.finish(run, op="pack", spec=spec.name)
+        profiler.finish(run, op="pack", spec=spec.name, plan=plan_info)
     if profile is not None and profile.profile is not None:
         profile.finish(op="pack", spec=spec.name)
     return PackResult(
@@ -431,6 +545,7 @@ def pack(
         metrics=metrics,
         _op="pack",
         _spec_name=spec.name,
+        plan_info=plan_info,
     )
 
 
@@ -458,14 +573,17 @@ def unpack(
     step_budget: int | None = None,
     time_budget: float | None = None,
     backend="sim",
+    plan_cache=None,
 ) -> UnpackResult:
     """Parallel UNPACK: scatter ``vector`` into the trues of ``mask``, with
     ``field_array`` filling the falses.  See :func:`pack` for parameters
-    (including ``faults`` / ``reliability`` / the watchdog budgets);
-    ``scheme`` must be ``"sss"`` or ``"css"``.  ``field_array`` may be a
-    scalar (Fortran 90 allows a scalar FIELD).  ``compress_requests``
-    run-length-encodes the rank requests (CSS only; a library extension —
-    see :class:`repro.core.schemes.PackConfig`)."""
+    (including ``faults`` / ``reliability`` / the watchdog budgets, and
+    ``plan_cache`` — an UNPACK plan additionally records each rank's
+    incoming request tables, so a hit skips the whole phase-A request
+    exchange); ``scheme`` must be ``"sss"`` or ``"css"``.  ``field_array``
+    may be a scalar (Fortran 90 allows a scalar FIELD).
+    ``compress_requests`` run-length-encodes the rank requests (CSS only;
+    a library extension — see :class:`repro.core.schemes.PackConfig`)."""
     vector = np.asarray(vector)
     mask = np.asarray(mask, dtype=bool)
     field_array = np.asarray(field_array)
@@ -503,23 +621,43 @@ def unpack(
     vec_layout = input_vector_layout(int(vector.size), layout.nprocs, config)
     n_vector = int(vector.size)
 
+    plan_state = _plan_setup(
+        plan_cache,
+        bypass=(faults is not None or bool(reliability)),
+        op="unpack", layout=layout, config=config, mask=mask,
+        n_result=n_vector, spec_name=spec.name,
+        time_domain=exec_backend.time_domain,
+    )
+    rank_plans = plan_state.plan.ranks if plan_state.plan is not None else None
+
     # Each rank slices only its own blocks from the shared global arrays
-    # (views in-process, shared-memory slices under "mp").
+    # (views in-process, shared-memory slices under "mp").  On a plan hit
+    # the mask stays on the host: the plan already encodes it.
+    shared = {"vector": vector, "field": field_array}
+    if rank_plans is None:
+        shared["mask"] = mask
+
     def _rank_args(r, sh):
-        return (
+        base = (
             vec_layout.local_block(sh["vector"], r, copy=False),
-            layout.local_block(sh["mask"], r, copy=False),
+            layout.local_block(sh["mask"], r, copy=False)
+            if rank_plans is None else None,
             layout.local_block(sh["field"], r, copy=False),
             layout,
             n_vector,
             config,
         )
+        if rank_plans is not None:
+            return base + ("unpack", rank_plans[r], False)
+        if plan_state.capture:
+            return base + ("unpack", None, True)
+        return base
 
     run = exec_backend.run_spmd(
         unpack_program,
         layout.nprocs,
         make_rank_args=_rank_args,
-        shared={"vector": vector, "mask": mask, "field": field_array},
+        shared=shared,
         spec=spec,
         tracer=tracer,
         metrics=metrics,
@@ -540,8 +678,11 @@ def unpack(
                 f"parallel UNPACK mismatch vs serial oracle "
                 f"(scheme={config.scheme.value}, layout={layout.describe()})"
             )
+    plan_info = _plan_finish(
+        plan_state, run, layout.nprocs, metrics, lambda res: res.rank_plan
+    )
     if profiler is not None:
-        profiler.finish(run, op="unpack", spec=spec.name)
+        profiler.finish(run, op="unpack", spec=spec.name, plan=plan_info)
     if profile is not None and profile.profile is not None:
         profile.finish(op="unpack", spec=spec.name)
     return UnpackResult(
@@ -554,7 +695,39 @@ def unpack(
         metrics=metrics,
         _op="unpack",
         _spec_name=spec.name,
+        plan_info=plan_info,
     )
+
+
+def _ranking_host_program(
+    ctx, block_mask, layout, scheme, prs, plan=None, capture=False
+):
+    """Per-rank program behind the host-level :func:`ranking`.
+
+    Returns ``(masked element ranks, Size, captured rank plan or None)``.
+    The ranking result is *entirely* mask-derived, so a plan execution is
+    pure replay: restore the recorded charges, hand back the stored array.
+    """
+    if plan is not None:
+        replay_charges(ctx, plan.charges, "ranking")
+        return (plan.ranks_local, plan.size, None)
+    recorder = ChargeRecorder(ctx) if capture else None
+    t_compile = perf_counter() if capture else 0.0
+    result = yield from ranking_program(
+        ctx, block_mask, layout, scheme=scheme, prs=prs
+    )
+    ranks_local = result.masked_element_ranks(block_mask, layout.local_shape)
+    rank_plan = None
+    if capture:
+        rank_plan = RankingRankPlan(
+            ranks_local=ranks_local,
+            size=result.size,
+            charges=recorder.finish(
+                ctx, ranking_phase_names(layout.d), "ranking"
+            ),
+            compile_wall=perf_counter() - t_compile,
+        )
+    return (ranks_local, result.size, rank_plan)
 
 
 def ranking(
@@ -574,6 +747,7 @@ def ranking(
     time_budget: float | None = None,
     pad: bool = False,
     backend="sim",
+    plan_cache=None,
 ) -> RankingResult:
     """Run only the ranking stage and return the global rank array.
 
@@ -599,19 +773,36 @@ def ranking(
     layout = GridLayout.create(mask.shape, grid, block)
     config_scheme = Scheme.parse(scheme)
 
-    def program(ctx, block_mask):
-        result = yield from ranking_program(
-            ctx, block_mask, layout, scheme=config_scheme, prs=prs
+    plan_state = _plan_setup(
+        plan_cache,
+        bypass=(faults is not None),
+        op="ranking", layout=layout,
+        # Ranking has no PackConfig; key it under the knobs that exist
+        # (scheme, prs) with the remaining fields at their defaults.
+        config=_make_config(scheme, prs, "linear", None, True),
+        mask=mask, n_result=None, spec_name=spec.name,
+        time_domain=exec_backend.time_domain,
+    )
+    rank_plans = plan_state.plan.ranks if plan_state.plan is not None else None
+    shared = {} if rank_plans is not None else {"mask": mask}
+
+    def _rank_args(r, sh):
+        block_mask = (
+            layout.local_block(sh["mask"], r, copy=False)
+            if rank_plans is None else None
         )
-        ranks_local = result.element_ranks(layout.local_shape)
-        ranks_local = np.where(block_mask, ranks_local, -1)
-        return (ranks_local, result.size)
+        base = (block_mask, layout, config_scheme, prs)
+        if rank_plans is not None:
+            return base + (rank_plans[r], False)
+        if plan_state.capture:
+            return base + (None, True)
+        return base
 
     run = exec_backend.run_spmd(
-        program,
+        _ranking_host_program,
         layout.nprocs,
-        make_rank_args=lambda r, sh: (layout.local_block(sh["mask"], r, copy=False),),
-        shared={"mask": mask},
+        make_rank_args=_rank_args,
+        shared=shared,
         spec=spec,
         tracer=tracer,
         metrics=metrics,
@@ -633,11 +824,15 @@ def ranking(
         if size != int(np.count_nonzero(original_mask)):
             raise AssertionError(
                 f"Size {size} != oracle {np.count_nonzero(original_mask)}")
+    plan_info = _plan_finish(
+        plan_state, run, layout.nprocs, metrics, lambda res: res[2]
+    )
     if profiler is not None:
-        profiler.finish(run, op="ranking", spec=spec.name)
+        profiler.finish(run, op="ranking", spec=spec.name, plan=plan_info)
     if profile is not None and profile.profile is not None:
         profile.finish(op="ranking", spec=spec.name)
     return RankingResult(
         run=run, ranks=ranks, size=size, layout=layout,
         tracer=tracer, metrics=metrics, _op="ranking", _spec_name=spec.name,
+        plan_info=plan_info,
     )

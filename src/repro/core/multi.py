@@ -12,11 +12,20 @@ placement repeat.
 ``tests/core/test_multi.py`` checks both the results (each vector equals
 its solo PACK) and the economics (k gang-packed arrays cost well under k
 solo packs).
+
+With the plan/execute split (:mod:`repro.core.plan`) the gang's
+amortization is the special case k-arrays-one-call of the general plan
+cache: the gang's compile prefix is *identical* to solo PACK's (same
+phases, same charges, prefix-relative names), so a plan compiled by
+``pack`` replays under the gang's ``gang.*`` phases and vice versa —
+``pack_many(plan_cache=...)`` shares entries with ``pack(plan_cache=...)``
+for the same mask and geometry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Generator, Sequence
 
 import numpy as np
@@ -31,9 +40,16 @@ from .messages import (
     decompose_pair_message,
     decompose_segment_message,
 )
-from .ranking import ranking_program, slice_scan_lengths, slice_view
+from .plan import ChargeRecorder, PackRankPlan, Plan, plan_key, replay_charges
+from .plan_cache import resolve_plan_cache
+from .ranking import (
+    ranking_phase_names,
+    ranking_program,
+    slice_scan_lengths,
+    slice_view,
+)
 from .schemes import PackConfig
-from .storage import SelectedElements, extract_selected
+from .storage import SelectedElements, extract_selected, selected_from_plan
 from .pack import result_vector_layout
 
 __all__ = ["PackManyLocal", "pack_many_program", "pack_many"]
@@ -48,6 +64,7 @@ class PackManyLocal:
     vector_blocks: list[np.ndarray]
     size: int
     e_i: int
+    rank_plan: PackRankPlan | None = None
 
 
 def _replace_values(sel: SelectedElements, local_array: np.ndarray) -> SelectedElements:
@@ -65,37 +82,76 @@ def _replace_values(sel: SelectedElements, local_array: np.ndarray) -> SelectedE
 def pack_many_program(
     ctx: Context,
     local_arrays: Sequence[np.ndarray],
-    local_mask: np.ndarray,
+    local_mask: np.ndarray | None,
     grid: GridLayout,
     config: PackConfig,
     phase_prefix: str = "gang",
+    plan: PackRankPlan | None = None,
+    capture: bool = False,
 ) -> Generator[Any, Any, PackManyLocal]:
-    """SPMD gang PACK on one rank: k arrays, one mask, one ranking."""
-    local_mask = np.asarray(local_mask, dtype=bool)
+    """SPMD gang PACK on one rank: k arrays, one mask, one ranking.
+
+    ``plan`` / ``capture`` are the plan/execute hooks shared with
+    :func:`~repro.core.pack.pack_program` — the gang's compile prefix is
+    PACK's, so the same :class:`~repro.core.plan.PackRankPlan` serves both.
+    """
+    if plan is not None and capture:
+        raise ValueError(
+            "pack_many_program: plan= and capture= are mutually exclusive"
+        )
     scheme = config.scheme
     costs = StepCosts(local=ctx.spec.local, scheme=scheme, d=grid.d)
 
-    # ------------------------------------------------ shared: ranking once
-    ranking_result = yield from ranking_program(
-        ctx, local_mask, grid,
-        scheme=scheme, prs=config.prs,
-        phase_prefix=f"{phase_prefix}.ranking",
-    )
-    size = ranking_result.size
-    vec = result_vector_layout(size, ctx.size, config)
+    if plan is not None:
+        # Execute a compiled plan: replay the shared prefix under this
+        # program's phase labels, rebind the first array's data.
+        size = plan.size
+        replay_charges(ctx, plan.charges, phase_prefix)
+        vec = result_vector_layout(size, ctx.size, config)
+        sel0 = selected_from_plan(plan, np.asarray(local_arrays[0]))
+        e_i = sel0.count
+        gs = sel0.segment_count if scheme.uses_segments else 0
+    else:
+        local_mask = np.asarray(local_mask, dtype=bool)
+        recorder = ChargeRecorder(ctx) if capture else None
+        t_compile = perf_counter() if capture else 0.0
 
-    ctx.phase(f"{phase_prefix}.sendl")
-    sel0 = extract_selected(
-        np.asarray(local_arrays[0]), local_mask, ranking_result, grid, vec
-    )
-    e_i = sel0.count
-    gs = sel0.segment_count if scheme.uses_segments else 0
-    ctx.work(costs.final_rank_elements(ranking_result.c, e_i, sel0.segment_count))
-    if not scheme.stores_records:
-        ctx.phase(f"{phase_prefix}.rescan")
-        view = slice_view(local_mask, grid)
-        scan2 = int(slice_scan_lengths(view, config.early_exit_scan).sum())
-        ctx.work(costs.second_scan(ranking_result.c, scan2))
+        # ---------------------------------------------- shared: ranking once
+        ranking_result = yield from ranking_program(
+            ctx, local_mask, grid,
+            scheme=scheme, prs=config.prs,
+            phase_prefix=f"{phase_prefix}.ranking",
+        )
+        size = ranking_result.size
+        vec = result_vector_layout(size, ctx.size, config)
+
+        ctx.phase(f"{phase_prefix}.sendl")
+        sel0 = extract_selected(
+            np.asarray(local_arrays[0]), local_mask, ranking_result, grid, vec
+        )
+        e_i = sel0.count
+        gs = sel0.segment_count if scheme.uses_segments else 0
+        ctx.work(costs.final_rank_elements(ranking_result.c, e_i, sel0.segment_count))
+        if not scheme.stores_records:
+            ctx.phase(f"{phase_prefix}.rescan")
+            view = slice_view(local_mask, grid)
+            scan2 = int(slice_scan_lengths(view, config.early_exit_scan).sum())
+            ctx.work(costs.second_scan(ranking_result.c, scan2))
+
+        if capture:
+            phase_names = ranking_phase_names(grid.d, f"{phase_prefix}.ranking")
+            phase_names.append(f"{phase_prefix}.sendl")
+            if not scheme.stores_records:
+                phase_names.append(f"{phase_prefix}.rescan")
+            captured = PackRankPlan(
+                positions=sel0.positions,
+                ranks=sel0.ranks,
+                dests=sel0.dests,
+                slice_ids=sel0.slice_ids,
+                size=size,
+                charges=recorder.finish(ctx, phase_names, phase_prefix),
+                compile_wall=perf_counter() - t_compile,
+            )
 
     # ------------------------------------------- per array: move the data
     blocks: list[np.ndarray] = []
@@ -141,7 +197,12 @@ def pack_many_program(
         ctx.work(costs.decompose(e_a, gr))
         blocks.append(block)
 
-    return PackManyLocal(vector_blocks=blocks, size=size, e_i=e_i)
+    return PackManyLocal(
+        vector_blocks=blocks,
+        size=size,
+        e_i=e_i,
+        rank_plan=captured if capture else None,
+    )
 
 
 def pack_many(
@@ -153,6 +214,7 @@ def pack_many(
     spec=None,
     validate: bool = True,
     faults=None,
+    plan_cache=None,
     **config_kw,
 ):
     """Host-level gang PACK: returns (list of packed vectors, RunResult).
@@ -162,6 +224,11 @@ def pack_many(
     ``faults`` injects a :class:`~repro.faults.FaultPlan`; pass
     ``reliability=True`` (forwarded to :class:`PackConfig`) alongside it
     to keep the gang exchanges correct under message faults.
+
+    ``plan_cache`` (``True`` / a :class:`~repro.core.plan_cache.PlanCache`)
+    compiles the mask-dependent prefix into a plan keyed as ``op="pack"``
+    — shared with :func:`repro.core.api.pack` — and replays it on repeat
+    calls with the same mask and geometry.
     """
     from ..machine.engine import Machine
     from ..machine.spec import CM5
@@ -174,16 +241,44 @@ def pack_many(
         grid = (grid,)
     layout = GridLayout.create(mask.shape, grid, block)
     config = PackConfig(scheme=scheme, **config_kw)
-    mask_blocks = layout.scatter(mask)
+    spec_obj = spec if spec is not None else CM5
+
+    cache = resolve_plan_cache(plan_cache)
+    if faults is not None or config.reliability:
+        # Fault injection / reliable transport perturb the charges the
+        # plan would replay; never cache those runs.
+        cache = None
+    cached_plan = None
+    capture = False
+    if cache is not None:
+        key = plan_key(
+            "pack", layout, config, mask,
+            n_result=None, spec=spec_obj.name, time_domain="simulated",
+        )
+        cached_plan = cache.get(key)
+        capture = cached_plan is None
+
     array_blocks = [layout.scatter(np.asarray(a)) for a in arrays]
-    machine = Machine(layout.nprocs, spec if spec is not None else CM5, faults=faults)
-    run = machine.run(
-        pack_many_program,
-        rank_args=[
-            ([ab[r] for ab in array_blocks], mask_blocks[r], layout, config)
+    if cached_plan is not None:
+        rank_args = [
+            ([ab[r] for ab in array_blocks], None, layout, config,
+             "gang", cached_plan.ranks[r], False)
             for r in range(layout.nprocs)
-        ],
-    )
+        ]
+    else:
+        mask_blocks = layout.scatter(mask)
+        rank_args = [
+            ([ab[r] for ab in array_blocks], mask_blocks[r], layout, config,
+             "gang", None, capture)
+            for r in range(layout.nprocs)
+        ]
+    machine = Machine(layout.nprocs, spec_obj, faults=faults)
+    run = machine.run(pack_many_program, rank_args=rank_args)
+    if capture:
+        cache.put(key, Plan(
+            key=key,
+            ranks=[run.results[r].rank_plan for r in range(layout.nprocs)],
+        ))
     size = run.results[0].size
     vec = result_vector_layout(size, layout.nprocs, config)
     vectors = [

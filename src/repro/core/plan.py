@@ -1,0 +1,572 @@
+"""Compiled redistribution plans: the plan/execute split.
+
+The expensive bookkeeping of PACK/UNPACK — ranking, send-vector
+derivation, message segmentation, the CSS/CMS rescan — depends only on
+(shape, distribution, processor grid, scheme knobs, mask), never on the
+array *data*.  This module factors that bookkeeping into a serializable
+:class:`Plan` that any backend executes:
+
+* **compile** — run the normal program once with ``capture=True``; each
+  rank wraps its mask-dependent prefix in a :class:`ChargeRecorder` and
+  returns a per-rank plan entry (index maps, destination schedules,
+  request tables) plus the exact simulated-time charges of the prefix.
+* **execute** — run the program again with ``plan=<rank entry>``; the
+  prefix is *replayed* (phases and charges restored bit-for-bit in the
+  simulated domain; skipped outright in the wall domain, where the saved
+  recompute is the point) and only the data movement happens for real.
+
+Replay keeps a cache-hit run's :class:`~repro.machine.stats.RunResult`
+bit-identical to the cache-miss run under the simulator: per-phase times,
+the final clock, op counts and message counters are restored to the
+recorded values before the real phases resume, so every later event fires
+at exactly the original simulated timestamp.  Under the wall-clock
+backends the replay is a no-op and the compile phases genuinely cost ~0.
+
+Plans serialize to plain JSON (:meth:`Plan.to_dict`; numpy arrays as
+``{"dtype", "shape", "data": base64}`` blobs) so they can be inspected
+(``repro plan``), shipped to warm gangs, or persisted.  Grounding: Rink
+et al., *Memory-efficient array redistribution through portable
+collective communication* — redistribution as a portable plan decoupled
+from the transport that runs it.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ChargeRecorder",
+    "CompileCharges",
+    "Plan",
+    "PlanKey",
+    "RankingRankPlan",
+    "PackRankPlan",
+    "UnpackRankPlan",
+    "mask_fingerprint",
+    "plan_key",
+    "replay_charges",
+]
+
+
+# ------------------------------------------------------------ fingerprinting
+def mask_fingerprint(mask: np.ndarray) -> str:
+    """Content hash of a mask: blake2b over the shape and the packed bits.
+
+    Two masks share a fingerprint iff they have the same shape and the
+    same truth values — the exact condition under which every
+    mask-derived plan artifact (ranks, destinations, segments, request
+    tables) is identical.  Layout and scheme knobs are *not* part of the
+    fingerprint; they live in the :class:`PlanKey` next to it.
+    """
+    m = np.ascontiguousarray(np.asarray(mask, dtype=bool))
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(m.shape).encode())
+    h.update(np.packbits(m).tobytes())
+    return h.hexdigest()
+
+
+# ------------------------------------------------------------------ plan key
+@dataclass(frozen=True)
+class PlanKey:
+    """Geometry + configuration + mask identity of one compiled plan.
+
+    ``dims`` is the full ``(N, P, W)`` triple per paper dimension — it
+    covers the array shape, the processor grid *and* the block sizes in
+    one hashable tuple.  ``n_result`` is PACK's VECTOR length (``None``
+    when the result is exactly Size) or UNPACK's input-vector length.
+    ``spec`` / ``time_domain`` pin the cost model: charges recorded under
+    one machine profile or clock domain are never replayed under another.
+    """
+
+    op: str
+    dims: tuple[tuple[int, int, int], ...]
+    nprocs: int
+    scheme: str
+    prs: str
+    m2m_schedule: str
+    early_exit_scan: bool
+    charge_self_copy: bool
+    result_block: int | None
+    compress_requests: bool
+    n_result: int | None
+    spec: str
+    time_domain: str
+    fingerprint: str
+
+    def describe(self) -> str:
+        shape = tuple(n for n, _, _ in self.dims)
+        grid = tuple(p for _, p, _ in self.dims)
+        return (
+            f"{self.op} shape={shape} grid={grid} P={self.nprocs} "
+            f"scheme={self.scheme} result_block={self.result_block} "
+            f"mask={self.fingerprint[:12]}"
+        )
+
+
+def plan_key(
+    op: str,
+    layout,
+    config,
+    mask: np.ndarray,
+    n_result: int | None = None,
+    spec: str = "?",
+    time_domain: str = "simulated",
+) -> PlanKey:
+    """Build the cache key for one host-level call.
+
+    ``layout`` is the :class:`~repro.hpf.grid.GridLayout` the program will
+    run under (post-padding, so the fingerprint is taken over exactly the
+    mask the ranks see); ``config`` the :class:`~repro.core.schemes.PackConfig`.
+    """
+    return PlanKey(
+        op=op,
+        dims=tuple((d.n, d.p, d.w) for d in layout.dims),
+        nprocs=layout.nprocs,
+        scheme=config.scheme.value,
+        prs=config.prs,
+        m2m_schedule=config.m2m_schedule,
+        early_exit_scan=config.early_exit_scan,
+        charge_self_copy=config.charge_self_copy,
+        result_block=config.result_block,
+        compress_requests=config.compress_requests,
+        n_result=n_result,
+        spec=spec,
+        time_domain=time_domain,
+        fingerprint=mask_fingerprint(mask),
+    )
+
+
+# ----------------------------------------------------------- charge recording
+@dataclass(frozen=True)
+class CompileCharges:
+    """Exact per-rank bookkeeping of a compile prefix, for replay.
+
+    ``phases`` holds ``(relative name, seconds, ops)`` in execution order
+    — names are stored *relative* to the program's phase prefix so one
+    plan replays under any prefix (``pack.*``, ``gang.*``).  The scalar
+    fields are the rank's absolute totals at the end of the prefix (the
+    prefix starts at clock 0), assigned directly on replay so float
+    re-summation cannot drift even by one ULP.
+    """
+
+    phases: tuple[tuple[str, float, float], ...]
+    clock: float
+    local_ops: float
+    idle_time: float
+    sends: int
+    recvs: int
+    words_sent: int
+    words_received: int
+    ctrl_ops: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "phases": [list(p) for p in self.phases],
+            "clock": self.clock,
+            "local_ops": self.local_ops,
+            "idle_time": self.idle_time,
+            "sends": self.sends,
+            "recvs": self.recvs,
+            "words_sent": self.words_sent,
+            "words_received": self.words_received,
+            "ctrl_ops": self.ctrl_ops,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompileCharges":
+        return cls(
+            phases=tuple((str(n), float(s), float(o)) for n, s, o in data["phases"]),
+            clock=float(data["clock"]),
+            local_ops=float(data["local_ops"]),
+            idle_time=float(data["idle_time"]),
+            sends=int(data["sends"]),
+            recvs=int(data["recvs"]),
+            words_sent=int(data["words_sent"]),
+            words_received=int(data["words_received"]),
+            ctrl_ops=int(data["ctrl_ops"]),
+        )
+
+
+class ChargeRecorder:
+    """Snapshot a rank's stats at the start of the compile prefix and diff
+    them at the end into a :class:`CompileCharges`.
+
+    The compile prefix is the very first thing a program does, so the
+    "start" snapshot is all zeros in practice — but diffing keeps the
+    recorder honest if a caller ever composes programs.
+    """
+
+    def __init__(self, ctx):
+        st = ctx.stats
+        self._pt0 = dict(st.phase_times)
+        self._po0 = dict(st.phase_ops)
+        self._clock0 = st.clock
+        self._ops0 = st.local_ops
+        self._idle0 = st.idle_time
+        self._sends0 = st.sends
+        self._recvs0 = st.recvs
+        self._ws0 = st.words_sent
+        self._wr0 = st.words_received
+        self._ctrl0 = st.ctrl_ops
+
+    def finish(self, ctx, phase_names: Sequence[str], prefix: str) -> CompileCharges:
+        """Close the recording: ``phase_names`` is the canonical ordered
+        list of prefix phases (absolute names); ``prefix`` is stripped so
+        the charges replay under any phase prefix."""
+        st = ctx.stats
+        strip = prefix + "."
+        phases = []
+        for name in phase_names:
+            secs = st.phase_times.get(name, 0.0) - self._pt0.get(name, 0.0)
+            ops = st.phase_ops.get(name, 0.0) - self._po0.get(name, 0.0)
+            rel = name[len(strip):] if name.startswith(strip) else name
+            phases.append((rel, secs, ops))
+        return CompileCharges(
+            phases=tuple(phases),
+            clock=st.clock,
+            local_ops=st.local_ops,
+            idle_time=st.idle_time,
+            sends=st.sends - self._sends0,
+            recvs=st.recvs - self._recvs0,
+            words_sent=st.words_sent - self._ws0,
+            words_received=st.words_received - self._wr0,
+            ctrl_ops=st.ctrl_ops - self._ctrl0,
+        )
+
+
+def replay_charges(ctx, charges: CompileCharges, prefix: str) -> None:
+    """Re-apply a recorded compile prefix to ``ctx`` without recomputing.
+
+    In the **simulated** domain the phases are walked in order, their
+    recorded seconds and op counts re-charged, and the rank's absolute
+    clock / op / message counters pinned to the recorded values — so a
+    cache-hit run is bit-identical to the compile run (times, phase
+    breakdown, traffic totals).  In the **wall** domain only the phase
+    labels are touched (each for ~0 real seconds): wall clocks measure
+    what actually happened, and what happened is that the compile work
+    was skipped.
+    """
+    simulated = getattr(ctx, "time_domain", "wall") == "simulated"
+    st = ctx.stats
+    for rel, secs, ops in charges.phases:
+        ctx.phase(f"{prefix}.{rel}")
+        if simulated:
+            if ops:
+                st.charge_ops(ops)
+            if secs:
+                st.advance(secs)
+    if simulated:
+        # Pin the absolute totals: replay re-sums what the compile run
+        # accumulated through many small additions, so force the exact
+        # recorded values rather than trusting float associativity.
+        st.clock = charges.clock
+        st.local_ops = charges.local_ops
+        st.idle_time = charges.idle_time
+        st.sends += charges.sends
+        st.recvs += charges.recvs
+        st.words_sent += charges.words_sent
+        st.words_received += charges.words_received
+        st.ctrl_ops += charges.ctrl_ops
+
+
+# ----------------------------------------------------- array (de)serialization
+def _nd_to_dict(a: np.ndarray | None) -> dict | None:
+    if a is None:
+        return None
+    a = np.ascontiguousarray(a)
+    return {
+        "dtype": str(a.dtype),
+        "shape": list(a.shape),
+        "data": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
+
+
+def _nd_from_dict(d: Mapping[str, Any] | None) -> np.ndarray | None:
+    if d is None:
+        return None
+    raw = base64.b64decode(d["data"])
+    return np.frombuffer(raw, dtype=np.dtype(d["dtype"])).reshape(d["shape"]).copy()
+
+
+def _nbytes(a) -> int:
+    return int(a.nbytes) if isinstance(a, np.ndarray) else 0
+
+
+# ------------------------------------------------------------ per-rank plans
+@dataclass
+class PackRankPlan:
+    """One rank's compiled PACK bookkeeping.
+
+    ``positions`` / ``ranks`` / ``dests`` / ``slice_ids`` are the
+    mask-derived vectors of :class:`~repro.core.storage.SelectedElements`
+    (everything but the values, which are data); ``size`` is the global
+    Size; ``charges`` the recorded compile prefix
+    (ranking + sendl + rescan).  ``compile_wall`` is the real wall
+    seconds the prefix took to compute — the number a cache hit drives
+    to ~0.
+    """
+
+    positions: np.ndarray
+    ranks: np.ndarray
+    dests: np.ndarray
+    slice_ids: np.ndarray
+    size: int
+    charges: CompileCharges
+    compile_wall: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(_nbytes(a) for a in
+                   (self.positions, self.ranks, self.dests, self.slice_ids))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "pack",
+            "positions": _nd_to_dict(self.positions),
+            "ranks": _nd_to_dict(self.ranks),
+            "dests": _nd_to_dict(self.dests),
+            "slice_ids": _nd_to_dict(self.slice_ids),
+            "size": self.size,
+            "charges": self.charges.to_dict(),
+            "compile_wall": self.compile_wall,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "PackRankPlan":
+        return cls(
+            positions=_nd_from_dict(d["positions"]),
+            ranks=_nd_from_dict(d["ranks"]),
+            dests=_nd_from_dict(d["dests"]),
+            slice_ids=_nd_from_dict(d["slice_ids"]),
+            size=int(d["size"]),
+            charges=CompileCharges.from_dict(d["charges"]),
+            compile_wall=float(d.get("compile_wall", 0.0)),
+        )
+
+
+@dataclass
+class UnpackRankPlan:
+    """One rank's compiled UNPACK bookkeeping.
+
+    Beyond the selected-element maps, UNPACK's entire *request round* is
+    mask-derived: which owners this rank asks (``request_order`` /
+    ``request_counts``) and — crucially — which requests this rank will
+    *receive* (``incoming``: per source, an explicit rank list or a
+    compressed ``(bases, lengths)`` pair).  A cache hit therefore skips
+    not just the ranking but the whole phase-A exchange; only the value
+    replies move for real.
+    """
+
+    positions: np.ndarray
+    elem_order: np.ndarray | None
+    request_order: tuple[int, ...]
+    request_counts: dict[int, int]
+    request_words: int
+    incoming: dict[int, Any]
+    size: int
+    e_i: int
+    charges: CompileCharges
+    compile_wall: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        total = _nbytes(self.positions) + _nbytes(self.elem_order)
+        for req in self.incoming.values():
+            if isinstance(req, tuple):
+                total += _nbytes(req[0]) + _nbytes(req[1])
+            else:
+                total += _nbytes(req)
+        return total
+
+    def to_dict(self) -> dict[str, Any]:
+        incoming = {}
+        for src, req in self.incoming.items():
+            if isinstance(req, tuple):
+                incoming[str(src)] = {
+                    "bases": _nd_to_dict(req[0]), "lengths": _nd_to_dict(req[1])
+                }
+            else:
+                incoming[str(src)] = _nd_to_dict(np.asarray(req))
+        return {
+            "kind": "unpack",
+            "positions": _nd_to_dict(self.positions),
+            "elem_order": _nd_to_dict(self.elem_order),
+            "request_order": list(self.request_order),
+            "request_counts": {str(k): v for k, v in self.request_counts.items()},
+            "request_words": self.request_words,
+            "incoming": incoming,
+            "size": self.size,
+            "e_i": self.e_i,
+            "charges": self.charges.to_dict(),
+            "compile_wall": self.compile_wall,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "UnpackRankPlan":
+        incoming: dict[int, Any] = {}
+        for src, req in d["incoming"].items():
+            if isinstance(req, Mapping) and "bases" in req:
+                incoming[int(src)] = (
+                    _nd_from_dict(req["bases"]), _nd_from_dict(req["lengths"])
+                )
+            else:
+                incoming[int(src)] = _nd_from_dict(req)
+        return cls(
+            positions=_nd_from_dict(d["positions"]),
+            elem_order=_nd_from_dict(d["elem_order"]),
+            request_order=tuple(int(x) for x in d["request_order"]),
+            request_counts={int(k): int(v) for k, v in d["request_counts"].items()},
+            request_words=int(d["request_words"]),
+            incoming=incoming,
+            size=int(d["size"]),
+            e_i=int(d["e_i"]),
+            charges=CompileCharges.from_dict(d["charges"]),
+            compile_wall=float(d.get("compile_wall", 0.0)),
+        )
+
+
+@dataclass
+class RankingRankPlan:
+    """One rank's compiled ranking outcome: the whole result is
+    mask-derived, so a cache hit is pure replay plus these arrays."""
+
+    ranks_local: np.ndarray
+    size: int
+    charges: CompileCharges
+    compile_wall: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return _nbytes(self.ranks_local)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "ranking",
+            "ranks_local": _nd_to_dict(self.ranks_local),
+            "size": self.size,
+            "charges": self.charges.to_dict(),
+            "compile_wall": self.compile_wall,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "RankingRankPlan":
+        return cls(
+            ranks_local=_nd_from_dict(d["ranks_local"]),
+            size=int(d["size"]),
+            charges=CompileCharges.from_dict(d["charges"]),
+            compile_wall=float(d.get("compile_wall", 0.0)),
+        )
+
+
+_RANK_PLAN_KINDS = {
+    "pack": PackRankPlan,
+    "unpack": UnpackRankPlan,
+    "ranking": RankingRankPlan,
+}
+
+
+# ------------------------------------------------------------------ the plan
+@dataclass
+class Plan:
+    """A compiled, serializable redistribution plan: one entry per rank.
+
+    Built by the host from the per-rank plan entries a ``capture=True``
+    run returns; executed by handing each rank its entry back through the
+    backend's ``make_rank_args`` seam (so warm mp gangs receive it like
+    any other rank argument and skip the recompute).
+    """
+
+    key: PlanKey
+    ranks: list  # one {Pack,Unpack,Ranking}RankPlan per rank
+    version: int = 1
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def size(self) -> int:
+        return int(self.ranks[0].size) if self.ranks else 0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(r.nbytes for r in self.ranks)
+
+    @property
+    def compile_wall(self) -> float:
+        """Max over ranks of the real wall seconds the compile prefix took."""
+        return max((r.compile_wall for r in self.ranks), default=0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        key = self.key
+        return {
+            "version": self.version,
+            "key": {
+                "op": key.op,
+                "dims": [list(t) for t in key.dims],
+                "nprocs": key.nprocs,
+                "scheme": key.scheme,
+                "prs": key.prs,
+                "m2m_schedule": key.m2m_schedule,
+                "early_exit_scan": key.early_exit_scan,
+                "charge_self_copy": key.charge_self_copy,
+                "result_block": key.result_block,
+                "compress_requests": key.compress_requests,
+                "n_result": key.n_result,
+                "spec": key.spec,
+                "time_domain": key.time_domain,
+                "fingerprint": key.fingerprint,
+            },
+            "ranks": [r.to_dict() for r in self.ranks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Plan":
+        k = data["key"]
+        key = PlanKey(
+            op=k["op"],
+            dims=tuple(tuple(int(x) for x in t) for t in k["dims"]),
+            nprocs=int(k["nprocs"]),
+            scheme=k["scheme"],
+            prs=k["prs"],
+            m2m_schedule=k["m2m_schedule"],
+            early_exit_scan=bool(k["early_exit_scan"]),
+            charge_self_copy=bool(k["charge_self_copy"]),
+            result_block=k["result_block"],
+            compress_requests=bool(k["compress_requests"]),
+            n_result=k["n_result"],
+            spec=k["spec"],
+            time_domain=k["time_domain"],
+            fingerprint=k["fingerprint"],
+        )
+        ranks = [
+            _RANK_PLAN_KINDS[r["kind"]].from_dict(r) for r in data["ranks"]
+        ]
+        return cls(key=key, ranks=ranks, version=int(data.get("version", 1)))
+
+    def summary(self) -> str:
+        lines = [
+            f"plan {self.key.describe()}",
+            f"  ranks={self.nprocs} size={self.size} "
+            f"bytes={self.nbytes} compile_wall={self.compile_wall * 1e3:.3f} ms",
+        ]
+        for r, entry in enumerate(self.ranks):
+            extra = ""
+            if isinstance(entry, PackRankPlan):
+                extra = f"e_i={int(entry.positions.size)}"
+            elif isinstance(entry, UnpackRankPlan):
+                extra = (f"e_i={entry.e_i} owners={len(entry.request_order)} "
+                         f"serves={len(entry.incoming)}")
+            elif isinstance(entry, RankingRankPlan):
+                extra = f"block={entry.ranks_local.shape}"
+            lines.append(
+                f"  rank {r}: {extra} "
+                f"compile={sum(s for _, s, _ in entry.charges.phases) * 1e3:.4f} "
+                f"({'sim' if self.key.time_domain == 'simulated' else 'wall'} ms)"
+            )
+        return "\n".join(lines)

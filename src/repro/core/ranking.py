@@ -42,7 +42,29 @@ from ..machine.context import Context
 from .costs import StepCosts
 from .schemes import Scheme
 
-__all__ = ["LocalRanking", "ranking_program", "slice_view", "slice_scan_lengths"]
+__all__ = [
+    "LocalRanking",
+    "ranking_phase_names",
+    "ranking_program",
+    "slice_view",
+    "slice_scan_lengths",
+]
+
+
+def ranking_phase_names(d: int, prefix: str = "ranking") -> list[str]:
+    """The ranking stage's phase labels, in execution order.
+
+    This is the canonical compile-prefix phase list the plan/execute
+    split records and replays (:mod:`repro.core.plan`): every phase
+    :func:`ranking_program` switches through, exactly once each, in
+    program order.
+    """
+    names = [f"{prefix}.initial"]
+    for i in range(d):
+        names.append(f"{prefix}.prs.dim{i}")
+        names.append(f"{prefix}.intermediate.dim{i}")
+    names.append(f"{prefix}.final")
+    return names
 
 
 def slice_view(local_mask: np.ndarray, grid: GridLayout) -> np.ndarray:
@@ -112,6 +134,15 @@ class LocalRanking:
         """
         full = self.initial + self.ps_f[..., None]
         return full.reshape(local_shape)
+
+    def masked_element_ranks(
+        self, local_mask: np.ndarray, local_shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Global rank of every local element, ``-1`` where the mask is
+        false — the per-rank array the host-level ranking API gathers
+        (and the plan cache stores verbatim)."""
+        ranks = self.element_ranks(local_shape)
+        return np.where(np.asarray(local_mask, dtype=bool), ranks, -1)
 
     def slice_base_ranks(self) -> np.ndarray:
         """Alias for ``ps_f`` under its paper meaning."""

@@ -25,7 +25,7 @@ from ..hpf.grid import GridLayout
 from ..hpf.vector import VectorLayout
 from .ranking import LocalRanking
 
-__all__ = ["SelectedElements", "extract_selected"]
+__all__ = ["SelectedElements", "extract_selected", "selected_from_plan"]
 
 
 @dataclass
@@ -90,8 +90,26 @@ class SelectedElements:
         return self._seg_count
 
 
+def selected_from_plan(plan, local_array: np.ndarray) -> SelectedElements:
+    """Rebind a compiled :class:`~repro.core.plan.PackRankPlan`'s
+    mask-derived vectors to fresh data.
+
+    Everything but the values is mask-derived and comes straight from the
+    plan; only the gather of the selected elements happens per call —
+    the same rebinding :func:`repro.core.multi.pack_many_program` does
+    between arrays of one gang, generalized across calls.
+    """
+    return SelectedElements(
+        positions=plan.positions,
+        values=np.asarray(local_array).ravel()[plan.positions],
+        ranks=plan.ranks,
+        dests=plan.dests,
+        slice_ids=plan.slice_ids,
+    )
+
+
 def extract_selected(
-    local_array: np.ndarray,
+    local_array: np.ndarray | None,
     local_mask: np.ndarray,
     ranking: LocalRanking,
     grid: GridLayout,
@@ -100,13 +118,17 @@ def extract_selected(
     """Produce the per-rank selected-element vectors (see module docstring).
 
     This is the *data* computation shared by every scheme; the schemes
-    differ in the time charged for obtaining it.
+    differ in the time charged for obtaining it.  ``local_array=None``
+    compiles the mask-derived vectors only (``values`` stays ``None``) —
+    the plan/execute split's compile path, which never sees data.
     """
-    local_array = np.asarray(local_array)
     local_mask = np.asarray(local_mask, dtype=bool)
     flat_mask = local_mask.ravel()
     positions = np.flatnonzero(flat_mask)
-    values = local_array.ravel()[positions]
+    if local_array is None:
+        values = None
+    else:
+        values = np.asarray(local_array).ravel()[positions]
     w0 = grid.dims[0].w
     slice_ids = positions // w0
     # Rank of a selected element = its in-slice rank plus its slice's base

@@ -20,11 +20,19 @@ requests must carry explicit ranks either way).
 Phases charged: ``unpack.ranking.*``, ``unpack.requests``,
 ``unpack.comm.request``, ``unpack.serve``, ``unpack.comm.reply``,
 ``unpack.place``, ``unpack.merge``.
+
+**Plan/execute split** (:mod:`repro.core.plan`): everything through the
+phase-A request exchange is mask-derived — including which requests each
+rank *receives*, since senders are deterministic in the mask.  A compiled
+:class:`~repro.core.plan.UnpackRankPlan` therefore carries each rank's
+incoming request tables, and a plan execution skips phase A outright:
+only the value replies (phase B) move for real.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Generator
 
 import numpy as np
@@ -35,7 +43,13 @@ from ..machine.context import Context
 from ..machine.m2m import exchange
 from .costs import StepCosts
 from .messages import gather_segments
-from .ranking import ranking_program, slice_scan_lengths, slice_view
+from .plan import ChargeRecorder, UnpackRankPlan, replay_charges
+from .ranking import (
+    ranking_phase_names,
+    ranking_program,
+    slice_scan_lengths,
+    slice_view,
+)
 from .schemes import PackConfig, Scheme
 from .storage import extract_selected
 
@@ -52,6 +66,7 @@ class UnpackLocal:
     size: int
     e_i: int  # masked positions filled on this rank
     served: int  # vector elements this rank supplied to others (self incl.)
+    rank_plan: UnpackRankPlan | None = None
 
 
 def input_vector_layout(n_vector: int, nprocs: int, config: PackConfig) -> VectorLayout:
@@ -64,12 +79,14 @@ def input_vector_layout(n_vector: int, nprocs: int, config: PackConfig) -> Vecto
 def unpack_program(
     ctx: Context,
     vector_block: np.ndarray,
-    local_mask: np.ndarray,
+    local_mask: np.ndarray | None,
     local_field: np.ndarray,
     grid: GridLayout,
     n_vector: int,
     config: PackConfig,
     phase_prefix: str = "unpack",
+    plan: UnpackRankPlan | None = None,
+    capture: bool = False,
 ) -> Generator[Any, Any, UnpackLocal]:
     """SPMD UNPACK on one rank.
 
@@ -77,12 +94,17 @@ def unpack_program(
     per :func:`input_vector_layout` for global length ``n_vector``);
     ``local_mask`` / ``local_field`` are aligned blocks of the mask and
     field arrays.
+
+    ``plan`` executes a compiled :class:`~repro.core.plan.UnpackRankPlan`
+    (the mask may then be ``None``); ``capture`` compiles one while
+    running normally and returns it on the result.  Mutually exclusive.
     """
+    if plan is not None and capture:
+        raise ValueError("unpack_program: plan= and capture= are mutually exclusive")
     vector_block = np.asarray(vector_block)
-    local_mask = np.asarray(local_mask, dtype=bool)
     local_field = np.asarray(local_field)
-    if local_mask.shape != grid.local_shape or local_field.shape != grid.local_shape:
-        raise ValueError(f"rank {ctx.rank}: mask/field block shape mismatch")
+    if local_field.shape != grid.local_shape:
+        raise ValueError(f"rank {ctx.rank}: field block shape mismatch")
     scheme = config.scheme
     if scheme is Scheme.CMS:
         raise ValueError(
@@ -91,114 +113,168 @@ def unpack_program(
         )
     costs = StepCosts(local=ctx.spec.local, scheme=scheme, d=grid.d)
     L = int(np.prod(grid.local_shape))
-
-    # ------------------------------------------------------ stage 1: ranking
-    ranking_result = yield from ranking_program(
-        ctx,
-        local_mask,
-        grid,
-        scheme=scheme,
-        prs=config.prs,
-        phase_prefix=f"{phase_prefix}.ranking",
-    )
-    size = ranking_result.size
-    if n_vector < size:
-        raise ValueError(
-            f"UNPACK vector of {n_vector} elements cannot fill {size} mask trues"
-        )
-    vec = input_vector_layout(n_vector, ctx.size, config)
-    expected_block = vec.local_size(ctx.rank)
-    if vector_block.shape != (expected_block,):
-        # Catch host/caller slicing errors before they turn into silent
-        # truncation or reads of stale padding during the serve stage.
-        raise ValueError(
-            f"rank {ctx.rank}: vector block shape {vector_block.shape} != "
-            f"({expected_block},) required by the input layout for "
-            f"n_vector={n_vector}"
-        )
-
-    # --------------------------------------- stage 2A: compose rank requests
-    ctx.phase(f"{phase_prefix}.requests")
-    # Field values act as the placeholder "array"; only positions/ranks used.
-    sel = extract_selected(local_field, local_mask, ranking_result, grid, vec)
-    e_i = sel.count
-    if not scheme.stores_records:
-        view = slice_view(local_mask, grid)
-        scan2 = int(slice_scan_lengths(view, config.early_exit_scan).sum())
-        ctx.work(costs.second_scan(ranking_result.c, scan2))
-    ctx.work(costs.unpack_requests(e_i, sel.segment_count))
-
-    # Group ranks by owner.  Under a block input layout the owners of the
-    # ascending ranks are already grouped (contiguous runs); a block-cyclic
-    # input layout (``result_block``) revisits owners, so the elements are
-    # grouped with one stable sort — preserving ascending-rank order within
-    # each destination — and the permutation is remembered so the received
-    # values can be scattered back in element order during placement.
-    requests: dict[int, np.ndarray] = {}
-    request_counts: dict[int, int] = {}
-    request_order: list[int] = []
-    elem_order: np.ndarray | None = None
     compress = config.compress_requests and not scheme.stores_records
-    if e_i:
-        dests = sel.dests
-        if np.all(dests[1:] >= dests[:-1]):
-            dests_g, ranks_g = dests, sel.ranks
-            slices_g = sel.slice_ids
-        else:
-            elem_order = np.argsort(dests, kind="stable")
-            dests_g = dests[elem_order]
-            ranks_g = sel.ranks[elem_order]
-            slices_g = sel.slice_ids[elem_order]
-        bounds = np.concatenate(
-            ([0], np.flatnonzero(dests_g[1:] != dests_g[:-1]) + 1, [e_i])
-        )
-        if compress:
-            # Run-length encode: segments of consecutive ranks (the slice
-            # property), shipped as (bases, lengths).  A segment breaks at
-            # a destination or slice change, and — after grouping — at any
-            # rank discontinuity (grouping can abut same-slice elements
-            # whose ranks are a full tile apart).  Destination boundaries
-            # always start a new segment, so per-destination segment runs
-            # are contiguous slices of the global segment arrays.
-            brk = np.ones(e_i, dtype=bool)
-            if e_i > 1:
-                brk[1:] = (
-                    (dests_g[1:] != dests_g[:-1])
-                    | (slices_g[1:] != slices_g[:-1])
-                    | (ranks_g[1:] != ranks_g[:-1] + 1)
-                )
-            seg_starts = np.flatnonzero(brk)
-            seg_ends = np.append(seg_starts[1:], e_i)
-            # First segment of each destination chunk, by position.
-            seg_of_dest = np.searchsorted(seg_starts, bounds).tolist()
-        bounds_l = bounds.tolist()
-        dest_l = dests_g[bounds[:-1]].tolist()
-        for j, dest in enumerate(dest_l):
-            a, b = bounds_l[j], bounds_l[j + 1]
-            request_counts[dest] = b - a
-            if compress:
-                sa, sb = seg_of_dest[j], seg_of_dest[j + 1]
-                requests[dest] = (
-                    ranks_g[seg_starts[sa:sb]],
-                    seg_ends[sa:sb] - seg_starts[sa:sb],
-                )
-            else:
-                requests[dest] = ranks_g[a:b]
-            request_order.append(dest)
 
-    ctx.phase(f"{phase_prefix}.comm.request")
-    if compress:
-        words = {d: 2 * int(r[0].size) for d, r in requests.items()}
+    if plan is not None:
+        # ------------------ execute a compiled plan: replay the compile
+        # prefix (ranking, request composition, the whole phase-A
+        # exchange) and pick up at the serve stage with the recorded
+        # request tables.
+        size = plan.size
+        if n_vector < size:
+            raise ValueError(
+                f"UNPACK vector of {n_vector} elements cannot fill {size} mask trues"
+            )
+        vec = input_vector_layout(n_vector, ctx.size, config)
+        expected_block = vec.local_size(ctx.rank)
+        if vector_block.shape != (expected_block,):
+            raise ValueError(
+                f"rank {ctx.rank}: vector block shape {vector_block.shape} != "
+                f"({expected_block},) required by the input layout for "
+                f"n_vector={n_vector}"
+            )
+        replay_charges(ctx, plan.charges, phase_prefix)
+        e_i = plan.e_i
+        positions = plan.positions
+        elem_order = plan.elem_order
+        request_order = list(plan.request_order)
+        request_counts = plan.request_counts
+        request_words = plan.request_words
+        incoming: dict[int, Any] = plan.incoming
     else:
-        words = {d: int(r.size) for d, r in requests.items()}
-    incoming = yield from exchange(
-        ctx,
-        requests,
-        words=words,
-        schedule=config.m2m_schedule,
-        self_copy_charge=config.charge_self_copy,
-        reliability=config.reliability,
-    )
+        local_mask = np.asarray(local_mask, dtype=bool)
+        if local_mask.shape != grid.local_shape:
+            raise ValueError(f"rank {ctx.rank}: mask block shape mismatch")
+        recorder = ChargeRecorder(ctx) if capture else None
+        t_compile = perf_counter() if capture else 0.0
+
+        # -------------------------------------------------- stage 1: ranking
+        ranking_result = yield from ranking_program(
+            ctx,
+            local_mask,
+            grid,
+            scheme=scheme,
+            prs=config.prs,
+            phase_prefix=f"{phase_prefix}.ranking",
+        )
+        size = ranking_result.size
+        if n_vector < size:
+            raise ValueError(
+                f"UNPACK vector of {n_vector} elements cannot fill {size} mask trues"
+            )
+        vec = input_vector_layout(n_vector, ctx.size, config)
+        expected_block = vec.local_size(ctx.rank)
+        if vector_block.shape != (expected_block,):
+            # Catch host/caller slicing errors before they turn into silent
+            # truncation or reads of stale padding during the serve stage.
+            raise ValueError(
+                f"rank {ctx.rank}: vector block shape {vector_block.shape} != "
+                f"({expected_block},) required by the input layout for "
+                f"n_vector={n_vector}"
+            )
+
+        # ----------------------------------- stage 2A: compose rank requests
+        ctx.phase(f"{phase_prefix}.requests")
+        # Field values act as the placeholder "array"; only positions/ranks used.
+        sel = extract_selected(local_field, local_mask, ranking_result, grid, vec)
+        e_i = sel.count
+        positions = sel.positions
+        if not scheme.stores_records:
+            view = slice_view(local_mask, grid)
+            scan2 = int(slice_scan_lengths(view, config.early_exit_scan).sum())
+            ctx.work(costs.second_scan(ranking_result.c, scan2))
+        ctx.work(costs.unpack_requests(e_i, sel.segment_count))
+
+        # Group ranks by owner.  Under a block input layout the owners of the
+        # ascending ranks are already grouped (contiguous runs); a block-cyclic
+        # input layout (``result_block``) revisits owners, so the elements are
+        # grouped with one stable sort — preserving ascending-rank order within
+        # each destination — and the permutation is remembered so the received
+        # values can be scattered back in element order during placement.
+        requests: dict[int, np.ndarray] = {}
+        request_counts = {}
+        request_order = []
+        elem_order = None
+        if e_i:
+            dests = sel.dests
+            if np.all(dests[1:] >= dests[:-1]):
+                dests_g, ranks_g = dests, sel.ranks
+                slices_g = sel.slice_ids
+            else:
+                elem_order = np.argsort(dests, kind="stable")
+                dests_g = dests[elem_order]
+                ranks_g = sel.ranks[elem_order]
+                slices_g = sel.slice_ids[elem_order]
+            bounds = np.concatenate(
+                ([0], np.flatnonzero(dests_g[1:] != dests_g[:-1]) + 1, [e_i])
+            )
+            if compress:
+                # Run-length encode: segments of consecutive ranks (the slice
+                # property), shipped as (bases, lengths).  A segment breaks at
+                # a destination or slice change, and — after grouping — at any
+                # rank discontinuity (grouping can abut same-slice elements
+                # whose ranks are a full tile apart).  Destination boundaries
+                # always start a new segment, so per-destination segment runs
+                # are contiguous slices of the global segment arrays.
+                brk = np.ones(e_i, dtype=bool)
+                if e_i > 1:
+                    brk[1:] = (
+                        (dests_g[1:] != dests_g[:-1])
+                        | (slices_g[1:] != slices_g[:-1])
+                        | (ranks_g[1:] != ranks_g[:-1] + 1)
+                    )
+                seg_starts = np.flatnonzero(brk)
+                seg_ends = np.append(seg_starts[1:], e_i)
+                # First segment of each destination chunk, by position.
+                seg_of_dest = np.searchsorted(seg_starts, bounds).tolist()
+            bounds_l = bounds.tolist()
+            dest_l = dests_g[bounds[:-1]].tolist()
+            for j, dest in enumerate(dest_l):
+                a, b = bounds_l[j], bounds_l[j + 1]
+                request_counts[dest] = b - a
+                if compress:
+                    sa, sb = seg_of_dest[j], seg_of_dest[j + 1]
+                    requests[dest] = (
+                        ranks_g[seg_starts[sa:sb]],
+                        seg_ends[sa:sb] - seg_starts[sa:sb],
+                    )
+                else:
+                    requests[dest] = ranks_g[a:b]
+                request_order.append(dest)
+
+        ctx.phase(f"{phase_prefix}.comm.request")
+        if compress:
+            words = {d: 2 * int(r[0].size) for d, r in requests.items()}
+        else:
+            words = {d: int(r.size) for d, r in requests.items()}
+        request_words = sum(words.values())
+        incoming = yield from exchange(
+            ctx,
+            requests,
+            words=words,
+            schedule=config.m2m_schedule,
+            self_copy_charge=config.charge_self_copy,
+            reliability=config.reliability,
+        )
+
+        if capture:
+            phase_names = ranking_phase_names(grid.d, f"{phase_prefix}.ranking")
+            phase_names.append(f"{phase_prefix}.requests")
+            phase_names.append(f"{phase_prefix}.comm.request")
+            captured = UnpackRankPlan(
+                positions=positions,
+                elem_order=elem_order,
+                request_order=tuple(request_order),
+                request_counts=dict(request_counts),
+                request_words=request_words,
+                incoming=dict(incoming),
+                size=size,
+                e_i=e_i,
+                charges=recorder.finish(ctx, phase_names, phase_prefix),
+                compile_wall=perf_counter() - t_compile,
+            )
+
+    request_set = set(request_order)
 
     # ------------------------------------------------- stage 2B: serve reads
     ctx.phase(f"{phase_prefix}.serve")
@@ -242,7 +318,7 @@ def unpack_program(
         got = yield from endpoint.exchange(
             {d: v for d, v in replies.items() if d != ctx.rank},
             {d: int(v.size) for d, v in replies.items()},
-            expected={d for d in requests if d != ctx.rank},
+            expected={d for d in request_set if d != ctx.rank},
         )
         for src, payload in got.items():
             got_values[src] = np.asarray(payload)
@@ -254,7 +330,7 @@ def unpack_program(
                 ctx.send(
                     dest, replies[dest], words=int(replies[dest].size), tag=_TAG_REPLY
                 )
-            if src in requests:
+            if src in request_set:
                 msg = yield ctx.recv(source=src, tag=_TAG_REPLY)
                 got_values[src] = np.asarray(msg.payload)
 
@@ -262,7 +338,7 @@ def unpack_program(
         # The READ pattern's two-phase volume: requests out, values served.
         ctx.count("unpack.calls")
         ctx.observe("unpack.requests_out", e_i)
-        ctx.observe("unpack.request_words", sum(words.values()))
+        ctx.observe("unpack.request_words", request_words)
         ctx.observe("unpack.served", served)
 
     # -------------------------------------------------- stage 2C: placement
@@ -284,11 +360,11 @@ def unpack_program(
     if e_i:
         all_values = np.concatenate([got_values[d] for d in request_order])
         if elem_order is None:
-            out_flat[sel.positions] = all_values
+            out_flat[positions] = all_values
         else:
             # Replies arrive grouped by destination; scatter them back to
             # the element order the grouping permuted away from.
-            out_flat[sel.positions[elem_order]] = all_values
+            out_flat[positions[elem_order]] = all_values
     ctx.work(costs.unpack_place(e_i))
 
     # ------------------------------------------------ stage 2D: field merge
@@ -302,4 +378,5 @@ def unpack_program(
         size=size,
         e_i=e_i,
         served=served,
+        rank_plan=captured if capture else None,
     )

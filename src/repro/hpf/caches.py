@@ -1,0 +1,79 @@
+"""Visibility and hygiene for the layout layer's module-level LRU caches.
+
+:mod:`repro.hpf.grid` / :mod:`repro.hpf.vector` /
+:mod:`repro.hpf.dimlayout` memoize their read-only index maps with
+``functools.lru_cache``.  Those caches are process-global and — until
+this module — invisible: no hit/miss accounting, and a forked
+``MpBackend`` child inherited the parent's fully-populated caches,
+inflating every rank's resident memory with maps for *all* ranks while
+the child only ever asks for its own.
+
+:func:`layout_cache_stats` exposes each cache's ``cache_info()`` as plain
+dicts (re-exported through :mod:`repro.obs`);
+:func:`clear_layout_caches` drops them all — called at the top of every
+mp child process right after the fork.
+"""
+
+from __future__ import annotations
+
+__all__ = ["clear_layout_caches", "layout_cache_stats", "publish_layout_cache_stats"]
+
+
+def _cached_functions():
+    from . import dimlayout, grid, vector
+
+    return {
+        "hpf.grid.flat_index": grid._grid_flat_index,
+        "hpf.vector.globals": vector._vec_globals,
+        "hpf.dimlayout.globals": dimlayout._dim_globals,
+    }
+
+
+def layout_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/size counters of every layout-layer LRU cache.
+
+    Returns ``{cache name: {"hits", "misses", "entries", "maxsize"}}``
+    from ``functools.lru_cache.cache_info()`` — counters are since
+    process start (or the last :func:`clear_layout_caches`).
+    """
+    stats = {}
+    for name, fn in _cached_functions().items():
+        info = fn.cache_info()
+        stats[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "entries": info.currsize,
+            "maxsize": info.maxsize,
+        }
+    return stats
+
+
+def publish_layout_cache_stats(metrics=None) -> dict[str, dict[str, int]]:
+    """Push the current counters into a metrics registry as gauges
+    (``layout_cache.<name>.hits`` / ``.misses`` / ``.entries``).
+
+    ``metrics=None`` uses the process-global registry when one is enabled
+    (:func:`repro.obs.enable_global_metrics`); silently a no-op otherwise.
+    Returns the stats either way.
+    """
+    stats = layout_cache_stats()
+    if metrics is None:
+        from ..obs.registry import current_global_metrics
+
+        metrics = current_global_metrics()
+    if metrics is not None:
+        for name, info in stats.items():
+            for field in ("hits", "misses", "entries"):
+                metrics.set(f"layout_cache.{name}.{field}", info[field])
+    return stats
+
+
+def clear_layout_caches() -> None:
+    """Drop every layout-layer LRU cache (counters reset too).
+
+    Called in freshly forked mp rank processes so a child's memory holds
+    only the maps *it* computes, not the parent's accumulated working
+    set; also useful in tests that assert cold-path behaviour.
+    """
+    for fn in _cached_functions().values():
+        fn.cache_clear()

@@ -59,6 +59,11 @@ class Context:
 
     __slots__ = ("rank", "size", "spec", "stats", "scratch", "_engine")
 
+    #: Domain of this context's clock: programs that replay recorded
+    #: charges (the plan/execute split) consult it to decide whether
+    #: simulated time must be restored or wall time simply passes.
+    time_domain = "simulated"
+
     def __init__(self, rank: int, size: int, spec: MachineSpec, stats: ProcStats, engine):
         self.rank = rank
         self.size = size

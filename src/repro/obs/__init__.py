@@ -27,6 +27,11 @@ CLI entry points: ``python -m repro trace``, ``python -m repro metrics``
 and ``python -m repro profile``; see ``docs/observability.md``.
 """
 
+from ..hpf.caches import (
+    clear_layout_caches,
+    layout_cache_stats,
+    publish_layout_cache_stats,
+)
 from .chrome_trace import (
     build_chrome_trace,
     trace_metadata,
@@ -75,9 +80,12 @@ __all__ = [
     "build_chrome_trace",
     "build_run_report",
     "build_sim_profile",
+    "clear_layout_caches",
     "current_global_metrics",
     "disable_global_metrics",
     "enable_global_metrics",
+    "layout_cache_stats",
+    "publish_layout_cache_stats",
     "snapshot_rows",
     "trace_metadata",
     "validate_chrome_trace",

@@ -60,6 +60,13 @@ class RunReport:
         from the tracer; ``None`` when the run was not traced.
     metrics:
         ``MetricsRegistry.snapshot()`` dict, or ``None``.
+    plan:
+        plan-cache outcome of the call (``{"cache": "hit"|"miss"|"off",
+        "compile_ms", "fingerprint", "plan_bytes"}``) when the host call
+        used ``plan_cache=``; ``None`` otherwise.  On a hit,
+        ``compile_ms`` is 0.0 — the compile prefix was replayed, not
+        computed — which is the profiler-visible "plan.compile ≈ 0"
+        signal.
     """
 
     op: str
@@ -76,6 +83,7 @@ class RunReport:
     traffic_matrix: list[list[int]] | None = field(repr=False, default=None)
     metrics: dict[str, Any] | None = field(repr=False, default=None)
     time_domain: str = "simulated"
+    plan: dict[str, Any] | None = field(repr=False, default=None)
 
     # ------------------------------------------------------------- accessors
     def phase_time(self, prefix: str) -> float:
@@ -107,6 +115,7 @@ class RunReport:
             "per_rank": list(self.per_rank),
             "traffic_matrix_words": self.traffic_matrix,
             "metrics": self.metrics,
+            "plan": self.plan,
         }
 
     def to_json(self, path=None, indent: int = 2) -> str:
@@ -125,6 +134,13 @@ class RunReport:
             f"collectives={self.collective_ops} "
             f"imbalance={self.load_imbalance:.2f}",
         ]
+        if self.plan is not None:
+            compile_ms = self.plan.get("compile_ms")
+            lines.append(
+                f"  plan cache={self.plan.get('cache')}"
+                + (f" compile={compile_ms:.3f} ms" if compile_ms is not None
+                   else "")
+            )
         for name in sorted(self.phase_times):
             lines.append(f"  {name:<40s} {self.phase_times[name] * 1e3:10.3f} ms")
         return "\n".join(lines)
@@ -136,6 +152,7 @@ def build_run_report(
     metrics=None,
     op: str = "run",
     spec: str = "?",
+    plan: dict | None = None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from a finished run and its observers.
 
@@ -164,6 +181,7 @@ def build_run_report(
         traffic_matrix=traffic,
         metrics=metrics.snapshot() if metrics is not None else None,
         time_domain=getattr(run, "time_domain", "simulated"),
+        plan=plan,
     )
 
 
@@ -204,11 +222,14 @@ class PhaseProfiler:
     def __exit__(self, exc_type, exc, tb) -> None:
         return None
 
-    def finish(self, run, op: str = "run", spec: str = "?") -> RunReport:
+    def finish(
+        self, run, op: str = "run", spec: str = "?", plan: dict | None = None
+    ) -> RunReport:
         """Build (and store) the report for a completed run."""
         self.run = run
         self.report = build_run_report(
-            run, tracer=self.tracer, metrics=self.metrics, op=op, spec=spec
+            run, tracer=self.tracer, metrics=self.metrics, op=op, spec=spec,
+            plan=plan,
         )
         return self.report
 

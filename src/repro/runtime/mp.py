@@ -816,6 +816,11 @@ class MpContext:
       "don't mutate after send" rule is automatically safe here.
     """
 
+    #: Plan replay (:func:`repro.core.plan.replay_charges`) checks this:
+    #: under a wall clock, skipped compile work simply takes ~0 seconds —
+    #: nothing to restore.
+    time_domain = "wall"
+
     __slots__ = (
         "rank", "size", "spec", "stats", "scratch",
         "_driver", "_tracer", "_metrics", "_mx", "_recorder", "_last",
@@ -1333,6 +1338,13 @@ def _child_main(
     """Entry point of one rank process (fork-inherited closure state)."""
     t_entry = monotonic()
     try:
+        # Fork hygiene: drop the layout-layer LRU caches inherited from
+        # the parent — they hold index maps for *every* rank and would
+        # inflate this child's resident memory; the child re-fills only
+        # its own entries (repro.hpf.caches).
+        from ..hpf.caches import clear_layout_caches
+
+        clear_layout_caches()
         if chaos:
             fire_chaos(chaos, "spawn")
         recorder = None

@@ -338,6 +338,11 @@ def _worker_main(
     ``shutdown`` command, an op error (after shipping the traceback), or
     a signal.
     """
+    # Fork hygiene, as in MpBackend's _child_main: the parent's layout
+    # LRU caches cover every rank; this worker only needs its own.
+    from ..hpf.caches import clear_layout_caches
+
+    clear_layout_caches()
     stop = threading.Event()
 
     def _beat():

@@ -1,0 +1,58 @@
+"""Conformance through the plan cache: cache-on must equal cache-off.
+
+Property: for any generated case, running with a shared plan cache gives
+the same oracle verdict as running without one — and a second pass over
+the same cases replays compiled plans (nonzero hits) while staying green.
+The oracle compares bit-exactly against the serial reference, so these
+tests pin the tentpole guarantee: a plan replay is indistinguishable from
+a fresh compile in everything but wall clock.
+"""
+
+from pathlib import Path
+
+from repro.conformance import generate_cases, replay_corpus, run_case
+from repro.core.plan_cache import PlanCache
+
+CORPUS = Path(__file__).parent / "corpus"
+SEED = 7
+CASES = 25
+
+
+def test_generated_cases_cache_on_equals_cache_off():
+    cache = PlanCache(capacity=256)
+    for i, case in enumerate(generate_cases(SEED, CASES)):
+        off = run_case(case)
+        on = run_case(case, plan_cache=cache)
+        assert off.ok, f"case #{i} failed cache-off: {off}"
+        assert on.ok, f"case #{i} failed cache-on: {on}"
+        assert (off.ok, off.kind) == (on.ok, on.kind), (
+            f"case #{i}: verdict differs cache-on vs cache-off "
+            f"({on} vs {off})\n{case.describe()}"
+        )
+
+
+def test_generated_cases_second_pass_hits():
+    cases = generate_cases(SEED, CASES)
+    cache = PlanCache(capacity=256)
+    for case in cases:
+        assert run_case(case, plan_cache=cache).ok
+    compiled = cache.stats().misses
+    assert compiled > 0, "no generated case was cacheable"
+    for i, case in enumerate(cases):
+        outcome = run_case(case, plan_cache=cache)
+        assert outcome.ok, f"case #{i} failed on plan replay: {outcome}"
+    stats = cache.stats()
+    assert stats.hits >= compiled, (
+        f"second pass replayed only {stats.hits}/{compiled} compiled plans"
+    )
+
+
+def test_corpus_replay_with_cache_stays_green():
+    cache = PlanCache(capacity=256)
+    for _ in range(2):
+        results = replay_corpus(CORPUS, plan_cache=cache)
+        assert results, "empty corpus directory"
+        bad = [(p.name, str(o)) for p, _, o in results if not o.ok]
+        assert not bad, f"corpus failures under the plan cache: {bad}"
+    stats = cache.stats()
+    assert stats.hits > 0, "second corpus pass produced zero plan-cache hits"
