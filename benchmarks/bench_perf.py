@@ -46,6 +46,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import subprocess
 import sys
@@ -183,6 +184,11 @@ def measure(reps: int) -> dict:
         sim = None
         fn()  # warm-up: first call pays input construction + cold caches
         for _ in range(reps):
+            # Settle the collector so a gen-2 pass triggered by garbage
+            # inherited from imports/other cases isn't billed to whichever
+            # case happens to cross the threshold — that debt grows with
+            # the codebase, not with the measured code path.
+            gc.collect()
             t0 = time.perf_counter()
             elapsed = fn()
             wall = time.perf_counter() - t0

@@ -458,7 +458,14 @@ def cmd_plan(args) -> int:
 
     array, mask, grid, block = _workload(args)
     spec = _build_spec(args)
-    cache = PlanCache(capacity=4)
+    cache = PlanCache(capacity=32 if args.plan_cache_file else 4)
+    if args.plan_cache_file:
+        import os
+
+        if os.path.exists(args.plan_cache_file):
+            loaded = cache.load_into(args.plan_cache_file)
+            print(f"[plan cache <- {args.plan_cache_file}: "
+                  f"{loaded} plan(s)]")
     common = dict(grid=grid, block=block, spec=spec,
                   validate=not args.no_validate, backend=args.backend,
                   plan_cache=cache)
@@ -479,7 +486,7 @@ def cmd_plan(args) -> int:
         )
 
     result = run()
-    (key,) = cache.keys()
+    key = cache.keys()[-1]  # LRU order: the key this run used is last
     plan = cache.peek(key)
     print(plan.summary())
     print(f"  key: {key.describe()}")
@@ -506,6 +513,93 @@ def cmd_plan(args) -> int:
 
         Path(args.out).write_text(json.dumps(plan.to_dict()) + "\n")
         print(f"[plan -> {args.out}]")
+    if args.plan_cache_file:
+        saved = cache.save(args.plan_cache_file)
+        print(f"[plan cache -> {args.plan_cache_file}: {saved} plan(s)]")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the async batching PACK/UNPACK service until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .serve import PackUnpackServer, ServeConfig
+
+    cfg = ServeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        max_delay=args.max_delay_ms / 1e3,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        max_inflight=args.max_inflight,
+        plan_cache_capacity=args.plan_cache_capacity,
+        plan_cache_file=args.plan_cache_file,
+        metrics_out=args.metrics_out,
+        warm=args.warm,
+        timeout=args.timeout,
+        transport=args.transport,
+    )
+    server = PackUnpackServer(cfg)
+
+    def _ready(srv):
+        print(f"serving on {srv.host}:{srv.port} (backend={cfg.backend}, "
+              f"window={cfg.max_delay * 1e3:g} ms, "
+              f"max_batch={cfg.max_batch})", flush=True)
+
+    asyncio.run(server.run_until_signal(ready=_ready))
+    stats = server.engine.plan_cache.stats()
+    print(f"drained: {server.metrics.value('serve.requests'):.0f} request(s), "
+          f"{server.batcher.batches} batch(es) "
+          f"({server.batcher.coalesced_batches} coalesced), "
+          f"{server.admission.shed} shed; plan cache {stats.describe()}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Seeded open-loop load against a running `repro serve`."""
+    from .serve import LoadgenConfig, run_loadgen
+
+    ops = tuple(s for s in args.ops.split(",") if s)
+    bad = [o for o in ops if o not in ("pack", "unpack", "ranking")]
+    if bad:
+        raise CLIError(f"unknown op(s) in --ops: {', '.join(bad)}")
+    cfg = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        n=args.n,
+        procs=args.procs,
+        density=args.density,
+        masks=args.masks,
+        ops=ops or ("pack",),
+        scheme=args.scheme,
+        connections=args.connections,
+        timeout=args.timeout,
+        validate=args.validate,
+    )
+    report = run_loadgen(cfg)
+    lat = report["latency_ms"]
+    print(f"loadgen: {report['ok']}/{report['sent']} ok, "
+          f"{report['shed']} shed, {report['errors']} error(s) in "
+          f"{report['elapsed_s']:.2f} s "
+          f"({report['throughput_rps']:.1f} req/s)")
+    if lat["p50"] is not None:
+        print(f"  latency ms: p50={lat['p50']:.2f} p95={lat['p95']:.2f} "
+              f"p99={lat['p99']:.2f} max={lat['max']:.2f}")
+    print(f"  batch occupancy: {report['batch_occupancy']} "
+          f"(coalesced {report['coalesced_fraction']:.0%}); "
+          f"plan {report['plan']}")
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"[report -> {args.json_out}]")
+    if report["ok"] == 0 or report["errors"] > 0:
+        return 2
     return 0
 
 
@@ -962,6 +1056,84 @@ def main(argv=None) -> int:
     p_plan.add_argument("--repeat", action="store_true",
                         help="run the workload a second time and assert a "
                              "cache hit with bit-identical simulated time")
+    p_plan.add_argument("--plan-cache-file", dest="plan_cache_file",
+                        help="load the plan cache from this JSON file before "
+                             "the run (if it exists) and save it back after "
+                             "— shared with `repro serve --plan-cache-file`")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="async batching PACK/UNPACK service: newline-delimited JSON "
+             "over TCP with request coalescing, admission control and "
+             "graceful SIGTERM drain",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral; the bound port is "
+                              "printed on the 'serving on' line)")
+    p_serve.add_argument("--backend", default="sim",
+                         choices=("sim", "mp", "supervised"),
+                         help="execution backend shared by all requests")
+    p_serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                         dest="max_delay_ms",
+                         help="coalescing window: how long a request may "
+                              "wait for compatible peers (default 2 ms)")
+    p_serve.add_argument("--max-batch", type=int, default=8, dest="max_batch",
+                         help="max requests per coalesced gang (1 = solo)")
+    p_serve.add_argument("--max-queue", type=int, default=256,
+                         dest="max_queue",
+                         help="admission bound on in-flight requests; past "
+                              "it requests are shed with 'overloaded'")
+    p_serve.add_argument("--max-inflight", type=int, default=2,
+                         dest="max_inflight",
+                         help="concurrent backend executions (thread pool "
+                              "width)")
+    p_serve.add_argument("--plan-cache-capacity", type=int, default=128,
+                         dest="plan_cache_capacity")
+    p_serve.add_argument("--plan-cache-file", dest="plan_cache_file",
+                         help="warm the shared plan cache from this file at "
+                              "start and persist it on drain")
+    p_serve.add_argument("--metrics-out", dest="metrics_out",
+                         help="write the serve metrics snapshot JSON on "
+                              "drain")
+    p_serve.add_argument("--warm", type=int,
+                         help="pre-fork a gang of this many ranks "
+                              "(supervised backend) before accepting load")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-op watchdog for the supervised backend")
+    p_serve.add_argument("--transport", default=None,
+                         choices=("queue", "ring"),
+                         help="mp/supervised message transport")
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop load generator against a running "
+             "`repro serve` (Poisson arrivals, pipelined connections)",
+    )
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, required=True)
+    p_loadgen.add_argument("--rate", type=float, default=50.0,
+                           help="offered load in requests/second")
+    p_loadgen.add_argument("--duration", type=float, default=2.0,
+                           help="seconds of offered arrivals")
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument("--n", type=int, default=256,
+                           help="global 1-D problem size")
+    p_loadgen.add_argument("--procs", type=int, default=2)
+    p_loadgen.add_argument("--density", type=float, default=0.3)
+    p_loadgen.add_argument("--masks", type=int, default=4,
+                           help="mask pool size (coalescing needs repeats)")
+    p_loadgen.add_argument("--ops", default="pack",
+                           help="comma-separated op mix: pack,unpack,ranking")
+    p_loadgen.add_argument("--scheme", default="cms")
+    p_loadgen.add_argument("--connections", type=int, default=4)
+    p_loadgen.add_argument("--timeout", type=float, default=30.0,
+                           help="per-request response deadline")
+    p_loadgen.add_argument("--validate", action="store_true",
+                           help="ask the server to validate against the "
+                                "serial reference")
+    p_loadgen.add_argument("--json-out", dest="json_out",
+                           help="write the full report JSON")
 
     p_conform = sub.add_parser(
         "conform",
@@ -1084,6 +1256,10 @@ def _dispatch(args, parser) -> int:
         return cmd_chaos(args)
     if args.command == "plan":
         return cmd_plan(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "loadgen":
+        return cmd_loadgen(args)
     if args.command == "conform":
         return cmd_conform(args)
     if args.command == "profile":

@@ -245,9 +245,9 @@ class _PlanState:
     """Per-call plan-cache bookkeeping shared by pack/unpack/ranking.
 
     ``status`` is ``None`` when no cache was requested, ``"off"`` when one
-    was requested but the call is ineligible (redistribution pre-pass,
-    fault injection, reliable transport — their charges are not a pure
-    function of the key), else ``"hit"`` / ``"miss"``.
+    was requested but the call is ineligible (fault injection, reliable
+    transport — their charges are not a pure function of the key), else
+    ``"hit"`` / ``"miss"``.
     """
 
     cache: object = None
@@ -406,9 +406,11 @@ def pack(
         derivation, rescan) is compiled once per (geometry, scheme, mask
         fingerprint, machine spec, time domain) and replayed on repeat
         calls — results and simulated times stay bit-identical; under the
-        wall-clock backends the recompute is genuinely skipped.  Calls
-        using ``redistribute`` / ``faults`` / ``reliability`` bypass the
-        cache (reported as ``plan_info["cache"] == "off"``).
+        wall-clock backends the recompute is genuinely skipped.
+        ``redistribute`` runs compile their pre-pass bookkeeping into the
+        plan too (keyed as ``pack_red1`` / ``pack_red2``); only ``faults``
+        / ``reliability`` calls bypass the cache (reported as
+        ``plan_info["cache"] == "off"``).
 
     Returns a :class:`PackResult` whose ``vector`` matches Fortran 90
     ``PACK(array, mask)`` semantics exactly.
@@ -461,22 +463,30 @@ def pack(
             f"redistribute must be None, 'selected' or 'whole', got {redistribute!r}"
         )
 
+    plan_op = {None: "pack", "selected": "pack_red1",
+               "whole": "pack_red2"}[redistribute]
     plan_state = _plan_setup(
         plan_cache,
-        bypass=(redistribute is not None or faults is not None
-                or bool(reliability)),
-        op="pack", layout=layout, config=config, mask=mask,
+        bypass=(faults is not None or bool(reliability)),
+        op=plan_op, layout=layout, config=config, mask=mask,
         n_result=n_result, spec_name=spec.name,
         time_domain=exec_backend.time_domain,
     )
     rank_plans = plan_state.plan.ranks if plan_state.plan is not None else None
+    # Plain local, not plan_state.capture: the rank-args closure is
+    # shipped to supervised-gang workers, and _PlanState drags the whole
+    # PlanCache (and its lock) into the closure cells.
+    capture_plan = plan_state.capture
 
     # Each rank extracts only the blocks it owns from the shared global
     # arrays (views in-process; shared-memory slices under "mp") — the
     # host never materializes a per-rank copy of anything.  On a plan hit
-    # the mask is not shipped at all: the plan already encodes it.
+    # the mask is not shipped at all: the plan already encodes it.  The
+    # exception is Red.2, whose pre-pass redistributes the mask for real
+    # even on a hit (the traffic is part of the measured algorithm).
+    ship_mask = rank_plans is None or redistribute == "whole"
     shared = {"array": array}
-    if rank_plans is None:
+    if ship_mask:
         shared["mask"] = mask
     if vector is not None:
         shared["pad_vector"] = vector
@@ -490,14 +500,20 @@ def pack(
         base = (
             layout.local_block(sh["array"], r, copy=False),
             layout.local_block(sh["mask"], r, copy=False)
-            if rank_plans is None else None,
+            if ship_mask else None,
             layout, config, pad_block, n_result,
         )
+        # The direct program takes (ranking_result, phase_prefix) before
+        # the plan hooks; the redistribution programs go straight to them.
         if rank_plans is not None:
-            return base + (None, "pack", rank_plans[r], False)
-        if plan_state.capture:
-            return base + (None, "pack", None, True)
-        return base
+            tail = (rank_plans[r], False)
+        elif capture_plan:
+            tail = (None, True)
+        else:
+            return base
+        if redistribute is None:
+            return base + (None, "pack") + tail
+        return base + tail
 
     run = exec_backend.run_spmd(
         program,
@@ -629,6 +645,7 @@ def unpack(
         time_domain=exec_backend.time_domain,
     )
     rank_plans = plan_state.plan.ranks if plan_state.plan is not None else None
+    capture_plan = plan_state.capture  # plain local: closure must pickle
 
     # Each rank slices only its own blocks from the shared global arrays
     # (views in-process, shared-memory slices under "mp").  On a plan hit
@@ -649,7 +666,7 @@ def unpack(
         )
         if rank_plans is not None:
             return base + ("unpack", rank_plans[r], False)
-        if plan_state.capture:
+        if capture_plan:
             return base + ("unpack", None, True)
         return base
 
@@ -784,6 +801,7 @@ def ranking(
         time_domain=exec_backend.time_domain,
     )
     rank_plans = plan_state.plan.ranks if plan_state.plan is not None else None
+    capture_plan = plan_state.capture  # plain local: closure must pickle
     shared = {} if rank_plans is not None else {"mask": mask}
 
     def _rank_args(r, sh):
@@ -794,7 +812,7 @@ def ranking(
         base = (block_mask, layout, config_scheme, prs)
         if rank_plans is not None:
             return base + (rank_plans[r], False)
-        if plan_state.capture:
+        if capture_plan:
             return base + (None, True)
         return base
 

@@ -215,6 +215,9 @@ def pack_many(
     validate: bool = True,
     faults=None,
     plan_cache=None,
+    backend="sim",
+    tracer=None,
+    metrics=None,
     **config_kw,
 ):
     """Host-level gang PACK: returns (list of packed vectors, RunResult).
@@ -229,9 +232,14 @@ def pack_many(
     compiles the mask-dependent prefix into a plan keyed as ``op="pack"``
     — shared with :func:`repro.core.api.pack` — and replays it on repeat
     calls with the same mask and geometry.
+
+    ``backend`` runs the gang on any execution backend (``"sim"`` /
+    ``"mp"`` / ``"supervised"`` / a :class:`~repro.runtime.Backend`
+    instance), exactly like :func:`repro.core.api.pack` — this is the
+    batching seam ``repro.serve`` coalesces concurrent requests through.
     """
-    from ..machine.engine import Machine
     from ..machine.spec import CM5
+    from ..runtime.base import get_backend
     from ..serial.reference import pack_reference
 
     if not arrays:
@@ -242,6 +250,8 @@ def pack_many(
     layout = GridLayout.create(mask.shape, grid, block)
     config = PackConfig(scheme=scheme, **config_kw)
     spec_obj = spec if spec is not None else CM5
+    exec_backend = get_backend(backend)
+    exec_backend.reject_unsupported(faults=faults, reliability=config.reliability)
 
     cache = resolve_plan_cache(plan_cache)
     if faults is not None or config.reliability:
@@ -253,27 +263,43 @@ def pack_many(
     if cache is not None:
         key = plan_key(
             "pack", layout, config, mask,
-            n_result=None, spec=spec_obj.name, time_domain="simulated",
+            n_result=None, spec=spec_obj.name,
+            time_domain=exec_backend.time_domain,
         )
         cached_plan = cache.get(key)
         capture = cached_plan is None
 
-    array_blocks = [layout.scatter(np.asarray(a)) for a in arrays]
-    if cached_plan is not None:
-        rank_args = [
-            ([ab[r] for ab in array_blocks], None, layout, config,
-             "gang", cached_plan.ranks[r], False)
-            for r in range(layout.nprocs)
+    # Each rank slices only its own blocks out of the shared arrays (views
+    # in-process; shared-memory slices under "mp").  On a plan hit the mask
+    # stays on the host.
+    nk = len(arrays)
+    shared = {f"array_{k}": np.asarray(a) for k, a in enumerate(arrays)}
+    if cached_plan is None:
+        shared["mask"] = mask
+    rank_plans = cached_plan.ranks if cached_plan is not None else None
+
+    def _rank_args(r, sh):
+        blocks = [
+            layout.local_block(sh[f"array_{k}"], r, copy=False)
+            for k in range(nk)
         ]
-    else:
-        mask_blocks = layout.scatter(mask)
-        rank_args = [
-            ([ab[r] for ab in array_blocks], mask_blocks[r], layout, config,
-             "gang", None, capture)
-            for r in range(layout.nprocs)
-        ]
-    machine = Machine(layout.nprocs, spec_obj, faults=faults)
-    run = machine.run(pack_many_program, rank_args=rank_args)
+        mask_block = (
+            layout.local_block(sh["mask"], r, copy=False)
+            if rank_plans is None else None
+        )
+        plan_r = rank_plans[r] if rank_plans is not None else None
+        return (blocks, mask_block, layout, config, "gang", plan_r, capture)
+
+    run = exec_backend.run_spmd(
+        pack_many_program,
+        layout.nprocs,
+        make_rank_args=_rank_args,
+        shared=shared,
+        spec=spec_obj,
+        tracer=tracer,
+        metrics=metrics,
+        faults=faults,
+    )
     if capture:
         cache.put(key, Plan(
             key=key,

@@ -46,6 +46,8 @@ __all__ = [
     "PlanKey",
     "RankingRankPlan",
     "PackRankPlan",
+    "Red1RankPlan",
+    "Red2RankPlan",
     "UnpackRankPlan",
     "mask_fingerprint",
     "plan_key",
@@ -463,10 +465,124 @@ class RankingRankPlan:
         )
 
 
+@dataclass
+class Red1RankPlan:
+    """One rank's compiled Red.1 (selected-data redistribution) PACK.
+
+    The pre-pass detect stage is entirely mask-derived: which local flat
+    positions are selected per destination (``out``: dest → (source flat
+    positions, combined global indices)), and which block-layout slots
+    each incoming message scatters into (``incoming``: source → local
+    flat indices, aligned with that message's value order).  A cache hit
+    replays the detect charges, gathers only the *values* at the stored
+    positions, runs the exchange for real (identical traffic, so the
+    simulated timeline stays bit-identical), scatters replies through the
+    stored index maps, and hands the inner block-layout PACK its own
+    compiled :class:`PackRankPlan`.
+    """
+
+    out: dict[int, tuple[np.ndarray, np.ndarray]]
+    incoming: dict[int, np.ndarray]
+    e_sel: int
+    e_recv: int
+    detect_charges: CompileCharges
+    inner: PackRankPlan
+    compile_wall: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def nbytes(self) -> int:
+        total = self.inner.nbytes
+        for src_flat, g_idx in self.out.values():
+            total += _nbytes(src_flat) + _nbytes(g_idx)
+        for lf in self.incoming.values():
+            total += _nbytes(lf)
+        return total
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "pack_red1",
+            "out": {
+                str(dest): {
+                    "src_flat": _nd_to_dict(src_flat),
+                    "g_idx": _nd_to_dict(g_idx),
+                }
+                for dest, (src_flat, g_idx) in self.out.items()
+            },
+            "incoming": {
+                str(src): _nd_to_dict(lf) for src, lf in self.incoming.items()
+            },
+            "e_sel": self.e_sel,
+            "e_recv": self.e_recv,
+            "detect_charges": self.detect_charges.to_dict(),
+            "inner": self.inner.to_dict(),
+            "compile_wall": self.compile_wall,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Red1RankPlan":
+        return cls(
+            out={
+                int(dest): (_nd_from_dict(v["src_flat"]), _nd_from_dict(v["g_idx"]))
+                for dest, v in d["out"].items()
+            },
+            incoming={
+                int(src): _nd_from_dict(lf) for src, lf in d["incoming"].items()
+            },
+            e_sel=int(d["e_sel"]),
+            e_recv=int(d["e_recv"]),
+            detect_charges=CompileCharges.from_dict(d["detect_charges"]),
+            inner=PackRankPlan.from_dict(d["inner"]),
+            compile_wall=float(d.get("compile_wall", 0.0)),
+        )
+
+
+@dataclass
+class Red2RankPlan:
+    """One rank's compiled Red.2 (whole-array redistribution) PACK.
+
+    The pre-pass moves the whole array and mask with the general
+    redistribution engine — pure data movement whose charges depend only
+    on geometry, so a cache hit re-runs it for real (same traffic, same
+    simulated times) and only the *inner* block-layout PACK replays its
+    compiled prefix.  That is where the compile cost lives: the ranking
+    over the redistributed mask."""
+
+    inner: PackRankPlan
+    compile_wall: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.inner.nbytes
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "pack_red2",
+            "inner": self.inner.to_dict(),
+            "compile_wall": self.compile_wall,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Red2RankPlan":
+        return cls(
+            inner=PackRankPlan.from_dict(d["inner"]),
+            compile_wall=float(d.get("compile_wall", 0.0)),
+        )
+
+
 _RANK_PLAN_KINDS = {
     "pack": PackRankPlan,
     "unpack": UnpackRankPlan,
     "ranking": RankingRankPlan,
+    "pack_red1": Red1RankPlan,
+    "pack_red2": Red2RankPlan,
 }
 
 
@@ -557,6 +673,7 @@ class Plan:
         ]
         for r, entry in enumerate(self.ranks):
             extra = ""
+            charges = getattr(entry, "charges", None)
             if isinstance(entry, PackRankPlan):
                 extra = f"e_i={int(entry.positions.size)}"
             elif isinstance(entry, UnpackRankPlan):
@@ -564,9 +681,16 @@ class Plan:
                          f"serves={len(entry.incoming)}")
             elif isinstance(entry, RankingRankPlan):
                 extra = f"block={entry.ranks_local.shape}"
+            elif isinstance(entry, Red1RankPlan):
+                extra = f"e_sel={entry.e_sel} e_recv={entry.e_recv}"
+                charges = entry.detect_charges
+            elif isinstance(entry, Red2RankPlan):
+                extra = f"e_i={int(entry.inner.positions.size)}"
+                charges = entry.inner.charges
+            secs = sum(s for _, s, _ in charges.phases) if charges else 0.0
             lines.append(
                 f"  rank {r}: {extra} "
-                f"compile={sum(s for _, s, _ in entry.charges.phases) * 1e3:.4f} "
+                f"compile={secs * 1e3:.4f} "
                 f"({'sim' if self.key.time_domain == 'simulated' else 'wall'} ms)"
             )
         return "\n".join(lines)

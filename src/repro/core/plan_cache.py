@@ -16,6 +16,8 @@ without new plumbing.  The cache is lock-protected: the service layer
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -139,6 +141,57 @@ class PlanCache:
     def keys(self) -> list[PlanKey]:
         with self._lock:
             return list(self._entries.keys())
+
+    # ----------------------------------------------------------- persistence
+    SCHEMA = 1
+
+    def save(self, path: str | os.PathLike) -> int:
+        """Persist every cached plan to ``path`` as JSON; returns the count.
+
+        Entries are written least-recently-used first, so :meth:`load` /
+        :meth:`load_into` re-inserting them in file order reproduces the
+        recency ranking.  The write goes through a same-directory temp
+        file + ``os.replace`` so a crash mid-save never leaves a torn
+        cache file for the next service start to choke on.
+        """
+        with self._lock:
+            plans = [p.to_dict() for p in self._entries.values()]
+        doc = {"schema": self.SCHEMA, "plans": plans}
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as f:
+            json.dump(doc, f)
+        os.replace(tmp, path)
+        return len(plans)
+
+    def load_into(self, path: str | os.PathLike) -> int:
+        """Merge the plans persisted at ``path`` into this cache; returns
+        how many were inserted.  Normal LRU bounds apply, so loading more
+        plans than ``capacity`` keeps only the most recent tail."""
+        with open(os.fspath(path)) as f:
+            doc = json.load(f)
+        schema = doc.get("schema")
+        if schema != self.SCHEMA:
+            raise ValueError(
+                f"plan cache file {path!r}: unsupported schema {schema!r} "
+                f"(expected {self.SCHEMA})"
+            )
+        count = 0
+        for entry in doc["plans"]:
+            plan = Plan.from_dict(entry)
+            self.put(plan.key, plan)
+            count += 1
+        return count
+
+    @classmethod
+    def load(
+        cls, path: str | os.PathLike,
+        capacity: int = 32, max_bytes: int | None = None,
+    ) -> "PlanCache":
+        """A fresh cache populated from a :meth:`save` file."""
+        cache = cls(capacity=capacity, max_bytes=max_bytes)
+        cache.load_into(path)
+        return cache
 
     # ----------------------------------------------------------------- stats
     def _nbytes_locked(self) -> int:

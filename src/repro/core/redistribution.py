@@ -32,6 +32,7 @@ PACK charges its usual ``pack.*`` phases.
 from __future__ import annotations
 
 from dataclasses import replace
+from time import perf_counter
 from typing import Any, Generator
 
 import numpy as np
@@ -42,6 +43,7 @@ from ..hpf.redistribute import detection_phase_ops, redistribute
 from ..machine.context import Context
 from ..machine.m2m import exchange
 from .pack import PackLocal, pack_program
+from .plan import ChargeRecorder, Red1RankPlan, Red2RankPlan
 from .schemes import PackConfig, Scheme
 
 __all__ = [
@@ -67,58 +69,95 @@ def _cms(config: PackConfig) -> PackConfig:
 def pack_red1_program(
     ctx: Context,
     local_array: np.ndarray,
-    local_mask: np.ndarray,
+    local_mask: np.ndarray | None,
     grid: GridLayout,
     config: PackConfig,
     pad_block: np.ndarray | None = None,
     n_result: int | None = None,
+    plan: Red1RankPlan | None = None,
+    capture: bool = False,
 ) -> Generator[Any, Any, PackLocal]:
-    """PACK with the *selected data* redistribution pre-pass (Red.1)."""
+    """PACK with the *selected data* redistribution pre-pass (Red.1).
+
+    ``plan`` / ``capture`` are the plan/execute hooks
+    (:mod:`repro.core.plan`).  The exchange always runs for real — with a
+    plan the messages are rebuilt from the stored index maps, so the wire
+    traffic (and therefore the simulated timeline) is identical to the
+    compile run while the mask scan, destination computation and
+    receiver-side index decomposition are skipped.
+    """
+    if plan is not None and capture:
+        raise ValueError(
+            "pack_red1_program: plan= and capture= are mutually exclusive"
+        )
     local_array = np.asarray(local_array)
-    local_mask = np.asarray(local_mask, dtype=bool)
     block_grid = block_layout_of(grid)
     local = ctx.spec.local
     d = grid.d
     L = int(np.prod(grid.local_shape))
 
-    # ----------------------------------------------- detect selected elements
-    ctx.phase("pack.red.detect")
-    flat_mask = local_mask.ravel()
-    positions = np.flatnonzero(flat_mask)
-    e_sel = int(positions.size)
-    values = local_array.ravel()[positions]
-    global_flat = grid.global_flat_index(ctx.rank).ravel()[positions]
-    # One send-phase schedule construction ([7] — receivers need none, the
-    # messages carry indices), a mask scan, and per selected element the
-    # combination of d indices into one global index plus the destination
-    # computation.
-    ctx.work(detection_phase_ops(grid))
-    ctx.work(local.seq * L)
-    ctx.work(local.rand * (d + 1) * e_sel)
+    if plan is not None:
+        # ------------------------------------- detect: replay + re-gather
+        from .plan import replay_charges
 
-    # Destination rank under the block layout, from the global flat index.
-    if e_sel:
-        dest = np.zeros(e_sel, dtype=np.int64)
-        rank_stride = 1
-        rem = global_flat.copy()
-        # peel per-dimension indices: dimension 0 varies fastest.
-        for i in range(d):
-            n_i = block_grid.dims[i].n
-            g_i = rem % n_i
-            rem //= n_i
-            dest += block_grid.dims[i].owners(g_i) * rank_stride
-            rank_stride *= block_grid.dims[i].p
+        replay_charges(ctx, plan.detect_charges, "pack")
+        flat_vals = local_array.ravel()
+        outgoing = {
+            dest: (g_idx, flat_vals[src_flat])
+            for dest, (src_flat, g_idx) in plan.out.items()
+        }
+        e_sel = plan.e_sel
     else:
-        dest = np.empty(0, dtype=np.int64)
+        local_mask = np.asarray(local_mask, dtype=bool)
+        recorder = ChargeRecorder(ctx) if capture else None
+        t_compile = perf_counter() if capture else 0.0
 
-    outgoing: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    if e_sel:
-        order = np.argsort(dest, kind="stable")
-        ds = dest[order]
-        boundaries = np.flatnonzero(np.diff(ds)) + 1
-        for chunk in np.split(np.arange(e_sel), boundaries):
-            rows = order[chunk]
-            outgoing[int(ds[chunk[0]])] = (global_flat[rows], values[rows])
+        # ------------------------------------------- detect selected elements
+        ctx.phase("pack.red.detect")
+        flat_mask = local_mask.ravel()
+        positions = np.flatnonzero(flat_mask)
+        e_sel = int(positions.size)
+        values = local_array.ravel()[positions]
+        global_flat = grid.global_flat_index(ctx.rank).ravel()[positions]
+        # One send-phase schedule construction ([7] — receivers need none,
+        # the messages carry indices), a mask scan, and per selected element
+        # the combination of d indices into one global index plus the
+        # destination computation.
+        ctx.work(detection_phase_ops(grid))
+        ctx.work(local.seq * L)
+        ctx.work(local.rand * (d + 1) * e_sel)
+
+        # Destination rank under the block layout, from the global flat index.
+        if e_sel:
+            dest = np.zeros(e_sel, dtype=np.int64)
+            rank_stride = 1
+            rem = global_flat.copy()
+            # peel per-dimension indices: dimension 0 varies fastest.
+            for i in range(d):
+                n_i = block_grid.dims[i].n
+                g_i = rem % n_i
+                rem //= n_i
+                dest += block_grid.dims[i].owners(g_i) * rank_stride
+                rank_stride *= block_grid.dims[i].p
+        else:
+            dest = np.empty(0, dtype=np.int64)
+
+        outgoing = {}
+        out_index: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if e_sel:
+            order = np.argsort(dest, kind="stable")
+            ds = dest[order]
+            boundaries = np.flatnonzero(np.diff(ds)) + 1
+            for chunk in np.split(np.arange(e_sel), boundaries):
+                rows = order[chunk]
+                outgoing[int(ds[chunk[0]])] = (global_flat[rows], values[rows])
+                if capture:
+                    out_index[int(ds[chunk[0]])] = (
+                        positions[rows], global_flat[rows]
+                    )
+        if capture:
+            detect_charges = recorder.finish(ctx, ["pack.red.detect"], "pack")
+
     words = {dd: 2 * int(v[0].size) for dd, v in outgoing.items()}
 
     if ctx.metrics is not None:
@@ -141,12 +180,33 @@ def pack_red1_program(
 
     # --------------------------------------------- rebuild temporary blocks
     ctx.phase("pack.red.build")
-    temp_mask = np.zeros(block_grid.local_shape, dtype=bool)
     temp_array = np.zeros(block_grid.local_shape, dtype=local_array.dtype)
     ctx.work(local.seq * L)  # initialize the temporary mask to false
+    ta = temp_array.ravel()
+    if plan is not None:
+        # The stored index maps replace the per-element decomposition; the
+        # charges are the same function of L and e_recv as the compile run.
+        for source in sorted(received):
+            _, vals = received[source]
+            lf = plan.incoming.get(source)
+            if lf is None or lf.size == 0:
+                continue
+            ta[lf] = vals
+        e_recv = plan.e_recv
+        ctx.work(local.rand * (3 * d + 4) * e_recv)
+        # The inner PACK replays its own plan, so the temporary mask is
+        # never consulted.
+        result = yield from pack_program(
+            ctx, temp_array, None, block_grid, _cms(config),
+            pad_block=pad_block, n_result=n_result,
+            plan=plan.inner, capture=False,
+        )
+        return result
+
+    temp_mask = np.zeros(block_grid.local_shape, dtype=bool)
     e_recv = 0
     tm = temp_mask.ravel()
-    ta = temp_array.ravel()
+    incoming_index: dict[int, np.ndarray] = {}
     for source in sorted(received):
         g_idx, vals = received[source]
         g_idx = np.asarray(g_idx, dtype=np.int64)
@@ -166,6 +226,8 @@ def pack_red1_program(
         tm[local_flat] = True
         ta[local_flat] = vals
         e_recv += int(g_idx.size)
+        if capture:
+            incoming_index[source] = local_flat
     # Per received element: decompose the global index into d local
     # indices (integer divisions, ~3 scattered-op equivalents each), then
     # two scattered writes (temp array + temp mask) plus buffer advance.
@@ -175,7 +237,18 @@ def pack_red1_program(
     result = yield from pack_program(
         ctx, temp_array, temp_mask, block_grid, _cms(config),
         pad_block=pad_block, n_result=n_result,
+        capture=capture,
     )
+    if capture:
+        result.rank_plan = Red1RankPlan(
+            out=out_index,
+            incoming=incoming_index,
+            e_sel=e_sel,
+            e_recv=e_recv,
+            detect_charges=detect_charges,
+            inner=result.rank_plan,
+            compile_wall=perf_counter() - t_compile,
+        )
     return result
 
 
@@ -187,12 +260,27 @@ def pack_red2_program(
     config: PackConfig,
     pad_block: np.ndarray | None = None,
     n_result: int | None = None,
+    plan: Red2RankPlan | None = None,
+    capture: bool = False,
 ) -> Generator[Any, Any, PackLocal]:
-    """PACK with the *whole arrays* redistribution pre-pass (Red.2)."""
+    """PACK with the *whole arrays* redistribution pre-pass (Red.2).
+
+    ``plan`` / ``capture`` (:mod:`repro.core.plan`): the pre-pass is pure
+    data movement and always runs for real — the mask is still
+    redistributed on a plan hit so the wire traffic (and the simulated
+    timeline) matches the compile run exactly — while the inner
+    block-layout PACK replays its compiled prefix, skipping the ranking
+    recompute that dominates the compile cost.
+    """
+    if plan is not None and capture:
+        raise ValueError(
+            "pack_red2_program: plan= and capture= are mutually exclusive"
+        )
     local_array = np.asarray(local_array)
     local_mask = np.asarray(local_mask, dtype=bool)
     block_grid = block_layout_of(grid)
     ctx.count("red2.calls")
+    t_compile = perf_counter() if capture else 0.0
 
     # The two arrays are conformable and aligned, so they share one
     # communication schedule: the two detection phases (send + receive)
@@ -208,9 +296,17 @@ def pack_red2_program(
     )
 
     result = yield from pack_program(
-        ctx, new_array, new_mask.astype(bool), block_grid, _cms(config),
+        ctx, new_array,
+        None if plan is not None else new_mask.astype(bool),
+        block_grid, _cms(config),
         pad_block=pad_block, n_result=n_result,
+        plan=plan.inner if plan is not None else None, capture=capture,
     )
+    if capture:
+        result.rank_plan = Red2RankPlan(
+            inner=result.rank_plan,
+            compile_wall=perf_counter() - t_compile,
+        )
     return result
 
 

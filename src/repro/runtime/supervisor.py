@@ -591,23 +591,47 @@ class GangSupervisor(Backend):
         self._next_epoch = 1
         self._next_op_id = 0
         self._metrics = None  # registry in scope for the current op
+        # One op at a time: a long-lived server submits from many asyncio
+        # tasks (each in an executor thread), and the dispatch loop's
+        # mutable state (gang, op ids, metrics-in-scope) is single-op by
+        # design — the lock makes concurrent submissions queue instead of
+        # interleaving.
+        self._dispatch_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------ lifecycle
     def __enter__(self) -> "GangSupervisor":
         return self
 
     def __exit__(self, *exc) -> None:
-        self.shutdown()
+        self.close()
 
     def shutdown(self) -> None:
-        """Gracefully stop the gang (idempotent)."""
-        gang, self._gang = self._gang, None
+        """Gracefully stop the gang (idempotent; the supervisor stays
+        usable — the next op forks a fresh gang).  See :meth:`close` for
+        the terminal variant a long-lived server should call."""
+        with self._dispatch_lock:
+            gang, self._gang = self._gang, None
         if gang is not None:
             gang.reap(self.join_grace, graceful=True)
 
+    def close(self) -> None:
+        """Shut the gang down *and* retire the supervisor: any later
+        :meth:`run_spmd` raises :class:`RuntimeError` instead of silently
+        re-forking (or, racing a teardown, hanging on a reaped gang)."""
+        self._closed = True
+        self.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def warm(self, nprocs: int) -> None:
         """Pre-fork the gang so the first op dispatches warm."""
-        self._ensure_gang(nprocs, op_index=self.stats.ops)
+        if self._closed:
+            raise RuntimeError("GangSupervisor is closed; create a new one")
+        with self._dispatch_lock:
+            self._ensure_gang(nprocs, op_index=self.stats.ops)
 
     # --------------------------------------------------------------- events
     def _event(self, kind: str, op_id: int | None = None,
@@ -747,6 +771,28 @@ class GangSupervisor(Backend):
 
             metrics = current_global_metrics()
         spec = spec if spec is not None else CM5
+        if self._closed:
+            raise RuntimeError(
+                "GangSupervisor is closed; ops submitted after close() "
+                "are refused (create a new supervisor)"
+            )
+        with self._dispatch_lock:
+            # Re-check under the lock: a close() racing this submission
+            # must not revive the gang.
+            if self._closed:
+                raise RuntimeError(
+                    "GangSupervisor is closed; ops submitted after close() "
+                    "are refused (create a new supervisor)"
+                )
+            return self._run_spmd_locked(
+                program, nprocs, make_rank_args, rank_args, shared, spec,
+                tracer, metrics, profile,
+            )
+
+    def _run_spmd_locked(
+        self, program, nprocs, make_rank_args, rank_args, shared, spec,
+        tracer, metrics, profile,
+    ) -> RunResult:
         self._metrics = metrics
 
         op_index = self.stats.ops

@@ -1,0 +1,46 @@
+"""repro.serve — the async batching front door over the PACK/UNPACK core.
+
+A newline-delimited-JSON-over-TCP service (stdlib asyncio only) that
+accepts concurrent pack/unpack/ranking requests from many clients and
+executes them efficiently above the backend seam: compatible requests
+arriving within a coalescing window are grouped into single
+:func:`~repro.core.multi.pack_many` gang executions, every request shares
+one process-wide :class:`~repro.core.plan_cache.PlanCache` and (under
+``backend="supervised"``) one warm :class:`~repro.runtime.GangSupervisor`
+gang, and admission control sheds load with structured errors instead of
+queueing without bound.  See ``docs/serve.md``.
+"""
+
+from .admission import AdmissionController
+from .batcher import Batcher, PendingRequest
+from .engine import ExecutionEngine
+from .loadgen import LoadgenConfig, request_roundtrip, run_loadgen
+from .protocol import (
+    ProtocolError,
+    Request,
+    decode_array,
+    encode_array,
+    encode_response,
+    error_body,
+    parse_request,
+)
+from .server import PackUnpackServer, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "Batcher",
+    "ExecutionEngine",
+    "LoadgenConfig",
+    "PackUnpackServer",
+    "PendingRequest",
+    "ProtocolError",
+    "Request",
+    "ServeConfig",
+    "decode_array",
+    "encode_array",
+    "encode_response",
+    "error_body",
+    "parse_request",
+    "request_roundtrip",
+    "run_loadgen",
+]

@@ -1,0 +1,80 @@
+"""Admission control and backpressure for the serve front door.
+
+Bounded work, shed early: the server admits a request only while fewer
+than ``max_queue`` requests are in flight (parsed but unanswered).  Past
+that it answers immediately with a structured ``overloaded`` error —
+clients see explicit backpressure instead of unbounded queueing and
+timeout roulette.  During drain (SIGTERM) new requests get
+``shutting_down`` while admitted ones finish.
+
+Everything here runs on the event-loop thread, so plain counters are
+enough — no locks.  The max-inflight-*batches* limit is separate: an
+``asyncio.Semaphore`` owned here and acquired by the batcher around each
+executor dispatch, bounding concurrent backend runs (and thread-pool
+width) independently of queue depth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Queue-depth gate + shed/drain bookkeeping (event-loop thread only)."""
+
+    def __init__(self, max_queue: int = 256, max_inflight: int = 2,
+                 metrics=None):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        #: Acquired by the batcher around each backend execution.
+        self.batch_semaphore = asyncio.Semaphore(max_inflight)
+        self._metrics = metrics
+        self._inflight = 0
+        self._draining = False
+        self.admitted = 0
+        self.shed = 0
+        self.refused_draining = 0
+
+    @property
+    def inflight(self) -> int:
+        """Requests admitted and not yet released (queued or executing)."""
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def try_admit(self) -> str | None:
+        """Admit one request.  Returns ``None`` on success, else the error
+        code to answer with (``"overloaded"`` / ``"shutting_down"``)."""
+        if self._draining:
+            self.refused_draining += 1
+            return "shutting_down"
+        if self._inflight >= self.max_queue:
+            self.shed += 1
+            if self._metrics is not None:
+                self._metrics.inc("serve.shed")
+            return "overloaded"
+        self._inflight += 1
+        self.admitted += 1
+        if self._metrics is not None:
+            self._metrics.inc("serve.admitted")
+            self._metrics.set("serve.inflight", self._inflight)
+        return None
+
+    def release(self) -> None:
+        """One admitted request answered (success or error)."""
+        self._inflight -= 1
+        assert self._inflight >= 0, "admission release without admit"
+        if self._metrics is not None:
+            self._metrics.set("serve.inflight", self._inflight)
+
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight requests keep their slots."""
+        self._draining = True

@@ -1,0 +1,110 @@
+"""Plan cache coverage of the redistribution pre-passes (Red.1 / Red.2).
+
+The contract matches the direct-PACK plan tests: a hit skips the
+mask-dependent compile work yet the run is bit-identical to a cache-off
+run — same vector, same simulated elapsed time, same phase breakdown,
+same traffic.  For Red.1 the plan stores the detect/dest maps but the
+data exchange always runs for real with identical payloads; for Red.2
+the array and mask redistributes always run for real (the traffic is
+the algorithm) and only the inner pack prefix replays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import pack
+from repro.core.plan import Plan, Red1RankPlan, Red2RankPlan
+from repro.core.plan_cache import PlanCache
+from repro.serial.reference import pack_reference
+
+N = 512
+P = 4
+
+
+def _workload(seed=0, density=0.4):
+    rng = np.random.default_rng(seed)
+    return rng.random(N), rng.random(N) < density
+
+
+def _run_equal(a, b):
+    assert a.elapsed == b.elapsed
+    assert a.phase_breakdown() == b.phase_breakdown()
+    assert a.total_words == b.total_words
+    assert a.total_messages == b.total_messages
+
+
+@pytest.mark.parametrize("mode", ["selected", "whole"])
+def test_redistribute_hit_is_bit_identical_to_cache_off(mode):
+    array, mask = _workload()
+    cache = PlanCache()
+    kw = dict(redistribute=mode, validate=False)
+    off = pack(array, mask, P, **kw)
+    miss = pack(array, mask, P, plan_cache=cache, **kw)
+    hit = pack(array, mask, P, plan_cache=cache, **kw)
+
+    assert off.plan_info is None
+    assert miss.plan_info["cache"] == "miss"
+    assert miss.plan_info["compile_ms"] > 0
+    assert hit.plan_info["cache"] == "hit"
+    assert hit.plan_info["compile_ms"] == 0.0
+
+    expected = pack_reference(array, mask)
+    for r in (off, miss, hit):
+        np.testing.assert_array_equal(r.vector, expected)
+    _run_equal(off.run, miss.run)
+    _run_equal(off.run, hit.run)
+
+
+@pytest.mark.parametrize("mode", ["selected", "whole"])
+def test_redistribute_hit_with_different_array_same_mask(mode):
+    """Red plans depend on the mask and geometry, never on the values."""
+    a1, mask = _workload(seed=1)
+    a2 = np.arange(N, dtype=np.float64)
+    cache = PlanCache()
+    pack(a1, mask, P, redistribute=mode, validate=False, plan_cache=cache)
+    hit = pack(a2, mask, P, redistribute=mode, validate=False,
+               plan_cache=cache)
+    assert hit.plan_info["cache"] == "hit"
+    np.testing.assert_array_equal(hit.vector, pack_reference(a2, mask))
+
+
+def test_redistribute_modes_have_distinct_entries():
+    """pack / pack_red1 / pack_red2 never share entries: the same mask
+    compiles three independent plans (their prefixes differ entirely)."""
+    array, mask = _workload(seed=2)
+    cache = PlanCache()
+    for mode in (None, "selected", "whole"):
+        r = pack(array, mask, P, redistribute=mode, validate=False,
+                 plan_cache=cache)
+        assert r.plan_info["cache"] == "miss", mode
+    assert cache.stats().hits == 0
+    assert sorted(k.op for k in cache.keys()) == [
+        "pack", "pack_red1", "pack_red2",
+    ]
+
+
+@pytest.mark.parametrize("mode,kind", [("selected", Red1RankPlan),
+                                       ("whole", Red2RankPlan)])
+def test_red_plan_serialization_roundtrip(mode, kind):
+    array, mask = _workload(seed=3)
+    cache = PlanCache()
+    pack(array, mask, P, redistribute=mode, validate=False, plan_cache=cache)
+    (key,) = cache.keys()
+    plan = cache.peek(key)
+    assert all(isinstance(rp, kind) for rp in plan.ranks)
+
+    clone = Plan.from_dict(plan.to_dict())
+    assert clone.key == key
+    assert clone.nbytes == plan.nbytes
+
+    # The deserialized plan must replay exactly like the original.
+    fresh = PlanCache()
+    fresh.put(clone.key, clone)
+    orig = pack(array, mask, P, redistribute=mode, validate=False,
+                plan_cache=cache)
+    replayed = pack(array, mask, P, redistribute=mode, validate=False,
+                    plan_cache=fresh)
+    assert orig.plan_info["cache"] == "hit"
+    assert replayed.plan_info["cache"] == "hit"
+    np.testing.assert_array_equal(replayed.vector, orig.vector)
+    _run_equal(orig.run, replayed.run)

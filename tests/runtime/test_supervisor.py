@@ -446,3 +446,67 @@ def _alive(pid):
     except PermissionError:
         return True
     return True
+
+
+class TestServerSafety:
+    """Long-lived-server contract: concurrent ops serialize through the
+    dispatch lock, and close() is terminal (pinned for repro.serve)."""
+
+    def test_concurrent_ops_from_threads_serialize(self):
+        sup = GangSupervisor(timeout=60)
+        results = [None] * 6
+        errors = []
+
+        def worker(i):
+            try:
+                run = _run_sum(sup)
+                results[i] = run.results
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append((i, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(results))]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        finally:
+            sup.close()
+        assert not errors, errors
+        for res in results:
+            assert res is not None
+            assert all(r == EXPECTED_SUM for r in res)
+        assert sup.stats.ops == len(results)
+        settle()
+
+    def test_close_is_terminal(self):
+        sup = GangSupervisor(timeout=60)
+        _run_sum(sup)
+        sup.close()
+        assert sup.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            _run_sum(sup)
+        with pytest.raises(RuntimeError, match="closed"):
+            sup.warm(2)
+        sup.close()  # idempotent
+        sup.shutdown()  # still callable; stays a no-op after close
+        settle()
+
+    def test_shutdown_keeps_supervisor_usable(self):
+        sup = GangSupervisor(timeout=60)
+        _run_sum(sup)
+        sup.shutdown()
+        assert not sup.closed
+        run = _run_sum(sup)  # re-forks a fresh gang
+        assert all(r == EXPECTED_SUM for r in run.results)
+        sup.close()
+        settle()
+
+    def test_context_manager_closes(self):
+        with GangSupervisor(timeout=60) as sup:
+            _run_sum(sup)
+        assert sup.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            _run_sum(sup)
+        settle()

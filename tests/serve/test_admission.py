@@ -1,0 +1,74 @@
+"""Admission control: queue bounds, shedding, drain refusal, counters."""
+
+import asyncio
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.admission import AdmissionController
+
+
+def _ctl(**kw):
+    # Constructed inside a running loop: the controller owns an
+    # asyncio.Semaphore, which binds to the loop on first await.
+    out = {}
+
+    async def make():
+        out["ctl"] = AdmissionController(**kw)
+
+    asyncio.run(make())
+    return out["ctl"]
+
+
+def test_admits_until_max_queue_then_sheds():
+    ctl = _ctl(max_queue=3)
+    assert [ctl.try_admit() for _ in range(3)] == [None, None, None]
+    assert ctl.inflight == 3
+    assert ctl.try_admit() == "overloaded"
+    assert ctl.try_admit() == "overloaded"
+    assert (ctl.admitted, ctl.shed) == (3, 2)
+    assert ctl.inflight == 3  # sheds never consume slots
+
+
+def test_release_frees_slots():
+    ctl = _ctl(max_queue=1)
+    assert ctl.try_admit() is None
+    assert ctl.try_admit() == "overloaded"
+    ctl.release()
+    assert ctl.inflight == 0
+    assert ctl.try_admit() is None
+
+
+def test_drain_refuses_new_but_keeps_inflight_slots():
+    ctl = _ctl(max_queue=8)
+    assert ctl.try_admit() is None
+    ctl.begin_drain()
+    assert ctl.draining
+    assert ctl.try_admit() == "shutting_down"
+    assert ctl.refused_draining == 1
+    assert ctl.inflight == 1  # the admitted request still owns its slot
+    ctl.release()
+    assert ctl.inflight == 0
+
+
+def test_metrics_wiring():
+    m = MetricsRegistry()
+    ctl = _ctl(max_queue=1, metrics=m)
+    ctl.try_admit()
+    ctl.try_admit()  # shed
+    assert m.value("serve.admitted") == 1
+    assert m.value("serve.shed") == 1
+    assert m.value("serve.inflight") == 1
+    ctl.release()
+    assert m.value("serve.inflight") == 0
+
+
+def test_semaphore_width_matches_max_inflight():
+    ctl = _ctl(max_inflight=3)
+    assert ctl.batch_semaphore._value == 3
+
+
+@pytest.mark.parametrize("kw", [{"max_queue": 0}, {"max_inflight": 0}])
+def test_validation(kw):
+    with pytest.raises(ValueError):
+        _ctl(**kw)

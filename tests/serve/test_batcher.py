@@ -1,0 +1,200 @@
+"""Batcher: window coalescing, compatibility keying, size caps, errors.
+
+The engine is faked with a recorder so these tests pin the *grouping*
+decisions — which requests ran together — without running the simulator.
+All tests drive the event loop with ``asyncio.run`` (no pytest-asyncio
+in this environment).
+"""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import Batcher, PendingRequest
+from repro.serve.protocol import Request
+
+MASK_A = np.arange(16) % 2 == 0
+MASK_B = np.arange(16) % 3 == 0
+
+
+def _req(rid, op="pack", fingerprint="fa", mask=MASK_A, **over):
+    kw = dict(
+        id=rid, op=op, grid=(2,), block=None, scheme="cms",
+        mask=mask, array=np.arange(16, dtype=float),
+        fingerprint=fingerprint,
+    )
+    kw.update(over)
+    return Request(**kw)
+
+
+class _Recorder:
+    """Stand-in engine: records each group's ids, returns ok bodies."""
+
+    def __init__(self, fail=False):
+        self.groups = []
+        self.fail = fail
+
+    def __call__(self, reqs):
+        self.groups.append([r.id for r in reqs])
+        if self.fail:
+            raise RuntimeError("engine exploded")
+        return [{"id": r.id, "ok": True} for r in reqs]
+
+
+def _drive(submits, *, max_delay=0.01, max_batch=8, fail=False):
+    """Submit PendingRequests, drain, return (recorder, resolved bodies)."""
+    rec = _Recorder(fail=fail)
+
+    async def main():
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            b = Batcher(rec, pool, asyncio.Semaphore(2),
+                        max_delay=max_delay, max_batch=max_batch)
+            preqs = []
+            for req in submits:
+                p = PendingRequest(
+                    req=req, future=asyncio.get_running_loop().create_future()
+                )
+                b.submit(p)
+                preqs.append(p)
+            await b.drain()
+            return [p.future.result() for p in preqs], preqs
+
+    bodies, preqs = asyncio.run(main())
+    return rec, bodies, preqs
+
+
+def test_compatible_requests_coalesce_into_one_group():
+    rec, bodies, preqs = _drive([_req("a"), _req("b"), _req("c")])
+    assert rec.groups == [["a", "b", "c"]]
+    assert all(b["ok"] for b in bodies)
+    assert all(p.batch_size == 3 and p.coalesced for p in preqs)
+
+
+def test_incompatible_keys_form_separate_groups():
+    rec, _, _ = _drive([
+        _req("a"), _req("b", fingerprint="fb", mask=MASK_B), _req("c"),
+    ])
+    assert sorted(map(sorted, rec.groups)) == [["a", "c"], ["b"]]
+
+
+def test_max_batch_flushes_immediately():
+    # A long window that would stall the test if the size cap didn't fire.
+    rec, _, preqs = _drive(
+        [_req(f"r{i}") for i in range(5)], max_delay=30.0, max_batch=4
+    )
+    # Group of 4 flushed at the cap; the drain flushed the leftover.
+    assert sorted(map(len, rec.groups)) == [1, 4]
+    assert {p.batch_size for p in preqs} == {1, 4}
+
+
+def test_solo_key_dispatches_without_waiting():
+    k = int(MASK_A.sum())
+    un = _req("u", op="unpack", array=None,
+              vector=np.arange(k, dtype=float),
+              field_array=np.zeros(16))
+    assert un.batch_key() is None
+    rec, _, preqs = _drive([un, _req("p")], max_delay=0.005)
+    assert sorted(map(sorted, rec.groups)) == [["p"], ["u"]]
+    assert not preqs[0].coalesced
+
+
+def test_max_batch_one_disables_coalescing():
+    rec, _, _ = _drive([_req("a"), _req("b")], max_batch=1)
+    assert sorted(map(sorted, rec.groups)) == [["a"], ["b"]]
+
+
+def test_window_expiry_flushes_partial_group():
+    rec = _Recorder()
+
+    async def main():
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            b = Batcher(rec, pool, asyncio.Semaphore(1),
+                        max_delay=0.02, max_batch=8)
+            p = PendingRequest(
+                req=_req("only"),
+                future=asyncio.get_running_loop().create_future(),
+            )
+            b.submit(p)
+            # Wait out the window without calling drain: the timer alone
+            # must flush the group.
+            body = await asyncio.wait_for(p.future, timeout=5.0)
+            return body
+
+    body = asyncio.run(main())
+    assert body["ok"]
+    assert rec.groups == [["only"]]
+
+
+def test_engine_exception_resolves_every_future_with_internal_error():
+    class _Boom:
+        def __call__(self, reqs):
+            raise RuntimeError("kaput")
+
+    async def main():
+        pool = ThreadPoolExecutor(max_workers=1)
+        # Simulate executor-level failure: shut the pool so run_in_executor
+        # itself raises.
+        pool.shutdown(wait=True)
+        b = Batcher(_Boom(), pool, asyncio.Semaphore(1),
+                    max_delay=0.001, max_batch=4)
+        ps = [
+            PendingRequest(
+                req=_req(f"r{i}"),
+                future=asyncio.get_running_loop().create_future(),
+            )
+            for i in range(2)
+        ]
+        for p in ps:
+            b.submit(p)
+        await b.drain()
+        return [p.future.result() for p in ps]
+
+    bodies = asyncio.run(main())
+    for body in bodies:
+        assert body["ok"] is False
+        assert body["error"]["code"] == "internal"
+
+
+def test_semaphore_bounds_concurrent_batches():
+    inflight = {"now": 0, "peak": 0}
+    import threading
+
+    lock = threading.Lock()
+
+    def slow_engine(reqs):
+        with lock:
+            inflight["now"] += 1
+            inflight["peak"] = max(inflight["peak"], inflight["now"])
+        import time
+
+        time.sleep(0.02)
+        with lock:
+            inflight["now"] -= 1
+        return [{"id": r.id, "ok": True} for r in reqs]
+
+    async def main():
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            b = Batcher(slow_engine, pool, asyncio.Semaphore(1),
+                        max_delay=0.0, max_batch=1)
+            ps = []
+            for i in range(4):
+                p = PendingRequest(
+                    req=_req(f"r{i}"),
+                    future=asyncio.get_running_loop().create_future(),
+                )
+                b.submit(p)
+                ps.append(p)
+            await b.drain()
+            assert all(p.future.result()["ok"] for p in ps)
+
+    asyncio.run(main())
+    assert inflight["peak"] == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Batcher(lambda r: [], None, None, max_batch=0)
+    with pytest.raises(ValueError):
+        Batcher(lambda r: [], None, None, max_delay=-1.0)
